@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # avdb-baseline
+//!
+//! The "conventional centralized way" the paper compares against
+//! (Fig. 6's `conventional` line), plus a second, stricter comparator.
+//!
+//! * [`CentralizedSystem`] — every update is a request/reply round trip
+//!   to the central site (the maker, site 0, which hosts the only
+//!   authoritative DB). Updates submitted *at* the central site are local
+//!   and free. This is the strongest reasonable reading of the paper's
+//!   baseline: one correspondence per remote update and no extra locking
+//!   traffic, which makes the reproduction's improvement figures
+//!   conservative.
+//! * The "lock-everything primary copy" comparator needs no code here:
+//!   it is the proposed system configured with every product non-regular
+//!   (all updates take the Immediate path); the experiment harness builds
+//!   it from `avdb-core` directly.
+
+pub mod central;
+pub mod system;
+
+pub use central::{CentralActor, CentralMsg};
+pub use system::CentralizedSystem;

@@ -1,0 +1,197 @@
+//! [`CentralizedSystem`] — the conventional comparator under the same
+//! simulator, mirroring the driving API of
+//! `avdb_core::DistributedSystem` so the experiment harness can treat
+//! both uniformly.
+
+use crate::central::CentralActor;
+use avdb_simnet::{Counters, Simulator, SimulatorBuilder};
+use avdb_types::{
+    ProductId, SiteId, SystemConfig, UpdateOutcome, UpdateRequest, VirtualTime, Volume,
+};
+
+/// The conventional centralized system: one authoritative DB at the
+/// center (site 0), every remote update a round trip.
+pub struct CentralizedSystem {
+    cfg: SystemConfig,
+    sim: Simulator<CentralActor>,
+}
+
+impl CentralizedSystem {
+    /// Builds the system from the same config the proposal uses (AV
+    /// settings are ignored — there is no AV here).
+    pub fn new(cfg: SystemConfig) -> Self {
+        let actors = SiteId::all(cfg.n_sites).map(|s| CentralActor::new(s, &cfg)).collect();
+        let sim = SimulatorBuilder::new()
+            .latency(cfg.latency)
+            .seed(cfg.seed)
+            .build(actors);
+        CentralizedSystem { cfg, sim }
+    }
+
+    /// Schedules a user update at absolute time `at`.
+    pub fn submit_at(&mut self, at: VirtualTime, req: UpdateRequest) {
+        self.sim.inject_at(at, req.site, req);
+    }
+
+    /// Runs until no events remain.
+    pub fn run_until_quiescent(&mut self) {
+        self.sim.run_until_quiescent();
+    }
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: VirtualTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Inputs lost at crashed sites.
+    pub fn lost_inputs(&self) -> u64 {
+        self.sim.lost_inputs()
+    }
+
+    /// Takes all update outcomes emitted since the last drain.
+    pub fn drain_outcomes(&mut self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+        self.sim.drain_outputs()
+    }
+
+    /// Network traffic counters.
+    pub fn counters(&self) -> &Counters {
+        self.sim.counters()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.sim.now()
+    }
+
+    /// Stock of `product` in the authoritative DB.
+    pub fn stock(&self, product: ProductId) -> Volume {
+        self.sim
+            .actor(SiteId::BASE)
+            .db()
+            .stock(product)
+            .expect("valid product")
+    }
+
+    /// Schedules a fail-stop crash (crashing the center stalls everything
+    /// — the single point of failure the paper's approach removes).
+    pub fn crash_at(&mut self, at: VirtualTime, site: SiteId) {
+        self.sim.crash_at(at, site);
+    }
+
+    /// Schedules a recovery.
+    pub fn recover_at(&mut self, at: VirtualTime, site: SiteId) {
+        self.sim.recover_at(at, site);
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avdb_types::request::AbortReason;
+
+    const P: ProductId = ProductId(0);
+
+    fn system() -> CentralizedSystem {
+        CentralizedSystem::new(
+            SystemConfig::builder()
+                .sites(3)
+                .regular_products(1, Volume(100))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn remote_update_costs_exactly_one_correspondence() {
+        let mut sys = system();
+        sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), P, Volume(-30)));
+        sys.run_until_quiescent();
+        let outcomes = sys.drain_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0].2 {
+            UpdateOutcome::Committed { correspondences, completed_at, .. } => {
+                assert_eq!(*correspondences, 1);
+                assert_eq!(*completed_at, VirtualTime(2), "full round trip of 2 hops");
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(sys.stock(P), Volume(70));
+        assert_eq!(sys.counters().total_messages(), 2);
+        assert_eq!(sys.counters().total_correspondences(), 1);
+    }
+
+    #[test]
+    fn center_updates_are_free() {
+        let mut sys = system();
+        sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(0), P, Volume(10)));
+        sys.run_until_quiescent();
+        let outcomes = sys.drain_outcomes();
+        assert_eq!(outcomes[0].2.correspondences(), 0);
+        assert_eq!(sys.counters().total_messages(), 0);
+        assert_eq!(sys.stock(P), Volume(110));
+    }
+
+    #[test]
+    fn center_serializes_and_rejects_oversell() {
+        let mut sys = system();
+        // Two retailers race to buy 60 each from a stock of 100: the
+        // center serializes — exactly one succeeds.
+        sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), P, Volume(-60)));
+        sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(2), P, Volume(-60)));
+        sys.run_until_quiescent();
+        let outcomes = sys.drain_outcomes();
+        assert_eq!(outcomes.len(), 2);
+        let commits = outcomes.iter().filter(|(_, _, o)| o.is_committed()).count();
+        assert_eq!(commits, 1);
+        assert_eq!(sys.stock(P), Volume(40));
+        let abort = outcomes.iter().find(|(_, _, o)| !o.is_committed()).unwrap();
+        match &abort.2 {
+            UpdateOutcome::Aborted { reason, .. } => {
+                assert_eq!(*reason, AbortReason::NegativeStock)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn crashed_center_stalls_remote_updates_until_recovery() {
+        let mut sys = system();
+        sys.crash_at(VirtualTime(0), SiteId(0));
+        sys.recover_at(VirtualTime(500), SiteId(0));
+        sys.submit_at(VirtualTime(1), UpdateRequest::new(SiteId(1), P, Volume(-5)));
+        sys.run_until(VirtualTime(499));
+        assert!(
+            sys.drain_outcomes().is_empty(),
+            "nothing completes while the center is down — zero availability"
+        );
+        sys.run_until_quiescent();
+        let outcomes = sys.drain_outcomes();
+        assert_eq!(outcomes.len(), 1, "the parked request executes after recovery");
+        match &outcomes[0].2 {
+            UpdateOutcome::Committed { completed_at, .. } => {
+                assert!(*completed_at >= VirtualTime(500), "latency spans the outage");
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(sys.stock(P), Volume(95));
+    }
+
+    #[test]
+    fn updates_serialize_in_arrival_order() {
+        let mut sys = system();
+        for i in 0..10u64 {
+            let site = SiteId((1 + i % 2) as u32);
+            sys.submit_at(VirtualTime(i), UpdateRequest::new(site, P, Volume(-10)));
+        }
+        sys.run_until_quiescent();
+        let outcomes = sys.drain_outcomes();
+        assert_eq!(outcomes.iter().filter(|(_, _, o)| o.is_committed()).count(), 10);
+        assert_eq!(sys.stock(P), Volume::ZERO);
+        assert_eq!(sys.counters().total_correspondences(), 10);
+    }
+}

@@ -1,0 +1,31 @@
+//! A1/A2/A6/A7/A8 — regenerates the strategy/allocation/skew/magnitude
+//! ablation tables and times one sweep per axis.
+
+use avdb_bench::{PRINT_UPDATES, SEED, TIMED_UPDATES};
+use avdb_sim::experiments::ablations::{
+    render_rows, run_allocation_sweep, run_decide_sweep, run_magnitude_sweep, run_select_sweep,
+    run_skew_sweep,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    println!("\n=== A1 deciding ===\n{}", render_rows(&run_decide_sweep(PRINT_UPDATES, SEED)));
+    println!("=== A2 selecting ===\n{}", render_rows(&run_select_sweep(PRINT_UPDATES, SEED)));
+    println!("=== A6 allocation ===\n{}", render_rows(&run_allocation_sweep(PRINT_UPDATES, SEED)));
+    println!("=== A7 skew ===\n{}", render_rows(&run_skew_sweep(PRINT_UPDATES, SEED)));
+    println!("=== A8 magnitude ===\n{}", render_rows(&run_magnitude_sweep(PRINT_UPDATES, SEED)));
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("decide_sweep_500", |b| {
+        b.iter(|| black_box(run_decide_sweep(TIMED_UPDATES, SEED)))
+    });
+    group.bench_function("select_sweep_500", |b| {
+        b.iter(|| black_box(run_select_sweep(TIMED_UPDATES, SEED)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

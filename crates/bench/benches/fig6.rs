@@ -1,0 +1,23 @@
+//! E1 — regenerates Fig. 6 (updates vs correspondences, proposal vs
+//! conventional) and times the experiment kernel.
+
+use avdb_bench::{PRINT_UPDATES, SEED, TIMED_UPDATES};
+use avdb_sim::experiments::run_fig6;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let artifact = run_fig6(PRINT_UPDATES, SEED);
+    println!("\n=== Fig. 6 ({} updates, seed {}) ===", PRINT_UPDATES, SEED);
+    println!("{}", artifact.render());
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("proposal_vs_conventional_500", |b| {
+        b.iter(|| black_box(run_fig6(TIMED_UPDATES, SEED)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Microbenchmarks of the substrates: storage transactions, AV
+//! accounting, the deterministic RNG, the event queue, and end-to-end
+//! simulated update throughput. These are the hot paths every experiment
+//! stands on.
+
+use avdb_bench::SEED;
+use avdb_core::DistributedSystem;
+use avdb_escrow::AvTable;
+use avdb_sim::scenarios::paper_config;
+use avdb_simnet::{DetRng, EventQueue};
+use avdb_storage::LocalDb;
+use avdb_types::{
+    CatalogEntry, ProductClass, ProductId, SiteId, TxnId, UpdateRequest, VirtualTime, Volume,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn catalog(n: usize) -> Vec<CatalogEntry> {
+    (0..n)
+        .map(|i| CatalogEntry::new(ProductId(i as u32), ProductClass::Regular, Volume(1_000_000)))
+        .collect()
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("begin_apply_commit", |b| {
+        let mut db = LocalDb::new(&catalog(16));
+        let mut seq = 0u64;
+        b.iter(|| {
+            let txn = TxnId::new(SiteId(0), seq);
+            seq += 1;
+            db.begin(txn).unwrap();
+            db.apply(txn, ProductId((seq % 16) as u32), Volume(1)).unwrap();
+            black_box(db.commit(txn).unwrap());
+        })
+    });
+    group.bench_function("begin_apply_rollback", |b| {
+        let mut db = LocalDb::new(&catalog(16));
+        let mut seq = 0u64;
+        b.iter(|| {
+            let txn = TxnId::new(SiteId(0), seq);
+            seq += 1;
+            db.begin(txn).unwrap();
+            db.apply(txn, ProductId((seq % 16) as u32), Volume(1)).unwrap();
+            db.rollback(txn).unwrap();
+            black_box(&db);
+        })
+    });
+    group.bench_function("recovery_10k_records", |b| {
+        let mut db = LocalDb::new(&catalog(16));
+        for seq in 0..2_500u64 {
+            let txn = TxnId::new(SiteId(0), seq);
+            db.begin(txn).unwrap();
+            db.apply(txn, ProductId((seq % 16) as u32), Volume(1)).unwrap();
+            db.commit(txn).unwrap();
+        }
+        b.iter(|| {
+            db.crash();
+            black_box(db.recover().unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_escrow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("escrow");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hold_consume", |b| {
+        let mut av = AvTable::new(4);
+        av.define(ProductId(0), Volume(i64::MAX / 2)).unwrap();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let txn = TxnId::new(SiteId(0), seq);
+            seq += 1;
+            av.hold_up_to(txn, ProductId(0), Volume(10)).unwrap();
+            av.consume(txn, ProductId(0), Volume(10)).unwrap();
+        })
+    });
+    group.bench_function("hold_release", |b| {
+        let mut av = AvTable::new(4);
+        av.define(ProductId(0), Volume(1_000_000)).unwrap();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let txn = TxnId::new(SiteId(0), seq);
+            seq += 1;
+            av.hold_up_to(txn, ProductId(0), Volume(10)).unwrap();
+            black_box(av.release(txn, ProductId(0)).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("detrng_next", |b| {
+        let mut rng = DetRng::new(SEED);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    group.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64, ()> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.push(
+                VirtualTime(t),
+                avdb_simnet::Event::Timer { site: SiteId(0), token: t },
+            );
+            black_box(q.pop());
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(300));
+    group.bench_function("proposal_300_updates", |b| {
+        b.iter(|| {
+            let mut sys = DistributedSystem::new(paper_config(SEED));
+            for i in 0..300u64 {
+                let site = SiteId((i % 3) as u32);
+                let delta = if site == SiteId::BASE { Volume(40) } else { Volume(-30) };
+                sys.submit_at(
+                    VirtualTime(i * 4),
+                    UpdateRequest::new(site, ProductId((i % 100) as u32), delta),
+                );
+            }
+            sys.run_until_quiescent();
+            black_box(sys.counters().total_messages())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_escrow, bench_simnet, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! A4 — regenerates the Delay/Immediate mix table (crossover) and times
+//! the pure-Immediate worst case.
+
+use avdb_bench::{PRINT_UPDATES, SEED, TIMED_UPDATES};
+use avdb_sim::experiments::mix::{render_rows, run_mix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mix(c: &mut Criterion) {
+    let artifact = run_mix(&[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], PRINT_UPDATES, SEED);
+    println!("\n=== A4 mix ({PRINT_UPDATES} updates) ===\n{}", render_rows(&artifact));
+
+    let mut group = c.benchmark_group("mix");
+    group.sample_size(10);
+    for fraction in [0.0f64, 0.5, 1.0] {
+        group.bench_function(format!("immediate_{fraction:.1}_500"), |b| {
+            b.iter(|| black_box(run_mix(&[fraction], TIMED_UPDATES, SEED)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mix);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! A3 — regenerates the site-count scaling table and times the largest
+//! configuration.
+
+use avdb_bench::{PRINT_UPDATES, SEED, TIMED_UPDATES};
+use avdb_sim::experiments::scaling::{render_rows, run_scaling};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let artifact = run_scaling(&[3, 5, 9, 17, 33], PRINT_UPDATES, SEED);
+    println!("\n=== A3 scaling ({PRINT_UPDATES} updates) ===\n{}", render_rows(&artifact));
+
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for n_sites in [3usize, 9, 33] {
+        group.bench_function(format!("sites_{n_sites}_500"), |b| {
+            b.iter(|| black_box(run_scaling(&[n_sites], TIMED_UPDATES, SEED)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2 — regenerates Table 1 (per-site correspondences at update-count
+//! checkpoints) and times the experiment kernel.
+
+use avdb_bench::{PRINT_UPDATES, SEED, TIMED_UPDATES};
+use avdb_sim::experiments::run_table1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let step = (PRINT_UPDATES / 5) as u64;
+    let checkpoints: Vec<u64> = (1..=5).map(|i| i * step).collect();
+    let artifact = run_table1(&checkpoints, SEED);
+    println!("\n=== Table 1 (seed {SEED}) ===");
+    println!("{}", artifact.render());
+    println!(
+        "retailer unfairness: {:.1}% (paper: \"almost same\")\n",
+        artifact.retailer_unfairness() * 100.0
+    );
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let timed: Vec<u64> = vec![TIMED_UPDATES as u64 / 2, TIMED_UPDATES as u64];
+    group.bench_function("per_site_500", |b| {
+        b.iter(|| black_box(run_table1(&timed, SEED)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # avdb-bench
+//!
+//! Criterion benchmark targets, one per experiment in DESIGN.md's
+//! per-experiment index. Every bench target first *regenerates and
+//! prints* its table or figure (the reproduction artifact), then times
+//! the experiment kernel so regressions in the simulator or protocol hot
+//! paths show up as bench deltas.
+//!
+//! Run all of them with `cargo bench --workspace`; individual targets:
+//!
+//! ```sh
+//! cargo bench -p avdb-bench --bench fig6
+//! cargo bench -p avdb-bench --bench table1
+//! cargo bench -p avdb-bench --bench ablations
+//! cargo bench -p avdb-bench --bench scaling
+//! cargo bench -p avdb-bench --bench mix
+//! cargo bench -p avdb-bench --bench micro
+//! ```
+
+/// Updates used when a bench regenerates the printed artifact.
+pub const PRINT_UPDATES: usize = 2_000;
+
+/// Updates used inside timed iterations (kept small so Criterion can
+/// sample enough runs).
+pub const TIMED_UPDATES: usize = 500;
+
+/// Seed shared by all bench targets.
+pub const SEED: u64 = 1;

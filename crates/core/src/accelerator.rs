@@ -1,0 +1,1124 @@
+//! The accelerator: one per site, owning the local DB and AV table and
+//! implementing the checking / selecting / deciding functions plus the
+//! Delay and Immediate Update protocols (paper §3.3–3.4).
+
+use crate::protocol::{Input, Msg, PropagateDelta};
+use crate::replication::ReplicationState;
+use avdb_escrow::{
+    make_decide, make_select, AvTable, DecideStrategy, PeerKnowledge, SelectStrategy,
+    TransferLedger, TransferRecord,
+};
+use avdb_simnet::{Actor, Ctx};
+use avdb_storage::{LocalDb, LockMode};
+use avdb_types::{
+    request::AbortReason, AvdbError, ProductId, SiteId, SystemConfig, TxnId, UpdateKind,
+    UpdateOutcome, UpdateRequest, Volume,
+};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Static knobs of one accelerator, derived from [`SystemConfig`].
+#[derive(Clone, Debug)]
+pub struct AcceleratorConfig {
+    /// Number of sites in the system.
+    pub n_sites: usize,
+    /// AV request rounds before a Delay Update gives up.
+    pub max_av_rounds: usize,
+    /// Commit count after which the propagation buffer flushes.
+    pub propagation_batch: usize,
+    /// Ticks an Immediate Update coordinator waits for votes before
+    /// presuming a participant dead and aborting.
+    pub imm_vote_timeout: u64,
+    /// Ticks a prepared participant waits for the decision before
+    /// unilaterally aborting (presumed abort — the paper does not specify
+    /// blocking behaviour; see DESIGN.md).
+    pub participant_timeout: u64,
+    /// Ticks a Delay Update waits for an AV grant before treating the
+    /// asked peer as dead (zero grant) and moving to the next one.
+    pub av_grant_timeout: u64,
+    /// Ticks between periodic anti-entropy retransmissions (`None`
+    /// disables the timer).
+    pub anti_entropy_interval: Option<u64>,
+    /// Proactive AV circulation after increments (§3.4 extension).
+    pub proactive_push: bool,
+}
+
+impl AcceleratorConfig {
+    /// Derives the per-site config from a system config.
+    pub fn from_system(cfg: &SystemConfig) -> Self {
+        AcceleratorConfig {
+            n_sites: cfg.n_sites,
+            max_av_rounds: cfg.max_av_rounds,
+            propagation_batch: cfg.propagation_batch,
+            imm_vote_timeout: 256,
+            participant_timeout: 1024,
+            av_grant_timeout: 64,
+            anti_entropy_interval: (cfg.anti_entropy_interval > 0)
+                .then_some(cfg.anti_entropy_interval),
+            proactive_push: cfg.proactive_push,
+        }
+    }
+}
+
+/// Lifetime counters for one accelerator (inspection and reporting; the
+/// authoritative experiment metrics come from emitted outcomes and the
+/// network counters).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AcceleratorStats {
+    /// Delay Updates committed entirely locally (zero communication).
+    pub delay_local_commits: u64,
+    /// Delay Updates committed after AV transfers.
+    pub delay_remote_commits: u64,
+    /// Delay Updates aborted for insufficient AV.
+    pub delay_aborts: u64,
+    /// Immediate Updates committed (as coordinator).
+    pub imm_commits: u64,
+    /// Immediate Updates aborted (as coordinator).
+    pub imm_aborts: u64,
+    /// AV requests sent.
+    pub av_requests_sent: u64,
+    /// AV grants answered (including zero-volume denials).
+    pub av_grants_answered: u64,
+    /// Total AV volume received via transfers.
+    pub av_volume_received: i64,
+    /// Total AV volume granted away.
+    pub av_volume_granted: i64,
+    /// Propagation batches flushed to peers.
+    pub propagation_batches_sent: u64,
+    /// Remote committed deltas applied here.
+    pub propagation_deltas_applied: u64,
+    /// Proactive AV pushes sent.
+    pub av_pushes_sent: u64,
+    /// AV volume pushed away proactively.
+    pub av_volume_pushed: i64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// Updates that were in flight at this origin when it crashed: their
+    /// volatile negotiation state died with the site, so they resolve to
+    /// no outcome (the paper's fail-stop model; callers account for them
+    /// alongside lost inputs).
+    pub wiped_in_flight: u64,
+}
+
+/// One product's share of a (possibly multi-item) Delay transaction.
+#[derive(Debug, Clone, Copy)]
+struct DelayItem {
+    product: ProductId,
+    delta: Volume,
+    /// AV that must be held before commit (|delta| for decrements, zero
+    /// for increments, which mint AV instead of consuming it).
+    need: Volume,
+}
+
+/// In-flight Delay Update waiting on AV transfers. Items are satisfied
+/// sequentially; holds accumulate across items and all release together
+/// on abort (the non-exclusive-hold semantics make partial holds safe to
+/// keep while negotiating the next item).
+#[derive(Debug)]
+struct PendingDelay {
+    items: Vec<DelayItem>,
+    /// Index of the item currently being negotiated.
+    current: usize,
+    /// Peers already asked for the *current* item.
+    asked: Vec<SiteId>,
+    /// The peer currently being waited on (requests are sequential).
+    outstanding: Option<SiteId>,
+    /// Correspondences spent so far (1 per AV request).
+    correspondences: u64,
+}
+
+impl PendingDelay {
+    fn current_item(&self) -> DelayItem {
+        self.items[self.current]
+    }
+}
+
+/// In-flight Immediate Update this site coordinates.
+#[derive(Debug)]
+struct PendingImm {
+    votes: BTreeMap<SiteId, bool>,
+    decided: Option<bool>,
+    correspondences: u64,
+}
+
+/// Why a timer was armed.
+#[derive(Debug, Clone, Copy)]
+enum TimerKind {
+    /// Coordinator: give up waiting for Immediate votes.
+    ImmVotes(TxnId),
+    /// Participant: give up waiting for the Immediate decision.
+    ImmDecision(TxnId),
+    /// Requester: give up waiting for an AV grant from a peer.
+    AvGrant(TxnId, SiteId),
+    /// Periodic anti-entropy retransmission round.
+    AntiEntropy,
+    /// Coordinator: give up waiting for the base site's completion ack
+    /// (base crashed between vote and done; the commit already happened).
+    ImmCompletion(TxnId),
+}
+
+/// One site's accelerator (see crate docs for the protocol overview).
+pub struct Accelerator {
+    me: SiteId,
+    cfg: AcceleratorConfig,
+    db: LocalDb,
+    av: AvTable,
+    knowledge: PeerKnowledge,
+    select: Box<dyn SelectStrategy>,
+    decide: Box<dyn DecideStrategy>,
+    ledger: TransferLedger,
+    stats: AcceleratorStats,
+
+    /// Monotone local sequence for txn ids (durable — ids never reuse).
+    next_seq: u64,
+    pending_delay: HashMap<TxnId, PendingDelay>,
+    pending_imm: HashMap<TxnId, PendingImm>,
+    /// Remote Immediate txns this site has prepared (participant role).
+    prepared_remote: BTreeSet<TxnId>,
+    /// Armed timers by token.
+    timers: HashMap<u64, TimerKind>,
+    next_timer: u64,
+    /// Replication log + per-peer cursors. Durable: recomputable from the
+    /// WAL suffix, so it survives crashes in this model.
+    repl: ReplicationState,
+    /// Whether the anti-entropy heartbeat is currently armed. The timer
+    /// stops re-arming once every peer has acknowledged the whole log and
+    /// restarts on the next local commit — so a finished system still
+    /// quiesces (the event queue drains) with anti-entropy enabled.
+    anti_entropy_armed: bool,
+}
+
+impl Accelerator {
+    /// Builds the accelerator for `me` from the system config, defining
+    /// AV rows for every regular product with this site's share of the
+    /// configured split.
+    pub fn new(me: SiteId, cfg: &SystemConfig) -> Self {
+        let mut av = AvTable::new(cfg.n_products());
+        let mut knowledge = PeerKnowledge::new();
+        for entry in &cfg.catalog {
+            if entry.class.uses_av() {
+                let split = cfg.split_av(cfg.initial_av_of(entry.id));
+                av.define(entry.id, split[me.index()]).expect("dense catalog");
+                knowledge.seed(entry.id, &split);
+            }
+        }
+        Accelerator {
+            me,
+            cfg: AcceleratorConfig::from_system(cfg),
+            db: LocalDb::new(&cfg.catalog),
+            av,
+            knowledge,
+            select: make_select(cfg.select),
+            decide: make_decide(cfg.decide),
+            ledger: TransferLedger::new(),
+            stats: AcceleratorStats::default(),
+            next_seq: 0,
+            pending_delay: HashMap::new(),
+            pending_imm: HashMap::new(),
+            prepared_remote: BTreeSet::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            repl: ReplicationState::new(me, cfg.n_sites),
+            anti_entropy_armed: false,
+        }
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// This site's id.
+    pub fn site(&self) -> SiteId {
+        self.me
+    }
+
+    /// The local database.
+    pub fn db(&self) -> &LocalDb {
+        &self.db
+    }
+
+    /// The AV management table.
+    pub fn av(&self) -> &AvTable {
+        &self.av
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &AcceleratorStats {
+        &self.stats
+    }
+
+    /// Peer-AV knowledge (tests).
+    pub fn knowledge(&self) -> &PeerKnowledge {
+        &self.knowledge
+    }
+
+    /// AV transfers this site granted.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// `true` when no protocol activity is in flight here.
+    pub fn is_idle(&self) -> bool {
+        self.pending_delay.is_empty()
+            && self.pending_imm.is_empty()
+            && self.prepared_remote.is_empty()
+    }
+
+    /// Committed Delay deltas retained in the replication log (not yet
+    /// acknowledged by every peer).
+    pub fn unpropagated(&self) -> usize {
+        self.repl.retained()
+    }
+
+    /// `true` when every peer acknowledged the whole replication log.
+    pub fn fully_propagated(&self) -> bool {
+        self.repl.fully_acked()
+    }
+
+    /// Snapshot of the replication state (persistence).
+    pub fn replication_snapshot(&self) -> crate::replication::ReplicationSnapshot {
+        self.repl.snapshot()
+    }
+
+    /// Next transaction sequence number (persistence; monotone forever).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Rebuilds an accelerator from persisted parts: a recovered local DB
+    /// plus the durable snapshot written by
+    /// [`Accelerator::persist_to_dir`](crate::persist). Volatile protocol
+    /// state starts empty; strategies and knowledge are rebuilt from the
+    /// config (knowledge is a stale-cache anyway — it re-learns from
+    /// traffic).
+    pub fn from_parts(
+        me: SiteId,
+        cfg: &SystemConfig,
+        db: LocalDb,
+        snap: &crate::persist::AcceleratorSnapshot,
+    ) -> Self {
+        let mut knowledge = PeerKnowledge::new();
+        for entry in &cfg.catalog {
+            if entry.class.uses_av() {
+                let split = cfg.split_av(cfg.initial_av_of(entry.id));
+                knowledge.seed(entry.id, &split);
+            }
+        }
+        Accelerator {
+            me,
+            cfg: AcceleratorConfig::from_system(cfg),
+            db,
+            av: AvTable::from_snapshot(&snap.av),
+            knowledge,
+            select: make_select(cfg.select),
+            decide: make_decide(cfg.decide),
+            ledger: TransferLedger::new(),
+            stats: AcceleratorStats::default(),
+            next_seq: snap.next_seq,
+            pending_delay: HashMap::new(),
+            pending_imm: HashMap::new(),
+            prepared_remote: BTreeSet::new(),
+            timers: HashMap::new(),
+            next_timer: 0,
+            repl: ReplicationState::from_snapshot(&snap.replication),
+            anti_entropy_armed: false,
+        }
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    fn fresh_txn(&mut self) -> TxnId {
+        let txn = TxnId::new(self.me, self.next_seq);
+        self.next_seq += 1;
+        txn
+    }
+
+    fn peers(&self) -> impl Iterator<Item = SiteId> + '_ {
+        SiteId::all(self.cfg.n_sites).filter(move |s| *s != self.me)
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, delay: u64, kind: TimerKind) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, kind);
+        ctx.set_timer(delay, token);
+    }
+
+    fn buffer_propagation(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        txn: TxnId,
+        product: ProductId,
+        delta: Volume,
+    ) {
+        self.repl.record(PropagateDelta { txn, product, delta });
+        self.arm_anti_entropy(ctx);
+        let batch = self.cfg.propagation_batch;
+        for peer in self.peers().collect::<Vec<_>>() {
+            if let Some((offset, deltas)) = self.repl.take_batch(peer, batch) {
+                ctx.send(peer, Msg::Propagate { offset, deltas });
+                self.stats.propagation_batches_sent += 1;
+            }
+        }
+    }
+
+    /// Explicit flush: retransmit everything a peer has not acknowledged
+    /// (end-of-run convergence, post-crash anti-entropy).
+    fn flush_propagation(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+        for peer in self.peers().collect::<Vec<_>>() {
+            if let Some((offset, deltas)) = self.repl.take_all_unacked(peer) {
+                ctx.send(peer, Msg::Propagate { offset, deltas });
+                self.stats.propagation_batches_sent += 1;
+            }
+        }
+    }
+
+    // ---- Delay Update (Figs. 3–4) -------------------------------------------
+
+    fn start_delay(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, req: UpdateRequest) {
+        self.start_delay_multi(ctx, vec![(req.product, req.delta)]);
+    }
+
+    /// Begins a Delay transaction over one or more `(product, delta)`
+    /// items, all of which must be AV-managed (regular). Commit is
+    /// all-or-nothing: every decrement's AV must be held before anything
+    /// applies; on failure every hold releases (stays at this site) and
+    /// the transaction rolls back by opposite deltas.
+    fn start_delay_multi(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        raw_items: Vec<(ProductId, Volume)>,
+    ) {
+        let txn = self.fresh_txn();
+        self.db.begin(txn).expect("fresh txn id");
+        // Merge repeated products to their net delta (first-appearance
+        // order): the transaction applies atomically, so only the net
+        // change matters, and AV holds pool per (txn, product) anyway.
+        let mut order: Vec<ProductId> = Vec::new();
+        let mut net: HashMap<ProductId, Volume> = HashMap::new();
+        for (product, delta) in raw_items {
+            if !net.contains_key(&product) {
+                order.push(product);
+            }
+            *net.entry(product).or_insert(Volume::ZERO) += delta;
+        }
+        let items: Vec<DelayItem> = order
+            .into_iter()
+            .map(|product| {
+                let delta = net[&product];
+                DelayItem {
+                    product,
+                    delta,
+                    need: if delta.is_negative() { delta.abs() } else { Volume::ZERO },
+                }
+            })
+            .collect();
+        // Hold phase: take whatever is locally available for every
+        // decrement ("holds the necessary amount of AV in advance", and on
+        // shortage "holds all the AV at the site").
+        let mut fully_held = true;
+        for item in &items {
+            if item.need.is_positive() {
+                let got =
+                    self.av.hold_up_to(txn, item.product, item.need).expect("AV row defined");
+                if got < item.need {
+                    fully_held = false;
+                }
+            }
+        }
+        if fully_held {
+            let pending = PendingDelay {
+                items,
+                current: 0,
+                asked: Vec::new(),
+                outstanding: None,
+                correspondences: 0,
+            };
+            self.commit_delay(ctx, txn, pending);
+            return;
+        }
+        let current = Self::first_unsatisfied(&self.av, txn, &items, 0)
+            .expect("not fully held implies an unsatisfied item");
+        let pending = PendingDelay {
+            items,
+            current,
+            asked: Vec::new(),
+            outstanding: None,
+            correspondences: 0,
+        };
+        self.pending_delay.insert(txn, pending);
+        self.request_more_av(ctx, txn);
+    }
+
+    /// Index of the first item at or after `from` whose AV hold is still
+    /// short of its need.
+    fn first_unsatisfied(
+        av: &AvTable,
+        txn: TxnId,
+        items: &[DelayItem],
+        from: usize,
+    ) -> Option<usize> {
+        items
+            .iter()
+            .enumerate()
+            .skip(from)
+            .find(|(_, item)| item.need.is_positive() && av.held_by(txn, item.product) < item.need)
+            .map(|(i, _)| i)
+    }
+
+    /// One iteration of the selecting/deciding loop: pick the next peer
+    /// and send an AV request, or give up if the round budget is spent.
+    fn request_more_av(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, txn: TxnId) {
+        let Some(pending) = self.pending_delay.get(&txn) else { return };
+        let item = pending.current_item();
+        let held = self.av.held_by(txn, item.product);
+        let shortage = item.need - held;
+        debug_assert!(shortage.is_positive());
+        let product = item.product;
+        let exhausted = pending.asked.len() >= self.cfg.max_av_rounds;
+        let peer = if exhausted {
+            None
+        } else {
+            self.select.select(
+                self.me,
+                self.cfg.n_sites,
+                product,
+                &self.knowledge,
+                &pending.asked,
+                ctx.now(),
+                ctx.rng(),
+            )
+        };
+        match peer {
+            Some(peer) => {
+                let amount = self.decide.request_amount(shortage);
+                let requester_av = self.av.available(product);
+                let pending = self.pending_delay.get_mut(&txn).expect("checked above");
+                pending.asked.push(peer);
+                pending.outstanding = Some(peer);
+                pending.correspondences += 1;
+                self.stats.av_requests_sent += 1;
+                ctx.send(peer, Msg::AvRequest { txn, product, amount, requester_av });
+                let timeout = self.cfg.av_grant_timeout;
+                self.arm_timer(ctx, timeout, TimerKind::AvGrant(txn, peer));
+            }
+            None => {
+                // "Otherwise, all accumulated AV is stored in the local AV
+                // table" — keep what we gathered (across every item), roll
+                // back the txn.
+                let pending = self.pending_delay.remove(&txn).expect("checked above");
+                self.av.release_all(txn);
+                self.db.rollback(txn).expect("txn active");
+                self.stats.delay_aborts += 1;
+                ctx.emit(UpdateOutcome::Aborted {
+                    txn,
+                    reason: AbortReason::InsufficientAv { shortfall: shortage },
+                    correspondences: pending.correspondences,
+                });
+            }
+        }
+    }
+
+    /// Applies and commits every item of a fully-held Delay transaction:
+    /// decrements consume their held AV, increments mint AV, and each
+    /// committed delta enters the replication log.
+    fn commit_delay(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, txn: TxnId, pending: PendingDelay) {
+        for item in &pending.items {
+            if item.need.is_positive() {
+                self.av.consume(txn, item.product, item.need).expect("hold covers need");
+            }
+            // Unchecked: AV bounds the *global* stock; this replica may lag
+            // behind peers' increments whose minted AV already migrated
+            // here.
+            self.db
+                .apply_unchecked(txn, item.product, item.delta)
+                .expect("valid product");
+            if item.delta.is_positive() {
+                self.av.deposit(item.product, item.delta).expect("AV row defined");
+            }
+        }
+        self.db.commit(txn).expect("txn active");
+        if pending.correspondences == 0 {
+            self.stats.delay_local_commits += 1;
+        } else {
+            self.stats.delay_remote_commits += 1;
+        }
+        for item in &pending.items {
+            self.buffer_propagation(ctx, txn, item.product, item.delta);
+        }
+        ctx.emit(UpdateOutcome::Committed {
+            txn,
+            kind: UpdateKind::Delay,
+            completed_at: ctx.now(),
+            correspondences: pending.correspondences,
+        });
+        if self.cfg.proactive_push {
+            for item in &pending.items {
+                if item.delta.is_positive() {
+                    self.maybe_push_av(ctx, item.product);
+                }
+            }
+        }
+    }
+
+    /// Circulation policy (A9): if this site's available AV for `product`
+    /// exceeds twice the believed mean of its peers, push half the
+    /// surplus to the believed-poorest peer.
+    fn maybe_push_av(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, product: ProductId) {
+        let n_peers = self.cfg.n_sites.saturating_sub(1);
+        if n_peers == 0 {
+            return;
+        }
+        let ranked = self.knowledge.ranked_peers(self.me, self.cfg.n_sites, product, &[]);
+        let mean_peer: i64 = ranked
+            .iter()
+            .map(|p| self.knowledge.known(*p, product).get())
+            .sum::<i64>()
+            / n_peers as i64;
+        let available = self.av.available(product);
+        if available.get() <= 2 * mean_peer.max(1) {
+            return;
+        }
+        let surplus = available - Volume(mean_peer.max(0));
+        let push = surplus.half();
+        if !push.is_positive() {
+            return;
+        }
+        let poorest = *ranked.last().expect("n_peers > 0");
+        let pushed = self.av.withdraw_up_to(product, push).expect("push ≤ available");
+        if !pushed.is_positive() {
+            return;
+        }
+        self.ledger.record(TransferRecord {
+            from: self.me,
+            to: poorest,
+            product,
+            amount: pushed,
+            at: ctx.now(),
+        });
+        self.stats.av_pushes_sent += 1;
+        self.stats.av_volume_pushed += pushed.get();
+        let pusher_av = self.av.available(product);
+        self.knowledge.update(poorest, product, self.knowledge.known(poorest, product) + pushed, ctx.now());
+        ctx.send(poorest, Msg::AvPush { product, amount: pushed, pusher_av });
+    }
+
+    fn on_av_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        from: SiteId,
+        txn: TxnId,
+        product: ProductId,
+        amount: Volume,
+        requester_av: Volume,
+    ) {
+        self.knowledge.update(from, product, requester_av, ctx.now());
+        let grant = if self.av.is_defined(product) {
+            let available = self.av.available(product);
+            let g = self.decide.grant_amount(available, amount);
+            self.av.withdraw_up_to(product, g).expect("grant ≤ available")
+        } else {
+            Volume::ZERO
+        };
+        if grant.is_positive() {
+            self.ledger.record(TransferRecord {
+                from: self.me,
+                to: from,
+                product,
+                amount: grant,
+                at: ctx.now(),
+            });
+            self.stats.av_volume_granted += grant.get();
+        }
+        self.stats.av_grants_answered += 1;
+        let grantor_av = self.av.available(product);
+        ctx.send(from, Msg::AvGrant { txn, product, amount: grant, grantor_av });
+    }
+
+    fn on_av_grant(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        from: SiteId,
+        txn: TxnId,
+        product: ProductId,
+        amount: Volume,
+        grantor_av: Volume,
+    ) {
+        self.knowledge.update(from, product, grantor_av, ctx.now());
+        self.stats.av_volume_received += amount.get();
+        // Deposit first so the volume is never lost, even if the requesting
+        // transaction is gone (aborted by recovery): the AV simply stays at
+        // this site.
+        if amount.is_positive() && self.av.is_defined(product) {
+            self.av.deposit(product, amount).expect("defined row");
+        }
+        let Some(pending) = self.pending_delay.get_mut(&txn) else { return };
+        let item = pending.current_item();
+        debug_assert_eq!(item.product, product);
+        if pending.outstanding != Some(from) {
+            // A grant we already gave up on (timeout fired first): the
+            // volume stays deposited here, but the negotiation has moved
+            // on — do not double-drive it.
+            return;
+        }
+        pending.outstanding = None;
+        if amount.is_positive() {
+            let held = self.av.held_by(txn, product);
+            let want_more = item.need - held;
+            let take = want_more.min(amount);
+            if take.is_positive() {
+                let got = self.av.hold_up_to(txn, product, take).expect("just deposited");
+                debug_assert_eq!(got, take);
+            }
+        }
+        let held = self.av.held_by(txn, product);
+        if held >= item.need {
+            // Current item satisfied; move to the next short item (its
+            // own fresh round of peer selection) or commit everything.
+            let pending = self.pending_delay.get_mut(&txn).expect("present");
+            let items = std::mem::take(&mut pending.items);
+            let next = Self::first_unsatisfied(&self.av, txn, &items, pending.current + 1);
+            let pending = self.pending_delay.get_mut(&txn).expect("present");
+            pending.items = items;
+            match next {
+                Some(next) => {
+                    pending.current = next;
+                    pending.asked.clear();
+                    self.request_more_av(ctx, txn);
+                }
+                None => {
+                    let pending = self.pending_delay.remove(&txn).expect("present");
+                    self.commit_delay(ctx, txn, pending);
+                }
+            }
+        } else {
+            self.request_more_av(ctx, txn);
+        }
+    }
+
+    // ---- Immediate Update (Fig. 5) ------------------------------------------
+
+    fn start_immediate(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, req: UpdateRequest) {
+        let txn = self.fresh_txn();
+        self.db.begin(txn).expect("fresh txn id");
+        // Local lock + apply first (the coordinator is also a participant).
+        let local_ok = self
+            .db
+            .lock(txn, req.product, LockMode::Exclusive)
+            .and_then(|()| self.db.apply(txn, req.product, req.delta).map(|_| ()));
+        if let Err(e) = local_ok {
+            self.db.rollback(txn).expect("txn active");
+            self.stats.imm_aborts += 1;
+            let reason = match e {
+                AvdbError::NegativeStock { .. } => AbortReason::NegativeStock,
+                _ => AbortReason::PrepareFailed { site: self.me },
+            };
+            ctx.emit(UpdateOutcome::Aborted { txn, reason, correspondences: 0 });
+            return;
+        }
+        if self.cfg.n_sites == 1 {
+            self.db.commit(txn).expect("txn active");
+            self.stats.imm_commits += 1;
+            ctx.emit(UpdateOutcome::Committed {
+                txn,
+                kind: UpdateKind::Immediate,
+                completed_at: ctx.now(),
+                correspondences: 0,
+            });
+            return;
+        }
+        let mut correspondences = 0;
+        for peer in self.peers().collect::<Vec<_>>() {
+            ctx.send(peer, Msg::ImmPrepare { txn, product: req.product, delta: req.delta });
+            correspondences += 1;
+        }
+        self.pending_imm.insert(
+            txn,
+            PendingImm { votes: BTreeMap::new(), decided: None, correspondences },
+        );
+        let timeout = self.cfg.imm_vote_timeout;
+        self.arm_timer(ctx, timeout, TimerKind::ImmVotes(txn));
+    }
+
+    fn on_imm_prepare(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        from: SiteId,
+        txn: TxnId,
+        product: ProductId,
+        delta: Volume,
+    ) {
+        let ready = self
+            .db
+            .begin(txn)
+            .and_then(|()| self.db.lock(txn, product, LockMode::Exclusive))
+            .and_then(|()| self.db.apply(txn, product, delta).map(|_| ()))
+            .and_then(|()| self.db.prepare(txn))
+            .is_ok();
+        if ready {
+            self.prepared_remote.insert(txn);
+            let timeout = self.cfg.participant_timeout;
+            self.arm_timer(ctx, timeout, TimerKind::ImmDecision(txn));
+        } else if self.db.txn_state(txn).is_some() {
+            // Partial failure (e.g. lock acquired, apply rejected): undo.
+            self.db.rollback(txn).expect("txn active");
+        }
+        ctx.send(from, Msg::ImmVote { txn, ready });
+    }
+
+    fn on_imm_vote(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        from: SiteId,
+        txn: TxnId,
+        ready: bool,
+    ) {
+        let Some(pending) = self.pending_imm.get_mut(&txn) else { return };
+        if pending.decided.is_some() {
+            return; // late vote after a timeout decision
+        }
+        pending.votes.insert(from, ready);
+        if !ready {
+            self.decide_immediate(ctx, txn, false, AbortReason::PrepareFailed { site: from });
+            return;
+        }
+        if pending.votes.len() == self.cfg.n_sites - 1
+            && pending.votes.values().all(|v| *v)
+        {
+            self.decide_immediate(ctx, txn, true, AbortReason::RolledBack);
+        }
+    }
+
+    /// Sends the decision to all participants and settles local state.
+    fn decide_immediate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        txn: TxnId,
+        commit: bool,
+        abort_reason: AbortReason,
+    ) {
+        let peers: Vec<SiteId> = self.peers().collect();
+        let Some(pending) = self.pending_imm.get_mut(&txn) else { return };
+        pending.decided = Some(commit);
+        for peer in peers {
+            ctx.send(peer, Msg::ImmDecision { txn, commit });
+            pending.correspondences += 1;
+        }
+        let correspondences = pending.correspondences;
+        if commit {
+            self.db.commit(txn).expect("txn active");
+            self.stats.imm_commits += 1;
+            // Completion is judged by the base site's Done message; when
+            // the coordinator *is* the base, completion is immediate.
+            if self.me == SiteId::BASE {
+                self.pending_imm.remove(&txn);
+                ctx.emit(UpdateOutcome::Committed {
+                    txn,
+                    kind: UpdateKind::Immediate,
+                    completed_at: ctx.now(),
+                    correspondences,
+                });
+            } else {
+                // If the base dies between its vote and its Done, fall back
+                // to local completion after a timeout — the commit itself
+                // is already decided and distributed.
+                let timeout = self.cfg.imm_vote_timeout;
+                self.arm_timer(ctx, timeout, TimerKind::ImmCompletion(txn));
+            }
+        } else {
+            self.db.rollback(txn).expect("txn active");
+            self.stats.imm_aborts += 1;
+            self.pending_imm.remove(&txn);
+            ctx.emit(UpdateOutcome::Aborted {
+                txn,
+                reason: abort_reason,
+                correspondences,
+            });
+        }
+    }
+
+    fn on_imm_decision(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        from: SiteId,
+        txn: TxnId,
+        commit: bool,
+    ) {
+        if self.prepared_remote.remove(&txn) {
+            if commit {
+                self.db.commit(txn).expect("prepared txn");
+            } else {
+                self.db.rollback(txn).expect("prepared txn");
+            }
+        }
+        // Unknown txn (post-crash, or already timed out and unilaterally
+        // aborted): still acknowledge so the coordinator can finish.
+        ctx.send(from, Msg::ImmDone { txn });
+    }
+
+    fn on_imm_done(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, from: SiteId, txn: TxnId) {
+        if !self.pending_imm.contains_key(&txn) {
+            return;
+        }
+        // "The requesting accelerator judges the completion of the update
+        // with the message from the accelerator at the base DB."
+        if self.pending_imm[&txn].decided == Some(true) && from == SiteId::BASE {
+            let correspondences = self.pending_imm[&txn].correspondences;
+            self.pending_imm.remove(&txn);
+            ctx.emit(UpdateOutcome::Committed {
+                txn,
+                kind: UpdateKind::Immediate,
+                completed_at: ctx.now(),
+                correspondences,
+            });
+        }
+    }
+
+    fn on_imm_votes_timeout(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, txn: TxnId) {
+        let Some(pending) = self.pending_imm.get(&txn) else { return };
+        if pending.decided.is_some() {
+            return;
+        }
+        let missing = self
+            .peers()
+            .find(|p| !self.pending_imm[&txn].votes.contains_key(p))
+            .unwrap_or(SiteId::BASE);
+        self.decide_immediate(ctx, txn, false, AbortReason::SiteUnavailable { site: missing });
+    }
+
+    /// The asked peer never answered: presume it dead, remember it as
+    /// holding nothing, and continue with the next candidate.
+    fn on_av_grant_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        txn: TxnId,
+        peer: SiteId,
+    ) {
+        let Some(pending) = self.pending_delay.get_mut(&txn) else { return };
+        if pending.outstanding != Some(peer) {
+            return; // the grant arrived before the timeout
+        }
+        pending.outstanding = None;
+        let product = pending.current_item().product;
+        self.knowledge.update(peer, product, Volume::ZERO, ctx.now());
+        self.request_more_av(ctx, txn);
+    }
+
+    fn on_participant_timeout(&mut self, txn: TxnId) {
+        // Presumed abort: the decision never arrived (coordinator crashed
+        // or unreachable); release the lock and undo.
+        if self.prepared_remote.remove(&txn) {
+            let _ = self.db.rollback(txn);
+        }
+    }
+}
+
+impl Accelerator {
+    fn arm_anti_entropy(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+        if let Some(interval) = self.cfg.anti_entropy_interval {
+            if !self.anti_entropy_armed {
+                self.anti_entropy_armed = true;
+                self.arm_timer(ctx, interval, TimerKind::AntiEntropy);
+            }
+        }
+    }
+}
+
+impl Actor for Accelerator {
+    type Msg = Msg;
+    type Input = Input;
+    type Output = UpdateOutcome;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+        self.arm_anti_entropy(ctx);
+    }
+
+    fn on_input(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, input: Input) {
+        match input {
+            Input::Update(req) => {
+                debug_assert_eq!(req.site, self.me, "update injected at wrong site");
+                // The checking function: AV row defined → Delay, else
+                // Immediate (paper §3.3).
+                if self.db.class(req.product).is_err() {
+                    let txn = self.fresh_txn();
+                    ctx.emit(UpdateOutcome::Aborted {
+                        txn,
+                        reason: AbortReason::UnknownProduct,
+                        correspondences: 0,
+                    });
+                } else if self.av.is_defined(req.product) {
+                    self.start_delay(ctx, req);
+                } else {
+                    self.start_immediate(ctx, req);
+                }
+            }
+            Input::MultiUpdate { items } => {
+                // The checking function applied to every item: all must be
+                // Delay-eligible.
+                let all_delay = !items.is_empty()
+                    && items.iter().all(|(product, _)| {
+                        self.db.class(*product).is_ok() && self.av.is_defined(*product)
+                    });
+                if all_delay {
+                    self.start_delay_multi(ctx, items);
+                } else {
+                    let txn = self.fresh_txn();
+                    ctx.emit(UpdateOutcome::Aborted {
+                        txn,
+                        reason: AbortReason::NotDelayEligible,
+                        correspondences: 0,
+                    });
+                }
+            }
+            Input::FlushPropagation => self.flush_propagation(ctx),
+            Input::Reclassify { product, class, local_av } => {
+                if class.uses_av() {
+                    self.av.define(product, local_av).expect("valid product");
+                } else if self.av.is_defined(product) {
+                    self.av.undefine(product).expect("valid product");
+                }
+                self.db.reclassify(product, class).expect("valid product");
+            }
+            Input::Checkpoint => self.db.checkpoint(),
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, from: SiteId, msg: Msg) {
+        match msg {
+            Msg::AvRequest { txn, product, amount, requester_av } => {
+                self.on_av_request(ctx, from, txn, product, amount, requester_av)
+            }
+            Msg::AvGrant { txn, product, amount, grantor_av } => {
+                self.on_av_grant(ctx, from, txn, product, amount, grantor_av)
+            }
+            Msg::AvPush { product, amount, pusher_av } => {
+                self.knowledge.update(from, product, pusher_av, ctx.now());
+                if self.av.is_defined(product) {
+                    self.av.deposit(product, amount).expect("defined row");
+                }
+                // If the product was reclassified here meanwhile the
+                // volume is returned on the ack path implicitly by the
+                // receiver_av report (the pusher learns we hold nothing);
+                // conservation-wise the deposit above only skips when the
+                // row is undefined everywhere, i.e. the product left the
+                // Delay regime entirely.
+                let receiver_av = self.av.available(product);
+                ctx.send(from, Msg::AvPushAck { product, receiver_av });
+            }
+            Msg::AvPushAck { product, receiver_av } => {
+                self.knowledge.update(from, product, receiver_av, ctx.now());
+            }
+            Msg::Propagate { offset, deltas } => {
+                let (upto, fresh) = self.repl.fresh_deltas(from, offset, deltas);
+                for d in &fresh {
+                    self.db
+                        .apply_committed(d.txn, d.product, d.delta)
+                        .expect("catalog is identical at all sites");
+                    self.stats.propagation_deltas_applied += 1;
+                }
+                ctx.send(from, Msg::PropagateAck { upto });
+            }
+            Msg::PropagateAck { upto } => self.repl.on_ack(from, upto),
+            Msg::ImmPrepare { txn, product, delta } => {
+                self.on_imm_prepare(ctx, from, txn, product, delta)
+            }
+            Msg::ImmVote { txn, ready } => self.on_imm_vote(ctx, from, txn, ready),
+            Msg::ImmDecision { txn, commit } => self.on_imm_decision(ctx, from, txn, commit),
+            Msg::ImmDone { txn } => self.on_imm_done(ctx, from, txn),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, token: u64) {
+        match self.timers.remove(&token) {
+            Some(TimerKind::ImmVotes(txn)) => self.on_imm_votes_timeout(ctx, txn),
+            Some(TimerKind::ImmDecision(txn)) => self.on_participant_timeout(txn),
+            Some(TimerKind::AvGrant(txn, peer)) => self.on_av_grant_timeout(ctx, txn, peer),
+            Some(TimerKind::AntiEntropy) => {
+                self.anti_entropy_armed = false;
+                self.flush_propagation(ctx);
+                // Keep beating only while some peer is behind; the next
+                // local commit re-arms otherwise.
+                if !self.repl.fully_acked() {
+                    self.arm_anti_entropy(ctx);
+                }
+            }
+            Some(TimerKind::ImmCompletion(txn)) => {
+                if let Some(pending) = self.pending_imm.remove(&txn) {
+                    debug_assert_eq!(pending.decided, Some(true));
+                    ctx.emit(UpdateOutcome::Committed {
+                        txn,
+                        kind: UpdateKind::Immediate,
+                        completed_at: ctx.now(),
+                        correspondences: pending.correspondences,
+                    });
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Fail-stop: volatile protocol state is gone. The WAL, AV ledger
+        // and catalog are durable; the table is rebuilt on recover.
+        self.db.crash();
+        self.stats.wiped_in_flight +=
+            (self.pending_delay.len() + self.pending_imm.len()) as u64;
+        self.pending_delay.clear();
+        self.pending_imm.clear();
+        self.prepared_remote.clear();
+        self.timers.clear();
+        self.anti_entropy_armed = false;
+        // Holds belonged to the in-flight transactions that just died.
+        self.av.release_all_holds();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+        self.db.recover().expect("WAL replay must succeed");
+        self.stats.recoveries += 1;
+        // Timers are volatile; restart the anti-entropy heartbeat.
+        self.arm_anti_entropy(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SystemConfig {
+        SystemConfig::builder()
+            .sites(3)
+            .regular_products(2, Volume(90))
+            .non_regular_products(1, Volume(30))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn constructor_defines_av_for_regular_products_only() {
+        let cfg = config();
+        let acc = Accelerator::new(SiteId(1), &cfg);
+        assert!(acc.av().is_defined(ProductId(0)));
+        assert!(acc.av().is_defined(ProductId(1)));
+        assert!(!acc.av().is_defined(ProductId(2)));
+        // Uniform split of 90 over 3 sites.
+        assert_eq!(acc.av().available(ProductId(0)), Volume(30));
+        assert!(acc.is_idle());
+    }
+
+    #[test]
+    fn knowledge_seeded_from_initial_split() {
+        let cfg = config();
+        let acc = Accelerator::new(SiteId(2), &cfg);
+        assert_eq!(acc.knowledge().known(SiteId(0), ProductId(0)), Volume(30));
+        assert_eq!(acc.knowledge().known(SiteId(1), ProductId(0)), Volume(30));
+    }
+
+    #[test]
+    fn config_derivation() {
+        let cfg = config();
+        let ac = AcceleratorConfig::from_system(&cfg);
+        assert_eq!(ac.n_sites, 3);
+        assert_eq!(ac.max_av_rounds, 2);
+        assert_eq!(ac.propagation_batch, 1);
+        assert!(ac.imm_vote_timeout > 0);
+        assert!(ac.participant_timeout > ac.imm_vote_timeout);
+    }
+}

@@ -1,0 +1,229 @@
+//! Wire protocol of the autonomous-consistency mechanism.
+//!
+//! Every exchange is a request/reply pair so the paper's accounting
+//! ("2 messages are counted as 1 correspondence") holds exactly:
+//!
+//! | request              | reply            | purpose                      |
+//! |----------------------|------------------|------------------------------|
+//! | [`Msg::AvRequest`]   | [`Msg::AvGrant`] | AV transfer (Delay, Fig. 4)  |
+//! | [`Msg::Propagate`]   | [`Msg::PropagateAck`] | lazy replication        |
+//! | [`Msg::ImmPrepare`]  | [`Msg::ImmVote`] | Immediate lock+apply (Fig. 5)|
+//! | [`Msg::ImmDecision`] | [`Msg::ImmDone`] | Immediate commit/abort       |
+//!
+//! AV messages piggyback the sender's current available AV for the
+//! product; that is the *only* way peer knowledge spreads (§4: the
+//! selection information "is collected at the necessary communication for
+//! AV management and may not be current data").
+
+use avdb_simnet::MsgInfo;
+use avdb_types::{ProductClass, ProductId, TxnId, UpdateRequest, Volume};
+use serde::{Deserialize, Serialize};
+
+/// One committed delta carried by a propagation batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagateDelta {
+    /// Transaction that committed at the origin.
+    pub txn: TxnId,
+    /// Product updated.
+    pub product: ProductId,
+    /// Committed stock change.
+    pub delta: Volume,
+}
+
+/// Protocol messages exchanged between accelerators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Delay path: ask a peer for AV.
+    AvRequest {
+        /// Requesting transaction (grants are matched back to it).
+        txn: TxnId,
+        /// Product whose AV is short.
+        product: ProductId,
+        /// Volume requested (the deciding function's request amount).
+        amount: Volume,
+        /// Requester's available AV after holding everything it has —
+        /// piggybacked knowledge for the grantor's future selections.
+        requester_av: Volume,
+    },
+    /// Delay path: grant (possibly zero) AV back to a requester.
+    AvGrant {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// Product granted.
+        product: ProductId,
+        /// Volume granted; zero means "have nothing to give".
+        amount: Volume,
+        /// Grantor's remaining available AV — piggybacked knowledge.
+        grantor_av: Volume,
+    },
+    /// Lazy replication of committed Delay deltas. `offset` is the
+    /// absolute index of `deltas[0]` in the origin's replication log;
+    /// receivers deduplicate on it, making delivery idempotent (crash
+    /// retransmissions are safe).
+    Propagate {
+        /// Absolute log offset of the first delta.
+        offset: u64,
+        /// Deltas in origin commit order.
+        deltas: Vec<PropagateDelta>,
+    },
+    /// Cumulative acknowledgement of propagation (keeps pairing exact and
+    /// lets the origin truncate its replication log).
+    PropagateAck {
+        /// The receiver has applied the origin's log below this offset.
+        upto: u64,
+    },
+    /// Proactive circulation (§3.4 extension): a site pushes surplus AV
+    /// to the peer it believes poorest, without waiting for a shortage.
+    AvPush {
+        /// Product whose AV is pushed.
+        product: ProductId,
+        /// Volume pushed (always positive).
+        amount: Volume,
+        /// Pusher's remaining available AV — piggybacked knowledge.
+        pusher_av: Volume,
+    },
+    /// Acknowledges a push (keeps pairing exact) and reports the
+    /// receiver's new AV level back.
+    AvPushAck {
+        /// Product acknowledged.
+        product: ProductId,
+        /// Receiver's available AV after the deposit.
+        receiver_av: Volume,
+    },
+    /// Immediate path: coordinator asks a participant to lock and apply.
+    ImmPrepare {
+        /// The distributed transaction.
+        txn: TxnId,
+        /// Product updated.
+        product: ProductId,
+        /// Stock change.
+        delta: Volume,
+    },
+    /// Immediate path: participant's vote ("ready and commitment messages
+    /// are exchanged").
+    ImmVote {
+        /// The distributed transaction.
+        txn: TxnId,
+        /// `true` when locked, applied and prepared.
+        ready: bool,
+    },
+    /// Immediate path: coordinator's decision.
+    ImmDecision {
+        /// The distributed transaction.
+        txn: TxnId,
+        /// Commit or abort.
+        commit: bool,
+    },
+    /// Immediate path: participant finished executing the decision. The
+    /// coordinator "judges the completion of the update with the message
+    /// from the accelerator at the base DB".
+    ImmDone {
+        /// The distributed transaction.
+        txn: TxnId,
+    },
+}
+
+impl MsgInfo for Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::AvRequest { .. } => "av-request",
+            Msg::AvGrant { .. } => "av-grant",
+            Msg::AvPush { .. } => "av-push",
+            Msg::AvPushAck { .. } => "av-push-ack",
+            Msg::Propagate { .. } => "propagate",
+            Msg::PropagateAck { .. } => "propagate-ack",
+            Msg::ImmPrepare { .. } => "imm-prepare",
+            Msg::ImmVote { .. } => "imm-vote",
+            Msg::ImmDecision { .. } => "imm-decision",
+            Msg::ImmDone { .. } => "imm-done",
+        }
+    }
+}
+
+/// External inputs the harness can inject into an accelerator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Input {
+    /// A user update request (the normal case).
+    Update(UpdateRequest),
+    /// A multi-item update: all `(product, delta)` pairs commit atomically
+    /// through the Delay path. Every product must be regular (AV-managed);
+    /// mixing in a non-regular product aborts the whole transaction — the
+    /// Immediate path is single-record by the paper's Fig. 5 and combining
+    /// regimes in one transaction is out of scope.
+    MultiUpdate {
+        /// Items in application order.
+        items: Vec<(ProductId, Volume)>,
+    },
+    /// Force-flush the propagation buffer regardless of batch size
+    /// (used at end of runs to reach replica convergence).
+    FlushPropagation,
+    /// Reclassify a product at runtime (adaptation experiments). The
+    /// harness injects this at every site simultaneously.
+    Reclassify {
+        /// Product to reclassify.
+        product: ProductId,
+        /// New class.
+        class: ProductClass,
+        /// System-wide AV to define locally when switching to `Regular`
+        /// (this site's share of the re-split).
+        local_av: Volume,
+    },
+    /// Take a local checkpoint (WAL truncation).
+    Checkpoint,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avdb_types::SiteId;
+
+    fn txn() -> TxnId {
+        TxnId::new(SiteId(1), 9)
+    }
+
+    #[test]
+    fn every_message_kind_is_distinct() {
+        let msgs = vec![
+            Msg::AvRequest { txn: txn(), product: ProductId(0), amount: Volume(1), requester_av: Volume(0) },
+            Msg::AvGrant { txn: txn(), product: ProductId(0), amount: Volume(1), grantor_av: Volume(0) },
+            Msg::AvPush { product: ProductId(0), amount: Volume(1), pusher_av: Volume(0) },
+            Msg::AvPushAck { product: ProductId(0), receiver_av: Volume(1) },
+            Msg::Propagate { offset: 0, deltas: vec![] },
+            Msg::PropagateAck { upto: 0 },
+            Msg::ImmPrepare { txn: txn(), product: ProductId(0), delta: Volume(1) },
+            Msg::ImmVote { txn: txn(), ready: true },
+            Msg::ImmDecision { txn: txn(), commit: true },
+            Msg::ImmDone { txn: txn() },
+        ];
+        let mut kinds: Vec<&str> = msgs.iter().map(|m| m.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn requests_and_replies_pair_by_name() {
+        // The accounting relies on one reply per request; the names encode
+        // the pairing for humans reading traces.
+        assert_eq!(
+            Msg::AvRequest { txn: txn(), product: ProductId(0), amount: Volume(1), requester_av: Volume(0) }.kind(),
+            "av-request"
+        );
+        assert_eq!(
+            Msg::AvGrant { txn: txn(), product: ProductId(0), amount: Volume(0), grantor_av: Volume(0) }.kind(),
+            "av-grant"
+        );
+        assert_eq!(Msg::Propagate { offset: 1, deltas: vec![] }.kind(), "propagate");
+        assert_eq!(Msg::PropagateAck { upto: 1 }.kind(), "propagate-ack");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Msg::Propagate {
+            offset: 3,
+            deltas: vec![PropagateDelta { txn: txn(), product: ProductId(2), delta: Volume(-4) }],
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(m, serde_json::from_str::<Msg>(&json).unwrap());
+    }
+}

@@ -1,0 +1,420 @@
+//! Lazy replication state: the "propagated to all the system at the
+//! earliest" half of Delay Update, made crash-tolerant.
+//!
+//! Every committed Delay delta is appended to a per-site replication log
+//! (durable — it is derivable from the WAL suffix). Peers acknowledge a
+//! cumulative *applied-up-to* offset; the log truncates below the minimum
+//! acknowledged offset. Retransmission after a receiver crash is just
+//! "send everything above the peer's ack again", and receivers deduplicate
+//! by per-origin applied offsets, so delivery is idempotent.
+
+use crate::protocol::PropagateDelta;
+use avdb_types::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Sender + receiver replication bookkeeping for one site.
+#[derive(Debug)]
+pub struct ReplicationState {
+    /// Committed Delay deltas not yet acknowledged by every peer.
+    log: VecDeque<PropagateDelta>,
+    /// Absolute index of `log[0]`.
+    base: u64,
+    /// Per-peer highest acknowledged absolute offset (index = site id).
+    acked: Vec<u64>,
+    /// Per-peer highest offset already sent (normal batching resumes from
+    /// here; explicit flushes retransmit from `acked`).
+    sent: Vec<u64>,
+    /// Receiver side: per-origin applied-up-to offset (dedup cursor).
+    applied_from: HashMap<SiteId, u64>,
+    me: SiteId,
+}
+
+impl ReplicationState {
+    /// Fresh state for `me` in a system of `n_sites`.
+    pub fn new(me: SiteId, n_sites: usize) -> Self {
+        ReplicationState {
+            log: VecDeque::new(),
+            base: 0,
+            acked: vec![0; n_sites],
+            sent: vec![0; n_sites],
+            applied_from: HashMap::new(),
+            me,
+        }
+    }
+
+    /// Absolute end offset of the log.
+    pub fn end(&self) -> u64 {
+        self.base + self.log.len() as u64
+    }
+
+    /// Number of retained (unacknowledged-somewhere) deltas.
+    pub fn retained(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Appends a committed delta.
+    pub fn record(&mut self, delta: PropagateDelta) {
+        self.log.push_back(delta);
+    }
+
+    /// Deltas a *normal batch flush* should send to `peer`: everything
+    /// committed since the last send, if it reaches `batch` deltas.
+    /// Returns `(offset, deltas)` and advances the sent cursor.
+    pub fn take_batch(&mut self, peer: SiteId, batch: usize) -> Option<(u64, Vec<PropagateDelta>)> {
+        debug_assert_ne!(peer, self.me);
+        let from = self.sent[peer.index()].max(self.base);
+        let end = self.end();
+        if end.saturating_sub(from) < batch as u64 {
+            return None;
+        }
+        let deltas = self.slice(from, end);
+        self.sent[peer.index()] = end;
+        Some((from, deltas))
+    }
+
+    /// Deltas an *explicit flush / retransmission* should send to `peer`:
+    /// everything above the peer's acknowledgement (duplicates possible;
+    /// receivers dedup). Advances the sent cursor.
+    pub fn take_all_unacked(&mut self, peer: SiteId) -> Option<(u64, Vec<PropagateDelta>)> {
+        debug_assert_ne!(peer, self.me);
+        let from = self.acked[peer.index()].max(self.base);
+        let end = self.end();
+        if from >= end {
+            return None;
+        }
+        let deltas = self.slice(from, end);
+        self.sent[peer.index()] = end;
+        Some((from, deltas))
+    }
+
+    fn slice(&self, from: u64, to: u64) -> Vec<PropagateDelta> {
+        let lo = (from - self.base) as usize;
+        let hi = (to - self.base) as usize;
+        self.log.iter().skip(lo).take(hi - lo).copied().collect()
+    }
+
+    /// Handles a cumulative acknowledgement from `peer`; truncates the log
+    /// below the minimum ack.
+    pub fn on_ack(&mut self, peer: SiteId, upto: u64) {
+        let a = &mut self.acked[peer.index()];
+        *a = (*a).max(upto);
+        let s = &mut self.sent[peer.index()];
+        *s = (*s).max(upto);
+        let min_acked = self
+            .acked
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.me.index())
+            .map(|(_, a)| *a)
+            .min()
+            .unwrap_or(self.end());
+        while self.base < min_acked && !self.log.is_empty() {
+            self.log.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Receiver side: given an incoming batch from `origin` starting at
+    /// `offset`, returns the sub-slice that has **not** been applied yet
+    /// and advances the dedup cursor. The returned offset is the new
+    /// applied-up-to value to acknowledge.
+    ///
+    /// A batch starting *above* the cursor has a gap below it — some
+    /// earlier batch was lost to a crash or partition. Applying it would
+    /// advance the cursor over deltas never seen, silently diverging the
+    /// replica, so it is rejected wholesale: nothing applies, and the ack
+    /// re-states the current cursor. The origin's next explicit flush
+    /// (anti-entropy) retransmits from that acknowledged offset and closes
+    /// the gap.
+    pub fn fresh_deltas(
+        &mut self,
+        origin: SiteId,
+        offset: u64,
+        deltas: Vec<PropagateDelta>,
+    ) -> (u64, Vec<PropagateDelta>) {
+        let cursor = self.applied_from.entry(origin).or_insert(0);
+        if offset > *cursor {
+            return (*cursor, Vec::new());
+        }
+        let skip = (*cursor - offset) as usize;
+        let new_upto = (offset + deltas.len() as u64).max(*cursor);
+        let fresh = if skip >= deltas.len() {
+            Vec::new()
+        } else {
+            deltas[skip..].to_vec()
+        };
+        *cursor = new_upto;
+        (new_upto, fresh)
+    }
+
+    /// Highest applied offset from `origin` (test hook).
+    pub fn applied_from(&self, origin: SiteId) -> u64 {
+        self.applied_from.get(&origin).copied().unwrap_or(0)
+    }
+
+    /// `true` when every peer has acknowledged the whole log.
+    pub fn fully_acked(&self) -> bool {
+        let end = self.end();
+        self.acked
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.me.index())
+            .all(|(_, a)| *a >= end)
+    }
+
+    /// Durable snapshot of the whole replication state. `sent` cursors
+    /// are rewound to `acked` — in-flight batches at snapshot time may or
+    /// may not have arrived, and resending from the acknowledgement is
+    /// always safe (receivers dedup).
+    pub fn snapshot(&self) -> ReplicationSnapshot {
+        ReplicationSnapshot {
+            log: self.log.iter().copied().collect(),
+            base: self.base,
+            acked: self.acked.clone(),
+            applied_from: self.applied_from.iter().map(|(s, v)| (s.0, *v)).collect(),
+            me: self.me.0,
+        }
+    }
+
+    /// Rebuilds from a snapshot.
+    pub fn from_snapshot(snap: &ReplicationSnapshot) -> Self {
+        ReplicationState {
+            log: snap.log.iter().copied().collect(),
+            base: snap.base,
+            acked: snap.acked.clone(),
+            sent: snap.acked.clone(),
+            applied_from: snap
+                .applied_from
+                .iter()
+                .map(|(s, v)| (SiteId(*s), *v))
+                .collect(),
+            me: SiteId(snap.me),
+        }
+    }
+}
+
+/// Serializable replication state (see [`ReplicationState::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationSnapshot {
+    /// Retained deltas.
+    pub log: Vec<PropagateDelta>,
+    /// Absolute index of `log[0]`.
+    pub base: u64,
+    /// Per-peer cumulative acknowledgements.
+    pub acked: Vec<u64>,
+    /// Per-origin applied cursors (receiver side), keyed by raw site id.
+    pub applied_from: std::collections::BTreeMap<u32, u64>,
+    /// This site's raw id.
+    pub me: u32,
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use avdb_types::{ProductId, TxnId, Volume};
+    use proptest::prelude::*;
+
+    fn d(seq: u64) -> PropagateDelta {
+        PropagateDelta {
+            txn: TxnId::new(SiteId(0), seq),
+            product: ProductId(0),
+            delta: Volume(1),
+        }
+    }
+
+    /// Random interleavings of records, lossy sends, retransmissions and
+    /// acks: the receiver must end up having applied exactly the prefix
+    /// `0..cursor` with no delta applied twice or skipped.
+    #[derive(Clone, Debug)]
+    enum Step {
+        Record,
+        /// Normal batch send to peer 1 with the given threshold; the bool
+        /// decides whether the network delivers it.
+        Batch(usize, bool),
+        /// Explicit flush to peer 1; the bool decides delivery.
+        Flush(bool),
+    }
+
+    fn steps() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            4 => Just(Step::Record),
+            3 => (1usize..4, any::<bool>()).prop_map(|(b, ok)| Step::Batch(b, ok)),
+            2 => any::<bool>().prop_map(Step::Flush),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn prop_receiver_applies_exact_prefix(seq in prop::collection::vec(steps(), 1..60)) {
+            let mut sender = ReplicationState::new(SiteId(0), 2);
+            let mut receiver = ReplicationState::new(SiteId(1), 2);
+            let mut recorded = 0u64;
+            let mut applied: Vec<u64> = Vec::new();
+            let deliver = |sender: &mut ReplicationState,
+                               receiver: &mut ReplicationState,
+                               applied: &mut Vec<u64>,
+                               payload: Option<(u64, Vec<PropagateDelta>)>,
+                               ok: bool| {
+                if let Some((offset, deltas)) = payload {
+                    if ok {
+                        let (upto, fresh) = receiver.fresh_deltas(SiteId(0), offset, deltas);
+                        for f in fresh {
+                            applied.push(f.txn.seq());
+                        }
+                        sender.on_ack(SiteId(1), upto);
+                    }
+                }
+            };
+            for step in seq {
+                match step {
+                    Step::Record => {
+                        sender.record(d(recorded));
+                        recorded += 1;
+                    }
+                    Step::Batch(b, ok) => {
+                        let payload = sender.take_batch(SiteId(1), b);
+                        deliver(&mut sender, &mut receiver, &mut applied, payload, ok);
+                    }
+                    Step::Flush(ok) => {
+                        let payload = sender.take_all_unacked(SiteId(1));
+                        deliver(&mut sender, &mut receiver, &mut applied, payload, ok);
+                    }
+                }
+                // Applied deltas are always the exact prefix, in order.
+                let expect: Vec<u64> = (0..applied.len() as u64).collect();
+                prop_assert_eq!(&applied, &expect, "gaps or duplicates crept in");
+            }
+            // A final reliable flush always converges the receiver.
+            let payload = sender.take_all_unacked(SiteId(1));
+            deliver(&mut sender, &mut receiver, &mut applied, payload, true);
+            prop_assert_eq!(applied.len() as u64, recorded);
+            prop_assert!(sender.fully_acked());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avdb_types::{ProductId, TxnId, Volume};
+
+    fn d(seq: u64) -> PropagateDelta {
+        PropagateDelta {
+            txn: TxnId::new(SiteId(0), seq),
+            product: ProductId(0),
+            delta: Volume(-1),
+        }
+    }
+
+    fn state() -> ReplicationState {
+        ReplicationState::new(SiteId(0), 3)
+    }
+
+    #[test]
+    fn batch_waits_for_threshold() {
+        let mut r = state();
+        r.record(d(0));
+        assert!(r.take_batch(SiteId(1), 2).is_none());
+        r.record(d(1));
+        let (off, deltas) = r.take_batch(SiteId(1), 2).unwrap();
+        assert_eq!(off, 0);
+        assert_eq!(deltas.len(), 2);
+        // Cursor advanced: nothing more for peer 1.
+        assert!(r.take_batch(SiteId(1), 1).is_none());
+        // Peer 2 still gets its copy.
+        assert_eq!(r.take_batch(SiteId(2), 2).unwrap().1.len(), 2);
+    }
+
+    #[test]
+    fn unacked_retransmits_from_ack_not_sent() {
+        let mut r = state();
+        r.record(d(0));
+        r.record(d(1));
+        let _ = r.take_batch(SiteId(1), 1).unwrap(); // sent=2, acked=0
+        // Explicit flush retransmits everything unacked.
+        let (off, deltas) = r.take_all_unacked(SiteId(1)).unwrap();
+        assert_eq!(off, 0);
+        assert_eq!(deltas.len(), 2);
+        r.on_ack(SiteId(1), 2);
+        assert!(r.take_all_unacked(SiteId(1)).is_none());
+    }
+
+    #[test]
+    fn ack_truncates_at_min_peer() {
+        let mut r = state();
+        for i in 0..4 {
+            r.record(d(i));
+        }
+        r.on_ack(SiteId(1), 4);
+        assert_eq!(r.retained(), 4, "peer 2 has not acked");
+        r.on_ack(SiteId(2), 3);
+        assert_eq!(r.retained(), 1, "truncated to min ack");
+        assert_eq!(r.end(), 4);
+        r.on_ack(SiteId(2), 4);
+        assert_eq!(r.retained(), 0);
+        assert!(r.fully_acked());
+    }
+
+    #[test]
+    fn stale_ack_does_not_regress() {
+        let mut r = state();
+        r.record(d(0));
+        r.on_ack(SiteId(1), 1);
+        r.on_ack(SiteId(1), 0);
+        assert_eq!(r.acked[1], 1);
+    }
+
+    #[test]
+    fn receiver_dedups_overlapping_batches() {
+        let mut r = state();
+        let batch: Vec<_> = (0..3).map(d).collect();
+        let (upto, fresh) = r.fresh_deltas(SiteId(1), 0, batch.clone());
+        assert_eq!(upto, 3);
+        assert_eq!(fresh.len(), 3);
+        // Retransmission of the same batch: nothing fresh.
+        let (upto, fresh) = r.fresh_deltas(SiteId(1), 0, batch.clone());
+        assert_eq!(upto, 3);
+        assert!(fresh.is_empty());
+        // Overlapping batch [1..5): only [3..5) is fresh.
+        let overlap: Vec<_> = (1..5).map(d).collect();
+        let (upto, fresh) = r.fresh_deltas(SiteId(1), 1, overlap);
+        assert_eq!(upto, 5);
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(r.applied_from(SiteId(1)), 5);
+    }
+
+    #[test]
+    fn gapped_batch_is_rejected_not_skipped_over() {
+        let mut r = state();
+        // Receiver applied [0..2); batch [5..7) arrives after a crash ate
+        // [2..5): must be rejected and the ack must restate the cursor.
+        let (_, first) = r.fresh_deltas(SiteId(1), 0, vec![d(0), d(1)]);
+        assert_eq!(first.len(), 2);
+        let (upto, fresh) = r.fresh_deltas(SiteId(1), 5, vec![d(5), d(6)]);
+        assert_eq!(upto, 2, "ack restates the cursor");
+        assert!(fresh.is_empty(), "nothing from a gapped batch applies");
+        assert_eq!(r.applied_from(SiteId(1)), 2, "cursor did not jump the gap");
+        // The retransmission covering the gap then applies in full.
+        let (upto, fresh) = r.fresh_deltas(SiteId(1), 2, (2..7).map(d).collect());
+        assert_eq!(upto, 7);
+        assert_eq!(fresh.len(), 5);
+    }
+
+    #[test]
+    fn per_origin_cursors_are_independent() {
+        let mut r = state();
+        let (_, fresh1) = r.fresh_deltas(SiteId(1), 0, vec![d(0)]);
+        assert_eq!(fresh1.len(), 1);
+        let (_, fresh2) = r.fresh_deltas(SiteId(2), 0, vec![d(0)]);
+        assert_eq!(fresh2.len(), 1, "other origin's offset space is separate");
+    }
+
+    #[test]
+    fn single_site_system_is_always_fully_acked() {
+        let mut r = ReplicationState::new(SiteId(0), 1);
+        r.record(d(0));
+        assert!(r.fully_acked());
+    }
+}

@@ -1,0 +1,200 @@
+//! Stale peer-AV knowledge for the *selecting* function.
+//!
+//! "The requested site is selected according to the amount of AV the site
+//! keeps, which information is collected at the necessary communication
+//! for AV management and may not be current data" (paper §4). This module
+//! is exactly that: a per-site cache of what each peer last reported
+//! holding, refreshed only as a side effect of AV traffic — never by
+//! dedicated queries, which would cost the correspondences the mechanism
+//! exists to avoid.
+
+use avdb_types::{ProductId, SiteId, VirtualTime, Volume};
+use std::collections::HashMap;
+
+/// What one site believes about its peers' AV holdings.
+#[derive(Clone, Debug, Default)]
+pub struct PeerKnowledge {
+    /// `(peer, product) → (last reported available AV, when)`.
+    view: HashMap<(SiteId, ProductId), (Volume, VirtualTime)>,
+}
+
+impl PeerKnowledge {
+    /// Empty knowledge (everything unknown).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds knowledge from the initial AV allocation, which every site
+    /// learns when the base DB distributes the catalog (§3.2).
+    pub fn seed(&mut self, product: ProductId, split: &[Volume]) {
+        for (i, &av) in split.iter().enumerate() {
+            self.view.insert((SiteId(i as u32), product), (av, VirtualTime::ZERO));
+        }
+    }
+
+    /// Records a fresher observation of `peer`'s AV for `product`.
+    /// Observations older than what we already know are ignored.
+    pub fn update(&mut self, peer: SiteId, product: ProductId, av: Volume, at: VirtualTime) {
+        match self.view.get(&(peer, product)) {
+            Some(&(_, prev_at)) if prev_at > at => {}
+            _ => {
+                self.view.insert((peer, product), (av, at));
+            }
+        }
+    }
+
+    /// Last known AV of `peer` for `product` (zero if never observed —
+    /// a pessimistic default that deprioritizes unknown peers).
+    pub fn known(&self, peer: SiteId, product: ProductId) -> Volume {
+        self.view.get(&(peer, product)).map(|&(v, _)| v).unwrap_or(Volume::ZERO)
+    }
+
+    /// When `peer`'s AV for `product` was last observed.
+    pub fn known_at(&self, peer: SiteId, product: ProductId) -> Option<VirtualTime> {
+        self.view.get(&(peer, product)).map(|&(_, t)| t)
+    }
+
+    /// Peers ranked by descending believed AV for `product`, excluding
+    /// `me` and anything in `exclude`. Ties break by ascending site id so
+    /// ranking is deterministic.
+    pub fn ranked_peers(
+        &self,
+        me: SiteId,
+        n_sites: usize,
+        product: ProductId,
+        exclude: &[SiteId],
+    ) -> Vec<SiteId> {
+        let mut peers: Vec<SiteId> = SiteId::all(n_sites)
+            .filter(|s| *s != me && !exclude.contains(s))
+            .collect();
+        peers.sort_by(|a, b| {
+            self.known(*b, product)
+                .cmp(&self.known(*a, product))
+                .then(a.cmp(b))
+        });
+        peers
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any observation history, the ranking is a permutation of
+        /// the non-excluded peers, sorted by believed AV descending.
+        #[test]
+        fn prop_ranking_is_sorted_permutation(
+            n_sites in 2usize..8,
+            me in 0u32..8,
+            obs in prop::collection::vec((0u32..8, 0i64..1000, 0u64..100), 0..40),
+            excluded in prop::collection::vec(0u32..8, 0..3),
+        ) {
+            let me = SiteId(me % n_sites as u32);
+            let mut k = PeerKnowledge::new();
+            for (peer, av, at) in obs {
+                k.update(SiteId(peer % n_sites as u32), ProductId(0), Volume(av), VirtualTime(at));
+            }
+            let exclude: Vec<SiteId> =
+                excluded.iter().map(|e| SiteId(e % n_sites as u32)).collect();
+            let ranked = k.ranked_peers(me, n_sites, ProductId(0), &exclude);
+            // No self, no excluded, no duplicates.
+            prop_assert!(!ranked.contains(&me));
+            for e in &exclude {
+                prop_assert!(!ranked.contains(e));
+            }
+            let mut dedup = ranked.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), ranked.len());
+            // Sorted by believed AV, descending.
+            for w in ranked.windows(2) {
+                prop_assert!(
+                    k.known(w[0], ProductId(0)) >= k.known(w[1], ProductId(0))
+                );
+            }
+            // Complete: every eligible peer appears.
+            let eligible = SiteId::all(n_sites)
+                .filter(|s| *s != me && !exclude.contains(s))
+                .count();
+            prop_assert_eq!(ranked.len(), eligible);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ProductId = ProductId(0);
+
+    #[test]
+    fn unknown_defaults_to_zero() {
+        let k = PeerKnowledge::new();
+        assert_eq!(k.known(SiteId(1), P), Volume::ZERO);
+        assert_eq!(k.known_at(SiteId(1), P), None);
+    }
+
+    #[test]
+    fn seed_populates_all_sites() {
+        let mut k = PeerKnowledge::new();
+        k.seed(P, &[Volume(40), Volume(20), Volume(40)]);
+        assert_eq!(k.known(SiteId(0), P), Volume(40));
+        assert_eq!(k.known(SiteId(1), P), Volume(20));
+        assert_eq!(k.known_at(SiteId(2), P), Some(VirtualTime::ZERO));
+    }
+
+    #[test]
+    fn update_keeps_freshest() {
+        let mut k = PeerKnowledge::new();
+        k.update(SiteId(1), P, Volume(10), VirtualTime(5));
+        k.update(SiteId(1), P, Volume(7), VirtualTime(9));
+        assert_eq!(k.known(SiteId(1), P), Volume(7));
+        // An out-of-order older report does not regress the view.
+        k.update(SiteId(1), P, Volume(99), VirtualTime(2));
+        assert_eq!(k.known(SiteId(1), P), Volume(7));
+        // Equal timestamps take the newer report (last writer wins).
+        k.update(SiteId(1), P, Volume(3), VirtualTime(9));
+        assert_eq!(k.known(SiteId(1), P), Volume(3));
+    }
+
+    #[test]
+    fn ranking_orders_by_believed_av() {
+        let mut k = PeerKnowledge::new();
+        k.seed(P, &[Volume(40), Volume(20), Volume(40)]);
+        // From site 1's perspective: sites 0 and 2 both at 40; tie breaks
+        // to the lower id.
+        assert_eq!(
+            k.ranked_peers(SiteId(1), 3, P, &[]),
+            vec![SiteId(0), SiteId(2)]
+        );
+        // After observing site 0 drained, site 2 ranks first.
+        k.update(SiteId(0), P, Volume(1), VirtualTime(4));
+        assert_eq!(
+            k.ranked_peers(SiteId(1), 3, P, &[]),
+            vec![SiteId(2), SiteId(0)]
+        );
+    }
+
+    #[test]
+    fn ranking_excludes_requested_sites() {
+        let mut k = PeerKnowledge::new();
+        k.seed(P, &[Volume(40), Volume(20), Volume(40)]);
+        assert_eq!(
+            k.ranked_peers(SiteId(1), 3, P, &[SiteId(0)]),
+            vec![SiteId(2)]
+        );
+        assert!(k
+            .ranked_peers(SiteId(1), 3, P, &[SiteId(0), SiteId(2)])
+            .is_empty());
+    }
+
+    #[test]
+    fn ranking_never_contains_self() {
+        let k = PeerKnowledge::new();
+        let ranked = k.ranked_peers(SiteId(2), 4, P, &[]);
+        assert!(!ranked.contains(&SiteId(2)));
+        assert_eq!(ranked.len(), 3);
+    }
+}

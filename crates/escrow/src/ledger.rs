@@ -1,0 +1,133 @@
+//! Transfer audit trail.
+//!
+//! Every AV grant is recorded so tests and the experiment harness can
+//! audit the conservation invariant: transfers move volume between sites,
+//! never create or destroy it.
+
+use avdb_types::{ProductId, SiteId, VirtualTime, Volume};
+use serde::Serialize;
+
+/// One completed AV transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct TransferRecord {
+    /// Granting site.
+    pub from: SiteId,
+    /// Receiving site.
+    pub to: SiteId,
+    /// Product whose AV moved.
+    pub product: ProductId,
+    /// Volume moved (always positive).
+    pub amount: Volume,
+    /// When the grant was issued.
+    pub at: VirtualTime,
+}
+
+/// Append-only log of AV transfers.
+#[derive(Clone, Debug, Default)]
+pub struct TransferLedger {
+    records: Vec<TransferRecord>,
+}
+
+impl TransferLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a grant. Zero-volume grants are not recorded (a denial is
+    /// a protocol message, not a transfer).
+    pub fn record(&mut self, rec: TransferRecord) {
+        if rec.amount.is_positive() {
+            self.records.push(rec);
+        }
+    }
+
+    /// All transfers in order.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Number of recorded transfers.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no transfers happened.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total volume moved for `product`.
+    pub fn volume_moved(&self, product: ProductId) -> Volume {
+        self.records
+            .iter()
+            .filter(|r| r.product == product)
+            .map(|r| r.amount)
+            .sum()
+    }
+
+    /// Net flow into `site` for `product` (received − granted). Summed
+    /// over all sites this is zero — the ledger-level conservation check.
+    pub fn net_flow(&self, site: SiteId, product: ProductId) -> Volume {
+        self.records
+            .iter()
+            .filter(|r| r.product == product)
+            .map(|r| {
+                if r.to == site {
+                    r.amount
+                } else if r.from == site {
+                    -r.amount
+                } else {
+                    Volume::ZERO
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(from: u32, to: u32, amount: i64, at: u64) -> TransferRecord {
+        TransferRecord {
+            from: SiteId(from),
+            to: SiteId(to),
+            product: ProductId(0),
+            amount: Volume(amount),
+            at: VirtualTime(at),
+        }
+    }
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let mut l = TransferLedger::new();
+        l.record(rec(0, 1, 30, 5));
+        l.record(rec(2, 1, 10, 9));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+        assert_eq!(l.records()[0].amount, Volume(30));
+        assert_eq!(l.volume_moved(ProductId(0)), Volume(40));
+        assert_eq!(l.volume_moved(ProductId(1)), Volume::ZERO);
+    }
+
+    #[test]
+    fn zero_grants_not_recorded() {
+        let mut l = TransferLedger::new();
+        l.record(rec(0, 1, 0, 5));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn net_flow_balances_to_zero() {
+        let mut l = TransferLedger::new();
+        l.record(rec(0, 1, 30, 1));
+        l.record(rec(1, 2, 10, 2));
+        l.record(rec(2, 0, 5, 3));
+        assert_eq!(l.net_flow(SiteId(0), ProductId(0)), Volume(-25));
+        assert_eq!(l.net_flow(SiteId(1), ProductId(0)), Volume(20));
+        assert_eq!(l.net_flow(SiteId(2), ProductId(0)), Volume(5));
+        let total: Volume = (0..3).map(|s| l.net_flow(SiteId(s), ProductId(0))).sum();
+        assert_eq!(total, Volume::ZERO);
+    }
+}

@@ -1,0 +1,404 @@
+//! Selecting and deciding strategies for AV transfers.
+//!
+//! The paper's accelerator has a *selecting* function (whom to ask for AV)
+//! and a *deciding* function (how much to request / how much to grant).
+//! §3.4 stresses that a site's strategy uses local information only, and
+//! §4 fixes the simulated strategies to: select the peer believed to hold
+//! the most AV; request exactly the shortage; grant half of what the
+//! grantor keeps — the online electronic-money distribution rule of
+//! Kawazoe, Shibuya & Tokuyama (SODA '99). The ablation experiments
+//! (DESIGN.md A1/A2) swap in the alternatives implemented here.
+
+use crate::knowledge::PeerKnowledge;
+use avdb_simnet::DetRng;
+use avdb_types::{
+    DecideStrategyKind, ProductId, SelectStrategyKind, SiteId, VirtualTime, Volume,
+};
+use std::collections::HashMap;
+
+/// Whom to ask for AV next.
+pub trait SelectStrategy: Send + std::fmt::Debug {
+    /// Picks the next peer to request AV from, or `None` when every
+    /// eligible peer has been asked this round.
+    ///
+    /// The wide signature is deliberate: a strategy may use any subset of
+    /// the site's local information (topology, stale knowledge, attempt
+    /// history, clock, randomness) and nothing else — the paper's
+    /// "local information only" rule made into an interface.
+    #[allow(clippy::too_many_arguments)]
+    fn select(
+        &mut self,
+        me: SiteId,
+        n_sites: usize,
+        product: ProductId,
+        knowledge: &PeerKnowledge,
+        already_asked: &[SiteId],
+        now: VirtualTime,
+        rng: &mut DetRng,
+    ) -> Option<SiteId>;
+}
+
+/// How much AV to request and to grant.
+pub trait DecideStrategy: Send + std::fmt::Debug {
+    /// Volume to request given the current shortage (paper: the shortage
+    /// itself).
+    fn request_amount(&self, shortage: Volume) -> Volume;
+
+    /// Volume a grantor releases given what it has available and what was
+    /// requested. Must return a value in `0..=held`.
+    fn grant_amount(&self, held: Volume, requested: Volume) -> Volume;
+}
+
+// ---------------------------------------------------------------------------
+// selecting strategies
+// ---------------------------------------------------------------------------
+
+/// Paper strategy: peer with the highest believed AV (stale knowledge).
+#[derive(Debug, Default, Clone)]
+pub struct MostKnownAv;
+
+impl SelectStrategy for MostKnownAv {
+    fn select(
+        &mut self,
+        me: SiteId,
+        n_sites: usize,
+        product: ProductId,
+        knowledge: &PeerKnowledge,
+        already_asked: &[SiteId],
+        _now: VirtualTime,
+        _rng: &mut DetRng,
+    ) -> Option<SiteId> {
+        knowledge
+            .ranked_peers(me, n_sites, product, already_asked)
+            .first()
+            .copied()
+    }
+}
+
+/// Cycles through peers in id order, remembering where it left off
+/// per product.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    next: HashMap<ProductId, u32>,
+}
+
+impl SelectStrategy for RoundRobin {
+    fn select(
+        &mut self,
+        me: SiteId,
+        n_sites: usize,
+        product: ProductId,
+        _knowledge: &PeerKnowledge,
+        already_asked: &[SiteId],
+        _now: VirtualTime,
+        _rng: &mut DetRng,
+    ) -> Option<SiteId> {
+        let start = *self.next.entry(product).or_insert(0);
+        for k in 0..n_sites as u32 {
+            let candidate = SiteId((start + k) % n_sites as u32);
+            if candidate != me && !already_asked.contains(&candidate) {
+                self.next.insert(product, (candidate.0 + 1) % n_sites as u32);
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+/// Uniformly random eligible peer.
+#[derive(Debug, Default, Clone)]
+pub struct RandomSelect;
+
+impl SelectStrategy for RandomSelect {
+    fn select(
+        &mut self,
+        me: SiteId,
+        n_sites: usize,
+        _product: ProductId,
+        _knowledge: &PeerKnowledge,
+        already_asked: &[SiteId],
+        _now: VirtualTime,
+        rng: &mut DetRng,
+    ) -> Option<SiteId> {
+        let eligible: Vec<SiteId> = SiteId::all(n_sites)
+            .filter(|s| *s != me && !already_asked.contains(s))
+            .collect();
+        if eligible.is_empty() {
+            None
+        } else {
+            Some(*rng.choose(&eligible))
+        }
+    }
+}
+
+/// The peer asked longest ago (never-asked peers first, by id).
+#[derive(Debug, Default, Clone)]
+pub struct LeastRecentlyAsked {
+    last_asked: HashMap<SiteId, VirtualTime>,
+}
+
+impl SelectStrategy for LeastRecentlyAsked {
+    fn select(
+        &mut self,
+        me: SiteId,
+        n_sites: usize,
+        _product: ProductId,
+        _knowledge: &PeerKnowledge,
+        already_asked: &[SiteId],
+        now: VirtualTime,
+        _rng: &mut DetRng,
+    ) -> Option<SiteId> {
+        let pick = SiteId::all(n_sites)
+            .filter(|s| *s != me && !already_asked.contains(s))
+            .min_by_key(|s| (self.last_asked.get(s).copied(), *s))?;
+        self.last_asked.insert(pick, now);
+        Some(pick)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// deciding strategies
+// ---------------------------------------------------------------------------
+
+/// Paper strategy: request the shortage; grant half of what is held
+/// (rounded up so a final unit can still circulate).
+#[derive(Debug, Default, Clone)]
+pub struct GrantHalf;
+
+impl DecideStrategy for GrantHalf {
+    fn request_amount(&self, shortage: Volume) -> Volume {
+        shortage
+    }
+    fn grant_amount(&self, held: Volume, _requested: Volume) -> Volume {
+        held.half_up().clamp_non_negative()
+    }
+}
+
+/// Grantor releases everything it has.
+#[derive(Debug, Default, Clone)]
+pub struct GrantAll;
+
+impl DecideStrategy for GrantAll {
+    fn request_amount(&self, shortage: Volume) -> Volume {
+        shortage
+    }
+    fn grant_amount(&self, held: Volume, _requested: Volume) -> Volume {
+        held.clamp_non_negative()
+    }
+}
+
+/// Grantor releases exactly the requested shortage (or all it has).
+#[derive(Debug, Default, Clone)]
+pub struct GrantShortage;
+
+impl DecideStrategy for GrantShortage {
+    fn request_amount(&self, shortage: Volume) -> Volume {
+        shortage
+    }
+    fn grant_amount(&self, held: Volume, requested: Volume) -> Volume {
+        requested.min(held).clamp_non_negative()
+    }
+}
+
+/// Grantor releases `min(held, 2 × shortage)` — smooths future demand by
+/// pre-positioning slack at the requester.
+#[derive(Debug, Default, Clone)]
+pub struct GrantDoubleShortage;
+
+impl DecideStrategy for GrantDoubleShortage {
+    fn request_amount(&self, shortage: Volume) -> Volume {
+        shortage
+    }
+    fn grant_amount(&self, held: Volume, requested: Volume) -> Volume {
+        (requested + requested).min(held).clamp_non_negative()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// factories
+// ---------------------------------------------------------------------------
+
+/// Instantiates a selection strategy from its config kind.
+pub fn make_select(kind: SelectStrategyKind) -> Box<dyn SelectStrategy> {
+    match kind {
+        SelectStrategyKind::MostKnownAv => Box::new(MostKnownAv),
+        SelectStrategyKind::RoundRobin => Box::new(RoundRobin::default()),
+        SelectStrategyKind::Random => Box::new(RandomSelect),
+        SelectStrategyKind::LeastRecentlyAsked => Box::new(LeastRecentlyAsked::default()),
+    }
+}
+
+/// Instantiates a deciding strategy from its config kind.
+pub fn make_decide(kind: DecideStrategyKind) -> Box<dyn DecideStrategy> {
+    match kind {
+        DecideStrategyKind::GrantHalf => Box::new(GrantHalf),
+        DecideStrategyKind::GrantAll => Box::new(GrantAll),
+        DecideStrategyKind::GrantShortage => Box::new(GrantShortage),
+        DecideStrategyKind::GrantDoubleShortage => Box::new(GrantDoubleShortage),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: ProductId = ProductId(0);
+
+    fn knowledge() -> PeerKnowledge {
+        let mut k = PeerKnowledge::new();
+        k.seed(P, &[Volume(40), Volume(20), Volume(40)]);
+        k
+    }
+
+    fn rng() -> DetRng {
+        DetRng::new(1)
+    }
+
+    #[test]
+    fn most_known_av_picks_richest_then_next() {
+        let mut s = MostKnownAv;
+        let k = knowledge();
+        let mut r = rng();
+        let first = s
+            .select(SiteId(1), 3, P, &k, &[], VirtualTime::ZERO, &mut r)
+            .unwrap();
+        assert_eq!(first, SiteId(0), "ties break to lower id");
+        let second = s
+            .select(SiteId(1), 3, P, &k, &[first], VirtualTime::ZERO, &mut r)
+            .unwrap();
+        assert_eq!(second, SiteId(2));
+        assert!(s
+            .select(SiteId(1), 3, P, &k, &[SiteId(0), SiteId(2)], VirtualTime::ZERO, &mut r)
+            .is_none());
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::default();
+        let k = knowledge();
+        let mut r = rng();
+        let a = s.select(SiteId(0), 3, P, &k, &[], VirtualTime::ZERO, &mut r).unwrap();
+        let b = s.select(SiteId(0), 3, P, &k, &[], VirtualTime::ZERO, &mut r).unwrap();
+        let c = s.select(SiteId(0), 3, P, &k, &[], VirtualTime::ZERO, &mut r).unwrap();
+        assert_eq!((a, b, c), (SiteId(1), SiteId(2), SiteId(1)));
+    }
+
+    #[test]
+    fn random_select_is_deterministic_per_seed_and_respects_exclusions() {
+        let k = knowledge();
+        let pick = |seed| {
+            let mut s = RandomSelect;
+            let mut r = DetRng::new(seed);
+            s.select(SiteId(1), 3, P, &k, &[], VirtualTime::ZERO, &mut r)
+        };
+        assert_eq!(pick(5), pick(5));
+        let mut s = RandomSelect;
+        let mut r = rng();
+        for _ in 0..20 {
+            let got = s
+                .select(SiteId(1), 3, P, &k, &[SiteId(0)], VirtualTime::ZERO, &mut r)
+                .unwrap();
+            assert_eq!(got, SiteId(2));
+        }
+        assert!(s
+            .select(SiteId(1), 3, P, &k, &[SiteId(0), SiteId(2)], VirtualTime::ZERO, &mut r)
+            .is_none());
+    }
+
+    #[test]
+    fn least_recently_asked_prefers_stalest() {
+        let mut s = LeastRecentlyAsked::default();
+        let k = knowledge();
+        let mut r = rng();
+        let a = s.select(SiteId(0), 3, P, &k, &[], VirtualTime(1), &mut r).unwrap();
+        assert_eq!(a, SiteId(1), "never-asked peers first by id");
+        let b = s.select(SiteId(0), 3, P, &k, &[], VirtualTime(2), &mut r).unwrap();
+        assert_eq!(b, SiteId(2));
+        let c = s.select(SiteId(0), 3, P, &k, &[], VirtualTime(3), &mut r).unwrap();
+        assert_eq!(c, SiteId(1), "oldest ask comes around again");
+    }
+
+    #[test]
+    fn grant_half_gives_half_rounded_up() {
+        let d = GrantHalf;
+        assert_eq!(d.request_amount(Volume(10)), Volume(10));
+        assert_eq!(d.grant_amount(Volume(40), Volume(10)), Volume(20));
+        assert_eq!(d.grant_amount(Volume(1), Volume(10)), Volume(1));
+        assert_eq!(d.grant_amount(Volume(0), Volume(10)), Volume(0));
+    }
+
+    #[test]
+    fn grant_all_empties_grantor() {
+        let d = GrantAll;
+        assert_eq!(d.grant_amount(Volume(37), Volume(1)), Volume(37));
+        assert_eq!(d.grant_amount(Volume(0), Volume(1)), Volume(0));
+    }
+
+    #[test]
+    fn grant_shortage_caps_at_request_and_holdings() {
+        let d = GrantShortage;
+        assert_eq!(d.grant_amount(Volume(40), Volume(10)), Volume(10));
+        assert_eq!(d.grant_amount(Volume(4), Volume(10)), Volume(4));
+    }
+
+    #[test]
+    fn grant_double_shortage() {
+        let d = GrantDoubleShortage;
+        assert_eq!(d.grant_amount(Volume(40), Volume(10)), Volume(20));
+        assert_eq!(d.grant_amount(Volume(15), Volume(10)), Volume(15));
+    }
+
+    #[test]
+    fn grants_never_exceed_holdings() {
+        let strategies: Vec<Box<dyn DecideStrategy>> = vec![
+            Box::new(GrantHalf),
+            Box::new(GrantAll),
+            Box::new(GrantShortage),
+            Box::new(GrantDoubleShortage),
+        ];
+        for d in &strategies {
+            for held in 0..50i64 {
+                for req in 0..50i64 {
+                    let g = d.grant_amount(Volume(held), Volume(req));
+                    assert!(g >= Volume::ZERO, "{d:?} granted negative");
+                    assert!(g <= Volume(held), "{d:?} over-granted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factories_produce_matching_kinds() {
+        // Smoke check: every kind instantiates and behaves distinctively.
+        let mut r = rng();
+        let k = knowledge();
+        for kind in [
+            SelectStrategyKind::MostKnownAv,
+            SelectStrategyKind::RoundRobin,
+            SelectStrategyKind::Random,
+            SelectStrategyKind::LeastRecentlyAsked,
+        ] {
+            let mut s = make_select(kind);
+            assert!(s
+                .select(SiteId(1), 3, P, &k, &[], VirtualTime::ZERO, &mut r)
+                .is_some());
+        }
+        assert_eq!(
+            make_decide(DecideStrategyKind::GrantHalf).grant_amount(Volume(10), Volume(3)),
+            Volume(5)
+        );
+        assert_eq!(
+            make_decide(DecideStrategyKind::GrantAll).grant_amount(Volume(10), Volume(3)),
+            Volume(10)
+        );
+        assert_eq!(
+            make_decide(DecideStrategyKind::GrantShortage).grant_amount(Volume(10), Volume(3)),
+            Volume(3)
+        );
+        assert_eq!(
+            make_decide(DecideStrategyKind::GrantDoubleShortage)
+                .grant_amount(Volume(10), Volume(3)),
+            Volume(6)
+        );
+    }
+}

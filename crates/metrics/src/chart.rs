@@ -1,0 +1,132 @@
+//! Plain-text chart rendering — Fig. 6 as an actual figure on stdout.
+
+use crate::series::Series;
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders series as an ASCII scatter/line chart of the given plot size
+/// (`width` × `height` characters, axes and labels added around it).
+/// X and Y scale linearly from zero to the maxima across all series.
+pub fn render_ascii_chart(series: &[&Series], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 4, "chart too small to be legible");
+    let max_x = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let max_y = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = ((x as f64 / max_x as f64) * (width - 1) as f64).round() as usize;
+            let row = ((y as f64 / max_y as f64) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row; // y grows upward
+            // First-come glyphs win so overlapping series stay readable.
+            if grid[row][col] == ' ' {
+                grid[row][col] = glyph;
+            }
+        }
+    }
+
+    let y_label_width = max_y.to_string().len();
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{max_y:>y_label_width$}")
+        } else if i == height - 1 {
+            format!("{:>y_label_width$}", 0)
+        } else {
+            " ".repeat(y_label_width)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_width));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&" ".repeat(y_label_width + 2));
+    out.push_str(&format!("0{:>width$}\n", max_x, width = width - 1));
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(u64, u64)]) -> Series {
+        let mut s = Series::new(name);
+        for &(x, y) in pts {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn chart_has_expected_dimensions() {
+        let a = series("up", &[(0, 0), (50, 50), (100, 100)]);
+        let text = render_ascii_chart(&[&a], 40, 10);
+        // 10 plot rows + axis + x labels + 1 legend line.
+        assert_eq!(text.lines().count(), 13);
+        assert!(text.contains("up"));
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn corners_carry_min_max_labels() {
+        let a = series("s", &[(0, 0), (200, 80)]);
+        let text = render_ascii_chart(&[&a], 30, 8);
+        assert!(text.lines().next().unwrap().starts_with("80"));
+        assert!(text.contains("200"));
+    }
+
+    #[test]
+    fn two_series_get_distinct_glyphs() {
+        let a = series("low", &[(0, 0), (100, 10)]);
+        let b = series("high", &[(0, 0), (100, 100)]);
+        let text = render_ascii_chart(&[&a, &b], 40, 10);
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("low"));
+        assert!(text.contains("high"));
+    }
+
+    #[test]
+    fn linear_series_occupies_the_diagonal() {
+        let a = series("diag", &[(0, 0), (25, 25), (50, 50), (75, 75), (100, 100)]);
+        let text = render_ascii_chart(&[&a], 20, 10);
+        let plot_rows: Vec<&str> = text.lines().take(10).collect();
+        // Top row has a glyph near the right, bottom row near the left.
+        assert!(plot_rows[0].trim_end().ends_with('*'));
+        assert!(plot_rows[9].contains('*'));
+    }
+
+    #[test]
+    fn empty_series_render_without_panic() {
+        let a = Series::new("empty");
+        let text = render_ascii_chart(&[&a], 20, 5);
+        assert!(text.contains("empty"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        let a = Series::new("x");
+        render_ascii_chart(&[&a], 5, 2);
+    }
+}

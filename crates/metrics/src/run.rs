@@ -1,0 +1,158 @@
+//! Per-run metric records.
+
+use crate::series::Series;
+use crate::stats::OnlineStats;
+use avdb_types::SiteId;
+use serde::Serialize;
+
+/// Everything measured about one site over one run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SiteStats {
+    /// Updates submitted at this site.
+    pub updates_issued: u64,
+    /// Updates that committed.
+    pub committed: u64,
+    /// Updates that aborted.
+    pub aborted: u64,
+    /// Committed Delay updates that needed zero communication.
+    pub local_commits: u64,
+    /// Correspondences attributed to updates originating here
+    /// (the per-site rows of Table 1).
+    pub correspondences: u64,
+    /// AV volume received via transfers.
+    pub av_received: i64,
+    /// AV volume granted away via transfers.
+    pub av_granted: i64,
+    /// Virtual-time latency (ticks) from submission to completion.
+    pub latency: OnlineStats,
+}
+
+impl SiteStats {
+    /// Fraction of committed updates completed without communication.
+    pub fn local_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.local_commits as f64 / self.committed as f64
+        }
+    }
+}
+
+/// Full record of one experiment run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunMetrics {
+    /// Label for reports ("proposal", "conventional", "grant-all", …).
+    pub label: String,
+    /// Per-site breakdown, index = site id.
+    pub sites: Vec<SiteStats>,
+    /// Cumulative `(updates, correspondences)` series (Fig. 6 data).
+    pub cumulative: Series,
+    /// Per-site cumulative series (Table 1 data).
+    pub per_site_series: Vec<Series>,
+    /// Total messages observed on the network (cross-check: must equal
+    /// 2 × total correspondences on fault-free runs).
+    pub network_messages: u64,
+}
+
+impl RunMetrics {
+    /// Fresh record for a system of `n_sites`.
+    pub fn new(label: impl Into<String>, n_sites: usize) -> Self {
+        let label = label.into();
+        RunMetrics {
+            cumulative: Series::new(label.clone()),
+            per_site_series: (0..n_sites)
+                .map(|i| Series::new(format!("{label}-site{i}")))
+                .collect(),
+            sites: vec![SiteStats::default(); n_sites],
+            network_messages: 0,
+            label,
+        }
+    }
+
+    /// Mutable per-site stats.
+    pub fn site_mut(&mut self, site: SiteId) -> &mut SiteStats {
+        &mut self.sites[site.index()]
+    }
+
+    /// Total updates issued across sites.
+    pub fn total_updates(&self) -> u64 {
+        self.sites.iter().map(|s| s.updates_issued).sum()
+    }
+
+    /// Total committed updates.
+    pub fn total_committed(&self) -> u64 {
+        self.sites.iter().map(|s| s.committed).sum()
+    }
+
+    /// Total correspondences attributed across sites.
+    pub fn total_correspondences(&self) -> u64 {
+        self.sites.iter().map(|s| s.correspondences).sum()
+    }
+
+    /// Records a sample point on the cumulative and per-site series.
+    pub fn sample(&mut self) {
+        let x = self.total_updates();
+        self.cumulative.push(x, self.total_correspondences());
+        for (i, series) in self.per_site_series.iter_mut().enumerate() {
+            series.push(x, self.sites[i].correspondences);
+        }
+    }
+
+    /// System-wide fraction of commits that were purely local.
+    pub fn local_fraction(&self) -> f64 {
+        let committed = self.total_committed();
+        if committed == 0 {
+            return 0.0;
+        }
+        let local: u64 = self.sites.iter().map(|s| s.local_commits).sum();
+        local as f64 / committed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_stats_local_fraction() {
+        let mut s = SiteStats::default();
+        assert_eq!(s.local_fraction(), 0.0);
+        s.committed = 10;
+        s.local_commits = 7;
+        assert!((s.local_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_metrics_aggregates_sites() {
+        let mut m = RunMetrics::new("proposal", 3);
+        m.site_mut(SiteId(0)).updates_issued = 5;
+        m.site_mut(SiteId(1)).updates_issued = 3;
+        m.site_mut(SiteId(1)).correspondences = 2;
+        m.site_mut(SiteId(2)).correspondences = 4;
+        assert_eq!(m.total_updates(), 8);
+        assert_eq!(m.total_correspondences(), 6);
+        m.sample();
+        assert_eq!(m.cumulative.points, vec![(8, 6)]);
+        assert_eq!(m.per_site_series[1].points, vec![(8, 2)]);
+        assert_eq!(m.per_site_series[2].points, vec![(8, 4)]);
+    }
+
+    #[test]
+    fn run_local_fraction() {
+        let mut m = RunMetrics::new("p", 2);
+        m.site_mut(SiteId(0)).committed = 4;
+        m.site_mut(SiteId(0)).local_commits = 4;
+        m.site_mut(SiteId(1)).committed = 4;
+        m.site_mut(SiteId(1)).local_commits = 2;
+        assert!((m.local_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(RunMetrics::new("e", 2).local_fraction(), 0.0);
+    }
+
+    #[test]
+    fn serializable() {
+        let mut m = RunMetrics::new("p", 1);
+        m.site_mut(SiteId(0)).latency.push(3.0);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"label\":\"p\""));
+    }
+}

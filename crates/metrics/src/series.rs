@@ -1,0 +1,165 @@
+//! Sampled `(x, y)` series — the data behind Fig. 6.
+
+use serde::{Deserialize, Serialize};
+
+/// A named, monotonically sampled series of `(x, y)` points, e.g.
+/// `x = cumulative updates`, `y = cumulative correspondences`.
+///
+/// ```
+/// use avdb_metrics::Series;
+///
+/// let mut proposal = Series::new("proposal");
+/// proposal.push(0, 0);
+/// proposal.push(100, 25);
+/// let mut conventional = Series::new("conventional");
+/// conventional.push(0, 0);
+/// conventional.push(100, 100);
+///
+/// // The Fig. 6 headline: final-ratio comparison.
+/// assert_eq!(proposal.final_ratio_to(&conventional), Some(0.25));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label ("proposal", "conventional", …).
+    pub name: String,
+    /// Sample points in x order.
+    pub points: Vec<(u64, u64)>,
+}
+
+impl Series {
+    /// Empty series with a label.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a sample; panics in debug builds if x regresses.
+    pub fn push(&mut self, x: u64, y: u64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(px, _)| px <= x),
+            "series x must be non-decreasing"
+        );
+        self.points.push((x, y));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no samples exist.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Final y value (0 for an empty series).
+    pub fn last_y(&self) -> u64 {
+        self.points.last().map(|&(_, y)| y).unwrap_or(0)
+    }
+
+    /// y at the largest sampled x ≤ `x` (step interpolation).
+    pub fn y_at(&self, x: u64) -> u64 {
+        self.points
+            .iter()
+            .take_while(|&&(px, _)| px <= x)
+            .last()
+            .map(|&(_, y)| y)
+            .unwrap_or(0)
+    }
+
+    /// Least-squares slope of y over x — "correspondences per update".
+    pub fn slope(&self) -> f64 {
+        let n = self.points.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(x, y) in &self.points {
+            let (x, y) = (x as f64, y as f64);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let denom = nf * sxx - sx * sx;
+        if denom.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (nf * sxy - sx * sy) / denom
+        }
+    }
+
+    /// Ratio of this series' final y to `other`'s final y (the Fig. 6
+    /// "proposal is 25% of conventional" comparison). `None` when `other`
+    /// ends at zero.
+    pub fn final_ratio_to(&self, other: &Series) -> Option<f64> {
+        let o = other.last_y();
+        (o > 0).then(|| self.last_y() as f64 / o as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pts: &[(u64, u64)]) -> Series {
+        let mut s = Series::new("s");
+        for &(x, y) in pts {
+            s.push(x, y);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let s = series(&[(0, 0), (10, 3), (20, 5)]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.last_y(), 5);
+        assert_eq!(Series::new("e").last_y(), 0);
+    }
+
+    #[test]
+    fn y_at_steps() {
+        let s = series(&[(0, 0), (10, 3), (20, 5)]);
+        assert_eq!(s.y_at(0), 0);
+        assert_eq!(s.y_at(9), 0);
+        assert_eq!(s.y_at(10), 3);
+        assert_eq!(s.y_at(15), 3);
+        assert_eq!(s.y_at(25), 5);
+    }
+
+    #[test]
+    fn slope_of_linear_series() {
+        let s = series(&[(0, 0), (10, 10), (20, 20), (30, 30)]);
+        assert!((s.slope() - 1.0).abs() < 1e-12);
+        let half = series(&[(0, 0), (10, 5), (20, 10)]);
+        assert!((half.slope() - 0.5).abs() < 1e-12);
+        assert_eq!(series(&[(5, 2)]).slope(), 0.0);
+        // Degenerate: all x equal.
+        assert_eq!(series(&[(5, 2), (5, 9)]).slope(), 0.0);
+    }
+
+    #[test]
+    fn final_ratio() {
+        let a = series(&[(0, 0), (100, 25)]);
+        let b = series(&[(0, 0), (100, 100)]);
+        assert!((a.final_ratio_to(&b).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(a.final_ratio_to(&Series::new("z")), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = series(&[(1, 2), (3, 4)]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(s, serde_json::from_str::<Series>(&json).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    #[cfg(debug_assertions)]
+    fn regressing_x_panics_in_debug() {
+        let mut s = series(&[(10, 1)]);
+        s.push(5, 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! One module per experiment in DESIGN.md's per-experiment index.
+
+pub mod ablations;
+pub mod circulation;
+pub mod faults;
+pub mod fig6;
+pub mod freshness;
+pub mod mix;
+pub mod scaling;
+pub mod table1;
+
+pub use ablations::{
+    run_allocation_sweep, run_decide_sweep, run_magnitude_sweep, run_select_sweep,
+    run_skew_sweep, AblationRow,
+};
+pub use circulation::{run_circulation, CirculationRow};
+pub use faults::{run_fault_experiment, FaultResult};
+pub use fig6::{run_fig6, Fig6Result};
+pub use freshness::{run_freshness, FreshnessRow};
+pub use mix::{run_mix, MixRow};
+pub use scaling::{run_scaling, run_scaling_balanced, ScalingRow};
+pub use table1::{run_table1, Table1Result};

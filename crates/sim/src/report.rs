@@ -1,0 +1,125 @@
+//! Machine-readable experiment artifacts.
+//!
+//! Serializes every experiment's result to pretty JSON under a directory
+//! (one file per experiment id), so EXPERIMENTS.md numbers can be diffed
+//! mechanically between revisions instead of eyeballed.
+
+use crate::experiments::{
+    run_allocation_sweep, run_circulation, run_decide_sweep, run_fault_experiment, run_fig6,
+    run_freshness, run_magnitude_sweep, run_mix, run_scaling, run_scaling_balanced,
+    run_select_sweep, run_skew_sweep, run_table1,
+};
+use avdb_types::{AvdbError, Result, SiteId};
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Scale knobs for a full report run.
+#[derive(Clone, Copy, Debug)]
+pub struct ReportScale {
+    /// Updates for E1/E2.
+    pub paper_updates: usize,
+    /// Updates for each ablation sweep.
+    pub ablation_updates: usize,
+    /// Seed shared by every experiment.
+    pub seed: u64,
+}
+
+impl Default for ReportScale {
+    fn default() -> Self {
+        ReportScale { paper_updates: 10_000, ablation_updates: 3_000, seed: 1 }
+    }
+}
+
+fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> Result<()> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| AvdbError::Codec(e.to_string()))?;
+    fs::write(dir.join(name), json)
+        .map_err(|e| AvdbError::Corruption(format!("write {name}: {e}")))?;
+    Ok(())
+}
+
+/// Runs every experiment at the given scale and writes one JSON file per
+/// experiment id into `dir` (created if needed). Returns the file names
+/// written.
+pub fn generate_report(dir: &Path, scale: ReportScale) -> Result<Vec<&'static str>> {
+    fs::create_dir_all(dir).map_err(|e| AvdbError::Corruption(format!("create dir: {e}")))?;
+    let ReportScale { paper_updates, ablation_updates, seed } = scale;
+    let mut written = Vec::new();
+
+    write_json(dir, "e1_fig6.json", &run_fig6(paper_updates, seed))?;
+    written.push("e1_fig6.json");
+
+    let step = (paper_updates / 5).max(1) as u64;
+    let checkpoints: Vec<u64> = (1..=5).map(|i| i * step).collect();
+    write_json(dir, "e2_table1.json", &run_table1(&checkpoints, seed))?;
+    written.push("e2_table1.json");
+
+    write_json(dir, "a1_decide.json", &run_decide_sweep(ablation_updates, seed))?;
+    written.push("a1_decide.json");
+    write_json(dir, "a2_select.json", &run_select_sweep(ablation_updates, seed))?;
+    written.push("a2_select.json");
+    write_json(
+        dir,
+        "a3_scaling.json",
+        &(
+            run_scaling(&[3, 5, 9, 17], ablation_updates, seed),
+            run_scaling_balanced(&[3, 5, 9, 17], ablation_updates, seed),
+        ),
+    )?;
+    written.push("a3_scaling.json");
+    write_json(
+        dir,
+        "a4_mix.json",
+        &run_mix(&[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], ablation_updates, seed),
+    )?;
+    written.push("a4_mix.json");
+    write_json(
+        dir,
+        "a5_faults.json",
+        &(
+            run_fault_experiment(SiteId(2), ablation_updates, seed),
+            run_fault_experiment(SiteId(0), ablation_updates, seed),
+        ),
+    )?;
+    written.push("a5_faults.json");
+    write_json(dir, "a6_allocation.json", &run_allocation_sweep(ablation_updates, seed))?;
+    written.push("a6_allocation.json");
+    write_json(dir, "a7_skew.json", &run_skew_sweep(ablation_updates, seed))?;
+    written.push("a7_skew.json");
+    write_json(dir, "a8_magnitude.json", &run_magnitude_sweep(ablation_updates, seed))?;
+    written.push("a8_magnitude.json");
+    write_json(dir, "a9_circulation.json", &run_circulation(ablation_updates, seed))?;
+    written.push("a9_circulation.json");
+    write_json(
+        dir,
+        "a10_freshness.json",
+        &run_freshness(&[1, 5, 25, 100], ablation_updates, seed),
+    )?;
+    written.push("a10_freshness.json");
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_report_writes_every_artifact() {
+        let dir = std::env::temp_dir().join(format!("avdb-report-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let scale = ReportScale { paper_updates: 250, ablation_updates: 150, seed: 1 };
+        let written = generate_report(&dir, scale).unwrap();
+        assert_eq!(written.len(), 12, "one artifact per experiment id");
+        for name in &written {
+            let content = fs::read_to_string(dir.join(name)).unwrap();
+            assert!(content.trim_start().starts_with(['{', '[']), "{name} is JSON");
+            assert!(content.len() > 50, "{name} is non-trivial");
+        }
+        // Spot check: the Fig. 6 artifact carries both series.
+        let fig6 = fs::read_to_string(dir.join("e1_fig6.json")).unwrap();
+        assert!(fig6.contains("\"proposal\""));
+        assert!(fig6.contains("\"conventional\""));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! The simulator's event queue.
+//!
+//! A binary heap ordered by `(time, sequence)` — the sequence number makes
+//! ordering total and therefore the whole simulation deterministic even
+//! when many events share a virtual timestamp.
+
+use avdb_types::{SiteId, VirtualTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled occurrence inside the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event<M, I> {
+    /// Deliver a network message to `to`.
+    Deliver {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// Payload.
+        msg: M,
+    },
+    /// Fire a timer the site set for itself.
+    Timer {
+        /// Site whose timer fires.
+        site: SiteId,
+        /// Opaque token the site chose when arming the timer.
+        token: u64,
+    },
+    /// Deliver an external input (e.g. a user update request) to a site.
+    Input {
+        /// Receiving site.
+        site: SiteId,
+        /// The input.
+        input: I,
+    },
+    /// Crash a site (it stops receiving messages/timers until recovery).
+    Crash {
+        /// Site to crash.
+        site: SiteId,
+    },
+    /// Recover a crashed site.
+    Recover {
+        /// Site to recover.
+        site: SiteId,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled<M, I> {
+    at: VirtualTime,
+    seq: u64,
+    event: Event<M, I>,
+}
+
+impl<M, I> PartialEq for Scheduled<M, I> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M, I> Eq for Scheduled<M, I> {}
+impl<M, I> PartialOrd for Scheduled<M, I> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, I> Ord for Scheduled<M, I> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first ordering.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Debug)]
+pub struct EventQueue<M, I> {
+    heap: BinaryHeap<Scheduled<M, I>>,
+    next_seq: u64,
+}
+
+impl<M, I> Default for EventQueue<M, I> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<M, I> EventQueue<M, I> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute virtual time `at`.
+    pub fn push(&mut self, at: VirtualTime, event: Event<M, I>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event with its timestamp.
+    pub fn pop(&mut self) -> Option<(VirtualTime, Event<M, I>)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q = EventQueue<&'static str, ()>;
+
+    fn timer(site: u32, token: u64) -> Event<&'static str, ()> {
+        Event::Timer { site: SiteId(site), token }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: Q = EventQueue::new();
+        q.push(VirtualTime(5), timer(0, 5));
+        q.push(VirtualTime(1), timer(0, 1));
+        q.push(VirtualTime(3), timer(0, 3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.ticks()).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: Q = EventQueue::new();
+        q.push(VirtualTime(2), timer(0, 10));
+        q.push(VirtualTime(2), timer(0, 11));
+        q.push(VirtualTime(2), timer(0, 12));
+        let tokens: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, vec![10, 11, 12], "FIFO among simultaneous events");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q: Q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(VirtualTime(7), timer(1, 0));
+        assert_eq!(q.peek_time(), Some(VirtualTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q: Q = EventQueue::new();
+        q.push(VirtualTime(10), timer(0, 10));
+        q.push(VirtualTime(4), timer(0, 4));
+        assert_eq!(q.pop().unwrap().0, VirtualTime(4));
+        q.push(VirtualTime(2), timer(0, 2));
+        assert_eq!(q.pop().unwrap().0, VirtualTime(2));
+        assert_eq!(q.pop().unwrap().0, VirtualTime(10));
+    }
+}

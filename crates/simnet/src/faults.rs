@@ -1,0 +1,171 @@
+//! Fault injection for the simulator.
+//!
+//! Models the failure classes the paper's fault-tolerance claim is about:
+//! fail-stop site crashes (with later recovery), network partitions, and
+//! probabilistic message loss. All decisions are driven by the simulator's
+//! seeded RNG, so faulty runs are exactly as reproducible as clean ones.
+
+use avdb_types::SiteId;
+use std::collections::BTreeSet;
+
+/// Which links are severed by a partition.
+///
+/// Sites within the same group communicate; across groups nothing is
+/// delivered. A site missing from every group communicates with nobody.
+#[derive(Clone, Debug, Default)]
+pub struct LinkFilter {
+    groups: Vec<BTreeSet<SiteId>>,
+}
+
+impl LinkFilter {
+    /// No partition: everything connected.
+    pub fn connected() -> Self {
+        LinkFilter { groups: Vec::new() }
+    }
+
+    /// Partition into the given groups.
+    pub fn partition(groups: Vec<Vec<SiteId>>) -> Self {
+        LinkFilter {
+            groups: groups.into_iter().map(|g| g.into_iter().collect()).collect(),
+        }
+    }
+
+    /// `true` if a message from `a` to `b` may pass.
+    pub fn allows(&self, a: SiteId, b: SiteId) -> bool {
+        if self.groups.is_empty() {
+            return true;
+        }
+        self.groups.iter().any(|g| g.contains(&a) && g.contains(&b))
+    }
+
+    /// `true` when no partition is active.
+    pub fn is_fully_connected(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Mutable fault state consulted by the runtime on every delivery.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    crashed: BTreeSet<SiteId>,
+    filter: LinkFilter,
+    /// Probability in `[0,1]` that any given message is silently lost.
+    pub drop_probability: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            crashed: BTreeSet::new(),
+            filter: LinkFilter::connected(),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Fault-free plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Marks `site` as crashed (fail-stop).
+    pub fn crash(&mut self, site: SiteId) {
+        self.crashed.insert(site);
+    }
+
+    /// Recovers a crashed site.
+    pub fn recover(&mut self, site: SiteId) {
+        self.crashed.remove(&site);
+    }
+
+    /// `true` while `site` is down.
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.crashed.contains(&site)
+    }
+
+    /// Installs a partition (replacing any previous one).
+    pub fn set_partition(&mut self, filter: LinkFilter) {
+        self.filter = filter;
+    }
+
+    /// Removes any partition.
+    pub fn heal_partition(&mut self) {
+        self.filter = LinkFilter::connected();
+    }
+
+    /// Whether a message from `from` to `to` can currently be delivered,
+    /// ignoring probabilistic loss (which the runtime rolls separately,
+    /// because it needs the RNG).
+    pub fn link_up(&self, from: SiteId, to: SiteId) -> bool {
+        !self.is_crashed(from) && !self.is_crashed(to) && self.filter.allows(from, to)
+    }
+
+    /// Whether the *path* itself is severed at send time (sender dead or
+    /// partition in the way). A crashed receiver does not sever the path —
+    /// the store-and-forward transport parks the message until recovery.
+    pub fn path_severed(&self, from: SiteId, to: SiteId) -> bool {
+        self.is_crashed(from) || !self.filter.allows(from, to)
+    }
+
+    /// Set of currently crashed sites (test/report hook).
+    pub fn crashed_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        self.crashed.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_allows_everything() {
+        let f = LinkFilter::connected();
+        assert!(f.allows(SiteId(0), SiteId(1)));
+        assert!(f.is_fully_connected());
+    }
+
+    #[test]
+    fn partition_splits_groups() {
+        let f = LinkFilter::partition(vec![
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        ]);
+        assert!(f.allows(SiteId(0), SiteId(1)));
+        assert!(f.allows(SiteId(1), SiteId(0)));
+        assert!(!f.allows(SiteId(0), SiteId(2)));
+        assert!(!f.allows(SiteId(2), SiteId(1)));
+        assert!(f.allows(SiteId(2), SiteId(2)));
+        assert!(!f.is_fully_connected());
+    }
+
+    #[test]
+    fn site_absent_from_all_groups_is_isolated() {
+        let f = LinkFilter::partition(vec![vec![SiteId(0), SiteId(1)]]);
+        assert!(!f.allows(SiteId(3), SiteId(0)));
+        assert!(!f.allows(SiteId(0), SiteId(3)));
+    }
+
+    #[test]
+    fn crash_and_recover_gate_links() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.link_up(SiteId(0), SiteId(1)));
+        plan.crash(SiteId(1));
+        assert!(plan.is_crashed(SiteId(1)));
+        assert!(!plan.link_up(SiteId(0), SiteId(1)));
+        assert!(!plan.link_up(SiteId(1), SiteId(0)));
+        assert!(plan.link_up(SiteId(0), SiteId(2)));
+        plan.recover(SiteId(1));
+        assert!(plan.link_up(SiteId(0), SiteId(1)));
+        assert_eq!(plan.crashed_sites().count(), 0);
+    }
+
+    #[test]
+    fn partition_heals() {
+        let mut plan = FaultPlan::none();
+        plan.set_partition(LinkFilter::partition(vec![vec![SiteId(0)], vec![SiteId(1)]]));
+        assert!(!plan.link_up(SiteId(0), SiteId(1)));
+        plan.heal_partition();
+        assert!(plan.link_up(SiteId(0), SiteId(1)));
+    }
+}

@@ -1,0 +1,240 @@
+//! Deterministic pseudo-random number generation for the simulator.
+//!
+//! The simulator must be bit-for-bit reproducible across runs and across
+//! `rand` version upgrades, so latency jitter, drop decisions and the
+//! random strategies use this self-contained generator (SplitMix64 seeding
+//! into xoshiro256++, the standard public-domain constructions) rather
+//! than `rand`'s unspecified `StdRng` algorithm. Workload generation in
+//! `avdb-workload` also builds on this via the `rand_core`-free API here.
+
+/// A small, fast, deterministic PRNG (xoshiro256++ seeded via SplitMix64).
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Derives an independent stream for a labelled component (site id,
+    /// stream name hash, …) so per-site decisions don't perturb each other
+    /// when event interleavings change.
+    pub fn derive(&self, label: u64) -> DetRng {
+        let mut sm = self
+            .s[0]
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(label)
+            .rotate_left(17)
+            ^ self.s[3];
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `0..bound` (Lemire's unbiased multiply-shift with
+    /// rejection).
+    #[inline]
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Rejection sampling over the top 2^64 % bound values.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    #[inline]
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.gen_range(hi - lo + 1)
+    }
+
+    /// Uniform signed value in `lo..=hi`.
+    #[inline]
+    pub fn gen_i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128) as u64;
+        lo.wrapping_add(self.gen_range(span + 1) as i64)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.gen_range(items.len() as u64) as usize]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_streams_are_independent_and_stable() {
+        let root = DetRng::new(7);
+        let mut s1 = root.derive(1);
+        let mut s1_again = root.derive(1);
+        let mut s2 = root.derive(2);
+        assert_eq!(s1.next_u64(), s1_again.next_u64());
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(7);
+            assert!(v < 7);
+        }
+        for _ in 0..10_000 {
+            let v = rng.gen_range_inclusive(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v = rng.gen_i64_inclusive(-10, 10);
+            assert!((-10..=10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = DetRng::new(11);
+        let mut buckets = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            buckets[rng.gen_range(10) as usize] += 1;
+        }
+        let expected = n / 10;
+        for &b in &buckets {
+            // Within 5% of expectation — generous enough to be robust,
+            // tight enough to catch a broken generator.
+            assert!((b as i64 - expected as i64).abs() < expected as i64 / 20);
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = DetRng::new(5);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = DetRng::new(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = DetRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn choose_covers_all_elements_eventually() {
+        let mut rng = DetRng::new(17);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*rng.choose(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,621 @@
+//! The deterministic discrete-event simulator.
+
+use crate::actor::{Actor, Ctx, MsgInfo};
+use crate::counters::Counters;
+use crate::event::{Event, EventQueue};
+use crate::faults::{FaultPlan, LinkFilter};
+use crate::rng::DetRng;
+use crate::trace::Trace;
+use avdb_types::{LatencyModel, SiteId, VirtualTime};
+use std::collections::BTreeMap;
+
+/// Configures and constructs a [`Simulator`].
+#[derive(Clone, Debug)]
+pub struct SimulatorBuilder {
+    latency: LatencyModel,
+    seed: u64,
+    drop_probability: f64,
+    max_events: u64,
+}
+
+impl Default for SimulatorBuilder {
+    fn default() -> Self {
+        SimulatorBuilder {
+            latency: LatencyModel::default(),
+            seed: 0,
+            drop_probability: 0.0,
+            max_events: u64::MAX,
+        }
+    }
+}
+
+impl SimulatorBuilder {
+    /// Fresh builder with defaults (1-tick fixed latency, seed 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the link latency model.
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// Sets the seed for jitter, drops and per-actor RNGs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the probabilistic message-loss rate.
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+
+    /// Safety valve: abort after this many events (guards against
+    /// livelocked protocols in tests).
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Builds a simulator hosting `actors` (one per site, index = site id).
+    pub fn build<A: Actor>(self, actors: Vec<A>) -> Simulator<A> {
+        let root = DetRng::new(self.seed);
+        let rngs = (0..actors.len())
+            .map(|i| root.derive(0x5174_0000 + i as u64))
+            .collect();
+        let mut faults = FaultPlan::none();
+        faults.drop_probability = self.drop_probability;
+        Simulator {
+            actors,
+            rngs,
+            queue: EventQueue::new(),
+            now: VirtualTime::ZERO,
+            latency: self.latency,
+            net_rng: root.derive(0xAE7),
+            faults,
+            counters: Counters::new(),
+            outputs: Vec::new(),
+            link_fifo: BTreeMap::new(),
+            parked: BTreeMap::new(),
+            started: false,
+            processed: 0,
+            max_events: self.max_events,
+            lost_inputs: 0,
+            trace: Trace::new(),
+        }
+    }
+}
+
+/// Deterministic discrete-event runtime hosting one [`Actor`] per site.
+///
+/// Events are processed in `(virtual time, insertion order)` order; all
+/// randomness flows from the builder seed; links are FIFO per direction.
+pub struct Simulator<A: Actor> {
+    actors: Vec<A>,
+    rngs: Vec<DetRng>,
+    queue: EventQueue<A::Msg, A::Input>,
+    now: VirtualTime,
+    latency: LatencyModel,
+    net_rng: DetRng,
+    faults: FaultPlan,
+    counters: Counters,
+    outputs: Vec<(VirtualTime, SiteId, A::Output)>,
+    /// Last scheduled delivery time per directed link, to keep links FIFO
+    /// even under latency jitter.
+    link_fifo: BTreeMap<(SiteId, SiteId), VirtualTime>,
+    /// Store-and-forward queue: messages addressed to a crashed site are
+    /// held here and re-scheduled at its recovery (the transport is a
+    /// durable message queue; a fail-stop site loses state, not mail).
+    parked: BTreeMap<SiteId, Vec<(SiteId, A::Msg)>>,
+    started: bool,
+    processed: u64,
+    max_events: u64,
+    lost_inputs: u64,
+    trace: Trace,
+}
+
+impl<A: Actor> Simulator<A> {
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Network traffic counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Inputs that were injected at crashed sites and therefore lost.
+    pub fn lost_inputs(&self) -> u64 {
+        self.lost_inputs
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Shared access to a site's actor (assertions, state inspection).
+    pub fn actor(&self, site: SiteId) -> &A {
+        &self.actors[site.index()]
+    }
+
+    /// Mutable access to a site's actor (test setup only; mutating protocol
+    /// state mid-run voids determinism guarantees).
+    pub fn actor_mut(&mut self, site: SiteId) -> &mut A {
+        &mut self.actors[site.index()]
+    }
+
+    /// Takes all outputs emitted since the last drain.
+    pub fn drain_outputs(&mut self) -> Vec<(VirtualTime, SiteId, A::Output)> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Schedules an external input for `site` at absolute time `at`.
+    pub fn inject_at(&mut self, at: VirtualTime, site: SiteId, input: A::Input) {
+        debug_assert!(at >= self.now, "cannot inject into the past");
+        self.queue.push(at, Event::Input { site, input });
+    }
+
+    /// Schedules an input at the current time (processed after already
+    /// queued same-time events).
+    pub fn inject_now(&mut self, site: SiteId, input: A::Input) {
+        self.queue.push(self.now, Event::Input { site, input });
+    }
+
+    /// Schedules a fail-stop crash.
+    pub fn crash_at(&mut self, at: VirtualTime, site: SiteId) {
+        self.queue.push(at, Event::Crash { site });
+    }
+
+    /// Schedules a recovery.
+    pub fn recover_at(&mut self, at: VirtualTime, site: SiteId) {
+        self.queue.push(at, Event::Recover { site });
+    }
+
+    /// Installs a network partition immediately.
+    pub fn set_partition(&mut self, filter: LinkFilter) {
+        self.faults.set_partition(filter);
+    }
+
+    /// Heals any partition immediately.
+    pub fn heal_partition(&mut self) {
+        self.faults.heal_partition();
+    }
+
+    /// `true` while `site` is crashed.
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.faults.is_crashed(site)
+    }
+
+    /// Starts recording a message-sequence trace (see
+    /// [`crate::trace::render_sequence`]).
+    pub fn enable_trace(&mut self) {
+        self.trace.enable();
+    }
+
+    /// The recorded message-sequence trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn sample_latency(&mut self) -> u64 {
+        match self.latency {
+            LatencyModel::Fixed { ticks } => ticks,
+            LatencyModel::Jittered { base, spread } => {
+                base + self.net_rng.gen_range(spread + 1)
+            }
+        }
+    }
+
+    /// Runs a handler and applies its queued effects to the event queue.
+    fn with_ctx<F>(&mut self, site: SiteId, f: F)
+    where
+        F: FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Output>),
+    {
+        let idx = site.index();
+        let mut rng = self.rngs[idx].clone();
+        let mut ctx = Ctx::new(site, self.now, &mut rng);
+        f(&mut self.actors[idx], &mut ctx);
+        let Ctx { sends, timers, outputs, .. } = ctx;
+        self.rngs[idx] = rng;
+        for (to, msg) in sends {
+            self.route(site, to, msg);
+        }
+        for (delay, token) in timers {
+            self.queue.push(self.now.after(delay), Event::Timer { site, token });
+        }
+        for out in outputs {
+            self.outputs.push((self.now, site, out));
+        }
+    }
+
+    /// Sends `msg` through the (possibly faulty) network.
+    fn route(&mut self, from: SiteId, to: SiteId, msg: A::Msg) {
+        self.counters.record_send(from, to, msg.kind());
+        // A partition drops; a crashed *receiver* does not — the message
+        // travels and parks at the receiver's durable queue on arrival.
+        if self.faults.path_severed(from, to) {
+            self.counters.record_drop();
+            return;
+        }
+        if self.faults.drop_probability > 0.0
+            && self.net_rng.gen_bool(self.faults.drop_probability)
+        {
+            self.counters.record_drop();
+            return;
+        }
+        let mut deliver_at = self.now.after(self.sample_latency());
+        // Per-link FIFO: never schedule a delivery before one already
+        // scheduled on the same directed link.
+        if let Some(&last) = self.link_fifo.get(&(from, to)) {
+            deliver_at = deliver_at.max(last);
+        }
+        self.link_fifo.insert((from, to), deliver_at);
+        self.queue.push(deliver_at, Event::Deliver { from, to, msg });
+    }
+
+    /// Calls every actor's `on_start` exactly once; idempotent, invoked
+    /// automatically by the run methods.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.actors.len() {
+            self.with_ctx(SiteId(i as u32), |a, ctx| a.on_start(ctx));
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        assert!(
+            self.processed < self.max_events,
+            "simulator exceeded max_events={} — livelocked protocol?",
+            self.max_events
+        );
+        self.processed += 1;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        match event {
+            Event::Deliver { from, to, msg } => {
+                // A crash between send and delivery parks the message in
+                // the transport's durable queue until recovery.
+                if self.faults.is_crashed(to) {
+                    self.counters.record_parked();
+                    self.parked.entry(to).or_default().push((from, msg));
+                } else {
+                    self.counters.record_delivery(to);
+                    self.trace.record(self.now, from, to, msg.kind());
+                    self.with_ctx(to, |a, ctx| a.on_message(ctx, from, msg));
+                }
+            }
+            Event::Timer { site, token } => {
+                // Timers die with the crash (volatile state).
+                if !self.faults.is_crashed(site) {
+                    self.with_ctx(site, |a, ctx| a.on_timer(ctx, token));
+                }
+            }
+            Event::Input { site, input } => {
+                if self.faults.is_crashed(site) {
+                    self.lost_inputs += 1;
+                } else {
+                    self.with_ctx(site, |a, ctx| a.on_input(ctx, input));
+                }
+            }
+            Event::Crash { site } => {
+                self.faults.crash(site);
+                self.actors[site.index()].on_crash();
+            }
+            Event::Recover { site } => {
+                self.faults.recover(site);
+                self.with_ctx(site, |a, ctx| a.on_recover(ctx));
+                // Deliver parked mail in arrival order, after the recovery
+                // handler's own effects.
+                for (from, msg) in self.parked.remove(&site).unwrap_or_default() {
+                    self.queue.push(self.now, Event::Deliver { from, to: site, msg });
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain.
+    pub fn run_until_quiescent(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs while the next event is at or before `deadline`; afterwards
+    /// `now` is exactly `deadline` (time advances even with no events).
+    pub fn run_until(&mut self, deadline: VirtualTime) {
+        self.start();
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::MsgInfo;
+
+    /// Toy protocol: on input `n`, send `Ping(n)` to every other site; each
+    /// receiver replies `Pong(n)`; origin emits when all pongs arrive.
+    #[derive(Clone, Debug, PartialEq)]
+    enum PingMsg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    impl MsgInfo for PingMsg {
+        fn kind(&self) -> &'static str {
+            match self {
+                PingMsg::Ping(_) => "ping",
+                PingMsg::Pong(_) => "pong",
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct PingActor {
+        n_sites: usize,
+        pongs: std::collections::HashMap<u64, usize>,
+        pings_seen: u64,
+        recovered: bool,
+    }
+
+    impl PingActor {
+        fn new(n_sites: usize) -> Self {
+            PingActor { n_sites, ..Default::default() }
+        }
+    }
+
+    impl Actor for PingActor {
+        type Msg = PingMsg;
+        type Input = u64;
+        type Output = u64;
+
+        fn on_input(&mut self, ctx: &mut Ctx<'_, PingMsg, u64>, n: u64) {
+            for s in 0..self.n_sites as u32 {
+                if SiteId(s) != ctx.me() {
+                    ctx.send(SiteId(s), PingMsg::Ping(n));
+                }
+            }
+            self.pongs.insert(n, 0);
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, PingMsg, u64>, from: SiteId, msg: PingMsg) {
+            match msg {
+                PingMsg::Ping(n) => {
+                    self.pings_seen += 1;
+                    ctx.send(from, PingMsg::Pong(n));
+                }
+                PingMsg::Pong(n) => {
+                    let c = self.pongs.entry(n).or_insert(0);
+                    *c += 1;
+                    if *c == self.n_sites - 1 {
+                        ctx.emit(n);
+                    }
+                }
+            }
+        }
+
+        fn on_recover(&mut self, _ctx: &mut Ctx<'_, PingMsg, u64>) {
+            self.recovered = true;
+        }
+    }
+
+    fn sim(n: usize) -> Simulator<PingActor> {
+        SimulatorBuilder::new().build((0..n).map(|_| PingActor::new(n)).collect())
+    }
+
+    #[test]
+    fn ping_pong_round_trip_counts_messages() {
+        let mut sim = sim(3);
+        sim.inject_at(VirtualTime(0), SiteId(1), 7);
+        sim.run_until_quiescent();
+        let out = sim.drain_outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, SiteId(1));
+        assert_eq!(out[0].2, 7);
+        // 2 pings + 2 pongs.
+        assert_eq!(sim.counters().total_messages(), 4);
+        assert_eq!(sim.counters().total_correspondences(), 2);
+        assert_eq!(sim.counters().by_kind("ping"), 2);
+        assert_eq!(sim.counters().sent_by(SiteId(1)), 2);
+        // Fixed 1-tick latency: pings at t=1, pongs at t=2.
+        assert_eq!(sim.now(), VirtualTime(2));
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let run = |seed| {
+            let mut s = SimulatorBuilder::new()
+                .seed(seed)
+                .latency(LatencyModel::Jittered { base: 1, spread: 4 })
+                .build((0..4).map(|_| PingActor::new(4)).collect());
+            for i in 0..20 {
+                s.inject_at(VirtualTime(i), SiteId((i % 4) as u32), i);
+            }
+            s.run_until_quiescent();
+            (s.counters().snapshot(), s.now())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).1, VirtualTime::ZERO);
+    }
+
+    #[test]
+    fn crashed_site_parks_messages_and_loses_inputs() {
+        let mut sim = sim(3);
+        sim.crash_at(VirtualTime(0), SiteId(2));
+        sim.inject_at(VirtualTime(1), SiteId(1), 3);
+        sim.inject_at(VirtualTime(1), SiteId(2), 4); // lost input
+        sim.run_until_quiescent();
+        let out = sim.drain_outputs();
+        // Site 1 never gets the pong from crashed site 2, so no output.
+        assert!(out.is_empty());
+        assert_eq!(sim.lost_inputs(), 1);
+        // Ping to site 0 delivered and ponged; ping to site 2 parked in
+        // the transport's durable queue (not dropped).
+        assert_eq!(sim.counters().dropped_messages(), 0);
+        assert_eq!(sim.counters().parked_messages(), 1);
+        assert!(sim.is_crashed(SiteId(2)));
+        assert_eq!(sim.actor(SiteId(2)).pings_seen, 0);
+    }
+
+    #[test]
+    fn parked_messages_deliver_at_recovery() {
+        let mut sim = sim(3);
+        sim.crash_at(VirtualTime(0), SiteId(2));
+        sim.inject_at(VirtualTime(1), SiteId(1), 3);
+        sim.recover_at(VirtualTime(50), SiteId(2));
+        sim.run_until_quiescent();
+        // After recovery the parked ping is delivered, ponged, and the
+        // round completes.
+        let out = sim.drain_outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(sim.actor(SiteId(2)).pings_seen, 1);
+        assert!(out[0].0 >= VirtualTime(50), "completed only after recovery");
+    }
+
+    #[test]
+    fn recovery_allows_later_traffic() {
+        let mut sim = sim(3);
+        sim.crash_at(VirtualTime(0), SiteId(2));
+        sim.recover_at(VirtualTime(5), SiteId(2));
+        sim.inject_at(VirtualTime(6), SiteId(1), 3);
+        sim.run_until_quiescent();
+        let out = sim.drain_outputs();
+        assert_eq!(out.len(), 1, "after recovery the round completes");
+        assert!(sim.actor(SiteId(2)).recovered);
+        assert!(!sim.is_crashed(SiteId(2)));
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut sim = sim(3);
+        sim.set_partition(LinkFilter::partition(vec![
+            vec![SiteId(0), SiteId(1)],
+            vec![SiteId(2)],
+        ]));
+        sim.inject_at(VirtualTime(0), SiteId(1), 1);
+        sim.run_until_quiescent();
+        assert!(sim.drain_outputs().is_empty());
+        assert_eq!(sim.counters().dropped_messages(), 1);
+        sim.heal_partition();
+        sim.inject_at(sim.now(), SiteId(1), 2);
+        sim.run_until_quiescent();
+        assert_eq!(sim.drain_outputs().len(), 1);
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let mut sim = SimulatorBuilder::new()
+            .seed(1)
+            .drop_probability(1.0)
+            .build((0..2).map(|_| PingActor::new(2)).collect());
+        sim.inject_at(VirtualTime(0), SiteId(0), 1);
+        sim.run_until_quiescent();
+        assert_eq!(sim.counters().dropped_messages(), 1);
+        assert!(sim.drain_outputs().is_empty());
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = sim(2);
+        sim.run_until(VirtualTime(50));
+        assert_eq!(sim.now(), VirtualTime(50));
+        sim.inject_at(VirtualTime(60), SiteId(0), 1);
+        sim.run_until(VirtualTime(55));
+        assert_eq!(sim.now(), VirtualTime(55));
+        assert!(sim.drain_outputs().is_empty(), "future event not yet processed");
+        sim.run_until(VirtualTime(100));
+        assert_eq!(sim.drain_outputs().len(), 1);
+    }
+
+    #[test]
+    fn fifo_per_link_under_jitter() {
+        /// Actor that records the order of payloads it receives.
+        struct Recorder {
+            seen: Vec<u64>,
+        }
+        #[derive(Clone, Debug)]
+        struct Seq(u64);
+        impl MsgInfo for Seq {
+            fn kind(&self) -> &'static str {
+                "seq"
+            }
+        }
+        impl Actor for Recorder {
+            type Msg = Seq;
+            type Input = u64;
+            type Output = ();
+            fn on_input(&mut self, ctx: &mut Ctx<'_, Seq, ()>, n: u64) {
+                ctx.send(SiteId(1), Seq(n));
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Seq, ()>, _from: SiteId, msg: Seq) {
+                self.seen.push(msg.0);
+            }
+        }
+        let mut sim = SimulatorBuilder::new()
+            .seed(3)
+            .latency(LatencyModel::Jittered { base: 1, spread: 20 })
+            .build(vec![Recorder { seen: vec![] }, Recorder { seen: vec![] }]);
+        for i in 0..50 {
+            sim.inject_at(VirtualTime(i), SiteId(0), i);
+        }
+        sim.run_until_quiescent();
+        let seen = &sim.actor(SiteId(1)).seen;
+        assert_eq!(seen.len(), 50);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "link must be FIFO: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_events")]
+    fn max_events_guards_livelock() {
+        /// Two actors bouncing a message forever.
+        struct Bouncer;
+        #[derive(Clone, Debug)]
+        struct B;
+        impl MsgInfo for B {
+            fn kind(&self) -> &'static str {
+                "b"
+            }
+        }
+        impl Actor for Bouncer {
+            type Msg = B;
+            type Input = ();
+            type Output = ();
+            fn on_input(&mut self, ctx: &mut Ctx<'_, B, ()>, _: ()) {
+                ctx.send(SiteId(1), B);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, B, ()>, from: SiteId, _: B) {
+                ctx.send(from, B);
+            }
+        }
+        let mut sim = SimulatorBuilder::new()
+            .max_events(100)
+            .build(vec![Bouncer, Bouncer]);
+        sim.inject_at(VirtualTime(0), SiteId(0), ());
+        sim.run_until_quiescent();
+    }
+}

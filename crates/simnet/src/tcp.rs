@@ -1,0 +1,353 @@
+//! TCP mesh transport: the same [`Actor`] code over real sockets.
+//!
+//! Each site binds a loopback listener; the mesh is fully connected with
+//! one TCP connection per ordered site pair, and every protocol message
+//! travels as a length-prefixed JSON frame ([`crate::transport::encode_frame`])
+//! — the wire format the in-process transports never exercise. This is
+//! the deployment shape the paper's system would actually run in: one
+//! process per company site, talking over the network.
+//!
+//! Threads per site: one event loop (inputs, timers, decoded messages)
+//! plus one reader per peer connection. Writers share the event loop's
+//! thread (sends happen inline under a per-peer stream lock).
+
+use crate::actor::{Actor, Ctx, MsgInfo};
+use crate::counters::Counters;
+use crate::rng::DetRng;
+use crate::transport::{decode_frame, encode_frame};
+use avdb_types::{SiteId, VirtualTime};
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Envelope around every frame on the wire.
+#[derive(Serialize, Deserialize)]
+struct Envelope<M> {
+    from: u32,
+    msg: M,
+}
+
+enum SiteEvent<M, I> {
+    /// A decoded frame from a peer.
+    Msg { from: SiteId, msg: M },
+    /// An injected external input.
+    Input(I),
+    /// Stop the site.
+    Shutdown,
+}
+
+/// Timestamped outputs collected from all sites.
+type Outputs<O> = Vec<(VirtualTime, SiteId, O)>;
+
+/// Per-site event channel endpoints.
+type EventChannel<M, I> = (Sender<SiteEvent<M, I>>, Receiver<SiteEvent<M, I>>);
+
+/// Handle to a mesh of sites running over real TCP connections.
+pub struct TcpMesh<A: Actor> {
+    inputs: Vec<Sender<SiteEvent<A::Msg, A::Input>>>,
+    handles: Vec<JoinHandle<A>>,
+    counters: Arc<Mutex<Counters>>,
+    outputs: Arc<Mutex<Outputs<A::Output>>>,
+}
+
+impl<A> TcpMesh<A>
+where
+    A: Actor + Send + 'static,
+    A::Msg: Serialize + DeserializeOwned + Send + 'static,
+    A::Input: Send + 'static,
+    A::Output: Send + 'static,
+{
+    /// Binds one loopback listener per site, connects the full mesh, and
+    /// spawns the event loops. Panics on socket errors (this is a test /
+    /// demo harness, not a daemon).
+    pub fn spawn(actors: Vec<A>, seed: u64) -> Self {
+        let n = actors.len();
+        // Bind listeners first so every address is known before anyone
+        // connects.
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+            .collect();
+        let addrs: Vec<std::net::SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
+
+        // Event channels: sockets feed decoded messages in here.
+        let channels: Vec<EventChannel<A::Msg, A::Input>> =
+            (0..n).map(|_| unbounded()).collect();
+        let inputs: Vec<Sender<_>> = channels.iter().map(|(s, _)| s.clone()).collect();
+
+        // Establish the mesh: site i dials every j > i; site j accepts
+        // from every i < j. The dialing side sends its id first so the
+        // acceptor knows who is calling.
+        let mut streams: Vec<Vec<Option<TcpStream>>> = (0..n)
+            .map(|_| (0..n).map(|_| None).collect())
+            .collect();
+        std::thread::scope(|scope| {
+            let mut accept_handles = Vec::new();
+            for (j, listener) in listeners.iter().enumerate() {
+                accept_handles.push(scope.spawn(move || {
+                    let mut got: Vec<(usize, TcpStream)> = Vec::new();
+                    for _ in 0..j {
+                        let (mut s, _) = listener.accept().expect("accept");
+                        let mut id = [0u8; 4];
+                        s.read_exact(&mut id).expect("peer id");
+                        got.push((u32::from_be_bytes(id) as usize, s));
+                    }
+                    got
+                }));
+            }
+            for (i, row) in streams.iter_mut().enumerate() {
+                for (j, addr) in addrs.iter().enumerate().skip(i + 1) {
+                    let mut s = TcpStream::connect(addr).expect("connect");
+                    s.write_all(&(i as u32).to_be_bytes()).expect("send id");
+                    row[j] = Some(s);
+                }
+            }
+            for (j, h) in accept_handles.into_iter().enumerate() {
+                for (i, s) in h.join().expect("accept thread") {
+                    streams[j][i] = Some(s);
+                }
+            }
+        });
+
+        let counters = Arc::new(Mutex::new(Counters::new()));
+        let outputs: Arc<Mutex<Outputs<A::Output>>> = Arc::new(Mutex::new(Vec::new()));
+        let root = DetRng::new(seed);
+        let epoch = Instant::now();
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, (actor, (_, rx))) in actors.into_iter().zip(channels).enumerate() {
+            let me = SiteId(i as u32);
+            // Reader thread per peer: decode frames, forward to the loop.
+            let mut writers: Vec<Option<Arc<Mutex<TcpStream>>>> =
+                (0..n).map(|_| None).collect();
+            for (j, stream) in streams[i].iter_mut().enumerate() {
+                let Some(stream) = stream.take() else { continue };
+                let reader = stream.try_clone().expect("clone stream");
+                writers[j] = Some(Arc::new(Mutex::new(stream)));
+                let tx = inputs[i].clone();
+                std::thread::spawn(move || {
+                    let mut reader = reader;
+                    let mut buf = BytesMut::new();
+                    let mut chunk = [0u8; 4096];
+                    loop {
+                        match reader.read(&mut chunk) {
+                            Ok(0) | Err(_) => break, // peer closed
+                            Ok(k) => buf.extend_from_slice(&chunk[..k]),
+                        }
+                        loop {
+                            match decode_frame::<Envelope<A::Msg>>(&mut buf) {
+                                Ok(Some(env)) => {
+                                    if tx
+                                        .send(SiteEvent::Msg {
+                                            from: SiteId(env.from),
+                                            msg: env.msg,
+                                        })
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(_) => return, // corrupt stream: drop link
+                            }
+                        }
+                    }
+                });
+            }
+
+            let counters = Arc::clone(&counters);
+            let outputs = Arc::clone(&outputs);
+            let mut rng = root.derive(0x7C90_0000 + i as u64);
+            handles.push(std::thread::spawn(move || {
+                let mut actor = actor;
+                let mut timers: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+                let now_ticks = |epoch: Instant| VirtualTime(epoch.elapsed().as_millis() as u64);
+
+                let dispatch = |actor: &mut A,
+                                rng: &mut DetRng,
+                                timers: &mut BinaryHeap<Reverse<(Instant, u64)>>,
+                                ev: Option<SiteEvent<A::Msg, A::Input>>,
+                                token: Option<u64>| {
+                    let mut ctx = Ctx::new(me, now_ticks(epoch), rng);
+                    match (ev, token) {
+                        (Some(SiteEvent::Msg { from, msg }), _) => {
+                            counters.lock().record_delivery(me);
+                            actor.on_message(&mut ctx, from, msg);
+                        }
+                        (Some(SiteEvent::Input(input)), _) => actor.on_input(&mut ctx, input),
+                        (None, Some(tok)) => actor.on_timer(&mut ctx, tok),
+                        (None, None) => actor.on_start(&mut ctx),
+                        (Some(SiteEvent::Shutdown), _) => unreachable!("handled by caller"),
+                    }
+                    let Ctx { sends, timers: new_timers, outputs: outs, .. } = ctx;
+                    {
+                        let mut c = counters.lock();
+                        for (to, msg) in &sends {
+                            c.record_send(me, *to, msg.kind());
+                        }
+                    }
+                    for (to, msg) in sends {
+                        let Some(writer) = &writers[to.index()] else {
+                            counters.lock().record_drop();
+                            continue;
+                        };
+                        let mut frame = BytesMut::new();
+                        if encode_frame(&Envelope { from: me.0, msg }, &mut frame).is_err() {
+                            counters.lock().record_drop();
+                            continue;
+                        }
+                        let mut stream = writer.lock();
+                        if stream.write_all(&frame).is_err() {
+                            counters.lock().record_drop();
+                        }
+                    }
+                    for (delay, token) in new_timers {
+                        timers.push(Reverse((
+                            Instant::now() + Duration::from_millis(delay),
+                            token,
+                        )));
+                    }
+                    if !outs.is_empty() {
+                        let t = now_ticks(epoch);
+                        outputs.lock().extend(outs.into_iter().map(|o| (t, me, o)));
+                    }
+                };
+
+                dispatch(&mut actor, &mut rng, &mut timers, None, None); // on_start
+                loop {
+                    while let Some(&Reverse((deadline, token))) = timers.peek() {
+                        if deadline <= Instant::now() {
+                            timers.pop();
+                            dispatch(&mut actor, &mut rng, &mut timers, None, Some(token));
+                        } else {
+                            break;
+                        }
+                    }
+                    let ev = match timers.peek() {
+                        Some(&Reverse((deadline, _))) => {
+                            let wait = deadline.saturating_duration_since(Instant::now());
+                            match rx.recv_timeout(wait) {
+                                Ok(ev) => ev,
+                                Err(RecvTimeoutError::Timeout) => continue,
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        None => match rx.recv() {
+                            Ok(ev) => ev,
+                            Err(_) => break,
+                        },
+                    };
+                    match ev {
+                        SiteEvent::Shutdown => break,
+                        other => dispatch(&mut actor, &mut rng, &mut timers, Some(other), None),
+                    }
+                }
+                actor
+            }));
+        }
+        TcpMesh { inputs, handles, counters, outputs }
+    }
+
+    /// Injects an external input at `site`.
+    pub fn inject(&self, site: SiteId, input: A::Input) {
+        let _ = self.inputs[site.index()].send(SiteEvent::Input(input));
+    }
+
+    /// Takes all outputs emitted so far.
+    pub fn drain_outputs(&self) -> Outputs<A::Output> {
+        std::mem::take(&mut *self.outputs.lock())
+    }
+
+    /// Stops every site and returns (actors, counters, remaining outputs).
+    pub fn shutdown(self) -> (Vec<A>, Counters, Outputs<A::Output>) {
+        for s in &self.inputs {
+            let _ = s.send(SiteEvent::Shutdown);
+        }
+        let actors = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("site thread panicked"))
+            .collect();
+        let counters = self.counters.lock().clone();
+        let outputs = std::mem::take(&mut *self.outputs.lock());
+        (actors, counters, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+    enum Echo {
+        Ping(u64),
+        Pong(u64),
+    }
+    impl MsgInfo for Echo {
+        fn kind(&self) -> &'static str {
+            match self {
+                Echo::Ping(_) => "ping",
+                Echo::Pong(_) => "pong",
+            }
+        }
+    }
+
+    struct EchoActor {
+        n: usize,
+        pings_seen: u64,
+    }
+    impl Actor for EchoActor {
+        type Msg = Echo;
+        type Input = u64;
+        type Output = u64;
+        fn on_input(&mut self, ctx: &mut Ctx<'_, Echo, u64>, v: u64) {
+            for s in 0..self.n as u32 {
+                if SiteId(s) != ctx.me() {
+                    ctx.send(SiteId(s), Echo::Ping(v));
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Echo, u64>, from: SiteId, msg: Echo) {
+            match msg {
+                Echo::Ping(v) => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Echo::Pong(v));
+                }
+                Echo::Pong(v) => ctx.emit(v),
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_mesh_round_trips_frames() {
+        let mesh = TcpMesh::spawn(
+            (0..3).map(|_| EchoActor { n: 3, pings_seen: 0 }).collect(),
+            1,
+        );
+        for v in 0..20u64 {
+            mesh.inject(SiteId((v % 3) as u32), v);
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut outs = Vec::new();
+        while outs.len() < 40 {
+            assert!(Instant::now() < deadline, "got {}/40", outs.len());
+            outs.extend(mesh.drain_outputs());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (actors, counters, _) = mesh.shutdown();
+        // 20 inputs × 2 pings × 2 messages (ping+pong) = 80 messages.
+        assert_eq!(counters.total_messages(), 80);
+        assert_eq!(counters.total_correspondences(), 40);
+        let pings: u64 = actors.iter().map(|a| a.pings_seen).sum();
+        assert_eq!(pings, 40);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # avdb-storage
+//!
+//! The local database engine that lives at every site (the "local DB" of
+//! the paper's Fig. 2). One instance per site, storing the replicated
+//! product table plus the durable machinery the protocols need:
+//!
+//! * [`table`] — the product table (id → name, class, stock level);
+//! * [`wal`] — a write-ahead log of transaction records, replayable after
+//!   a crash, serializable to JSON lines for inspection;
+//! * [`locks`] — a record-level lock manager used by the Immediate Update
+//!   primary-copy commit (Delay Updates never take locks — the paper is
+//!   explicit that AV holds are not exclusive);
+//! * [`txn`] — transaction bookkeeping with rollback by *opposite delta*,
+//!   exactly the recovery rule the paper prescribes for Delay Updates;
+//! * [`engine`] — [`LocalDb`], the façade tying those together, with
+//!   checkpointing and crash/replay recovery.
+//!
+//! The engine is single-writer by design: each site's accelerator is the
+//! only mutator of its local DB, so the engine needs no internal locking;
+//! sharing across threads (live transport) wraps it at a higher level.
+
+pub mod engine;
+pub mod locks;
+pub mod persist;
+pub mod table;
+pub mod txn;
+pub mod wal;
+
+pub use engine::{LocalDb, RecoveryReport};
+pub use locks::{LockManager, LockMode};
+pub use table::{ProductRow, ProductTable, TableSnapshot};
+pub use txn::{TxnManager, TxnState};
+pub use wal::{LogRecord, Wal};

@@ -1,0 +1,294 @@
+//! The replicated product table.
+//!
+//! "The content of all local DBs are the same, which include product names
+//! and amount of their stock" (paper §3.2). Rows are stored densely by
+//! product id — the catalog is distributed once from the base DB and never
+//! grows mid-run, so a `Vec` beats a map for both speed and memory (see
+//! the perf-book guidance on avoiding hashing when keys are dense).
+
+use avdb_types::{AvdbError, CatalogEntry, ProductClass, ProductId, Result, Volume};
+use serde::{Deserialize, Serialize};
+
+/// One row of the product table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductRow {
+    /// Product key.
+    pub id: ProductId,
+    /// Display name.
+    pub name: String,
+    /// Regular / non-regular classification (drives protocol choice).
+    pub class: ProductClass,
+    /// Current stock level at this replica.
+    pub stock: Volume,
+}
+
+/// Dense, in-memory product table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProductTable {
+    rows: Vec<ProductRow>,
+}
+
+impl ProductTable {
+    /// Builds the table from the initially distributed catalog.
+    pub fn from_catalog(catalog: &[CatalogEntry]) -> Self {
+        ProductTable {
+            rows: catalog
+                .iter()
+                .map(|e| ProductRow {
+                    id: e.id,
+                    name: e.name.clone(),
+                    class: e.class,
+                    stock: e.initial_stock,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Read a row.
+    pub fn get(&self, id: ProductId) -> Result<&ProductRow> {
+        self.rows.get(id.index()).ok_or(AvdbError::UnknownProduct(id))
+    }
+
+    /// Current stock of a product.
+    pub fn stock(&self, id: ProductId) -> Result<Volume> {
+        self.get(id).map(|r| r.stock)
+    }
+
+    /// Applies a signed delta to a product's stock, rejecting writes that
+    /// would take the level negative.
+    pub fn apply_delta(&mut self, id: ProductId, delta: Volume) -> Result<Volume> {
+        let row = self
+            .rows
+            .get_mut(id.index())
+            .ok_or(AvdbError::UnknownProduct(id))?;
+        let new = row.stock + delta;
+        if new.is_negative() {
+            return Err(AvdbError::NegativeStock { product: id, would_be: new });
+        }
+        row.stock = new;
+        Ok(new)
+    }
+
+    /// Applies a delta unconditionally (used only by WAL *undo*, where the
+    /// intermediate state may transiently dip below zero while unwinding).
+    pub fn apply_delta_unchecked(&mut self, id: ProductId, delta: Volume) -> Result<Volume> {
+        let row = self
+            .rows
+            .get_mut(id.index())
+            .ok_or(AvdbError::UnknownProduct(id))?;
+        row.stock += delta;
+        Ok(row.stock)
+    }
+
+    /// Overwrites a product's stock (snapshot restore).
+    pub fn set_stock(&mut self, id: ProductId, value: Volume) -> Result<()> {
+        let row = self
+            .rows
+            .get_mut(id.index())
+            .ok_or(AvdbError::UnknownProduct(id))?;
+        row.stock = value;
+        Ok(())
+    }
+
+    /// Reclassifies a product at runtime — the paper's "adaptation to
+    /// unpredictable user requirements" hinges on being able to move a
+    /// product between the Delay (regular) and Immediate (non-regular)
+    /// regimes without rebuilding the system.
+    pub fn reclassify(&mut self, id: ProductId, class: ProductClass) -> Result<()> {
+        let row = self
+            .rows
+            .get_mut(id.index())
+            .ok_or(AvdbError::UnknownProduct(id))?;
+        row.class = class;
+        Ok(())
+    }
+
+    /// Iterates over all rows.
+    pub fn iter(&self) -> impl Iterator<Item = &ProductRow> {
+        self.rows.iter()
+    }
+
+    /// Immutable full-copy snapshot (checkpointing, replica comparison).
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot { stocks: self.rows.iter().map(|r| r.stock).collect() }
+    }
+
+    /// Restores stock levels from a snapshot taken on a table with the
+    /// same catalog.
+    pub fn restore(&mut self, snap: &TableSnapshot) -> Result<()> {
+        if snap.stocks.len() != self.rows.len() {
+            return Err(AvdbError::Corruption(format!(
+                "snapshot has {} rows, table has {}",
+                snap.stocks.len(),
+                self.rows.len()
+            )));
+        }
+        for (row, &stock) in self.rows.iter_mut().zip(&snap.stocks) {
+            row.stock = stock;
+        }
+        Ok(())
+    }
+
+    /// Total stock across all products (test/invariant hook).
+    pub fn total_stock(&self) -> Volume {
+        self.rows.iter().map(|r| r.stock).sum()
+    }
+
+    /// Products whose stock is strictly below `threshold`, in id order —
+    /// the replenishment query the maker's monitoring loop runs.
+    pub fn low_stock(&self, threshold: Volume) -> Vec<(ProductId, Volume)> {
+        self.rows
+            .iter()
+            .filter(|r| r.stock < threshold)
+            .map(|r| (r.id, r.stock))
+            .collect()
+    }
+
+    /// The `k` best-stocked products, descending by stock (ties by id).
+    pub fn top_stock(&self, k: usize) -> Vec<(ProductId, Volume)> {
+        let mut all: Vec<(ProductId, Volume)> =
+            self.rows.iter().map(|r| (r.id, r.stock)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Rows matching `predicate` (generic scan).
+    pub fn scan<F: FnMut(&ProductRow) -> bool>(&self, mut predicate: F) -> Vec<&ProductRow> {
+        self.rows.iter().filter(|r| predicate(r)).collect()
+    }
+}
+
+/// Stock levels at one instant; the catalog part never changes so only
+/// levels are captured.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSnapshot {
+    /// Stock per product, densely indexed.
+    pub stocks: Vec<Volume>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Vec<CatalogEntry> {
+        vec![
+            CatalogEntry::new(ProductId(0), ProductClass::Regular, Volume(100)),
+            CatalogEntry::new(ProductId(1), ProductClass::NonRegular, Volume(10)),
+        ]
+    }
+
+    fn table() -> ProductTable {
+        ProductTable::from_catalog(&catalog())
+    }
+
+    #[test]
+    fn from_catalog_copies_rows() {
+        let t = table();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.stock(ProductId(0)).unwrap(), Volume(100));
+        assert_eq!(t.get(ProductId(1)).unwrap().class, ProductClass::NonRegular);
+        assert_eq!(t.get(ProductId(1)).unwrap().name, "product-1");
+    }
+
+    #[test]
+    fn apply_delta_updates_and_guards_negative() {
+        let mut t = table();
+        assert_eq!(t.apply_delta(ProductId(0), Volume(-30)).unwrap(), Volume(70));
+        assert_eq!(t.apply_delta(ProductId(0), Volume(5)).unwrap(), Volume(75));
+        let err = t.apply_delta(ProductId(0), Volume(-76)).unwrap_err();
+        assert!(matches!(err, AvdbError::NegativeStock { .. }));
+        // Failed apply leaves the row untouched.
+        assert_eq!(t.stock(ProductId(0)).unwrap(), Volume(75));
+    }
+
+    #[test]
+    fn unknown_product_errors() {
+        let mut t = table();
+        assert!(matches!(t.get(ProductId(9)), Err(AvdbError::UnknownProduct(_))));
+        assert!(t.apply_delta(ProductId(9), Volume(1)).is_err());
+        assert!(t.set_stock(ProductId(9), Volume(1)).is_err());
+        assert!(t.reclassify(ProductId(9), ProductClass::Regular).is_err());
+    }
+
+    #[test]
+    fn unchecked_delta_allows_transient_negative() {
+        let mut t = table();
+        assert_eq!(
+            t.apply_delta_unchecked(ProductId(1), Volume(-15)).unwrap(),
+            Volume(-5)
+        );
+        assert_eq!(t.stock(ProductId(1)).unwrap(), Volume(-5));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut t = table();
+        let snap = t.snapshot();
+        t.apply_delta(ProductId(0), Volume(-40)).unwrap();
+        t.apply_delta(ProductId(1), Volume(3)).unwrap();
+        assert_ne!(t.snapshot(), snap);
+        t.restore(&snap).unwrap();
+        assert_eq!(t.stock(ProductId(0)).unwrap(), Volume(100));
+        assert_eq!(t.stock(ProductId(1)).unwrap(), Volume(10));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshot() {
+        let mut t = table();
+        let bad = TableSnapshot { stocks: vec![Volume(1)] };
+        assert!(matches!(t.restore(&bad), Err(AvdbError::Corruption(_))));
+    }
+
+    #[test]
+    fn reclassify_switches_regime() {
+        let mut t = table();
+        t.reclassify(ProductId(0), ProductClass::NonRegular).unwrap();
+        assert_eq!(t.get(ProductId(0)).unwrap().class, ProductClass::NonRegular);
+    }
+
+    #[test]
+    fn total_stock_sums() {
+        let t = table();
+        assert_eq!(t.total_stock(), Volume(110));
+    }
+
+    #[test]
+    fn low_stock_filters_below_threshold() {
+        let mut t = table();
+        t.apply_delta(ProductId(0), Volume(-95)).unwrap(); // now 5
+        assert_eq!(t.low_stock(Volume(10)), vec![(ProductId(0), Volume(5))]);
+        assert_eq!(t.low_stock(Volume(5)), vec![]);
+        assert_eq!(t.low_stock(Volume(100)).len(), 2);
+    }
+
+    #[test]
+    fn top_stock_orders_descending() {
+        let t = table();
+        assert_eq!(
+            t.top_stock(2),
+            vec![(ProductId(0), Volume(100)), (ProductId(1), Volume(10))]
+        );
+        assert_eq!(t.top_stock(1).len(), 1);
+        assert_eq!(t.top_stock(9).len(), 2, "k beyond len is fine");
+    }
+
+    #[test]
+    fn scan_applies_predicate() {
+        let t = table();
+        let regulars = t.scan(|r| r.class == ProductClass::Regular);
+        assert_eq!(regulars.len(), 1);
+        assert_eq!(regulars[0].id, ProductId(0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Workspace-wide error type.
+//!
+//! Hand-rolled `Display`/`Error` impls (rather than `thiserror`) keep this
+//! crate inside the approved dependency set.
+
+use crate::ids::{SiteId, TxnId};
+use crate::product::ProductId;
+use crate::volume::Volume;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, AvdbError>;
+
+/// All the ways an avdb operation can fail.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AvdbError {
+    /// A product id was not found in the catalog / local DB.
+    UnknownProduct(ProductId),
+    /// A site id was outside the configured topology.
+    UnknownSite(SiteId),
+    /// A transaction id was not found (commit/rollback of a finished txn).
+    UnknownTxn(TxnId),
+    /// An AV operation asked for a negative amount.
+    NegativeAmount(Volume),
+    /// An AV consume/hold exceeded the available volume.
+    InsufficientAv {
+        /// Product whose AV ran short.
+        product: ProductId,
+        /// Volume that was requested.
+        requested: Volume,
+        /// Volume actually available.
+        available: Volume,
+    },
+    /// A stock write would have driven the value negative.
+    NegativeStock {
+        /// Product whose stock would go negative.
+        product: ProductId,
+        /// Value the write would have produced.
+        would_be: Volume,
+    },
+    /// A record lock could not be acquired.
+    LockConflict {
+        /// Product whose record is locked.
+        product: ProductId,
+        /// Transaction currently holding the lock.
+        holder: TxnId,
+    },
+    /// A transaction state machine was driven out of order.
+    InvalidTransition {
+        /// Human-readable description of the violated transition.
+        detail: String,
+    },
+    /// The peer site is crashed or partitioned away.
+    SiteUnreachable(SiteId),
+    /// Wire-format decode failure in the live transport.
+    Codec(String),
+    /// Storage-engine integrity failure (WAL corruption, replay mismatch).
+    Corruption(String),
+    /// Configuration was internally inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AvdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvdbError::UnknownProduct(p) => write!(f, "unknown product: {p}"),
+            AvdbError::UnknownSite(s) => write!(f, "unknown site: {s}"),
+            AvdbError::UnknownTxn(t) => write!(f, "unknown transaction: {t}"),
+            AvdbError::NegativeAmount(v) => write!(f, "negative amount: {v}"),
+            AvdbError::InsufficientAv { product, requested, available } => write!(
+                f,
+                "insufficient AV for {product}: requested {requested}, available {available}"
+            ),
+            AvdbError::NegativeStock { product, would_be } => {
+                write!(f, "stock of {product} would become negative ({would_be})")
+            }
+            AvdbError::LockConflict { product, holder } => {
+                write!(f, "lock conflict on {product}: held by {holder}")
+            }
+            AvdbError::InvalidTransition { detail } => {
+                write!(f, "invalid protocol transition: {detail}")
+            }
+            AvdbError::SiteUnreachable(s) => write!(f, "{s} unreachable"),
+            AvdbError::Codec(msg) => write!(f, "codec error: {msg}"),
+            AvdbError::Corruption(msg) => write!(f, "storage corruption: {msg}"),
+            AvdbError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AvdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AvdbError::InsufficientAv {
+            product: ProductId(1),
+            requested: Volume(30),
+            available: Volume(20),
+        };
+        assert_eq!(
+            e.to_string(),
+            "insufficient AV for product1: requested 30, available 20"
+        );
+        assert_eq!(
+            AvdbError::SiteUnreachable(SiteId(2)).to_string(),
+            "site2 unreachable"
+        );
+        assert_eq!(
+            AvdbError::NegativeStock { product: ProductId(0), would_be: Volume(-5) }.to_string(),
+            "stock of product0 would become negative (-5)"
+        );
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(AvdbError::UnknownSite(SiteId(9)));
+        assert!(e.to_string().contains("site9"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = AvdbError::LockConflict {
+            product: ProductId(2),
+            holder: TxnId::new(SiteId(1), 4),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(e, serde_json::from_str::<AvdbError>(&json).unwrap());
+    }
+}

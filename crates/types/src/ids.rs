@@ -1,0 +1,187 @@
+//! Identifier newtypes for sites and transactions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one participant (one local database + accelerator) in the
+/// integrated system.
+///
+/// Sites are numbered densely from zero. By the paper's convention
+/// (Fig. 2) site 0 is the maker and hosts the *base DB* — the primary copy
+/// used by Immediate Update — while sites 1.. are retailers. That convention
+/// is encoded by [`SiteId::BASE`] and [`SiteId::kind`]; nothing in the
+/// protocols hard-codes it beyond "the base site coordinates commitment of
+/// Immediate Updates".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The site holding the base DB (the maker in the SCM scenario).
+    pub const BASE: SiteId = SiteId(0);
+
+    /// Returns the role this site plays under the paper's SCM convention.
+    #[inline]
+    pub fn kind(self) -> SiteKind {
+        if self == Self::BASE {
+            SiteKind::Maker
+        } else {
+            SiteKind::Retailer
+        }
+    }
+
+    /// Dense index for use in `Vec`-backed per-site tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all site ids of a system with `n` sites.
+    pub fn all(n: usize) -> impl Iterator<Item = SiteId> + Clone {
+        (0..n as u32).map(SiteId)
+    }
+}
+
+impl fmt::Debug for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site{}", self.0)
+    }
+}
+
+impl From<u32> for SiteId {
+    fn from(v: u32) -> Self {
+        SiteId(v)
+    }
+}
+
+/// The role a site plays in the supply chain (paper §1.1).
+///
+/// Makers both manufacture (stock increases) and serve retailer orders;
+/// retailers sell from stock (stock decreases). The heterogeneous
+/// requirement is that retailers need real-time *local* completion for
+/// regular products while makers tolerate delayed propagation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// Hosts the base DB; primary copy for Immediate Update.
+    Maker,
+    /// Order-taking edge site; beneficiary of Delay Update autonomy.
+    Retailer,
+}
+
+impl fmt::Display for SiteKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiteKind::Maker => write!(f, "maker"),
+            SiteKind::Retailer => write!(f, "retailer"),
+        }
+    }
+}
+
+/// Globally unique transaction identifier.
+///
+/// Encodes the originating site in the high bits and a site-local sequence
+/// number in the low bits so ids can be generated with no coordination —
+/// the same autonomy requirement the paper places on data updates applies
+/// to identifier generation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Number of low bits holding the per-site sequence number.
+    const SEQ_BITS: u32 = 40;
+
+    /// Builds a transaction id from an originating site and local sequence.
+    #[inline]
+    pub fn new(origin: SiteId, seq: u64) -> Self {
+        debug_assert!(seq < (1 << Self::SEQ_BITS), "per-site txn sequence overflow");
+        TxnId(((origin.0 as u64) << Self::SEQ_BITS) | seq)
+    }
+
+    /// The site that started this transaction.
+    #[inline]
+    pub fn origin(self) -> SiteId {
+        SiteId((self.0 >> Self::SEQ_BITS) as u32)
+    }
+
+    /// The origin-local sequence number.
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 & ((1 << Self::SEQ_BITS) - 1)
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn({}#{})", self.origin(), self.seq())
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_site_is_maker() {
+        assert_eq!(SiteId::BASE.kind(), SiteKind::Maker);
+        assert_eq!(SiteId(1).kind(), SiteKind::Retailer);
+        assert_eq!(SiteId(17).kind(), SiteKind::Retailer);
+    }
+
+    #[test]
+    fn site_all_enumerates_densely() {
+        let sites: Vec<_> = SiteId::all(4).collect();
+        assert_eq!(sites, vec![SiteId(0), SiteId(1), SiteId(2), SiteId(3)]);
+        assert_eq!(SiteId::all(0).count(), 0);
+    }
+
+    #[test]
+    fn txn_id_round_trips_origin_and_seq() {
+        for site in [0u32, 1, 2, 4095] {
+            for seq in [0u64, 1, 42, (1 << 40) - 1] {
+                let id = TxnId::new(SiteId(site), seq);
+                assert_eq!(id.origin(), SiteId(site));
+                assert_eq!(id.seq(), seq);
+            }
+        }
+    }
+
+    #[test]
+    fn txn_ids_from_distinct_sites_never_collide() {
+        let a = TxnId::new(SiteId(1), 7);
+        let b = TxnId::new(SiteId(2), 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn txn_id_orders_by_origin_then_seq() {
+        assert!(TxnId::new(SiteId(1), 5) < TxnId::new(SiteId(2), 0));
+        assert!(TxnId::new(SiteId(1), 5) < TxnId::new(SiteId(1), 6));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SiteId(3).to_string(), "site3");
+        assert_eq!(TxnId::new(SiteId(3), 9).to_string(), "txn(site3#9)");
+        assert_eq!(SiteKind::Maker.to_string(), "maker");
+        assert_eq!(SiteKind::Retailer.to_string(), "retailer");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = TxnId::new(SiteId(5), 99);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: TxnId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

@@ -1,0 +1,149 @@
+//! Product catalog types.
+//!
+//! The SCM scenario (paper §1.1) distinguishes *regular* products — stocked
+//! at retailers, updated through the Delay Update / Allowable Volume path —
+//! from *non-regular* products — built to order, updated through the
+//! Immediate Update primary-copy path. "The classification between regular
+//! and non-regular products is known" at every site (§3.2), which here means
+//! every site holds the same [`CatalogEntry`] list distributed from the
+//! base DB at startup.
+
+use crate::volume::Volume;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one product (one numeric stock datum replicated at all sites).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProductId(pub u32);
+
+impl ProductId {
+    /// Dense index for `Vec`-backed per-product tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all product ids of a catalog with `n` products.
+    pub fn all(n: usize) -> impl Iterator<Item = ProductId> + Clone {
+        (0..n as u32).map(ProductId)
+    }
+}
+
+impl fmt::Debug for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "product{}", self.0)
+    }
+}
+
+impl fmt::Display for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "product{}", self.0)
+    }
+}
+
+impl From<u32> for ProductId {
+    fn from(v: u32) -> Self {
+        ProductId(v)
+    }
+}
+
+/// Consistency class of a product — the "heterogeneous requirement" switch.
+///
+/// The accelerator's *checking* function maps this (via presence of an AV
+/// row) to the protocol used for an update:
+///
+/// * [`ProductClass::Regular`] → Delay Update: local, autonomous, lazily
+///   propagated, AV-mediated.
+/// * [`ProductClass::NonRegular`] → Immediate Update: primary-copy commit
+///   across all sites before the update is acknowledged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProductClass {
+    /// Stocked product; AV defined; Delay Update path.
+    Regular,
+    /// Build-to-order product; no AV; Immediate Update path.
+    NonRegular,
+}
+
+impl ProductClass {
+    /// `true` when the Delay Update (AV) path applies.
+    #[inline]
+    pub fn uses_av(self) -> bool {
+        matches!(self, ProductClass::Regular)
+    }
+}
+
+impl fmt::Display for ProductClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProductClass::Regular => write!(f, "regular"),
+            ProductClass::NonRegular => write!(f, "non-regular"),
+        }
+    }
+}
+
+/// One catalog row, identical at every site after initial distribution
+/// from the base DB (§3.2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Product identifier; also the row key in every local DB.
+    pub id: ProductId,
+    /// Human-readable name ("product A" in the paper's Fig. 1).
+    pub name: String,
+    /// Regular / non-regular classification.
+    pub class: ProductClass,
+    /// System-wide initial stock level, as distributed from the base DB.
+    pub initial_stock: Volume,
+}
+
+impl CatalogEntry {
+    /// Convenience constructor with a generated name.
+    pub fn new(id: ProductId, class: ProductClass, initial_stock: Volume) -> Self {
+        CatalogEntry {
+            id,
+            name: format!("product-{}", id.0),
+            class,
+            initial_stock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_ids_enumerate_densely() {
+        let ids: Vec<_> = ProductId::all(3).collect();
+        assert_eq!(ids, vec![ProductId(0), ProductId(1), ProductId(2)]);
+        assert_eq!(ProductId(7).index(), 7);
+    }
+
+    #[test]
+    fn class_controls_av_usage() {
+        assert!(ProductClass::Regular.uses_av());
+        assert!(!ProductClass::NonRegular.uses_av());
+    }
+
+    #[test]
+    fn catalog_entry_constructor_names_products() {
+        let e = CatalogEntry::new(ProductId(4), ProductClass::Regular, Volume(100));
+        assert_eq!(e.name, "product-4");
+        assert_eq!(e.initial_stock, Volume(100));
+        assert_eq!(e.class, ProductClass::Regular);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProductId(2).to_string(), "product2");
+        assert_eq!(ProductClass::Regular.to_string(), "regular");
+        assert_eq!(ProductClass::NonRegular.to_string(), "non-regular");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = CatalogEntry::new(ProductId(1), ProductClass::NonRegular, Volume(5));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: CatalogEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

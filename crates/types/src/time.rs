@@ -1,0 +1,101 @@
+//! Virtual time for the discrete-event simulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in abstract ticks.
+///
+/// The paper's evaluation counts *correspondences*, not wall-clock latency,
+/// so the unit is arbitrary; the simulator defaults to "1 tick = one
+/// network hop" which makes latency numbers read as hop counts.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct VirtualTime(pub u64);
+
+impl VirtualTime {
+    /// The simulation epoch.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The time `dt` ticks later.
+    #[inline]
+    pub fn after(self, dt: u64) -> VirtualTime {
+        VirtualTime(self.0 + dt)
+    }
+
+    /// Duration in ticks since `earlier`; saturates at zero for
+    /// out-of-order inputs instead of panicking.
+    #[inline]
+    pub fn since(self, earlier: VirtualTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, dt: u64) -> VirtualTime {
+        VirtualTime(self.0 + dt)
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, dt: u64) {
+        self.0 += dt;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: VirtualTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let t0 = VirtualTime::ZERO;
+        let t5 = t0.after(5);
+        assert!(t5 > t0);
+        assert_eq!(t5.ticks(), 5);
+        assert_eq!(t5.since(t0), 5);
+        assert_eq!(t5 - t0, 5);
+        assert_eq!(t0.since(t5), 0, "since saturates");
+        let mut t = t5;
+        t += 3;
+        assert_eq!(t, VirtualTime(8));
+        assert_eq!(t5 + 2, VirtualTime(7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VirtualTime(9).to_string(), "9");
+        assert_eq!(format!("{:?}", VirtualTime(9)), "t=9");
+    }
+}

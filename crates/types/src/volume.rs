@@ -1,0 +1,309 @@
+//! The [`Volume`] quantity newtype.
+//!
+//! The paper defines the Allowable Volume "on each numeric data" and treats
+//! stock levels and AV with the same arithmetic, so both use one type here.
+//! All arithmetic is checked in debug builds (overflow panics) and the
+//! protocol code only ever uses the saturating/checked helpers on paths
+//! where user input could overflow.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A signed quantity of stock or Allowable Volume.
+///
+/// Positive deltas model manufacturing / replenishment (the maker side),
+/// negative deltas model sales / shipments (the retailer side).
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Volume(pub i64);
+
+impl Volume {
+    /// The zero quantity.
+    pub const ZERO: Volume = Volume(0);
+    /// Largest representable quantity (used as "no limit" sentinel in sweeps).
+    pub const MAX: Volume = Volume(i64::MAX);
+
+    /// Constructs from a raw count.
+    #[inline]
+    pub const fn new(v: i64) -> Self {
+        Volume(v)
+    }
+
+    /// Raw integral value.
+    #[inline]
+    pub const fn get(self) -> i64 {
+        self.0
+    }
+
+    /// `true` if the quantity is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` for quantities strictly above zero.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// `true` for quantities strictly below zero.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Magnitude of the quantity.
+    #[inline]
+    pub const fn abs(self) -> Volume {
+        Volume(self.0.abs())
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Volume) -> Option<Volume> {
+        self.0.checked_add(rhs.0).map(Volume)
+    }
+
+    /// Checked subtraction; `None` on overflow.
+    #[inline]
+    pub fn checked_sub(self, rhs: Volume) -> Option<Volume> {
+        self.0.checked_sub(rhs.0).map(Volume)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Volume) -> Volume {
+        Volume(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Volume) -> Volume {
+        Volume(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Half of the quantity, rounded toward zero.
+    ///
+    /// This is the granting rule of the paper's AV-management algorithm
+    /// (§4, after Kawazoe et al., SODA '99): a site asked for AV gives away
+    /// *half of what it currently holds*.
+    #[inline]
+    pub const fn half(self) -> Volume {
+        Volume(self.0 / 2)
+    }
+
+    /// Half of the quantity, rounded away from zero; `half_up(1) == 1`.
+    ///
+    /// Used by the grant-half strategy so a site holding a single unit can
+    /// still satisfy a one-unit shortage instead of deadlocking the
+    /// circulation with `1 / 2 == 0` grants.
+    #[inline]
+    pub const fn half_up(self) -> Volume {
+        Volume((self.0 + self.0.signum()) / 2)
+    }
+
+    /// The smaller of two quantities.
+    #[inline]
+    pub fn min(self, rhs: Volume) -> Volume {
+        Volume(self.0.min(rhs.0))
+    }
+
+    /// The larger of two quantities.
+    #[inline]
+    pub fn max(self, rhs: Volume) -> Volume {
+        Volume(self.0.max(rhs.0))
+    }
+
+    /// Clamps to the non-negative range.
+    #[inline]
+    pub fn clamp_non_negative(self) -> Volume {
+        Volume(self.0.max(0))
+    }
+
+    /// Scales by a rational `num/den`, rounding toward zero.
+    ///
+    /// Used by the proportional deciding strategy and by workload generators
+    /// producing "up to p % of the initial amount" deltas.
+    #[inline]
+    pub fn scale(self, num: i64, den: i64) -> Volume {
+        debug_assert!(den != 0, "scale by zero denominator");
+        Volume(((self.0 as i128 * num as i128) / den as i128) as i64)
+    }
+}
+
+impl fmt::Debug for Volume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Volume {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Volume {
+    fn from(v: i64) -> Self {
+        Volume(v)
+    }
+}
+
+impl Add for Volume {
+    type Output = Volume;
+    #[inline]
+    fn add(self, rhs: Volume) -> Volume {
+        Volume(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Volume {
+    type Output = Volume;
+    #[inline]
+    fn sub(self, rhs: Volume) -> Volume {
+        Volume(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Volume {
+    type Output = Volume;
+    #[inline]
+    fn neg(self) -> Volume {
+        Volume(-self.0)
+    }
+}
+
+impl AddAssign for Volume {
+    #[inline]
+    fn add_assign(&mut self, rhs: Volume) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Volume {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Volume) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Volume {
+    fn sum<I: Iterator<Item = Volume>>(iter: I) -> Volume {
+        iter.fold(Volume::ZERO, Add::add)
+    }
+}
+
+impl<'a> Sum<&'a Volume> for Volume {
+    fn sum<I: Iterator<Item = &'a Volume>>(iter: I) -> Volume {
+        iter.copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Volume(30);
+        let b = Volume(-10);
+        assert_eq!(a + b, Volume(20));
+        assert_eq!(a - b, Volume(40));
+        assert_eq!(-a, Volume(-30));
+        assert_eq!(b.abs(), Volume(10));
+        assert_eq!([a, b, Volume(1)].iter().sum::<Volume>(), Volume(21));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Volume::ZERO.is_zero());
+        assert!(Volume(1).is_positive());
+        assert!(Volume(-1).is_negative());
+        assert!(!Volume(-1).is_positive());
+        assert!(!Volume(0).is_negative());
+    }
+
+    #[test]
+    fn half_rounds_toward_zero() {
+        assert_eq!(Volume(5).half(), Volume(2));
+        assert_eq!(Volume(4).half(), Volume(2));
+        assert_eq!(Volume(1).half(), Volume(0));
+        assert_eq!(Volume(-5).half(), Volume(-2));
+    }
+
+    #[test]
+    fn half_up_rounds_away_from_zero() {
+        assert_eq!(Volume(5).half_up(), Volume(3));
+        assert_eq!(Volume(4).half_up(), Volume(2));
+        assert_eq!(Volume(1).half_up(), Volume(1));
+        assert_eq!(Volume(0).half_up(), Volume(0));
+        assert_eq!(Volume(-1).half_up(), Volume(-1));
+    }
+
+    #[test]
+    fn scale_is_rational_and_truncating() {
+        assert_eq!(Volume(100).scale(20, 100), Volume(20));
+        assert_eq!(Volume(99).scale(10, 100), Volume(9));
+        assert_eq!(Volume(1).scale(1, 2), Volume(0));
+        // Large values do not overflow thanks to the i128 intermediate.
+        assert_eq!(Volume(i64::MAX / 2).scale(2, 1), Volume(i64::MAX - 1));
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        assert_eq!(Volume::MAX.checked_add(Volume(1)), None);
+        assert_eq!(Volume(i64::MIN).checked_sub(Volume(1)), None);
+        assert_eq!(Volume(1).checked_add(Volume(2)), Some(Volume(3)));
+        assert_eq!(Volume::MAX.saturating_add(Volume(1)), Volume::MAX);
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        assert_eq!(Volume(-3).clamp_non_negative(), Volume::ZERO);
+        assert_eq!(Volume(3).clamp_non_negative(), Volume(3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_half_conserves_total(v in 0i64..1_000_000_000) {
+            // Granting half and keeping the rest never creates or destroys
+            // volume — the AV conservation invariant at the single-grant
+            // granularity.
+            let v = Volume(v);
+            let granted = v.half();
+            let kept = v - granted;
+            prop_assert_eq!(granted + kept, v);
+            prop_assert!(granted >= Volume::ZERO);
+            prop_assert!(kept >= granted); // round toward zero favours keeper
+        }
+
+        #[test]
+        fn prop_half_up_conserves_total(v in 0i64..1_000_000_000) {
+            let v = Volume(v);
+            let granted = v.half_up();
+            let kept = v - granted;
+            prop_assert_eq!(granted + kept, v);
+            prop_assert!(kept >= Volume::ZERO);
+        }
+
+        #[test]
+        fn prop_add_sub_round_trip(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+            let (a, b) = (Volume(a), Volume(b));
+            prop_assert_eq!(a + b - b, a);
+            prop_assert_eq!(-(-a), a);
+        }
+
+        #[test]
+        fn prop_scale_bounded(v in 0i64..10_000_000, num in 0i64..100) {
+            let scaled = Volume(v).scale(num, 100);
+            prop_assert!(scaled <= Volume(v));
+            prop_assert!(scaled >= Volume::ZERO);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Catalog builders for the SCM scenario.
+
+use avdb_types::{CatalogEntry, ProductClass, ProductId, Volume};
+
+/// Builds a supply-chain catalog: `n_regular` stocked products followed by
+/// `n_non_regular` build-to-order products, all with the same initial
+/// stock.
+///
+/// The paper's simulation uses regular products only (Delay Update); the
+/// mix experiment (DESIGN.md A4) varies the non-regular share.
+pub fn scm_catalog(n_regular: usize, n_non_regular: usize, initial_stock: Volume) -> Vec<CatalogEntry> {
+    let mut catalog = Vec::with_capacity(n_regular + n_non_regular);
+    for i in 0..n_regular {
+        catalog.push(CatalogEntry::new(
+            ProductId(i as u32),
+            ProductClass::Regular,
+            initial_stock,
+        ));
+    }
+    for i in 0..n_non_regular {
+        catalog.push(CatalogEntry::new(
+            ProductId((n_regular + i) as u32),
+            ProductClass::NonRegular,
+            initial_stock,
+        ));
+    }
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_mixed_catalog_with_dense_ids() {
+        let c = scm_catalog(3, 2, Volume(100));
+        assert_eq!(c.len(), 5);
+        for (i, e) in c.iter().enumerate() {
+            assert_eq!(e.id, ProductId(i as u32));
+            assert_eq!(e.initial_stock, Volume(100));
+        }
+        assert!(c[..3].iter().all(|e| e.class == ProductClass::Regular));
+        assert!(c[3..].iter().all(|e| e.class == ProductClass::NonRegular));
+    }
+
+    #[test]
+    fn empty_sections_allowed() {
+        assert_eq!(scm_catalog(0, 2, Volume(1)).len(), 2);
+        assert_eq!(scm_catalog(2, 0, Volume(1)).len(), 2);
+    }
+}

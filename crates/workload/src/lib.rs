@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # avdb-workload
+//!
+//! Workload generation for the SCM scenario the paper evaluates.
+//!
+//! The simulation model of §4: one maker (site 0) issuing stock
+//! *increases* of up to 20 % of the initial amount, and retailers issuing
+//! *decreases* of up to 10 %, products chosen at random. [`UpdateStream`]
+//! reproduces that model exactly with the paper's defaults and generalizes
+//! it for the ablation experiments (site counts, Zipf popularity, larger
+//! decrement caps, immediate/delay product mixes).
+//!
+//! All randomness flows through the deterministic [`avdb_simnet::DetRng`],
+//! so a `(spec, seed)` pair always produces the identical update sequence.
+
+pub mod catalog;
+pub mod orders;
+pub mod schedule;
+pub mod stream;
+pub mod zipf;
+
+pub use catalog::scm_catalog;
+pub use schedule::Schedule;
+pub use orders::{Order, OrderGenerator};
+pub use stream::{Popularity, UpdateStream, WorkloadSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,135 @@
+//! Customer-order level workload for the SCM example applications.
+//!
+//! The paper's intro motivates the system with retailers shipping customer
+//! orders from stock. [`OrderGenerator`] produces that view: a stream of
+//! orders (retailer, product, quantity) with geometric inter-arrival
+//! times, which the examples translate into stock decrements (regular
+//! products) or Immediate Updates (non-regular, built to order).
+
+use avdb_simnet::DetRng;
+use avdb_types::{CatalogEntry, ProductId, SiteId, UpdateRequest, VirtualTime, Volume};
+
+/// One customer order arriving at a retailer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Order {
+    /// Arrival time.
+    pub at: VirtualTime,
+    /// Retailer that received the order.
+    pub retailer: SiteId,
+    /// Product ordered.
+    pub product: ProductId,
+    /// Units ordered (positive).
+    pub quantity: Volume,
+}
+
+impl Order {
+    /// The stock update this order implies at the retailer.
+    pub fn to_update(&self) -> UpdateRequest {
+        UpdateRequest::new(self.retailer, self.product, -self.quantity)
+    }
+}
+
+/// Generates a random order stream across retailers.
+pub struct OrderGenerator {
+    catalog: Vec<CatalogEntry>,
+    n_sites: usize,
+    mean_interarrival: u64,
+    max_quantity: i64,
+    rng: DetRng,
+    clock: VirtualTime,
+}
+
+impl OrderGenerator {
+    /// Orders arrive with geometric inter-arrival of mean
+    /// `mean_interarrival` ticks, quantities uniform in
+    /// `1..=max_quantity`, products uniform, retailers uniform among
+    /// sites `1..n_sites`.
+    pub fn new(
+        catalog: &[CatalogEntry],
+        n_sites: usize,
+        mean_interarrival: u64,
+        max_quantity: i64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_sites >= 2, "need at least one retailer");
+        assert!(!catalog.is_empty());
+        assert!(mean_interarrival >= 1);
+        assert!(max_quantity >= 1);
+        OrderGenerator {
+            catalog: catalog.to_vec(),
+            n_sites,
+            mean_interarrival,
+            max_quantity,
+            rng: DetRng::new(seed).derive(0x04DE),
+            clock: VirtualTime::ZERO,
+        }
+    }
+}
+
+impl Iterator for OrderGenerator {
+    type Item = Order;
+
+    fn next(&mut self) -> Option<Order> {
+        // Geometric inter-arrival with mean `mean_interarrival`:
+        // P(gap = k) = p (1-p)^{k-1}, p = 1/mean.
+        let p = 1.0 / self.mean_interarrival as f64;
+        let mut gap = 1;
+        while !self.rng.gen_bool(p) && gap < self.mean_interarrival * 20 {
+            gap += 1;
+        }
+        self.clock += gap;
+        let retailer = SiteId(self.rng.gen_range_inclusive(1, self.n_sites as u64 - 1) as u32);
+        let product = self.catalog[self.rng.gen_range(self.catalog.len() as u64) as usize].id;
+        let quantity = Volume(self.rng.gen_i64_inclusive(1, self.max_quantity));
+        Some(Order { at: self.clock, retailer, product, quantity })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::scm_catalog;
+
+    fn generator(seed: u64) -> OrderGenerator {
+        OrderGenerator::new(&scm_catalog(5, 2, Volume(100)), 3, 4, 6, seed)
+    }
+
+    #[test]
+    fn orders_are_well_formed() {
+        for order in generator(1).take(200) {
+            assert!(order.retailer == SiteId(1) || order.retailer == SiteId(2));
+            assert!(order.product.index() < 7);
+            assert!(order.quantity >= Volume(1) && order.quantity <= Volume(6));
+        }
+    }
+
+    #[test]
+    fn arrival_times_strictly_increase() {
+        let times: Vec<u64> = generator(2).take(100).map(|o| o.at.ticks()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mean_interarrival_approximately_respected() {
+        let orders: Vec<Order> = generator(3).take(2000).collect();
+        let span = orders.last().unwrap().at.ticks() - orders[0].at.ticks();
+        let mean = span as f64 / (orders.len() - 1) as f64;
+        assert!((mean - 4.0).abs() < 0.5, "observed mean gap {mean}");
+    }
+
+    #[test]
+    fn to_update_negates_quantity() {
+        let order = generator(4).next().unwrap();
+        let update = order.to_update();
+        assert_eq!(update.site, order.retailer);
+        assert_eq!(update.product, order.product);
+        assert_eq!(update.delta, -order.quantity);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<Order> = generator(9).take(50).collect();
+        let b: Vec<Order> = generator(9).take(50).collect();
+        assert_eq!(a, b);
+    }
+}

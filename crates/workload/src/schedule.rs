@@ -1,0 +1,86 @@
+//! Serializable workload schedules.
+//!
+//! A [`Schedule`] freezes the exact `(arrival time, update)` sequence a
+//! stream produced, so a run can be archived, shipped to another machine,
+//! replayed against a modified system, or diffed between versions —
+//! reproducibility beyond "same seed, same binary".
+
+use crate::stream::{UpdateStream, WorkloadSpec};
+use avdb_types::{AvdbError, CatalogEntry, Result, UpdateRequest, VirtualTime};
+use serde::{Deserialize, Serialize};
+
+/// A frozen update schedule.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Free-form description ("paper workload, 10k updates, seed 1").
+    pub description: String,
+    /// The updates in arrival order.
+    pub entries: Vec<(VirtualTime, UpdateRequest)>,
+}
+
+impl Schedule {
+    /// Freezes a generated stream.
+    pub fn from_stream(description: impl Into<String>, stream: UpdateStream) -> Self {
+        Schedule { description: description.into(), entries: stream.collect_all() }
+    }
+
+    /// Freezes the paper workload directly.
+    pub fn paper(n_updates: usize, seed: u64, catalog: &[CatalogEntry]) -> Self {
+        Schedule::from_stream(
+            format!("paper workload, {n_updates} updates, seed {seed}"),
+            UpdateStream::new(WorkloadSpec::paper(n_updates, seed), catalog),
+        )
+    }
+
+    /// Number of updates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the schedule holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| AvdbError::Codec(e.to_string()))
+    }
+
+    /// Parses a schedule back from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|e| AvdbError::Codec(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::scm_catalog;
+    use avdb_types::Volume;
+
+    #[test]
+    fn freeze_matches_stream() {
+        let catalog = scm_catalog(5, 0, Volume(100));
+        let schedule = Schedule::paper(30, 7, &catalog);
+        let direct = UpdateStream::new(WorkloadSpec::paper(30, 7), &catalog).collect_all();
+        assert_eq!(schedule.entries, direct);
+        assert_eq!(schedule.len(), 30);
+        assert!(!schedule.is_empty());
+        assert!(schedule.description.contains("seed 7"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let catalog = scm_catalog(3, 0, Volume(50));
+        let schedule = Schedule::paper(10, 3, &catalog);
+        let json = schedule.to_json().unwrap();
+        let back = Schedule::from_json(&json).unwrap();
+        assert_eq!(schedule, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(Schedule::from_json("nope"), Err(AvdbError::Codec(_))));
+    }
+}

@@ -1,0 +1,237 @@
+//! The paper's update workload, generalized.
+//!
+//! §4: "In site 0, data is updated to increase the volume by at most 20 %
+//! of the initial amount of data randomly. On the other hand, at site 1
+//! and site 2, it is updated to decrease at most 10 % randomly."
+
+use crate::zipf::Zipf;
+use avdb_simnet::DetRng;
+use avdb_types::{CatalogEntry, SiteId, UpdateRequest, VirtualTime, Volume};
+
+/// Product-popularity model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Popularity {
+    /// Every product equally likely (paper default).
+    Uniform,
+    /// Zipf with exponent `s` (ablation A7).
+    Zipf(f64),
+}
+
+/// Parameters of one workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of sites (site 0 = maker).
+    pub n_sites: usize,
+    /// Total updates to generate across all sites.
+    pub n_updates: usize,
+    /// Maker increment cap as percent of initial stock (paper: 20).
+    pub maker_increase_pct: u32,
+    /// Retailer decrement cap as percent of initial stock (paper: 10).
+    pub retailer_decrease_pct: u32,
+    /// Product-popularity model.
+    pub popularity: Popularity,
+    /// Virtual ticks between consecutive updates (0 = all at once; the
+    /// paper's metric is latency-independent but the DES needs arrivals).
+    pub spacing: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's §4 setup for a given update count and seed.
+    pub fn paper(n_updates: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            n_sites: 3,
+            n_updates,
+            maker_increase_pct: 20,
+            retailer_decrease_pct: 10,
+            popularity: Popularity::Uniform,
+            spacing: 8,
+            seed,
+        }
+    }
+}
+
+/// Deterministic generator of `(arrival time, update request)` pairs.
+///
+/// ```
+/// use avdb_workload::{scm_catalog, UpdateStream, WorkloadSpec};
+/// use avdb_types::{SiteId, Volume};
+///
+/// let catalog = scm_catalog(10, 0, Volume(100));
+/// let updates = UpdateStream::new(WorkloadSpec::paper(6, 42), &catalog).collect_all();
+/// assert_eq!(updates.len(), 6);
+/// // The maker (site 0) increases stock; retailers decrease it.
+/// for (_, u) in &updates {
+///     assert_eq!(u.delta.is_positive(), u.site == SiteId::BASE);
+/// }
+/// ```
+///
+/// Updates round-robin across sites (maker, retailer 1, retailer 2, …) so
+/// every site issues within one of `n_updates / n_sites` updates — the
+/// paper reports per-site counts at common update totals, which requires
+/// an even issue rate. Deltas and products are drawn per update from the
+/// seeded RNG.
+pub struct UpdateStream {
+    spec: WorkloadSpec,
+    catalog: Vec<CatalogEntry>,
+    zipf: Option<Zipf>,
+    rng: DetRng,
+    issued: usize,
+}
+
+impl UpdateStream {
+    /// Creates a stream over `catalog` according to `spec`.
+    pub fn new(spec: WorkloadSpec, catalog: &[CatalogEntry]) -> Self {
+        assert!(spec.n_sites >= 1, "need at least one site");
+        assert!(!catalog.is_empty(), "empty catalog");
+        let zipf = match spec.popularity {
+            Popularity::Uniform => None,
+            Popularity::Zipf(s) => Some(Zipf::new(catalog.len(), s)),
+        };
+        let rng = DetRng::new(spec.seed).derive(0x3017);
+        UpdateStream { spec, catalog: catalog.to_vec(), zipf, rng, issued: 0 }
+    }
+
+    /// The spec this stream was built from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn pick_product(&mut self) -> usize {
+        match &self.zipf {
+            Some(z) => z.sample(&mut self.rng),
+            None => self.rng.gen_range(self.catalog.len() as u64) as usize,
+        }
+    }
+
+    /// Generates the next update, or `None` after `n_updates`.
+    pub fn next_update(&mut self) -> Option<(VirtualTime, UpdateRequest)> {
+        if self.issued >= self.spec.n_updates {
+            return None;
+        }
+        let site = SiteId((self.issued % self.spec.n_sites) as u32);
+        let at = VirtualTime((self.issued as u64) * self.spec.spacing);
+        let product_idx = self.pick_product();
+        let entry = &self.catalog[product_idx];
+        let initial = entry.initial_stock;
+        let pct_cap = if site == SiteId::BASE {
+            self.spec.maker_increase_pct
+        } else {
+            self.spec.retailer_decrease_pct
+        } as i64;
+        // "at most p%": uniform over 1..=cap units where cap = p% of the
+        // initial amount (minimum 1 so every update changes something).
+        let cap = initial.scale(pct_cap, 100).get().max(1);
+        let magnitude = self.rng.gen_i64_inclusive(1, cap);
+        let delta = if site == SiteId::BASE {
+            Volume(magnitude)
+        } else {
+            Volume(-magnitude)
+        };
+        self.issued += 1;
+        Some((at, UpdateRequest::new(site, entry.id, delta)))
+    }
+
+    /// Collects the full schedule.
+    pub fn collect_all(mut self) -> Vec<(VirtualTime, UpdateRequest)> {
+        let mut out = Vec::with_capacity(self.spec.n_updates);
+        while let Some(item) = self.next_update() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+impl Iterator for UpdateStream {
+    type Item = (VirtualTime, UpdateRequest);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_update()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::scm_catalog;
+
+    fn stream(n: usize, seed: u64) -> UpdateStream {
+        UpdateStream::new(WorkloadSpec::paper(n, seed), &scm_catalog(10, 0, Volume(100)))
+    }
+
+    #[test]
+    fn round_robins_sites() {
+        let updates = stream(9, 1).collect_all();
+        let sites: Vec<u32> = updates.iter().map(|(_, u)| u.site.0).collect();
+        assert_eq!(sites, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn maker_increases_retailers_decrease() {
+        for (_, u) in stream(300, 7).collect_all() {
+            if u.site == SiteId::BASE {
+                assert!(u.delta.is_positive(), "maker must increase: {u}");
+                assert!(u.delta <= Volume(20), "cap is 20% of 100");
+            } else {
+                assert!(u.delta.is_negative(), "retailer must decrease: {u}");
+                assert!(u.delta >= Volume(-10), "cap is 10% of 100");
+            }
+            assert!(!u.delta.is_zero());
+        }
+    }
+
+    #[test]
+    fn arrival_times_use_spacing() {
+        let updates = stream(4, 1).collect_all();
+        let times: Vec<u64> = updates.iter().map(|(t, _)| t.ticks()).collect();
+        assert_eq!(times, vec![0, 8, 16, 24]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = stream(100, 5).collect_all();
+        let b = stream(100, 5).collect_all();
+        assert_eq!(a, b);
+        let c = stream(100, 6).collect_all();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn covers_all_products_eventually() {
+        let mut seen = [false; 10];
+        for (_, u) in stream(500, 3).collect_all() {
+            seen[u.product.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform pick should touch all products");
+    }
+
+    #[test]
+    fn zipf_popularity_skews_product_choice() {
+        let spec = WorkloadSpec {
+            popularity: Popularity::Zipf(1.2),
+            ..WorkloadSpec::paper(2000, 9)
+        };
+        let updates = UpdateStream::new(spec, &scm_catalog(10, 0, Volume(100))).collect_all();
+        let mut counts = vec![0u32; 10];
+        for (_, u) in updates {
+            counts[u.product.index()] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+    }
+
+    #[test]
+    fn tiny_initial_stock_still_moves_one_unit() {
+        let spec = WorkloadSpec::paper(30, 2);
+        let updates = UpdateStream::new(spec, &scm_catalog(2, 0, Volume(3))).collect_all();
+        // 10% of 3 truncates to 0; the generator clamps to ≥ 1 unit.
+        assert!(updates.iter().all(|(_, u)| !u.delta.is_zero()));
+    }
+
+    #[test]
+    fn iterator_interface_matches_collect() {
+        let via_iter: Vec<_> = stream(20, 11).collect();
+        let via_collect = stream(20, 11).collect_all();
+        assert_eq!(via_iter, via_collect);
+    }
+}

@@ -1,0 +1,132 @@
+//! Zipf-distributed product popularity.
+//!
+//! The paper samples products uniformly; real retail demand is skewed, so
+//! ablation A7 drives the system with a Zipf law instead. Implemented as a
+//! precomputed CDF + binary search: O(n) setup, O(log n) per sample, exact
+//! for any exponent `s ≥ 0` (s = 0 degenerates to uniform).
+
+use avdb_simnet::DetRng;
+
+/// Zipf sampler over ranks `0..n` with exponent `s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler for `n` items with exponent `s`.
+    ///
+    /// Rank 0 is the most popular item. `s = 0` is the uniform
+    /// distribution; larger `s` concentrates mass on low ranks.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` for a single-item distribution (always returns rank 0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.gen_f64();
+        // First index whose cumulative mass reaches u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of `rank` (test hook).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let z = Zipf::new(10, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(9));
+        // Classic harmonic ratio: p(0)/p(1) = 2 for s = 1.
+        assert!((z.pmf(0) / z.pmf(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_terminates_at_one() {
+        let z = Zipf::new(7, 1.2);
+        assert_eq!(*z.cdf.last().unwrap(), 1.0);
+        assert_eq!(z.len(), 7);
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_match_pmf() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = DetRng::new(42);
+        let n = 200_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            assert!(k < 5);
+            counts[k] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
+            let expected = z.pmf(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_item_always_rank_zero() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = DetRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn zero_items_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

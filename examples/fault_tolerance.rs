@@ -1,0 +1,44 @@
+//! Experiment A5: what a mid-run site crash does to each system.
+//!
+//! The transport is a durable message queue, so no request is silently
+//! lost — what separates the systems is **availability during the
+//! outage**. Delay Updates need no remote party, so live sites of the
+//! proposal keep committing in real time; the conventional centralized
+//! system completes nothing remote until its center returns (its parked
+//! requests then execute at outage-length latency).
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use avdb::sim::experiments::run_fault_experiment;
+use avdb::types::SiteId;
+
+fn main() {
+    let n_updates = 3_000;
+    let seed = 11;
+
+    println!("crash window: middle third of a {n_updates}-update paper workload\n");
+    for (label, site) in [("retailer (site 2)", SiteId(2)), ("maker / center (site 0)", SiteId(0))] {
+        let r = run_fault_experiment(site, n_updates, seed);
+        let window = r.outage.1 - r.outage.0;
+        println!("=== crash of {label} (outage {window} ticks) ===");
+        println!("  updates issued:                      {}", r.issued);
+        println!("  proposal     committed (total):      {}", r.proposal_committed);
+        println!("  proposal     committed DURING outage: {}", r.proposal_committed_during_outage);
+        println!("  proposal     unserviceable (dead site): {}", r.proposal_unserviceable);
+        println!("  proposal     aborted:                {}", r.proposal_aborted);
+        println!("  proposal     converged after:        {}", r.converged_after_recovery);
+        println!("  conventional committed (total):      {}", r.conventional_committed);
+        println!("  conventional committed DURING outage: {}", r.conventional_committed_during_outage);
+        println!("  conventional unserviceable:          {}", r.conventional_unserviceable);
+        println!("  conventional worst latency:          {} ticks", r.conventional_max_latency);
+        println!();
+    }
+    println!(
+        "reading: with the *maker/center* down, the proposal's retailers keep\n\
+         selling from their Allowable Volume (hundreds of commits inside the\n\
+         window) while the conventional system commits exactly zero until the\n\
+         center recovers — the paper's single-point-of-failure critique."
+    );
+}

@@ -1,0 +1,34 @@
+//! Regenerates every experiment artifact as machine-readable JSON under
+//! `results/json/` (for mechanical diffing between revisions) — the same
+//! runs EXPERIMENTS.md reports in prose.
+//!
+//! ```sh
+//! cargo run --release --example generate_report            # full scale
+//! cargo run --release --example generate_report -- 2000 500 # quicker
+//! ```
+
+use avdb::sim::{generate_report, ReportScale};
+use std::path::Path;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut scale = ReportScale::default();
+    if let Some(n) = args.next().and_then(|a| a.parse().ok()) {
+        scale.paper_updates = n;
+    }
+    if let Some(n) = args.next().and_then(|a| a.parse().ok()) {
+        scale.ablation_updates = n;
+    }
+    let dir = Path::new("results/json");
+    let written = generate_report(dir, scale).expect("report generation");
+    println!(
+        "wrote {} artifacts to {} (paper scale {}, ablation scale {}):",
+        written.len(),
+        dir.display(),
+        scale.paper_updates,
+        scale.ablation_updates
+    );
+    for name in written {
+        println!("  {name}");
+    }
+}

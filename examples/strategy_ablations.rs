@@ -1,0 +1,58 @@
+//! Ablations A1/A2/A6/A7/A8: sweep the accelerator's open design choices
+//! on the paper workload.
+//!
+//! ```sh
+//! cargo run --release --example strategy_ablations
+//! cargo run --release --example strategy_ablations -- 5000 3
+//! ```
+
+use avdb::sim::experiments::{
+    run_allocation_sweep, run_decide_sweep, run_magnitude_sweep, run_mix, run_scaling,
+    run_scaling_balanced, run_select_sweep, run_skew_sweep,
+};
+use avdb::sim::experiments::ablations::render_rows as render_ablation;
+use avdb::sim::experiments::circulation::render_rows as render_circulation;
+use avdb::sim::experiments::run_circulation;
+use avdb::sim::experiments::freshness::render_rows as render_freshness;
+use avdb::sim::experiments::run_freshness;
+use avdb::sim::experiments::mix::render_rows as render_mix;
+use avdb::sim::experiments::scaling::render_rows as render_scaling;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    println!("=== A1: deciding function (how much AV moves per grant) ===");
+    println!("{}", render_ablation(&run_decide_sweep(n, seed)));
+
+    println!("=== A2: selecting function (whom to ask for AV) ===");
+    println!("{}", render_ablation(&run_select_sweep(n, seed)));
+
+    println!("=== A6: initial AV allocation ===");
+    println!("{}", render_ablation(&run_allocation_sweep(n, seed)));
+
+    println!("=== A7: product-popularity skew ===");
+    println!("{}", render_ablation(&run_skew_sweep(n, seed)));
+
+    println!("=== A8: retailer decrement magnitude ===");
+    println!("{}", render_ablation(&run_magnitude_sweep(n, seed)));
+
+    println!("=== A3: site-count scaling (paper per-site rates — imbalanced at large n) ===");
+    println!("{}", render_scaling(&run_scaling(&[3, 5, 9, 17, 33], n, seed)));
+
+    println!("=== A3b: site-count scaling (maker minting balanced to aggregate drain) ===");
+    println!("{}", render_scaling(&run_scaling_balanced(&[3, 5, 9, 17, 33], n, seed)));
+
+    println!("=== A9: proactive AV circulation (pull-only vs pull+push) ===");
+    println!("{}", render_circulation(&run_circulation(n, seed)));
+
+    println!("=== A10: propagation batching (traffic vs replica freshness) ===");
+    println!("{}", render_freshness(&run_freshness(&[1, 5, 25, 100, 400], n, seed)));
+
+    println!("=== A4: Delay/Immediate product mix (crossover hunt) ===");
+    println!(
+        "{}",
+        render_mix(&run_mix(&[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], n, seed))
+    );
+}

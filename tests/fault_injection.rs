@@ -1,0 +1,245 @@
+//! Adversarial fault schedules against the proposed system: repeated
+//! crashes, partitions, and crash-during-commit races. After every storm
+//! the same two invariants must hold — replicas converge after
+//! anti-entropy, and system-wide AV equals initial AV plus the committed
+//! delta.
+
+use avdb::prelude::*;
+use avdb::simnet::LinkFilter;
+
+fn system(seed: u64) -> DistributedSystem {
+    DistributedSystem::new(
+        SystemConfig::builder()
+            .sites(3)
+            .regular_products(3, Volume(600))
+            .non_regular_products(1, Volume(100))
+            .seed(seed)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn settle_and_check(sys: &mut DistributedSystem) {
+    sys.run_until_quiescent();
+    // Two anti-entropy rounds: the first lets recovered sites ack, the
+    // second closes any gap-rejected batches.
+    sys.flush_all();
+    sys.run_until_quiescent();
+    sys.flush_all();
+    sys.run_until_quiescent();
+    sys.check_convergence().expect("replicas converge after anti-entropy");
+    for p in 0..3u32 {
+        if let Err((e, a)) = sys.check_av_conservation(ProductId(p)) {
+            panic!("product{p}: expected AV {e}, got {a}");
+        }
+    }
+}
+
+#[test]
+fn crash_storm_every_site_twice() {
+    let mut sys = system(21);
+    let mut t = 0u64;
+    for round in 0..2u64 {
+        for victim in 0..3u32 {
+            // Load before, during and after each outage.
+            for i in 0..12u64 {
+                let site = SiteId((i % 3) as u32);
+                let delta = if site == SiteId::BASE { Volume(9) } else { Volume(-6) };
+                sys.submit_at(
+                    VirtualTime(t + i * 5),
+                    UpdateRequest::new(site, ProductId((i % 3) as u32), delta),
+                );
+            }
+            sys.crash_at(VirtualTime(t + 20), SiteId(victim));
+            sys.recover_at(VirtualTime(t + 45), SiteId(victim));
+            t += 80 + round;
+        }
+    }
+    settle_and_check(&mut sys);
+    let recoveries: u64 = SiteId::all(3)
+        .map(|s| sys.accelerator(s).stats().recoveries)
+        .sum();
+    assert_eq!(recoveries, 6);
+}
+
+#[test]
+fn partition_isolates_then_heals() {
+    let mut sys = system(22);
+    // Partition retailers away from the maker.
+    sys.set_partition(LinkFilter::partition(vec![
+        vec![SiteId(0)],
+        vec![SiteId(1), SiteId(2)],
+    ]));
+    // Delay updates inside each island keep working from local AV.
+    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
+    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(0), ProductId(1), Volume(40)));
+    // An Immediate update cannot reach the other island → timeout abort.
+    sys.submit_at(VirtualTime(1), UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    let delay_commits = outcomes
+        .iter()
+        .filter(|(_, _, o)| matches!(o, UpdateOutcome::Committed { kind: UpdateKind::Delay, .. }))
+        .count();
+    assert_eq!(delay_commits, 2, "autonomy survives the partition");
+    let imm_aborts = outcomes.iter().filter(|(_, _, o)| !o.is_committed()).count();
+    assert_eq!(imm_aborts, 1, "Immediate needs all sites");
+
+    // Retailer 1 can still pull AV from retailer 2 inside the island.
+    sys.submit_at(sys.now().after(1), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-90)));
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert!(outcomes[0].2.is_committed(), "intra-island AV transfer works");
+
+    // Heal; everything reconciles.
+    sys.heal_partition();
+    settle_and_check(&mut sys);
+    // And Immediate works again.
+    sys.submit_at(sys.now().after(1), UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
+    sys.run_until_quiescent();
+    assert!(sys.drain_outcomes()[0].2.is_committed());
+}
+
+#[test]
+fn crash_between_prepare_and_decision_releases_locks() {
+    let mut sys = system(23);
+    // Coordinator (site 1) will crash right after sending prepares: with
+    // 1-tick latency, prepares arrive at t=11; crash the coordinator at
+    // t=11 so votes return to a dead site.
+    sys.submit_at(VirtualTime(10), UpdateRequest::new(SiteId(1), ProductId(3), Volume(-5)));
+    sys.crash_at(VirtualTime(11), SiteId(1));
+    sys.recover_at(VirtualTime(2_000), SiteId(1));
+    sys.run_until_quiescent();
+    // Participants must have timed out (presumed abort) and released the
+    // record; no outcome was ever emitted for the orphaned txn.
+    let outcomes = sys.drain_outcomes();
+    assert!(outcomes.is_empty(), "orphaned immediate update yields no outcome");
+    assert!(sys.all_idle(), "no site left holding protocol state");
+    for site in SiteId::all(3) {
+        assert_eq!(sys.stock(site, ProductId(3)), Volume(100), "no partial effect");
+    }
+    // The system remains fully usable afterwards.
+    sys.submit_at(sys.now().after(5), UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
+    sys.run_until_quiescent();
+    assert!(sys.drain_outcomes()[0].2.is_committed());
+    settle_and_check(&mut sys);
+}
+
+#[test]
+fn crash_during_av_negotiation_keeps_conservation() {
+    let mut sys = system(24);
+    // Drain site 1's own AV share (200), forcing the next decrement to
+    // negotiate with peers; crash the *grantor* mid-negotiation.
+    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-200)));
+    sys.run_until_quiescent();
+    sys.drain_outcomes();
+    // This one needs a grant from site 0 or 2; both crash right as the
+    // request lands (t=21). The request dies with them.
+    sys.submit_at(VirtualTime(20), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
+    sys.crash_at(VirtualTime(21), SiteId(0));
+    sys.crash_at(VirtualTime(21), SiteId(2));
+    sys.recover_at(VirtualTime(400), SiteId(0));
+    sys.recover_at(VirtualTime(400), SiteId(2));
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    // The update either aborted (both grants lost) or committed (one
+    // grant squeaked through before the crash tick) — both are legal;
+    // what must NOT happen is AV vanishing.
+    assert_eq!(outcomes.len(), 1);
+    settle_and_check(&mut sys);
+}
+
+#[test]
+fn conventional_center_crash_vs_proposal_maker_crash() {
+    use avdb::baseline::CentralizedSystem;
+    // Identical load, identical crash of site 0 — compare survivors.
+    let cfg = SystemConfig::builder()
+        .sites(3)
+        .regular_products(2, Volume(500))
+        .seed(25)
+        .build()
+        .unwrap();
+    let schedule: Vec<(VirtualTime, UpdateRequest)> = (0..30u64)
+        .map(|i| {
+            let site = SiteId(1 + (i % 2) as u32);
+            (
+                VirtualTime(i * 4),
+                UpdateRequest::new(site, ProductId((i % 2) as u32), Volume(-5)),
+            )
+        })
+        .collect();
+
+    let mut prop = DistributedSystem::new(cfg.clone());
+    prop.crash_at(VirtualTime(0), SiteId(0));
+    for (at, req) in &schedule {
+        prop.submit_at(*at, *req);
+    }
+    prop.run_until_quiescent();
+    let prop_committed = prop
+        .drain_outcomes()
+        .iter()
+        .filter(|(_, _, o)| o.is_committed())
+        .count();
+
+    let mut conv = CentralizedSystem::new(cfg);
+    conv.crash_at(VirtualTime(0), SiteId(0));
+    for (at, req) in &schedule {
+        conv.submit_at(*at, *req);
+    }
+    conv.run_until_quiescent();
+    let conv_committed = conv
+        .drain_outcomes()
+        .iter()
+        .filter(|(_, _, o)| o.is_committed())
+        .count();
+
+    assert_eq!(prop_committed, 30, "retailers are autonomous");
+    assert_eq!(conv_committed, 0, "the center was everything");
+}
+
+#[test]
+fn anti_entropy_heals_partition_loss_without_manual_flushes() {
+    // With the periodic anti-entropy timer enabled, propagation lost to a
+    // partition repairs itself — no harness-driven flush_all.
+    let mut sys = DistributedSystem::new(
+        SystemConfig::builder()
+            .sites(3)
+            .regular_products(2, Volume(600))
+            .anti_entropy_interval(200)
+            .seed(31)
+            .build()
+            .unwrap(),
+    );
+    sys.set_partition(LinkFilter::partition(vec![
+        vec![SiteId(0)],
+        vec![SiteId(1), SiteId(2)],
+    ]));
+    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
+    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(0), ProductId(1), Volume(40)));
+    sys.run_until(VirtualTime(100));
+    // Propagation across the cut was dropped.
+    assert_ne!(sys.stock(SiteId(0), ProductId(0)), sys.stock(SiteId(1), ProductId(0)));
+    sys.heal_partition();
+    // Let a couple of anti-entropy rounds fire. No flush_all here!
+    sys.run_until(VirtualTime(700));
+    sys.check_convergence().expect("anti-entropy alone must converge the replicas");
+}
+
+#[test]
+fn anti_entropy_system_still_quiesces() {
+    // The heartbeat must stop once every peer is caught up, or
+    // run_until_quiescent would spin forever.
+    let mut sys = DistributedSystem::new(
+        SystemConfig::builder()
+            .sites(3)
+            .regular_products(1, Volume(300))
+            .anti_entropy_interval(50)
+            .seed(32)
+            .build()
+            .unwrap(),
+    );
+    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-10)));
+    sys.run_until_quiescent(); // terminates ⇔ the heartbeat self-stops
+    sys.check_convergence().unwrap();
+    assert!(sys.drain_outcomes()[0].2.is_committed());
+}

@@ -1,0 +1,215 @@
+//! Multi-item Delay transactions: several `(product, delta)` pairs commit
+//! atomically under AV holds, without any locking — an extension the
+//! paper's "whole transaction" language implies (§3.3: "it is not
+//! necessary to lock the AV exclusively until the completion of whole
+//! transaction").
+
+use avdb::prelude::*;
+use avdb::types::request::AbortReason;
+
+fn system() -> DistributedSystem {
+    DistributedSystem::new(
+        SystemConfig::builder()
+            .sites(3)
+            .regular_products(3, Volume(90)) // 30 AV per site per product
+            .non_regular_products(1, Volume(30))
+            .seed(4)
+            .build()
+            .unwrap(),
+    )
+}
+
+const A: ProductId = ProductId(0);
+const B: ProductId = ProductId(1);
+const C: ProductId = ProductId(2);
+const NONREG: ProductId = ProductId(3);
+
+#[test]
+fn covered_multi_update_commits_locally_with_zero_messages() {
+    let mut sys = system();
+    sys.submit_multi_at(
+        VirtualTime(0),
+        SiteId(1),
+        vec![(A, Volume(-10)), (B, Volume(-20)), (C, Volume(5))],
+    );
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert_eq!(outcomes.len(), 1, "one outcome for the whole transaction");
+    match &outcomes[0].2 {
+        UpdateOutcome::Committed { kind: UpdateKind::Delay, correspondences: 0, .. } => {}
+        other => panic!("expected free Delay commit, got {other:?}"),
+    }
+    assert_eq!(sys.stock(SiteId(1), A), Volume(80));
+    assert_eq!(sys.stock(SiteId(1), B), Volume(70));
+    assert_eq!(sys.stock(SiteId(1), C), Volume(95));
+    // The increment minted AV.
+    assert_eq!(sys.av_available(SiteId(1), C), Volume(35));
+    assert_eq!(sys.counters().by_kind("av-request"), 0);
+}
+
+#[test]
+fn multi_update_negotiates_av_per_item() {
+    let mut sys = system();
+    // Site 2 holds 30 per product; both items exceed it, so each product
+    // needs its own transfer round.
+    sys.submit_multi_at(VirtualTime(0), SiteId(2), vec![(A, Volume(-40)), (B, Volume(-45))]);
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert_eq!(outcomes.len(), 1);
+    match &outcomes[0].2 {
+        UpdateOutcome::Committed { kind: UpdateKind::Delay, correspondences, .. } => {
+            assert!(*correspondences >= 2, "one request per short product, got {correspondences}");
+        }
+        other => panic!("expected commit, got {other:?}"),
+    }
+    assert_eq!(sys.stock(SiteId(2), A), Volume(50));
+    assert_eq!(sys.stock(SiteId(2), B), Volume(45));
+    sys.flush_all();
+    sys.run_until_quiescent();
+    sys.check_convergence().unwrap();
+    sys.check_av_conservation(A).unwrap();
+    sys.check_av_conservation(B).unwrap();
+}
+
+#[test]
+fn multi_update_is_atomic_on_failure() {
+    let mut sys = system();
+    // Item A is easily covered; item B demands more than the system-wide
+    // 90 — the whole transaction must abort with A untouched.
+    sys.submit_multi_at(VirtualTime(0), SiteId(1), vec![(A, Volume(-10)), (B, Volume(-200))]);
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert_eq!(outcomes.len(), 1);
+    match &outcomes[0].2 {
+        UpdateOutcome::Aborted { reason: AbortReason::InsufficientAv { .. }, .. } => {}
+        other => panic!("expected AV abort, got {other:?}"),
+    }
+    for p in [A, B, C] {
+        for s in SiteId::all(3) {
+            assert_eq!(sys.stock(s, p), Volume(90), "no partial effects");
+        }
+    }
+    // Gathered AV for B stays at site 1 ("stored in the local AV table"),
+    // and A's released hold is back too — conservation holds.
+    sys.check_av_conservation(A).unwrap();
+    sys.check_av_conservation(B).unwrap();
+    assert!(sys.av_available(SiteId(1), B) > Volume(30));
+    assert!(sys.all_idle());
+}
+
+#[test]
+fn multi_update_rejects_non_delay_products() {
+    let mut sys = system();
+    sys.submit_multi_at(VirtualTime(0), SiteId(1), vec![(A, Volume(-5)), (NONREG, Volume(-5))]);
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    match &outcomes[0].2 {
+        UpdateOutcome::Aborted { reason: AbortReason::NotDelayEligible, correspondences: 0, .. } => {}
+        other => panic!("expected NotDelayEligible, got {other:?}"),
+    }
+    assert_eq!(sys.stock(SiteId(1), A), Volume(90));
+    assert_eq!(sys.counters().total_messages(), 0);
+}
+
+#[test]
+fn empty_multi_update_rejected() {
+    let mut sys = system();
+    sys.submit_multi_at(VirtualTime(0), SiteId(1), vec![]);
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert!(matches!(
+        outcomes[0].2,
+        UpdateOutcome::Aborted { reason: AbortReason::NotDelayEligible, .. }
+    ));
+}
+
+#[test]
+fn repeated_items_for_same_product_accumulate() {
+    let mut sys = system();
+    // Two decrements of the same product within one transaction: holds
+    // accumulate per (txn, product), so the combined need is honoured.
+    sys.submit_multi_at(VirtualTime(0), SiteId(1), vec![(A, Volume(-15)), (A, Volume(-10))]);
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert!(outcomes[0].2.is_committed());
+    assert_eq!(sys.stock(SiteId(1), A), Volume(65));
+    sys.flush_all();
+    sys.run_until_quiescent();
+    sys.check_av_conservation(A).unwrap();
+}
+
+#[test]
+fn concurrent_multi_updates_share_av_without_locks() {
+    let mut sys = system();
+    // Both retailers run multi-item transactions over the same products
+    // at the same instant; non-exclusive holds let both proceed.
+    sys.submit_multi_at(VirtualTime(0), SiteId(1), vec![(A, Volume(-12)), (B, Volume(-12))]);
+    sys.submit_multi_at(VirtualTime(0), SiteId(2), vec![(A, Volume(-12)), (B, Volume(-12))]);
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert_eq!(outcomes.iter().filter(|(_, _, o)| o.is_committed()).count(), 2);
+    sys.flush_all();
+    sys.run_until_quiescent();
+    sys.check_convergence().unwrap();
+    assert_eq!(sys.stock(SiteId(0), A), Volume(66));
+    assert_eq!(sys.stock(SiteId(0), B), Volume(66));
+}
+
+mod multi_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Random batches of multi-item transactions from random sites:
+        /// after convergence the state equals initial + the sum of the
+        /// committed transactions' net deltas, and AV is conserved.
+        #[test]
+        fn prop_multi_item_atomicity_and_conservation(
+            seed in 0u64..500,
+            txns in prop::collection::vec(
+                (1u32..3, prop::collection::vec((0u32..3, -40i64..40), 1..4)),
+                1..25,
+            ),
+        ) {
+            let mut sys = DistributedSystem::new(
+                SystemConfig::builder()
+                    .sites(3)
+                    .regular_products(3, Volume(200))
+                    .seed(seed)
+                    .build()
+                    .unwrap(),
+            );
+            for (i, (site, items)) in txns.iter().enumerate() {
+                let items: Vec<(ProductId, Volume)> = items
+                    .iter()
+                    .map(|(p, d)| (ProductId(*p), Volume(if *d == 0 { 1 } else { *d })))
+                    .collect();
+                sys.submit_multi_at(VirtualTime((i * 9) as u64), SiteId(*site), items);
+            }
+            sys.run_until_quiescent();
+            sys.flush_all();
+            sys.run_until_quiescent();
+            prop_assert!(sys.check_convergence().is_ok());
+            let outcomes = sys.drain_outcomes();
+            prop_assert_eq!(outcomes.len(), txns.len());
+            // Replay the committed transactions against a model.
+            let mut model = [200i64; 3];
+            for ((_, _, outcome), (_, items)) in outcomes.iter().zip(&txns) {
+                if outcome.is_committed() {
+                    for (p, d) in items {
+                        model[*p as usize] += if *d == 0 { 1 } else { *d };
+                    }
+                }
+            }
+            for p in 0..3u32 {
+                prop_assert_eq!(
+                    sys.stock(SiteId::BASE, ProductId(p)).get(),
+                    model[p as usize],
+                    "committed-only model mismatch on product{}", p
+                );
+                prop_assert!(sys.check_av_conservation(ProductId(p)).is_ok());
+            }
+        }
+    }
+}

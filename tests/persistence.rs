@@ -1,0 +1,91 @@
+//! Disk persistence across whole-system runs: each site's durable state
+//! survives process death (persist → drop everything → reopen) and
+//! reopened databases agree with the live run.
+
+use avdb::prelude::*;
+use avdb::storage::LocalDb;
+use avdb::workload::{UpdateStream, WorkloadSpec};
+use std::fs;
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("avdb-sys-persist-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn whole_system_state_survives_persist_and_reopen() {
+    let cfg = SystemConfig::builder()
+        .sites(3)
+        .regular_products(5, Volume(400))
+        .seed(17)
+        .build()
+        .unwrap();
+    let mut sys = DistributedSystem::new(cfg.clone());
+    let spec = WorkloadSpec { n_sites: 3, ..WorkloadSpec::paper(300, 17) };
+    for (at, req) in UpdateStream::new(spec, &cfg.catalog) {
+        sys.submit_at(at, req);
+    }
+    sys.run_until_quiescent();
+    sys.flush_all();
+    sys.run_until_quiescent();
+    sys.check_convergence().unwrap();
+
+    // Persist every site's durable state to its own directory.
+    let root = tempdir("whole");
+    for site in SiteId::all(3) {
+        sys.accelerator(site)
+            .db()
+            .persist_to_dir(&root.join(format!("site{}", site.0)))
+            .unwrap();
+    }
+
+    // "Process death": reopen from disk only and compare all stocks.
+    for site in SiteId::all(3) {
+        let (reopened, report) =
+            LocalDb::open_from_dir(&root.join(format!("site{}", site.0))).unwrap();
+        assert_eq!(report.undone_txns, 0, "quiescent system has no in-flight txns");
+        for p in 0..5u32 {
+            let product = ProductId(p);
+            assert_eq!(
+                reopened.stock(product).unwrap(),
+                sys.stock(site, product),
+                "{site} {product} diverged after reopen"
+            );
+        }
+    }
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn checkpointed_system_reopens_from_small_logs() {
+    let cfg = SystemConfig::builder()
+        .sites(3)
+        .regular_products(2, Volume(500))
+        .seed(18)
+        .build()
+        .unwrap();
+    let mut sys = DistributedSystem::new(cfg);
+    for i in 0..60u64 {
+        let site = SiteId(1 + (i % 2) as u32);
+        sys.submit_at(VirtualTime(i * 5), UpdateRequest::new(site, ProductId((i % 2) as u32), Volume(-3)));
+    }
+    sys.run_until_quiescent();
+    sys.checkpoint_all();
+    sys.run_until_quiescent();
+
+    let root = tempdir("checkpointed");
+    let dir = root.join("site1");
+    sys.accelerator(SiteId(1)).db().persist_to_dir(&dir).unwrap();
+    // The persisted WAL starts at the checkpoint — small and cheap.
+    let wal_text = fs::read_to_string(dir.join(avdb::storage::persist::WAL_FILE)).unwrap();
+    assert!(wal_text.lines().next().unwrap().contains("Checkpoint"));
+    let (reopened, report) = LocalDb::open_from_dir(&dir).unwrap();
+    assert!(report.from_checkpoint);
+    assert_eq!(
+        reopened.stock(ProductId(0)).unwrap(),
+        sys.stock(SiteId(1), ProductId(0))
+    );
+    fs::remove_dir_all(&root).unwrap();
+}
