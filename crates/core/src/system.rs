@@ -35,6 +35,7 @@ impl DistributedSystem {
         let sim = SimulatorBuilder::new()
             .latency(cfg.latency)
             .seed(cfg.seed)
+            .drop_probability(cfg.drop_probability)
             .build(actors);
         DistributedSystem { cfg, sim }
     }
@@ -68,6 +69,11 @@ impl DistributedSystem {
     /// Inputs lost to crashed sites.
     pub fn lost_inputs(&self) -> u64 {
         self.sim.lost_inputs()
+    }
+
+    /// `(time, site)` of every lost input, in loss order.
+    pub fn lost_input_log(&self) -> &[(VirtualTime, SiteId)] {
+        self.sim.lost_input_log()
     }
 
     /// One site's accelerator.

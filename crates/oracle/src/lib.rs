@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Conformance oracle for the AV escrow protocol.
+//!
+//! Every transport in this workspace — the deterministic [`avdb_simnet::Simulator`],
+//! the threaded [`avdb_simnet::LiveRunner`], and the socketed
+//! [`avdb_simnet::TcpMesh`] — runs the identical [`avdb_core::Accelerator`]
+//! actor. This crate provides the *transport-independent* ground truth they
+//! are all judged against:
+//!
+//! * [`SequentialModel`] — a single-site reference database that applies an
+//!   update stream with no escrow and no replication, giving the stock a
+//!   perfectly serialized system would reach.
+//! * [`Observation`] — a bundle of everything a finished run can be asked to
+//!   hand over: final per-site stocks, AV-table snapshots, transfer ledgers,
+//!   network counters, the message trace (when recorded), and the request
+//!   stream that produced it all.
+//! * [`check`] — the invariant checker, producing a [`Report`] of every
+//!   [`Violation`] found: conservation, convergence, non-negativity,
+//!   accounting, ledger sanity, and message-causality (Figs. 3–5 request /
+//!   response ordering).
+//!
+//! The `avdb-check` binary in the root crate sweeps seeds × site counts ×
+//! fault schedules through this checker and minimizes any failure it finds.
+
+mod check;
+mod model;
+mod observe;
+
+pub use check::{check, Report, Violation};
+pub use model::SequentialModel;
+pub use observe::{Observation, SiteObservation, SubmittedRequest};

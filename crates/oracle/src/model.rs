@@ -1,0 +1,123 @@
+//! The sequential reference model: one site, no escrow, no network.
+
+use avdb_types::{ProductId, SystemConfig, Volume};
+
+/// A single-site reference database.
+///
+/// It applies the same `UpdateRequest` stream a distributed run receives,
+/// but serially and with no Allowable-Volume machinery: an update (or an
+/// atomic multi-item update) commits exactly when it leaves every touched
+/// stock non-negative. The resulting stocks are the ground truth a
+/// perfectly consistent system would reach, and the admission sequence is
+/// the upper bound on what any escrow-limited run may commit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequentialModel {
+    stocks: Vec<Volume>,
+}
+
+impl SequentialModel {
+    /// Starts the model at the catalog's initial stocks.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        SequentialModel { stocks: cfg.catalog.iter().map(|e| e.initial_stock).collect() }
+    }
+
+    /// Current stock of one product (`None` if out of catalog range).
+    pub fn stock(&self, product: ProductId) -> Option<Volume> {
+        self.stocks.get(product.index()).copied()
+    }
+
+    /// All stocks, densely indexed by product.
+    pub fn stocks(&self) -> &[Volume] {
+        &self.stocks
+    }
+
+    /// Reference admission: commits `items` atomically iff every touched
+    /// product stays non-negative (items on one product accumulate).
+    /// Returns whether the update committed.
+    pub fn admit(&mut self, items: &[(ProductId, Volume)]) -> bool {
+        let mut next = self.stocks.clone();
+        for (product, delta) in items {
+            match next.get_mut(product.index()) {
+                Some(stock) => *stock += *delta,
+                None => return false,
+            }
+        }
+        if next.iter().any(|s| s.is_negative()) {
+            return false;
+        }
+        self.stocks = next;
+        true
+    }
+
+    /// Applies `items` with no admission check — used to replay the
+    /// committed deltas of an observed run so the checker can see whether
+    /// the run itself ever oversold.
+    pub fn apply_unchecked(&mut self, items: &[(ProductId, Volume)]) {
+        for (product, delta) in items {
+            if let Some(stock) = self.stocks.get_mut(product.index()) {
+                *stock += *delta;
+            }
+        }
+    }
+
+    /// Replays a whole request stream through reference admission,
+    /// returning the per-request commit decisions.
+    pub fn replay<'a, I>(&mut self, requests: I) -> Vec<bool>
+    where
+        I: IntoIterator<Item = &'a [(ProductId, Volume)]>,
+    {
+        requests.into_iter().map(|items| self.admit(items)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::builder()
+            .sites(3)
+            .regular_products(1, Volume(100))
+            .non_regular_products(1, Volume(30))
+            .build()
+            .unwrap()
+    }
+
+    const REG: ProductId = ProductId(0);
+    const NONREG: ProductId = ProductId(1);
+
+    #[test]
+    fn admits_only_non_negative_outcomes() {
+        let mut m = SequentialModel::new(&cfg());
+        assert!(m.admit(&[(REG, Volume(-100))]));
+        assert_eq!(m.stock(REG), Some(Volume::ZERO));
+        assert!(!m.admit(&[(REG, Volume(-1))]), "would oversell");
+        assert!(m.admit(&[(REG, Volume(5))]));
+        assert_eq!(m.stock(REG), Some(Volume(5)));
+    }
+
+    #[test]
+    fn multi_item_updates_are_atomic() {
+        let mut m = SequentialModel::new(&cfg());
+        // Second item would go negative: the first must not apply either.
+        assert!(!m.admit(&[(REG, Volume(-10)), (NONREG, Volume(-31))]));
+        assert_eq!(m.stock(REG), Some(Volume(100)));
+        assert_eq!(m.stock(NONREG), Some(Volume(30)));
+        // Items on one product accumulate before the check.
+        assert!(!m.admit(&[(NONREG, Volume(-20)), (NONREG, Volume(-20))]));
+        assert!(m.admit(&[(NONREG, Volume(-20)), (NONREG, Volume(20))]));
+    }
+
+    #[test]
+    fn unknown_products_are_rejected_not_panicked() {
+        let mut m = SequentialModel::new(&cfg());
+        assert!(!m.admit(&[(ProductId(9), Volume(1))]));
+    }
+
+    #[test]
+    fn unchecked_replay_can_go_negative() {
+        let mut m = SequentialModel::new(&cfg());
+        m.apply_unchecked(&[(REG, Volume(-150))]);
+        assert_eq!(m.stock(REG), Some(Volume(-50)));
+    }
+}

@@ -3,6 +3,7 @@
 use avdb_baseline::CentralizedSystem;
 use avdb_core::DistributedSystem;
 use avdb_metrics::RunMetrics;
+use avdb_oracle::{Observation, Report, SubmittedRequest};
 use avdb_simnet::CountersSnapshot;
 use avdb_types::{SiteId, SystemConfig, UpdateOutcome, UpdateRequest, VirtualTime};
 use avdb_workload::{UpdateStream, WorkloadSpec};
@@ -16,6 +17,9 @@ pub struct RunOutput {
     /// Outcomes in completion order (kept for experiment-specific
     /// post-processing).
     pub outcomes: Vec<(VirtualTime, SiteId, UpdateOutcome)>,
+    /// The conformance oracle's verdict (empty for the centralized
+    /// comparator, which the oracle does not model).
+    pub oracle: Report,
 }
 
 /// Builds the workload schedule once (identical for both systems).
@@ -87,18 +91,11 @@ pub fn run_proposal_named(label: &str, cfg: &SystemConfig, spec: &WorkloadSpec) 
     sys.run_until_quiescent();
     sys.flush_all();
     sys.run_until_quiescent();
-    sys.check_convergence().expect("replicas must converge after flush");
-    for entry in &cfg.catalog {
-        if entry.class.uses_av() {
-            if let Err((expected, actual)) = sys.check_av_conservation(entry.id) {
-                panic!(
-                    "AV conservation violated for {}: expected {expected}, actual {actual}",
-                    entry.id
-                );
-            }
-        }
-    }
     let outcomes = sys.drain_outcomes();
+    let submitted =
+        schedule.iter().map(|(at, req)| SubmittedRequest::single(*at, req)).collect();
+    let oracle = avdb_oracle::check(&Observation::from_system(&sys, submitted, outcomes.clone()));
+    oracle.assert_ok(label);
     let network = sys.counters().snapshot();
     let metrics = distill(
         label,
@@ -108,7 +105,7 @@ pub fn run_proposal_named(label: &str, cfg: &SystemConfig, spec: &WorkloadSpec) 
         &network,
         pick_sample_every(spec.n_updates),
     );
-    RunOutput { metrics, network, outcomes }
+    RunOutput { metrics, network, outcomes, oracle }
 }
 
 /// Runs the "lock-everything primary copy" comparator: the proposed
@@ -130,8 +127,11 @@ pub fn run_lock_everything(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunOutput
         sys.submit_at(*at, *req);
     }
     sys.run_until_quiescent();
-    sys.check_convergence().expect("immediate updates replicate synchronously");
     let outcomes = sys.drain_outcomes();
+    let submitted =
+        schedule.iter().map(|(at, req)| SubmittedRequest::single(*at, req)).collect();
+    let oracle = avdb_oracle::check(&Observation::from_system(&sys, submitted, outcomes.clone()));
+    oracle.assert_ok("lock-everything");
     let network = sys.counters().snapshot();
     let metrics = distill(
         "lock-everything",
@@ -141,7 +141,7 @@ pub fn run_lock_everything(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunOutput
         &network,
         pick_sample_every(spec.n_updates),
     );
-    RunOutput { metrics, network, outcomes }
+    RunOutput { metrics, network, outcomes, oracle }
 }
 
 /// Runs the conventional centralized system over the same workload.
@@ -162,7 +162,7 @@ pub fn run_conventional(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunOutput {
         &network,
         pick_sample_every(spec.n_updates),
     );
-    RunOutput { metrics, network, outcomes }
+    RunOutput { metrics, network, outcomes, oracle: Report::default() }
 }
 
 #[cfg(test)]

@@ -84,6 +84,7 @@ impl SimulatorBuilder {
             processed: 0,
             max_events: self.max_events,
             lost_inputs: 0,
+            lost_input_log: Vec::new(),
             trace: Trace::new(),
         }
     }
@@ -114,6 +115,9 @@ pub struct Simulator<A: Actor> {
     processed: u64,
     max_events: u64,
     lost_inputs: u64,
+    /// `(time, site)` of each lost input, so a harness can reconstruct
+    /// exactly which injected requests never reached their actor.
+    lost_input_log: Vec<(VirtualTime, SiteId)>,
     trace: Trace,
 }
 
@@ -136,6 +140,11 @@ impl<A: Actor> Simulator<A> {
     /// Inputs that were injected at crashed sites and therefore lost.
     pub fn lost_inputs(&self) -> u64 {
         self.lost_inputs
+    }
+
+    /// `(time, site)` of every lost input, in loss order.
+    pub fn lost_input_log(&self) -> &[(VirtualTime, SiteId)] {
+        &self.lost_input_log
     }
 
     /// Total events processed.
@@ -311,6 +320,7 @@ impl<A: Actor> Simulator<A> {
             Event::Input { site, input } => {
                 if self.faults.is_crashed(site) {
                     self.lost_inputs += 1;
+                    self.lost_input_log.push((self.now, site));
                 } else {
                     self.with_ctx(site, |a, ctx| a.on_input(ctx, input));
                 }

@@ -132,15 +132,26 @@ impl Wal {
     }
 
     /// Parses a JSON-lines dump back into a log.
+    ///
+    /// A final line that fails to parse *and* is missing its terminating
+    /// newline is treated as a record truncated by a crash mid-write: it
+    /// is discarded and recovery proceeds from the last complete record.
+    /// An unparsable line anywhere else (or a newline-terminated one) is
+    /// real corruption and rejected.
     pub fn from_json_lines(s: &str) -> Result<Self> {
         let mut wal = Wal::new();
-        for (i, line) in s.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
+        let lines: Vec<(usize, &str)> = s
+            .lines()
+            .enumerate()
+            .filter(|(_, line)| !line.trim().is_empty())
+            .collect();
+        let unterminated_tail = !s.is_empty() && !s.ends_with('\n');
+        for (pos, (i, line)) in lines.iter().enumerate() {
+            match serde_json::from_str::<LogRecord>(line) {
+                Ok(rec) => wal.append(rec),
+                Err(_) if pos + 1 == lines.len() && unterminated_tail => break,
+                Err(e) => return Err(AvdbError::Codec(format!("line {}: {e}", i + 1))),
             }
-            let rec: LogRecord = serde_json::from_str(line)
-                .map_err(|e| AvdbError::Codec(format!("line {}: {e}", i + 1)))?;
-            wal.append(rec);
         }
         Ok(wal)
     }

@@ -155,6 +155,11 @@ pub struct SystemConfig {
     /// believed-poorest peer. Costs push/ack pairs up front to save
     /// request/grant pairs (and retailer-visible latency) later.
     pub proactive_push: bool,
+    /// Probability that the network silently drops any given message
+    /// (fault-injection knob; 0.0 = reliable links). Replication repairs
+    /// itself through retransmission; in-flight AV grants are destroyed
+    /// by a drop, so conservation weakens to an inequality under loss.
+    pub drop_probability: f64,
     /// RNG seed for all stochastic pieces (workload, jitter, random
     /// strategies). Same seed + same config ⇒ identical run.
     pub seed: u64,
@@ -290,6 +295,12 @@ impl SystemConfig {
         if self.propagation_batch == 0 {
             return Err(AvdbError::InvalidConfig("propagation_batch must be >= 1".into()));
         }
+        if !(0.0..1.0).contains(&self.drop_probability) {
+            return Err(AvdbError::InvalidConfig(format!(
+                "drop_probability must be in [0, 1), got {}",
+                self.drop_probability
+            )));
+        }
         Ok(())
     }
 }
@@ -309,6 +320,7 @@ pub struct SystemConfigBuilder {
     propagation_batch: usize,
     anti_entropy_interval: u64,
     proactive_push: bool,
+    drop_probability: f64,
     seed: u64,
 }
 
@@ -327,6 +339,7 @@ impl Default for SystemConfigBuilder {
             propagation_batch: 1,
             anti_entropy_interval: 0,
             proactive_push: false,
+            drop_probability: 0.0,
             seed: 0,
         }
     }
@@ -439,6 +452,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the probability that any message is silently dropped in
+    /// transit (default 0.0 — reliable links).
+    pub fn drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SystemConfig> {
         let initial_av = self.initial_av.unwrap_or_else(|| {
@@ -459,6 +479,7 @@ impl SystemConfigBuilder {
             propagation_batch: self.propagation_batch,
             anti_entropy_interval: self.anti_entropy_interval,
             proactive_push: self.proactive_push,
+            drop_probability: self.drop_probability,
             seed: self.seed,
             catalog: self.catalog,
         };

@@ -1,0 +1,313 @@
+//! `avdb-check` — seed-sweep conformance fuzzer for the AV escrow protocol.
+//!
+//! Sweeps seeds × site counts × fault schedules through a full
+//! [`DistributedSystem`] run, settles propagation, and verifies every
+//! invariant the conformance oracle knows about. On a violation the
+//! workload is binary-search minimized to the shortest request prefix
+//! that still fails, and the minimal repro `(seed, fault, sites,
+//! requests)` is printed.
+//!
+//! ```text
+//! cargo run --bin avdb-check -- --seeds 0..500 --faults all
+//! cargo run --bin avdb-check -- --seeds 0..100 --faults crash,loss --sites 3,5 --requests 60
+//! ```
+//!
+//! Fault schedules:
+//!
+//! * `clean`     — reliable network, mixed Delay + Immediate traffic
+//! * `crash`     — fail-stop crashes + recoveries at random times
+//! * `partition` — a random two-group partition installed and healed mid-run
+//! * `loss`      — every message dropped with 5% probability
+//!
+//! The fault schedules drive Delay (regular-product) traffic only: the
+//! Immediate path is classic presumed-abort 2PC, which assumes reliable
+//! delivery of the decision round (see DESIGN.md, "Oracle & invariants").
+
+use avdb::core::DistributedSystem;
+use avdb::oracle::{self, Observation, Report, SubmittedRequest};
+use avdb::simnet::{DetRng, LinkFilter};
+use avdb::types::{ProductId, SiteId, SystemConfig, UpdateRequest, VirtualTime, Volume};
+use std::ops::Range;
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Fault {
+    Clean,
+    Crash,
+    Partition,
+    Loss,
+}
+
+impl Fault {
+    const ALL: [Fault; 4] = [Fault::Clean, Fault::Crash, Fault::Partition, Fault::Loss];
+
+    fn name(self) -> &'static str {
+        match self {
+            Fault::Clean => "clean",
+            Fault::Crash => "crash",
+            Fault::Partition => "partition",
+            Fault::Loss => "loss",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Fault> {
+        Fault::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+struct Sweep {
+    seeds: Range<u64>,
+    faults: Vec<Fault>,
+    sites: Vec<usize>,
+    requests: usize,
+    verbose: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Case {
+    seed: u64,
+    fault: Fault,
+    n_sites: usize,
+}
+
+const TICKS_PER_REQUEST: u64 = 4;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: avdb-check [--seeds A..B] [--faults all|clean,crash,partition,loss] \
+         [--sites N,M] [--requests N] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Sweep {
+    let mut sweep = Sweep {
+        seeds: 0..100,
+        faults: Fault::ALL.to_vec(),
+        sites: vec![3, 5],
+        requests: 40,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |n: &str| args.next().unwrap_or_else(|| panic!("{n} needs a value"));
+        match flag.as_str() {
+            "--seeds" => {
+                let v = value("--seeds");
+                let Some((a, b)) = v.split_once("..") else { usage() };
+                let (Ok(a), Ok(b)) = (a.parse(), b.parse()) else { usage() };
+                sweep.seeds = a..b;
+            }
+            "--faults" => {
+                let v = value("--faults");
+                sweep.faults = if v == "all" {
+                    Fault::ALL.to_vec()
+                } else {
+                    v.split(',').map(|s| Fault::parse(s).unwrap_or_else(|| usage())).collect()
+                };
+            }
+            "--sites" => {
+                let v = value("--sites");
+                sweep.sites =
+                    v.split(',').map(|s| s.parse().unwrap_or_else(|_| usage())).collect();
+            }
+            "--requests" => {
+                sweep.requests = value("--requests").parse().unwrap_or_else(|_| usage());
+            }
+            "--verbose" => sweep.verbose = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if sweep.seeds.is_empty() || sweep.faults.is_empty() || sweep.sites.is_empty() {
+        usage();
+    }
+    if sweep.sites.contains(&0) {
+        usage();
+    }
+    sweep
+}
+
+fn config(case: Case) -> SystemConfig {
+    let mut builder = SystemConfig::builder()
+        .sites(case.n_sites)
+        // Enough system-wide AV that most Delay traffic commits, little
+        // enough that shortages force request/grant negotiation.
+        .regular_products(2, Volume(40 * case.n_sites as i64))
+        .non_regular_products(1, Volume(50))
+        .seed(case.seed);
+    if case.fault == Fault::Loss {
+        builder = builder.drop_probability(0.05);
+    }
+    builder.build().expect("sweep config is valid")
+}
+
+/// The full request schedule for a case. Minimization replays a prefix,
+/// so the stream for a given case never depends on the request count.
+fn workload(case: Case, requests: usize) -> Vec<(VirtualTime, UpdateRequest)> {
+    let mut rng = DetRng::new(case.seed).derive(case.fault as u64 + 1);
+    // Fault schedules stay on the AV-managed (Delay) products; Immediate
+    // 2PC presumes reliable decision delivery, which faults break by design.
+    let products = if case.fault == Fault::Clean { 3 } else { 2 };
+    (0..requests)
+        .map(|i| {
+            let site = SiteId(rng.gen_range(case.n_sites as u64) as u32);
+            let product = ProductId(rng.gen_range(products) as u32);
+            let delta = if rng.gen_f64() < 0.65 {
+                -rng.gen_i64_inclusive(1, 12)
+            } else {
+                rng.gen_i64_inclusive(1, 15)
+            };
+            (
+                VirtualTime(i as u64 * TICKS_PER_REQUEST),
+                UpdateRequest::new(site, product, Volume(delta)),
+            )
+        })
+        .collect()
+}
+
+/// Runs one case over the first `requests` entries of its workload and
+/// returns the oracle's verdict.
+fn run_case(case: Case, requests: usize, full: usize) -> Report {
+    let cfg = config(case);
+    let schedule: Vec<_> = workload(case, full).into_iter().take(requests).collect();
+    let horizon = full as u64 * TICKS_PER_REQUEST + 10;
+    let mut sys = DistributedSystem::new(cfg);
+    for (at, req) in &schedule {
+        sys.submit_at(*at, *req);
+    }
+    let mut rng = DetRng::new(case.seed).derive(0xFA017 + case.fault as u64);
+    match case.fault {
+        Fault::Clean | Fault::Loss => sys.run_until_quiescent(),
+        Fault::Crash => {
+            // One or two distinct sites fail-stop and later recover.
+            let crashes = (1 + rng.gen_range(2) as usize).min(case.n_sites);
+            let mut sites: Vec<u64> = (0..case.n_sites as u64).collect();
+            for _ in 0..crashes {
+                let site = SiteId(sites.remove(rng.gen_range(sites.len() as u64) as usize) as u32);
+                let down = rng.gen_range(horizon);
+                let outage = 20 + rng.gen_range(horizon / 2);
+                sys.crash_at(VirtualTime(down), site);
+                sys.recover_at(VirtualTime(down + outage), site);
+            }
+            sys.run_until_quiescent();
+        }
+        Fault::Partition => {
+            // Split the sites into two random non-empty groups mid-run,
+            // then heal and let anti-entropy repair the damage.
+            if case.n_sites < 2 {
+                // A single site cannot partition; run the case clean.
+                sys.run_until_quiescent();
+            } else {
+                let installed = rng.gen_range(horizon * 2 / 3);
+                let healed = installed + 30 + rng.gen_range(horizon);
+                let cut = 1 + rng.gen_range(case.n_sites as u64 - 1) as u32;
+                let (a, b): (Vec<SiteId>, Vec<SiteId>) =
+                    SiteId::all(case.n_sites).partition(|s| s.0 < cut);
+                sys.run_until(VirtualTime(installed));
+                sys.set_partition(LinkFilter::partition(vec![a, b]));
+                sys.run_until(VirtualTime(healed));
+                sys.heal_partition();
+                sys.run_until_quiescent();
+            }
+        }
+    }
+    // Settle: repeated retransmission rounds until replicas agree (one
+    // round suffices on reliable links; loss can eat flush traffic too).
+    for _ in 0..50 {
+        sys.flush_all();
+        sys.run_until_quiescent();
+        if sys.check_convergence().is_ok() {
+            break;
+        }
+    }
+    let outcomes = sys.drain_outcomes();
+    let submitted =
+        schedule.iter().map(|(at, req)| SubmittedRequest::single(*at, req)).collect();
+    oracle::check(&Observation::from_system(&sys, submitted, outcomes))
+}
+
+/// Binary-searches the shortest failing request prefix of a known-bad
+/// case (assumes failures are prefix-monotone, the usual fuzzing bet).
+fn minimize(case: Case, full: usize) -> (usize, Report) {
+    if !run_case(case, 0, full).is_ok() {
+        return (0, run_case(case, 0, full));
+    }
+    let (mut lo, mut hi) = (0, full);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if run_case(case, mid, full).is_ok() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (hi, run_case(case, hi, full))
+}
+
+fn main() -> ExitCode {
+    let sweep = parse_args();
+    let started = std::time::Instant::now();
+    println!(
+        "avdb-check: seeds {}..{}, faults [{}], sites {:?}, {} requests/run",
+        sweep.seeds.start,
+        sweep.seeds.end,
+        sweep.faults.iter().map(|f| f.name()).collect::<Vec<_>>().join(", "),
+        sweep.sites,
+        sweep.requests,
+    );
+    let mut runs = 0u64;
+    let mut failures = 0u64;
+    for &fault in &sweep.faults {
+        let mut fault_runs = 0u64;
+        let mut fault_failures = 0u64;
+        for &n_sites in &sweep.sites {
+            for seed in sweep.seeds.clone() {
+                let case = Case { seed, fault, n_sites };
+                let report = run_case(case, sweep.requests, sweep.requests);
+                fault_runs += 1;
+                if sweep.verbose {
+                    println!(
+                        "  {} seed={seed} sites={n_sites}: {}",
+                        fault.name(),
+                        if report.is_ok() { "ok" } else { "VIOLATION" }
+                    );
+                }
+                if !report.is_ok() {
+                    fault_failures += 1;
+                    println!(
+                        "VIOLATION fault={} seed={seed} sites={n_sites} requests={}",
+                        fault.name(),
+                        sweep.requests
+                    );
+                    print!("{report}");
+                    let (min_requests, min_report) = minimize(case, sweep.requests);
+                    println!(
+                        "  minimal repro: --seeds {seed}..{} --faults {} --sites {n_sites} \
+                         --requests {min_requests}",
+                        seed + 1,
+                        fault.name()
+                    );
+                    print!("{min_report}");
+                }
+            }
+        }
+        runs += fault_runs;
+        failures += fault_failures;
+        println!(
+            "  {:<9} {} runs, {} violation{}",
+            fault.name(),
+            fault_runs,
+            fault_failures,
+            if fault_failures == 1 { "" } else { "s" }
+        );
+    }
+    let elapsed = started.elapsed();
+    if failures == 0 {
+        println!("all {runs} runs conform ({elapsed:.1?})");
+        ExitCode::SUCCESS
+    } else {
+        println!("{failures} of {runs} runs violated invariants ({elapsed:.1?})");
+        ExitCode::FAILURE
+    }
+}

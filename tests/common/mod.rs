@@ -1,0 +1,151 @@
+//! Shared harness for the integration suite: a submission log that feeds
+//! the conformance oracle, outcome pumps for the live transports, and
+//! settle helpers — one copy instead of one per test file.
+#![allow(dead_code)]
+
+use avdb::core::{Accelerator, DistributedSystem, Input};
+use avdb::oracle::{Observation, SubmittedRequest};
+use avdb::prelude::*;
+use avdb::simnet::{CountersSnapshot, LiveRunner, TcpMesh};
+use std::time::{Duration, Instant};
+
+/// The pump surface the thread-mesh and TCP transports share.
+pub trait Transport {
+    /// Hands an input to a site's mailbox.
+    fn inject(&self, site: SiteId, input: Input);
+    /// Drains whatever outcomes have been produced so far.
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)>;
+}
+
+impl Transport for LiveRunner<Accelerator> {
+    fn inject(&self, site: SiteId, input: Input) {
+        LiveRunner::inject(self, site, input);
+    }
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+        self.drain_outputs()
+    }
+}
+
+impl Transport for TcpMesh<Accelerator> {
+    fn inject(&self, site: SiteId, input: Input) {
+        TcpMesh::inject(self, site, input);
+    }
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+        self.drain_outputs()
+    }
+}
+
+/// Records every injected update so the run can be replayed against the
+/// conformance oracle afterwards.
+#[derive(Default)]
+pub struct Submissions {
+    log: Vec<SubmittedRequest>,
+    next_label: u64,
+}
+
+impl Submissions {
+    pub fn new() -> Self {
+        Submissions::default()
+    }
+
+    /// Records and submits one update to the simulator.
+    pub fn submit_at(&mut self, sys: &mut DistributedSystem, at: VirtualTime, req: UpdateRequest) {
+        self.log.push(SubmittedRequest::single(at, &req));
+        sys.submit_at(at, req);
+    }
+
+    /// Records and injects one update into a live transport. Live runs
+    /// have no virtual clock; a global injection counter stands in (the
+    /// oracle only needs per-site injection order).
+    pub fn inject(&mut self, transport: &impl Transport, req: UpdateRequest) {
+        self.log.push(SubmittedRequest::single(VirtualTime(self.next_label), &req));
+        self.next_label += 1;
+        transport.inject(req.site, Input::Update(req));
+    }
+
+    pub fn take(self) -> Vec<SubmittedRequest> {
+        self.log
+    }
+}
+
+/// Polls a live transport until `expected` outcomes arrived (30s cap).
+pub fn wait_for_outcomes(
+    transport: &impl Transport,
+    expected: usize,
+) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut outcomes = Vec::new();
+    while outcomes.len() < expected {
+        assert!(
+            Instant::now() < deadline,
+            "timed out with {}/{expected} outcomes",
+            outcomes.len()
+        );
+        outcomes.extend(transport.drain());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    outcomes
+}
+
+/// A few anti-entropy rounds on a live transport, with real time in
+/// between for the acks to come back.
+pub fn settle_live(transport: &impl Transport, n_sites: usize) {
+    for _ in 0..3 {
+        for site in SiteId::all(n_sites) {
+            transport.inject(site, Input::FlushPropagation);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Settles a simulator run: anti-entropy rounds until replicas agree
+/// (one round suffices on reliable links; retries cover lossy ones).
+pub fn settle_sim(sys: &mut DistributedSystem) {
+    for _ in 0..50 {
+        sys.flush_all();
+        sys.run_until_quiescent();
+        if sys.check_convergence().is_ok() {
+            break;
+        }
+    }
+}
+
+/// Captures a settled simulator run for the oracle.
+pub fn observe_sim(
+    sys: &DistributedSystem,
+    submissions: Submissions,
+    outcomes: Vec<(VirtualTime, SiteId, UpdateOutcome)>,
+) -> Observation {
+    Observation::from_system(sys, submissions.take(), outcomes)
+}
+
+/// Runs the full conformance oracle over a settled simulator run.
+pub fn assert_oracle_sim(
+    sys: &DistributedSystem,
+    submissions: Submissions,
+    outcomes: Vec<(VirtualTime, SiteId, UpdateOutcome)>,
+    context: &str,
+) {
+    avdb::oracle::check(&observe_sim(sys, submissions, outcomes)).assert_ok(context);
+}
+
+/// Runs the conformance oracle over a live run from the actors the
+/// transport returned at shutdown. Pass only the surviving actors when
+/// the test killed some — the oracle checks whatever it observes.
+pub fn assert_oracle_live(
+    cfg: &SystemConfig,
+    actors: &[Accelerator],
+    submissions: Submissions,
+    outcomes: Vec<(VirtualTime, SiteId, UpdateOutcome)>,
+    network: CountersSnapshot,
+    context: &str,
+) {
+    avdb::oracle::check(&Observation::from_accelerators(
+        cfg.clone(),
+        actors,
+        submissions.take(),
+        outcomes,
+        network,
+    ))
+    .assert_ok(context);
+}

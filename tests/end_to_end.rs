@@ -1,30 +1,35 @@
 //! Cross-crate integration: the full proposed system driven through the
-//! facade crate's public API.
+//! facade crate's public API, with final states verified by the shared
+//! conformance oracle.
+
+mod common;
 
 use avdb::prelude::*;
 use avdb::types::{AvAllocation, LatencyModel, ProductClass};
 use avdb::workload::{UpdateStream, WorkloadSpec};
+use common::{assert_oracle_sim, settle_sim, Submissions};
 
 fn paper_system(seed: u64) -> DistributedSystem {
     DistributedSystem::new(avdb::sim::paper_config(seed))
 }
 
-/// Drives `n` paper-workload updates and returns the system (converged).
-fn driven(n: usize, seed: u64) -> DistributedSystem {
+/// Drives `n` paper-workload updates and returns the settled system plus
+/// the submission log for the oracle.
+fn driven(n: usize, seed: u64) -> (DistributedSystem, Submissions) {
     let mut sys = paper_system(seed);
+    let mut subs = Submissions::new();
     let spec = WorkloadSpec::paper(n, seed);
     for (at, req) in UpdateStream::new(spec, &sys.config().catalog.clone()) {
-        sys.submit_at(at, req);
+        subs.submit_at(&mut sys, at, req);
     }
     sys.run_until_quiescent();
-    sys.flush_all();
-    sys.run_until_quiescent();
-    sys
+    settle_sim(&mut sys);
+    (sys, subs)
 }
 
 #[test]
 fn paper_workload_converges_and_conserves() {
-    let mut sys = driven(1_200, 42);
+    let (mut sys, subs) = driven(1_200, 42);
     sys.check_convergence().expect("replicas converge");
     for p in 0..sys.config().n_products() {
         sys.check_av_conservation(ProductId(p as u32))
@@ -34,13 +39,15 @@ fn paper_workload_converges_and_conserves() {
     assert_eq!(outcomes.len(), 1_200, "every update resolves");
     // Network pairing: every message is half of a correspondence.
     assert_eq!(sys.counters().total_messages() % 2, 0);
+    assert_oracle_sim(&sys, subs, outcomes, "paper-workload");
 }
 
 #[test]
 fn delay_commits_are_instant_at_origin() {
     let mut sys = paper_system(7);
+    let mut subs = Submissions::new();
     let product = ProductId(0);
-    sys.submit_at(VirtualTime(5), UpdateRequest::new(SiteId(1), product, Volume(-50)));
+    subs.submit_at(&mut sys, VirtualTime(5), UpdateRequest::new(SiteId(1), product, Volume(-50)));
     sys.run_until_quiescent();
     let outcomes = sys.drain_outcomes();
     match &outcomes[0].2 {
@@ -49,6 +56,8 @@ fn delay_commits_are_instant_at_origin() {
         }
         other => panic!("expected free local commit, got {other:?}"),
     }
+    settle_sim(&mut sys);
+    assert_oracle_sim(&sys, subs, outcomes, "instant-local-commit");
 }
 
 #[test]
@@ -62,13 +71,17 @@ fn global_stock_never_oversold_with_av_bounds() {
         .build()
         .unwrap();
     let mut sys = DistributedSystem::new(cfg);
+    let mut subs = Submissions::new();
     for i in 0..40u64 {
         let site = SiteId(1 + (i % 2) as u32);
-        sys.submit_at(VirtualTime(i * 3), UpdateRequest::new(site, ProductId(0), Volume(-7)));
+        subs.submit_at(
+            &mut sys,
+            VirtualTime(i * 3),
+            UpdateRequest::new(site, ProductId(0), Volume(-7)),
+        );
     }
     sys.run_until_quiescent();
-    sys.flush_all();
-    sys.run_until_quiescent();
+    settle_sim(&mut sys);
     sys.check_convergence().unwrap();
     let outcomes = sys.drain_outcomes();
     let committed = outcomes.iter().filter(|(_, _, o)| o.is_committed()).count();
@@ -77,6 +90,7 @@ fn global_stock_never_oversold_with_av_bounds() {
     let final_stock = sys.stock(SiteId::BASE, ProductId(0));
     assert_eq!(final_stock, Volume(100 - 14 * 7));
     assert!(final_stock >= Volume::ZERO, "escrow safety");
+    assert_oracle_sim(&sys, subs, outcomes, "oversell-bound");
 }
 
 #[test]
@@ -90,21 +104,24 @@ fn jittered_latency_still_deterministic_and_convergent() {
             .build()
             .unwrap();
         let mut sys = DistributedSystem::new(cfg);
+        let mut subs = Submissions::new();
         let spec = WorkloadSpec {
             n_sites: 4,
             ..WorkloadSpec::paper(400, seed)
         };
         for (at, req) in UpdateStream::new(spec, &sys.config().catalog.clone()) {
-            sys.submit_at(at, req);
+            subs.submit_at(&mut sys, at, req);
         }
         sys.run_until_quiescent();
-        sys.flush_all();
-        sys.run_until_quiescent();
+        settle_sim(&mut sys);
         sys.check_convergence().unwrap();
-        (
+        let outcomes = sys.drain_outcomes();
+        let result = (
             sys.counters().snapshot(),
             (0..5).map(|p| sys.stock(SiteId(0), ProductId(p))).collect::<Vec<_>>(),
-        )
+        );
+        assert_oracle_sim(&sys, subs, outcomes, "jittered-latency");
+        result
     };
     assert_eq!(run(99), run(99), "same seed, same everything");
     assert_ne!(run(99).0, run(100).0, "different seed, different traffic");
@@ -120,13 +137,22 @@ fn reclassification_mid_stream_is_seamless() {
         .build()
         .unwrap();
     let mut sys = DistributedSystem::new(cfg);
+    let mut subs = Submissions::new();
     let reg = ProductId(0);
     let nonreg = ProductId(1);
 
     // Phase 1: both products see traffic under their initial regimes.
     for i in 0..20u64 {
-        sys.submit_at(VirtualTime(i * 10), UpdateRequest::new(SiteId(1), reg, Volume(-3)));
-        sys.submit_at(VirtualTime(i * 10 + 5), UpdateRequest::new(SiteId(2), nonreg, Volume(-3)));
+        subs.submit_at(
+            &mut sys,
+            VirtualTime(i * 10),
+            UpdateRequest::new(SiteId(1), reg, Volume(-3)),
+        );
+        subs.submit_at(
+            &mut sys,
+            VirtualTime(i * 10 + 5),
+            UpdateRequest::new(SiteId(2), nonreg, Volume(-3)),
+        );
     }
     sys.run_until_quiescent();
     let phase1 = sys.drain_outcomes();
@@ -143,8 +169,8 @@ fn reclassification_mid_stream_is_seamless() {
     sys.run_until_quiescent();
     for i in 0..20u64 {
         let t = sys.now().after(i * 10 + 1);
-        sys.submit_at(t, UpdateRequest::new(SiteId(1), reg, Volume(-3)));
-        sys.submit_at(t.after(5), UpdateRequest::new(SiteId(2), nonreg, Volume(-3)));
+        subs.submit_at(&mut sys, t, UpdateRequest::new(SiteId(1), reg, Volume(-3)));
+        subs.submit_at(&mut sys, t.after(5), UpdateRequest::new(SiteId(2), nonreg, Volume(-3)));
     }
     sys.run_until_quiescent();
     let phase2 = sys.drain_outcomes();
@@ -158,9 +184,14 @@ fn reclassification_mid_stream_is_seamless() {
         .count();
     assert!(delay2 >= 20, "reclassified product now takes the Delay path");
     assert!(imm2 >= 19, "the other direction too (lock races may abort one)");
-    sys.flush_all();
-    sys.run_until_quiescent();
+    settle_sim(&mut sys);
     sys.check_convergence().unwrap();
+    // AV pools were redefined mid-run, so the oracle skips the checks
+    // anchored to the initial allocation but keeps the rest.
+    let mut outcomes = phase1;
+    outcomes.extend(phase2);
+    let obs = common::observe_sim(&sys, subs, outcomes).with_reclassification();
+    avdb::oracle::check(&obs).assert_ok("reclassification");
 }
 
 #[test]
@@ -175,8 +206,9 @@ fn weighted_fig1_allocation_behaves_like_the_paper_example() {
         .build()
         .unwrap();
     let mut sys = DistributedSystem::new(cfg);
+    let mut subs = Submissions::new();
     assert_eq!(sys.av_available(SiteId(1), ProductId(0)), Volume(20));
-    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-30)));
+    subs.submit_at(&mut sys, VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-30)));
     sys.run_until_quiescent();
     let outcomes = sys.drain_outcomes();
     match &outcomes[0].2 {
@@ -186,10 +218,10 @@ fn weighted_fig1_allocation_behaves_like_the_paper_example() {
         other => panic!("expected commit, got {other:?}"),
     }
     assert_eq!(sys.stock(SiteId(1), ProductId(0)), Volume(70), "data updated to 70 (Fig. 1)");
-    sys.flush_all();
-    sys.run_until_quiescent();
+    settle_sim(&mut sys);
     sys.check_av_conservation(ProductId(0)).unwrap();
     assert_eq!(sys.av_system_total(ProductId(0)), Volume(70));
+    assert_oracle_sim(&sys, subs, outcomes, "fig1-weighted");
 }
 
 #[test]
@@ -202,9 +234,11 @@ fn all_at_base_and_checkpoint_interplay() {
         .build()
         .unwrap();
     let mut sys = DistributedSystem::new(cfg);
+    let mut subs = Submissions::new();
     for i in 0..30u64 {
         let site = SiteId(1 + (i % 2) as u32);
-        sys.submit_at(
+        subs.submit_at(
+            &mut sys,
             VirtualTime(i * 7),
             UpdateRequest::new(site, ProductId((i % 2) as u32), Volume(-10)),
         );
@@ -219,12 +253,10 @@ fn all_at_base_and_checkpoint_interplay() {
         sys.recover_at(t.after(2), SiteId(s));
         sys.run_until_quiescent();
     }
-    sys.flush_all();
-    sys.run_until_quiescent();
-    sys.flush_all();
-    sys.run_until_quiescent();
+    settle_sim(&mut sys);
     sys.check_convergence().unwrap();
     let outcomes = sys.drain_outcomes();
     let committed = outcomes.iter().filter(|(_, _, o)| o.is_committed()).count();
     assert_eq!(committed, 30, "plenty of AV at base for every decrement");
+    assert_oracle_sim(&sys, subs, outcomes, "all-at-base-checkpoint");
 }

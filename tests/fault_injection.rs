@@ -1,11 +1,14 @@
 //! Adversarial fault schedules against the proposed system: repeated
 //! crashes, partitions, and crash-during-commit races. After every storm
-//! the same two invariants must hold — replicas converge after
-//! anti-entropy, and system-wide AV equals initial AV plus the committed
-//! delta.
+//! the run settles and the shared conformance oracle verifies the full
+//! invariant set — convergence, AV conservation, escrow safety, outcome
+//! accounting.
+
+mod common;
 
 use avdb::prelude::*;
 use avdb::simnet::LinkFilter;
+use common::{assert_oracle_sim, settle_sim, Submissions};
 
 fn system(seed: u64) -> DistributedSystem {
     DistributedSystem::new(
@@ -19,14 +22,10 @@ fn system(seed: u64) -> DistributedSystem {
     )
 }
 
+/// Settles anti-entropy and spot-checks the two classic invariants; the
+/// oracle re-verifies both (and more) at each test's end.
 fn settle_and_check(sys: &mut DistributedSystem) {
-    sys.run_until_quiescent();
-    // Two anti-entropy rounds: the first lets recovered sites ack, the
-    // second closes any gap-rejected batches.
-    sys.flush_all();
-    sys.run_until_quiescent();
-    sys.flush_all();
-    sys.run_until_quiescent();
+    settle_sim(sys);
     sys.check_convergence().expect("replicas converge after anti-entropy");
     for p in 0..3u32 {
         if let Err((e, a)) = sys.check_av_conservation(ProductId(p)) {
@@ -38,6 +37,7 @@ fn settle_and_check(sys: &mut DistributedSystem) {
 #[test]
 fn crash_storm_every_site_twice() {
     let mut sys = system(21);
+    let mut subs = Submissions::new();
     let mut t = 0u64;
     for round in 0..2u64 {
         for victim in 0..3u32 {
@@ -45,7 +45,8 @@ fn crash_storm_every_site_twice() {
             for i in 0..12u64 {
                 let site = SiteId((i % 3) as u32);
                 let delta = if site == SiteId::BASE { Volume(9) } else { Volume(-6) };
-                sys.submit_at(
+                subs.submit_at(
+                    &mut sys,
                     VirtualTime(t + i * 5),
                     UpdateRequest::new(site, ProductId((i % 3) as u32), delta),
                 );
@@ -60,23 +61,26 @@ fn crash_storm_every_site_twice() {
         .map(|s| sys.accelerator(s).stats().recoveries)
         .sum();
     assert_eq!(recoveries, 6);
+    let outcomes = sys.drain_outcomes();
+    assert_oracle_sim(&sys, subs, outcomes, "crash-storm");
 }
 
 #[test]
 fn partition_isolates_then_heals() {
     let mut sys = system(22);
+    let mut subs = Submissions::new();
     // Partition retailers away from the maker.
     sys.set_partition(LinkFilter::partition(vec![
         vec![SiteId(0)],
         vec![SiteId(1), SiteId(2)],
     ]));
     // Delay updates inside each island keep working from local AV.
-    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
-    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(0), ProductId(1), Volume(40)));
+    subs.submit_at(&mut sys, VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
+    subs.submit_at(&mut sys, VirtualTime(0), UpdateRequest::new(SiteId(0), ProductId(1), Volume(40)));
     // An Immediate update cannot reach the other island → timeout abort.
-    sys.submit_at(VirtualTime(1), UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
+    subs.submit_at(&mut sys, VirtualTime(1), UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
     sys.run_until_quiescent();
-    let outcomes = sys.drain_outcomes();
+    let mut outcomes = sys.drain_outcomes();
     let delay_commits = outcomes
         .iter()
         .filter(|(_, _, o)| matches!(o, UpdateOutcome::Committed { kind: UpdateKind::Delay, .. }))
@@ -86,73 +90,91 @@ fn partition_isolates_then_heals() {
     assert_eq!(imm_aborts, 1, "Immediate needs all sites");
 
     // Retailer 1 can still pull AV from retailer 2 inside the island.
-    sys.submit_at(sys.now().after(1), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-90)));
+    let t = sys.now().after(1);
+    subs.submit_at(&mut sys, t, UpdateRequest::new(SiteId(1), ProductId(0), Volume(-90)));
     sys.run_until_quiescent();
-    let outcomes = sys.drain_outcomes();
-    assert!(outcomes[0].2.is_committed(), "intra-island AV transfer works");
+    let island = sys.drain_outcomes();
+    assert!(island[0].2.is_committed(), "intra-island AV transfer works");
+    outcomes.extend(island);
 
     // Heal; everything reconciles.
     sys.heal_partition();
     settle_and_check(&mut sys);
     // And Immediate works again.
-    sys.submit_at(sys.now().after(1), UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
+    let t = sys.now().after(1);
+    subs.submit_at(&mut sys, t, UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
     sys.run_until_quiescent();
-    assert!(sys.drain_outcomes()[0].2.is_committed());
+    let healed = sys.drain_outcomes();
+    assert!(healed[0].2.is_committed());
+    outcomes.extend(healed);
+    assert_oracle_sim(&sys, subs, outcomes, "partition-heal");
 }
 
 #[test]
 fn crash_between_prepare_and_decision_releases_locks() {
     let mut sys = system(23);
+    let mut subs = Submissions::new();
     // Coordinator (site 1) will crash right after sending prepares: with
     // 1-tick latency, prepares arrive at t=11; crash the coordinator at
     // t=11 so votes return to a dead site.
-    sys.submit_at(VirtualTime(10), UpdateRequest::new(SiteId(1), ProductId(3), Volume(-5)));
+    subs.submit_at(&mut sys, VirtualTime(10), UpdateRequest::new(SiteId(1), ProductId(3), Volume(-5)));
     sys.crash_at(VirtualTime(11), SiteId(1));
     sys.recover_at(VirtualTime(2_000), SiteId(1));
     sys.run_until_quiescent();
     // Participants must have timed out (presumed abort) and released the
     // record; no outcome was ever emitted for the orphaned txn.
-    let outcomes = sys.drain_outcomes();
+    let mut outcomes = sys.drain_outcomes();
     assert!(outcomes.is_empty(), "orphaned immediate update yields no outcome");
     assert!(sys.all_idle(), "no site left holding protocol state");
     for site in SiteId::all(3) {
         assert_eq!(sys.stock(site, ProductId(3)), Volume(100), "no partial effect");
     }
     // The system remains fully usable afterwards.
-    sys.submit_at(sys.now().after(5), UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
+    let t = sys.now().after(5);
+    subs.submit_at(&mut sys, t, UpdateRequest::new(SiteId(2), ProductId(3), Volume(-5)));
     sys.run_until_quiescent();
-    assert!(sys.drain_outcomes()[0].2.is_committed());
+    let retry = sys.drain_outcomes();
+    assert!(retry[0].2.is_committed());
+    outcomes.extend(retry);
     settle_and_check(&mut sys);
+    // The oracle's accounting closes over the wiped-in-flight txn:
+    // outcomes + wiped == injected.
+    assert_oracle_sim(&sys, subs, outcomes, "crash-mid-2pc");
 }
 
 #[test]
 fn crash_during_av_negotiation_keeps_conservation() {
     let mut sys = system(24);
+    let mut subs = Submissions::new();
     // Drain site 1's own AV share (200), forcing the next decrement to
     // negotiate with peers; crash the *grantor* mid-negotiation.
-    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-200)));
+    subs.submit_at(&mut sys, VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-200)));
     sys.run_until_quiescent();
-    sys.drain_outcomes();
+    let mut outcomes = sys.drain_outcomes();
     // This one needs a grant from site 0 or 2; both crash right as the
     // request lands (t=21). The request dies with them.
-    sys.submit_at(VirtualTime(20), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
+    subs.submit_at(&mut sys, VirtualTime(20), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
     sys.crash_at(VirtualTime(21), SiteId(0));
     sys.crash_at(VirtualTime(21), SiteId(2));
     sys.recover_at(VirtualTime(400), SiteId(0));
     sys.recover_at(VirtualTime(400), SiteId(2));
     sys.run_until_quiescent();
-    let outcomes = sys.drain_outcomes();
+    let second = sys.drain_outcomes();
     // The update either aborted (both grants lost) or committed (one
     // grant squeaked through before the crash tick) — both are legal;
     // what must NOT happen is AV vanishing.
-    assert_eq!(outcomes.len(), 1);
+    assert_eq!(second.len(), 1);
+    outcomes.extend(second);
     settle_and_check(&mut sys);
+    assert_oracle_sim(&sys, subs, outcomes, "crash-mid-negotiation");
 }
 
 #[test]
 fn conventional_center_crash_vs_proposal_maker_crash() {
     use avdb::baseline::CentralizedSystem;
     // Identical load, identical crash of site 0 — compare survivors.
+    // (The maker stays down for good, so replicas legitimately diverge;
+    // this is a comparator experiment, not an oracle subject.)
     let cfg = SystemConfig::builder()
         .sites(3)
         .regular_products(2, Volume(500))
@@ -210,12 +232,13 @@ fn anti_entropy_heals_partition_loss_without_manual_flushes() {
             .build()
             .unwrap(),
     );
+    let mut subs = Submissions::new();
     sys.set_partition(LinkFilter::partition(vec![
         vec![SiteId(0)],
         vec![SiteId(1), SiteId(2)],
     ]));
-    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
-    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(0), ProductId(1), Volume(40)));
+    subs.submit_at(&mut sys, VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-50)));
+    subs.submit_at(&mut sys, VirtualTime(0), UpdateRequest::new(SiteId(0), ProductId(1), Volume(40)));
     sys.run_until(VirtualTime(100));
     // Propagation across the cut was dropped.
     assert_ne!(sys.stock(SiteId(0), ProductId(0)), sys.stock(SiteId(1), ProductId(0)));
@@ -223,6 +246,9 @@ fn anti_entropy_heals_partition_loss_without_manual_flushes() {
     // Let a couple of anti-entropy rounds fire. No flush_all here!
     sys.run_until(VirtualTime(700));
     sys.check_convergence().expect("anti-entropy alone must converge the replicas");
+    sys.run_until_quiescent();
+    let outcomes = sys.drain_outcomes();
+    assert_oracle_sim(&sys, subs, outcomes, "anti-entropy-heal");
 }
 
 #[test]
@@ -238,8 +264,11 @@ fn anti_entropy_system_still_quiesces() {
             .build()
             .unwrap(),
     );
-    sys.submit_at(VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-10)));
+    let mut subs = Submissions::new();
+    subs.submit_at(&mut sys, VirtualTime(0), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-10)));
     sys.run_until_quiescent(); // terminates ⇔ the heartbeat self-stops
     sys.check_convergence().unwrap();
-    assert!(sys.drain_outcomes()[0].2.is_committed());
+    let outcomes = sys.drain_outcomes();
+    assert!(outcomes[0].2.is_committed());
+    assert_oracle_sim(&sys, subs, outcomes, "anti-entropy-quiesce");
 }

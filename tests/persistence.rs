@@ -89,3 +89,63 @@ fn checkpointed_system_reopens_from_small_logs() {
     );
     fs::remove_dir_all(&root).unwrap();
 }
+
+#[test]
+fn wal_truncated_mid_record_recovers_to_last_complete_record() {
+    use avdb::core::Accelerator;
+    use avdb::storage::persist::WAL_FILE;
+
+    // A crash can cut the WAL's final line short of its newline; reopen
+    // must treat the partial record as never written and come up at the
+    // last complete record — not refuse to start.
+    let cfg = SystemConfig::builder()
+        .sites(3)
+        .regular_products(1, Volume(500))
+        .seed(19)
+        .build()
+        .unwrap();
+    let mut sys = DistributedSystem::new(cfg.clone());
+    for i in 0..10u64 {
+        sys.submit_at(VirtualTime(i * 5), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-4)));
+    }
+    sys.run_until_quiescent();
+    sys.flush_all();
+    sys.run_until_quiescent();
+
+    let root = tempdir("truncated");
+    let cut = root.join("cut"); // crash-truncated mid-record
+    let full = root.join("full"); // ground truth: final record dropped whole
+    let bad = root.join("bad"); // contrast: real corruption, must still fail
+    for dir in [&cut, &full, &bad] {
+        sys.accelerator(SiteId(1)).persist_to_dir(dir).unwrap();
+    }
+
+    let wal = fs::read_to_string(cut.join(WAL_FILE)).unwrap();
+    let lines: Vec<&str> = wal.lines().collect();
+    assert!(lines.len() >= 2, "need at least two records to truncate one");
+    let (head, last) = (&lines[..lines.len() - 1], lines[lines.len() - 1]);
+    let mut complete_prefix = head.join("\n");
+    complete_prefix.push('\n');
+    // The tampered tail: the final record's first half, no newline.
+    let mut truncated = complete_prefix.clone();
+    truncated.push_str(&last[..last.len() / 2]);
+    fs::write(cut.join(WAL_FILE), &truncated).unwrap();
+    fs::write(full.join(WAL_FILE), &complete_prefix).unwrap();
+
+    let (from_cut, cut_report) = Accelerator::open_from_dir(&cut, &cfg).unwrap();
+    let (from_full, full_report) = Accelerator::open_from_dir(&full, &cfg).unwrap();
+    assert_eq!(
+        from_cut.db().stock(ProductId(0)).unwrap(),
+        from_full.db().stock(ProductId(0)).unwrap(),
+        "truncated reopen must land exactly on the last complete record"
+    );
+    assert_eq!(cut_report.undone_txns, full_report.undone_txns);
+
+    // A garbage line that IS newline-terminated was durably written, so
+    // it is corruption, not a crash artifact — reopen must refuse.
+    let mut corrupt = complete_prefix;
+    corrupt.push_str("this is not a log record\n");
+    fs::write(bad.join(WAL_FILE), &corrupt).unwrap();
+    assert!(Accelerator::open_from_dir(&bad, &cfg).is_err());
+    fs::remove_dir_all(&root).unwrap();
+}

@@ -1,0 +1,162 @@
+//! Property coverage for `AvTable` arithmetic at the extremes: whatever
+//! sequence of holds, consumes, releases, withdrawals and deposits runs
+//! against a row — including volumes at the edges of `i64` — the table
+//! must never go negative and never create or destroy volume.
+
+use avdb::escrow::AvTable;
+use avdb::types::{ProductId, SiteId, TxnId, Volume};
+use proptest::prelude::*;
+
+const P: ProductId = ProductId(0);
+
+fn txn(t: u8) -> TxnId {
+    TxnId::new(SiteId(0), t as u64)
+}
+
+/// Amounts biased toward the edges of the representable range.
+fn amounts() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(0i64),
+        Just(1i64),
+        Just(i64::MAX),
+        Just(i64::MAX - 1),
+        Just(i64::MAX / 2),
+        0i64..1_000,
+    ]
+}
+
+/// Initial row volumes from tiny to maximal.
+fn initials() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(0i64),
+        Just(1i64),
+        Just(i64::MAX / 2),
+        Just(i64::MAX - 1),
+        Just(i64::MAX),
+        0i64..10_000,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The master conservation property: after every operation the row's
+    /// total exactly equals the initial volume plus deposits minus what
+    /// was consumed or withdrawn — tracked in i128 so the *test* cannot
+    /// overflow even though the table works in i64.
+    #[test]
+    fn av_table_is_lossless_at_extreme_magnitudes(
+        initial in initials(),
+        ops in prop::collection::vec((0u8..5, amounts(), 0u8..4), 1..60),
+    ) {
+        let mut tab = AvTable::new(1);
+        tab.define(P, Volume(initial)).unwrap();
+        let mut expected: i128 = initial as i128;
+        for (op, amount, t) in ops {
+            match op {
+                0 => {
+                    let got = tab.hold_up_to(txn(t), P, Volume(amount)).unwrap();
+                    prop_assert!(got.get() <= amount, "hold gave more than asked");
+                }
+                1 => {
+                    tab.release(txn(t), P).unwrap();
+                }
+                2 => {
+                    let eat = Volume(amount.min(tab.held_by(txn(t), P).get()));
+                    tab.consume(txn(t), P, eat).unwrap();
+                    expected -= eat.get() as i128;
+                }
+                3 => {
+                    let got = tab.withdraw_up_to(P, Volume(amount)).unwrap();
+                    prop_assert!(got.get() <= amount);
+                    expected -= got.get() as i128;
+                }
+                _ => {
+                    // Deposit only while the row has headroom — mirroring
+                    // the protocol, where total AV is bounded by global
+                    // stock and can never exceed it.
+                    if expected + amount as i128 <= i64::MAX as i128 {
+                        tab.deposit(P, Volume(amount)).unwrap();
+                        expected += amount as i128;
+                    }
+                }
+            }
+            prop_assert!(tab.available(P) >= Volume::ZERO, "available went negative");
+            prop_assert!(tab.total(P) >= tab.available(P), "holds went negative");
+            prop_assert_eq!(tab.total(P).get() as i128, expected, "volume created or destroyed");
+        }
+    }
+
+    /// Every mutating operation rejects negative amounts (down to
+    /// `i64::MIN`, whose negation would overflow) and leaves the row
+    /// untouched when it does.
+    #[test]
+    fn negative_amounts_are_rejected_without_side_effects(
+        initial in 0i64..1_000,
+        neg in prop_oneof![Just(i64::MIN), Just(i64::MIN + 1), -1_000i64..0],
+    ) {
+        let mut tab = AvTable::new(1);
+        tab.define(P, Volume(initial)).unwrap();
+        tab.hold_up_to(txn(1), P, Volume(initial / 2)).unwrap();
+        let before = (tab.available(P), tab.total(P), tab.held_by(txn(1), P));
+        prop_assert!(tab.hold_up_to(txn(2), P, Volume(neg)).is_err());
+        prop_assert!(tab.consume(txn(1), P, Volume(neg)).is_err());
+        prop_assert!(tab.deposit(P, Volume(neg)).is_err());
+        prop_assert!(tab.withdraw_up_to(P, Volume(neg)).is_err());
+        prop_assert_eq!((tab.available(P), tab.total(P), tab.held_by(txn(1), P)), before);
+    }
+
+    /// A hold takes `min(want, available)` and a release puts back
+    /// exactly what the hold took.
+    #[test]
+    fn hold_then_release_restores_availability(
+        initial in initials(),
+        want in amounts(),
+    ) {
+        let mut tab = AvTable::new(1);
+        tab.define(P, Volume(initial)).unwrap();
+        let before = tab.available(P);
+        let got = tab.hold_up_to(txn(1), P, Volume(want)).unwrap();
+        prop_assert_eq!(got, Volume(want.min(before.get())));
+        prop_assert_eq!(tab.available(P), before - got);
+        prop_assert_eq!(tab.held_by(txn(1), P), got);
+        let back = tab.release(txn(1), P).unwrap();
+        prop_assert_eq!(back, got);
+        prop_assert_eq!(tab.available(P), before);
+    }
+
+    /// Consuming more than the hold is an error that must leave both the
+    /// hold and the total intact (all-or-nothing).
+    #[test]
+    fn overconsume_is_all_or_nothing(
+        initial in 0i64..10_000,
+        want in 0i64..10_000,
+    ) {
+        let mut tab = AvTable::new(1);
+        tab.define(P, Volume(initial)).unwrap();
+        let got = tab.hold_up_to(txn(1), P, Volume(want)).unwrap();
+        prop_assert!(tab.consume(txn(1), P, got + Volume(1)).is_err());
+        prop_assert_eq!(tab.held_by(txn(1), P), got, "failed consume must not eat the hold");
+        prop_assert_eq!(tab.total(P), Volume(initial));
+        // The exact held amount still consumes cleanly afterwards.
+        tab.consume(txn(1), P, got).unwrap();
+        prop_assert_eq!(tab.total(P), Volume(initial) - got);
+    }
+
+    /// Withdrawing and re-depositing the withdrawn amount is an exact
+    /// identity, even at maximal volumes.
+    #[test]
+    fn withdraw_deposit_roundtrip_is_identity(
+        initial in initials(),
+        amount in amounts(),
+    ) {
+        let mut tab = AvTable::new(1);
+        tab.define(P, Volume(initial)).unwrap();
+        let got = tab.withdraw_up_to(P, Volume(amount)).unwrap();
+        prop_assert_eq!(got, Volume(amount.min(initial)));
+        prop_assert_eq!(tab.total(P), Volume(initial) - got);
+        tab.deposit(P, got).unwrap();
+        prop_assert_eq!(tab.total(P), Volume(initial));
+        prop_assert_eq!(tab.available(P), Volume(initial));
+    }
+}

@@ -1,26 +1,14 @@
 //! The paper's system over real TCP sockets: one listener per site on
 //! loopback, every protocol message a length-prefixed JSON frame — the
 //! deployment shape the integrated SCM database would actually run in.
+//! Final states are verified by the shared conformance oracle.
 
-use avdb::core::{Accelerator, Input};
+mod common;
+
+use avdb::core::Accelerator;
 use avdb::prelude::*;
 use avdb::simnet::TcpMesh;
-use std::time::{Duration, Instant};
-
-fn wait_for(mesh: &TcpMesh<Accelerator>, expected: usize) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
-    let deadline = Instant::now() + Duration::from_secs(30);
-    let mut outcomes = Vec::new();
-    while outcomes.len() < expected {
-        assert!(
-            Instant::now() < deadline,
-            "timed out with {}/{expected} outcomes",
-            outcomes.len()
-        );
-        outcomes.extend(mesh.drain_outputs());
-        std::thread::sleep(Duration::from_millis(3));
-    }
-    outcomes
-}
+use common::{assert_oracle_live, settle_live, wait_for_outcomes, Submissions};
 
 #[test]
 fn accelerators_over_tcp_converge_and_conserve() {
@@ -34,18 +22,16 @@ fn accelerators_over_tcp_converge_and_conserve() {
     let actors = SiteId::all(3).map(|s| Accelerator::new(s, &cfg)).collect();
     let mesh: TcpMesh<Accelerator> = TcpMesh::spawn(actors, 13);
 
+    let mut subs = Submissions::new();
     let per_site = 100usize;
     for i in 0..per_site as u64 {
         for s in 0..3u32 {
             let site = SiteId(s);
             let delta = if site == SiteId::BASE { Volume(10) } else { Volume(-7) };
-            mesh.inject(
-                site,
-                Input::Update(UpdateRequest::new(site, ProductId((i % 3) as u32), delta)),
-            );
+            subs.inject(&mesh, UpdateRequest::new(site, ProductId((i % 3) as u32), delta));
         }
     }
-    let outcomes = wait_for(&mesh, per_site * 3);
+    let outcomes = wait_for_outcomes(&mesh, per_site * 3);
     assert_eq!(
         outcomes.iter().filter(|(_, _, o)| o.is_committed()).count(),
         per_site * 3,
@@ -53,31 +39,14 @@ fn accelerators_over_tcp_converge_and_conserve() {
     );
 
     // Anti-entropy rounds over the sockets, then stop and inspect.
-    for _ in 0..3 {
-        for site in SiteId::all(3) {
-            mesh.inject(site, Input::FlushPropagation);
-        }
-        std::thread::sleep(Duration::from_millis(60));
-    }
+    settle_live(&mesh, 3);
     let (actors, counters, _) = mesh.shutdown();
 
-    // Replicas converged across processes-worth of state.
-    for p in 0..3u32 {
-        let stocks: Vec<Volume> = actors
-            .iter()
-            .map(|a| a.db().stock(ProductId(p)).unwrap())
-            .collect();
-        assert!(stocks.windows(2).all(|w| w[0] == w[1]), "product{p}: {stocks:?}");
-    }
-    // AV conserved globally: initial 3×6000 + net committed delta.
-    let net: i64 = (10 - 7 - 7) * per_site as i64;
-    let av_total: i64 = (0..3)
-        .map(|p| actors.iter().map(|a| a.av().total(ProductId(p)).get()).sum::<i64>())
-        .sum();
-    assert_eq!(av_total, 3 * 6_000 + net);
     // Frames stayed request/reply-paired on the wire.
     assert_eq!(counters.total_messages() % 2, 0);
     assert_eq!(counters.dropped_messages(), 0);
+    // Convergence, AV conservation, stock-vs-commits, escrow safety.
+    assert_oracle_live(&cfg, &actors, subs, outcomes, counters.snapshot(), "tcp-converge");
 }
 
 #[test]
@@ -93,21 +62,18 @@ fn immediate_updates_commit_over_tcp() {
 
     // Sequential Immediate updates (each waits for its outcome) — the
     // full prepare/vote/decision/done exchange runs over the sockets.
-    let mut committed = 0;
+    let mut subs = Submissions::new();
+    let mut outcomes = Vec::new();
     for i in 0..20u64 {
         let site = SiteId((i % 3) as u32);
-        mesh.inject(
-            site,
-            Input::Update(UpdateRequest::new(site, ProductId(0), Volume(-3))),
-        );
-        let outcome = wait_for(&mesh, 1);
-        if outcome[0].2.is_committed() {
-            committed += 1;
-        }
+        subs.inject(&mesh, UpdateRequest::new(site, ProductId(0), Volume(-3)));
+        outcomes.extend(wait_for_outcomes(&mesh, 1));
     }
-    let (actors, _, _) = mesh.shutdown();
+    let (actors, counters, _) = mesh.shutdown();
+    let committed = outcomes.iter().filter(|(_, _, o)| o.is_committed()).count();
     assert_eq!(committed, 20, "sequential immediate updates never conflict");
     for a in &actors {
         assert_eq!(a.db().stock(ProductId(0)).unwrap(), Volume(500 - 60));
     }
+    assert_oracle_live(&cfg, &actors, subs, outcomes, counters.snapshot(), "tcp-immediate");
 }

@@ -1,0 +1,135 @@
+//! Minimal bytes facade for offline builds: a growable byte buffer
+//! with the `Buf`/`BufMut` methods this workspace's frame codec uses.
+//! Backed by a plain `Vec<u8>`; correctness over throughput.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved space.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Ensures space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to out of bounds");
+        let rest = self.buf.split_off(at);
+        BytesMut { buf: std::mem::replace(&mut self.buf, rest) }
+    }
+
+    /// Appends bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", &self.buf)
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Discards the first `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.buf.len(), "advance out of bounds");
+        self.buf.drain(..cnt);
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_shaped_round_trip() {
+        let mut b = BytesMut::new();
+        b.put_u32(3);
+        b.put_slice(b"abcdef");
+        assert_eq!(b.len(), 10);
+        assert_eq!(u32::from_be_bytes([b[0], b[1], b[2], b[3]]), 3);
+        b.advance(4);
+        let head = b.split_to(3);
+        assert_eq!(&head[..], b"abc");
+        assert_eq!(&b[..], b"def");
+        assert!(!b.is_empty());
+    }
+}

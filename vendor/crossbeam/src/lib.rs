@@ -1,0 +1,14 @@
+//! Minimal crossbeam facade for offline builds. Only the channel API
+//! this workspace uses, mapped onto `std::sync::mpsc` (whose unbounded
+//! channel and error types line up one-to-one).
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

@@ -1,0 +1,75 @@
+//! Deserialization helpers used by generated code and `serde_json`.
+
+use crate::{DeError, Deserialize, Value};
+
+/// Marker for types deserializable without borrowing from the input.
+/// In this vendored facade every `Deserialize` type qualifies.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Expects an object, returning its fields.
+pub fn as_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(DeError::msg(format!(
+            "expected object for {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Expects an array, returning its items.
+pub fn as_array<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], DeError> {
+    match v {
+        Value::Array(items) => Ok(items),
+        other => Err(DeError::msg(format!(
+            "expected array for {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Expects an array of exactly `n` items.
+pub fn as_array_n<'a>(v: &'a Value, n: usize, ty: &str) -> Result<&'a [Value], DeError> {
+    let items = as_array(v, ty)?;
+    if items.len() != n {
+        return Err(DeError::msg(format!(
+            "expected {n} elements for {ty}, found {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Splits an externally-tagged enum value into `(variant, body)`.
+/// A bare string is a unit variant (body `Null`); a one-entry object is
+/// a data-carrying variant.
+pub fn as_enum<'a>(v: &'a Value, ty: &str) -> Result<(&'a str, &'a Value), DeError> {
+    static NULL: Value = Value::Null;
+    match v {
+        Value::Str(tag) => Ok((tag.as_str(), &NULL)),
+        Value::Object(fields) if fields.len() == 1 => {
+            Ok((fields[0].0.as_str(), &fields[0].1))
+        }
+        other => Err(DeError::msg(format!(
+            "expected enum for {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Looks up a struct field and deserializes it. A missing field is
+/// treated as `Null` (so `Option` fields default to `None`); non-option
+/// types then produce a descriptive error.
+pub fn field<T: Deserialize>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::msg(format!("field `{name}` of {ty}: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::msg(format!("missing field `{name}` of {ty}"))),
+    }
+}

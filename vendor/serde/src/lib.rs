@@ -1,0 +1,54 @@
+//! Minimal serde-compatible facade, vendored so the workspace builds
+//! offline. The data model is a single [`Value`] tree: `Serialize`
+//! lowers a type into a `Value`, `Deserialize` rebuilds it from one.
+//! The derive macros (in `serde_derive`) generate the same external
+//! JSON shapes real serde produces for the subset this workspace uses:
+//! newtype structs are transparent, named structs are objects, enums
+//! are externally tagged (`"Unit"` / `{"Variant": ...}`).
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// New error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+
+    /// Unknown enum variant error.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can lower itself into a [`Value`].
+pub trait Serialize {
+    /// Lower into the generic data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the generic data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+mod impls;

@@ -1,0 +1,9 @@
+//! Serialization helpers used by generated code.
+
+use crate::Value;
+
+/// Wraps a data-carrying enum variant in its external tag:
+/// `{"Variant": body}`.
+pub fn variant(name: &str, body: Value) -> Value {
+    Value::Object(vec![(name.to_string(), body)])
+}

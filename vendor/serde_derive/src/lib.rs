@@ -1,0 +1,381 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Hand-rolled on top of `proc_macro` (no syn/quote) for offline
+//! builds. Supports the subset this workspace uses: non-generic named
+//! structs, tuple structs (single-field = transparent newtype, matching
+//! real serde's JSON behaviour), unit structs, and enums with unit,
+//! tuple, and struct variants (externally tagged). All field/variant
+//! attributes are ignored — the only `#[serde(...)]` attribute present
+//! in this workspace is `transparent` on newtypes, which is already the
+//! default shape here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ------------------------------------------------------------------ parsing
+
+struct Item {
+    name: String,
+    /// Type parameter names (`Envelope<M>` → `["M"]`). Lifetimes,
+    /// bounds, and const generics are not supported.
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+impl Item {
+    /// `impl<M: ::serde::Serialize> ... for Name<M>` header pieces.
+    fn impl_header(&self, bound: &str) -> (String, String) {
+        if self.generics.is_empty() {
+            (String::new(), self.name.clone())
+        } else {
+            let params: Vec<String> =
+                self.generics.iter().map(|g| format!("{g}: {bound}")).collect();
+            (
+                format!("<{}>", params.join(", ")),
+                format!("{}<{}>", self.name, self.generics.join(", ")),
+            )
+        }
+    }
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(ts: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    let mut generics = Vec::new();
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match toks.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    panic!("serde_derive (vendored): lifetime parameters are not supported");
+                }
+                Some(TokenTree::Ident(id)) if at_param_start => {
+                    generics.push(id.to_string());
+                    at_param_start = false;
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generic parameter list"),
+            }
+            i += 1;
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(
+                    split_top_level(g.stream()).iter().map(|c| leading_ident(c)).collect(),
+                )
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            None => ItemKind::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ItemKind::Enum(
+                split_top_level(g.stream()).iter().map(|c| parse_variant(c)).collect(),
+            ),
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, generics, kind }
+}
+
+/// Skips `#[...]` attributes and `pub` / `pub(...)` visibility starting
+/// at `i`, returning the index of the next significant token.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a field/variant list on commas at angle-bracket depth zero.
+/// Parenthesized/bracketed/braced subtrees are single `Group` tokens, so
+/// only `<...>` nesting needs explicit tracking.
+fn split_top_level(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                chunks.last_mut().unwrap().push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                chunks.last_mut().unwrap().push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                chunks.push(Vec::new());
+            }
+            _ => chunks.last_mut().unwrap().push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// First identifier of a field declaration (its name), after attributes
+/// and visibility.
+fn leading_ident(chunk: &[TokenTree]) -> String {
+    let i = skip_attrs_and_vis(chunk, 0);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected field name, found {other:?}"),
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let i = skip_attrs_and_vis(chunk, 0);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected variant name, found {other:?}"),
+    };
+    let data = match chunk.get(i + 1) {
+        None => VariantData::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantData::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantData::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantData::Named(
+            split_top_level(g.stream()).iter().map(|c| leading_ident(c)).collect(),
+        ),
+        other => panic!("serde_derive: unexpected variant body: {other:?}"),
+    };
+    Variant { name, data }
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantData::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::ser::variant(\"{vn}\", ::serde::Serialize::to_value(f0)),"
+                        ),
+                        VariantData::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::ser::variant(\"{vn}\", ::serde::Value::Array(vec![{}])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::ser::variant(\"{vn}\", ::serde::Value::Object(vec![{}])),",
+                                fields.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let (params, ty) = item.impl_header("::serde::Serialize");
+    format!(
+        "impl{params} ::serde::Serialize for {ty} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+        }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!("let _ = v; ::std::result::Result::Ok({name})"),
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::de::as_array_n(v, {n}, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(fields, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let fields = ::serde::de::as_object(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join("\n")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|var| {
+                    let vn = &var.name;
+                    match &var.data {
+                        VariantData::Unit => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ),
+                        VariantData::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(body)?)),"
+                        ),
+                        VariantData::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = ::serde::de::as_array_n(body, {n}, \"{name}::{vn}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::de::field(fields, \"{f}\", \"{name}::{vn}\")?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let fields = ::serde::de::as_object(body, \"{name}::{vn}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                items.join("\n")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (tag, body) = ::serde::de::as_enum(v, \"{name}\")?;\n\
+                 let _ = body;\n\
+                 match tag {{\n\
+                     {}\n\
+                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    let (params, ty) = item.impl_header("::serde::Deserialize");
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                {body}\n\
+            }}\n\
+        }}"
+    )
+}

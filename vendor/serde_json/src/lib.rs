@@ -1,0 +1,93 @@
+//! Minimal serde_json-compatible codec over the vendored serde
+//! [`Value`] data model: compact and pretty printers plus a strict
+//! recursive-descent parser. Integers round-trip at full 64-bit
+//! precision.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+mod parse;
+mod print;
+
+pub use parse::parse_value;
+
+/// Encode/decode error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serializes `value` as human-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    T::from_value(&v).map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Re-export so callers can pattern-match parsed trees.
+pub use serde::Value as JsonValue;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn round_trips_scalars() {
+        for src in ["null", "true", "false", "0", "-7", "9223372036854775807", "-9223372036854775808", "18446744073709551615", "1.5", "\"hi\\n\""] {
+            let v: Value = parse_value(src).unwrap();
+            let back: Value = parse_value(&print::compact(&v)).unwrap();
+            assert_eq!(v, back, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn round_trips_nested() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":"x","d":{"e":[true,false]}}"#;
+        let v: Value = parse_value(src).unwrap();
+        assert_eq!(print::compact(&v), src);
+        let back: Value = parse_value(&print::pretty(&v)).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("tru").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+    }
+}
