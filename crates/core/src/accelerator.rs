@@ -2,20 +2,25 @@
 //! implementing the checking / selecting / deciding functions plus the
 //! Delay and Immediate Update protocols (paper §3.3–3.4).
 
-use crate::protocol::{Input, Msg, PropagateDelta};
+use crate::protocol::{Input, Msg, PropagateDelta, TracedMsg};
 use crate::replication::ReplicationState;
 use avdb_escrow::{
     make_decide, make_select, AvTable, DecideStrategy, PeerKnowledge, SelectStrategy,
     TransferLedger, TransferRecord,
 };
-use avdb_simnet::{Actor, Ctx};
+use avdb_simnet::{Actor, Ctx, MsgInfo};
 use avdb_storage::{LocalDb, LockMode};
+use avdb_telemetry::{aux_trace_id, Registry, SpanCollector, TraceContext};
 use avdb_types::{
     request::AbortReason, AvdbError, ProductId, SiteId, SystemConfig, TxnId, UpdateKind,
-    UpdateOutcome, UpdateRequest, Volume,
+    UpdateOutcome, UpdateRequest, VirtualTime, Volume,
 };
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Handler context shorthand: the accelerator's wire type is the traced
+/// envelope so causal context rides every protocol message.
+type ACtx<'a> = Ctx<'a, TracedMsg, UpdateOutcome>;
 
 /// Static knobs of one accelerator, derived from [`SystemConfig`].
 #[derive(Clone, Debug)]
@@ -125,6 +130,13 @@ struct PendingDelay {
     outstanding: Option<SiteId>,
     /// Correspondences spent so far (1 per AV request).
     correspondences: u64,
+    /// Telemetry: the update's root span.
+    root_span: u64,
+    /// Telemetry: the open "transfer" span and when it opened, while an
+    /// AV request is outstanding.
+    transfer_span: Option<(u64, VirtualTime)>,
+    /// When the update was submitted (latency accounting).
+    started_at: VirtualTime,
 }
 
 impl PendingDelay {
@@ -139,6 +151,15 @@ struct PendingImm {
     votes: BTreeMap<SiteId, bool>,
     decided: Option<bool>,
     correspondences: u64,
+    /// Telemetry: the update's root span.
+    root_span: u64,
+    /// Telemetry: the open "prepare" span (vote collection).
+    prepare_span: u64,
+    /// Telemetry: the open "decide" span (decision distribution), once a
+    /// decision is taken.
+    decide_span: Option<u64>,
+    /// When the update was submitted (latency accounting).
+    started_at: VirtualTime,
 }
 
 /// Why a timer was armed.
@@ -186,6 +207,17 @@ pub struct Accelerator {
     /// restarts on the next local commit — so a finished system still
     /// quiesces (the event queue drains) with anti-entropy enabled.
     anti_entropy_armed: bool,
+
+    /// Telemetry: per-site span sink. Deliberately survives crashes — the
+    /// record of what happened before a fault is what post-mortems need.
+    spans: SpanCollector,
+    /// Telemetry: per-site counters / gauges / histograms.
+    registry: Registry,
+    /// Lamport clock, merged from every incoming traced message.
+    clock: u64,
+    /// Sequence for auxiliary (non-update) trace ids: replication batches
+    /// and proactive pushes root their own small trees.
+    aux_seq: u64,
 }
 
 impl Accelerator {
@@ -220,6 +252,10 @@ impl Accelerator {
             next_timer: 0,
             repl: ReplicationState::new(me, cfg.n_sites),
             anti_entropy_armed: false,
+            spans: SpanCollector::new(me),
+            registry: Registry::new(),
+            clock: 0,
+            aux_seq: 0,
         }
     }
 
@@ -253,6 +289,21 @@ impl Accelerator {
     /// AV transfers this site granted.
     pub fn ledger(&self) -> &TransferLedger {
         &self.ledger
+    }
+
+    /// Telemetry: the spans this site recorded.
+    pub fn spans(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// Telemetry: this site's metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Current Lamport clock (merged from all traffic seen here).
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// `true` when no protocol activity is in flight here.
@@ -320,6 +371,10 @@ impl Accelerator {
             next_timer: 0,
             repl: ReplicationState::from_snapshot(&snap.replication),
             anti_entropy_armed: false,
+            spans: SpanCollector::new(me),
+            registry: Registry::new(),
+            clock: 0,
+            aux_seq: 0,
         }
     }
 
@@ -335,45 +390,138 @@ impl Accelerator {
         SiteId::all(self.cfg.n_sites).filter(move |s| *s != self.me)
     }
 
-    fn arm_timer(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, delay: u64, kind: TimerKind) {
+    fn arm_timer(&mut self, ctx: &mut ACtx<'_>, delay: u64, kind: TimerKind) {
         let token = self.next_timer;
         self.next_timer += 1;
         self.timers.insert(token, kind);
         ctx.set_timer(delay, token);
     }
 
+    // ---- telemetry helpers -------------------------------------------------
+
+    /// Advances the Lamport clock for a locally-originated event.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Sends `msg` stamped with causal context `(trace, parent)` and
+    /// counts it in the registry. Registry send counts and the network
+    /// substrate both count at send time, so their totals agree exactly
+    /// even on lossy runs.
+    fn send_traced(&mut self, ctx: &mut ACtx<'_>, to: SiteId, trace: u64, parent: u64, msg: Msg) {
+        let clock = self.tick();
+        self.registry.inc(&format!("msg.sent.{}", msg.kind()));
+        ctx.send(to, TracedMsg { ctx: Some(TraceContext::child(trace, parent, clock)), msg });
+    }
+
+    /// Sends `msg` without causal context (replies to untraced messages),
+    /// still counting it in the registry.
+    fn send_plain(&mut self, ctx: &mut ACtx<'_>, to: SiteId, msg: Msg) {
+        self.tick();
+        self.registry.inc(&format!("msg.sent.{}", msg.kind()));
+        ctx.send(to, TracedMsg::plain(msg));
+    }
+
+    /// Replies along an incoming context: stamps the reply into the same
+    /// trace under `parent` when `incoming` carried one, plain otherwise.
+    fn reply_along(
+        &mut self,
+        ctx: &mut ACtx<'_>,
+        to: SiteId,
+        incoming: Option<TraceContext>,
+        parent: u64,
+        msg: Msg,
+    ) {
+        match incoming {
+            Some(c) => self.send_traced(ctx, to, c.trace_id, parent, msg),
+            None => self.send_plain(ctx, to, msg),
+        }
+    }
+
+    /// Mints a fresh auxiliary trace id (replication batches, pushes).
+    fn fresh_aux_trace(&mut self) -> u64 {
+        let id = aux_trace_id(self.me.0, self.aux_seq);
+        self.aux_seq += 1;
+        id
+    }
+
+    /// Finishes an update: closes the root span, records outcome metrics
+    /// and emits to the harness.
+    fn emit_outcome(
+        &mut self,
+        ctx: &mut ACtx<'_>,
+        root_span: u64,
+        started_at: VirtualTime,
+        outcome: UpdateOutcome,
+    ) {
+        let (committed, correspondences) = match &outcome {
+            UpdateOutcome::Committed { correspondences, .. } => (true, *correspondences),
+            UpdateOutcome::Aborted { correspondences, .. } => (false, *correspondences),
+        };
+        self.registry.inc(if committed { "update.committed" } else { "update.aborted" });
+        self.registry.observe("update.latency.ticks", ctx.now().since(started_at));
+        self.registry.observe("update.correspondences", correspondences);
+        self.spans.end(root_span, ctx.now());
+        ctx.emit(outcome);
+    }
+
+    // ---- replication -------------------------------------------------------
+
     fn buffer_propagation(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         txn: TxnId,
         product: ProductId,
         delta: Volume,
+        commit_span: u64,
     ) {
-        self.repl.record(PropagateDelta { txn, product, delta });
+        self.repl.record(PropagateDelta { txn, product, delta, commit_span });
         self.arm_anti_entropy(ctx);
         let batch = self.cfg.propagation_batch;
         for peer in self.peers().collect::<Vec<_>>() {
             if let Some((offset, deltas)) = self.repl.take_batch(peer, batch) {
-                ctx.send(peer, Msg::Propagate { offset, deltas });
-                self.stats.propagation_batches_sent += 1;
+                self.send_propagate(ctx, peer, offset, deltas);
             }
         }
     }
 
     /// Explicit flush: retransmit everything a peer has not acknowledged
     /// (end-of-run convergence, post-crash anti-entropy).
-    fn flush_propagation(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+    fn flush_propagation(&mut self, ctx: &mut ACtx<'_>) {
         for peer in self.peers().collect::<Vec<_>>() {
             if let Some((offset, deltas)) = self.repl.take_all_unacked(peer) {
-                ctx.send(peer, Msg::Propagate { offset, deltas });
-                self.stats.propagation_batches_sent += 1;
+                self.send_propagate(ctx, peer, offset, deltas);
             }
         }
     }
 
+    /// Sends one propagation batch under a fresh auxiliary trace whose
+    /// root records the batch shape.
+    fn send_propagate(
+        &mut self,
+        ctx: &mut ACtx<'_>,
+        peer: SiteId,
+        offset: u64,
+        deltas: Vec<PropagateDelta>,
+    ) {
+        let trace = self.fresh_aux_trace();
+        let clock = self.tick();
+        let root = self.spans.instant_with(
+            trace,
+            0,
+            "replicate",
+            ctx.now(),
+            clock,
+            format!("to s{} offset {} ({} deltas)", peer.0, offset, deltas.len()),
+        );
+        self.stats.propagation_batches_sent += 1;
+        self.send_traced(ctx, peer, trace, root, Msg::Propagate { offset, deltas });
+    }
+
     // ---- Delay Update (Figs. 3–4) -------------------------------------------
 
-    fn start_delay(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, req: UpdateRequest) {
+    fn start_delay(&mut self, ctx: &mut ACtx<'_>, req: UpdateRequest) {
         self.start_delay_multi(ctx, vec![(req.product, req.delta)]);
     }
 
@@ -384,10 +532,27 @@ impl Accelerator {
     /// the transaction rolls back by opposite deltas.
     fn start_delay_multi(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         raw_items: Vec<(ProductId, Volume)>,
     ) {
         let txn = self.fresh_txn();
+        let clock = self.tick();
+        let root_span = self.spans.start_with(
+            txn.0,
+            0,
+            "update",
+            ctx.now(),
+            clock,
+            format!("delay at s{}", self.me.0),
+        );
+        self.spans.instant_with(
+            txn.0,
+            root_span,
+            "checking",
+            ctx.now(),
+            self.clock,
+            format!("{} item(s) → Delay", raw_items.len()),
+        );
         self.db.begin(txn).expect("fresh txn id");
         // Merge repeated products to their net delta (first-appearance
         // order): the transaction applies atomically, so only the net
@@ -431,6 +596,9 @@ impl Accelerator {
                 asked: Vec::new(),
                 outstanding: None,
                 correspondences: 0,
+                root_span,
+                transfer_span: None,
+                started_at: ctx.now(),
             };
             self.commit_delay(ctx, txn, pending);
             return;
@@ -443,6 +611,9 @@ impl Accelerator {
             asked: Vec::new(),
             outstanding: None,
             correspondences: 0,
+            root_span,
+            transfer_span: None,
+            started_at: ctx.now(),
         };
         self.pending_delay.insert(txn, pending);
         self.request_more_av(ctx, txn);
@@ -466,13 +637,15 @@ impl Accelerator {
 
     /// One iteration of the selecting/deciding loop: pick the next peer
     /// and send an AV request, or give up if the round budget is spent.
-    fn request_more_av(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, txn: TxnId) {
+    fn request_more_av(&mut self, ctx: &mut ACtx<'_>, txn: TxnId) {
         let Some(pending) = self.pending_delay.get(&txn) else { return };
         let item = pending.current_item();
+        let root_span = pending.root_span;
         let held = self.av.held_by(txn, item.product);
         let shortage = item.need - held;
         debug_assert!(shortage.is_positive());
         let product = item.product;
+        self.registry.observe("delay.shortage", shortage.get().max(0) as u64);
         let exhausted = pending.asked.len() >= self.cfg.max_av_rounds;
         let peer = if exhausted {
             None
@@ -489,14 +662,54 @@ impl Accelerator {
         };
         match peer {
             Some(peer) => {
+                // Selecting: how stale was the knowledge the candidate was
+                // picked on?
+                let staleness = self
+                    .knowledge
+                    .known_at(peer, product)
+                    .map(|t| ctx.now().since(t))
+                    .unwrap_or(0);
+                self.registry.observe("select.staleness.ticks", staleness);
+                let clock = self.tick();
+                self.spans.instant_with(
+                    txn.0,
+                    root_span,
+                    "selecting",
+                    ctx.now(),
+                    clock,
+                    format!("s{} (knowledge {} ticks old)", peer.0, staleness),
+                );
                 let amount = self.decide.request_amount(shortage);
+                self.spans.instant_with(
+                    txn.0,
+                    root_span,
+                    "deciding",
+                    ctx.now(),
+                    self.clock,
+                    format!("request {} for shortage {}", amount.get(), shortage.get()),
+                );
+                let transfer = self.spans.start_with(
+                    txn.0,
+                    root_span,
+                    "transfer",
+                    ctx.now(),
+                    self.clock,
+                    format!("ask s{} for {}", peer.0, amount.get()),
+                );
                 let requester_av = self.av.available(product);
                 let pending = self.pending_delay.get_mut(&txn).expect("checked above");
                 pending.asked.push(peer);
                 pending.outstanding = Some(peer);
                 pending.correspondences += 1;
+                pending.transfer_span = Some((transfer, ctx.now()));
                 self.stats.av_requests_sent += 1;
-                ctx.send(peer, Msg::AvRequest { txn, product, amount, requester_av });
+                self.send_traced(
+                    ctx,
+                    peer,
+                    txn.0,
+                    transfer,
+                    Msg::AvRequest { txn, product, amount, requester_av },
+                );
                 let timeout = self.cfg.av_grant_timeout;
                 self.arm_timer(ctx, timeout, TimerKind::AvGrant(txn, peer));
             }
@@ -508,11 +721,18 @@ impl Accelerator {
                 self.av.release_all(txn);
                 self.db.rollback(txn).expect("txn active");
                 self.stats.delay_aborts += 1;
-                ctx.emit(UpdateOutcome::Aborted {
-                    txn,
-                    reason: AbortReason::InsufficientAv { shortfall: shortage },
-                    correspondences: pending.correspondences,
-                });
+                self.registry.inc("delay.abort.insufficient-av");
+                self.spans.note(root_span, "aborted: insufficient AV");
+                self.emit_outcome(
+                    ctx,
+                    root_span,
+                    pending.started_at,
+                    UpdateOutcome::Aborted {
+                        txn,
+                        reason: AbortReason::InsufficientAv { shortfall: shortage },
+                        correspondences: pending.correspondences,
+                    },
+                );
             }
         }
     }
@@ -520,7 +740,7 @@ impl Accelerator {
     /// Applies and commits every item of a fully-held Delay transaction:
     /// decrements consume their held AV, increments mint AV, and each
     /// committed delta enters the replication log.
-    fn commit_delay(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, txn: TxnId, pending: PendingDelay) {
+    fn commit_delay(&mut self, ctx: &mut ACtx<'_>, txn: TxnId, pending: PendingDelay) {
         for item in &pending.items {
             if item.need.is_positive() {
                 self.av.consume(txn, item.product, item.need).expect("hold covers need");
@@ -538,18 +758,34 @@ impl Accelerator {
         self.db.commit(txn).expect("txn active");
         if pending.correspondences == 0 {
             self.stats.delay_local_commits += 1;
+            self.registry.inc("delay.commit.local");
         } else {
             self.stats.delay_remote_commits += 1;
+            self.registry.inc("delay.commit.remote");
         }
+        let clock = self.tick();
+        let commit_span = self.spans.instant_with(
+            txn.0,
+            pending.root_span,
+            "commit",
+            ctx.now(),
+            clock,
+            format!("{} item(s)", pending.items.len()),
+        );
         for item in &pending.items {
-            self.buffer_propagation(ctx, txn, item.product, item.delta);
+            self.buffer_propagation(ctx, txn, item.product, item.delta, commit_span);
         }
-        ctx.emit(UpdateOutcome::Committed {
-            txn,
-            kind: UpdateKind::Delay,
-            completed_at: ctx.now(),
-            correspondences: pending.correspondences,
-        });
+        self.emit_outcome(
+            ctx,
+            pending.root_span,
+            pending.started_at,
+            UpdateOutcome::Committed {
+                txn,
+                kind: UpdateKind::Delay,
+                completed_at: ctx.now(),
+                correspondences: pending.correspondences,
+            },
+        );
         if self.cfg.proactive_push {
             for item in &pending.items {
                 if item.delta.is_positive() {
@@ -562,7 +798,7 @@ impl Accelerator {
     /// Circulation policy (A9): if this site's available AV for `product`
     /// exceeds twice the believed mean of its peers, push half the
     /// surplus to the believed-poorest peer.
-    fn maybe_push_av(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, product: ProductId) {
+    fn maybe_push_av(&mut self, ctx: &mut ACtx<'_>, product: ProductId) {
         let n_peers = self.cfg.n_sites.saturating_sub(1);
         if n_peers == 0 {
             return;
@@ -598,13 +834,25 @@ impl Accelerator {
         self.stats.av_volume_pushed += pushed.get();
         let pusher_av = self.av.available(product);
         self.knowledge.update(poorest, product, self.knowledge.known(poorest, product) + pushed, ctx.now());
-        ctx.send(poorest, Msg::AvPush { product, amount: pushed, pusher_av });
+        let trace = self.fresh_aux_trace();
+        let clock = self.tick();
+        let root = self.spans.instant_with(
+            trace,
+            0,
+            "push",
+            ctx.now(),
+            clock,
+            format!("{} of P{} to s{}", pushed.get(), product.0, poorest.0),
+        );
+        self.send_traced(ctx, poorest, trace, root, Msg::AvPush { product, amount: pushed, pusher_av });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_av_request(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         from: SiteId,
+        incoming: Option<TraceContext>,
         txn: TxnId,
         product: ProductId,
         amount: Volume,
@@ -629,13 +877,31 @@ impl Accelerator {
             self.stats.av_volume_granted += grant.get();
         }
         self.stats.av_grants_answered += 1;
+        // The grant decision attaches under the requester's transfer span
+        // (piggybacked as the incoming parent), so the causal tree crosses
+        // sites.
+        let clock = self.tick();
+        let grant_span = self.spans.instant_with(
+            incoming.map(|c| c.trace_id).unwrap_or(txn.0),
+            incoming.map(|c| c.parent_span).unwrap_or(0),
+            "grant",
+            ctx.now(),
+            clock,
+            format!("{} of {} asked", grant.get(), amount.get()),
+        );
         let grantor_av = self.av.available(product);
-        ctx.send(from, Msg::AvGrant { txn, product, amount: grant, grantor_av });
+        self.reply_along(
+            ctx,
+            from,
+            incoming,
+            grant_span,
+            Msg::AvGrant { txn, product, amount: grant, grantor_av },
+        );
     }
 
     fn on_av_grant(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         from: SiteId,
         txn: TxnId,
         product: ProductId,
@@ -660,6 +926,12 @@ impl Accelerator {
             return;
         }
         pending.outstanding = None;
+        if let Some((span, opened)) = pending.transfer_span.take() {
+            let waited = ctx.now().since(opened);
+            self.spans.note(span, &format!("granted {}", amount.get()));
+            self.spans.end(span, ctx.now());
+            self.registry.observe("phase.transfer.ticks", waited);
+        }
         if amount.is_positive() {
             let held = self.av.held_by(txn, product);
             let want_more = item.need - held;
@@ -696,8 +968,25 @@ impl Accelerator {
 
     // ---- Immediate Update (Fig. 5) ------------------------------------------
 
-    fn start_immediate(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, req: UpdateRequest) {
+    fn start_immediate(&mut self, ctx: &mut ACtx<'_>, req: UpdateRequest) {
         let txn = self.fresh_txn();
+        let clock = self.tick();
+        let root_span = self.spans.start_with(
+            txn.0,
+            0,
+            "update",
+            ctx.now(),
+            clock,
+            format!("immediate at s{}", self.me.0),
+        );
+        self.spans.instant_with(
+            txn.0,
+            root_span,
+            "checking",
+            ctx.now(),
+            self.clock,
+            format!("P{} non-regular → Immediate", req.product.0),
+        );
         self.db.begin(txn).expect("fresh txn id");
         // Local lock + apply first (the coordinator is also a participant).
         let local_ok = self
@@ -707,32 +996,64 @@ impl Accelerator {
         if let Err(e) = local_ok {
             self.db.rollback(txn).expect("txn active");
             self.stats.imm_aborts += 1;
+            self.registry.inc("imm.abort.local");
             let reason = match e {
                 AvdbError::NegativeStock { .. } => AbortReason::NegativeStock,
                 _ => AbortReason::PrepareFailed { site: self.me },
             };
-            ctx.emit(UpdateOutcome::Aborted { txn, reason, correspondences: 0 });
+            self.spans.note(root_span, "aborted locally");
+            self.emit_outcome(
+                ctx,
+                root_span,
+                ctx.now(),
+                UpdateOutcome::Aborted { txn, reason, correspondences: 0 },
+            );
             return;
         }
         if self.cfg.n_sites == 1 {
             self.db.commit(txn).expect("txn active");
             self.stats.imm_commits += 1;
-            ctx.emit(UpdateOutcome::Committed {
-                txn,
-                kind: UpdateKind::Immediate,
-                completed_at: ctx.now(),
-                correspondences: 0,
-            });
+            self.registry.inc("imm.commit");
+            let clock = self.tick();
+            self.spans.instant(txn.0, root_span, "commit", ctx.now(), clock);
+            self.emit_outcome(
+                ctx,
+                root_span,
+                ctx.now(),
+                UpdateOutcome::Committed {
+                    txn,
+                    kind: UpdateKind::Immediate,
+                    completed_at: ctx.now(),
+                    correspondences: 0,
+                },
+            );
             return;
         }
+        let clock = self.tick();
+        let prepare_span =
+            self.spans.start(txn.0, root_span, "prepare", ctx.now(), clock);
         let mut correspondences = 0;
         for peer in self.peers().collect::<Vec<_>>() {
-            ctx.send(peer, Msg::ImmPrepare { txn, product: req.product, delta: req.delta });
+            self.send_traced(
+                ctx,
+                peer,
+                txn.0,
+                prepare_span,
+                Msg::ImmPrepare { txn, product: req.product, delta: req.delta },
+            );
             correspondences += 1;
         }
         self.pending_imm.insert(
             txn,
-            PendingImm { votes: BTreeMap::new(), decided: None, correspondences },
+            PendingImm {
+                votes: BTreeMap::new(),
+                decided: None,
+                correspondences,
+                root_span,
+                prepare_span,
+                decide_span: None,
+                started_at: ctx.now(),
+            },
         );
         let timeout = self.cfg.imm_vote_timeout;
         self.arm_timer(ctx, timeout, TimerKind::ImmVotes(txn));
@@ -740,8 +1061,9 @@ impl Accelerator {
 
     fn on_imm_prepare(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         from: SiteId,
+        incoming: Option<TraceContext>,
         txn: TxnId,
         product: ProductId,
         delta: Volume,
@@ -761,12 +1083,21 @@ impl Accelerator {
             // Partial failure (e.g. lock acquired, apply rejected): undo.
             self.db.rollback(txn).expect("txn active");
         }
-        ctx.send(from, Msg::ImmVote { txn, ready });
+        let clock = self.tick();
+        let span = self.spans.instant_with(
+            incoming.map(|c| c.trace_id).unwrap_or(txn.0),
+            incoming.map(|c| c.parent_span).unwrap_or(0),
+            "imm-prepare",
+            ctx.now(),
+            clock,
+            format!("ready={ready}"),
+        );
+        self.reply_along(ctx, from, incoming, span, Msg::ImmVote { txn, ready });
     }
 
     fn on_imm_vote(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         from: SiteId,
         txn: TxnId,
         ready: bool,
@@ -790,7 +1121,7 @@ impl Accelerator {
     /// Sends the decision to all participants and settles local state.
     fn decide_immediate(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         txn: TxnId,
         commit: bool,
         abort_reason: AbortReason,
@@ -798,24 +1129,35 @@ impl Accelerator {
         let peers: Vec<SiteId> = self.peers().collect();
         let Some(pending) = self.pending_imm.get_mut(&txn) else { return };
         pending.decided = Some(commit);
-        for peer in peers {
-            ctx.send(peer, Msg::ImmDecision { txn, commit });
-            pending.correspondences += 1;
-        }
+        pending.correspondences += peers.len() as u64;
+        let root_span = pending.root_span;
+        let prepare_span = pending.prepare_span;
         let correspondences = pending.correspondences;
+        self.spans.end(prepare_span, ctx.now());
+        let clock = self.tick();
+        let decide_span = self.spans.start_with(
+            txn.0,
+            root_span,
+            "decide",
+            ctx.now(),
+            clock,
+            format!("commit={commit}"),
+        );
+        if let Some(pending) = self.pending_imm.get_mut(&txn) {
+            pending.decide_span = Some(decide_span);
+        }
+        for peer in peers {
+            self.send_traced(ctx, peer, txn.0, decide_span, Msg::ImmDecision { txn, commit });
+        }
         if commit {
             self.db.commit(txn).expect("txn active");
             self.stats.imm_commits += 1;
+            self.registry.inc("imm.commit");
             // Completion is judged by the base site's Done message; when
             // the coordinator *is* the base, completion is immediate.
             if self.me == SiteId::BASE {
                 self.pending_imm.remove(&txn);
-                ctx.emit(UpdateOutcome::Committed {
-                    txn,
-                    kind: UpdateKind::Immediate,
-                    completed_at: ctx.now(),
-                    correspondences,
-                });
+                self.finish_immediate(ctx, txn, root_span, decide_span, correspondences);
             } else {
                 // If the base dies between its vote and its Done, fall back
                 // to local completion after a timeout — the commit itself
@@ -826,53 +1168,104 @@ impl Accelerator {
         } else {
             self.db.rollback(txn).expect("txn active");
             self.stats.imm_aborts += 1;
-            self.pending_imm.remove(&txn);
-            ctx.emit(UpdateOutcome::Aborted {
-                txn,
-                reason: abort_reason,
-                correspondences,
-            });
+            self.registry.inc("imm.abort");
+            let pending = self.pending_imm.remove(&txn).expect("fetched above");
+            self.spans.end(decide_span, ctx.now());
+            self.spans.note(root_span, "aborted");
+            self.emit_outcome(
+                ctx,
+                root_span,
+                pending.started_at,
+                UpdateOutcome::Aborted { txn, reason: abort_reason, correspondences },
+            );
         }
+    }
+
+    /// Telemetry + outcome for a completed Immediate commit: closes the
+    /// decide span, stamps the commit instant and ends the root.
+    fn finish_immediate(
+        &mut self,
+        ctx: &mut ACtx<'_>,
+        txn: TxnId,
+        root_span: u64,
+        decide_span: u64,
+        correspondences: u64,
+    ) {
+        self.spans.end(decide_span, ctx.now());
+        let clock = self.tick();
+        self.spans.instant(txn.0, root_span, "commit", ctx.now(), clock);
+        // `started_at` is recovered from the root span rather than carried:
+        // callers may have already dropped the pending entry.
+        let started_at = self
+            .spans
+            .records()
+            .iter()
+            .rev()
+            .find(|r| r.span == root_span)
+            .map(|r| r.start)
+            .unwrap_or_else(|| ctx.now());
+        self.emit_outcome(
+            ctx,
+            root_span,
+            started_at,
+            UpdateOutcome::Committed {
+                txn,
+                kind: UpdateKind::Immediate,
+                completed_at: ctx.now(),
+                correspondences,
+            },
+        );
     }
 
     fn on_imm_decision(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         from: SiteId,
+        incoming: Option<TraceContext>,
         txn: TxnId,
         commit: bool,
     ) {
-        if self.prepared_remote.remove(&txn) {
+        let known = self.prepared_remote.remove(&txn);
+        if known {
             if commit {
                 self.db.commit(txn).expect("prepared txn");
             } else {
                 self.db.rollback(txn).expect("prepared txn");
             }
         }
+        let clock = self.tick();
+        let span = self.spans.instant_with(
+            incoming.map(|c| c.trace_id).unwrap_or(txn.0),
+            incoming.map(|c| c.parent_span).unwrap_or(0),
+            "imm-apply",
+            ctx.now(),
+            clock,
+            if known { format!("commit={commit}") } else { "unknown txn".to_string() },
+        );
         // Unknown txn (post-crash, or already timed out and unilaterally
         // aborted): still acknowledge so the coordinator can finish.
-        ctx.send(from, Msg::ImmDone { txn });
+        self.reply_along(ctx, from, incoming, span, Msg::ImmDone { txn });
     }
 
-    fn on_imm_done(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, from: SiteId, txn: TxnId) {
+    fn on_imm_done(&mut self, ctx: &mut ACtx<'_>, from: SiteId, txn: TxnId) {
         if !self.pending_imm.contains_key(&txn) {
             return;
         }
         // "The requesting accelerator judges the completion of the update
         // with the message from the accelerator at the base DB."
         if self.pending_imm[&txn].decided == Some(true) && from == SiteId::BASE {
-            let correspondences = self.pending_imm[&txn].correspondences;
-            self.pending_imm.remove(&txn);
-            ctx.emit(UpdateOutcome::Committed {
+            let pending = self.pending_imm.remove(&txn).expect("checked above");
+            self.finish_immediate(
+                ctx,
                 txn,
-                kind: UpdateKind::Immediate,
-                completed_at: ctx.now(),
-                correspondences,
-            });
+                pending.root_span,
+                pending.decide_span.unwrap_or(pending.prepare_span),
+                pending.correspondences,
+            );
         }
     }
 
-    fn on_imm_votes_timeout(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, txn: TxnId) {
+    fn on_imm_votes_timeout(&mut self, ctx: &mut ACtx<'_>, txn: TxnId) {
         let Some(pending) = self.pending_imm.get(&txn) else { return };
         if pending.decided.is_some() {
             return;
@@ -888,7 +1281,7 @@ impl Accelerator {
     /// holding nothing, and continue with the next candidate.
     fn on_av_grant_timeout(
         &mut self,
-        ctx: &mut Ctx<'_, Msg, UpdateOutcome>,
+        ctx: &mut ACtx<'_>,
         txn: TxnId,
         peer: SiteId,
     ) {
@@ -897,6 +1290,13 @@ impl Accelerator {
             return; // the grant arrived before the timeout
         }
         pending.outstanding = None;
+        if let Some((span, opened)) = pending.transfer_span.take() {
+            let waited = ctx.now().since(opened);
+            self.spans.note(span, &format!("timeout: s{} presumed dead", peer.0));
+            self.spans.end(span, ctx.now());
+            self.registry.observe("phase.transfer.ticks", waited);
+            self.registry.inc("delay.grant-timeouts");
+        }
         let product = pending.current_item().product;
         self.knowledge.update(peer, product, Volume::ZERO, ctx.now());
         self.request_more_av(ctx, txn);
@@ -912,7 +1312,7 @@ impl Accelerator {
 }
 
 impl Accelerator {
-    fn arm_anti_entropy(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+    fn arm_anti_entropy(&mut self, ctx: &mut ACtx<'_>) {
         if let Some(interval) = self.cfg.anti_entropy_interval {
             if !self.anti_entropy_armed {
                 self.anti_entropy_armed = true;
@@ -923,15 +1323,15 @@ impl Accelerator {
 }
 
 impl Actor for Accelerator {
-    type Msg = Msg;
+    type Msg = TracedMsg;
     type Input = Input;
     type Output = UpdateOutcome;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+    fn on_start(&mut self, ctx: &mut ACtx<'_>) {
         self.arm_anti_entropy(ctx);
     }
 
-    fn on_input(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, input: Input) {
+    fn on_input(&mut self, ctx: &mut ACtx<'_>, input: Input) {
         match input {
             Input::Update(req) => {
                 debug_assert_eq!(req.site, self.me, "update injected at wrong site");
@@ -939,11 +1339,33 @@ impl Actor for Accelerator {
                 // Immediate (paper §3.3).
                 if self.db.class(req.product).is_err() {
                     let txn = self.fresh_txn();
-                    ctx.emit(UpdateOutcome::Aborted {
-                        txn,
-                        reason: AbortReason::UnknownProduct,
-                        correspondences: 0,
-                    });
+                    let clock = self.tick();
+                    let root = self.spans.start_with(
+                        txn.0,
+                        0,
+                        "update",
+                        ctx.now(),
+                        clock,
+                        format!("rejected at s{}", self.me.0),
+                    );
+                    self.spans.instant_with(
+                        txn.0,
+                        root,
+                        "checking",
+                        ctx.now(),
+                        self.clock,
+                        "unknown product".to_string(),
+                    );
+                    self.emit_outcome(
+                        ctx,
+                        root,
+                        ctx.now(),
+                        UpdateOutcome::Aborted {
+                            txn,
+                            reason: AbortReason::UnknownProduct,
+                            correspondences: 0,
+                        },
+                    );
                 } else if self.av.is_defined(req.product) {
                     self.start_delay(ctx, req);
                 } else {
@@ -961,11 +1383,33 @@ impl Actor for Accelerator {
                     self.start_delay_multi(ctx, items);
                 } else {
                     let txn = self.fresh_txn();
-                    ctx.emit(UpdateOutcome::Aborted {
-                        txn,
-                        reason: AbortReason::NotDelayEligible,
-                        correspondences: 0,
-                    });
+                    let clock = self.tick();
+                    let root = self.spans.start_with(
+                        txn.0,
+                        0,
+                        "update",
+                        ctx.now(),
+                        clock,
+                        format!("rejected at s{}", self.me.0),
+                    );
+                    self.spans.instant_with(
+                        txn.0,
+                        root,
+                        "checking",
+                        ctx.now(),
+                        self.clock,
+                        "multi-update not Delay-eligible".to_string(),
+                    );
+                    self.emit_outcome(
+                        ctx,
+                        root,
+                        ctx.now(),
+                        UpdateOutcome::Aborted {
+                            txn,
+                            reason: AbortReason::NotDelayEligible,
+                            correspondences: 0,
+                        },
+                    );
                 }
             }
             Input::FlushPropagation => self.flush_propagation(ctx),
@@ -981,10 +1425,17 @@ impl Actor for Accelerator {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, from: SiteId, msg: Msg) {
+    fn on_message(&mut self, ctx: &mut ACtx<'_>, from: SiteId, msg: TracedMsg) {
+        let TracedMsg { ctx: incoming, msg } = msg;
+        // Lamport merge: every receipt advances past the sender's clock.
+        if let Some(c) = incoming {
+            self.clock = self.clock.max(c.clock);
+        }
+        self.clock += 1;
+        self.registry.inc(&format!("msg.recv.{}", msg.kind()));
         match msg {
             Msg::AvRequest { txn, product, amount, requester_av } => {
-                self.on_av_request(ctx, from, txn, product, amount, requester_av)
+                self.on_av_request(ctx, from, incoming, txn, product, amount, requester_av)
             }
             Msg::AvGrant { txn, product, amount, grantor_av } => {
                 self.on_av_grant(ctx, from, txn, product, amount, grantor_av)
@@ -1001,32 +1452,84 @@ impl Actor for Accelerator {
                 // row is undefined everywhere, i.e. the product left the
                 // Delay regime entirely.
                 let receiver_av = self.av.available(product);
-                ctx.send(from, Msg::AvPushAck { product, receiver_av });
+                let span = incoming
+                    .map(|c| {
+                        let clock = self.tick();
+                        self.spans.instant_with(
+                            c.trace_id,
+                            c.parent_span,
+                            "push-recv",
+                            ctx.now(),
+                            clock,
+                            format!("{} of P{}", amount.get(), product.0),
+                        )
+                    })
+                    .unwrap_or(0);
+                self.reply_along(ctx, from, incoming, span, Msg::AvPushAck { product, receiver_av });
             }
             Msg::AvPushAck { product, receiver_av } => {
                 self.knowledge.update(from, product, receiver_av, ctx.now());
             }
             Msg::Propagate { offset, deltas } => {
                 let (upto, fresh) = self.repl.fresh_deltas(from, offset, deltas);
+                let batch_span = incoming
+                    .map(|c| {
+                        let clock = self.tick();
+                        self.spans.instant_with(
+                            c.trace_id,
+                            c.parent_span,
+                            "apply-batch",
+                            ctx.now(),
+                            clock,
+                            format!("from s{}: {} fresh", from.0, fresh.len()),
+                        )
+                    })
+                    .unwrap_or(0);
                 for d in &fresh {
                     self.db
                         .apply_committed(d.txn, d.product, d.delta)
                         .expect("catalog is identical at all sites");
                     self.stats.propagation_deltas_applied += 1;
+                    // The remote apply joins the *update's* tree, under the
+                    // origin's commit span carried by the delta.
+                    let clock = self.tick();
+                    self.spans.instant_with(
+                        d.txn.0,
+                        d.commit_span,
+                        "apply",
+                        ctx.now(),
+                        clock,
+                        format!("P{} {:+} at s{}", d.product.0, d.delta.get(), self.me.0),
+                    );
                 }
-                ctx.send(from, Msg::PropagateAck { upto });
+                self.reply_along(ctx, from, incoming, batch_span, Msg::PropagateAck { upto });
             }
-            Msg::PropagateAck { upto } => self.repl.on_ack(from, upto),
+            Msg::PropagateAck { upto } => {
+                self.repl.on_ack(from, upto);
+                if let Some(c) = incoming {
+                    let clock = self.tick();
+                    self.spans.instant_with(
+                        c.trace_id,
+                        c.parent_span,
+                        "replicate-ack",
+                        ctx.now(),
+                        clock,
+                        format!("s{} applied below {}", from.0, upto),
+                    );
+                }
+            }
             Msg::ImmPrepare { txn, product, delta } => {
-                self.on_imm_prepare(ctx, from, txn, product, delta)
+                self.on_imm_prepare(ctx, from, incoming, txn, product, delta)
             }
             Msg::ImmVote { txn, ready } => self.on_imm_vote(ctx, from, txn, ready),
-            Msg::ImmDecision { txn, commit } => self.on_imm_decision(ctx, from, txn, commit),
+            Msg::ImmDecision { txn, commit } => {
+                self.on_imm_decision(ctx, from, incoming, txn, commit)
+            }
             Msg::ImmDone { txn } => self.on_imm_done(ctx, from, txn),
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>, token: u64) {
+    fn on_timer(&mut self, ctx: &mut ACtx<'_>, token: u64) {
         match self.timers.remove(&token) {
             Some(TimerKind::ImmVotes(txn)) => self.on_imm_votes_timeout(ctx, txn),
             Some(TimerKind::ImmDecision(txn)) => self.on_participant_timeout(txn),
@@ -1043,12 +1546,14 @@ impl Actor for Accelerator {
             Some(TimerKind::ImmCompletion(txn)) => {
                 if let Some(pending) = self.pending_imm.remove(&txn) {
                     debug_assert_eq!(pending.decided, Some(true));
-                    ctx.emit(UpdateOutcome::Committed {
+                    self.spans.note(pending.root_span, "base Done timed out");
+                    self.finish_immediate(
+                        ctx,
                         txn,
-                        kind: UpdateKind::Immediate,
-                        completed_at: ctx.now(),
-                        correspondences: pending.correspondences,
-                    });
+                        pending.root_span,
+                        pending.decide_span.unwrap_or(pending.prepare_span),
+                        pending.correspondences,
+                    );
                 }
             }
             None => {}
@@ -1057,7 +1562,11 @@ impl Actor for Accelerator {
 
     fn on_crash(&mut self) {
         // Fail-stop: volatile protocol state is gone. The WAL, AV ledger
-        // and catalog are durable; the table is rebuilt on recover.
+        // and catalog are durable; the table is rebuilt on recover. The
+        // span collector and registry survive deliberately: telemetry is
+        // the observer's record, not the site's state, and spans of wiped
+        // updates simply stay open (end = None marks the fault).
+        self.registry.inc("site.crashes");
         self.db.crash();
         self.stats.wiped_in_flight +=
             (self.pending_delay.len() + self.pending_imm.len()) as u64;
@@ -1070,7 +1579,7 @@ impl Actor for Accelerator {
         self.av.release_all_holds();
     }
 
-    fn on_recover(&mut self, ctx: &mut Ctx<'_, Msg, UpdateOutcome>) {
+    fn on_recover(&mut self, ctx: &mut ACtx<'_>) {
         self.db.recover().expect("WAL replay must succeed");
         self.stats.recoveries += 1;
         // Timers are volatile; restart the anti-entropy heartbeat.

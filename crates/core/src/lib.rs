@@ -39,6 +39,6 @@ pub mod system;
 
 pub use accelerator::{Accelerator, AcceleratorConfig, AcceleratorStats};
 pub use persist::AcceleratorSnapshot;
-pub use protocol::{Input, Msg, PropagateDelta};
+pub use protocol::{Input, Msg, PropagateDelta, TracedMsg};
 pub use replication::ReplicationState;
-pub use system::DistributedSystem;
+pub use system::{export_from_accelerators, outcome_line, DistributedSystem};

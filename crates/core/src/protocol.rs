@@ -15,7 +15,7 @@
 //! selection information "is collected at the necessary communication for
 //! AV management and may not be current data").
 
-use avdb_simnet::MsgInfo;
+use avdb_simnet::{MsgInfo, TraceContext};
 use avdb_types::{ProductClass, ProductId, TxnId, UpdateRequest, Volume};
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +28,11 @@ pub struct PropagateDelta {
     pub product: ProductId,
     /// Committed stock change.
     pub delta: Volume,
+    /// Telemetry: the origin's "commit" span id, so the remote apply span
+    /// attaches to the right place in the update's causal tree. `0` when
+    /// unknown (e.g. state rebuilt outside a traced run); plain data, so
+    /// it rides the replication snapshot through crash recovery.
+    pub commit_span: u64,
 }
 
 /// Protocol messages exchanged between accelerators.
@@ -140,6 +145,42 @@ impl MsgInfo for Msg {
     }
 }
 
+/// The wire envelope: a protocol message plus the piggybacked causal
+/// context that lets telemetry stitch one update's spans across sites and
+/// merge Lamport clocks. The context is optional so hand-built or
+/// recovered messages stay valid; the accelerator stamps it on everything
+/// it sends.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TracedMsg {
+    /// Causal context of the sending operation (`None` = untraced).
+    pub ctx: Option<TraceContext>,
+    /// The protocol payload.
+    pub msg: Msg,
+}
+
+impl TracedMsg {
+    /// Wraps a message with no causal context.
+    pub fn plain(msg: Msg) -> Self {
+        TracedMsg { ctx: None, msg }
+    }
+}
+
+impl From<Msg> for TracedMsg {
+    fn from(msg: Msg) -> Self {
+        TracedMsg::plain(msg)
+    }
+}
+
+impl MsgInfo for TracedMsg {
+    fn kind(&self) -> &'static str {
+        self.msg.kind()
+    }
+
+    fn trace_context(&self) -> Option<TraceContext> {
+        self.ctx
+    }
+}
+
 /// External inputs the harness can inject into an accelerator.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Input {
@@ -221,9 +262,31 @@ mod tests {
     fn serde_round_trip() {
         let m = Msg::Propagate {
             offset: 3,
-            deltas: vec![PropagateDelta { txn: txn(), product: ProductId(2), delta: Volume(-4) }],
+            deltas: vec![PropagateDelta {
+                txn: txn(),
+                product: ProductId(2),
+                delta: Volume(-4),
+                commit_span: 7,
+            }],
         };
         let json = serde_json::to_string(&m).unwrap();
         assert_eq!(m, serde_json::from_str::<Msg>(&json).unwrap());
+    }
+
+    #[test]
+    fn traced_envelope_round_trips_and_delegates_kind() {
+        let inner = Msg::ImmVote { txn: txn(), ready: true };
+        let plain = TracedMsg::plain(inner.clone());
+        assert_eq!(plain.kind(), "imm-vote");
+        assert_eq!(plain.trace_context(), None);
+        let traced = TracedMsg {
+            ctx: Some(TraceContext::child(txn().0, 42, 9)),
+            msg: inner,
+        };
+        assert_eq!(traced.trace_context().unwrap().parent_span, 42);
+        let json = serde_json::to_string(&traced).unwrap();
+        assert_eq!(traced, serde_json::from_str::<TracedMsg>(&json).unwrap());
+        let json = serde_json::to_string(&plain).unwrap();
+        assert_eq!(plain, serde_json::from_str::<TracedMsg>(&json).unwrap());
     }
 }

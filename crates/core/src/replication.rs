@@ -220,6 +220,7 @@ mod proptests {
             txn: TxnId::new(SiteId(0), seq),
             product: ProductId(0),
             delta: Volume(1),
+            commit_span: 0,
         }
     }
 
@@ -305,6 +306,7 @@ mod tests {
             txn: TxnId::new(SiteId(0), seq),
             product: ProductId(0),
             delta: Volume(-1),
+            commit_span: 0,
         }
     }
 

@@ -9,10 +9,65 @@
 use crate::accelerator::Accelerator;
 use crate::protocol::Input;
 use avdb_simnet::{Counters, LinkFilter, Simulator, SimulatorBuilder};
+use avdb_telemetry::{MetaLine, OutcomeLine, RunExport};
 use avdb_types::{
     ProductClass, ProductId, SiteId, SystemConfig, UpdateOutcome, UpdateRequest, VirtualTime,
     Volume,
 };
+
+/// Converts one harness-drained outcome into its export line.
+pub fn outcome_line(at: VirtualTime, site: SiteId, outcome: &UpdateOutcome) -> OutcomeLine {
+    match outcome {
+        UpdateOutcome::Committed { txn, kind, correspondences, .. } => OutcomeLine {
+            txn: txn.0,
+            site: site.0,
+            committed: true,
+            detail: format!("{kind:?}"),
+            at: at.ticks(),
+            correspondences: *correspondences,
+        },
+        UpdateOutcome::Aborted { txn, reason, correspondences } => OutcomeLine {
+            txn: txn.0,
+            site: site.0,
+            committed: false,
+            detail: format!("{reason:?}"),
+            at: at.ticks(),
+            correspondences: *correspondences,
+        },
+    }
+}
+
+/// Assembles a telemetry export from a live-transport run: the actors
+/// the transport returned at shutdown, its message log, and its network
+/// counters. The sim-transport equivalent is
+/// [`DistributedSystem::export_telemetry`].
+pub fn export_from_accelerators(
+    transport: &str,
+    cfg: &SystemConfig,
+    actors: &[Accelerator],
+    messages: &[avdb_simnet::MessageEvent],
+    network: avdb_simnet::RegistrySnapshot,
+    outcomes: &[(VirtualTime, SiteId, UpdateOutcome)],
+) -> RunExport {
+    let mut export = RunExport {
+        meta: Some(MetaLine {
+            transport: transport.to_string(),
+            sites: cfg.n_sites as u64,
+            seed: cfg.seed,
+        }),
+        ..Default::default()
+    };
+    for acc in actors {
+        export.add_spans(acc.spans().records());
+        export.add_registry(&format!("site{}", acc.site().0), acc.registry().snapshot());
+    }
+    export.add_messages(messages);
+    export.add_registry("network", network);
+    for (at, site, outcome) in outcomes {
+        export.outcomes.push(outcome_line(*at, *site, outcome));
+    }
+    export
+}
 
 /// The proposed system: all sites, the network, and the virtual clock.
 pub struct DistributedSystem {
@@ -238,6 +293,45 @@ impl DistributedSystem {
     /// `true` when no site has in-flight protocol state.
     pub fn all_idle(&self) -> bool {
         SiteId::all(self.cfg.n_sites).all(|s| self.accelerator(s).is_idle())
+    }
+
+    // ---- telemetry ----------------------------------------------------------
+
+    /// Merged registry snapshot across every site's accelerator.
+    pub fn merged_registry(&self) -> avdb_simnet::RegistrySnapshot {
+        let mut merged = avdb_simnet::RegistrySnapshot::default();
+        for site in SiteId::all(self.cfg.n_sites) {
+            merged.merge(&self.accelerator(site).registry().snapshot());
+        }
+        merged
+    }
+
+    /// Assembles the run's full telemetry export: per-site spans and
+    /// registries, the network message log (when tracing was enabled) and
+    /// substrate counters, plus the harness-drained `outcomes`.
+    pub fn export_telemetry(
+        &self,
+        outcomes: &[(VirtualTime, SiteId, UpdateOutcome)],
+    ) -> RunExport {
+        let mut export = RunExport {
+            meta: Some(MetaLine {
+                transport: "sim".to_string(),
+                sites: self.cfg.n_sites as u64,
+                seed: self.cfg.seed,
+            }),
+            ..Default::default()
+        };
+        for site in SiteId::all(self.cfg.n_sites) {
+            let acc = self.accelerator(site);
+            export.add_spans(acc.spans().records());
+            export.add_registry(&format!("site{}", site.0), acc.registry().snapshot());
+        }
+        export.add_messages(self.trace().events());
+        export.add_registry("network", self.counters().registry().snapshot());
+        for (at, site, outcome) in outcomes {
+            export.outcomes.push(outcome_line(*at, *site, outcome));
+        }
+        export
     }
 }
 

@@ -2,8 +2,10 @@
 
 use crate::series::Series;
 use crate::stats::OnlineStats;
+use avdb_telemetry::RegistrySnapshot;
 use avdb_types::SiteId;
 use serde::Serialize;
+use std::collections::BTreeMap;
 
 /// Everything measured about one site over one run.
 #[derive(Clone, Debug, Default, Serialize)]
@@ -52,6 +54,12 @@ pub struct RunMetrics {
     /// Total messages observed on the network (cross-check: must equal
     /// 2 × total correspondences on fault-free runs).
     pub network_messages: u64,
+    /// Network message counts by protocol kind (from the substrate's
+    /// registry-backed counters).
+    pub network_by_kind: BTreeMap<String, u64>,
+    /// The merged per-site telemetry registry at the end of the run
+    /// (empty for systems without one, e.g. the centralized baseline).
+    pub registry: RegistrySnapshot,
 }
 
 impl RunMetrics {
@@ -65,6 +73,8 @@ impl RunMetrics {
                 .collect(),
             sites: vec![SiteStats::default(); n_sites],
             network_messages: 0,
+            network_by_kind: BTreeMap::new(),
+            registry: RegistrySnapshot::default(),
             label,
         }
     }
@@ -84,15 +94,28 @@ impl RunMetrics {
         self.sites.iter().map(|s| s.committed).sum()
     }
 
-    /// Total correspondences attributed across sites.
+    /// Total correspondences over the run, read from the telemetry
+    /// registry (the accelerators' own `update.correspondences` cells)
+    /// when one is attached; falls back to the outcome-attributed sum for
+    /// systems without a registry. The sim runner asserts the two
+    /// countings agree, so there is a single source of truth either way.
     pub fn total_correspondences(&self) -> u64 {
+        match self.registry.histograms.get("update.correspondences") {
+            Some(h) => h.sum,
+            None => self.attributed_correspondences(),
+        }
+    }
+
+    /// Correspondences attributed per-outcome during distillation (the
+    /// running total behind the cumulative series).
+    pub fn attributed_correspondences(&self) -> u64 {
         self.sites.iter().map(|s| s.correspondences).sum()
     }
 
     /// Records a sample point on the cumulative and per-site series.
     pub fn sample(&mut self) {
         let x = self.total_updates();
-        self.cumulative.push(x, self.total_correspondences());
+        self.cumulative.push(x, self.attributed_correspondences());
         for (i, series) in self.per_site_series.iter_mut().enumerate() {
             series.push(x, self.sites[i].correspondences);
         }

@@ -119,6 +119,29 @@ pub enum Violation {
         /// The stuck site.
         site: SiteId,
     },
+    /// A telemetry span references a parent span that exists nowhere in
+    /// its trace — the causal tree is broken (a context was dropped or
+    /// forged somewhere between send and receive).
+    OrphanSpan {
+        /// The trace the span belongs to.
+        trace: u64,
+        /// The orphaned span id.
+        span: u64,
+    },
+    /// A committed update's trace has no root span (`parent == 0`) — the
+    /// origin site never opened an "update" span for it.
+    MissingRootSpan {
+        /// The committed transaction.
+        txn: TxnId,
+    },
+    /// Σ per-site registry `msg.sent.*` counters disagrees with the
+    /// network substrate's own send count (lossless runs only).
+    MessageAccounting {
+        /// What the site registries counted at send time.
+        registry: u64,
+        /// What the network substrate counted at routing time.
+        network: u64,
+    },
     /// The message trace shows a response delivered without a matching
     /// request — the Figs. 3–5 causal order was broken.
     Causality {
@@ -179,6 +202,16 @@ impl fmt::Display for Violation {
                 write!(f, "{site} ledger: {detail}")
             }
             Violation::NotIdle { site } => write!(f, "{site} still has in-flight state"),
+            Violation::OrphanSpan { trace, span } => {
+                write!(f, "span {span:#x} in trace {trace:#x} references a missing parent")
+            }
+            Violation::MissingRootSpan { txn } => {
+                write!(f, "committed {txn} has no root span in its trace")
+            }
+            Violation::MessageAccounting { registry, network } => write!(
+                f,
+                "site registries counted {registry} sends but the network carried {network}"
+            ),
             Violation::Causality { from, to, response, request, responses, requests } => write!(
                 f,
                 "{from}→{to}: {responses} `{response}` deliveries but only {requests} \
@@ -244,6 +277,8 @@ pub fn check(obs: &Observation) -> Report {
     check_av_history(obs, &map, &mut report);
     check_idle(obs, &mut report);
     check_causality(obs, &mut report);
+    check_span_trees(obs, &mut report);
+    check_message_accounting(obs, &mut report);
     report
 }
 
@@ -581,6 +616,57 @@ fn check_idle(obs: &Observation, report: &mut Report) {
         if !site.idle {
             report.violations.push(Violation::NotIdle { site: site.site });
         }
+    }
+}
+
+/// Causal-tree completeness over the merged telemetry spans: every span's
+/// parent must exist somewhere in its trace (parents routinely live on
+/// *another* site — the context piggybacked on the message carries the
+/// id across), and every committed update's trace must have a root span.
+/// Holds under loss and crashes: a dropped message means the receiver
+/// records no child, and collectors deliberately survive crashes.
+fn check_span_trees(obs: &Observation, report: &mut Report) {
+    if obs.sites.len() != obs.cfg.n_sites {
+        return; // partial capture: the merged view would lie.
+    }
+    let spans: Vec<(u64, u64, u64)> = obs
+        .sites
+        .iter()
+        .flat_map(|s| s.spans.iter().map(|r| (r.trace, r.span, r.parent)))
+        .collect();
+    if spans.is_empty() {
+        return; // telemetry not captured on this path.
+    }
+    for (trace, span) in avdb_telemetry::analyze::find_orphans(spans.clone()) {
+        report.violations.push(Violation::OrphanSpan { trace, span });
+    }
+    let roots: BTreeSet<u64> =
+        spans.iter().filter(|(_, _, parent)| *parent == 0).map(|(trace, _, _)| *trace).collect();
+    for (_, _, outcome) in &obs.outcomes {
+        if outcome.is_committed() && !roots.contains(&outcome.txn().0) {
+            report.violations.push(Violation::MissingRootSpan { txn: outcome.txn() });
+        }
+    }
+}
+
+/// On lossless runs the accelerators' own send counters (`msg.sent.*`,
+/// bumped when a message is handed to `ctx.send`) must total exactly the
+/// network substrate's count (bumped when the message is routed). Lossy
+/// runs are skipped per the acceptance criteria, though both sides count
+/// at send time so drops alone should not separate them.
+fn check_message_accounting(obs: &Observation, report: &mut Report) {
+    if obs.sites.len() != obs.cfg.n_sites || obs.network.dropped_messages > 0 {
+        return;
+    }
+    let registry: u64 = obs.sites.iter().map(|s| s.registry.counter_sum("msg.sent.")).sum();
+    // Sites that never sent anything have no cells; a run with zero
+    // telemetry (all-empty registries) cannot be distinguished from a
+    // silent run, which is fine — zero sends match zero messages.
+    if registry != obs.network.total_messages {
+        report.violations.push(Violation::MessageAccounting {
+            registry,
+            network: obs.network.total_messages,
+        });
     }
 }
 

@@ -2,7 +2,8 @@
 
 use avdb_core::{Accelerator, DistributedSystem};
 use avdb_escrow::TransferRecord;
-use avdb_simnet::{CountersSnapshot, TraceEvent};
+use avdb_simnet::{CountersSnapshot, RegistrySnapshot, TraceEvent};
+use avdb_telemetry::SpanRecord;
 use avdb_types::{
     ProductId, SiteId, SystemConfig, UpdateOutcome, UpdateRequest, VirtualTime, Volume,
 };
@@ -50,6 +51,11 @@ pub struct SiteObservation {
     pub wiped_in_flight: u64,
     /// Whether the site ended with no in-flight protocol state.
     pub idle: bool,
+    /// The site's telemetry spans (the full causal record; survives
+    /// simulated crashes by design).
+    pub spans: Vec<SpanRecord>,
+    /// The site's telemetry registry at the end of the run.
+    pub registry: RegistrySnapshot,
 }
 
 impl SiteObservation {
@@ -69,6 +75,8 @@ impl SiteObservation {
             recoveries: acc.stats().recoveries,
             wiped_in_flight: acc.stats().wiped_in_flight,
             idle: acc.is_idle(),
+            spans: acc.spans().records().to_vec(),
+            registry: acc.registry().snapshot(),
         }
     }
 }

@@ -39,6 +39,7 @@ fn distill(
 ) -> RunMetrics {
     let mut metrics = RunMetrics::new(label, n_sites);
     metrics.network_messages = network.total_messages;
+    metrics.network_by_kind = network.by_kind.clone();
     // Arrival time per (site, per-site issue seq) for latency accounting.
     let mut arrivals: Vec<Vec<VirtualTime>> = vec![Vec::new(); n_sites];
     for (at, req) in schedule {
@@ -97,13 +98,19 @@ pub fn run_proposal_named(label: &str, cfg: &SystemConfig, spec: &WorkloadSpec) 
     let oracle = avdb_oracle::check(&Observation::from_system(&sys, submitted, outcomes.clone()));
     oracle.assert_ok(label);
     let network = sys.counters().snapshot();
-    let metrics = distill(
+    let mut metrics = distill(
         label,
         cfg.n_sites,
         &schedule,
         &outcomes,
         &network,
         pick_sample_every(spec.n_updates),
+    );
+    metrics.registry = sys.merged_registry();
+    debug_assert_eq!(
+        metrics.total_correspondences(),
+        metrics.attributed_correspondences(),
+        "registry and outcome-attributed correspondence counts must agree"
     );
     RunOutput { metrics, network, outcomes, oracle }
 }
@@ -133,7 +140,7 @@ pub fn run_lock_everything(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunOutput
     let oracle = avdb_oracle::check(&Observation::from_system(&sys, submitted, outcomes.clone()));
     oracle.assert_ok("lock-everything");
     let network = sys.counters().snapshot();
-    let metrics = distill(
+    let mut metrics = distill(
         "lock-everything",
         all_imm.n_sites,
         &schedule,
@@ -141,6 +148,7 @@ pub fn run_lock_everything(cfg: &SystemConfig, spec: &WorkloadSpec) -> RunOutput
         &network,
         pick_sample_every(spec.n_updates),
     );
+    metrics.registry = sys.merged_registry();
     RunOutput { metrics, network, outcomes, oracle }
 }
 
@@ -212,6 +220,32 @@ mod tests {
             p.metrics.total_correspondences(),
             c.metrics.total_correspondences()
         );
+    }
+
+    #[test]
+    fn registry_is_the_single_source_of_correspondence_truth() {
+        let (cfg, spec) = paper_scenario(300, 3);
+        let out = run_proposal(&cfg, &spec);
+        // The accelerators' own telemetry and the per-outcome attribution
+        // must count the same correspondences.
+        assert_eq!(
+            out.metrics.total_correspondences(),
+            out.metrics.attributed_correspondences()
+        );
+        // The registry is attached, and its send counters reproduce the
+        // network substrate's totals and kind breakdown exactly.
+        assert_eq!(
+            out.metrics.registry.counter_sum("msg.sent."),
+            out.network.total_messages
+        );
+        assert!(!out.metrics.network_by_kind.is_empty());
+        for (kind, n) in &out.metrics.network_by_kind {
+            assert_eq!(
+                out.metrics.registry.counter(&format!("msg.sent.{kind}")),
+                *n,
+                "kind {kind}"
+            );
+        }
     }
 
     #[test]

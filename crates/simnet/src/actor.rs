@@ -5,14 +5,23 @@
 //! [`crate::Simulator`] *or* the threaded [`crate::LiveRunner`] unchanged.
 
 use crate::rng::DetRng;
+use avdb_telemetry::TraceContext;
 use avdb_types::{SiteId, VirtualTime};
 use std::fmt;
 
 /// Metadata every protocol message must expose so the substrate can
-/// account for traffic by kind.
+/// account for traffic by kind and stitch deliveries into causal traces.
 pub trait MsgInfo {
     /// Short static label for metrics ("av-request", "propagate", …).
     fn kind(&self) -> &'static str;
+
+    /// The causal context piggybacked on this message, if the protocol
+    /// attached one. The substrate records it with each delivery so the
+    /// message log stitches into the span trees; plain messages default
+    /// to `None`.
+    fn trace_context(&self) -> Option<TraceContext> {
+        None
+    }
 }
 
 impl MsgInfo for &'static str {

@@ -5,7 +5,15 @@
 //! every message at the moment it is handed to the network (whether or not
 //! a fault later drops it — the sender did spend the communication), per
 //! sender, per receiver, per kind, and per (sender, receiver) pair.
+//!
+//! Since the telemetry refactor the storage behind [`Counters`] is a
+//! telemetry [`Registry`] under dotted keys (`msg.total`,
+//! `msg.sent.<site>`, `msg.recv.<site>`, `msg.kind.<kind>`,
+//! `msg.link.<from>><to>`), so the network's numbers and every other
+//! registry consumer read the same cells by construction. The public API
+//! and [`CountersSnapshot`] shape are unchanged.
 
+use avdb_telemetry::Registry;
 use avdb_types::SiteId;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -14,13 +22,7 @@ use std::collections::BTreeMap;
 /// never touches it.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
-    total_messages: u64,
-    dropped_messages: u64,
-    parked_messages: u64,
-    sent_by_site: BTreeMap<SiteId, u64>,
-    received_by_site: BTreeMap<SiteId, u64>,
-    by_kind: BTreeMap<&'static str, u64>,
-    by_pair: BTreeMap<(SiteId, SiteId), u64>,
+    registry: Registry,
 }
 
 impl Counters {
@@ -31,84 +33,95 @@ impl Counters {
 
     /// Records one message handed to the network.
     pub fn record_send(&mut self, from: SiteId, to: SiteId, kind: &'static str) {
-        self.total_messages += 1;
-        *self.sent_by_site.entry(from).or_default() += 1;
-        *self.by_kind.entry(kind).or_default() += 1;
-        *self.by_pair.entry((from, to)).or_default() += 1;
+        self.registry.inc("msg.total");
+        self.registry.inc(&format!("msg.sent.{}", from.0));
+        self.registry.inc(&format!("msg.kind.{kind}"));
+        self.registry.inc(&format!("msg.link.{}>{}", from.0, to.0));
     }
 
     /// Records a successful delivery.
     pub fn record_delivery(&mut self, to: SiteId) {
-        *self.received_by_site.entry(to).or_default() += 1;
+        self.registry.inc(&format!("msg.recv.{}", to.0));
     }
 
     /// Records a message lost to a fault (partition, probabilistic drop).
     pub fn record_drop(&mut self) {
-        self.dropped_messages += 1;
+        self.registry.inc("msg.dropped");
     }
 
     /// Records a message parked for a crashed site (store-and-forward:
     /// the transport holds it and delivers after recovery).
     pub fn record_parked(&mut self) {
-        self.parked_messages += 1;
+        self.registry.inc("msg.parked");
     }
 
     /// Total messages sent so far.
     pub fn total_messages(&self) -> u64 {
-        self.total_messages
+        self.registry.counter("msg.total")
     }
 
     /// Total messages lost to faults.
     pub fn dropped_messages(&self) -> u64 {
-        self.dropped_messages
+        self.registry.counter("msg.dropped")
     }
 
     /// Total messages parked for crashed sites (cumulative; parking is
     /// not loss — parked messages deliver at recovery).
     pub fn parked_messages(&self) -> u64 {
-        self.parked_messages
+        self.registry.counter("msg.parked")
     }
 
     /// Paper accounting: total correspondences = messages / 2. The
     /// protocol layer keeps every exchange request/reply-paired so this is
     /// exact on fault-free runs.
     pub fn total_correspondences(&self) -> u64 {
-        self.total_messages / 2
+        self.total_messages() / 2
     }
 
     /// Messages sent by one site.
     pub fn sent_by(&self, site: SiteId) -> u64 {
-        self.sent_by_site.get(&site).copied().unwrap_or(0)
+        self.registry.counter(&format!("msg.sent.{}", site.0))
     }
 
     /// Messages received by one site.
     pub fn received_by(&self, site: SiteId) -> u64 {
-        self.received_by_site.get(&site).copied().unwrap_or(0)
+        self.registry.counter(&format!("msg.recv.{}", site.0))
     }
 
     /// Messages of one kind.
     pub fn by_kind(&self, kind: &str) -> u64 {
-        self.by_kind.get(kind).copied().unwrap_or(0)
+        self.registry.counter(&format!("msg.kind.{kind}"))
     }
 
     /// Messages on one directed link.
     pub fn on_link(&self, from: SiteId, to: SiteId) -> u64 {
-        self.by_pair.get(&(from, to)).copied().unwrap_or(0)
+        self.registry.counter(&format!("msg.link.{}>{}", from.0, to.0))
+    }
+
+    /// The registry backing these counters (read-only).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Immutable snapshot for reporting/serialization.
     pub fn snapshot(&self) -> CountersSnapshot {
+        let keyed = |prefix: &str| -> BTreeMap<u32, u64> {
+            self.registry
+                .counters_with_prefix(prefix)
+                .filter_map(|(k, n)| Some((k.strip_prefix(prefix)?.parse().ok()?, n)))
+                .collect()
+        };
         CountersSnapshot {
-            total_messages: self.total_messages,
+            total_messages: self.total_messages(),
             total_correspondences: self.total_correspondences(),
-            dropped_messages: self.dropped_messages,
-            parked_messages: self.parked_messages,
-            sent_by_site: self.sent_by_site.iter().map(|(s, n)| (s.0, *n)).collect(),
-            received_by_site: self.received_by_site.iter().map(|(s, n)| (s.0, *n)).collect(),
+            dropped_messages: self.dropped_messages(),
+            parked_messages: self.parked_messages(),
+            sent_by_site: keyed("msg.sent."),
+            received_by_site: keyed("msg.recv."),
             by_kind: self
-                .by_kind
-                .iter()
-                .map(|(k, n)| (k.to_string(), *n))
+                .registry
+                .counters_with_prefix("msg.kind.")
+                .filter_map(|(k, n)| Some((k.strip_prefix("msg.kind.")?.to_string(), n)))
                 .collect(),
         }
     }
@@ -188,5 +201,18 @@ mod tests {
         assert_eq!(snap.by_kind.get("a"), Some(&1));
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("total_correspondences"));
+    }
+
+    #[test]
+    fn registry_cells_match_the_accessor_view() {
+        let mut c = Counters::new();
+        c.record_send(SiteId(2), SiteId(0), "propagate");
+        c.record_send(SiteId(2), SiteId(1), "propagate");
+        let reg = c.registry();
+        assert_eq!(reg.counter("msg.total"), c.total_messages());
+        assert_eq!(reg.counter("msg.sent.2"), 2);
+        assert_eq!(reg.counter("msg.kind.propagate"), 2);
+        assert_eq!(reg.counter("msg.link.2>1"), 1);
+        assert_eq!(reg.counter_sum("msg.sent."), c.total_messages());
     }
 }

@@ -34,6 +34,7 @@ pub mod trace;
 pub mod transport;
 
 pub use actor::{Actor, Ctx, MsgInfo};
+pub use avdb_telemetry::{MessageEvent, MessageLog, Registry, RegistrySnapshot, TraceContext};
 pub use counters::{Counters, CountersSnapshot};
 pub use event::{Event, EventQueue};
 pub use faults::{FaultPlan, LinkFilter};

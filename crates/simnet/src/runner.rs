@@ -307,7 +307,7 @@ impl<A: Actor> Simulator<A> {
                     self.parked.entry(to).or_default().push((from, msg));
                 } else {
                     self.counters.record_delivery(to);
-                    self.trace.record(self.now, from, to, msg.kind());
+                    self.trace.record(self.now, from, to, msg.kind(), msg.trace_context());
                     self.with_ctx(to, |a, ctx| a.on_message(ctx, from, msg));
                 }
             }

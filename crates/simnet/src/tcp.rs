@@ -15,6 +15,7 @@ use crate::actor::{Actor, Ctx, MsgInfo};
 use crate::counters::Counters;
 use crate::rng::DetRng;
 use crate::transport::{decode_frame, encode_frame};
+use avdb_telemetry::MessageLog;
 use avdb_types::{SiteId, VirtualTime};
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -57,6 +58,7 @@ pub struct TcpMesh<A: Actor> {
     handles: Vec<JoinHandle<A>>,
     counters: Arc<Mutex<Counters>>,
     outputs: Arc<Mutex<Outputs<A::Output>>>,
+    messages: Arc<Mutex<MessageLog>>,
 }
 
 impl<A> TcpMesh<A>
@@ -120,6 +122,7 @@ where
 
         let counters = Arc::new(Mutex::new(Counters::new()));
         let outputs: Arc<Mutex<Outputs<A::Output>>> = Arc::new(Mutex::new(Vec::new()));
+        let messages = Arc::new(Mutex::new(MessageLog::enabled()));
         let root = DetRng::new(seed);
         let epoch = Instant::now();
 
@@ -166,6 +169,7 @@ where
 
             let counters = Arc::clone(&counters);
             let outputs = Arc::clone(&outputs);
+            let messages = Arc::clone(&messages);
             let mut rng = root.derive(0x7C90_0000 + i as u64);
             handles.push(std::thread::spawn(move || {
                 let mut actor = actor;
@@ -181,6 +185,13 @@ where
                     match (ev, token) {
                         (Some(SiteEvent::Msg { from, msg }), _) => {
                             counters.lock().record_delivery(me);
+                            messages.lock().record(
+                                now_ticks(epoch),
+                                from,
+                                me,
+                                msg.kind(),
+                                msg.trace_context(),
+                            );
                             actor.on_message(&mut ctx, from, msg);
                         }
                         (Some(SiteEvent::Input(input)), _) => actor.on_input(&mut ctx, input),
@@ -254,12 +265,23 @@ where
                 actor
             }));
         }
-        TcpMesh { inputs, handles, counters, outputs }
+        TcpMesh { inputs, handles, counters, outputs, messages }
     }
 
     /// Injects an external input at `site`.
     pub fn inject(&self, site: SiteId, input: A::Input) {
         let _ = self.inputs[site.index()].send(SiteEvent::Input(input));
+    }
+
+    /// Snapshot of the traffic counters while running.
+    pub fn counters_snapshot(&self) -> crate::counters::CountersSnapshot {
+        self.counters.lock().snapshot()
+    }
+
+    /// Snapshot of the message delivery log (always recording; clone it
+    /// before [`TcpMesh::shutdown`] if the events are needed after).
+    pub fn message_log(&self) -> MessageLog {
+        self.messages.lock().clone()
     }
 
     /// Takes all outputs emitted so far.

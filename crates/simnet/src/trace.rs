@@ -1,126 +1,18 @@
-//! Message-sequence tracing.
+//! Message-sequence tracing — now a thin alias layer over
+//! `avdb-telemetry`'s [`MessageLog`].
 //!
-//! When enabled, the simulator records every message delivery as a
-//! [`TraceEvent`]. The core crate uses this to assert that the
-//! implemented protocols produce *exactly* the message charts of the
-//! paper's Figs. 3–5, and [`render_sequence`] prints a plain-text
-//! sequence chart for debugging.
+//! The old simnet-private event type was deduplicated into the telemetry
+//! crate so all three transports record through one log and every event
+//! carries the piggybacked [`avdb_telemetry::TraceContext`]. These
+//! re-exports keep the previous public names compiling for one release;
+//! new code should import from `avdb_telemetry` (or the crate-root
+//! re-exports) directly.
 
-use avdb_types::{SiteId, VirtualTime};
-use serde::Serialize;
+/// Alias for the telemetry message log (was the simnet-private `Trace`).
+pub use avdb_telemetry::MessageLog as Trace;
 
-/// One delivered message.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
-pub struct TraceEvent {
-    /// Delivery time.
-    pub at: VirtualTime,
-    /// Sender.
-    pub from: SiteId,
-    /// Receiver.
-    pub to: SiteId,
-    /// Message kind label (see `MsgInfo::kind`).
-    pub kind: &'static str,
-}
+/// Alias for one delivered message (was the simnet-private `TraceEvent`;
+/// gained the `ctx` field).
+pub use avdb_telemetry::MessageEvent as TraceEvent;
 
-/// Recorded message deliveries, in delivery order.
-#[derive(Clone, Debug, Default)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-    enabled: bool,
-}
-
-impl Trace {
-    /// Disabled trace (zero recording cost beyond a branch).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Starts recording.
-    pub fn enable(&mut self) {
-        self.enabled = true;
-    }
-
-    /// `true` while recording.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Records one delivery if enabled.
-    pub fn record(&mut self, at: VirtualTime, from: SiteId, to: SiteId, kind: &'static str) {
-        if self.enabled {
-            self.events.push(TraceEvent { at, from, to, kind });
-        }
-    }
-
-    /// All recorded deliveries.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// `(from, to, kind)` triples in delivery order — the shape asserted
-    /// by the Fig. 3–5 chart tests.
-    pub fn sequence(&self) -> Vec<(SiteId, SiteId, &'static str)> {
-        self.events.iter().map(|e| (e.from, e.to, e.kind)).collect()
-    }
-
-    /// Clears recorded events (keeps the enabled flag).
-    pub fn clear(&mut self) {
-        self.events.clear();
-    }
-}
-
-/// Renders a trace as a text sequence chart, one line per message:
-/// `t=3  site1 ──av-request──▶ site0`.
-pub fn render_sequence(trace: &Trace) -> String {
-    let mut out = String::new();
-    for e in trace.events() {
-        out.push_str(&format!(
-            "t={:<4} {} ──{}──▶ {}\n",
-            e.at.ticks(),
-            e.from,
-            e.kind,
-            e.to
-        ));
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn disabled_trace_records_nothing() {
-        let mut t = Trace::new();
-        assert!(!t.is_enabled());
-        t.record(VirtualTime(1), SiteId(0), SiteId(1), "x");
-        assert!(t.events().is_empty());
-    }
-
-    #[test]
-    fn enabled_trace_records_in_order() {
-        let mut t = Trace::new();
-        t.enable();
-        t.record(VirtualTime(1), SiteId(0), SiteId(1), "a");
-        t.record(VirtualTime(2), SiteId(1), SiteId(0), "b");
-        assert_eq!(
-            t.sequence(),
-            vec![(SiteId(0), SiteId(1), "a"), (SiteId(1), SiteId(0), "b")]
-        );
-        t.clear();
-        assert!(t.events().is_empty());
-        assert!(t.is_enabled());
-    }
-
-    #[test]
-    fn render_is_one_line_per_message() {
-        let mut t = Trace::new();
-        t.enable();
-        t.record(VirtualTime(3), SiteId(1), SiteId(0), "av-request");
-        let text = render_sequence(&t);
-        assert_eq!(text.lines().count(), 1);
-        assert!(text.contains("site1"));
-        assert!(text.contains("av-request"));
-        assert!(text.contains("site0"));
-    }
-}
+pub use avdb_telemetry::render_sequence;

@@ -15,6 +15,7 @@
 use crate::actor::{Actor, Ctx, MsgInfo};
 use crate::counters::Counters;
 use crate::rng::DetRng;
+use avdb_telemetry::MessageLog;
 use avdb_types::{AvdbError, SiteId, VirtualTime};
 use bytes::{Buf, BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -45,6 +46,7 @@ pub struct LiveRunner<A: Actor> {
     handles: Vec<JoinHandle<A>>,
     counters: Arc<Mutex<Counters>>,
     outputs: Arc<Mutex<Outputs<A::Output>>>,
+    messages: Arc<Mutex<MessageLog>>,
 }
 
 impl<A> LiveRunner<A>
@@ -61,6 +63,7 @@ where
         let root = DetRng::new(seed);
         let counters = Arc::new(Mutex::new(Counters::new()));
         let outputs: Arc<Mutex<Outputs<A::Output>>> = Arc::new(Mutex::new(Vec::new()));
+        let messages = Arc::new(Mutex::new(MessageLog::enabled()));
         let channels: Vec<(Sender<_>, Receiver<_>)> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<_>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let epoch = Instant::now();
@@ -71,6 +74,7 @@ where
             let mesh = senders.clone();
             let counters = Arc::clone(&counters);
             let outputs = Arc::clone(&outputs);
+            let messages = Arc::clone(&messages);
             let mut rng = root.derive(0x11FE_0000 + i as u64);
             handles.push(std::thread::spawn(move || {
                 let mut actor = actor;
@@ -88,6 +92,13 @@ where
                     match (ev, token) {
                         (Some(LiveEvent::Msg { from, msg }), _) => {
                             counters.lock().record_delivery(me);
+                            messages.lock().record(
+                                now_ticks(epoch),
+                                from,
+                                me,
+                                msg.kind(),
+                                msg.trace_context(),
+                            );
                             actor.on_message(&mut ctx, from, msg);
                         }
                         (Some(LiveEvent::Input(input)), _) => actor.on_input(&mut ctx, input),
@@ -156,7 +167,7 @@ where
                 actor
             }));
         }
-        LiveRunner { senders, handles, counters, outputs }
+        LiveRunner { senders, handles, counters, outputs, messages }
     }
 
     /// Injects an external input at `site`.
@@ -177,6 +188,12 @@ where
     /// Snapshot of the traffic counters while running.
     pub fn counters_snapshot(&self) -> crate::counters::CountersSnapshot {
         self.counters.lock().snapshot()
+    }
+
+    /// Snapshot of the message delivery log (always recording; clone it
+    /// before [`LiveRunner::shutdown`] if the events are needed after).
+    pub fn message_log(&self) -> MessageLog {
+        self.messages.lock().clone()
     }
 
     /// Takes all outputs emitted so far.

@@ -1,0 +1,340 @@
+//! Offline analysis of a [`RunExport`]: causal-tree reconstruction,
+//! orphan detection, per-phase latency breakdowns, and
+//! message-amplification percentiles (the per-operation version of the
+//! paper's Fig. 6).
+
+use crate::context::is_aux_trace;
+use crate::export::{RunExport, SpanLine};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Spans whose parent does not exist within their own trace, as
+/// `(trace, span)` pairs. `parent == 0` marks an intentional root and is
+/// never an orphan.
+pub fn find_orphans<I>(spans: I) -> Vec<(u64, u64)>
+where
+    I: IntoIterator<Item = (u64, u64, u64)> + Clone,
+{
+    let ids: BTreeSet<(u64, u64)> =
+        spans.clone().into_iter().map(|(trace, span, _)| (trace, span)).collect();
+    spans
+        .into_iter()
+        .filter(|(trace, _, parent)| *parent != 0 && !ids.contains(&(*trace, *parent)))
+        .map(|(trace, span, _)| (trace, span))
+        .collect()
+}
+
+/// Verdict of [`verify`]: is every committed update's causal tree
+/// complete?
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Total spans inspected.
+    pub spans: usize,
+    /// Distinct traces seen.
+    pub traces: usize,
+    /// Committed outcomes in the export.
+    pub committed: usize,
+    /// `(trace, span)` pairs whose parent is missing from the trace.
+    pub orphans: Vec<(u64, u64)>,
+    /// Committed transaction ids with no root span in their trace.
+    pub missing_roots: Vec<u64>,
+}
+
+impl VerifyReport {
+    /// `true` when every committed update has a rooted, orphan-free tree.
+    pub fn is_ok(&self) -> bool {
+        self.orphans.is_empty() && self.missing_roots.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} spans in {} traces, {} committed updates",
+            self.spans, self.traces, self.committed
+        )?;
+        for (trace, span) in &self.orphans {
+            writeln!(f, "  orphan span {span:#x} in trace {trace:#x}")?;
+        }
+        for txn in &self.missing_roots {
+            writeln!(f, "  committed txn {txn:#x} has no root span")?;
+        }
+        if self.is_ok() {
+            writeln!(f, "  every committed update has a complete span tree")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks span-tree completeness: no span may reference a parent missing
+/// from its trace, and every committed outcome must have a root span.
+pub fn verify(export: &RunExport) -> VerifyReport {
+    let mut report = VerifyReport {
+        spans: export.spans.len(),
+        traces: export.spans.iter().map(|s| s.trace).collect::<BTreeSet<_>>().len(),
+        ..Default::default()
+    };
+    report.orphans =
+        find_orphans(export.spans.iter().map(|s| (s.trace, s.span, s.parent)).collect::<Vec<_>>());
+    let roots: BTreeSet<u64> =
+        export.spans.iter().filter(|s| s.parent == 0).map(|s| s.trace).collect();
+    for outcome in &export.outcomes {
+        if !outcome.committed {
+            continue;
+        }
+        report.committed += 1;
+        if !roots.contains(&outcome.txn) {
+            report.missing_roots.push(outcome.txn);
+        }
+    }
+    report
+}
+
+/// Aggregate duration statistics for one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Closed spans measured.
+    pub count: u64,
+    /// Total ticks across them.
+    pub total: u64,
+    /// Longest single span.
+    pub max: u64,
+}
+
+impl PhaseStats {
+    /// Mean duration in ticks (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
+/// The accelerator's phase order, for stable report layout. Names not in
+/// this list sort after it, alphabetically.
+pub const PHASE_ORDER: [&str; 6] =
+    ["update", "checking", "selecting", "deciding", "transfer", "commit"];
+
+/// Per-phase duration statistics over all *update* traces (auxiliary
+/// replication traces excluded), keyed by span name.
+pub fn phase_breakdown(export: &RunExport) -> BTreeMap<String, PhaseStats> {
+    let mut phases: BTreeMap<String, PhaseStats> = BTreeMap::new();
+    for span in &export.spans {
+        if is_aux_trace(span.trace) {
+            continue;
+        }
+        let Some(end) = span.end else { continue };
+        let stats = phases.entry(span.name.clone()).or_default();
+        let d = end.saturating_sub(span.start);
+        stats.count += 1;
+        stats.total += d;
+        stats.max = stats.max.max(d);
+    }
+    phases
+}
+
+/// Sorts phase names: canonical accelerator order first, then the rest.
+pub fn phase_sort_key(name: &str) -> (usize, String) {
+    let idx = PHASE_ORDER.iter().position(|p| *p == name).unwrap_or(PHASE_ORDER.len());
+    (idx, name.to_string())
+}
+
+/// Correspondences charged to each committed update, ascending — the
+/// distribution behind the paper's mean-correspondences headline.
+pub fn amplification(export: &RunExport) -> Vec<u64> {
+    let mut counts: Vec<u64> = export
+        .outcomes
+        .iter()
+        .filter(|o| o.committed)
+        .map(|o| o.correspondences)
+        .collect();
+    counts.sort_unstable();
+    counts
+}
+
+/// Nearest-rank percentile over an ascending slice (`0 < p ≤ 1`).
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Renders one trace's causal tree as an indented timeline, children
+/// sorted by (start, Lamport clock, span id). Spans referencing a parent
+/// missing from the trace are flagged inline.
+pub fn render_timeline(export: &RunExport, trace: u64) -> String {
+    let spans: Vec<&SpanLine> = export.spans.iter().filter(|s| s.trace == trace).collect();
+    let mut out = String::new();
+    if spans.is_empty() {
+        let _ = writeln!(out, "trace {trace:#x}: no spans");
+        return out;
+    }
+    let ids: BTreeSet<u64> = spans.iter().map(|s| s.span).collect();
+    let mut children: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != 0 && ids.contains(&s.parent) {
+            children.entry(s.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    let order = |&i: &usize| (spans[i].start, spans[i].clock, spans[i].span);
+    roots.sort_by_key(order);
+    for list in children.values_mut() {
+        list.sort_by_key(order);
+    }
+    let kind = if is_aux_trace(trace) { "aux" } else { "update" };
+    let _ = writeln!(out, "trace {trace:#x} ({kind}, {} spans)", spans.len());
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 1)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let s = spans[i];
+        let when = match s.end {
+            Some(end) if end != s.start => format!("t={}..{}", s.start, end),
+            Some(_) => format!("t={}", s.start),
+            None => format!("t={}..?", s.start),
+        };
+        let orphan = if s.parent != 0 && !ids.contains(&s.parent) { " [orphan]" } else { "" };
+        let detail = if s.detail.is_empty() {
+            String::new()
+        } else {
+            format!("  ({})", s.detail)
+        };
+        let _ = writeln!(
+            out,
+            "{:indent$}[{when}] site{} {}{detail}{orphan}",
+            "",
+            s.site,
+            s.name,
+            indent = depth * 2
+        );
+        if let Some(kids) = children.get(&s.span) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{OutcomeLine, RunExport, SpanLine};
+
+    fn span(trace: u64, span: u64, parent: u64, name: &str, start: u64, end: Option<u64>) -> SpanLine {
+        SpanLine {
+            trace,
+            span,
+            parent,
+            site: (span >> 40) as u32,
+            name: name.to_string(),
+            detail: String::new(),
+            start,
+            end,
+            clock: start,
+        }
+    }
+
+    fn committed(txn: u64) -> OutcomeLine {
+        OutcomeLine {
+            txn,
+            site: 0,
+            committed: true,
+            detail: String::new(),
+            at: 0,
+            correspondences: 2,
+        }
+    }
+
+    #[test]
+    fn orphans_are_per_trace() {
+        // Span 2's parent lives in a *different* trace: orphan.
+        let spans = vec![(1u64, 10u64, 0u64), (1, 11, 10), (2, 12, 10)];
+        assert_eq!(find_orphans(spans), vec![(2, 12)]);
+    }
+
+    #[test]
+    fn verify_flags_missing_roots_and_orphans() {
+        let mut export = RunExport::default();
+        export.spans.push(span(7, 1, 0, "update", 0, Some(4)));
+        export.spans.push(span(7, 2, 1, "checking", 0, Some(0)));
+        export.spans.push(span(7, 3, 99, "commit", 4, Some(4)));
+        export.outcomes.push(committed(7));
+        export.outcomes.push(committed(8)); // no spans at all
+        let report = verify(&export);
+        assert!(!report.is_ok());
+        assert_eq!(report.orphans, vec![(7, 3)]);
+        assert_eq!(report.missing_roots, vec![8]);
+        assert_eq!(report.committed, 2);
+    }
+
+    #[test]
+    fn verify_passes_complete_trees() {
+        let mut export = RunExport::default();
+        export.spans.push(span(7, 1, 0, "update", 0, Some(4)));
+        export.spans.push(span(7, 2, 1, "commit", 4, Some(4)));
+        export.outcomes.push(committed(7));
+        assert!(verify(&export).is_ok());
+    }
+
+    #[test]
+    fn phase_breakdown_skips_aux_and_open_spans() {
+        let mut export = RunExport::default();
+        export.spans.push(span(1, 1, 0, "update", 0, Some(6)));
+        export.spans.push(span(1, 2, 1, "transfer", 1, Some(4)));
+        export.spans.push(span(1, 3, 1, "transfer", 2, None)); // open
+        export.spans.push(span(crate::AUX_TRACE_FLAG | 5, 4, 0, "replicate", 0, Some(9)));
+        let phases = phase_breakdown(&export);
+        assert_eq!(phases["update"].count, 1);
+        assert_eq!(phases["transfer"].count, 1);
+        assert_eq!(phases["transfer"].total, 3);
+        assert!(!phases.contains_key("replicate"));
+    }
+
+    #[test]
+    fn amplification_percentiles() {
+        let mut export = RunExport::default();
+        for (i, c) in [0u64, 0, 0, 2, 8].iter().enumerate() {
+            let mut o = committed(i as u64);
+            o.correspondences = *c;
+            export.outcomes.push(o);
+        }
+        let amp = amplification(&export);
+        assert_eq!(amp, vec![0, 0, 0, 2, 8]);
+        assert_eq!(percentile_sorted(&amp, 0.5), 0);
+        assert_eq!(percentile_sorted(&amp, 0.9), 8);
+        assert_eq!(percentile_sorted(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn timeline_renders_nested_tree() {
+        let mut export = RunExport::default();
+        export.spans.push(span(7, 1, 0, "update", 0, Some(6)));
+        export.spans.push(span(7, 2, 1, "checking", 0, Some(0)));
+        export.spans.push(span(7, 3, 1, "transfer", 1, Some(5)));
+        export.spans.push(span(7, 4, 3, "grant", 3, Some(3)));
+        let text = render_timeline(&export, 7);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains("update"));
+        assert!(lines[2].contains("checking"));
+        assert!(lines[3].contains("transfer"));
+        // grant is nested one level deeper than transfer
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert_eq!(indent(lines[4]), indent(lines[3]) + 2);
+        assert!(render_timeline(&export, 99).contains("no spans"));
+    }
+
+    #[test]
+    fn phase_sort_is_canonical_then_alpha() {
+        let mut names = vec!["commit", "apply", "checking", "update"];
+        names.sort_by_key(|n| phase_sort_key(n));
+        assert_eq!(names, vec!["update", "checking", "commit", "apply"]);
+    }
+}

@@ -1,0 +1,285 @@
+//! JSONL export of one run's telemetry.
+//!
+//! Each line is one externally-tagged [`ExportLine`]. The owned-`String`
+//! line types mirror the in-memory records ([`crate::SpanRecord`],
+//! [`crate::MessageEvent`]) so an export file round-trips through the
+//! vendored serde without borrowing `&'static str` labels.
+
+use crate::message_log::MessageEvent;
+use crate::registry::RegistrySnapshot;
+use crate::span::SpanRecord;
+use serde::{Deserialize, Serialize};
+
+/// Run-level metadata (first line of an export).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetaLine {
+    /// Transport that produced the run ("sim", "threads", "tcp").
+    pub transport: String,
+    /// Number of sites.
+    pub sites: u64,
+    /// Workload/system seed.
+    pub seed: u64,
+}
+
+/// One span, with owned strings (see [`crate::SpanRecord`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanLine {
+    /// Trace id.
+    pub trace: u64,
+    /// Span id.
+    pub span: u64,
+    /// Parent span id (`0` = root).
+    pub parent: u64,
+    /// Recording site (raw id).
+    pub site: u32,
+    /// Phase name.
+    pub name: String,
+    /// Free-form detail.
+    pub detail: String,
+    /// Start tick.
+    pub start: u64,
+    /// End tick (`None` = never closed).
+    pub end: Option<u64>,
+    /// Lamport clock at open.
+    pub clock: u64,
+}
+
+impl From<&SpanRecord> for SpanLine {
+    fn from(r: &SpanRecord) -> Self {
+        SpanLine {
+            trace: r.trace,
+            span: r.span,
+            parent: r.parent,
+            site: r.site.0,
+            name: r.name.to_string(),
+            detail: r.detail.clone(),
+            start: r.start.ticks(),
+            end: r.end.map(|e| e.ticks()),
+            clock: r.clock,
+        }
+    }
+}
+
+/// One delivered message, with its piggybacked context flattened.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MessageLine {
+    /// Delivery tick.
+    pub at: u64,
+    /// Sender (raw id).
+    pub from: u32,
+    /// Receiver (raw id).
+    pub to: u32,
+    /// Message kind.
+    pub kind: String,
+    /// Trace id, when a context was attached.
+    pub trace: Option<u64>,
+    /// Parent span id from the context.
+    pub parent: Option<u64>,
+    /// Sender's Lamport clock from the context.
+    pub clock: Option<u64>,
+}
+
+impl From<&MessageEvent> for MessageLine {
+    fn from(e: &MessageEvent) -> Self {
+        MessageLine {
+            at: e.at.ticks(),
+            from: e.from.0,
+            to: e.to.0,
+            kind: e.kind.to_string(),
+            trace: e.ctx.map(|c| c.trace_id),
+            parent: e.ctx.map(|c| c.parent_span),
+            clock: e.ctx.map(|c| c.clock),
+        }
+    }
+}
+
+/// One harness-visible update outcome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeLine {
+    /// Raw transaction id (== the update's trace id).
+    pub txn: u64,
+    /// Origin site (raw id).
+    pub site: u32,
+    /// `true` for a commit, `false` for an abort.
+    pub committed: bool,
+    /// Abort reason or empty.
+    pub detail: String,
+    /// Completion tick.
+    pub at: u64,
+    /// Correspondences charged to the update.
+    pub correspondences: u64,
+}
+
+/// One registry snapshot, tagged with its scope.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegistryLine {
+    /// `"site<N>"` for a per-site accelerator registry, `"network"` for
+    /// the transport substrate.
+    pub scope: String,
+    /// The snapshot.
+    pub snapshot: RegistrySnapshot,
+}
+
+/// One line of a JSONL export.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ExportLine {
+    /// Run metadata.
+    Meta(MetaLine),
+    /// One span.
+    Span(SpanLine),
+    /// One delivered message.
+    Message(MessageLine),
+    /// One update outcome.
+    Outcome(OutcomeLine),
+    /// One registry snapshot.
+    Registry(RegistryLine),
+}
+
+/// A parsed (or assembled) run export.
+#[derive(Clone, Debug, Default)]
+pub struct RunExport {
+    /// Run metadata, when present.
+    pub meta: Option<MetaLine>,
+    /// All spans, all sites.
+    pub spans: Vec<SpanLine>,
+    /// All delivered messages.
+    pub messages: Vec<MessageLine>,
+    /// All update outcomes.
+    pub outcomes: Vec<OutcomeLine>,
+    /// All registry snapshots.
+    pub registries: Vec<RegistryLine>,
+}
+
+impl RunExport {
+    /// Adds every record of one site's span collector.
+    pub fn add_spans(&mut self, records: &[SpanRecord]) {
+        self.spans.extend(records.iter().map(SpanLine::from));
+    }
+
+    /// Adds every event of a message log.
+    pub fn add_messages(&mut self, events: &[MessageEvent]) {
+        self.messages.extend(events.iter().map(MessageLine::from));
+    }
+
+    /// Adds one scoped registry snapshot.
+    pub fn add_registry(&mut self, scope: &str, snapshot: RegistrySnapshot) {
+        self.registries.push(RegistryLine { scope: scope.to_string(), snapshot });
+    }
+
+    /// The registry snapshot for one scope, when present.
+    pub fn registry(&self, scope: &str) -> Option<&RegistrySnapshot> {
+        self.registries.iter().find(|r| r.scope == scope).map(|r| &r.snapshot)
+    }
+
+    /// Serializes to JSONL: meta first, then spans, messages, outcomes,
+    /// registries.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut push = |line: &ExportLine| {
+            out.push_str(&serde_json::to_string(line).expect("export lines serialize"));
+            out.push('\n');
+        };
+        if let Some(meta) = &self.meta {
+            push(&ExportLine::Meta(meta.clone()));
+        }
+        for s in &self.spans {
+            push(&ExportLine::Span(s.clone()));
+        }
+        for m in &self.messages {
+            push(&ExportLine::Message(m.clone()));
+        }
+        for o in &self.outcomes {
+            push(&ExportLine::Outcome(o.clone()));
+        }
+        for r in &self.registries {
+            push(&ExportLine::Registry(r.clone()));
+        }
+        out
+    }
+
+    /// Parses a JSONL export. Returns the first malformed line as an
+    /// error (`"line <n>: <parse error>"`).
+    pub fn parse(text: &str) -> Result<RunExport, String> {
+        let mut export = RunExport::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed: ExportLine = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: {e:?}", i + 1))?;
+            match parsed {
+                ExportLine::Meta(m) => export.meta = Some(m),
+                ExportLine::Span(s) => export.spans.push(s),
+                ExportLine::Message(m) => export.messages.push(m),
+                ExportLine::Outcome(o) => export.outcomes.push(o),
+                ExportLine::Registry(r) => export.registries.push(r),
+            }
+        }
+        Ok(export)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avdb_types::{SiteId, VirtualTime};
+
+    fn sample() -> RunExport {
+        let mut export = RunExport {
+            meta: Some(MetaLine { transport: "sim".into(), sites: 3, seed: 7 }),
+            ..Default::default()
+        };
+        let mut col = crate::SpanCollector::new(SiteId(1));
+        let root = col.start(9, 0, "update", VirtualTime(0), 1);
+        col.instant(9, root, "checking", VirtualTime(0), 2);
+        col.end(root, VirtualTime(4));
+        export.add_spans(col.records());
+        let mut log = crate::MessageLog::enabled();
+        log.record(
+            VirtualTime(1),
+            SiteId(1),
+            SiteId(0),
+            "av-request",
+            Some(crate::TraceContext::child(9, root, 3)),
+        );
+        export.add_messages(log.events());
+        export.outcomes.push(OutcomeLine {
+            txn: 9,
+            site: 1,
+            committed: true,
+            detail: String::new(),
+            at: 4,
+            correspondences: 1,
+        });
+        let mut reg = crate::Registry::new();
+        reg.inc("msg.sent.av-request");
+        export.add_registry("site1", reg.snapshot());
+        export
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let export = sample();
+        let text = export.to_jsonl();
+        assert_eq!(text.lines().count(), 6);
+        let back = RunExport::parse(&text).unwrap();
+        assert_eq!(back.meta, export.meta);
+        assert_eq!(back.spans, export.spans);
+        assert_eq!(back.messages, export.messages);
+        assert_eq!(back.outcomes, export.outcomes);
+        assert_eq!(back.registries, export.registries);
+        assert_eq!(back.registry("site1").unwrap().counter("msg.sent.av-request"), 1);
+    }
+
+    #[test]
+    fn parse_reports_malformed_lines() {
+        let err = RunExport::parse("{\"nope\":1}\n").unwrap_err();
+        assert!(err.starts_with("line 1"), "{err}");
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let export = RunExport::parse("\n\n").unwrap();
+        assert!(export.spans.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # avdb-telemetry
+//!
+//! Structured causal tracing and a unified metrics registry for the avdb
+//! reproduction — with zero external dependencies beyond the vendored
+//! serde stubs, so it runs identically under the deterministic simulator,
+//! the threaded live runner, and the TCP mesh.
+//!
+//! Three pieces:
+//!
+//! * [`TraceContext`] — trace id + parent span + Lamport clock,
+//!   piggybacked on every protocol message so one update's full causal
+//!   tree is reconstructible across sites and transports.
+//! * [`Registry`] — per-site named counters, gauges, and log₂-bucketed
+//!   [`Histogram`]s (message counts by kind, AV shortage depth,
+//!   candidate-list staleness, per-phase latencies).
+//! * [`RunExport`] — a JSONL span/event exporter consumed by the
+//!   `avdb-trace` binary ([`analyze`] holds the tree reconstruction and
+//!   latency breakdowns it prints).
+//!
+//! Determinism contract: nothing here reads clocks or RNGs; span ids are
+//! minted per site from a sequence counter using the same
+//! `site << 40 | seq` split as `TxnId`, so a seeded simulator run
+//! produces bit-identical telemetry.
+
+pub mod analyze;
+pub mod context;
+pub mod export;
+pub mod message_log;
+pub mod registry;
+pub mod span;
+
+pub use context::{aux_trace_id, is_aux_trace, TraceContext, AUX_TRACE_FLAG};
+pub use export::{
+    ExportLine, MessageLine, MetaLine, OutcomeLine, RegistryLine, RunExport, SpanLine,
+};
+pub use message_log::{render_sequence, MessageEvent, MessageLog};
+pub use registry::{Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use span::{SpanCollector, SpanRecord};

@@ -1,0 +1,416 @@
+//! The unified metrics registry: named counters, gauges, and log-scale
+//! histograms, one instance per site (plus one for the network substrate).
+//!
+//! Keys are dotted paths (`"msg.kind.av-request"`, `"delay.shortage"`).
+//! The registry is deliberately dependency-free and deterministic: no
+//! clocks, no atomics — the owning runtime is already single-threaded per
+//! site, and snapshots are plain serializable values.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Power-of-two bucketed histogram: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`. 64 buckets cover all of `u64`.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (`0 < p ≤ 1`).
+    /// An estimate by construction: log-scale buckets trade precision for
+    /// constant space.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+
+    /// Serializable view (only non-empty buckets).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| (i as u32, *n))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable view of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `(bucket index, count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Inclusive upper bound of bucket `i` (0 → 0, else `2^i − 1`).
+    fn bucket_upper(i: u32) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << (i - 1)).saturating_mul(2).saturating_sub(1)
+        }
+    }
+
+    /// Lower bound of bucket `i` (0 → 0, else `2^(i−1)`).
+    fn bucket_lower(i: u32) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(*i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Plain-text bucket chart, one `[lo, hi] count ∎∎∎` line per
+    /// non-empty bucket.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let peak = self.buckets.iter().map(|(_, n)| *n).max().unwrap_or(0).max(1);
+        for (i, n) in &self.buckets {
+            let bar = "∎".repeat(((n * 40).div_ceil(peak)) as usize);
+            let _ = writeln!(
+                out,
+                "  [{:>6}, {:>6}] {:>8}  {}",
+                Self::bucket_lower(*i),
+                Self::bucket_upper(*i),
+                n,
+                bar
+            );
+        }
+        out
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u32, u64> = self.buckets.iter().copied().collect();
+        for (i, n) in &other.buckets {
+            *merged.entry(*i).or_default() += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// A per-site registry of named counters, gauges, and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds 1 to a counter (creating it at 0).
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to a counter (creating it at 0).
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters_with_prefix(prefix).map(|(_, n)| n).sum()
+    }
+
+    /// `(name, value)` for every counter with the given prefix.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Current gauge value (0 if never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one observation into a histogram (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Serializable view of everything.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable view of a [`Registry`] at one instant.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Folds another snapshot into this one: counters add, gauges sum,
+    /// histograms merge bucket-wise. Used to aggregate per-site
+    /// registries into a system-wide view.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_default() += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_prefix_sum() {
+        let mut r = Registry::new();
+        r.inc("msg.kind.av-request");
+        r.add("msg.kind.av-request", 2);
+        r.inc("msg.kind.av-grant");
+        r.inc("other");
+        assert_eq!(r.counter("msg.kind.av-request"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.counter_sum("msg.kind."), 4);
+        let names: Vec<_> =
+            r.counters_with_prefix("msg.kind.").map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, vec!["msg.kind.av-grant", "msg.kind.av-request"]);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let mut r = Registry::new();
+        r.set_gauge("pending", 3);
+        r.set_gauge("pending", -1);
+        assert_eq!(r.gauge("pending"), -1);
+        assert_eq!(r.gauge("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+        let snap = h.snapshot();
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3;
+        // 1000 → bucket 10.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn percentile_is_a_bucket_upper_bound() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(1);
+        }
+        h.observe(1000);
+        assert_eq!(h.percentile(0.50), 1);
+        assert_eq!(h.percentile(0.99), 1);
+        // The tail observation lands in [512, 1023]; capped at max.
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_adds() {
+        let mut a = Registry::new();
+        a.inc("x");
+        a.observe("h", 4);
+        let mut b = Registry::new();
+        b.add("x", 2);
+        b.inc("y");
+        b.observe("h", 4);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("x"), 3);
+        assert_eq!(merged.counter("y"), 1);
+        assert_eq!(merged.histograms["h"].count, 2);
+        assert_eq!(merged.histograms["h"].sum, 8);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let mut r = Registry::new();
+        r.inc("a.b");
+        r.set_gauge("g", -7);
+        r.observe("h", 12);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn render_emits_one_line_per_bucket() {
+        let mut h = Histogram::new();
+        h.observe(3);
+        h.observe(100);
+        let text = h.snapshot().render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('∎'));
+    }
+}

@@ -1,0 +1,209 @@
+//! Spans: named, timed operations forming per-trace causal trees.
+//!
+//! Each site owns a [`SpanCollector`] that mints deterministic span ids
+//! (`site << 40 | seq`, the `TxnId` split) and accumulates records. The
+//! collector survives simulated crashes on purpose: a crash wipes the
+//! *protocol's* volatile state, but the telemetry of what happened before
+//! the crash is exactly what a post-mortem needs, and remote children of
+//! pre-crash spans must not become orphans.
+
+use crate::context::SEQ_BITS;
+use avdb_types::{SiteId, VirtualTime};
+use serde::Serialize;
+
+/// One operation in a causal tree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct SpanRecord {
+    /// The causal tree this span belongs to.
+    pub trace: u64,
+    /// This span's id (unique per run).
+    pub span: u64,
+    /// Parent span id (`0` = trace root). May live on another site.
+    pub parent: u64,
+    /// The site that recorded the span.
+    pub site: SiteId,
+    /// Phase name ("update", "checking", "selecting", "transfer", …).
+    pub name: &'static str,
+    /// Free-form detail (product, amounts, peer) for timeline rendering.
+    pub detail: String,
+    /// When the operation began.
+    pub start: VirtualTime,
+    /// When it finished (`None` = still open, or cut short by a fault).
+    pub end: Option<VirtualTime>,
+    /// Lamport clock when the span was opened.
+    pub clock: u64,
+}
+
+impl SpanRecord {
+    /// Duration in ticks, for closed spans.
+    pub fn duration(&self) -> Option<u64> {
+        self.end.map(|e| e.since(self.start))
+    }
+}
+
+/// Per-site span sink with deterministic id allocation.
+#[derive(Clone, Debug)]
+pub struct SpanCollector {
+    site: SiteId,
+    next_seq: u64,
+    spans: Vec<SpanRecord>,
+}
+
+impl SpanCollector {
+    /// An empty collector for one site. Sequence numbers start at 1 so a
+    /// minted span id can never be `0`, the reserved "no parent" marker.
+    pub fn new(site: SiteId) -> Self {
+        SpanCollector { site, next_seq: 1, spans: Vec::new() }
+    }
+
+    fn next_id(&mut self) -> u64 {
+        let id = ((self.site.0 as u64) << SEQ_BITS) | self.next_seq;
+        self.next_seq += 1;
+        id
+    }
+
+    /// Opens a span (no end time yet) and returns its id.
+    pub fn start(
+        &mut self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        at: VirtualTime,
+        clock: u64,
+    ) -> u64 {
+        self.start_with(trace, parent, name, at, clock, String::new())
+    }
+
+    /// [`SpanCollector::start`] with a detail string.
+    pub fn start_with(
+        &mut self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        at: VirtualTime,
+        clock: u64,
+        detail: String,
+    ) -> u64 {
+        let span = self.next_id();
+        self.spans.push(SpanRecord {
+            trace,
+            span,
+            parent,
+            site: self.site,
+            name,
+            detail,
+            start: at,
+            end: None,
+            clock,
+        });
+        span
+    }
+
+    /// Records an instantaneous span (start == end) and returns its id.
+    pub fn instant(
+        &mut self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        at: VirtualTime,
+        clock: u64,
+    ) -> u64 {
+        self.instant_with(trace, parent, name, at, clock, String::new())
+    }
+
+    /// [`SpanCollector::instant`] with a detail string.
+    pub fn instant_with(
+        &mut self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        at: VirtualTime,
+        clock: u64,
+        detail: String,
+    ) -> u64 {
+        let span = self.start_with(trace, parent, name, at, clock, detail);
+        self.end(span, at);
+        span
+    }
+
+    /// Closes an open span. Closing an unknown or already-closed span is
+    /// a no-op: fault paths may race a timeout against the reply it was
+    /// guarding, and telemetry must never panic the protocol.
+    pub fn end(&mut self, span: u64, at: VirtualTime) {
+        if let Some(rec) =
+            self.spans.iter_mut().rev().find(|r| r.span == span && r.end.is_none())
+        {
+            rec.end = Some(at);
+        }
+    }
+
+    /// Appends to a span's detail string.
+    pub fn note(&mut self, span: u64, detail: &str) {
+        if let Some(rec) = self.spans.iter_mut().rev().find(|r| r.span == span) {
+            if !rec.detail.is_empty() {
+                rec.detail.push_str("; ");
+            }
+            rec.detail.push_str(detail);
+        }
+    }
+
+    /// All records so far, in open order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_and_site_scoped() {
+        let mut a = SpanCollector::new(SiteId(2));
+        let mut b = SpanCollector::new(SiteId(2));
+        let s1 = a.start(1, 0, "update", VirtualTime(0), 1);
+        let s2 = b.start(1, 0, "update", VirtualTime(0), 1);
+        assert_eq!(s1, s2);
+        assert_eq!(s1 >> SEQ_BITS, 2);
+        assert_ne!(s1, 0);
+    }
+
+    #[test]
+    fn end_closes_only_open_spans() {
+        let mut c = SpanCollector::new(SiteId(0));
+        let s = c.start(9, 0, "transfer", VirtualTime(3), 1);
+        c.end(s, VirtualTime(8));
+        c.end(s, VirtualTime(99)); // no-op
+        assert_eq!(c.records()[0].end, Some(VirtualTime(8)));
+        assert_eq!(c.records()[0].duration(), Some(5));
+        c.end(12345, VirtualTime(1)); // unknown id: no-op, no panic
+    }
+
+    #[test]
+    fn instant_spans_have_zero_duration() {
+        let mut c = SpanCollector::new(SiteId(1));
+        c.instant_with(9, 0, "checking", VirtualTime(4), 2, "P0".into());
+        let r = &c.records()[0];
+        assert_eq!(r.duration(), Some(0));
+        assert_eq!(r.detail, "P0");
+    }
+
+    #[test]
+    fn note_appends() {
+        let mut c = SpanCollector::new(SiteId(1));
+        let s = c.start(9, 0, "transfer", VirtualTime(4), 2);
+        c.note(s, "asked site2");
+        c.note(s, "granted 5");
+        assert_eq!(c.records()[0].detail, "asked site2; granted 5");
+    }
+}

@@ -25,7 +25,7 @@
 
 use avdb::core::DistributedSystem;
 use avdb::oracle::{self, Observation, Report, SubmittedRequest};
-use avdb::simnet::{DetRng, LinkFilter};
+use avdb::simnet::{DetRng, LinkFilter, RegistrySnapshot};
 use avdb::types::{ProductId, SiteId, SystemConfig, UpdateRequest, VirtualTime, Volume};
 use std::ops::Range;
 use std::process::ExitCode;
@@ -61,6 +61,7 @@ struct Sweep {
     sites: Vec<usize>,
     requests: usize,
     verbose: bool,
+    stats: bool,
 }
 
 #[derive(Clone, Copy)]
@@ -75,7 +76,7 @@ const TICKS_PER_REQUEST: u64 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage: avdb-check [--seeds A..B] [--faults all|clean,crash,partition,loss] \
-         [--sites N,M] [--requests N] [--verbose]"
+         [--sites N,M] [--requests N] [--verbose] [--stats]"
     );
     std::process::exit(2);
 }
@@ -87,6 +88,7 @@ fn parse_args() -> Sweep {
         sites: vec![3, 5],
         requests: 40,
         verbose: false,
+        stats: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -115,6 +117,7 @@ fn parse_args() -> Sweep {
                 sweep.requests = value("--requests").parse().unwrap_or_else(|_| usage());
             }
             "--verbose" => sweep.verbose = true,
+            "--stats" => sweep.stats = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -166,9 +169,37 @@ fn workload(case: Case, requests: usize) -> Vec<(VirtualTime, UpdateRequest)> {
         .collect()
 }
 
+/// Prints the merged per-site registry summary for one run: message
+/// counts by kind and the AV shortage-depth histogram.
+fn print_stats(reg: &RegistrySnapshot) {
+    println!("  registry: messages sent by kind:");
+    let mut any = false;
+    for (key, n) in &reg.counters {
+        if let Some(kind) = key.strip_prefix("msg.sent.") {
+            println!("    {kind:<16} {n}");
+            any = true;
+        }
+    }
+    if !any {
+        println!("    (none)");
+    }
+    match reg.histograms.get("delay.shortage") {
+        Some(h) => {
+            println!(
+                "  registry: AV shortage depth ({} shortages, mean {:.1}, max {}):",
+                h.count,
+                h.mean(),
+                h.max
+            );
+            print!("{}", h.render());
+        }
+        None => println!("  registry: no AV shortages"),
+    }
+}
+
 /// Runs one case over the first `requests` entries of its workload and
-/// returns the oracle's verdict.
-fn run_case(case: Case, requests: usize, full: usize) -> Report {
+/// returns the oracle's verdict plus the merged per-site registry.
+fn run_case(case: Case, requests: usize, full: usize) -> (Report, RegistrySnapshot) {
     let cfg = config(case);
     let schedule: Vec<_> = workload(case, full).into_iter().take(requests).collect();
     let horizon = full as u64 * TICKS_PER_REQUEST + 10;
@@ -224,25 +255,28 @@ fn run_case(case: Case, requests: usize, full: usize) -> Report {
     let outcomes = sys.drain_outcomes();
     let submitted =
         schedule.iter().map(|(at, req)| SubmittedRequest::single(*at, req)).collect();
-    oracle::check(&Observation::from_system(&sys, submitted, outcomes))
+    let report = oracle::check(&Observation::from_system(&sys, submitted, outcomes));
+    (report, sys.merged_registry())
 }
 
 /// Binary-searches the shortest failing request prefix of a known-bad
 /// case (assumes failures are prefix-monotone, the usual fuzzing bet).
-fn minimize(case: Case, full: usize) -> (usize, Report) {
-    if !run_case(case, 0, full).is_ok() {
-        return (0, run_case(case, 0, full));
+fn minimize(case: Case, full: usize) -> (usize, Report, RegistrySnapshot) {
+    if !run_case(case, 0, full).0.is_ok() {
+        let (report, reg) = run_case(case, 0, full);
+        return (0, report, reg);
     }
     let (mut lo, mut hi) = (0, full);
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if run_case(case, mid, full).is_ok() {
+        if run_case(case, mid, full).0.is_ok() {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    (hi, run_case(case, hi, full))
+    let (report, reg) = run_case(case, hi, full);
+    (hi, report, reg)
 }
 
 fn main() -> ExitCode {
@@ -258,13 +292,19 @@ fn main() -> ExitCode {
     );
     let mut runs = 0u64;
     let mut failures = 0u64;
+    // `--stats` on a single replayed case (one seed, fault, site count —
+    // the shape of a printed minimal repro) summarizes that run directly;
+    // on a sweep it fires only for the minimized failures.
+    let single_case = sweep.seeds.end.saturating_sub(sweep.seeds.start) == 1
+        && sweep.faults.len() == 1
+        && sweep.sites.len() == 1;
     for &fault in &sweep.faults {
         let mut fault_runs = 0u64;
         let mut fault_failures = 0u64;
         for &n_sites in &sweep.sites {
             for seed in sweep.seeds.clone() {
                 let case = Case { seed, fault, n_sites };
-                let report = run_case(case, sweep.requests, sweep.requests);
+                let (report, registry) = run_case(case, sweep.requests, sweep.requests);
                 fault_runs += 1;
                 if sweep.verbose {
                     println!(
@@ -272,6 +312,9 @@ fn main() -> ExitCode {
                         fault.name(),
                         if report.is_ok() { "ok" } else { "VIOLATION" }
                     );
+                }
+                if sweep.stats && single_case {
+                    print_stats(&registry);
                 }
                 if !report.is_ok() {
                     fault_failures += 1;
@@ -281,7 +324,8 @@ fn main() -> ExitCode {
                         sweep.requests
                     );
                     print!("{report}");
-                    let (min_requests, min_report) = minimize(case, sweep.requests);
+                    let (min_requests, min_report, min_registry) =
+                        minimize(case, sweep.requests);
                     println!(
                         "  minimal repro: --seeds {seed}..{} --faults {} --sites {n_sites} \
                          --requests {min_requests}",
@@ -289,6 +333,9 @@ fn main() -> ExitCode {
                         fault.name()
                     );
                     print!("{min_report}");
+                    if sweep.stats {
+                        print_stats(&min_registry);
+                    }
                 }
             }
         }

@@ -1,0 +1,353 @@
+//! `avdb-trace` — record and inspect causal telemetry of one run.
+//!
+//! ```text
+//! avdb-trace record [--transport sim|threads|tcp] [--sites N] [--seed N]
+//!                   [--requests N] [--out FILE]
+//! avdb-trace report FILE [--limit N]
+//! avdb-trace verify FILE
+//! ```
+//!
+//! * `record` drives one seeded workload through the chosen transport with
+//!   telemetry export enabled and writes the run as JSONL.
+//! * `report` renders per-update causal timelines, the latency breakdown
+//!   by protocol phase (checking → selecting → deciding → transfer →
+//!   commit), and message-amplification percentiles.
+//! * `verify` checks span-tree completeness: every committed update must
+//!   have a rooted tree with no orphan spans. Non-zero exit on failure.
+//!
+//! The same trace ids flow through all three transports, so a sim
+//! recording and a TCP recording of the same seed produce the same causal
+//! shapes (the integration suite asserts this).
+
+use avdb::core::{export_from_accelerators, Accelerator, DistributedSystem, Input};
+use avdb::simnet::{DetRng, LiveRunner, TcpMesh};
+use avdb::telemetry::analyze::{
+    amplification, percentile_sorted, phase_breakdown, phase_sort_key, render_timeline, verify,
+};
+use avdb::telemetry::{is_aux_trace, RunExport};
+use avdb::types::{
+    ProductId, SiteId, SystemConfig, UpdateOutcome, UpdateRequest, VirtualTime, Volume,
+};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const TICKS_PER_REQUEST: u64 = 4;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  avdb-trace record [--transport sim|threads|tcp] [--sites N] [--seed N] \
+         [--requests N] [--out FILE]\n  avdb-trace report FILE [--limit N]\n  \
+         avdb-trace verify FILE"
+    );
+    std::process::exit(2);
+}
+
+struct RecordArgs {
+    transport: String,
+    sites: usize,
+    seed: u64,
+    requests: usize,
+    out: Option<String>,
+}
+
+fn parse_record(mut args: std::env::Args) -> RecordArgs {
+    let mut rec = RecordArgs {
+        transport: "sim".to_string(),
+        sites: 4,
+        seed: 1,
+        requests: 40,
+        out: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |n: &str| args.next().unwrap_or_else(|| panic!("{n} needs a value"));
+        match flag.as_str() {
+            "--transport" => rec.transport = value("--transport"),
+            "--sites" => rec.sites = value("--sites").parse().unwrap_or_else(|_| usage()),
+            "--seed" => rec.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                rec.requests = value("--requests").parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => rec.out = Some(value("--out")),
+            _ => usage(),
+        }
+    }
+    if rec.sites == 0 || !["sim", "threads", "tcp"].contains(&rec.transport.as_str()) {
+        usage();
+    }
+    rec
+}
+
+/// The recording scenario: two AV-managed products plus one non-regular,
+/// so both the Delay and the Immediate path appear in the trace.
+fn config(sites: usize, seed: u64) -> SystemConfig {
+    SystemConfig::builder()
+        .sites(sites)
+        .regular_products(2, Volume(40 * sites as i64))
+        .non_regular_products(1, Volume(50))
+        .seed(seed)
+        .build()
+        .expect("trace config is valid")
+}
+
+/// Deterministic mixed workload over all products (same seed → same
+/// stream, whatever the transport).
+fn workload(cfg: &SystemConfig, requests: usize) -> Vec<(VirtualTime, UpdateRequest)> {
+    let mut rng = DetRng::new(cfg.seed).derive(0x7ACE);
+    (0..requests)
+        .map(|i| {
+            let site = SiteId(rng.gen_range(cfg.n_sites as u64) as u32);
+            let product = ProductId(rng.gen_range(3) as u32);
+            let delta = if rng.gen_f64() < 0.65 {
+                -rng.gen_i64_inclusive(1, 12)
+            } else {
+                rng.gen_i64_inclusive(1, 15)
+            };
+            (
+                VirtualTime(i as u64 * TICKS_PER_REQUEST),
+                UpdateRequest::new(site, product, Volume(delta)),
+            )
+        })
+        .collect()
+}
+
+fn record_sim(cfg: &SystemConfig, requests: usize) -> RunExport {
+    let schedule = workload(cfg, requests);
+    let mut sys = DistributedSystem::new(cfg.clone());
+    sys.enable_trace();
+    for (at, req) in &schedule {
+        sys.submit_at(*at, *req);
+    }
+    sys.run_until_quiescent();
+    for _ in 0..50 {
+        sys.flush_all();
+        sys.run_until_quiescent();
+        if sys.check_convergence().is_ok() {
+            break;
+        }
+    }
+    let outcomes = sys.drain_outcomes();
+    sys.export_telemetry(&outcomes)
+}
+
+/// The pump surface the two live transports share.
+trait Live {
+    fn inject(&self, site: SiteId, input: Input);
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)>;
+    fn finish(
+        self,
+    ) -> (Vec<Accelerator>, avdb::simnet::RegistrySnapshot, Vec<avdb::simnet::MessageEvent>);
+}
+
+impl Live for LiveRunner<Accelerator> {
+    fn inject(&self, site: SiteId, input: Input) {
+        LiveRunner::inject(self, site, input);
+    }
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+        self.drain_outputs()
+    }
+    fn finish(
+        self,
+    ) -> (Vec<Accelerator>, avdb::simnet::RegistrySnapshot, Vec<avdb::simnet::MessageEvent>) {
+        let messages = self.message_log().events().to_vec();
+        let (actors, counters, _) = self.shutdown();
+        (actors, counters.registry().snapshot(), messages)
+    }
+}
+
+impl Live for TcpMesh<Accelerator> {
+    fn inject(&self, site: SiteId, input: Input) {
+        TcpMesh::inject(self, site, input);
+    }
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+        self.drain_outputs()
+    }
+    fn finish(
+        self,
+    ) -> (Vec<Accelerator>, avdb::simnet::RegistrySnapshot, Vec<avdb::simnet::MessageEvent>) {
+        let messages = self.message_log().events().to_vec();
+        let (actors, counters, _) = self.shutdown();
+        (actors, counters.registry().snapshot(), messages)
+    }
+}
+
+fn record_live(transport: &str, cfg: &SystemConfig, requests: usize, mesh: impl Live) -> RunExport {
+    let schedule = workload(cfg, requests);
+    for (_, req) in &schedule {
+        mesh.inject(req.site, Input::Update(*req));
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut outcomes = Vec::new();
+    while outcomes.len() < requests && Instant::now() < deadline {
+        outcomes.extend(mesh.drain());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Anti-entropy rounds so replication (and its spans) settle too.
+    for _ in 0..3 {
+        for site in SiteId::all(cfg.n_sites) {
+            mesh.inject(site, Input::FlushPropagation);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    outcomes.extend(mesh.drain());
+    let (actors, network, messages) = mesh.finish();
+    export_from_accelerators(transport, cfg, &actors, &messages, network, &outcomes)
+}
+
+fn record(rec: RecordArgs) -> ExitCode {
+    let cfg = config(rec.sites, rec.seed);
+    let export = match rec.transport.as_str() {
+        "sim" => record_sim(&cfg, rec.requests),
+        "threads" => {
+            let actors: Vec<Accelerator> =
+                SiteId::all(cfg.n_sites).map(|s| Accelerator::new(s, &cfg)).collect();
+            record_live("threads", &cfg, rec.requests, LiveRunner::spawn(actors, cfg.seed))
+        }
+        "tcp" => {
+            let actors: Vec<Accelerator> =
+                SiteId::all(cfg.n_sites).map(|s| Accelerator::new(s, &cfg)).collect();
+            record_live("tcp", &cfg, rec.requests, TcpMesh::spawn(actors, cfg.seed))
+        }
+        _ => usage(),
+    };
+    let jsonl = export.to_jsonl();
+    match &rec.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("avdb-trace: write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "avdb-trace: recorded {} spans, {} outcomes ({} transport) to {path}",
+                export.spans.len(),
+                export.outcomes.len(),
+                rec.transport
+            );
+        }
+        None => print!("{jsonl}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<RunExport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    RunExport::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn report(path: &str, limit: usize) -> ExitCode {
+    let export = match load(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("avdb-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(meta) = &export.meta {
+        println!(
+            "run: transport={} sites={} seed={}",
+            meta.transport, meta.sites, meta.seed
+        );
+    }
+    println!(
+        "{} spans, {} messages, {} outcomes\n",
+        export.spans.len(),
+        export.messages.len(),
+        export.outcomes.len()
+    );
+
+    // Per-update causal timelines, in outcome order.
+    let mut shown = BTreeSet::new();
+    for outcome in &export.outcomes {
+        if shown.len() >= limit {
+            println!("... ({} more updates; raise --limit)", export.outcomes.len() - shown.len());
+            break;
+        }
+        if shown.insert(outcome.txn) {
+            let verdict = if outcome.committed { "committed" } else { "aborted" };
+            println!(
+                "update {:#x} at site{} — {verdict} ({} correspondences)",
+                outcome.txn, outcome.site, outcome.correspondences
+            );
+            print!("{}", render_timeline(&export, outcome.txn));
+        }
+    }
+
+    // Latency breakdown by protocol phase.
+    println!("\nphase breakdown (closed spans, update traces only):");
+    let phases = phase_breakdown(&export);
+    let mut names: Vec<&String> = phases.keys().collect();
+    names.sort_by_key(|n| phase_sort_key(n));
+    println!("  {:<12} {:>7} {:>10} {:>8}", "phase", "count", "mean", "max");
+    for name in names {
+        let s = &phases[name];
+        println!("  {:<12} {:>7} {:>10.2} {:>8}", name, s.count, s.mean(), s.max);
+    }
+
+    // Message amplification: correspondences per committed update.
+    let amp = amplification(&export);
+    println!("\ncorrespondences per committed update ({} commits):", amp.len());
+    for (label, p) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        println!("  {label}: {}", percentile_sorted(&amp, p));
+    }
+    println!("  max: {}", amp.last().copied().unwrap_or(0));
+
+    // Registry summary: network traffic by message kind.
+    if let Some(net) = export.registry("network") {
+        println!("\nnetwork messages by kind:");
+        for (kind, n) in net.counters.iter().filter_map(|(k, n)| {
+            k.strip_prefix("msg.kind.").map(|kind| (kind, n))
+        }) {
+            println!("  {kind:<16} {n}");
+        }
+    }
+    let aux = export.spans.iter().filter(|s| is_aux_trace(s.trace)).count();
+    println!("\n{} auxiliary (replication/push) spans", aux);
+    ExitCode::SUCCESS
+}
+
+fn verify_file(path: &str) -> ExitCode {
+    let export = match load(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("avdb-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = verify(&export);
+    print!("{report}");
+    if report.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    match args.next().as_deref() {
+        Some("record") => record(parse_record(args)),
+        Some("report") => {
+            let Some(path) = args.next() else { usage() };
+            let mut limit = 10;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--limit" => {
+                        limit = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            report(&path, limit)
+        }
+        Some("verify") => {
+            let Some(path) = args.next() else { usage() };
+            verify_file(&path)
+        }
+        _ => usage(),
+    }
+}

@@ -50,6 +50,8 @@ pub use avdb_baseline as baseline;
 pub use avdb_workload as workload;
 /// Correspondence accounting and reporting.
 pub use avdb_metrics as metrics;
+/// Causal tracing, metrics registries, and run exports.
+pub use avdb_telemetry as telemetry;
 /// Conformance oracle: sequential reference model + invariant checker.
 pub use avdb_oracle as oracle;
 /// Experiment harness reproducing the paper's evaluation.

@@ -3,10 +3,12 @@
 //! settle helpers — one copy instead of one per test file.
 #![allow(dead_code)]
 
-use avdb::core::{Accelerator, DistributedSystem, Input};
+use avdb::core::{export_from_accelerators, Accelerator, DistributedSystem, Input};
 use avdb::oracle::{Observation, SubmittedRequest};
 use avdb::prelude::*;
-use avdb::simnet::{CountersSnapshot, LiveRunner, TcpMesh};
+use avdb::simnet::{Counters, CountersSnapshot, LiveRunner, MessageLog, TcpMesh};
+use avdb::telemetry::RunExport;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// The pump surface the thread-mesh and TCP transports share.
@@ -15,6 +17,11 @@ pub trait Transport {
     fn inject(&self, site: SiteId, input: Input);
     /// Drains whatever outcomes have been produced so far.
     fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)>;
+    /// Shuts the mesh down and hands back the actors, network counters,
+    /// and message log — everything a telemetry export needs.
+    fn finish(self) -> (Vec<Accelerator>, Counters, MessageLog)
+    where
+        Self: Sized;
 }
 
 impl Transport for LiveRunner<Accelerator> {
@@ -23,6 +30,11 @@ impl Transport for LiveRunner<Accelerator> {
     }
     fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
         self.drain_outputs()
+    }
+    fn finish(self) -> (Vec<Accelerator>, Counters, MessageLog) {
+        let log = self.message_log();
+        let (actors, counters, _) = self.shutdown();
+        (actors, counters, log)
     }
 }
 
@@ -33,6 +45,72 @@ impl Transport for TcpMesh<Accelerator> {
     fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
         self.drain_outputs()
     }
+    fn finish(self) -> (Vec<Accelerator>, Counters, MessageLog) {
+        let log = self.message_log();
+        let (actors, counters, _) = self.shutdown();
+        (actors, counters, log)
+    }
+}
+
+/// Runs one update schedule through a live transport, settles, shuts
+/// down, and assembles the run's telemetry export.
+pub fn export_live<T: Transport>(
+    name: &str,
+    cfg: &SystemConfig,
+    mesh: T,
+    schedule: &[UpdateRequest],
+) -> RunExport {
+    for req in schedule {
+        mesh.inject(req.site, Input::Update(*req));
+    }
+    let mut outcomes = wait_for_outcomes(&mesh, schedule.len());
+    settle_live(&mesh, cfg.n_sites);
+    outcomes.extend(mesh.drain());
+    let (actors, counters, log) = mesh.finish();
+    export_from_accelerators(
+        name,
+        cfg,
+        &actors,
+        log.events(),
+        counters.registry().snapshot(),
+        &outcomes,
+    )
+}
+
+/// Runs one timed schedule through the deterministic simulator, settles,
+/// and assembles the run's telemetry export.
+pub fn export_sim(
+    cfg: &SystemConfig,
+    schedule: &[(VirtualTime, UpdateRequest)],
+) -> RunExport {
+    let mut sys = DistributedSystem::new(cfg.clone());
+    sys.enable_trace();
+    for (at, req) in schedule {
+        sys.submit_at(*at, *req);
+    }
+    sys.run_until_quiescent();
+    settle_sim(&mut sys);
+    let outcomes = sys.drain_outcomes();
+    sys.export_telemetry(&outcomes)
+}
+
+/// The causal *shape* of every update trace in an export: the sorted
+/// span-name multiset per trace (auxiliary replication traces excluded).
+/// Transports schedule differently, so span ids and times differ between
+/// runs — but for the same committed update, the set of phases recorded
+/// across all sites must not.
+pub fn trace_shapes(export: &RunExport) -> BTreeMap<u64, Vec<String>> {
+    let mut shapes: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for s in &export.spans {
+        if avdb::telemetry::is_aux_trace(s.trace) {
+            continue;
+        }
+        shapes.entry(s.trace).or_default().push(s.name.clone());
+    }
+    for names in shapes.values_mut() {
+        names.sort();
+    }
+    shapes
 }
 
 /// Records every injected update so the run can be replayed against the

@@ -91,6 +91,123 @@ fn checkpointed_system_reopens_from_small_logs() {
 }
 
 #[test]
+fn trace_ids_survive_crash_recovery_and_rereplication() {
+    // A site commits Delay updates locally (large batch keeps the deltas
+    // buffered), fail-stops, recovers from its durable replication
+    // buffer, and re-replicates. The re-sent deltas must carry the
+    // *original* transaction ids and commit-span ids, so the remote
+    // "apply" spans stitch into the pre-crash causal trees — no orphans,
+    // no fresh trace ids.
+    let cfg = SystemConfig::builder()
+        .sites(3)
+        .regular_products(1, Volume(300))
+        .propagation_batch(64)
+        .seed(21)
+        .build()
+        .unwrap();
+    let mut sys = DistributedSystem::new(cfg);
+    for i in 0..4u64 {
+        sys.submit_at(VirtualTime(i), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-5)));
+    }
+    sys.crash_at(VirtualTime(10), SiteId(1));
+    sys.recover_at(VirtualTime(30), SiteId(1));
+    sys.run_until_quiescent();
+    // Nothing propagated yet: the batch never filled and the crash hit
+    // before any flush.
+    assert_eq!(sys.stock(SiteId(0), ProductId(0)), sys.stock(SiteId(2), ProductId(0)));
+    assert_ne!(sys.stock(SiteId(0), ProductId(0)), sys.stock(SiteId(1), ProductId(0)));
+    sys.flush_all();
+    sys.run_until_quiescent();
+    sys.check_convergence().unwrap();
+    assert!(sys.accelerator(SiteId(1)).stats().recoveries > 0);
+
+    let outcomes = sys.drain_outcomes();
+    let committed: Vec<_> =
+        outcomes.iter().filter(|(_, _, o)| o.is_committed()).map(|(_, _, o)| o.txn()).collect();
+    assert_eq!(committed.len(), 4);
+
+    for txn in committed {
+        // The origin recorded the commit span before the crash...
+        let commit_span = sys
+            .accelerator(SiteId(1))
+            .spans()
+            .records()
+            .iter()
+            .find(|r| r.trace == txn.0 && r.name == "commit")
+            .expect("origin has a commit span")
+            .span;
+        // ...and every remote's post-recovery apply span points at it.
+        for site in [SiteId(0), SiteId(2)] {
+            let apply = sys
+                .accelerator(site)
+                .spans()
+                .records()
+                .iter()
+                .find(|r| r.trace == txn.0 && r.name == "apply")
+                .unwrap_or_else(|| panic!("{site} has an apply span for {txn}"));
+            assert_eq!(apply.parent, commit_span, "{site} apply stitches to the commit");
+        }
+    }
+    // The full oracle (including the new span-tree and registry
+    // invariants) agrees.
+    let submitted = (0..4u64)
+        .map(|i| {
+            avdb::oracle::SubmittedRequest::single(
+                VirtualTime(i),
+                &UpdateRequest::new(SiteId(1), ProductId(0), Volume(-5)),
+            )
+        })
+        .collect();
+    avdb::oracle::check(&avdb::oracle::Observation::from_system(&sys, submitted, outcomes))
+        .assert_ok("crash re-replication trace survival");
+}
+
+#[test]
+fn commit_spans_survive_disk_persist_and_reopen() {
+    use avdb::core::Accelerator;
+
+    // The WAL-backed variant of the same guarantee: the durable
+    // propagation buffer serializes each pending delta's transaction id
+    // (== trace id) and commit-span id, so a process death between commit
+    // and propagation reopens with the exact causal linkage it had.
+    let cfg = SystemConfig::builder()
+        .sites(3)
+        .regular_products(1, Volume(300))
+        .propagation_batch(64)
+        .seed(23)
+        .build()
+        .unwrap();
+    let mut sys = DistributedSystem::new(cfg.clone());
+    for i in 0..5u64 {
+        sys.submit_at(VirtualTime(i), UpdateRequest::new(SiteId(1), ProductId(0), Volume(-2)));
+    }
+    sys.run_until_quiescent();
+
+    let original: Vec<(u64, u64)> = sys
+        .accelerator(SiteId(1))
+        .replication_snapshot()
+        .log
+        .iter()
+        .map(|d| (d.txn.0, d.commit_span))
+        .collect();
+    assert_eq!(original.len(), 5, "all five deltas still buffered");
+    assert!(original.iter().all(|(_, span)| *span != 0), "every delta links its commit span");
+
+    let root = tempdir("trace");
+    let dir = root.join("site1");
+    sys.accelerator(SiteId(1)).persist_to_dir(&dir).unwrap();
+    let (reopened, _) = Accelerator::open_from_dir(&dir, &cfg).unwrap();
+    let back: Vec<(u64, u64)> = reopened
+        .replication_snapshot()
+        .log
+        .iter()
+        .map(|d| (d.txn.0, d.commit_span))
+        .collect();
+    assert_eq!(original, back, "trace linkage survives the disk round-trip");
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
 fn wal_truncated_mid_record_recovers_to_last_complete_record() {
     use avdb::core::Accelerator;
     use avdb::storage::persist::WAL_FILE;
