@@ -2,22 +2,35 @@
 
 //! # avdb-bench
 //!
-//! Criterion benchmark targets, one per experiment in DESIGN.md's
-//! per-experiment index. Every bench target first *regenerates and
-//! prints* its table or figure (the reproduction artifact), then times
-//! the experiment kernel so regressions in the simulator or protocol hot
-//! paths show up as bench deltas.
+//! The benchmark subsystem: a seeded, deterministic workload-matrix
+//! harness plus the criterion-style micro-benchmark targets.
 //!
-//! Run all of them with `cargo bench --workspace`; individual targets:
+//! The harness ([`matrix`] → [`run`] → [`report`]) expands a matrix of
+//! {transport, site count, delay/immediate mix, AV split, zipf skew,
+//! fault profile} cells into oracle-checked runs and distills each run's
+//! telemetry export into registry-sourced statistics: throughput, commit
+//! latency percentiles (p50/p95/p99), message amplification, and
+//! AV-shortage rates. The `avdb-bench` binary writes the results as
+//! machine-readable `results/BENCH_<label>.json` plus a human table:
 //!
 //! ```sh
-//! cargo bench -p avdb-bench --bench fig6
-//! cargo bench -p avdb-bench --bench table1
-//! cargo bench -p avdb-bench --bench ablations
-//! cargo bench -p avdb-bench --bench scaling
-//! cargo bench -p avdb-bench --bench mix
-//! cargo bench -p avdb-bench --bench micro
+//! cargo run --release --bin avdb-bench -- run --label local
+//! cargo run --release --bin avdb-bench -- compare \
+//!     results/BENCH_baseline.json results/BENCH_local.json
 //! ```
+//!
+//! Micro-benchmark targets (plain `harness = false` binaries, run with
+//! `cargo bench -p avdb-bench --bench <name>`): `fig6`, `table1`,
+//! `ablations`, `scaling`, `mix`, `micro`. Each regenerates and prints
+//! its paper artifact, then times the experiment kernel.
+
+pub mod matrix;
+pub mod report;
+pub mod run;
+
+pub use matrix::{FaultProfile, ScenarioSpec, TransportKind};
+pub use report::{BenchReport, Percentiles, ScenarioResult, ScenarioStats, WallStats};
+pub use run::{run_scenario, RunArtifacts};
 
 /// Updates used when a bench regenerates the printed artifact.
 pub const PRINT_UPDATES: usize = 2_000;

@@ -1,0 +1,281 @@
+//! The benchmark workload matrix: one [`ScenarioSpec`] per cell.
+//!
+//! A scenario pins everything a run needs to be reproducible — transport,
+//! topology, delay/immediate mix, AV split, popularity skew, fault
+//! profile, and seed — and knows how to expand itself into a validated
+//! [`SystemConfig`] plus a timed update schedule.
+
+use avdb_types::{AvAllocation, SystemConfig, UpdateRequest, VirtualTime, Volume};
+use avdb_workload::{scm_catalog, Popularity, UpdateStream, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Which substrate carries the protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum TransportKind {
+    /// Deterministic discrete-event simulator (virtual ticks).
+    Sim,
+    /// One OS thread per site, crossbeam channels, wall clock.
+    Threads,
+    /// One OS thread per site, loopback TCP sockets, wall clock.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Short name used in labels and the export's `meta.transport`.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Sim => "sim",
+            TransportKind::Threads => "threads",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parses the short name back (CLI flag values).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(TransportKind::Sim),
+            "threads" => Some(TransportKind::Threads),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// Fault injected while the scenario runs (simulator only — the live
+/// transports have no deterministic fault scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "kebab-case")]
+pub enum FaultProfile {
+    /// Reliable links, no crashes.
+    #[default]
+    Clean,
+    /// Every link drops 5% of messages (retries recover).
+    Loss,
+    /// The last site crashes a third of the way through the schedule and
+    /// recovers from its WAL at the two-thirds mark.
+    Crash,
+    /// The mesh splits into two halves for the middle third of the
+    /// schedule, then heals.
+    Partition,
+}
+
+impl FaultProfile {
+    /// Short name used in labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::Clean => "clean",
+            FaultProfile::Loss => "loss",
+            FaultProfile::Crash => "crash",
+            FaultProfile::Partition => "partition",
+        }
+    }
+
+    /// Parses the short name back (CLI flag values).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "clean" => Some(FaultProfile::Clean),
+            "loss" => Some(FaultProfile::Loss),
+            "crash" => Some(FaultProfile::Crash),
+            "partition" => Some(FaultProfile::Partition),
+            _ => None,
+        }
+    }
+}
+
+/// Message-drop probability used by [`FaultProfile::Loss`].
+pub const LOSS_DROP_PROBABILITY: f64 = 0.05;
+
+/// One cell of the benchmark matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Substrate to run on.
+    pub transport: TransportKind,
+    /// Number of sites (site 0 is the maker/base).
+    pub sites: usize,
+    /// Total updates across all sites.
+    pub updates: usize,
+    /// Regular products (Delay Update path).
+    pub regular_products: usize,
+    /// Non-regular products (Immediate Update path). The delay/immediate
+    /// mix follows from the catalog split because the workload generator
+    /// picks products by popularity.
+    pub non_regular_products: usize,
+    /// Initial stock (and total AV) per product.
+    pub initial_stock: i64,
+    /// How the AV is split across sites.
+    pub allocation: AvAllocation,
+    /// Zipf exponent for product popularity; `0` means uniform.
+    pub zipf_milli: u64,
+    /// Maker increment cap, percent of initial stock.
+    pub maker_pct: u32,
+    /// Retailer decrement cap, percent of initial stock.
+    pub retailer_pct: u32,
+    /// Commits batched per propagation flush (1 = eager).
+    pub propagation_batch: usize,
+    /// Fault injected mid-run (simulator only).
+    pub fault: FaultProfile,
+    /// Virtual ticks between consecutive submissions (simulator).
+    pub spacing: u64,
+    /// Workload + network seed.
+    pub seed: u64,
+    /// Live transports only: submit one update at a time, waiting for its
+    /// outcome before the next — the injection order (and therefore every
+    /// protocol-level counter) becomes scheduling-independent.
+    pub closed_loop: bool,
+}
+
+impl ScenarioSpec {
+    /// A paper-shaped default cell: 3 sites, uniform popularity, 25%
+    /// immediate traffic, clean links, eager propagation.
+    pub fn base() -> Self {
+        ScenarioSpec {
+            transport: TransportKind::Sim,
+            sites: 3,
+            updates: 300,
+            regular_products: 6,
+            non_regular_products: 2,
+            initial_stock: 120_000,
+            allocation: AvAllocation::Uniform,
+            zipf_milli: 0,
+            maker_pct: 20,
+            retailer_pct: 10,
+            propagation_batch: 1,
+            fault: FaultProfile::Clean,
+            spacing: 40,
+            seed: 1,
+            closed_loop: true,
+        }
+    }
+
+    /// Share of updates that land on non-regular (Immediate) products,
+    /// in permille, assuming uniform popularity.
+    pub fn immediate_permille(&self) -> u64 {
+        let total = (self.regular_products + self.non_regular_products) as u64;
+        (self.non_regular_products as u64 * 1000).checked_div(total).unwrap_or(0)
+    }
+
+    /// Stable human-readable identifier; doubles as the key the
+    /// regression gate uses to match scenarios across BENCH files.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-s{}-u{}-imm{}-{}-z{}-b{}-{}-seed{}",
+            self.transport.name(),
+            self.sites,
+            self.updates,
+            self.immediate_permille(),
+            allocation_name(self.allocation),
+            self.zipf_milli,
+            self.propagation_batch,
+            self.fault.name(),
+            self.seed,
+        )
+    }
+
+    /// Expands the cell into a validated system configuration.
+    pub fn config(&self) -> Result<SystemConfig, String> {
+        let mut b = SystemConfig::builder()
+            .sites(self.sites)
+            .regular_products(self.regular_products, Volume(self.initial_stock))
+            .non_regular_products(self.non_regular_products, Volume(self.initial_stock))
+            .av_allocation(self.allocation)
+            .propagation_batch(self.propagation_batch)
+            .seed(self.seed);
+        if self.fault == FaultProfile::Loss {
+            b = b.drop_probability(LOSS_DROP_PROBABILITY);
+        }
+        b.build().map_err(|e| format!("scenario {}: {e}", self.label()))
+    }
+
+    /// The scenario's timed update schedule (deterministic in the seed).
+    pub fn schedule(&self) -> Vec<(VirtualTime, UpdateRequest)> {
+        let catalog = scm_catalog(
+            self.regular_products,
+            self.non_regular_products,
+            Volume(self.initial_stock),
+        );
+        let spec = WorkloadSpec {
+            n_sites: self.sites,
+            n_updates: self.updates,
+            maker_increase_pct: self.maker_pct,
+            retailer_decrease_pct: self.retailer_pct,
+            popularity: if self.zipf_milli == 0 {
+                Popularity::Uniform
+            } else {
+                Popularity::Zipf(self.zipf_milli as f64 / 1000.0)
+            },
+            spacing: self.spacing,
+            seed: self.seed,
+        };
+        UpdateStream::new(spec, &catalog).collect_all()
+    }
+
+    /// The virtual-time span the schedule covers (last submission tick).
+    pub fn schedule_span(&self) -> u64 {
+        self.updates.saturating_sub(1) as u64 * self.spacing
+    }
+}
+
+/// Short name for an AV allocation policy, for labels.
+pub fn allocation_name(a: AvAllocation) -> &'static str {
+    match a {
+        AvAllocation::Uniform => "uniform",
+        AvAllocation::AllAtBase => "all-at-base",
+        AvAllocation::HalfAtBase => "half-at-base",
+        AvAllocation::Weighted => "weighted",
+    }
+}
+
+/// Parses an allocation short name (CLI flag values).
+pub fn parse_allocation(s: &str) -> Option<AvAllocation> {
+    match s {
+        "uniform" => Some(AvAllocation::Uniform),
+        "all-at-base" => Some(AvAllocation::AllAtBase),
+        "half-at-base" => Some(AvAllocation::HalfAtBase),
+        "weighted" => Some(AvAllocation::Weighted),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_is_stable_and_distinct() {
+        let a = ScenarioSpec::base();
+        let mut b = ScenarioSpec::base();
+        b.sites = 7;
+        assert_ne!(a.label(), b.label());
+        assert_eq!(a.label(), ScenarioSpec::base().label());
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let spec = ScenarioSpec::base();
+        assert_eq!(spec.schedule(), spec.schedule());
+        assert_eq!(spec.schedule().len(), spec.updates);
+    }
+
+    #[test]
+    fn config_builds_for_every_fault() {
+        for fault in [
+            FaultProfile::Clean,
+            FaultProfile::Loss,
+            FaultProfile::Crash,
+            FaultProfile::Partition,
+        ] {
+            let mut spec = ScenarioSpec::base();
+            spec.fault = fault;
+            spec.config().expect("valid config");
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ScenarioSpec::base();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec.label(), back.label());
+    }
+}

@@ -1,0 +1,393 @@
+//! BENCH report assembly: deterministic per-scenario statistics sourced
+//! from the telemetry registry, a machine-readable JSON envelope, a
+//! human-readable table, and the throughput regression gate.
+//!
+//! Every field in [`ScenarioStats`] is integer-valued and derived only
+//! from protocol-level telemetry, so for a fixed spec the deterministic
+//! half of the report is byte-identical across runs and machines.
+//! Wall-clock observations live in [`WallStats`], which
+//! [`BenchReport::deterministic_json`] zeroes out.
+
+use crate::matrix::ScenarioSpec;
+use avdb_telemetry::analyze::{amplification, commit_latencies, percentile_sorted};
+use avdb_telemetry::{RegistrySnapshot, RunExport};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Nearest-rank percentile summary of one metric. `mean_milli` is the
+/// mean scaled by 1000 and truncated, keeping the report integer-only.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean × 1000, truncated.
+    pub mean_milli: u64,
+}
+
+impl Percentiles {
+    /// Summarizes an ascending-sorted sample.
+    pub fn from_sorted(sorted: &[u64]) -> Self {
+        if sorted.is_empty() {
+            return Percentiles::default();
+        }
+        let sum: u64 = sorted.iter().sum();
+        Percentiles {
+            p50: percentile_sorted(sorted, 0.50),
+            p95: percentile_sorted(sorted, 0.95),
+            p99: percentile_sorted(sorted, 0.99),
+            max: *sorted.last().unwrap(),
+            mean_milli: sum * 1000 / sorted.len() as u64,
+        }
+    }
+}
+
+/// Network-substrate message accounting (simulator runs only — the live
+/// transports' totals include timing-dependent settle retransmissions,
+/// so theirs are reported in [`WallStats`] instead).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Every message the network carried.
+    pub total: u64,
+    /// Messages per committed update × 1000 (amplification including
+    /// asynchronous propagation traffic).
+    pub per_commit_milli: u64,
+    /// Per-kind totals (`av-request`, `propagate`, …), sorted by kind.
+    pub by_kind: BTreeMap<String, u64>,
+}
+
+/// Virtual-clock metrics, defined only on the simulator where the clock
+/// is part of the deterministic state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Tick of the last outcome (schedule start is tick 0).
+    pub makespan_ticks: u64,
+    /// Committed updates per million virtual ticks.
+    pub commits_per_mtick: u64,
+    /// Submission-to-outcome latency of committed updates, in ticks.
+    pub latency_ticks: Percentiles,
+    /// Message accounting over the whole run (updates + settle rounds).
+    pub messages: MessageStats,
+}
+
+/// The deterministic half of one scenario's results.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioStats {
+    /// Updates submitted.
+    pub submitted: u64,
+    /// Updates that committed.
+    pub committed: u64,
+    /// Updates that aborted.
+    pub aborted: u64,
+    /// Delay Updates fully covered by local AV (zero correspondences).
+    pub delay_commit_local: u64,
+    /// Delay Updates that needed at least one AV transfer round.
+    pub delay_commit_remote: u64,
+    /// Delay Updates aborted because the system-wide AV was insufficient.
+    pub delay_abort_insufficient: u64,
+    /// Individual AV-shortage episodes (one per transfer round entered).
+    pub delay_shortage_events: u64,
+    /// Delay Updates that hit a shortage (committed remotely or aborted)
+    /// per 1000 Delay Update attempts.
+    pub shortage_rate_permille: u64,
+    /// Immediate Updates committed.
+    pub imm_commit: u64,
+    /// Immediate Updates aborted.
+    pub imm_abort: u64,
+    /// Synchronous correspondences charged per committed update (the
+    /// paper's message-cost metric; propagation traffic excluded).
+    pub amplification: Percentiles,
+    /// Virtual-clock metrics (simulator runs only).
+    pub sim: Option<SimStats>,
+}
+
+/// Wall-clock observations — real but not reproducible byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Wall time from first submission to shutdown, in ms.
+    pub elapsed_ms: u64,
+    /// Committed updates per second × 1000.
+    pub commits_per_sec_milli: u64,
+    /// Submission-to-outcome latency in wall ms (live transports only;
+    /// the simulator's latency is reported in ticks under `sim`).
+    pub latency_ms: Option<Percentiles>,
+    /// Messages the substrate carried, including settle retransmissions.
+    pub messages_total: u64,
+}
+
+/// One matrix cell's spec plus everything measured while running it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// `spec.label()`, repeated for grep-ability of the JSON.
+    pub label: String,
+    /// The cell that was run.
+    pub spec: ScenarioSpec,
+    /// Deterministic, registry-sourced statistics.
+    pub stats: ScenarioStats,
+    /// Wall-clock statistics.
+    pub wall: WallStats,
+}
+
+/// A full `BENCH_<label>.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report label (`BENCH_<label>.json`).
+    pub label: String,
+    /// One entry per scenario run, in matrix order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Pretty JSON of the full report, wall-clock numbers included.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report back (regression gate input).
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("bad BENCH json: {e:?}"))
+    }
+
+    /// Pretty JSON with every wall-clock field zeroed: for a fixed spec
+    /// this string is byte-identical across runs, which the determinism
+    /// suite asserts.
+    pub fn deterministic_json(&self) -> String {
+        let mut clone = self.clone();
+        for s in &mut clone.scenarios {
+            s.wall = WallStats::default();
+        }
+        serde_json::to_string_pretty(&clone).expect("report serializes")
+    }
+
+    /// Renders the human-readable results table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("BENCH {}\n", self.label));
+        out.push_str(&format!(
+            "{:<44} {:>9} {:>12} {:>16} {:>11} {:>7} {:>9}\n",
+            "scenario", "ok/all", "throughput", "latency p50/p99", "amp p50/p99", "short\u{2030}", "msgs"
+        ));
+        for s in &self.scenarios {
+            let (thr, lat, msgs) = match &s.stats.sim {
+                Some(sim) => (
+                    format!("{}c/Mt", sim.commits_per_mtick),
+                    format!("{}/{}t", sim.latency_ticks.p50, sim.latency_ticks.p99),
+                    format!("{}", sim.messages.total),
+                ),
+                None => (
+                    format!("{}.{:03}c/s", s.wall.commits_per_sec_milli / 1000, s.wall.commits_per_sec_milli % 1000),
+                    match &s.wall.latency_ms {
+                        Some(l) => format!("{}/{}ms", l.p50, l.p99),
+                        None => "-".to_string(),
+                    },
+                    format!("{}", s.wall.messages_total),
+                ),
+            };
+            out.push_str(&format!(
+                "{:<44} {:>9} {:>12} {:>16} {:>11} {:>7} {:>9}\n",
+                s.label,
+                format!("{}/{}", s.stats.committed, s.stats.submitted),
+                thr,
+                lat,
+                format!("{}/{}", s.stats.amplification.p50, s.stats.amplification.p99),
+                s.stats.shortage_rate_permille,
+                msgs,
+            ));
+        }
+        out
+    }
+}
+
+/// Computes the deterministic statistics of one finished run from its
+/// telemetry export, plus the wall-clock sidecar.
+pub fn compute_stats(
+    spec: &ScenarioSpec,
+    export: &RunExport,
+    elapsed_ms: u64,
+) -> (ScenarioStats, WallStats) {
+    let sites = merged_site_registry(export);
+    let committed = export.outcomes.iter().filter(|o| o.committed).count() as u64;
+    let aborted = export.outcomes.len() as u64 - committed;
+
+    let delay_commit_local = sites.counter("delay.commit.local");
+    let delay_commit_remote = sites.counter("delay.commit.remote");
+    let delay_abort_insufficient = sites.counter("delay.abort.insufficient-av");
+    let delay_attempts = delay_commit_local + delay_commit_remote + delay_abort_insufficient;
+    let shortage_hits = delay_commit_remote + delay_abort_insufficient;
+    let shortage_rate_permille =
+        (shortage_hits * 1000).checked_div(delay_attempts).unwrap_or(0);
+    let delay_shortage_events =
+        sites.histograms.get("delay.shortage").map(|h| h.count).unwrap_or(0);
+
+    let amp = amplification(export);
+    let latencies = commit_latencies(export);
+
+    let is_sim = export.meta.as_ref().map(|m| m.transport == "sim").unwrap_or(false);
+    let sim = if is_sim {
+        let network = export.registry("network").cloned().unwrap_or_default();
+        let total = network.counter("msg.total");
+        let by_kind: BTreeMap<String, u64> = network
+            .counters
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix("msg.kind.").map(|kind| (kind.to_string(), *v)))
+            .collect();
+        let makespan = export.outcomes.iter().map(|o| o.at).max().unwrap_or(0);
+        SimStats {
+            makespan_ticks: makespan,
+            commits_per_mtick: (committed * 1_000_000).checked_div(makespan).unwrap_or(0),
+            latency_ticks: Percentiles::from_sorted(&latencies),
+            messages: MessageStats {
+                total,
+                per_commit_milli: (total * 1000).checked_div(committed).unwrap_or(0),
+                by_kind,
+            },
+        }
+        .into()
+    } else {
+        None
+    };
+
+    let stats = ScenarioStats {
+        submitted: spec.updates as u64,
+        committed,
+        aborted,
+        delay_commit_local,
+        delay_commit_remote,
+        delay_abort_insufficient,
+        delay_shortage_events,
+        shortage_rate_permille,
+        imm_commit: sites.counter("imm.commit"),
+        imm_abort: sites.counter("imm.abort"),
+        amplification: Percentiles::from_sorted(&amp),
+        sim,
+    };
+
+    let wall = WallStats {
+        elapsed_ms,
+        commits_per_sec_milli: (committed * 1_000_000).checked_div(elapsed_ms).unwrap_or(0),
+        latency_ms: if is_sim { None } else { Some(Percentiles::from_sorted(&latencies)) },
+        messages_total: export
+            .registry("network")
+            .map(|n| n.counter("msg.total"))
+            .unwrap_or(0),
+    };
+
+    (stats, wall)
+}
+
+/// Merges every per-site registry scope of an export into one snapshot.
+pub fn merged_site_registry(export: &RunExport) -> RegistrySnapshot {
+    let mut merged = RegistrySnapshot::default();
+    for line in &export.registries {
+        if line.scope.starts_with("site") {
+            merged.merge(&line.snapshot);
+        }
+    }
+    merged
+}
+
+/// Compares a fresh report against a committed baseline: every sim
+/// scenario present in both must retain at least
+/// `100 - max_regress_pct`% of the baseline's virtual-tick throughput.
+/// Returns human-readable comparison lines, or the list of violations.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    max_regress_pct: u64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut lines = Vec::new();
+    let mut violations = Vec::new();
+    let mut matched = 0usize;
+    for base in &baseline.scenarios {
+        let Some(base_sim) = &base.stats.sim else { continue };
+        let Some(cur) = current.scenarios.iter().find(|c| c.label == base.label) else {
+            violations.push(format!("scenario missing from current report: {}", base.label));
+            continue;
+        };
+        let Some(cur_sim) = &cur.stats.sim else {
+            violations.push(format!("scenario no longer ran on sim: {}", base.label));
+            continue;
+        };
+        matched += 1;
+        let floor = base_sim.commits_per_mtick * (100 - max_regress_pct.min(100)) / 100;
+        let verdict = if cur_sim.commits_per_mtick < floor { "REGRESSED" } else { "ok" };
+        let line = format!(
+            "{}: {} -> {} commits/Mtick (floor {}) {}",
+            base.label, base_sim.commits_per_mtick, cur_sim.commits_per_mtick, floor, verdict
+        );
+        if cur_sim.commits_per_mtick < floor {
+            violations.push(line);
+        } else {
+            lines.push(line);
+        }
+    }
+    if matched == 0 {
+        violations.push("no sim scenarios matched between baseline and current".to_string());
+    }
+    if violations.is_empty() {
+        Ok(lines)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioSpec;
+
+    fn report_with(label: &str, thr: u64) -> BenchReport {
+        let spec = ScenarioSpec::base();
+        BenchReport {
+            label: "t".to_string(),
+            scenarios: vec![ScenarioResult {
+                label: label.to_string(),
+                spec,
+                stats: ScenarioStats {
+                    sim: Some(SimStats { commits_per_mtick: thr, ..Default::default() }),
+                    ..Default::default()
+                },
+                wall: WallStats::default(),
+            }],
+        }
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::from_sorted(&[1, 2, 3, 4, 100]);
+        assert_eq!(p.p50, 3);
+        assert_eq!(p.max, 100);
+        assert_eq!(p.mean_milli, 22_000);
+        assert_eq!(Percentiles::from_sorted(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn compare_gates_on_throughput() {
+        let base = report_with("cell", 1000);
+        assert!(compare(&base, &report_with("cell", 800), 25).is_ok());
+        assert!(compare(&base, &report_with("cell", 700), 25).is_err());
+        assert!(compare(&base, &report_with("other", 1000), 25).is_err());
+    }
+
+    #[test]
+    fn deterministic_json_zeroes_wall() {
+        let mut a = report_with("cell", 1000);
+        let mut b = report_with("cell", 1000);
+        a.scenarios[0].wall.elapsed_ms = 123;
+        b.scenarios[0].wall.elapsed_ms = 456;
+        assert_ne!(a.to_json(), b.to_json());
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let rep = report_with("cell", 42);
+        let back = BenchReport::from_json(&rep.to_json()).unwrap();
+        assert_eq!(back.scenarios[0].stats.sim.as_ref().unwrap().commits_per_mtick, 42);
+    }
+}

@@ -1,0 +1,262 @@
+//! Executes one [`ScenarioSpec`] end to end: build the system, feed the
+//! schedule, inject the fault, settle, run the conformance oracle, and
+//! distill the telemetry export into a [`ScenarioResult`].
+//!
+//! Every run — benchmark or not — is oracle-checked. A scenario that
+//! violates a protocol invariant returns `Err` instead of numbers, so
+//! the perf trajectory can never be bought with correctness.
+
+use crate::matrix::{FaultProfile, ScenarioSpec, TransportKind};
+use crate::report::{compute_stats, ScenarioResult};
+use avdb_core::{Accelerator, DistributedSystem, Input};
+use avdb_oracle::{check, Observation, SubmittedRequest};
+use avdb_simnet::{Counters, LinkFilter, LiveRunner, MessageLog, TcpMesh};
+use avdb_telemetry::RunExport;
+use avdb_types::{SiteId, SystemConfig, UpdateOutcome, VirtualTime};
+use std::time::{Duration, Instant};
+
+/// A finished scenario: the distilled result plus the raw export for
+/// callers that want to drill further (tests, avdb-trace style reports).
+pub struct RunArtifacts {
+    /// Stats + wall clock, ready for a [`crate::report::BenchReport`].
+    pub result: ScenarioResult,
+    /// The run's full telemetry export.
+    pub export: RunExport,
+}
+
+/// Runs one scenario to completion. `Err` means the scenario could not
+/// run (bad config, unsupported transport/fault combination, timeout) or
+/// failed the conformance oracle.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
+    match spec.transport {
+        TransportKind::Sim => run_sim(spec),
+        TransportKind::Threads | TransportKind::Tcp => run_live(spec),
+    }
+}
+
+fn finish(
+    spec: &ScenarioSpec,
+    export: RunExport,
+    elapsed_ms: u64,
+) -> Result<RunArtifacts, String> {
+    let (stats, wall) = compute_stats(spec, &export, elapsed_ms);
+    let result = ScenarioResult { label: spec.label(), spec: spec.clone(), stats, wall };
+    Ok(RunArtifacts { result, export })
+}
+
+// ---- simulator ---------------------------------------------------------
+
+fn run_sim(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
+    let cfg = spec.config()?;
+    let schedule = spec.schedule();
+    let started = Instant::now();
+
+    let mut sys = DistributedSystem::new(cfg);
+    sys.enable_trace();
+    let mut submitted = Vec::with_capacity(schedule.len());
+    for (at, req) in &schedule {
+        submitted.push(SubmittedRequest::single(*at, req));
+        sys.submit_at(*at, *req);
+    }
+
+    let span = spec.schedule_span().max(1);
+    match spec.fault {
+        FaultProfile::Clean | FaultProfile::Loss => sys.run_until_quiescent(),
+        FaultProfile::Crash => {
+            let victim = SiteId(spec.sites as u32 - 1);
+            sys.crash_at(VirtualTime(span / 3), victim);
+            sys.recover_at(VirtualTime(span * 2 / 3), victim);
+            sys.run_until_quiescent();
+        }
+        FaultProfile::Partition => {
+            let half = spec.sites / 2;
+            let groups = vec![
+                SiteId::all(spec.sites).take(half).collect::<Vec<_>>(),
+                SiteId::all(spec.sites).skip(half).collect::<Vec<_>>(),
+            ];
+            sys.run_until(VirtualTime(span / 3));
+            sys.set_partition(LinkFilter::partition(groups));
+            sys.run_until(VirtualTime(span * 2 / 3));
+            sys.heal_partition();
+            sys.run_until_quiescent();
+        }
+    }
+
+    // Anti-entropy until replicas agree; retries cover lossy links.
+    for _ in 0..50 {
+        sys.flush_all();
+        sys.run_until_quiescent();
+        if sys.check_convergence().is_ok() {
+            break;
+        }
+    }
+    sys.check_convergence().map_err(|e| format!("{}: no convergence: {e}", spec.label()))?;
+
+    let outcomes = sys.drain_outcomes();
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+
+    let report = check(&Observation::from_system(&sys, submitted, outcomes.clone()));
+    if !report.is_ok() {
+        return Err(format!("{}: oracle violations: {report}", spec.label()));
+    }
+
+    finish(spec, sys.export_telemetry(&outcomes), elapsed_ms)
+}
+
+// ---- live transports ---------------------------------------------------
+
+/// The pump surface the thread-mesh and TCP transports share.
+trait Live {
+    fn inject(&self, site: SiteId, input: Input);
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)>;
+    fn finish(self) -> (Vec<Accelerator>, Counters, MessageLog);
+}
+
+impl Live for LiveRunner<Accelerator> {
+    fn inject(&self, site: SiteId, input: Input) {
+        LiveRunner::inject(self, site, input);
+    }
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+        self.drain_outputs()
+    }
+    fn finish(self) -> (Vec<Accelerator>, Counters, MessageLog) {
+        let log = self.message_log();
+        let (actors, counters, _) = self.shutdown();
+        (actors, counters, log)
+    }
+}
+
+impl Live for TcpMesh<Accelerator> {
+    fn inject(&self, site: SiteId, input: Input) {
+        TcpMesh::inject(self, site, input);
+    }
+    fn drain(&self) -> Vec<(VirtualTime, SiteId, UpdateOutcome)> {
+        self.drain_outputs()
+    }
+    fn finish(self) -> (Vec<Accelerator>, Counters, MessageLog) {
+        let log = self.message_log();
+        let (actors, counters, _) = self.shutdown();
+        (actors, counters, log)
+    }
+}
+
+fn run_live(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
+    if spec.fault != FaultProfile::Clean {
+        return Err(format!(
+            "{}: fault '{}' needs the deterministic scheduler; run it on sim",
+            spec.label(),
+            spec.fault.name()
+        ));
+    }
+    let cfg = spec.config()?;
+    let actors: Vec<Accelerator> =
+        SiteId::all(spec.sites).map(|s| Accelerator::new(s, &cfg)).collect();
+    match spec.transport {
+        TransportKind::Threads => drive_live(spec, &cfg, LiveRunner::spawn(actors, cfg.seed)),
+        TransportKind::Tcp => drive_live(spec, &cfg, TcpMesh::spawn(actors, cfg.seed)),
+        TransportKind::Sim => unreachable!("sim handled by run_sim"),
+    }
+}
+
+fn drive_live<T: Live>(
+    spec: &ScenarioSpec,
+    cfg: &SystemConfig,
+    mesh: T,
+) -> Result<RunArtifacts, String> {
+    let schedule = spec.schedule();
+    let started = Instant::now();
+    let mut submitted = Vec::with_capacity(schedule.len());
+    let mut outcomes = Vec::with_capacity(schedule.len());
+    let deadline = Instant::now() + Duration::from_secs(60);
+
+    // Live runs have no virtual clock; a global injection counter stands
+    // in (the oracle only needs per-site injection order).
+    for (label, (_, req)) in schedule.iter().enumerate() {
+        submitted.push(SubmittedRequest::single(VirtualTime(label as u64), req));
+        mesh.inject(req.site, Input::Update(*req));
+        if spec.closed_loop {
+            // One update in flight at a time: protocol-level counters
+            // become independent of thread scheduling.
+            while outcomes.len() <= label {
+                if Instant::now() > deadline {
+                    return Err(format!(
+                        "{}: timed out at {}/{} outcomes",
+                        spec.label(),
+                        outcomes.len(),
+                        schedule.len()
+                    ));
+                }
+                outcomes.extend(mesh.drain());
+                std::thread::yield_now();
+            }
+        }
+    }
+    while outcomes.len() < schedule.len() {
+        if Instant::now() > deadline {
+            return Err(format!(
+                "{}: timed out at {}/{} outcomes",
+                spec.label(),
+                outcomes.len(),
+                schedule.len()
+            ));
+        }
+        outcomes.extend(mesh.drain());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let elapsed_ms = (started.elapsed().as_millis() as u64).max(1);
+
+    // Settle: a few anti-entropy rounds with real time for the acks.
+    for _ in 0..3 {
+        for site in SiteId::all(spec.sites) {
+            mesh.inject(site, Input::FlushPropagation);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    outcomes.extend(mesh.drain());
+
+    let (actors, counters, log) = mesh.finish();
+    let report = check(&Observation::from_accelerators(
+        cfg.clone(),
+        &actors,
+        submitted,
+        outcomes.clone(),
+        counters.snapshot(),
+    ));
+    if !report.is_ok() {
+        return Err(format!("{}: oracle violations: {report}", spec.label()));
+    }
+
+    let export = avdb_core::export_from_accelerators(
+        spec.transport.name(),
+        cfg,
+        &actors,
+        log.events(),
+        counters.registry().snapshot(),
+        &outcomes,
+    );
+    finish(spec, export, elapsed_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioSpec;
+
+    #[test]
+    fn sim_scenario_runs_green() {
+        let mut spec = ScenarioSpec::base();
+        spec.updates = 40;
+        let arts = run_scenario(&spec).expect("sim run");
+        assert_eq!(arts.result.stats.submitted, 40);
+        assert!(arts.result.stats.committed > 0);
+        assert!(arts.result.stats.sim.is_some());
+    }
+
+    #[test]
+    fn live_fault_is_rejected() {
+        let mut spec = ScenarioSpec::base();
+        spec.transport = TransportKind::Threads;
+        spec.fault = FaultProfile::Loss;
+        assert!(run_scenario(&spec).is_err());
+    }
+}

@@ -8,7 +8,7 @@ use avdb_escrow::{
     make_decide, make_select, AvTable, DecideStrategy, PeerKnowledge, SelectStrategy,
     TransferLedger, TransferRecord,
 };
-use avdb_simnet::{Actor, Ctx, MsgInfo};
+use avdb_simnet::{Actor, Ctx};
 use avdb_storage::{LocalDb, LockMode};
 use avdb_telemetry::{aux_trace_id, Registry, SpanCollector, TraceContext};
 use avdb_types::{
@@ -151,6 +151,10 @@ struct PendingImm {
     votes: BTreeMap<SiteId, bool>,
     decided: Option<bool>,
     correspondences: u64,
+    /// Product / delta of the update, kept so the decision message can
+    /// repeat them (retransmitted decisions must be self-contained).
+    product: ProductId,
+    delta: Volume,
     /// Telemetry: the update's root span.
     root_span: u64,
     /// Telemetry: the open "prepare" span (vote collection).
@@ -176,7 +180,33 @@ enum TimerKind {
     /// Coordinator: give up waiting for the base site's completion ack
     /// (base crashed between vote and done; the commit already happened).
     ImmCompletion(TxnId),
+    /// Coordinator: resend a commit decision to participants whose Done
+    /// has not arrived yet.
+    ImmRetransmit(TxnId),
 }
+
+/// A commit decision the coordinator keeps retransmitting until every
+/// participant has acknowledged it. Without this, one lost commit
+/// decision strands a presumed-abort participant on a divergent replica
+/// — the classic 2PC hole — and the replication layer cannot repair it
+/// because Immediate deltas never enter the propagation log.
+#[derive(Debug)]
+struct RetransmitImm {
+    product: ProductId,
+    delta: Volume,
+    /// Participants whose Done has not arrived yet.
+    missing: BTreeSet<SiteId>,
+    /// Retransmission rounds left before giving up, so a peer that is
+    /// gone for good cannot keep the run from quiescing.
+    attempts_left: u32,
+    /// Telemetry: spans retransmissions are attributed to.
+    decide_span: u64,
+    root_span: u64,
+}
+
+/// Retransmission rounds a coordinator attempts before presuming the
+/// silent participant permanently dead.
+const IMM_RETRANSMIT_ATTEMPTS: u32 = 8;
 
 /// One site's accelerator (see crate docs for the protocol overview).
 pub struct Accelerator {
@@ -196,6 +226,14 @@ pub struct Accelerator {
     pending_imm: HashMap<TxnId, PendingImm>,
     /// Remote Immediate txns this site has prepared (participant role).
     prepared_remote: BTreeSet<TxnId>,
+    /// Coordinator role: commit decisions not yet acknowledged by every
+    /// participant, retransmitted on a timer (see [`RetransmitImm`]).
+    retransmit_imm: HashMap<TxnId, RetransmitImm>,
+    /// Participant role: Immediate txns whose decision this site already
+    /// executed, so duplicate retransmissions are acknowledged without
+    /// re-applying. Durable in this model — it is derivable from the
+    /// WAL's committed/aborted txn ids, so it survives crashes.
+    imm_finished: BTreeSet<TxnId>,
     /// Armed timers by token.
     timers: HashMap<u64, TimerKind>,
     next_timer: u64,
@@ -218,6 +256,10 @@ pub struct Accelerator {
     /// Sequence for auxiliary (non-update) trace ids: replication batches
     /// and proactive pushes root their own small trees.
     aux_seq: u64,
+    /// Scratch buffer for peer fan-outs — reused so the per-update hot
+    /// paths (propagation, Immediate prepare/decide) never allocate a
+    /// fresh peer list.
+    peer_scratch: Vec<SiteId>,
 }
 
 impl Accelerator {
@@ -248,6 +290,8 @@ impl Accelerator {
             pending_delay: HashMap::new(),
             pending_imm: HashMap::new(),
             prepared_remote: BTreeSet::new(),
+            retransmit_imm: HashMap::new(),
+            imm_finished: BTreeSet::new(),
             timers: HashMap::new(),
             next_timer: 0,
             repl: ReplicationState::new(me, cfg.n_sites),
@@ -256,6 +300,7 @@ impl Accelerator {
             registry: Registry::new(),
             clock: 0,
             aux_seq: 0,
+            peer_scratch: Vec::new(),
         }
     }
 
@@ -311,6 +356,7 @@ impl Accelerator {
         self.pending_delay.is_empty()
             && self.pending_imm.is_empty()
             && self.prepared_remote.is_empty()
+            && self.retransmit_imm.is_empty()
     }
 
     /// Committed Delay deltas retained in the replication log (not yet
@@ -367,6 +413,8 @@ impl Accelerator {
             pending_delay: HashMap::new(),
             pending_imm: HashMap::new(),
             prepared_remote: BTreeSet::new(),
+            retransmit_imm: HashMap::new(),
+            imm_finished: BTreeSet::new(),
             timers: HashMap::new(),
             next_timer: 0,
             repl: ReplicationState::from_snapshot(&snap.replication),
@@ -375,6 +423,7 @@ impl Accelerator {
             registry: Registry::new(),
             clock: 0,
             aux_seq: 0,
+            peer_scratch: Vec::new(),
         }
     }
 
@@ -388,6 +437,19 @@ impl Accelerator {
 
     fn peers(&self) -> impl Iterator<Item = SiteId> + '_ {
         SiteId::all(self.cfg.n_sites).filter(move |s| *s != self.me)
+    }
+
+    /// Borrows the reusable peer list for a fan-out loop that needs
+    /// `&mut self` in its body; hand it back with [`Self::put_peers`].
+    fn take_peers(&mut self) -> Vec<SiteId> {
+        let mut peers = std::mem::take(&mut self.peer_scratch);
+        peers.clear();
+        peers.extend(self.peers());
+        peers
+    }
+
+    fn put_peers(&mut self, peers: Vec<SiteId>) {
+        self.peer_scratch = peers;
     }
 
     fn arm_timer(&mut self, ctx: &mut ACtx<'_>, delay: u64, kind: TimerKind) {
@@ -411,7 +473,7 @@ impl Accelerator {
     /// even on lossy runs.
     fn send_traced(&mut self, ctx: &mut ACtx<'_>, to: SiteId, trace: u64, parent: u64, msg: Msg) {
         let clock = self.tick();
-        self.registry.inc(&format!("msg.sent.{}", msg.kind()));
+        self.registry.inc(msg.sent_counter_key());
         ctx.send(to, TracedMsg { ctx: Some(TraceContext::child(trace, parent, clock)), msg });
     }
 
@@ -419,7 +481,7 @@ impl Accelerator {
     /// still counting it in the registry.
     fn send_plain(&mut self, ctx: &mut ACtx<'_>, to: SiteId, msg: Msg) {
         self.tick();
-        self.registry.inc(&format!("msg.sent.{}", msg.kind()));
+        self.registry.inc(msg.sent_counter_key());
         ctx.send(to, TracedMsg::plain(msg));
     }
 
@@ -479,21 +541,28 @@ impl Accelerator {
         self.repl.record(PropagateDelta { txn, product, delta, commit_span });
         self.arm_anti_entropy(ctx);
         let batch = self.cfg.propagation_batch;
-        for peer in self.peers().collect::<Vec<_>>() {
+        if !self.repl.batch_ready(batch) {
+            return;
+        }
+        let peers = self.take_peers();
+        for &peer in &peers {
             if let Some((offset, deltas)) = self.repl.take_batch(peer, batch) {
                 self.send_propagate(ctx, peer, offset, deltas);
             }
         }
+        self.put_peers(peers);
     }
 
     /// Explicit flush: retransmit everything a peer has not acknowledged
     /// (end-of-run convergence, post-crash anti-entropy).
     fn flush_propagation(&mut self, ctx: &mut ACtx<'_>) {
-        for peer in self.peers().collect::<Vec<_>>() {
+        let peers = self.take_peers();
+        for &peer in &peers {
             if let Some((offset, deltas)) = self.repl.take_all_unacked(peer) {
                 self.send_propagate(ctx, peer, offset, deltas);
             }
         }
+        self.put_peers(peers);
     }
 
     /// Sends one propagation batch under a fresh auxiliary trace whose
@@ -1033,7 +1102,8 @@ impl Accelerator {
         let prepare_span =
             self.spans.start(txn.0, root_span, "prepare", ctx.now(), clock);
         let mut correspondences = 0;
-        for peer in self.peers().collect::<Vec<_>>() {
+        let peers = self.take_peers();
+        for &peer in &peers {
             self.send_traced(
                 ctx,
                 peer,
@@ -1043,12 +1113,15 @@ impl Accelerator {
             );
             correspondences += 1;
         }
+        self.put_peers(peers);
         self.pending_imm.insert(
             txn,
             PendingImm {
                 votes: BTreeMap::new(),
                 decided: None,
                 correspondences,
+                product: req.product,
+                delta: req.delta,
                 root_span,
                 prepare_span,
                 decide_span: None,
@@ -1126,13 +1199,17 @@ impl Accelerator {
         commit: bool,
         abort_reason: AbortReason,
     ) {
-        let peers: Vec<SiteId> = self.peers().collect();
-        let Some(pending) = self.pending_imm.get_mut(&txn) else { return };
+        let peers = self.take_peers();
+        let Some(pending) = self.pending_imm.get_mut(&txn) else {
+            self.put_peers(peers);
+            return;
+        };
         pending.decided = Some(commit);
         pending.correspondences += peers.len() as u64;
         let root_span = pending.root_span;
         let prepare_span = pending.prepare_span;
         let correspondences = pending.correspondences;
+        let (product, delta) = (pending.product, pending.delta);
         self.spans.end(prepare_span, ctx.now());
         let clock = self.tick();
         let decide_span = self.spans.start_with(
@@ -1146,9 +1223,36 @@ impl Accelerator {
         if let Some(pending) = self.pending_imm.get_mut(&txn) {
             pending.decide_span = Some(decide_span);
         }
-        for peer in peers {
-            self.send_traced(ctx, peer, txn.0, decide_span, Msg::ImmDecision { txn, commit });
+        for &peer in &peers {
+            self.send_traced(
+                ctx,
+                peer,
+                txn.0,
+                decide_span,
+                Msg::ImmDecision { txn, commit, product, delta },
+            );
         }
+        if commit && !peers.is_empty() {
+            // A lost commit decision must not strand a participant: keep
+            // the decision until every participant acknowledges it,
+            // resending on a timer. Abort decisions need no such care —
+            // a participant that never hears one aborts unilaterally,
+            // which is the same outcome.
+            self.retransmit_imm.insert(
+                txn,
+                RetransmitImm {
+                    product,
+                    delta,
+                    missing: peers.iter().copied().collect(),
+                    attempts_left: IMM_RETRANSMIT_ATTEMPTS,
+                    decide_span,
+                    root_span,
+                },
+            );
+            let timeout = self.cfg.imm_vote_timeout;
+            self.arm_timer(ctx, timeout, TimerKind::ImmRetransmit(txn));
+        }
+        self.put_peers(peers);
         if commit {
             self.db.commit(txn).expect("txn active");
             self.stats.imm_commits += 1;
@@ -1217,6 +1321,7 @@ impl Accelerator {
         );
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the ImmDecision wire fields
     fn on_imm_decision(
         &mut self,
         ctx: &mut ACtx<'_>,
@@ -1224,13 +1329,62 @@ impl Accelerator {
         incoming: Option<TraceContext>,
         txn: TxnId,
         commit: bool,
+        product: ProductId,
+        delta: Volume,
     ) {
         let known = self.prepared_remote.remove(&txn);
+        let mut detail = if known {
+            format!("commit={commit}")
+        } else {
+            "unknown txn".to_string()
+        };
         if known {
             if commit {
                 self.db.commit(txn).expect("prepared txn");
             } else {
                 self.db.rollback(txn).expect("prepared txn");
+            }
+            self.imm_finished.insert(txn);
+        } else if self.imm_finished.contains(&txn) {
+            // Duplicate retransmission of a decision this site already
+            // executed: just re-acknowledge.
+            detail = "duplicate decision".to_string();
+        } else if commit {
+            // A commit decision for a txn this site no longer holds
+            // prepared: the participant timed out and unilaterally
+            // aborted (or crashed and lost the prepared state). The
+            // decision carries the write, so execute it now — this is
+            // what makes the decision round loss-tolerant.
+            let applied = self
+                .db
+                .begin(txn)
+                .and_then(|()| self.db.lock(txn, product, LockMode::Exclusive))
+                .and_then(|()| self.db.apply(txn, product, delta).map(|_| ()))
+                .and_then(|()| self.db.commit(txn).map(|_| ()));
+            match applied {
+                Ok(()) => {
+                    self.imm_finished.insert(txn);
+                    self.registry.inc("imm.reapplied");
+                    detail = "re-applied after unilateral abort".to_string();
+                }
+                Err(_) => {
+                    // Likely a lock conflict with another prepared txn.
+                    // Do not acknowledge: the coordinator will retransmit
+                    // and a later attempt will find the lock free.
+                    if self.db.txn_state(txn).is_some() {
+                        let _ = self.db.rollback(txn);
+                    }
+                    let clock = self.tick();
+                    self.spans.instant_with(
+                        incoming.map(|c| c.trace_id).unwrap_or(txn.0),
+                        incoming.map(|c| c.parent_span).unwrap_or(0),
+                        "imm-apply",
+                        ctx.now(),
+                        clock,
+                        "re-apply deferred".to_string(),
+                    );
+                    return;
+                }
             }
         }
         let clock = self.tick();
@@ -1240,14 +1394,22 @@ impl Accelerator {
             "imm-apply",
             ctx.now(),
             clock,
-            if known { format!("commit={commit}") } else { "unknown txn".to_string() },
+            detail,
         );
-        // Unknown txn (post-crash, or already timed out and unilaterally
-        // aborted): still acknowledge so the coordinator can finish.
+        // Even an unknown abort decision is acknowledged so the
+        // coordinator can finish.
         self.reply_along(ctx, from, incoming, span, Msg::ImmDone { txn });
     }
 
     fn on_imm_done(&mut self, ctx: &mut ACtx<'_>, from: SiteId, txn: TxnId) {
+        // Retransmission bookkeeping first: this Done may be the ack of a
+        // resent decision long after the outcome was reported.
+        if let Some(entry) = self.retransmit_imm.get_mut(&txn) {
+            entry.missing.remove(&from);
+            if entry.missing.is_empty() {
+                self.retransmit_imm.remove(&txn);
+            }
+        }
         if !self.pending_imm.contains_key(&txn) {
             return;
         }
@@ -1304,10 +1466,40 @@ impl Accelerator {
 
     fn on_participant_timeout(&mut self, txn: TxnId) {
         // Presumed abort: the decision never arrived (coordinator crashed
-        // or unreachable); release the lock and undo.
+        // or unreachable); release the lock and undo. If the decision was
+        // a commit and merely lost, its retransmission re-applies the
+        // write (see `on_imm_decision`), so this stays safe under loss.
         if self.prepared_remote.remove(&txn) {
             let _ = self.db.rollback(txn);
         }
+    }
+
+    /// Resends a commit decision to every participant that has not
+    /// acknowledged it yet, then re-arms the timer. Attempts are bounded
+    /// so a permanently dead peer cannot hold the run open forever.
+    fn on_imm_retransmit(&mut self, ctx: &mut ACtx<'_>, txn: TxnId) {
+        let Some(entry) = self.retransmit_imm.get_mut(&txn) else { return };
+        if entry.attempts_left == 0 {
+            let root_span = entry.root_span;
+            self.retransmit_imm.remove(&txn);
+            self.spans.note(root_span, "gave up retransmitting decision");
+            return;
+        }
+        entry.attempts_left -= 1;
+        let (product, delta, decide_span) = (entry.product, entry.delta, entry.decide_span);
+        let missing: Vec<SiteId> = entry.missing.iter().copied().collect();
+        self.registry.add("imm.decision-retransmits", missing.len() as u64);
+        for peer in missing {
+            self.send_traced(
+                ctx,
+                peer,
+                txn.0,
+                decide_span,
+                Msg::ImmDecision { txn, commit: true, product, delta },
+            );
+        }
+        let timeout = self.cfg.imm_vote_timeout;
+        self.arm_timer(ctx, timeout, TimerKind::ImmRetransmit(txn));
     }
 }
 
@@ -1432,7 +1624,7 @@ impl Actor for Accelerator {
             self.clock = self.clock.max(c.clock);
         }
         self.clock += 1;
-        self.registry.inc(&format!("msg.recv.{}", msg.kind()));
+        self.registry.inc(msg.recv_counter_key());
         match msg {
             Msg::AvRequest { txn, product, amount, requester_av } => {
                 self.on_av_request(ctx, from, incoming, txn, product, amount, requester_av)
@@ -1522,8 +1714,8 @@ impl Actor for Accelerator {
                 self.on_imm_prepare(ctx, from, incoming, txn, product, delta)
             }
             Msg::ImmVote { txn, ready } => self.on_imm_vote(ctx, from, txn, ready),
-            Msg::ImmDecision { txn, commit } => {
-                self.on_imm_decision(ctx, from, incoming, txn, commit)
+            Msg::ImmDecision { txn, commit, product, delta } => {
+                self.on_imm_decision(ctx, from, incoming, txn, commit, product, delta)
             }
             Msg::ImmDone { txn } => self.on_imm_done(ctx, from, txn),
         }
@@ -1543,6 +1735,7 @@ impl Actor for Accelerator {
                     self.arm_anti_entropy(ctx);
                 }
             }
+            Some(TimerKind::ImmRetransmit(txn)) => self.on_imm_retransmit(ctx, txn),
             Some(TimerKind::ImmCompletion(txn)) => {
                 if let Some(pending) = self.pending_imm.remove(&txn) {
                     debug_assert_eq!(pending.decided, Some(true));
@@ -1573,6 +1766,10 @@ impl Actor for Accelerator {
         self.pending_delay.clear();
         self.pending_imm.clear();
         self.prepared_remote.clear();
+        // Undelivered decisions die with the coordinator (2PC's inherent
+        // coordinator-crash window); `imm_finished` survives — it is
+        // derivable from the durable WAL.
+        self.retransmit_imm.clear();
         self.timers.clear();
         self.anti_entropy_armed = false;
         // Holds belonged to the in-flight transactions that just died.

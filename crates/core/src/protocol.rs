@@ -118,6 +118,13 @@ pub enum Msg {
         txn: TxnId,
         /// Commit or abort.
         commit: bool,
+        /// Product updated, repeated from the prepare: a retransmitted
+        /// commit decision must be executable by a participant that
+        /// already timed out and unilaterally aborted (or crashed), and
+        /// such a participant no longer holds the prepared state.
+        product: ProductId,
+        /// Stock change, repeated from the prepare (see `product`).
+        delta: Volume,
     },
     /// Immediate path: participant finished executing the decision. The
     /// coordinator "judges the completion of the update with the message
@@ -141,6 +148,41 @@ impl MsgInfo for Msg {
             Msg::ImmVote { .. } => "imm-vote",
             Msg::ImmDecision { .. } => "imm-decision",
             Msg::ImmDone { .. } => "imm-done",
+        }
+    }
+}
+
+impl Msg {
+    /// The registry counter bumped when this message is sent. Pre-baked
+    /// so the per-message hot path never formats a key.
+    pub fn sent_counter_key(&self) -> &'static str {
+        match self {
+            Msg::AvRequest { .. } => "msg.sent.av-request",
+            Msg::AvGrant { .. } => "msg.sent.av-grant",
+            Msg::AvPush { .. } => "msg.sent.av-push",
+            Msg::AvPushAck { .. } => "msg.sent.av-push-ack",
+            Msg::Propagate { .. } => "msg.sent.propagate",
+            Msg::PropagateAck { .. } => "msg.sent.propagate-ack",
+            Msg::ImmPrepare { .. } => "msg.sent.imm-prepare",
+            Msg::ImmVote { .. } => "msg.sent.imm-vote",
+            Msg::ImmDecision { .. } => "msg.sent.imm-decision",
+            Msg::ImmDone { .. } => "msg.sent.imm-done",
+        }
+    }
+
+    /// The registry counter bumped when this message is received.
+    pub fn recv_counter_key(&self) -> &'static str {
+        match self {
+            Msg::AvRequest { .. } => "msg.recv.av-request",
+            Msg::AvGrant { .. } => "msg.recv.av-grant",
+            Msg::AvPush { .. } => "msg.recv.av-push",
+            Msg::AvPushAck { .. } => "msg.recv.av-push-ack",
+            Msg::Propagate { .. } => "msg.recv.propagate",
+            Msg::PropagateAck { .. } => "msg.recv.propagate-ack",
+            Msg::ImmPrepare { .. } => "msg.recv.imm-prepare",
+            Msg::ImmVote { .. } => "msg.recv.imm-vote",
+            Msg::ImmDecision { .. } => "msg.recv.imm-decision",
+            Msg::ImmDone { .. } => "msg.recv.imm-done",
         }
     }
 }
@@ -233,7 +275,7 @@ mod tests {
             Msg::PropagateAck { upto: 0 },
             Msg::ImmPrepare { txn: txn(), product: ProductId(0), delta: Volume(1) },
             Msg::ImmVote { txn: txn(), ready: true },
-            Msg::ImmDecision { txn: txn(), commit: true },
+            Msg::ImmDecision { txn: txn(), commit: true, product: ProductId(0), delta: Volume(1) },
             Msg::ImmDone { txn: txn() },
         ];
         let mut kinds: Vec<&str> = msgs.iter().map(|m| m.kind()).collect();

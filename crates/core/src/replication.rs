@@ -58,6 +58,19 @@ impl ReplicationState {
         self.log.push_back(delta);
     }
 
+    /// `true` when at least one peer's pending range has reached `batch`
+    /// deltas — a cheap pre-check so the per-commit propagation path can
+    /// skip the per-peer [`Self::take_batch`] loop (and its slice copies)
+    /// entirely while a batch is still filling.
+    pub fn batch_ready(&self, batch: usize) -> bool {
+        let end = self.end();
+        self.sent
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.me.index())
+            .any(|(_, s)| end.saturating_sub((*s).max(self.base)) >= batch as u64)
+    }
+
     /// Deltas a *normal batch flush* should send to `peer`: everything
     /// committed since the last send, if it reaches `batch` deltas.
     /// Returns `(offset, deltas)` and advances the sent cursor.
@@ -327,6 +340,19 @@ mod tests {
         assert!(r.take_batch(SiteId(1), 1).is_none());
         // Peer 2 still gets its copy.
         assert_eq!(r.take_batch(SiteId(2), 2).unwrap().1.len(), 2);
+    }
+
+    #[test]
+    fn batch_ready_mirrors_take_batch() {
+        let mut r = state();
+        assert!(!r.batch_ready(1));
+        r.record(d(0));
+        assert!(r.batch_ready(1));
+        assert!(!r.batch_ready(2));
+        let _ = r.take_batch(SiteId(1), 1).unwrap();
+        assert!(r.batch_ready(1), "peer 2 still pending");
+        let _ = r.take_batch(SiteId(2), 1).unwrap();
+        assert!(!r.batch_ready(1));
     }
 
     #[test]

@@ -9,13 +9,17 @@
 //! exists to avoid.
 
 use avdb_types::{ProductId, SiteId, VirtualTime, Volume};
-use std::collections::HashMap;
 
 /// What one site believes about its peers' AV holdings.
+///
+/// Stored densely — one row per peer, one cell per product — because the
+/// *selecting* function reads `known()` once per candidate peer on every
+/// shortage, and site/product id spaces are small and contiguous. The
+/// rows grow on demand, so sparse test configurations stay cheap.
 #[derive(Clone, Debug, Default)]
 pub struct PeerKnowledge {
-    /// `(peer, product) → (last reported available AV, when)`.
-    view: HashMap<(SiteId, ProductId), (Volume, VirtualTime)>,
+    /// `rows[peer][product] → (last reported available AV, when)`.
+    rows: Vec<Vec<Option<(Volume, VirtualTime)>>>,
 }
 
 impl PeerKnowledge {
@@ -24,34 +28,53 @@ impl PeerKnowledge {
         Self::default()
     }
 
+    fn cell(&self, peer: SiteId, product: ProductId) -> Option<(Volume, VirtualTime)> {
+        self.rows
+            .get(peer.index())
+            .and_then(|row| row.get(product.index()))
+            .copied()
+            .flatten()
+    }
+
+    fn cell_mut(&mut self, peer: SiteId, product: ProductId) -> &mut Option<(Volume, VirtualTime)> {
+        if self.rows.len() <= peer.index() {
+            self.rows.resize(peer.index() + 1, Vec::new());
+        }
+        let row = &mut self.rows[peer.index()];
+        if row.len() <= product.index() {
+            row.resize(product.index() + 1, None);
+        }
+        &mut row[product.index()]
+    }
+
     /// Seeds knowledge from the initial AV allocation, which every site
     /// learns when the base DB distributes the catalog (§3.2).
     pub fn seed(&mut self, product: ProductId, split: &[Volume]) {
         for (i, &av) in split.iter().enumerate() {
-            self.view.insert((SiteId(i as u32), product), (av, VirtualTime::ZERO));
+            *self.cell_mut(SiteId(i as u32), product) = Some((av, VirtualTime::ZERO));
         }
     }
 
     /// Records a fresher observation of `peer`'s AV for `product`.
-    /// Observations older than what we already know are ignored.
+    /// Observations older than what we already know are ignored; equal
+    /// timestamps take the newer report (last writer wins).
     pub fn update(&mut self, peer: SiteId, product: ProductId, av: Volume, at: VirtualTime) {
-        match self.view.get(&(peer, product)) {
-            Some(&(_, prev_at)) if prev_at > at => {}
-            _ => {
-                self.view.insert((peer, product), (av, at));
-            }
+        let cell = self.cell_mut(peer, product);
+        match *cell {
+            Some((_, prev_at)) if prev_at > at => {}
+            _ => *cell = Some((av, at)),
         }
     }
 
     /// Last known AV of `peer` for `product` (zero if never observed —
     /// a pessimistic default that deprioritizes unknown peers).
     pub fn known(&self, peer: SiteId, product: ProductId) -> Volume {
-        self.view.get(&(peer, product)).map(|&(v, _)| v).unwrap_or(Volume::ZERO)
+        self.cell(peer, product).map(|(v, _)| v).unwrap_or(Volume::ZERO)
     }
 
     /// When `peer`'s AV for `product` was last observed.
     pub fn known_at(&self, peer: SiteId, product: ProductId) -> Option<VirtualTime> {
-        self.view.get(&(peer, product)).map(|&(_, t)| t)
+        self.cell(peer, product).map(|(_, t)| t)
     }
 
     /// Peers ranked by descending believed AV for `product`, excluding
@@ -80,6 +103,100 @@ impl PeerKnowledge {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    /// The original sparse-map implementation, kept as the reference
+    /// model the dense table must stay observably equivalent to.
+    #[derive(Default)]
+    struct MapKnowledge {
+        view: HashMap<(SiteId, ProductId), (Volume, VirtualTime)>,
+    }
+
+    impl MapKnowledge {
+        fn seed(&mut self, product: ProductId, split: &[Volume]) {
+            for (i, &av) in split.iter().enumerate() {
+                self.view.insert((SiteId(i as u32), product), (av, VirtualTime::ZERO));
+            }
+        }
+        fn update(&mut self, peer: SiteId, product: ProductId, av: Volume, at: VirtualTime) {
+            match self.view.get(&(peer, product)) {
+                Some(&(_, prev_at)) if prev_at > at => {}
+                _ => {
+                    self.view.insert((peer, product), (av, at));
+                }
+            }
+        }
+        fn known(&self, peer: SiteId, product: ProductId) -> Volume {
+            self.view.get(&(peer, product)).map(|&(v, _)| v).unwrap_or(Volume::ZERO)
+        }
+        fn known_at(&self, peer: SiteId, product: ProductId) -> Option<VirtualTime> {
+            self.view.get(&(peer, product)).map(|&(_, t)| t)
+        }
+    }
+
+    /// One step of a random op interleaving over both implementations.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Seed(u32, Vec<i64>),
+        Update(u32, u32, i64, u64),
+    }
+
+    fn ops() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            1 => (0u32..6, prop::collection::vec(0i64..500, 1..6))
+                .prop_map(|(p, split)| Op::Seed(p, split)),
+            4 => (0u32..8, 0u32..6, 0i64..1000, 0u64..64)
+                .prop_map(|(s, p, v, t)| Op::Update(s, p, v, t)),
+        ]
+    }
+
+    proptest! {
+        /// Random interleavings of seeds and (possibly stale) updates:
+        /// the dense Vec-indexed table and the sparse map answer every
+        /// observable query — `known`, `known_at`, `ranked_peers` — the
+        /// same way at every step.
+        #[test]
+        fn prop_dense_equivalent_to_map(seq in prop::collection::vec(ops(), 0..80)) {
+            let mut dense = PeerKnowledge::new();
+            let mut map = MapKnowledge::default();
+            for op in seq {
+                match op {
+                    Op::Seed(p, split) => {
+                        let split: Vec<Volume> = split.into_iter().map(Volume).collect();
+                        dense.seed(ProductId(p), &split);
+                        map.seed(ProductId(p), &split);
+                    }
+                    Op::Update(s, p, v, t) => {
+                        dense.update(SiteId(s), ProductId(p), Volume(v), VirtualTime(t));
+                        map.update(SiteId(s), ProductId(p), Volume(v), VirtualTime(t));
+                    }
+                }
+                for s in 0..8u32 {
+                    for p in 0..6u32 {
+                        prop_assert_eq!(
+                            dense.known(SiteId(s), ProductId(p)),
+                            map.known(SiteId(s), ProductId(p))
+                        );
+                        prop_assert_eq!(
+                            dense.known_at(SiteId(s), ProductId(p)),
+                            map.known_at(SiteId(s), ProductId(p))
+                        );
+                    }
+                }
+                for p in 0..6u32 {
+                    let ranked = dense.ranked_peers(SiteId(0), 8, ProductId(p), &[]);
+                    // The map model has no ranked_peers of its own; the
+                    // ranking contract is checked against its `known`.
+                    for w in ranked.windows(2) {
+                        prop_assert!(
+                            map.known(w[0], ProductId(p)) >= map.known(w[1], ProductId(p))
+                        );
+                    }
+                    prop_assert_eq!(ranked.len(), 7);
+                }
+            }
+        }
+    }
 
     proptest! {
         /// For any observation history, the ranking is a permutation of

@@ -16,13 +16,30 @@
 use avdb_telemetry::Registry;
 use avdb_types::SiteId;
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Running totals of network traffic. Owned by the runtime; protocol code
 /// never touches it.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
     registry: Registry,
+    /// Lazily-grown caches of formatted registry keys: the per-message
+    /// path would otherwise build 3–4 fresh `String`s per send, which is
+    /// the simulator's hottest allocation site.
+    sent_keys: Vec<String>,
+    recv_keys: Vec<String>,
+    kind_keys: HashMap<&'static str, String>,
+    link_keys: HashMap<(u32, u32), String>,
+}
+
+/// Returns `"{prefix}{site}"` from `cache`, formatting it only on the
+/// first use of that site id.
+fn site_key<'a>(cache: &'a mut Vec<String>, prefix: &str, site: u32) -> &'a str {
+    let i = site as usize;
+    for n in cache.len()..=i {
+        cache.push(format!("{prefix}{n}"));
+    }
+    &cache[i]
 }
 
 impl Counters {
@@ -34,14 +51,24 @@ impl Counters {
     /// Records one message handed to the network.
     pub fn record_send(&mut self, from: SiteId, to: SiteId, kind: &'static str) {
         self.registry.inc("msg.total");
-        self.registry.inc(&format!("msg.sent.{}", from.0));
-        self.registry.inc(&format!("msg.kind.{kind}"));
-        self.registry.inc(&format!("msg.link.{}>{}", from.0, to.0));
+        let sent = site_key(&mut self.sent_keys, "msg.sent.", from.0);
+        self.registry.inc(sent);
+        let kind_key = self
+            .kind_keys
+            .entry(kind)
+            .or_insert_with(|| format!("msg.kind.{kind}"));
+        self.registry.inc(kind_key);
+        let link_key = self
+            .link_keys
+            .entry((from.0, to.0))
+            .or_insert_with(|| format!("msg.link.{}>{}", from.0, to.0));
+        self.registry.inc(link_key);
     }
 
     /// Records a successful delivery.
     pub fn record_delivery(&mut self, to: SiteId) {
-        self.registry.inc(&format!("msg.recv.{}", to.0));
+        let recv = site_key(&mut self.recv_keys, "msg.recv.", to.0);
+        self.registry.inc(recv);
     }
 
     /// Records a message lost to a fault (partition, probabilistic drop).

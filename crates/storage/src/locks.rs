@@ -31,10 +31,29 @@ enum Held {
     Exclusive(TxnId),
 }
 
-/// Per-record no-wait lock table.
-#[derive(Debug, Default)]
+/// Number of lock-table shards (power of two so shard choice is a mask).
+const LOCK_SHARDS: usize = 16;
+
+/// Per-record no-wait lock table, sharded by product id.
+///
+/// The Immediate path touches the table on every prepare/commit/abort at
+/// every site; sharding keeps each map small under wide catalogs (no
+/// whole-table rehash spikes when the hot set grows) and bounds the
+/// amount the per-txn cleanup in [`LockManager::release_all`] has to
+/// walk per shard.
+#[derive(Debug)]
 pub struct LockManager {
-    held: HashMap<ProductId, Held>,
+    shards: Vec<HashMap<ProductId, Held>>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager { shards: (0..LOCK_SHARDS).map(|_| HashMap::new()).collect() }
+    }
+}
+
+fn shard_of(product: ProductId) -> usize {
+    product.index() & (LOCK_SHARDS - 1)
 }
 
 impl LockManager {
@@ -50,9 +69,10 @@ impl LockManager {
     /// (shared→exclusive upgrades succeed only when `txn` is the sole
     /// shared holder).
     pub fn acquire(&mut self, txn: TxnId, product: ProductId, mode: LockMode) -> Result<()> {
-        match self.held.get_mut(&product) {
+        let shard = &mut self.shards[shard_of(product)];
+        match shard.get_mut(&product) {
             None => {
-                self.held.insert(
+                shard.insert(
                     product,
                     match mode {
                         LockMode::Shared => Held::Shared(vec![txn]),
@@ -77,7 +97,7 @@ impl LockManager {
                 }
                 LockMode::Exclusive => {
                     if holders.as_slice() == [txn] {
-                        self.held.insert(product, Held::Exclusive(txn));
+                        shard.insert(product, Held::Exclusive(txn));
                         Ok(())
                     } else {
                         let other = *holders.iter().find(|h| **h != txn).expect(
@@ -92,14 +112,15 @@ impl LockManager {
 
     /// Releases `txn`'s lock on `product` (no-op if not held by `txn`).
     pub fn release(&mut self, txn: TxnId, product: ProductId) {
-        match self.held.get_mut(&product) {
+        let shard = &mut self.shards[shard_of(product)];
+        match shard.get_mut(&product) {
             Some(Held::Exclusive(holder)) if *holder == txn => {
-                self.held.remove(&product);
+                shard.remove(&product);
             }
             Some(Held::Shared(holders)) => {
                 holders.retain(|h| *h != txn);
                 if holders.is_empty() {
-                    self.held.remove(&product);
+                    shard.remove(&product);
                 }
             }
             _ => {}
@@ -108,24 +129,28 @@ impl LockManager {
 
     /// Releases every lock `txn` holds (commit/abort cleanup).
     pub fn release_all(&mut self, txn: TxnId) {
-        self.held.retain(|_, held| match held {
-            Held::Exclusive(holder) => *holder != txn,
-            Held::Shared(holders) => {
-                holders.retain(|h| *h != txn);
-                !holders.is_empty()
-            }
-        });
+        for shard in &mut self.shards {
+            shard.retain(|_, held| match held {
+                Held::Exclusive(holder) => *holder != txn,
+                Held::Shared(holders) => {
+                    holders.retain(|h| *h != txn);
+                    !holders.is_empty()
+                }
+            });
+        }
     }
 
     /// Clears the whole table — crash recovery: locks are volatile state
     /// and do not survive a fail-stop restart.
     pub fn clear(&mut self) {
-        self.held.clear();
+        for shard in &mut self.shards {
+            shard.clear();
+        }
     }
 
     /// Current exclusive holder of `product`, if any.
     pub fn exclusive_holder(&self, product: ProductId) -> Option<TxnId> {
-        match self.held.get(&product) {
+        match self.shards[shard_of(product)].get(&product) {
             Some(Held::Exclusive(t)) => Some(*t),
             _ => None,
         }
@@ -133,12 +158,150 @@ impl LockManager {
 
     /// `true` if any lock on `product` is held.
     pub fn is_locked(&self, product: ProductId) -> bool {
-        self.held.contains_key(&product)
+        self.shards[shard_of(product)].contains_key(&product)
     }
 
     /// Number of locked records (test hook).
     pub fn locked_count(&self) -> usize {
-        self.held.len()
+        self.shards.iter().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use avdb_types::SiteId;
+    use proptest::prelude::*;
+
+    /// Unsharded single-map reference model with the same no-wait rules.
+    #[derive(Default)]
+    struct FlatLocks {
+        held: HashMap<ProductId, Held>,
+    }
+
+    impl FlatLocks {
+        fn acquire(&mut self, txn: TxnId, product: ProductId, mode: LockMode) -> Result<()> {
+            match self.held.get_mut(&product) {
+                None => {
+                    self.held.insert(
+                        product,
+                        match mode {
+                            LockMode::Shared => Held::Shared(vec![txn]),
+                            LockMode::Exclusive => Held::Exclusive(txn),
+                        },
+                    );
+                    Ok(())
+                }
+                Some(Held::Exclusive(holder)) => {
+                    if *holder == txn {
+                        Ok(())
+                    } else {
+                        Err(AvdbError::LockConflict { product, holder: *holder })
+                    }
+                }
+                Some(Held::Shared(holders)) => match mode {
+                    LockMode::Shared => {
+                        if !holders.contains(&txn) {
+                            holders.push(txn);
+                        }
+                        Ok(())
+                    }
+                    LockMode::Exclusive => {
+                        if holders.as_slice() == [txn] {
+                            self.held.insert(product, Held::Exclusive(txn));
+                            Ok(())
+                        } else {
+                            let other =
+                                *holders.iter().find(|h| **h != txn).expect("other holder");
+                            Err(AvdbError::LockConflict { product, holder: other })
+                        }
+                    }
+                },
+            }
+        }
+        fn release(&mut self, txn: TxnId, product: ProductId) {
+            match self.held.get_mut(&product) {
+                Some(Held::Exclusive(holder)) if *holder == txn => {
+                    self.held.remove(&product);
+                }
+                Some(Held::Shared(holders)) => {
+                    holders.retain(|h| *h != txn);
+                    if holders.is_empty() {
+                        self.held.remove(&product);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn release_all(&mut self, txn: TxnId) {
+            self.held.retain(|_, held| match held {
+                Held::Exclusive(holder) => *holder != txn,
+                Held::Shared(holders) => {
+                    holders.retain(|h| *h != txn);
+                    !holders.is_empty()
+                }
+            });
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Acquire(u64, u32, bool),
+        Release(u64, u32),
+        ReleaseAll(u64),
+    }
+
+    fn ops() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            5 => (0u64..6, 0u32..40, any::<bool>())
+                .prop_map(|(t, p, x)| Op::Acquire(t, p, x)),
+            3 => (0u64..6, 0u32..40).prop_map(|(t, p)| Op::Release(t, p)),
+            1 => (0u64..6).prop_map(Op::ReleaseAll),
+        ]
+    }
+
+    proptest! {
+        /// Random acquire/release/release_all interleavings over a
+        /// product space wider than the shard count: the sharded table
+        /// and the flat reference return identical results and agree on
+        /// every observable (holder, locked state, total lock count).
+        #[test]
+        fn prop_sharded_equivalent_to_flat(seq in prop::collection::vec(ops(), 0..120)) {
+            let mut sharded = LockManager::new();
+            let mut flat = FlatLocks::default();
+            let t = |n: u64| TxnId::new(SiteId(0), n);
+            for op in seq {
+                match op {
+                    Op::Acquire(n, p, exclusive) => {
+                        let mode =
+                            if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                        let a = sharded.acquire(t(n), ProductId(p), mode);
+                        let b = flat.acquire(t(n), ProductId(p), mode);
+                        prop_assert_eq!(a, b);
+                    }
+                    Op::Release(n, p) => {
+                        sharded.release(t(n), ProductId(p));
+                        flat.release(t(n), ProductId(p));
+                    }
+                    Op::ReleaseAll(n) => {
+                        sharded.release_all(t(n));
+                        flat.release_all(t(n));
+                    }
+                }
+                for p in 0..40u32 {
+                    prop_assert_eq!(
+                        sharded.is_locked(ProductId(p)),
+                        flat.held.contains_key(&ProductId(p))
+                    );
+                    let flat_excl = match flat.held.get(&ProductId(p)) {
+                        Some(Held::Exclusive(t)) => Some(*t),
+                        _ => None,
+                    };
+                    prop_assert_eq!(sharded.exclusive_holder(ProductId(p)), flat_excl);
+                }
+                prop_assert_eq!(sharded.locked_count(), flat.held.len());
+            }
+        }
     }
 }
 

@@ -155,6 +155,29 @@ pub fn amplification(export: &RunExport) -> Vec<u64> {
     counts
 }
 
+/// End-to-end latency of every committed update, ascending: the duration
+/// of each committed trace's root span (submission to outcome emission).
+/// One entry per committed transaction; updates whose root never closed
+/// (crashed origin) are excluded. Units are whatever the transport's
+/// clock ran in — virtual ticks on the simulator, wall milliseconds on
+/// the live runtimes.
+pub fn commit_latencies(export: &RunExport) -> Vec<u64> {
+    let committed: BTreeSet<u64> =
+        export.outcomes.iter().filter(|o| o.committed).map(|o| o.txn).collect();
+    let mut seen = BTreeSet::new();
+    let mut latencies: Vec<u64> = export
+        .spans
+        .iter()
+        .filter(|s| {
+            s.parent == 0 && !is_aux_trace(s.trace) && committed.contains(&s.trace)
+        })
+        .filter(|s| seen.insert(s.trace))
+        .filter_map(|s| s.end.map(|e| e.saturating_sub(s.start)))
+        .collect();
+    latencies.sort_unstable();
+    latencies
+}
+
 /// Nearest-rank percentile over an ascending slice (`0 < p ≤ 1`).
 pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {

@@ -1,0 +1,220 @@
+//! `avdb-bench` — the workload-matrix benchmark harness.
+//!
+//! `run` expands a matrix of {transport, site count, fault profile, AV
+//! allocation, zipf skew, propagation batch} cells, executes every cell
+//! seeded and oracle-checked, and writes `results/BENCH_<label>.json`
+//! (machine-readable trajectory) plus `BENCH_<label>.txt` (human table).
+//! `compare` gates a fresh report against a committed baseline.
+//!
+//! ```sh
+//! avdb-bench run --transports sim,threads,tcp --sites 3,7 --label local
+//! avdb-bench compare results/BENCH_baseline.json results/BENCH_local.json
+//! ```
+
+use avdb::bench::report::compare;
+use avdb::bench::{
+    run_scenario, BenchReport, FaultProfile, ScenarioSpec, TransportKind,
+};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         avdb-bench run [--transports sim,threads,tcp] [--sites 3,7] [--updates N]\n    \
+         [--faults clean,loss,crash,partition] [--alloc uniform,all-at-base,...]\n    \
+         [--zipf 0,900] [--batch 1,4] [--imm-products N] [--regular-products N]\n    \
+         [--stock N] [--spacing N] [--seed N] [--open-loop] [--label L] [--out DIR]\n  \
+         avdb-bench compare <baseline.json> <current.json> [--max-regress-pct N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_list<T, F: Fn(&str) -> Option<T>>(flag: &str, raw: &str, f: F) -> Vec<T> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            f(s).unwrap_or_else(|| {
+                eprintln!("avdb-bench: bad value '{s}' for {flag}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut transports = vec![TransportKind::Sim];
+    let mut sites = vec![3usize, 7];
+    let mut faults = vec![FaultProfile::Clean];
+    let mut allocs = vec![avdb::types::AvAllocation::Uniform];
+    let mut zipfs = vec![0u64];
+    let mut batches = vec![1usize];
+    let mut base = ScenarioSpec::base();
+    let mut label = String::from("local");
+    let mut out_dir = String::from("results");
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("avdb-bench: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--transports" => {
+                transports = parse_list(arg, &value(arg), TransportKind::parse);
+            }
+            "--sites" => sites = parse_list(arg, &value(arg), |s| s.parse().ok()),
+            "--faults" => faults = parse_list(arg, &value(arg), FaultProfile::parse),
+            "--alloc" => {
+                allocs = parse_list(arg, &value(arg), avdb::bench::matrix::parse_allocation);
+            }
+            "--zipf" => zipfs = parse_list(arg, &value(arg), |s| s.parse().ok()),
+            "--batch" => batches = parse_list(arg, &value(arg), |s| s.parse().ok()),
+            "--updates" => base.updates = value(arg).parse().unwrap_or_else(|_| usage()),
+            "--imm-products" => {
+                base.non_regular_products = value(arg).parse().unwrap_or_else(|_| usage());
+            }
+            "--regular-products" => {
+                base.regular_products = value(arg).parse().unwrap_or_else(|_| usage());
+            }
+            "--stock" => base.initial_stock = value(arg).parse().unwrap_or_else(|_| usage()),
+            "--spacing" => base.spacing = value(arg).parse().unwrap_or_else(|_| usage()),
+            "--seed" => base.seed = value(arg).parse().unwrap_or_else(|_| usage()),
+            "--open-loop" => base.closed_loop = false,
+            "--label" => label = value(arg),
+            "--out" => out_dir = value(arg),
+            _ => usage(),
+        }
+    }
+
+    let mut report = BenchReport { label: label.clone(), scenarios: Vec::new() };
+    let mut failures = 0usize;
+    for &transport in &transports {
+        for &n in &sites {
+            for &fault in &faults {
+                for &allocation in &allocs {
+                    for &zipf_milli in &zipfs {
+                        for &batch in &batches {
+                            let mut spec = base.clone();
+                            spec.transport = transport;
+                            spec.sites = n;
+                            spec.fault = fault;
+                            spec.allocation = allocation;
+                            spec.zipf_milli = zipf_milli;
+                            spec.propagation_batch = batch;
+                            if transport != TransportKind::Sim && fault != FaultProfile::Clean {
+                                eprintln!(
+                                    "skip {}: faults need the deterministic scheduler",
+                                    spec.label()
+                                );
+                                continue;
+                            }
+                            eprint!("running {} ... ", spec.label());
+                            match run_scenario(&spec) {
+                                Ok(arts) => {
+                                    eprintln!(
+                                        "ok ({}/{} committed)",
+                                        arts.result.stats.committed,
+                                        arts.result.stats.submitted
+                                    );
+                                    report.scenarios.push(arts.result);
+                                }
+                                Err(e) => {
+                                    eprintln!("FAILED: {e}");
+                                    failures += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if report.scenarios.is_empty() {
+        eprintln!("avdb-bench: no scenario produced results");
+        return ExitCode::FAILURE;
+    }
+    let dir = Path::new(&out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("avdb-bench: cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let json_path = dir.join(format!("BENCH_{label}.json"));
+    let table_path = dir.join(format!("BENCH_{label}.txt"));
+    let table = report.render_table();
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("avdb-bench: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&table_path, &table) {
+        eprintln!("avdb-bench: cannot write {}: {e}", table_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{table}");
+    println!("wrote {}", json_path.display());
+    if failures > 0 {
+        eprintln!("avdb-bench: {failures} scenario(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut max_regress_pct = 25u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regress-pct" => {
+                max_regress_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => paths.push(arg.clone()),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let load = |p: &str| -> BenchReport {
+        let raw = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("avdb-bench: cannot read {p}: {e}");
+            std::process::exit(1);
+        });
+        BenchReport::from_json(&raw).unwrap_or_else(|e| {
+            eprintln!("avdb-bench: {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let baseline = load(&paths[0]);
+    let current = load(&paths[1]);
+    match compare(&baseline, &current, max_regress_pct) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            println!("throughput within {max_regress_pct}% of baseline");
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            for v in violations {
+                eprintln!("{v}");
+            }
+            eprintln!("avdb-bench: throughput regression gate failed");
+            ExitCode::FAILURE
+        }
+    }
+}

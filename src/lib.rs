@@ -56,6 +56,8 @@ pub use avdb_telemetry as telemetry;
 pub use avdb_oracle as oracle;
 /// Experiment harness reproducing the paper's evaluation.
 pub use avdb_sim as sim;
+/// Workload-matrix benchmark harness behind `avdb-bench`.
+pub use avdb_bench as bench;
 
 /// Commonly used items, for `use avdb::prelude::*`.
 pub mod prelude {
