@@ -10,13 +10,16 @@ use avdb_escrow::{
 };
 use avdb_simnet::{Actor, Ctx};
 use avdb_storage::{LocalDb, LockMode};
-use avdb_telemetry::{aux_trace_id, Registry, SpanCollector, TraceContext};
+use avdb_telemetry::{
+    aux_trace_id, FlightDump, FlightRecorder, Registry, SpanCollector, TraceContext,
+};
 use avdb_types::{
     request::AbortReason, AvdbError, ProductId, SiteId, SystemConfig, TxnId, UpdateKind,
     UpdateOutcome, UpdateRequest, VirtualTime, Volume,
 };
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::PathBuf;
 
 /// Handler context shorthand: the accelerator's wire type is the traced
 /// envelope so causal context rides every protocol message.
@@ -103,6 +106,64 @@ pub struct AcceleratorStats {
     /// no outcome (the paper's fail-stop model; callers account for them
     /// alongside lost inputs).
     pub wiped_in_flight: u64,
+}
+
+/// One product row of a [`StatusSnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusAvRow {
+    /// Product id.
+    pub product: u32,
+    /// Local committed stock.
+    pub stock: i64,
+    /// Whether an AV row is defined here (regular product).
+    pub av_defined: bool,
+    /// Total AV held at this site (available + in-flight holds).
+    pub av_total: i64,
+    /// Unheld AV immediately available to new transactions.
+    pub av_available: i64,
+    /// Replica divergence: sum of committed deltas not yet acknowledged
+    /// by every peer (local value minus the last fully-replicated value).
+    pub divergence: i64,
+}
+
+/// One peer row of a [`StatusSnapshot`]: knowledge freshness.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusPeerRow {
+    /// Peer site id.
+    pub peer: u32,
+    /// Freshest tick at which any of the peer's AV figures was observed
+    /// (`None` — never).
+    pub refreshed_at: Option<u64>,
+}
+
+/// Point-in-time introspection snapshot served as JSON by the `/status`
+/// endpoint and rendered by `avdb top`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusSnapshot {
+    /// Site id.
+    pub site: u32,
+    /// `"base"` (site 0, owns non-regular products) or `"retailer"`.
+    pub role: String,
+    /// Lamport clock.
+    pub clock: u64,
+    /// Updates committed at this site.
+    pub committed: u64,
+    /// Updates aborted at this site.
+    pub aborted: u64,
+    /// In-flight Delay negotiations (waiting on AV transfers).
+    pub in_flight_delay: usize,
+    /// In-flight Immediate rounds this site coordinates.
+    pub in_flight_imm: usize,
+    /// Remote Immediate transactions prepared here (participant role).
+    pub prepared_remote: usize,
+    /// Replication queue depth: retained unacknowledged deltas.
+    pub repl_queue_depth: usize,
+    /// Events the flight recorder has seen so far.
+    pub flight_recorded: u64,
+    /// Per-product stock / AV / divergence rows.
+    pub av: Vec<StatusAvRow>,
+    /// Per-peer AV-knowledge freshness.
+    pub knowledge: Vec<StatusPeerRow>,
 }
 
 /// One product's share of a (possibly multi-item) Delay transaction.
@@ -260,6 +321,34 @@ pub struct Accelerator {
     /// paths (propagation, Immediate prepare/decide) never allocate a
     /// fresh peer list.
     peer_scratch: Vec<SiteId>,
+
+    /// Always-on flight recorder: a bounded ring of recent protocol
+    /// events. Like spans, it deliberately survives crashes — it is the
+    /// observer's black box, and the events leading *into* a fault are
+    /// exactly what a post-mortem needs.
+    flight: FlightRecorder,
+    /// Where flight dumps are written when a trigger fires (WAL recovery,
+    /// 2PC abort). `None` — the default — records in memory but never
+    /// touches disk, keeping sim runs hermetic.
+    flight_dir: Option<PathBuf>,
+    /// Cached gauge keys `repl.divergence.p<N>`, densely per product.
+    divergence_keys: Vec<String>,
+    /// Cached gauge keys `knowledge.staleness.s<N>`, densely per site.
+    staleness_keys: Vec<String>,
+    /// Last published divergence per product, so a gauge that returns to
+    /// zero is re-published as zero rather than left stale.
+    divergence_prev: Vec<i64>,
+    /// Scratch for recomputing divergences without allocating.
+    divergence_now: Vec<i64>,
+}
+
+/// Formatted gauge keys for the per-product divergence and per-peer
+/// staleness instruments (built once per accelerator; the hot paths only
+/// index them).
+fn gauge_keys(n_products: usize, n_sites: usize) -> (Vec<String>, Vec<String>) {
+    let divergence = (0..n_products).map(|p| format!("repl.divergence.p{p}")).collect();
+    let staleness = (0..n_sites).map(|s| format!("knowledge.staleness.s{s}")).collect();
+    (divergence, staleness)
 }
 
 impl Accelerator {
@@ -276,6 +365,7 @@ impl Accelerator {
                 knowledge.seed(entry.id, &split);
             }
         }
+        let (divergence_keys, staleness_keys) = gauge_keys(cfg.n_products(), cfg.n_sites);
         Accelerator {
             me,
             cfg: AcceleratorConfig::from_system(cfg),
@@ -301,6 +391,12 @@ impl Accelerator {
             clock: 0,
             aux_seq: 0,
             peer_scratch: Vec::new(),
+            flight: FlightRecorder::default(),
+            flight_dir: None,
+            divergence_prev: vec![0; divergence_keys.len()],
+            divergence_now: vec![0; divergence_keys.len()],
+            divergence_keys,
+            staleness_keys,
         }
     }
 
@@ -344,6 +440,69 @@ impl Accelerator {
     /// Telemetry: this site's metrics registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The always-on flight recorder (recent protocol events).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Enables flight-dump-to-disk: when a trigger fires (WAL recovery,
+    /// 2PC abort) this site writes its ring to `dir` as pretty JSON.
+    /// Without this call the ring still records, but never touches disk.
+    pub fn enable_flight_dump(&mut self, dir: PathBuf) {
+        self.flight_dir = Some(dir);
+    }
+
+    /// This site's `/metrics` payload: the registry rendered in the
+    /// Prometheus text exposition format, labelled with the site id.
+    pub fn metrics_text(&self) -> String {
+        avdb_telemetry::render_prometheus(
+            &self.registry.snapshot(),
+            &[("site", self.me.0.to_string())],
+        )
+    }
+
+    /// This site's `/status` payload: a point-in-time JSON snapshot of
+    /// role, AV table, in-flight escrow negotiations and replication
+    /// queue depth.
+    pub fn status(&self) -> StatusSnapshot {
+        let n_products = self.divergence_keys.len();
+        let av = ProductId::all(n_products)
+            .map(|p| StatusAvRow {
+                product: p.0,
+                stock: self.db.stock(p).map(|v| v.get()).unwrap_or(0),
+                av_defined: self.av.is_defined(p),
+                av_total: self.av.total(p).get(),
+                av_available: self.av.available(p).get(),
+                divergence: self
+                    .divergence_prev
+                    .get(p.index())
+                    .copied()
+                    .unwrap_or(0),
+            })
+            .collect();
+        let knowledge = self
+            .peers()
+            .map(|peer| StatusPeerRow {
+                peer: peer.0,
+                refreshed_at: self.knowledge.freshest(peer).map(|t| t.0),
+            })
+            .collect();
+        StatusSnapshot {
+            site: self.me.0,
+            role: if self.me == SiteId::BASE { "base".into() } else { "retailer".into() },
+            clock: self.clock,
+            committed: self.registry.counter("update.committed"),
+            aborted: self.registry.counter("update.aborted"),
+            in_flight_delay: self.pending_delay.len(),
+            in_flight_imm: self.pending_imm.len(),
+            prepared_remote: self.prepared_remote.len(),
+            repl_queue_depth: self.repl.retained(),
+            flight_recorded: self.flight.recorded(),
+            av,
+            knowledge,
+        }
     }
 
     /// Current Lamport clock (merged from all traffic seen here).
@@ -399,7 +558,8 @@ impl Accelerator {
                 knowledge.seed(entry.id, &split);
             }
         }
-        Accelerator {
+        let (divergence_keys, staleness_keys) = gauge_keys(cfg.n_products(), cfg.n_sites);
+        let mut acc = Accelerator {
             me,
             cfg: AcceleratorConfig::from_system(cfg),
             db,
@@ -424,7 +584,17 @@ impl Accelerator {
             clock: 0,
             aux_seq: 0,
             peer_scratch: Vec::new(),
-        }
+            flight: FlightRecorder::default(),
+            flight_dir: None,
+            divergence_prev: vec![0; divergence_keys.len()],
+            divergence_now: vec![0; divergence_keys.len()],
+            divergence_keys,
+            staleness_keys,
+        };
+        // The recovered replication snapshot may retain unacknowledged
+        // deltas; publish their divergence right away.
+        acc.refresh_repl_gauges();
+        acc
     }
 
     // ---- helpers -----------------------------------------------------------
@@ -508,6 +678,50 @@ impl Accelerator {
         id
     }
 
+    /// Records one protocol event in the always-on flight ring.
+    fn flight_note(&mut self, at: VirtualTime, kind: &'static str, detail: String) {
+        self.flight.record(at.0, self.clock, kind, detail);
+    }
+
+    /// Writes this site's flight ring to the configured dump directory
+    /// (no-op when none is configured). Returns the path written.
+    fn write_flight_dump(&mut self, at: VirtualTime, reason: &str) -> Option<PathBuf> {
+        let dir = self.flight_dir.clone()?;
+        self.registry.inc("flight.dumps");
+        let n = self.registry.counter("flight.dumps");
+        let mut dump = FlightDump::new(reason, at.0);
+        dump.push_site(self.me.0, &self.flight);
+        let path = dir.join(format!("flight-s{}-{n}.json", self.me.0));
+        if std::fs::create_dir_all(&dir).is_err()
+            || std::fs::write(&path, dump.to_json()).is_err()
+        {
+            self.registry.inc("flight.dump.errors");
+            return None;
+        }
+        Some(path)
+    }
+
+    /// Republishes the replication gauges after the retained log changed:
+    /// `repl.queue.depth` plus one `repl.divergence.p<N>` per product
+    /// whose divergence moved (including moves back to zero).
+    fn refresh_repl_gauges(&mut self) {
+        self.registry.set_gauge("repl.queue.depth", self.repl.retained() as i64);
+        let mut now = std::mem::take(&mut self.divergence_now);
+        now.iter_mut().for_each(|v| *v = 0);
+        for d in self.repl.retained_deltas() {
+            if let Some(slot) = now.get_mut(d.product.index()) {
+                *slot += d.delta.get();
+            }
+        }
+        for (p, &value) in now.iter().enumerate() {
+            if value != self.divergence_prev[p] {
+                self.registry.set_gauge(&self.divergence_keys[p], value);
+            }
+        }
+        std::mem::swap(&mut self.divergence_prev, &mut now);
+        self.divergence_now = now;
+    }
+
     /// Finishes an update: closes the root span, records outcome metrics
     /// and emits to the harness.
     fn emit_outcome(
@@ -538,7 +752,14 @@ impl Accelerator {
         delta: Volume,
         commit_span: u64,
     ) {
-        self.repl.record(PropagateDelta { txn, product, delta, commit_span });
+        self.repl.record(PropagateDelta {
+            txn,
+            product,
+            delta,
+            commit_span,
+            committed_at: ctx.now(),
+        });
+        self.refresh_repl_gauges();
         self.arm_anti_entropy(ctx);
         let batch = self.cfg.propagation_batch;
         if !self.repl.batch_ready(batch) {
@@ -585,6 +806,11 @@ impl Accelerator {
             format!("to s{} offset {} ({} deltas)", peer.0, offset, deltas.len()),
         );
         self.stats.propagation_batches_sent += 1;
+        self.flight_note(
+            ctx.now(),
+            "repl.send",
+            format!("to s{} offset {} ({} deltas)", peer.0, offset, deltas.len()),
+        );
         self.send_traced(ctx, peer, trace, root, Msg::Propagate { offset, deltas });
     }
 
@@ -621,6 +847,11 @@ impl Accelerator {
             ctx.now(),
             self.clock,
             format!("{} item(s) → Delay", raw_items.len()),
+        );
+        self.flight_note(
+            ctx.now(),
+            "delay.begin",
+            format!("txn {} ({} item(s))", txn.0, raw_items.len()),
         );
         self.db.begin(txn).expect("fresh txn id");
         // Merge repeated products to their net delta (first-appearance
@@ -733,12 +964,17 @@ impl Accelerator {
             Some(peer) => {
                 // Selecting: how stale was the knowledge the candidate was
                 // picked on?
-                let staleness = self
-                    .knowledge
-                    .known_at(peer, product)
-                    .map(|t| ctx.now().since(t))
-                    .unwrap_or(0);
+                let staleness =
+                    self.knowledge.staleness(peer, product, ctx.now()).unwrap_or(0);
                 self.registry.observe("select.staleness.ticks", staleness);
+                // Live gauge: how stale the knowledge *selecting* just
+                // consumed for this peer was, in ticks.
+                self.registry.set_gauge(&self.staleness_keys[peer.index()], staleness as i64);
+                self.flight_note(
+                    ctx.now(),
+                    "delay.select",
+                    format!("txn {} asks s{} (knowledge {staleness} ticks old)", txn.0, peer.0),
+                );
                 let clock = self.tick();
                 self.spans.instant_with(
                     txn.0,
@@ -792,6 +1028,11 @@ impl Accelerator {
                 self.stats.delay_aborts += 1;
                 self.registry.inc("delay.abort.insufficient-av");
                 self.spans.note(root_span, "aborted: insufficient AV");
+                self.flight_note(
+                    ctx.now(),
+                    "delay.abort",
+                    format!("txn {} insufficient AV (short {})", txn.0, shortage.get()),
+                );
                 self.emit_outcome(
                     ctx,
                     root_span,
@@ -840,6 +1081,16 @@ impl Accelerator {
             ctx.now(),
             clock,
             format!("{} item(s)", pending.items.len()),
+        );
+        self.flight_note(
+            ctx.now(),
+            "delay.commit",
+            format!(
+                "txn {} ({} item(s), {} correspondence(s))",
+                txn.0,
+                pending.items.len(),
+                pending.correspondences
+            ),
         );
         for item in &pending.items {
             self.buffer_propagation(ctx, txn, item.product, item.delta, commit_span);
@@ -1165,6 +1416,11 @@ impl Accelerator {
             clock,
             format!("ready={ready}"),
         );
+        self.flight_note(
+            ctx.now(),
+            "imm.prepare",
+            format!("txn {} from s{} ready={ready}", txn.0, from.0),
+        );
         self.reply_along(ctx, from, incoming, span, Msg::ImmVote { txn, ready });
     }
 
@@ -1253,6 +1509,7 @@ impl Accelerator {
             self.arm_timer(ctx, timeout, TimerKind::ImmRetransmit(txn));
         }
         self.put_peers(peers);
+        self.flight_note(ctx.now(), "imm.decide", format!("txn {} commit={commit}", txn.0));
         if commit {
             self.db.commit(txn).expect("txn active");
             self.stats.imm_commits += 1;
@@ -1273,6 +1530,13 @@ impl Accelerator {
             self.db.rollback(txn).expect("txn active");
             self.stats.imm_aborts += 1;
             self.registry.inc("imm.abort");
+            self.flight_note(
+                ctx.now(),
+                "imm.abort",
+                format!("txn {} reason {abort_reason:?}", txn.0),
+            );
+            // A 2PC round aborting is a flight-recorder trigger.
+            self.write_flight_dump(ctx.now(), "2pc-abort");
             let pending = self.pending_imm.remove(&txn).expect("fetched above");
             self.spans.end(decide_span, ctx.now());
             self.spans.note(root_span, "aborted");
@@ -1677,11 +1941,20 @@ impl Actor for Accelerator {
                         )
                     })
                     .unwrap_or(0);
+                self.flight_note(
+                    ctx.now(),
+                    "repl.apply",
+                    format!("from s{}: {} fresh, ack upto {upto}", from.0, fresh.len()),
+                );
                 for d in &fresh {
                     self.db
                         .apply_committed(d.txn, d.product, d.delta)
                         .expect("catalog is identical at all sites");
                     self.stats.propagation_deltas_applied += 1;
+                    // Time-to-convergence: how long this lazily propagated
+                    // delta took from origin commit to landing here.
+                    self.registry
+                        .observe("repl.convergence.ticks", ctx.now().since(d.committed_at));
                     // The remote apply joins the *update's* tree, under the
                     // origin's commit span carried by the delta.
                     let clock = self.tick();
@@ -1698,6 +1971,7 @@ impl Actor for Accelerator {
             }
             Msg::PropagateAck { upto } => {
                 self.repl.on_ack(from, upto);
+                self.refresh_repl_gauges();
                 if let Some(c) = incoming {
                     let clock = self.tick();
                     self.spans.instant_with(
@@ -1760,6 +2034,13 @@ impl Actor for Accelerator {
         // the observer's record, not the site's state, and spans of wiped
         // updates simply stay open (end = None marks the fault).
         self.registry.inc("site.crashes");
+        // No handler context here (the fault injector stops the site from
+        // outside), so the crash event reuses the last recorded tick —
+        // the crash happened at-or-after the last thing the ring saw.
+        let last_at = self.flight.events().last().map(|e| e.at).unwrap_or(0);
+        let wiped = self.pending_delay.len() + self.pending_imm.len();
+        self.flight
+            .record(last_at, self.clock, "site.crash", format!("{wiped} in-flight wiped"));
         self.db.crash();
         self.stats.wiped_in_flight +=
             (self.pending_delay.len() + self.pending_imm.len()) as u64;
@@ -1779,8 +2060,24 @@ impl Actor for Accelerator {
     fn on_recover(&mut self, ctx: &mut ACtx<'_>) {
         self.db.recover().expect("WAL replay must succeed");
         self.stats.recoveries += 1;
+        self.flight_note(
+            ctx.now(),
+            "wal.recover",
+            format!("recovery #{}", self.stats.recoveries),
+        );
+        // A WAL recovery is a flight-recorder trigger.
+        self.write_flight_dump(ctx.now(), "wal-recovery");
         // Timers are volatile; restart the anti-entropy heartbeat.
         self.arm_anti_entropy(ctx);
+    }
+}
+
+impl avdb_simnet::Introspect for Accelerator {
+    fn metrics_text(&self) -> String {
+        Accelerator::metrics_text(self)
+    }
+    fn status_json(&self) -> String {
+        serde_json::to_string_pretty(&self.status()).expect("status serializes")
     }
 }
 

@@ -37,7 +37,9 @@ pub mod protocol;
 pub mod replication;
 pub mod system;
 
-pub use accelerator::{Accelerator, AcceleratorConfig, AcceleratorStats};
+pub use accelerator::{
+    Accelerator, AcceleratorConfig, AcceleratorStats, StatusAvRow, StatusPeerRow, StatusSnapshot,
+};
 pub use persist::AcceleratorSnapshot;
 pub use protocol::{Input, Msg, PropagateDelta, TracedMsg};
 pub use replication::ReplicationState;

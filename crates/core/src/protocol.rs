@@ -16,7 +16,7 @@
 //! AV management and may not be current data").
 
 use avdb_simnet::{MsgInfo, TraceContext};
-use avdb_types::{ProductClass, ProductId, TxnId, UpdateRequest, Volume};
+use avdb_types::{ProductClass, ProductId, TxnId, UpdateRequest, VirtualTime, Volume};
 use serde::{Deserialize, Serialize};
 
 /// One committed delta carried by a propagation batch.
@@ -33,6 +33,11 @@ pub struct PropagateDelta {
     /// unknown (e.g. state rebuilt outside a traced run); plain data, so
     /// it rides the replication snapshot through crash recovery.
     pub commit_span: u64,
+    /// Virtual time at which the origin committed the delta. Receivers
+    /// subtract it from their arrival time to observe the lazy-propagation
+    /// convergence lag (`repl.convergence.ticks`); under the sim clock the
+    /// lag is deterministic, under live transports it is wall-derived.
+    pub committed_at: VirtualTime,
 }
 
 /// Protocol messages exchanged between accelerators.
@@ -309,6 +314,7 @@ mod tests {
                 product: ProductId(2),
                 delta: Volume(-4),
                 commit_span: 7,
+                committed_at: VirtualTime(11),
             }],
         };
         let json = serde_json::to_string(&m).unwrap();

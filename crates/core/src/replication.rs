@@ -53,6 +53,13 @@ impl ReplicationState {
         self.log.len()
     }
 
+    /// The retained deltas themselves, oldest first. Divergence gauges sum
+    /// these per product: the retained suffix is exactly how far this
+    /// site's local state has run ahead of what every peer has applied.
+    pub fn retained_deltas(&self) -> impl Iterator<Item = &PropagateDelta> {
+        self.log.iter()
+    }
+
     /// Appends a committed delta.
     pub fn record(&mut self, delta: PropagateDelta) {
         self.log.push_back(delta);
@@ -234,6 +241,7 @@ mod proptests {
             product: ProductId(0),
             delta: Volume(1),
             commit_span: 0,
+            committed_at: avdb_types::VirtualTime::ZERO,
         }
     }
 
@@ -320,6 +328,7 @@ mod tests {
             product: ProductId(0),
             delta: Volume(-1),
             commit_span: 0,
+            committed_at: avdb_types::VirtualTime::ZERO,
         }
     }
 

@@ -297,6 +297,29 @@ impl DistributedSystem {
 
     // ---- telemetry ----------------------------------------------------------
 
+    /// Prometheus text exposition for one site (the sim-transport analogue
+    /// of the TCP mesh's `/metrics` endpoint).
+    pub fn metrics_text(&self, site: SiteId) -> String {
+        self.accelerator(site).metrics_text()
+    }
+
+    /// JSON-serialisable status snapshot for one site (the sim-transport
+    /// analogue of the TCP mesh's `/status` endpoint).
+    pub fn status(&self, site: SiteId) -> crate::StatusSnapshot {
+        self.accelerator(site).status()
+    }
+
+    /// Assembles a flight-recorder dump spanning every site's ring buffer.
+    /// Harnesses call this when an invariant fires to capture the recent
+    /// protocol history cluster-wide.
+    pub fn flight_dump(&self, reason: &str) -> avdb_telemetry::FlightDump {
+        let mut dump = avdb_telemetry::FlightDump::new(reason, self.now().ticks());
+        for site in SiteId::all(self.cfg.n_sites) {
+            dump.push_site(site.0, self.accelerator(site).flight());
+        }
+        dump
+    }
+
     /// Merged registry snapshot across every site's accelerator.
     pub fn merged_registry(&self) -> avdb_simnet::RegistrySnapshot {
         let mut merged = avdb_simnet::RegistrySnapshot::default();

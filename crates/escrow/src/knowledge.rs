@@ -77,6 +77,25 @@ impl PeerKnowledge {
         self.cell(peer, product).map(|(_, t)| t)
     }
 
+    /// Ticks elapsed at `now` since `peer`'s AV for `product` was last
+    /// refreshed — the *selecting* function's input staleness, the
+    /// quantity the paper accepts "may not be current data". `None` if
+    /// the peer was never observed at all.
+    pub fn staleness(&self, peer: SiteId, product: ProductId, now: VirtualTime) -> Option<u64> {
+        self.known_at(peer, product).map(|t| now.since(t))
+    }
+
+    /// The freshest observation timestamp across all products for `peer`
+    /// (`None` if nothing was ever observed). Status snapshots report this
+    /// as the peer's knowledge age.
+    pub fn freshest(&self, peer: SiteId) -> Option<VirtualTime> {
+        self.rows
+            .get(peer.index())?
+            .iter()
+            .filter_map(|cell| cell.map(|(_, t)| t))
+            .max()
+    }
+
     /// Peers ranked by descending believed AV for `product`, excluding
     /// `me` and anything in `exclude`. Ties break by ascending site id so
     /// ranking is deterministic.
@@ -274,6 +293,19 @@ mod tests {
         // Equal timestamps take the newer report (last writer wins).
         k.update(SiteId(1), P, Volume(3), VirtualTime(9));
         assert_eq!(k.known(SiteId(1), P), Volume(3));
+    }
+
+    #[test]
+    fn staleness_measures_ticks_since_refresh() {
+        let mut k = PeerKnowledge::new();
+        assert_eq!(k.staleness(SiteId(1), P, VirtualTime(10)), None);
+        assert_eq!(k.freshest(SiteId(1)), None);
+        k.update(SiteId(1), P, Volume(10), VirtualTime(5));
+        k.update(SiteId(1), ProductId(1), Volume(4), VirtualTime(8));
+        assert_eq!(k.staleness(SiteId(1), P, VirtualTime(12)), Some(7));
+        // Saturating: a "future" observation reads as zero staleness.
+        assert_eq!(k.staleness(SiteId(1), P, VirtualTime(3)), Some(0));
+        assert_eq!(k.freshest(SiteId(1)), Some(VirtualTime(8)));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use avdb_core::{Accelerator, DistributedSystem};
 use avdb_escrow::TransferRecord;
 use avdb_simnet::{CountersSnapshot, RegistrySnapshot, TraceEvent};
-use avdb_telemetry::SpanRecord;
+use avdb_telemetry::{FlightDump, FlightEvent, SpanRecord};
 use avdb_types::{
     ProductId, SiteId, SystemConfig, UpdateOutcome, UpdateRequest, VirtualTime, Volume,
 };
@@ -56,6 +56,9 @@ pub struct SiteObservation {
     pub spans: Vec<SpanRecord>,
     /// The site's telemetry registry at the end of the run.
     pub registry: RegistrySnapshot,
+    /// The site's flight-recorder ring at the end of the run (recent
+    /// protocol events, oldest first).
+    pub flight: Vec<FlightEvent>,
 }
 
 impl SiteObservation {
@@ -77,6 +80,7 @@ impl SiteObservation {
             idle: acc.is_idle(),
             spans: acc.spans().records().to_vec(),
             registry: acc.registry().snapshot(),
+            flight: acc.flight().snapshot(),
         }
     }
 }
@@ -162,5 +166,21 @@ impl Observation {
     pub fn with_reclassification(mut self) -> Self {
         self.reclassified = true;
         self
+    }
+
+    /// Assembles a cluster-wide flight-recorder dump from the captured
+    /// per-site rings. Harnesses write this to disk when [`crate::check`]
+    /// reports a violation, so the recent protocol history that led to the
+    /// failure survives alongside the minimal repro.
+    pub fn flight_dump(&self, reason: &str) -> FlightDump {
+        let at = self.outcomes.iter().map(|(t, _, _)| t.ticks()).max().unwrap_or(0);
+        let mut dump = FlightDump::new(reason, at);
+        for site in &self.sites {
+            dump.sites.push(avdb_telemetry::SiteFlight {
+                site: site.site.0,
+                events: site.flight.clone(),
+            });
+        }
+        dump
     }
 }

@@ -27,6 +27,7 @@ pub mod actor;
 pub mod counters;
 pub mod event;
 pub mod faults;
+pub mod inspect;
 pub mod rng;
 pub mod runner;
 pub mod tcp;
@@ -34,6 +35,7 @@ pub mod trace;
 pub mod transport;
 
 pub use actor::{Actor, Ctx, MsgInfo};
+pub use inspect::Introspect;
 pub use avdb_telemetry::{MessageEvent, MessageLog, Registry, RegistrySnapshot, TraceContext};
 pub use counters::{Counters, CountersSnapshot};
 pub use event::{Event, EventQueue};

@@ -13,6 +13,7 @@
 
 use crate::actor::{Actor, Ctx, MsgInfo};
 use crate::counters::Counters;
+use crate::inspect::{answer, content_type, Introspect};
 use crate::rng::DetRng;
 use crate::transport::{decode_frame, encode_frame};
 use avdb_telemetry::MessageLog;
@@ -42,9 +43,16 @@ enum SiteEvent<M, I> {
     Msg { from: SiteId, msg: M },
     /// An injected external input.
     Input(I),
+    /// An introspection query (`/metrics`, `/status`) from the HTTP
+    /// front-end; answered between handler invocations so the actor is
+    /// never read mid-dispatch. `None` replies mean "not found".
+    Inspect { path: String, reply: Sender<Option<String>> },
     /// Stop the site.
     Shutdown,
 }
+
+/// Handler turning an introspection path into a response body.
+type InspectFn<A> = Arc<dyn Fn(&A, &str) -> Option<String> + Send + Sync>;
 
 /// Timestamped outputs collected from all sites.
 type Outputs<O> = Vec<(VirtualTime, SiteId, O)>;
@@ -72,6 +80,30 @@ where
     /// spawns the event loops. Panics on socket errors (this is a test /
     /// demo harness, not a daemon).
     pub fn spawn(actors: Vec<A>, seed: u64) -> Self {
+        Self::spawn_inner(actors, seed, None).0
+    }
+
+    /// As [`TcpMesh::spawn`], but additionally binds one loopback HTTP
+    /// listener per site serving `GET /metrics` (Prometheus text) and
+    /// `GET /status` (JSON), and returns the per-site HTTP addresses.
+    /// Queries are routed through the site's event loop, so responses are
+    /// consistent snapshots taken between protocol events. The accept
+    /// threads are detached; they die with the process, not with
+    /// [`TcpMesh::shutdown`].
+    pub fn spawn_with_http(actors: Vec<A>, seed: u64) -> (Self, Vec<std::net::SocketAddr>)
+    where
+        A: Introspect,
+    {
+        let handler: InspectFn<A> = Arc::new(|actor, path| answer(actor, path));
+        let (mesh, addrs) = Self::spawn_inner(actors, seed, Some(handler));
+        (mesh, addrs.expect("handler implies http listeners"))
+    }
+
+    fn spawn_inner(
+        actors: Vec<A>,
+        seed: u64,
+        inspect: Option<InspectFn<A>>,
+    ) -> (Self, Option<Vec<std::net::SocketAddr>>) {
         let n = actors.len();
         // Bind listeners first so every address is known before anyone
         // connects.
@@ -85,6 +117,21 @@ where
         let channels: Vec<EventChannel<A::Msg, A::Input>> =
             (0..n).map(|_| unbounded()).collect();
         let inputs: Vec<Sender<_>> = channels.iter().map(|(s, _)| s.clone()).collect();
+
+        // Optional HTTP introspection front-end: one listener per site,
+        // queries forwarded to the event loop as `SiteEvent::Inspect`.
+        let http_addrs = inspect.is_some().then(|| {
+            (0..n)
+                .map(|i| {
+                    let listener =
+                        TcpListener::bind("127.0.0.1:0").expect("bind http loopback");
+                    let addr = listener.local_addr().expect("http local addr");
+                    let tx = inputs[i].clone();
+                    std::thread::spawn(move || serve_http(listener, tx));
+                    addr
+                })
+                .collect::<Vec<_>>()
+        });
 
         // Establish the mesh: site i dials every j > i; site j accepts
         // from every i < j. The dialing side sends its id first so the
@@ -170,6 +217,7 @@ where
             let counters = Arc::clone(&counters);
             let outputs = Arc::clone(&outputs);
             let messages = Arc::clone(&messages);
+            let inspect = inspect.clone();
             let mut rng = root.derive(0x7C90_0000 + i as u64);
             handles.push(std::thread::spawn(move || {
                 let mut actor = actor;
@@ -197,7 +245,9 @@ where
                         (Some(SiteEvent::Input(input)), _) => actor.on_input(&mut ctx, input),
                         (None, Some(tok)) => actor.on_timer(&mut ctx, tok),
                         (None, None) => actor.on_start(&mut ctx),
-                        (Some(SiteEvent::Shutdown), _) => unreachable!("handled by caller"),
+                        (Some(SiteEvent::Shutdown | SiteEvent::Inspect { .. }), _) => {
+                            unreachable!("handled by caller")
+                        }
                     }
                     let Ctx { sends, timers: new_timers, outputs: outs, .. } = ctx;
                     {
@@ -259,13 +309,17 @@ where
                     };
                     match ev {
                         SiteEvent::Shutdown => break,
+                        SiteEvent::Inspect { path, reply } => {
+                            let body = inspect.as_ref().and_then(|f| f(&actor, &path));
+                            let _ = reply.send(body);
+                        }
                         other => dispatch(&mut actor, &mut rng, &mut timers, Some(other), None),
                     }
                 }
                 actor
             }));
         }
-        TcpMesh { inputs, handles, counters, outputs, messages }
+        (TcpMesh { inputs, handles, counters, outputs, messages }, http_addrs)
     }
 
     /// Injects an external input at `site`.
@@ -303,6 +357,67 @@ where
         let outputs = std::mem::take(&mut *self.outputs.lock());
         (actors, counters, outputs)
     }
+}
+
+/// Accept loop for one site's introspection listener. Exits when the
+/// site's event channel closes (the mesh shut down).
+fn serve_http<M, I>(listener: TcpListener, tx: Sender<SiteEvent<M, I>>) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        if handle_http_conn(&mut stream, &tx).is_err() {
+            break;
+        }
+    }
+}
+
+/// Handles one HTTP connection: parse a minimal GET request, forward the
+/// path to the event loop, write the response. `Err` means the site is
+/// gone and the accept loop should stop.
+fn handle_http_conn<M, I>(
+    stream: &mut TcpStream,
+    tx: &Sender<SiteEvent<M, I>>,
+) -> Result<(), ()> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(k) => buf.extend_from_slice(&chunk[..k]),
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("").to_string();
+    if method != "GET" {
+        write_http(stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+        return Ok(());
+    }
+    let (reply_tx, reply_rx) = unbounded();
+    tx.send(SiteEvent::Inspect { path: path.clone(), reply: reply_tx }).map_err(|_| ())?;
+    match reply_rx.recv_timeout(Duration::from_secs(5)) {
+        Ok(Some(body)) => write_http(stream, 200, content_type(&path), &body),
+        Ok(None) => write_http(stream, 404, "text/plain; charset=utf-8", "not found\n"),
+        Err(_) => write_http(stream, 503, "text/plain; charset=utf-8", "unavailable\n"),
+    }
+    Ok(())
+}
+
+fn write_http(stream: &mut TcpStream, status: u16, ctype: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Service Unavailable",
+    };
+    let _ = stream.write_all(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
 }
 
 #[cfg(test)]
@@ -371,5 +486,52 @@ mod tests {
         assert_eq!(counters.total_correspondences(), 40);
         let pings: u64 = actors.iter().map(|a| a.pings_seen).sum();
         assert_eq!(pings, 40);
+    }
+
+    impl Introspect for EchoActor {
+        fn metrics_text(&self) -> String {
+            format!("echo_pings_total {}\n", self.pings_seen)
+        }
+        fn status_json(&self) -> String {
+            format!("{{\"pings\":{}}}", self.pings_seen)
+        }
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect http");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn http_endpoints_serve_metrics_and_status() {
+        let (mesh, addrs) = TcpMesh::spawn_with_http(
+            (0..2).map(|_| EchoActor { n: 2, pings_seen: 0 }).collect(),
+            3,
+        );
+        assert_eq!(addrs.len(), 2);
+        mesh.inject(SiteId(0), 7);
+        // Wait until site 1 saw the ping (visible via its own endpoint).
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let (_, body) = http_get(addrs[1], "/metrics");
+            if body.contains("echo_pings_total 1") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "site 1 never saw the ping: {body}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let (head, body) = http_get(addrs[1], "/status");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        assert_eq!(body, "{\"pings\":1}");
+        let (head, _) = http_get(addrs[0], "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        mesh.shutdown();
     }
 }

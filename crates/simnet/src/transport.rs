@@ -14,6 +14,7 @@
 
 use crate::actor::{Actor, Ctx, MsgInfo};
 use crate::counters::Counters;
+use crate::inspect::{answer, Introspect};
 use crate::rng::DetRng;
 use avdb_telemetry::MessageLog;
 use avdb_types::{AvdbError, SiteId, VirtualTime};
@@ -31,8 +32,14 @@ use std::time::{Duration, Instant};
 enum LiveEvent<M, I> {
     Msg { from: SiteId, msg: M },
     Input(I),
+    /// An in-process introspection query, answered between handler
+    /// invocations (`None` = unknown path or no handler installed).
+    Inspect { path: String, reply: Sender<Option<String>> },
     Shutdown,
 }
+
+/// Handler turning an introspection path into a response body.
+type InspectFn<A> = Arc<dyn Fn(&A, &str) -> Option<String> + Send + Sync>;
 
 /// Timestamped outputs collected from all sites.
 type Outputs<O> = Vec<(VirtualTime, SiteId, O)>;
@@ -59,6 +66,21 @@ where
     /// Spawns one thread per actor and starts them (each actor's
     /// `on_start` runs on its own thread before any delivery).
     pub fn spawn(actors: Vec<A>, seed: u64) -> Self {
+        Self::spawn_inner(actors, seed, None)
+    }
+
+    /// As [`LiveRunner::spawn`], but sites also answer in-process
+    /// introspection queries via [`LiveRunner::inspect`] — the threaded
+    /// transport's equivalent of the TCP mesh's HTTP endpoints.
+    pub fn spawn_with_inspect(actors: Vec<A>, seed: u64) -> Self
+    where
+        A: Introspect,
+    {
+        let handler: InspectFn<A> = Arc::new(|actor, path| answer(actor, path));
+        Self::spawn_inner(actors, seed, Some(handler))
+    }
+
+    fn spawn_inner(actors: Vec<A>, seed: u64, inspect: Option<InspectFn<A>>) -> Self {
         let n = actors.len();
         let root = DetRng::new(seed);
         let counters = Arc::new(Mutex::new(Counters::new()));
@@ -75,6 +97,7 @@ where
             let counters = Arc::clone(&counters);
             let outputs = Arc::clone(&outputs);
             let messages = Arc::clone(&messages);
+            let inspect = inspect.clone();
             let mut rng = root.derive(0x11FE_0000 + i as u64);
             handles.push(std::thread::spawn(move || {
                 let mut actor = actor;
@@ -104,7 +127,9 @@ where
                         (Some(LiveEvent::Input(input)), _) => actor.on_input(&mut ctx, input),
                         (None, Some(tok)) => actor.on_timer(&mut ctx, tok),
                         (None, None) => actor.on_start(&mut ctx),
-                        (Some(LiveEvent::Shutdown), _) => unreachable!("handled by caller"),
+                        (Some(LiveEvent::Shutdown | LiveEvent::Inspect { .. }), _) => {
+                            unreachable!("handled by caller")
+                        }
                     }
                     let Ctx { sends, timers: new_timers, outputs: outs, .. } = ctx;
                     {
@@ -161,6 +186,10 @@ where
                     };
                     match ev {
                         LiveEvent::Shutdown => break,
+                        LiveEvent::Inspect { path, reply } => {
+                            let body = inspect.as_ref().and_then(|f| f(&actor, &path));
+                            let _ = reply.send(body);
+                        }
                         other => dispatch(&mut actor, &mut rng, &mut timers, Some(other), None),
                     }
                 }
@@ -175,6 +204,18 @@ where
         // A send to a shut-down site is silently dropped, mirroring the
         // simulator's lost-input behaviour.
         let _ = self.senders[site.index()].send(LiveEvent::Input(input));
+    }
+
+    /// Queries a running site's introspection surface (`"/metrics"` or
+    /// `"/status"`). `None` when the runner was spawned without
+    /// [`LiveRunner::spawn_with_inspect`], the path is unknown, or the
+    /// site already shut down.
+    pub fn inspect(&self, site: SiteId, path: &str) -> Option<String> {
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        self.senders[site.index()]
+            .send(LiveEvent::Inspect { path: path.to_string(), reply: reply_tx })
+            .ok()?;
+        reply_rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
     }
 
     /// Fail-stops one site: its thread exits, later messages to it are
@@ -300,6 +341,40 @@ mod tests {
         assert!(outs.iter().all(|(_, s, v)| *s == SiteId(0) && *v == 42));
         assert_eq!(counters.total_messages(), 4);
         assert_eq!(counters.total_correspondences(), 2);
+    }
+
+    impl Introspect for EchoActor {
+        fn metrics_text(&self) -> String {
+            format!("echo_sites_total {}\n", self.n)
+        }
+        fn status_json(&self) -> String {
+            format!("{{\"sites\":{}}}", self.n)
+        }
+    }
+
+    #[test]
+    fn live_inspect_answers_between_events() {
+        let runner = LiveRunner::spawn_with_inspect(
+            vec![EchoActor { n: 2 }, EchoActor { n: 2 }],
+            5,
+        );
+        assert_eq!(
+            runner.inspect(SiteId(0), "/metrics").as_deref(),
+            Some("echo_sites_total 2\n")
+        );
+        assert_eq!(
+            runner.inspect(SiteId(1), "/status").as_deref(),
+            Some("{\"sites\":2}")
+        );
+        assert_eq!(runner.inspect(SiteId(0), "/nope"), None);
+        runner.shutdown();
+    }
+
+    #[test]
+    fn live_inspect_without_handler_returns_none() {
+        let runner = LiveRunner::spawn(vec![EchoActor { n: 1 }], 5);
+        assert_eq!(runner.inspect(SiteId(0), "/metrics"), None);
+        runner.shutdown();
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Flight recorder: a fixed-size ring buffer of recent protocol events.
+//!
+//! Every site keeps one of these always on. Recording is cheap (a bounded
+//! `VecDeque` push), so the ring can run in the hot path of a bench without
+//! skewing results; it only becomes visible when something goes wrong — an
+//! oracle invariant fires, a WAL recovery runs, or a 2PC round aborts — at
+//! which point the last `capacity` events from every site are assembled
+//! into a [`FlightDump`], written to disk as JSON, and pretty-printed by
+//! `avdb-trace flight`.
+//!
+//! Events are stamped with the site's virtual time and Lamport clock, so a
+//! dump from a deterministic sim run is itself deterministic and two dumps
+//! from the same seed are byte-identical.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Default ring capacity per site: enough to cover several protocol rounds
+/// without the dump becoming unreadable.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One recorded protocol event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Monotone per-site sequence number (never wraps; survives eviction,
+    /// so gaps at the front of a dump reveal how much history was lost).
+    pub seq: u64,
+    /// Virtual-time ticks when the event was recorded.
+    pub at: u64,
+    /// The site's Lamport clock at recording time.
+    pub clock: u64,
+    /// Short event class, e.g. `"delay.commit"` or `"imm.abort"`.
+    pub kind: String,
+    /// Human-readable detail line (txn ids, products, volumes, peers).
+    pub detail: String,
+}
+
+/// A bounded ring of [`FlightEvent`]s. Oldest events are evicted first.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    next_seq: u64,
+    events: VecDeque<FlightEvent>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder { cap, next_seq: 0, events: VecDeque::with_capacity(cap) }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, at: u64, clock: u64, kind: &str, detail: String) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back(FlightEvent {
+            seq: self.next_seq,
+            at,
+            clock,
+            kind: kind.to_string(),
+            detail,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events ever recorded (retained + evicted).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.events.iter()
+    }
+
+    /// Clones the retained events out, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.events.iter().cloned().collect()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+/// One site's slice of a [`FlightDump`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteFlight {
+    /// Site id.
+    pub site: u32,
+    /// Retained events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+/// A cluster-wide flight-recorder dump: why it was taken plus every site's
+/// recent events. Serialized as pretty JSON so a dump is diffable and
+/// greppable without tooling; `avdb-trace flight` renders it as a merged
+/// timeline.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// What triggered the dump (oracle violation, WAL recovery, 2PC abort).
+    pub reason: String,
+    /// Virtual-time ticks when the dump was taken (0 if unknown).
+    pub at: u64,
+    /// Per-site event rings.
+    pub sites: Vec<SiteFlight>,
+}
+
+impl FlightDump {
+    /// An empty dump with the given reason and timestamp.
+    pub fn new(reason: impl Into<String>, at: u64) -> Self {
+        FlightDump { reason: reason.into(), at, sites: Vec::new() }
+    }
+
+    /// Appends one site's recorder contents.
+    pub fn push_site(&mut self, site: u32, recorder: &FlightRecorder) {
+        self.sites.push(SiteFlight { site, events: recorder.snapshot() });
+    }
+
+    /// Serializes the dump as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("flight dump serializes")
+    }
+
+    /// Parses a dump previously written by [`FlightDump::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid flight dump: {e}"))
+    }
+
+    /// Total events across all sites.
+    pub fn total_events(&self) -> usize {
+        self.sites.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Renders a human-readable report: header, then one merged timeline
+    /// of every site's events ordered by (virtual time, site, seq).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "flight recorder dump — {}", self.reason);
+        let _ = writeln!(out, "taken at t={} · {} site(s) · {} event(s)", self.at, self.sites.len(), self.total_events());
+        for sf in &self.sites {
+            let evicted = sf.events.first().map(|e| e.seq).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  site {}: {} event(s) retained, {} evicted",
+                sf.site,
+                sf.events.len(),
+                evicted
+            );
+        }
+        let mut merged: Vec<(&SiteFlight, &FlightEvent)> = self
+            .sites
+            .iter()
+            .flat_map(|sf| sf.events.iter().map(move |e| (sf, e)))
+            .collect();
+        merged.sort_by_key(|(sf, e)| (e.at, sf.site, e.seq));
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:>8}  {:>6}  {:>6}  {:<24} detail", "t", "site", "clock", "kind");
+        for (sf, e) in merged {
+            let _ = writeln!(out, "{:>8}  {:>6}  {:>6}  {:<24} {}", e.at, sf.site, e.clock, e.kind, e.detail);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_seq() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.record(i, i, "tick", format!("event {i}"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 5);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_round_trips_and_renders() {
+        let mut r = FlightRecorder::new(8);
+        r.record(10, 1, "delay.commit", "txn 3 product 0 delta -2".into());
+        r.record(12, 2, "imm.abort", "txn 4".into());
+        let mut dump = FlightDump::new("test trigger", 20);
+        dump.push_site(0, &r);
+        dump.push_site(1, &FlightRecorder::new(4));
+        let json = dump.to_json();
+        let parsed = FlightDump::from_json(&json).unwrap();
+        assert_eq!(parsed, dump);
+        let text = parsed.render();
+        assert!(text.contains("test trigger"));
+        assert!(text.contains("imm.abort"));
+        assert!(text.contains("txn 3 product 0 delta -2"));
+    }
+
+    #[test]
+    fn render_merges_sites_by_time() {
+        let mut a = FlightRecorder::new(4);
+        a.record(5, 1, "a.late", "late".into());
+        let mut b = FlightRecorder::new(4);
+        b.record(2, 1, "b.early", "early".into());
+        let mut dump = FlightDump::new("merge", 6);
+        dump.push_site(0, &a);
+        dump.push_site(1, &b);
+        let text = dump.render();
+        let early = text.find("b.early").unwrap();
+        let late = text.find("a.late").unwrap();
+        assert!(early < late, "events are merged in time order:\n{text}");
+    }
+
+    #[test]
+    fn rejects_garbage_json() {
+        assert!(FlightDump::from_json("{nope").is_err());
+    }
+}

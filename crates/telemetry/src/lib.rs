@@ -27,7 +27,9 @@
 pub mod analyze;
 pub mod context;
 pub mod export;
+pub mod flight;
 pub mod message_log;
+pub mod prometheus;
 pub mod registry;
 pub mod span;
 
@@ -35,6 +37,8 @@ pub use context::{aux_trace_id, is_aux_trace, TraceContext, AUX_TRACE_FLAG};
 pub use export::{
     ExportLine, MessageLine, MetaLine, OutcomeLine, RegistryLine, RunExport, SpanLine,
 };
+pub use flight::{FlightDump, FlightEvent, FlightRecorder, SiteFlight, DEFAULT_FLIGHT_CAPACITY};
 pub use message_log::{render_sequence, MessageEvent, MessageLog};
+pub use prometheus::{metric_families, metric_name, render_prometheus, validate_exposition};
 pub use registry::{Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
 pub use span::{SpanCollector, SpanRecord};

@@ -1,0 +1,222 @@
+//! Prometheus text-format exposition rendered straight from a
+//! [`RegistrySnapshot`](crate::RegistrySnapshot).
+//!
+//! The registry's dotted names (`update.committed`, `repl.queue.depth`)
+//! become valid Prometheus metric names by replacing every character
+//! outside `[a-zA-Z0-9_:]` with `_` and prefixing `avdb_`; counters
+//! additionally get the conventional `_total` suffix. Log₂ histograms map
+//! onto cumulative `le`-bucketed series: ring bucket `0` holds exact zeros
+//! (`le="0"`), bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)` so its
+//! inclusive upper bound is `2^i − 1`.
+//!
+//! A small line-level validator and family extractor live here too so the
+//! CI metrics-smoke job and `avdb top --check` can verify an endpoint's
+//! output without a real Prometheus server.
+
+use crate::registry::RegistrySnapshot;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Converts a registry metric name into a valid Prometheus metric name:
+/// `avdb_` prefix plus the dotted name with every character outside
+/// `[a-zA-Z0-9_:]` replaced by `_`.
+pub fn metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 5);
+    out.push_str("avdb_");
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped: String = v.chars().flat_map(|c| match c {
+            '\\' => vec!['\\', '\\'],
+            '"' => vec!['\\', '"'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        }).collect();
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn label_block_with(labels: &[(&str, String)], extra_key: &str, extra_val: &str) -> String {
+    let mut all: Vec<(&str, String)> = labels.to_vec();
+    all.push((extra_key, extra_val.to_string()));
+    label_block(&all)
+}
+
+/// Inclusive upper bound of log₂ ring bucket `i` (see module docs).
+fn bucket_upper(i: u32) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Renders `snap` in the Prometheus text exposition format (version
+/// 0.0.4). `labels` are attached to every sample — pass `("site", ..)` so
+/// scrapes from different sites stay distinguishable after aggregation.
+pub fn render_prometheus(snap: &RegistrySnapshot, labels: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    let lbl = label_block(labels);
+    for (name, value) in &snap.counters {
+        let pname = format!("{}_total", metric_name(name));
+        let _ = writeln!(out, "# TYPE {pname} counter");
+        let _ = writeln!(out, "{pname}{lbl} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = writeln!(out, "{pname}{lbl} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let pname = metric_name(name);
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        let mut cumulative = 0u64;
+        for &(bucket, count) in &hist.buckets {
+            cumulative += count;
+            let le = label_block_with(labels, "le", &bucket_upper(bucket).to_string());
+            let _ = writeln!(out, "{pname}_bucket{le} {cumulative}");
+        }
+        let inf = label_block_with(labels, "le", "+Inf");
+        let _ = writeln!(out, "{pname}_bucket{inf} {}", hist.count);
+        let _ = writeln!(out, "{pname}_sum{lbl} {}", hist.sum);
+        let _ = writeln!(out, "{pname}_count{lbl} {}", hist.count);
+    }
+    out
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validates that `text` parses as Prometheus text exposition: every
+/// non-comment line is `name[{labels}] value` with a well-formed metric
+/// name and a numeric value. Returns the first offending line on failure.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("no value separator: {line:?}"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("non-numeric value {value:?} in line {line:?}"));
+        }
+        let name = match series.split_once('{') {
+            Some((n, rest)) => {
+                if !rest.ends_with('}') {
+                    return Err(format!("unterminated label block: {line:?}"));
+                }
+                n
+            }
+            None => series,
+        };
+        if !valid_name(name) {
+            return Err(format!("invalid metric name {name:?} in line {line:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the set of metric family names present in an exposition,
+/// stripping histogram `_bucket`/`_sum`/`_count` suffixes down to the
+/// family declared by the `# TYPE` line.
+pub fn metric_families(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("# TYPE ")?;
+            Some(rest.split_whitespace().next()?.to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> RegistrySnapshot {
+        let mut r = Registry::new();
+        r.inc("update.committed");
+        r.inc("update.committed");
+        r.set_gauge("repl.queue.depth", 3);
+        r.observe("update.latency.ticks", 0);
+        r.observe("update.latency.ticks", 1);
+        r.observe("update.latency.ticks", 5);
+        r.snapshot()
+    }
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let text = render_prometheus(&sample(), &[("site", "0".to_string())]);
+        assert!(text.contains("# TYPE avdb_update_committed_total counter"));
+        assert!(text.contains("avdb_update_committed_total{site=\"0\"} 2"));
+        assert!(text.contains("avdb_repl_queue_depth{site=\"0\"} 3"));
+        assert!(text.contains("# TYPE avdb_update_latency_ticks histogram"));
+        // Zeros land in le="0"; 1 in le="1"; 5 in le="7".
+        assert!(text.contains("avdb_update_latency_ticks_bucket{site=\"0\",le=\"0\"} 1"));
+        assert!(text.contains("avdb_update_latency_ticks_bucket{site=\"0\",le=\"1\"} 2"));
+        assert!(text.contains("avdb_update_latency_ticks_bucket{site=\"0\",le=\"7\"} 3"));
+        assert!(text.contains("avdb_update_latency_ticks_bucket{site=\"0\",le=\"+Inf\"} 3"));
+        assert!(text.contains("avdb_update_latency_ticks_sum{site=\"0\"} 6"));
+        assert!(text.contains("avdb_update_latency_ticks_count{site=\"0\"} 3"));
+    }
+
+    #[test]
+    fn rendered_text_validates_and_lists_families() {
+        let text = render_prometheus(&sample(), &[("site", "1".to_string())]);
+        validate_exposition(&text).unwrap();
+        let fams = metric_families(&text);
+        assert!(fams.contains("avdb_update_committed_total"));
+        assert!(fams.contains("avdb_repl_queue_depth"));
+        assert!(fams.contains("avdb_update_latency_ticks"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_exposition("not a metric line").is_err());
+        assert!(validate_exposition("9bad_name 1").is_err());
+        assert!(validate_exposition("name{unclosed 1").is_err());
+        assert!(validate_exposition("ok_name 1\n").is_ok());
+    }
+
+    #[test]
+    fn sanitizes_dotted_names() {
+        assert_eq!(metric_name("repl.queue.depth"), "avdb_repl_queue_depth");
+        assert_eq!(metric_name("msg.sent.av-req"), "avdb_msg_sent_av_req");
+    }
+
+    #[test]
+    fn bucket_bounds_match_log2_ring() {
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(3), 7);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+}

@@ -198,8 +198,9 @@ fn print_stats(reg: &RegistrySnapshot) {
 }
 
 /// Runs one case over the first `requests` entries of its workload and
-/// returns the oracle's verdict plus the merged per-site registry.
-fn run_case(case: Case, requests: usize, full: usize) -> (Report, RegistrySnapshot) {
+/// returns the oracle's verdict, the merged per-site registry, and the
+/// captured observation (whose flight-recorder rings a violation dumps).
+fn run_case(case: Case, requests: usize, full: usize) -> (Report, RegistrySnapshot, Observation) {
     let cfg = config(case);
     let schedule: Vec<_> = workload(case, full).into_iter().take(requests).collect();
     let horizon = full as u64 * TICKS_PER_REQUEST + 10;
@@ -255,16 +256,17 @@ fn run_case(case: Case, requests: usize, full: usize) -> (Report, RegistrySnapsh
     let outcomes = sys.drain_outcomes();
     let submitted =
         schedule.iter().map(|(at, req)| SubmittedRequest::single(*at, req)).collect();
-    let report = oracle::check(&Observation::from_system(&sys, submitted, outcomes));
-    (report, sys.merged_registry())
+    let observation = Observation::from_system(&sys, submitted, outcomes);
+    let report = oracle::check(&observation);
+    (report, sys.merged_registry(), observation)
 }
 
 /// Binary-searches the shortest failing request prefix of a known-bad
 /// case (assumes failures are prefix-monotone, the usual fuzzing bet).
-fn minimize(case: Case, full: usize) -> (usize, Report, RegistrySnapshot) {
+fn minimize(case: Case, full: usize) -> (usize, Report, RegistrySnapshot, Observation) {
     if !run_case(case, 0, full).0.is_ok() {
-        let (report, reg) = run_case(case, 0, full);
-        return (0, report, reg);
+        let (report, reg, obs) = run_case(case, 0, full);
+        return (0, report, reg, obs);
     }
     let (mut lo, mut hi) = (0, full);
     while hi - lo > 1 {
@@ -275,8 +277,33 @@ fn minimize(case: Case, full: usize) -> (usize, Report, RegistrySnapshot) {
             hi = mid;
         }
     }
-    let (report, reg) = run_case(case, hi, full);
-    (hi, report, reg)
+    let (report, reg, obs) = run_case(case, hi, full);
+    (hi, report, reg, obs)
+}
+
+/// Writes the minimal repro's cluster-wide flight dump under
+/// `results/flight/` so the protocol history leading to the violation
+/// survives alongside the printed repro line. Returns the path written.
+fn write_flight_dump(case: Case, min_requests: usize, obs: &Observation) -> Option<String> {
+    let reason = format!(
+        "oracle-violation: fault={} seed={} sites={} requests={min_requests}",
+        case.fault.name(),
+        case.seed,
+        case.n_sites
+    );
+    let dump = obs.flight_dump(&reason);
+    let dir = std::path::Path::new("results/flight");
+    let path = dir.join(format!(
+        "check-{}-seed{}-sites{}.json",
+        case.fault.name(),
+        case.seed,
+        case.n_sites
+    ));
+    if std::fs::create_dir_all(dir).is_err() || std::fs::write(&path, dump.to_json()).is_err() {
+        eprintln!("avdb-check: could not write flight dump to {}", path.display());
+        return None;
+    }
+    Some(path.display().to_string())
 }
 
 fn main() -> ExitCode {
@@ -304,7 +331,7 @@ fn main() -> ExitCode {
         for &n_sites in &sweep.sites {
             for seed in sweep.seeds.clone() {
                 let case = Case { seed, fault, n_sites };
-                let (report, registry) = run_case(case, sweep.requests, sweep.requests);
+                let (report, registry, _) = run_case(case, sweep.requests, sweep.requests);
                 fault_runs += 1;
                 if sweep.verbose {
                     println!(
@@ -324,7 +351,7 @@ fn main() -> ExitCode {
                         sweep.requests
                     );
                     print!("{report}");
-                    let (min_requests, min_report, min_registry) =
+                    let (min_requests, min_report, min_registry, min_obs) =
                         minimize(case, sweep.requests);
                     println!(
                         "  minimal repro: --seeds {seed}..{} --faults {} --sites {n_sites} \
@@ -332,6 +359,11 @@ fn main() -> ExitCode {
                         seed + 1,
                         fault.name()
                     );
+                    if let Some(path) = write_flight_dump(case, min_requests, &min_obs) {
+                        println!(
+                            "  flight recorder dump: {path} (render with `avdb-trace flight`)"
+                        );
+                    }
                     print!("{min_report}");
                     if sweep.stats {
                         print_stats(&min_registry);

@@ -5,6 +5,7 @@
 //!                   [--requests N] [--out FILE]
 //! avdb-trace report FILE [--limit N]
 //! avdb-trace verify FILE
+//! avdb-trace flight FILE
 //! ```
 //!
 //! * `record` drives one seeded workload through the chosen transport with
@@ -14,6 +15,9 @@
 //!   commit), and message-amplification percentiles.
 //! * `verify` checks span-tree completeness: every committed update must
 //!   have a rooted tree with no orphan spans. Non-zero exit on failure.
+//! * `flight` pretty-prints a flight-recorder dump (written by a site on a
+//!   2PC abort / WAL recovery, or by a harness on an oracle violation) as
+//!   one merged, time-ordered timeline across all sites.
 //!
 //! The same trace ids flow through all three transports, so a sim
 //! recording and a TCP recording of the same seed produce the same causal
@@ -38,7 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  avdb-trace record [--transport sim|threads|tcp] [--sites N] [--seed N] \
          [--requests N] [--out FILE]\n  avdb-trace report FILE [--limit N]\n  \
-         avdb-trace verify FILE"
+         avdb-trace verify FILE\n  avdb-trace flight FILE"
     );
     std::process::exit(2);
 }
@@ -323,11 +327,35 @@ fn verify_file(path: &str) -> ExitCode {
     }
 }
 
+fn flight_file(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("avdb-trace: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match avdb::telemetry::FlightDump::from_json(&text) {
+        Ok(dump) => {
+            print!("{}", dump.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("avdb-trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args();
     let _ = args.next();
     match args.next().as_deref() {
         Some("record") => record(parse_record(args)),
+        Some("flight") => {
+            let Some(path) = args.next() else { usage() };
+            flight_file(&path)
+        }
         Some("report") => {
             let Some(path) = args.next() else { usage() };
             let mut limit = 10;

@@ -7,6 +7,9 @@
 //! avdb faults    [--updates N] [--seed S]     # A5: crash experiments
 //! avdb report    [--dir D] [--updates N] [--ablation N] [--seed S]
 //! avdb demo                                    # 3-site walkthrough
+//! avdb serve [--sites N] [--seed S] [--updates N] [--hold-ms MS]
+//!            [--addr-file PATH] [--flight-dir DIR]   # TCP cluster + /metrics
+//! avdb top --targets HOST:PORT,... [--interval-ms N] [--once] [--check]
 //! ```
 
 use avdb::prelude::*;
@@ -166,8 +169,323 @@ fn cmd_demo() -> Result<()> {
     Ok(())
 }
 
+// ---- serve: a live TCP cluster with /metrics + /status endpoints ----------
+
+struct ServeOpts {
+    sites: usize,
+    seed: u64,
+    updates: usize,
+    hold_ms: u64,
+    addr_file: Option<PathBuf>,
+    flight_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            sites: 3,
+            seed: 1,
+            updates: 150,
+            hold_ms: 10_000,
+            addr_file: None,
+            flight_dir: None,
+        }
+    }
+}
+
+fn parse_serve_opts(args: &[String]) -> Result<ServeOpts> {
+    let mut opts = ServeOpts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String> {
+            it.next()
+                .ok_or_else(|| AvdbError::InvalidConfig(format!("{name} requires a value")))
+        };
+        let parse_err = |name: &str, e: &dyn std::fmt::Display| {
+            AvdbError::InvalidConfig(format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--sites" => {
+                opts.sites = value("--sites")?.parse().map_err(|e| parse_err("--sites", &e))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| parse_err("--seed", &e))?;
+            }
+            "--updates" => {
+                opts.updates =
+                    value("--updates")?.parse().map_err(|e| parse_err("--updates", &e))?;
+            }
+            "--hold-ms" => {
+                opts.hold_ms =
+                    value("--hold-ms")?.parse().map_err(|e| parse_err("--hold-ms", &e))?;
+            }
+            "--addr-file" => opts.addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            "--flight-dir" => opts.flight_dir = Some(PathBuf::from(value("--flight-dir")?)),
+            other => return Err(AvdbError::InvalidConfig(format!("unknown flag {other}"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Boots a TCP cluster with per-site HTTP introspection, pumps a small
+/// deterministic workload through it, then holds the endpoints open for
+/// `--hold-ms` so `avdb top` / `curl` / CI can scrape them.
+fn cmd_serve(opts: &ServeOpts) -> Result<()> {
+    use avdb::core::Input;
+    use avdb::simnet::TcpMesh;
+
+    let cfg = SystemConfig::builder()
+        .sites(opts.sites)
+        .regular_products(3, Volume(6_000))
+        .non_regular_products(1, Volume(600))
+        .propagation_batch(5)
+        .seed(opts.seed)
+        .build()?;
+    let actors: Vec<Accelerator> = SiteId::all(opts.sites)
+        .map(|s| {
+            let mut acc = Accelerator::new(s, &cfg);
+            if let Some(dir) = &opts.flight_dir {
+                acc.enable_flight_dump(dir.clone());
+            }
+            acc
+        })
+        .collect();
+    let (mesh, addrs): (TcpMesh<Accelerator>, _) = TcpMesh::spawn_with_http(actors, opts.seed);
+
+    let lines: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    for (i, line) in lines.iter().enumerate() {
+        println!("site {i}: http://{line}  (/metrics, /status)");
+    }
+    // A deterministic mixed workload: the base mints, retailers sell, and
+    // one product runs the Immediate (2PC) path.
+    for i in 0..opts.updates as u64 {
+        let site = SiteId((i % opts.sites as u64) as u32);
+        let (product, delta) = if i % 10 == 9 {
+            (ProductId(3), Volume(-1))
+        } else if site == SiteId::BASE {
+            (ProductId((i % 3) as u32), Volume(10))
+        } else {
+            (ProductId((i % 3) as u32), Volume(-7))
+        };
+        mesh.inject(site, Input::Update(UpdateRequest::new(site, product, delta)));
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut seen = 0usize;
+    while seen < opts.updates && std::time::Instant::now() < deadline {
+        seen += mesh.drain_outputs().len();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    // Anti-entropy so the replication queues drain before scraping.
+    for _ in 0..3 {
+        for site in SiteId::all(opts.sites) {
+            mesh.inject(site, Input::FlushPropagation);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // The addr file is written only once the workload has settled, so a
+    // harness waiting on it scrapes a fully populated registry.
+    if let Some(path) = &opts.addr_file {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, lines.join("\n") + "\n")
+            .map_err(|e| AvdbError::InvalidConfig(format!("--addr-file: {e}")))?;
+    }
+    println!("workload done: {seen}/{} outcomes; holding {} ms", opts.updates, opts.hold_ms);
+    std::thread::sleep(std::time::Duration::from_millis(opts.hold_ms));
+
+    let (actors, counters, _) = mesh.shutdown();
+    if let Some(dir) = &opts.flight_dir {
+        let mut dump = avdb::telemetry::FlightDump::new("serve-shutdown", 0);
+        for acc in &actors {
+            dump.push_site(acc.site().0, acc.flight());
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| AvdbError::InvalidConfig(format!("--flight-dir: {e}")))?;
+        let path = dir.join("serve-shutdown.json");
+        std::fs::write(&path, dump.to_json())
+            .map_err(|e| AvdbError::InvalidConfig(format!("--flight-dir: {e}")))?;
+        println!("flight recorder dump: {}", path.display());
+    }
+    println!("shut down: {} messages on the wire", counters.total_messages());
+    Ok(())
+}
+
+// ---- top: poll /status + /metrics across a cluster ------------------------
+
+struct TopOpts {
+    targets: Vec<String>,
+    interval_ms: u64,
+    once: bool,
+    check: bool,
+}
+
+fn parse_top_opts(args: &[String]) -> Result<TopOpts> {
+    let mut opts = TopOpts { targets: Vec::new(), interval_ms: 1_000, once: false, check: false };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String> {
+            it.next()
+                .ok_or_else(|| AvdbError::InvalidConfig(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--targets" => {
+                opts.targets = value("--targets")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--interval-ms" => {
+                opts.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| AvdbError::InvalidConfig(format!("--interval-ms: {e}")))?;
+            }
+            "--once" => opts.once = true,
+            "--check" => opts.check = true,
+            other => return Err(AvdbError::InvalidConfig(format!("unknown flag {other}"))),
+        }
+    }
+    if opts.targets.is_empty() {
+        return Err(AvdbError::InvalidConfig("top requires --targets HOST:PORT,...".into()));
+    }
+    Ok(opts)
+}
+
+/// One plain HTTP/1.1 GET over a fresh TCP connection. Returns
+/// `(status_code, body)`.
+fn http_get(target: &str, path: &str) -> std::io::Result<(u16, String)> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(target)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {target}\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let code: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((code, body))
+}
+
+/// Metric families every healthy site must expose (the smoke contract CI
+/// checks against).
+const REQUIRED_FAMILIES: &[&str] =
+    &["avdb_update_committed_total", "avdb_repl_queue_depth", "avdb_update_latency_ticks"];
+
+fn render_cluster_table(rows: &[(String, Option<avdb::core::StatusSnapshot>)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>4} {:<8} {:>8} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7}",
+        "target", "site", "role", "clock", "commit", "abort", "delay", "imm", "queue", "flight"
+    );
+    for (target, status) in rows {
+        match status {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>4} {:<8} {:>8} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7}",
+                    target,
+                    s.site,
+                    s.role,
+                    s.clock,
+                    s.committed,
+                    s.aborted,
+                    s.in_flight_delay,
+                    s.in_flight_imm,
+                    s.repl_queue_depth,
+                    s.flight_recorded
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{target:<22} (unreachable)");
+            }
+        }
+    }
+    // Per-product divergence, when any site reports a nonzero gauge.
+    let diverged: Vec<String> = rows
+        .iter()
+        .filter_map(|(_, s)| s.as_ref())
+        .flat_map(|s| s.av.iter().filter(|r| r.divergence != 0).map(move |r| (s.site, r)))
+        .map(|(site, r)| format!("site {site} p{}: {:+}", r.product, r.divergence))
+        .collect();
+    if !diverged.is_empty() {
+        let _ = writeln!(out, "unreplicated divergence: {}", diverged.join(", "));
+    }
+    out
+}
+
+/// Validates one site's `/metrics` exposition for `--check` mode.
+fn check_metrics(target: &str) -> std::result::Result<(), String> {
+    let (code, body) =
+        http_get(target, "/metrics").map_err(|e| format!("{target}: /metrics: {e}"))?;
+    if code != 200 {
+        return Err(format!("{target}: /metrics returned HTTP {code}"));
+    }
+    avdb::telemetry::validate_exposition(&body).map_err(|e| format!("{target}: {e}"))?;
+    let families = avdb::telemetry::metric_families(&body);
+    for required in REQUIRED_FAMILIES {
+        if !families.contains(*required) {
+            return Err(format!("{target}: missing metric family {required}"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_top(opts: &TopOpts) -> Result<()> {
+    loop {
+        let rows: Vec<(String, Option<avdb::core::StatusSnapshot>)> = opts
+            .targets
+            .iter()
+            .map(|t| {
+                let status = http_get(t, "/status")
+                    .ok()
+                    .filter(|(code, _)| *code == 200)
+                    .and_then(|(_, body)| serde_json::from_str(&body).ok());
+                (t.clone(), status)
+            })
+            .collect();
+        if !opts.once {
+            // Clear screen + home, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_cluster_table(&rows));
+        if opts.check {
+            let mut failures: Vec<String> = rows
+                .iter()
+                .filter(|(_, s)| s.is_none())
+                .map(|(t, _)| format!("{t}: /status unreachable or unparseable"))
+                .collect();
+            failures.extend(opts.targets.iter().filter_map(|t| check_metrics(t).err()));
+            if failures.is_empty() {
+                println!("check: ok ({} sites)", rows.len());
+            } else {
+                for f in &failures {
+                    eprintln!("check failed: {f}");
+                }
+                return Err(AvdbError::InvalidConfig(format!(
+                    "{} of {} checks failed",
+                    failures.len(),
+                    rows.len()
+                )));
+            }
+        }
+        if opts.once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+}
+
 const USAGE: &str = "usage: avdb <fig6|table1|ablations|faults|report|demo> \
-[--updates N] [--ablation N] [--seed S] [--dir D]";
+[--updates N] [--ablation N] [--seed S] [--dir D]
+       avdb serve [--sites N] [--seed S] [--updates N] [--hold-ms MS] \
+[--addr-file PATH] [--flight-dir DIR]
+       avdb top --targets HOST:PORT,... [--interval-ms N] [--once] [--check]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -175,6 +493,20 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // serve/top parse their own flags.
+    if cmd == "serve" || cmd == "top" {
+        let result = match cmd.as_str() {
+            "serve" => parse_serve_opts(rest).and_then(|o| cmd_serve(&o)),
+            _ => parse_top_opts(rest).and_then(|o| cmd_top(&o)),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_opts(rest) {
         Ok(opts) => opts,
         Err(e) => {

@@ -39,6 +39,17 @@ fn paper_workload_converges_and_conserves() {
     assert_eq!(outcomes.len(), 1_200, "every update resolves");
     // Network pairing: every message is half of a correspondence.
     assert_eq!(sys.counters().total_messages() % 2, 0);
+    // At quiescence every replication queue has drained: the depth gauge
+    // reads zero and no per-product divergence remains anywhere.
+    for site in SiteId::all(sys.config().n_sites) {
+        let reg = sys.accelerator(site).registry();
+        assert_eq!(reg.gauge("repl.queue.depth"), 0, "{site} still retains deltas");
+        let status = sys.status(site);
+        assert_eq!(status.repl_queue_depth, 0, "{site} status disagrees with gauge");
+        for row in &status.av {
+            assert_eq!(row.divergence, 0, "{site} product {} still diverged", row.product);
+        }
+    }
     assert_oracle_sim(&sys, subs, outcomes, "paper-workload");
 }
 
