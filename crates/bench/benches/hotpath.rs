@@ -1,0 +1,82 @@
+//! Microbenchmarks of the shortage-path fast lane's hot helpers: peer
+//! ranking (allocating vs. scratch-buffer reuse) and replication-delta
+//! coalescing. Both sit inside per-message handlers, so their constant
+//! factors show up directly in simulated-run wall time.
+
+use avdb_core::{coalesce_deltas, PropagateDelta};
+use avdb_escrow::PeerKnowledge;
+use avdb_types::{ProductId, SiteId, TxnId, VirtualTime, Volume};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Knowledge seeded with a distinct believed AV per (peer, product), so
+/// ranking has real work to do at every site count.
+fn knowledge(n_sites: usize, n_products: usize) -> PeerKnowledge {
+    let mut k = PeerKnowledge::new();
+    for s in 0..n_sites as u32 {
+        for p in 0..n_products as u32 {
+            k.update(
+                SiteId(s),
+                ProductId(p),
+                Volume(((s as i64 * 31 + p as i64 * 7) % 97) * 10),
+                VirtualTime(u64::from(s + p)),
+            );
+        }
+    }
+    k
+}
+
+fn bench_ranked_peers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranked_peers");
+    group.throughput(Throughput::Elements(1));
+    for &sites in &[8usize, 64] {
+        let k = knowledge(sites, 4);
+        let exclude = [SiteId(1)];
+        group.bench_function(format!("alloc/{sites}_sites"), |b| {
+            b.iter(|| {
+                black_box(k.ranked_peers(SiteId(0), sites, ProductId(2), &exclude));
+            })
+        });
+        group.bench_function(format!("scratch/{sites}_sites"), |b| {
+            let mut out = Vec::with_capacity(sites);
+            b.iter(|| {
+                k.ranked_peers_into(SiteId(0), sites, ProductId(2), &exclude, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A retained-delta log shaped like a propagation backlog: `n` commits
+/// spread over `products` products, mixed increments and decrements.
+fn delta_log(n: usize, products: u32) -> Vec<PropagateDelta> {
+    (0..n)
+        .map(|i| PropagateDelta {
+            txn: TxnId::new(SiteId(0), i as u64),
+            product: ProductId(i as u32 % products),
+            delta: Volume(if i % 3 == 0 { -4 } else { 3 }),
+            commit_span: i as u64,
+            committed_at: VirtualTime(i as u64 * 5),
+        })
+        .collect()
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce_deltas");
+    for &(n, products) in &[(8usize, 4u32), (64, 8), (64, 1)] {
+        let log = delta_log(n, products);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("{n}_deltas_{products}_products"), |b| {
+            let mut out = Vec::with_capacity(products as usize);
+            b.iter(|| {
+                coalesce_deltas(&log, &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranked_peers, bench_coalesce);
+criterion_main!(benches);

@@ -123,6 +123,16 @@ pub struct ScenarioSpec {
     /// outcome before the next — the injection order (and therefore every
     /// protocol-level counter) becomes scheduling-independent.
     pub closed_loop: bool,
+    /// Peers asked concurrently per shortage round (0/1 = the paper's
+    /// serial loop). Defaults keep pre-fast-lane BENCH files parseable.
+    #[serde(default)]
+    pub shortage_fanout: usize,
+    /// Proactive rebalancing horizon in ticks (0 = off).
+    #[serde(default)]
+    pub rebalance_horizon_ticks: u64,
+    /// Fold propagation batches into net-per-product frames.
+    #[serde(default)]
+    pub coalesce_propagation: bool,
 }
 
 impl ScenarioSpec {
@@ -145,6 +155,9 @@ impl ScenarioSpec {
             spacing: 40,
             seed: 1,
             closed_loop: true,
+            shortage_fanout: 0,
+            rebalance_horizon_ticks: 0,
+            coalesce_propagation: false,
         }
     }
 
@@ -158,7 +171,7 @@ impl ScenarioSpec {
     /// Stable human-readable identifier; doubles as the key the
     /// regression gate uses to match scenarios across BENCH files.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}-s{}-u{}-imm{}-{}-z{}-b{}-{}-seed{}",
             self.transport.name(),
             self.sites,
@@ -169,7 +182,19 @@ impl ScenarioSpec {
             self.propagation_batch,
             self.fault.name(),
             self.seed,
-        )
+        );
+        // Fast-lane knobs append segments only when non-default, so every
+        // pre-fast-lane label (and its baseline entry) stays unchanged.
+        if self.shortage_fanout > 1 {
+            label.push_str(&format!("-fk{}", self.shortage_fanout));
+        }
+        if self.rebalance_horizon_ticks > 0 {
+            label.push_str(&format!("-rb{}", self.rebalance_horizon_ticks));
+        }
+        if self.coalesce_propagation {
+            label.push_str("-coal");
+        }
+        label
     }
 
     /// Expands the cell into a validated system configuration.
@@ -180,6 +205,9 @@ impl ScenarioSpec {
             .non_regular_products(self.non_regular_products, Volume(self.initial_stock))
             .av_allocation(self.allocation)
             .propagation_batch(self.propagation_batch)
+            .shortage_fanout(self.shortage_fanout)
+            .rebalance_horizon_ticks(self.rebalance_horizon_ticks)
+            .coalesce_propagation(self.coalesce_propagation)
             .seed(self.seed);
         if self.fault == FaultProfile::Loss {
             b = b.drop_probability(LOSS_DROP_PROBABILITY);
@@ -277,5 +305,31 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(spec.label(), back.label());
+    }
+
+    #[test]
+    fn fast_lane_knobs_extend_the_label_only_when_set() {
+        let base = ScenarioSpec::base();
+        let mut spec = ScenarioSpec::base();
+        spec.shortage_fanout = 1;
+        assert_eq!(spec.label(), base.label(), "fanout 1 is the serial default");
+        spec.shortage_fanout = 4;
+        spec.rebalance_horizon_ticks = 512;
+        spec.coalesce_propagation = true;
+        let label = spec.label();
+        assert!(label.ends_with("-fk4-rb512-coal"), "unexpected label {label}");
+        spec.config().expect("knobs thread into a valid config");
+    }
+
+    #[test]
+    fn pre_fast_lane_spec_json_still_parses() {
+        let json = serde_json::to_string(&ScenarioSpec::base()).unwrap();
+        let stripped = json
+            .replace(",\"shortage_fanout\":0", "")
+            .replace(",\"rebalance_horizon_ticks\":0", "")
+            .replace(",\"coalesce_propagation\":false", "");
+        assert_ne!(stripped, json);
+        let back: ScenarioSpec = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.label(), ScenarioSpec::base().label());
     }
 }

@@ -291,9 +291,23 @@ pub fn merged_site_registry(export: &RunExport) -> RegistrySnapshot {
     merged
 }
 
-/// Compares a fresh report against a committed baseline: every sim
-/// scenario present in both must retain at least
-/// `100 - max_regress_pct`% of the baseline's virtual-tick throughput.
+/// Minimum absolute headroom the shortage-rate gate always allows, so
+/// near-zero baselines don't flap on a couple of extra shortage events.
+const SHORTAGE_SLACK_PERMILLE: u64 = 25;
+
+/// Minimum absolute headroom the amplification gate always allows.
+const AMPLIFICATION_SLACK: u64 = 1;
+
+/// Compares a fresh report against a committed baseline. Every sim
+/// scenario present in both must:
+///
+/// - retain at least `100 - max_regress_pct`% of the baseline's
+///   virtual-tick throughput,
+/// - keep `shortage_rate_permille` within `max_regress_pct`% (never less
+///   than [`SHORTAGE_SLACK_PERMILLE`] absolute) of the baseline, and
+/// - keep amplification p95 within `max_regress_pct`% (never less than
+///   [`AMPLIFICATION_SLACK`] absolute) of the baseline.
+///
 /// Returns human-readable comparison lines, or the list of violations.
 pub fn compare(
     baseline: &BenchReport,
@@ -314,17 +328,45 @@ pub fn compare(
             continue;
         };
         matched += 1;
-        let floor = base_sim.commits_per_mtick * (100 - max_regress_pct.min(100)) / 100;
-        let verdict = if cur_sim.commits_per_mtick < floor { "REGRESSED" } else { "ok" };
+        let pct = max_regress_pct.min(100);
+
+        let floor = base_sim.commits_per_mtick * (100 - pct) / 100;
+        let thr_ok = cur_sim.commits_per_mtick >= floor;
         let line = format!(
             "{}: {} -> {} commits/Mtick (floor {}) {}",
-            base.label, base_sim.commits_per_mtick, cur_sim.commits_per_mtick, floor, verdict
+            base.label,
+            base_sim.commits_per_mtick,
+            cur_sim.commits_per_mtick,
+            floor,
+            if thr_ok { "ok" } else { "REGRESSED" },
         );
-        if cur_sim.commits_per_mtick < floor {
-            violations.push(line);
-        } else {
-            lines.push(line);
-        }
+        if thr_ok { lines.push(line) } else { violations.push(line) };
+
+        let base_short = base.stats.shortage_rate_permille;
+        let ceiling = base_short + (base_short * pct / 100).max(SHORTAGE_SLACK_PERMILLE);
+        let short_ok = cur.stats.shortage_rate_permille <= ceiling;
+        let line = format!(
+            "{}: {} -> {} shortage permille (ceiling {}) {}",
+            base.label,
+            base_short,
+            cur.stats.shortage_rate_permille,
+            ceiling,
+            if short_ok { "ok" } else { "REGRESSED" },
+        );
+        if short_ok { lines.push(line) } else { violations.push(line) };
+
+        let base_amp = base.stats.amplification.p95;
+        let ceiling = base_amp + (base_amp * pct / 100).max(AMPLIFICATION_SLACK);
+        let amp_ok = cur.stats.amplification.p95 <= ceiling;
+        let line = format!(
+            "{}: {} -> {} amplification p95 (ceiling {}) {}",
+            base.label,
+            base_amp,
+            cur.stats.amplification.p95,
+            ceiling,
+            if amp_ok { "ok" } else { "REGRESSED" },
+        );
+        if amp_ok { lines.push(line) } else { violations.push(line) };
     }
     if matched == 0 {
         violations.push("no sim scenarios matched between baseline and current".to_string());
@@ -341,7 +383,7 @@ mod tests {
     use super::*;
     use crate::matrix::ScenarioSpec;
 
-    fn report_with(label: &str, thr: u64) -> BenchReport {
+    fn report_full(label: &str, thr: u64, shortage: u64, amp_p95: u64) -> BenchReport {
         let spec = ScenarioSpec::base();
         BenchReport {
             label: "t".to_string(),
@@ -349,12 +391,18 @@ mod tests {
                 label: label.to_string(),
                 spec,
                 stats: ScenarioStats {
+                    shortage_rate_permille: shortage,
+                    amplification: Percentiles { p95: amp_p95, ..Default::default() },
                     sim: Some(SimStats { commits_per_mtick: thr, ..Default::default() }),
                     ..Default::default()
                 },
                 wall: WallStats::default(),
             }],
         }
+    }
+
+    fn report_with(label: &str, thr: u64) -> BenchReport {
+        report_full(label, thr, 0, 0)
     }
 
     #[test]
@@ -372,6 +420,33 @@ mod tests {
         assert!(compare(&base, &report_with("cell", 800), 25).is_ok());
         assert!(compare(&base, &report_with("cell", 700), 25).is_err());
         assert!(compare(&base, &report_with("other", 1000), 25).is_err());
+    }
+
+    #[test]
+    fn compare_gates_on_shortage_rate() {
+        let base = report_full("cell", 1000, 200, 0);
+        // Within 25% of the baseline: fine.
+        assert!(compare(&base, &report_full("cell", 1000, 250, 0), 25).is_ok());
+        // Beyond it: gated.
+        let err = compare(&base, &report_full("cell", 1000, 251, 0), 25).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("shortage permille")), "{err:?}");
+        // A near-zero baseline keeps the absolute slack so a couple of
+        // extra shortage events don't flap the gate.
+        let tiny = report_full("cell", 1000, 3, 0);
+        assert!(compare(&tiny, &report_full("cell", 1000, 28, 0), 25).is_ok());
+        assert!(compare(&tiny, &report_full("cell", 1000, 29, 0), 25).is_err());
+    }
+
+    #[test]
+    fn compare_gates_on_amplification_p95() {
+        let base = report_full("cell", 1000, 0, 8);
+        assert!(compare(&base, &report_full("cell", 1000, 0, 10), 25).is_ok());
+        let err = compare(&base, &report_full("cell", 1000, 0, 11), 25).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("amplification p95")), "{err:?}");
+        // Zero baseline still allows the absolute slack of one.
+        let zero = report_full("cell", 1000, 0, 0);
+        assert!(compare(&zero, &report_full("cell", 1000, 0, 1), 25).is_ok());
+        assert!(compare(&zero, &report_full("cell", 1000, 0, 2), 25).is_err());
     }
 
     #[test]

@@ -3,10 +3,10 @@
 //! Delay and Immediate Update protocols (paper §3.3–3.4).
 
 use crate::protocol::{Input, Msg, PropagateDelta, TracedMsg};
-use crate::replication::ReplicationState;
+use crate::replication::{Frame, ReplicationState};
 use avdb_escrow::{
-    make_decide, make_select, AvTable, DecideStrategy, PeerKnowledge, SelectStrategy,
-    TransferLedger, TransferRecord,
+    make_decide, make_select, partition_shortage_expected, AvTable, DecideStrategy, PeerKnowledge,
+    SelectStrategy, TransferLedger, TransferRecord,
 };
 use avdb_simnet::{Actor, Ctx};
 use avdb_storage::{LocalDb, LockMode};
@@ -49,6 +49,14 @@ pub struct AcceleratorConfig {
     pub anti_entropy_interval: Option<u64>,
     /// Proactive AV circulation after increments (§3.4 extension).
     pub proactive_push: bool,
+    /// Peers asked concurrently per shortage round (0 or 1 — the paper's
+    /// serial loop; k ≥ 2 — parallel fan-out, see DESIGN.md §11).
+    pub shortage_fanout: usize,
+    /// Proactive rebalancing horizon in ticks (0 disables; also the
+    /// rebalancer's tick period).
+    pub rebalance_horizon_ticks: u64,
+    /// Fold retained propagation deltas into net-per-product frames.
+    pub coalesce_propagation: bool,
 }
 
 impl AcceleratorConfig {
@@ -64,6 +72,9 @@ impl AcceleratorConfig {
             anti_entropy_interval: (cfg.anti_entropy_interval > 0)
                 .then_some(cfg.anti_entropy_interval),
             proactive_push: cfg.proactive_push,
+            shortage_fanout: cfg.shortage_fanout,
+            rebalance_horizon_ticks: cfg.rebalance_horizon_ticks,
+            coalesce_propagation: cfg.coalesce_propagation,
         }
     }
 }
@@ -187,15 +198,18 @@ struct PendingDelay {
     current: usize,
     /// Peers already asked for the *current* item.
     asked: Vec<SiteId>,
-    /// The peer currently being waited on (requests are sequential).
-    outstanding: Option<SiteId>,
+    /// AV requests currently in flight: `(peer, product)` per request.
+    /// The serial path keeps at most one entry; the fan-out path keeps
+    /// one per burst member, and stragglers for an already-satisfied
+    /// product simply bank their grant at this site.
+    outstanding: Vec<(SiteId, ProductId)>,
     /// Correspondences spent so far (1 per AV request).
     correspondences: u64,
     /// Telemetry: the update's root span.
     root_span: u64,
-    /// Telemetry: the open "transfer" span and when it opened, while an
-    /// AV request is outstanding.
-    transfer_span: Option<(u64, VirtualTime)>,
+    /// Telemetry: open "transfer" spans keyed like [`Self::outstanding`],
+    /// each with its open time.
+    transfer_spans: Vec<(SiteId, ProductId, u64, VirtualTime)>,
     /// When the update was submitted (latency accounting).
     started_at: VirtualTime,
 }
@@ -234,10 +248,14 @@ enum TimerKind {
     ImmVotes(TxnId),
     /// Participant: give up waiting for the Immediate decision.
     ImmDecision(TxnId),
-    /// Requester: give up waiting for an AV grant from a peer.
-    AvGrant(TxnId, SiteId),
+    /// Requester: give up waiting for an AV grant from a peer (the
+    /// product pins the timer to one fan-out burst member — the same peer
+    /// may be asked again for a later item of the same transaction).
+    AvGrant(TxnId, SiteId, ProductId),
     /// Periodic anti-entropy retransmission round.
     AntiEntropy,
+    /// Proactive AV rebalancing tick (see DESIGN.md §11).
+    Rebalance,
     /// Coordinator: give up waiting for the base site's completion ack
     /// (base crashed between vote and done; the commit already happened).
     ImmCompletion(TxnId),
@@ -306,6 +324,14 @@ pub struct Accelerator {
     /// restarts on the next local commit — so a finished system still
     /// quiesces (the event queue drains) with anti-entropy enabled.
     anti_entropy_armed: bool,
+    /// Per-product consumption-rate EWMA `(volume per kilotick, last
+    /// sample tick)`, fed by local Delay decrements and piggybacked on AV
+    /// traffic so peers can project depletion horizons.
+    consume_rate: Vec<(i64, VirtualTime)>,
+    /// Whether the rebalancer tick is armed. Mirrors the anti-entropy
+    /// quiescence discipline: the timer disarms on a tick that moves
+    /// nothing and re-arms on the next local consumption.
+    rebalance_armed: bool,
 
     /// Telemetry: per-site span sink. Deliberately survives crashes — the
     /// record of what happened before a fault is what post-mortems need.
@@ -386,6 +412,8 @@ impl Accelerator {
             next_timer: 0,
             repl: ReplicationState::new(me, cfg.n_sites),
             anti_entropy_armed: false,
+            consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
+            rebalance_armed: false,
             spans: SpanCollector::new(me),
             registry: Registry::new(),
             clock: 0,
@@ -579,6 +607,8 @@ impl Accelerator {
             next_timer: 0,
             repl: ReplicationState::from_snapshot(&snap.replication),
             anti_entropy_armed: false,
+            consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
+            rebalance_armed: false,
             spans: SpanCollector::new(me),
             registry: Registry::new(),
             clock: 0,
@@ -722,6 +752,134 @@ impl Accelerator {
         self.divergence_now = now;
     }
 
+    // ---- consumption rate & rebalancing ------------------------------------
+
+    /// Folds one local Delay decrement into the product's consumption-rate
+    /// EWMA (volume per kilotick, α = 1/4 — integer math only so the
+    /// figure is deterministic and cheap to piggyback).
+    fn note_consumption(&mut self, product: ProductId, volume: Volume, now: VirtualTime) {
+        let Some(slot) = self.consume_rate.get_mut(product.index()) else { return };
+        let (rate, last) = *slot;
+        let dt = now.since(last).max(1) as i64;
+        let inst = volume.get().max(0).saturating_mul(1000) / dt;
+        *slot = (rate + (inst - rate) / 4, now);
+    }
+
+    /// This site's consumption-rate EWMA for `product` (the figure
+    /// piggybacked on outgoing AV traffic).
+    fn local_rate(&self, product: ProductId) -> i64 {
+        self.consume_rate.get(product.index()).map(|&(r, _)| r).unwrap_or(0)
+    }
+
+    /// Arms the rebalancer tick if enabled and not already armed.
+    fn arm_rebalance(&mut self, ctx: &mut ACtx<'_>) {
+        if self.cfg.rebalance_horizon_ticks > 0 && !self.rebalance_armed {
+            self.rebalance_armed = true;
+            let interval = self.cfg.rebalance_horizon_ticks;
+            self.arm_timer(ctx, interval, TimerKind::Rebalance);
+        }
+    }
+
+    /// One rebalancer tick: for each product where this site's AV runway
+    /// is comfortable (> 2× the horizon at its own consumption rate), top
+    /// up the believed-neediest peer whose projected depletion horizon
+    /// falls below `rebalance_horizon_ticks`. The local knowledge update
+    /// closes the believed deficit immediately, so repeated ticks against
+    /// a silent peer converge instead of draining this site. Re-arms only
+    /// when something moved — an idle system quiesces.
+    fn on_rebalance(&mut self, ctx: &mut ACtx<'_>) {
+        self.rebalance_armed = false;
+        let h = self.cfg.rebalance_horizon_ticks as i64;
+        if h <= 0 {
+            return;
+        }
+        let n_products = self.divergence_keys.len();
+        let mut sent_any = false;
+        for product in ProductId::all(n_products) {
+            if !self.av.is_defined(product) {
+                continue;
+            }
+            let avail = self.av.available(product);
+            if !avail.is_positive() {
+                continue;
+            }
+            let own_rate = self.local_rate(product).max(0);
+            if own_rate > 0 && avail.get().saturating_mul(1000) / own_rate <= 2 * h {
+                continue;
+            }
+            // Believed-neediest peer strictly below the horizon. A peer
+            // with no observed consumption has an infinite horizon and is
+            // never rebalanced toward.
+            let mut needy: Option<(SiteId, i64)> = None;
+            for peer in SiteId::all(self.cfg.n_sites) {
+                if peer == self.me {
+                    continue;
+                }
+                let rate = self.knowledge.known_rate(peer, product);
+                if rate <= 0 {
+                    continue;
+                }
+                let known = self.knowledge.known(peer, product).get().max(0);
+                let horizon = known.saturating_mul(1000) / rate;
+                if horizon < h && !matches!(needy, Some((_, best)) if best <= horizon) {
+                    needy = Some((peer, horizon));
+                }
+            }
+            let Some((peer, _)) = needy else { continue };
+            let rate = self.knowledge.known_rate(peer, product);
+            let known = self.knowledge.known(peer, product).get().max(0);
+            let deficit = (rate.saturating_mul(h) / 1000 - known).max(0);
+            let amount = Volume(deficit.min(avail.get() / 2));
+            if !amount.is_positive() {
+                continue;
+            }
+            let sent = self.av.withdraw_up_to(product, amount).expect("≤ available");
+            if !sent.is_positive() {
+                continue;
+            }
+            self.ledger.record(TransferRecord {
+                from: self.me,
+                to: peer,
+                product,
+                amount: sent,
+                at: ctx.now(),
+            });
+            self.stats.av_pushes_sent += 1;
+            self.stats.av_volume_pushed += sent.get();
+            self.registry.inc("rebalance.transfers");
+            self.registry.add("rebalance.volume", sent.get().max(0) as u64);
+            self.knowledge.update(peer, product, Volume(known) + sent, ctx.now());
+            let pusher_av = self.av.available(product);
+            let pusher_rate = self.local_rate(product);
+            let trace = self.fresh_aux_trace();
+            let clock = self.tick();
+            let root = self.spans.instant_with(
+                trace,
+                0,
+                "push",
+                ctx.now(),
+                clock,
+                format!("rebalance {} of P{} to s{}", sent.get(), product.0, peer.0),
+            );
+            self.flight_note(
+                ctx.now(),
+                "rebalance.push",
+                format!("{} of P{} to s{}", sent.get(), product.0, peer.0),
+            );
+            self.send_traced(
+                ctx,
+                peer,
+                trace,
+                root,
+                Msg::AvPush { product, amount: sent, pusher_av, pusher_rate },
+            );
+            sent_any = true;
+        }
+        if sent_any {
+            self.arm_rebalance(ctx);
+        }
+    }
+
     /// Finishes an update: closes the root span, records outcome metrics
     /// and emits to the harness.
     fn emit_outcome(
@@ -765,10 +923,11 @@ impl Accelerator {
         if !self.repl.batch_ready(batch) {
             return;
         }
+        let coalesce = self.cfg.coalesce_propagation;
         let peers = self.take_peers();
         for &peer in &peers {
-            if let Some((offset, deltas)) = self.repl.take_batch(peer, batch) {
-                self.send_propagate(ctx, peer, offset, deltas);
+            if let Some(frame) = self.repl.take_batch_frame(peer, batch, coalesce) {
+                self.send_propagate(ctx, peer, frame);
             }
         }
         self.put_peers(peers);
@@ -777,41 +936,41 @@ impl Accelerator {
     /// Explicit flush: retransmit everything a peer has not acknowledged
     /// (end-of-run convergence, post-crash anti-entropy).
     fn flush_propagation(&mut self, ctx: &mut ACtx<'_>) {
+        let coalesce = self.cfg.coalesce_propagation;
         let peers = self.take_peers();
         for &peer in &peers {
-            if let Some((offset, deltas)) = self.repl.take_all_unacked(peer) {
-                self.send_propagate(ctx, peer, offset, deltas);
+            if let Some(frame) = self.repl.take_unacked_frame(peer, coalesce) {
+                self.send_propagate(ctx, peer, frame);
             }
         }
         self.put_peers(peers);
     }
 
-    /// Sends one propagation batch under a fresh auxiliary trace whose
-    /// root records the batch shape.
-    fn send_propagate(
-        &mut self,
-        ctx: &mut ACtx<'_>,
-        peer: SiteId,
-        offset: u64,
-        deltas: Vec<PropagateDelta>,
-    ) {
+    /// Sends one propagation frame under a fresh auxiliary trace whose
+    /// root records the frame shape.
+    fn send_propagate(&mut self, ctx: &mut ACtx<'_>, peer: SiteId, frame: Frame) {
+        let Frame { offset, covers, coalesced, deltas } = frame;
         let trace = self.fresh_aux_trace();
         let clock = self.tick();
-        let root = self.spans.instant_with(
-            trace,
-            0,
-            "replicate",
-            ctx.now(),
-            clock,
-            format!("to s{} offset {} ({} deltas)", peer.0, offset, deltas.len()),
+        let detail = format!(
+            "to s{} offset {} ({} deltas covering {})",
+            peer.0,
+            offset,
+            deltas.len(),
+            covers,
         );
+        let root =
+            self.spans.instant_with(trace, 0, "replicate", ctx.now(), clock, detail.clone());
         self.stats.propagation_batches_sent += 1;
-        self.flight_note(
-            ctx.now(),
-            "repl.send",
-            format!("to s{} offset {} ({} deltas)", peer.0, offset, deltas.len()),
-        );
-        self.send_traced(ctx, peer, trace, root, Msg::Propagate { offset, deltas });
+        if coalesced {
+            self.registry.inc("repl.coalesce.frames");
+            self.registry.add(
+                "repl.coalesce.folded",
+                covers.saturating_sub(deltas.len() as u64),
+            );
+        }
+        self.flight_note(ctx.now(), "repl.send", detail);
+        self.send_traced(ctx, peer, trace, root, Msg::Propagate { offset, covers, coalesced, deltas });
     }
 
     // ---- Delay Update (Figs. 3–4) -------------------------------------------
@@ -894,10 +1053,10 @@ impl Accelerator {
                 items,
                 current: 0,
                 asked: Vec::new(),
-                outstanding: None,
+                outstanding: Vec::new(),
                 correspondences: 0,
                 root_span,
-                transfer_span: None,
+                transfer_spans: Vec::new(),
                 started_at: ctx.now(),
             };
             self.commit_delay(ctx, txn, pending);
@@ -909,10 +1068,10 @@ impl Accelerator {
             items,
             current,
             asked: Vec::new(),
-            outstanding: None,
+            outstanding: Vec::new(),
             correspondences: 0,
             root_span,
-            transfer_span: None,
+            transfer_spans: Vec::new(),
             started_at: ctx.now(),
         };
         self.pending_delay.insert(txn, pending);
@@ -936,7 +1095,9 @@ impl Accelerator {
     }
 
     /// One iteration of the selecting/deciding loop: pick the next peer
-    /// and send an AV request, or give up if the round budget is spent.
+    /// (or, with `shortage_fanout ≥ 2`, the next burst of peers, each
+    /// asked for its share of the shortage concurrently) and send the AV
+    /// request(s), or give up if the round budget is spent.
     fn request_more_av(&mut self, ctx: &mut ACtx<'_>, txn: TxnId) {
         let Some(pending) = self.pending_delay.get(&txn) else { return };
         let item = pending.current_item();
@@ -946,114 +1107,213 @@ impl Accelerator {
         debug_assert!(shortage.is_positive());
         let product = item.product;
         self.registry.observe("delay.shortage", shortage.get().max(0) as u64);
-        let exhausted = pending.asked.len() >= self.cfg.max_av_rounds;
-        let peer = if exhausted {
-            None
+        let budget = self.cfg.max_av_rounds.saturating_sub(pending.asked.len());
+        // Fan-out width: the configured k, capped by the remaining peer
+        // budget and by the shortage itself (never ask a peer for zero).
+        let k = self
+            .cfg
+            .shortage_fanout
+            .max(1)
+            .min(budget)
+            .min(usize::try_from(shortage.get().max(1)).unwrap_or(usize::MAX));
+        let mut asked = {
+            let pending = self.pending_delay.get_mut(&txn).expect("checked above");
+            std::mem::take(&mut pending.asked)
+        };
+        let mut picks: Vec<SiteId> = Vec::new();
+        if k <= 1 {
+            if budget > 0 {
+                if let Some(peer) = self.select.select(
+                    self.me,
+                    self.cfg.n_sites,
+                    product,
+                    &self.knowledge,
+                    &asked,
+                    ctx.now(),
+                    ctx.rng(),
+                ) {
+                    asked.push(peer);
+                    picks.push(peer);
+                }
+            }
         } else {
-            self.select.select(
+            self.select.select_many(
                 self.me,
                 self.cfg.n_sites,
                 product,
                 &self.knowledge,
-                &pending.asked,
+                &mut asked,
                 ctx.now(),
                 ctx.rng(),
-            )
-        };
-        match peer {
-            Some(peer) => {
-                // Selecting: how stale was the knowledge the candidate was
-                // picked on?
-                let staleness =
-                    self.knowledge.staleness(peer, product, ctx.now()).unwrap_or(0);
-                self.registry.observe("select.staleness.ticks", staleness);
-                // Live gauge: how stale the knowledge *selecting* just
-                // consumed for this peer was, in ticks.
-                self.registry.set_gauge(&self.staleness_keys[peer.index()], staleness as i64);
-                self.flight_note(
-                    ctx.now(),
-                    "delay.select",
-                    format!("txn {} asks s{} (knowledge {staleness} ticks old)", txn.0, peer.0),
-                );
-                let clock = self.tick();
-                self.spans.instant_with(
-                    txn.0,
-                    root_span,
-                    "selecting",
-                    ctx.now(),
-                    clock,
-                    format!("s{} (knowledge {} ticks old)", peer.0, staleness),
-                );
-                let amount = self.decide.request_amount(shortage);
-                self.spans.instant_with(
-                    txn.0,
-                    root_span,
-                    "deciding",
-                    ctx.now(),
-                    self.clock,
-                    format!("request {} for shortage {}", amount.get(), shortage.get()),
-                );
-                let transfer = self.spans.start_with(
-                    txn.0,
-                    root_span,
-                    "transfer",
-                    ctx.now(),
-                    self.clock,
-                    format!("ask s{} for {}", peer.0, amount.get()),
-                );
-                let requester_av = self.av.available(product);
-                let pending = self.pending_delay.get_mut(&txn).expect("checked above");
-                pending.asked.push(peer);
-                pending.outstanding = Some(peer);
-                pending.correspondences += 1;
-                pending.transfer_span = Some((transfer, ctx.now()));
-                self.stats.av_requests_sent += 1;
-                self.send_traced(
-                    ctx,
-                    peer,
-                    txn.0,
-                    transfer,
-                    Msg::AvRequest { txn, product, amount, requester_av },
-                );
-                let timeout = self.cfg.av_grant_timeout;
-                self.arm_timer(ctx, timeout, TimerKind::AvGrant(txn, peer));
+                k,
+                &mut picks,
+            );
+            // Adaptive trim: keep the minimal prefix whose believed
+            // half-holdings (the expected GrantHalf yield) cover the
+            // shortage — a shortage one peer plausibly covers degrades to
+            // the serial ask, so easy cells pay no amplification.
+            let mut covered: i64 = 0;
+            let mut keep = picks.len();
+            for (i, p) in picks.iter().enumerate() {
+                covered = covered
+                    .saturating_add(self.knowledge.known(*p, product).get().max(0) / 2);
+                if covered >= shortage.get() {
+                    keep = i + 1;
+                    break;
+                }
             }
-            None => {
-                // "Otherwise, all accumulated AV is stored in the local AV
-                // table" — keep what we gathered (across every item), roll
-                // back the txn.
-                let pending = self.pending_delay.remove(&txn).expect("checked above");
-                self.av.release_all(txn);
-                self.db.rollback(txn).expect("txn active");
-                self.stats.delay_aborts += 1;
-                self.registry.inc("delay.abort.insufficient-av");
-                self.spans.note(root_span, "aborted: insufficient AV");
-                self.flight_note(
-                    ctx.now(),
-                    "delay.abort",
-                    format!("txn {} insufficient AV (short {})", txn.0, shortage.get()),
-                );
-                self.emit_outcome(
-                    ctx,
-                    root_span,
-                    pending.started_at,
-                    UpdateOutcome::Aborted {
-                        txn,
-                        reason: AbortReason::InsufficientAv { shortfall: shortage },
-                        correspondences: pending.correspondences,
-                    },
-                );
+            if keep < picks.len() {
+                asked.truncate(asked.len() - (picks.len() - keep));
+                picks.truncate(keep);
+            }
+            // Knowledge-driven width: peers believed to hold nothing sort
+            // to the back of the ranking, and asking several of them in
+            // parallel just multiplies the blind shots the serial path
+            // spreads across rounds. Burst only at believed holders; when
+            // nobody is believed to hold AV, degrade to one serial-style
+            // probe (whose grant reply refreshes knowledge either way).
+            let positive = picks
+                .iter()
+                .take_while(|p| self.knowledge.known(**p, product).is_positive())
+                .count();
+            let keep = positive.max(1).min(picks.len());
+            if keep < picks.len() {
+                asked.truncate(asked.len() - (picks.len() - keep));
+                picks.truncate(keep);
             }
         }
+        let pending = self.pending_delay.get_mut(&txn).expect("checked above");
+        pending.asked = asked;
+        if picks.is_empty() {
+            // "Otherwise, all accumulated AV is stored in the local AV
+            // table" — keep what we gathered (across every item), roll
+            // back the txn.
+            let mut pending = self.pending_delay.remove(&txn).expect("checked above");
+            self.drain_transfer_spans(&mut pending, ctx.now(), "superseded");
+            self.av.release_all(txn);
+            self.db.rollback(txn).expect("txn active");
+            self.stats.delay_aborts += 1;
+            self.registry.inc("delay.abort.insufficient-av");
+            self.spans.note(root_span, "aborted: insufficient AV");
+            self.flight_note(
+                ctx.now(),
+                "delay.abort",
+                format!("txn {} insufficient AV (short {})", txn.0, shortage.get()),
+            );
+            self.emit_outcome(
+                ctx,
+                root_span,
+                pending.started_at,
+                UpdateOutcome::Aborted {
+                    txn,
+                    reason: AbortReason::InsufficientAv { shortfall: shortage },
+                    correspondences: pending.correspondences,
+                },
+            );
+            return;
+        }
+        if picks.len() >= 2 {
+            self.registry.inc("delay.fanout.bursts");
+            self.registry.add("delay.fanout.requests", picks.len() as u64);
+        }
+        // Shares follow the expected GrantHalf yield per pick: a peer
+        // believed able to cover the whole shortage is asked for all of
+        // it, not an even k-th (which would force a second round for the
+        // remainder the mis-split left behind). Residue beliefs cannot
+        // cover is spread evenly across the burst.
+        let expected: Vec<Volume> = picks
+            .iter()
+            .map(|p| Volume(self.knowledge.known(*p, product).get().max(0) / 2))
+            .collect();
+        let mut shares: Vec<Volume> = Vec::with_capacity(picks.len());
+        partition_shortage_expected(shortage, &expected, &mut shares);
+        let requester_rate = self.local_rate(product);
+        for (i, &peer) in picks.iter().enumerate() {
+            let share = shares[i];
+            // Selecting: how stale was the knowledge the candidate was
+            // picked on?
+            let staleness = self.knowledge.staleness(peer, product, ctx.now()).unwrap_or(0);
+            self.registry.observe("select.staleness.ticks", staleness);
+            // Live gauge: how stale the knowledge *selecting* just
+            // consumed for this peer was, in ticks.
+            self.registry.set_gauge(&self.staleness_keys[peer.index()], staleness as i64);
+            self.flight_note(
+                ctx.now(),
+                "delay.select",
+                format!("txn {} asks s{} (knowledge {staleness} ticks old)", txn.0, peer.0),
+            );
+            let clock = self.tick();
+            self.spans.instant_with(
+                txn.0,
+                root_span,
+                "selecting",
+                ctx.now(),
+                clock,
+                format!("s{} (knowledge {} ticks old)", peer.0, staleness),
+            );
+            let amount = self.decide.request_amount(share);
+            self.spans.instant_with(
+                txn.0,
+                root_span,
+                "deciding",
+                ctx.now(),
+                self.clock,
+                format!("request {} for shortage {}", amount.get(), shortage.get()),
+            );
+            let transfer = self.spans.start_with(
+                txn.0,
+                root_span,
+                "transfer",
+                ctx.now(),
+                self.clock,
+                format!("ask s{} for {}", peer.0, amount.get()),
+            );
+            let requester_av = self.av.available(product);
+            let pending = self.pending_delay.get_mut(&txn).expect("checked above");
+            pending.outstanding.push((peer, product));
+            pending.correspondences += 1;
+            pending.transfer_spans.push((peer, product, transfer, ctx.now()));
+            self.stats.av_requests_sent += 1;
+            self.send_traced(
+                ctx,
+                peer,
+                txn.0,
+                transfer,
+                Msg::AvRequest { txn, product, amount, requester_av, requester_rate },
+            );
+            let timeout = self.cfg.av_grant_timeout;
+            self.arm_timer(ctx, timeout, TimerKind::AvGrant(txn, peer, product));
+        }
+    }
+
+    /// Ends every still-open transfer span of a finished negotiation (the
+    /// fan-out path can commit or abort with grants still in flight; their
+    /// spans must close so the causal tree stays complete).
+    fn drain_transfer_spans(
+        &mut self,
+        pending: &mut PendingDelay,
+        now: VirtualTime,
+        note: &'static str,
+    ) {
+        for (_, _, span, opened) in pending.transfer_spans.drain(..) {
+            self.spans.note(span, note);
+            self.spans.end(span, now);
+            self.registry.observe("phase.transfer.ticks", now.since(opened));
+        }
+        pending.outstanding.clear();
     }
 
     /// Applies and commits every item of a fully-held Delay transaction:
     /// decrements consume their held AV, increments mint AV, and each
     /// committed delta enters the replication log.
-    fn commit_delay(&mut self, ctx: &mut ACtx<'_>, txn: TxnId, pending: PendingDelay) {
+    fn commit_delay(&mut self, ctx: &mut ACtx<'_>, txn: TxnId, mut pending: PendingDelay) {
+        // Fan-out can cover the shortage with grants still in flight;
+        // close their spans (stragglers bank their volume on arrival).
+        self.drain_transfer_spans(&mut pending, ctx.now(), "superseded: shortage covered");
         for item in &pending.items {
             if item.need.is_positive() {
                 self.av.consume(txn, item.product, item.need).expect("hold covers need");
+                self.note_consumption(item.product, item.need, ctx.now());
             }
             // Unchecked: AV bounds the *global* stock; this replica may lag
             // behind peers' increments whose minted AV already migrated
@@ -1113,6 +1373,9 @@ impl Accelerator {
                 }
             }
         }
+        // Local consumption moved the rate EWMAs; give the rebalancer a
+        // chance to act on the new projection.
+        self.arm_rebalance(ctx);
     }
 
     /// Circulation policy (A9): if this site's available AV for `product`
@@ -1164,7 +1427,14 @@ impl Accelerator {
             clock,
             format!("{} of P{} to s{}", pushed.get(), product.0, poorest.0),
         );
-        self.send_traced(ctx, poorest, trace, root, Msg::AvPush { product, amount: pushed, pusher_av });
+        let pusher_rate = self.local_rate(product);
+        self.send_traced(
+            ctx,
+            poorest,
+            trace,
+            root,
+            Msg::AvPush { product, amount: pushed, pusher_av, pusher_rate },
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1177,8 +1447,10 @@ impl Accelerator {
         product: ProductId,
         amount: Volume,
         requester_av: Volume,
+        requester_rate: i64,
     ) {
         self.knowledge.update(from, product, requester_av, ctx.now());
+        self.knowledge.update_rate(from, product, requester_rate, ctx.now());
         let grant = if self.av.is_defined(product) {
             let available = self.av.available(product);
             let g = self.decide.grant_amount(available, amount);
@@ -1210,15 +1482,17 @@ impl Accelerator {
             format!("{} of {} asked", grant.get(), amount.get()),
         );
         let grantor_av = self.av.available(product);
+        let grantor_rate = self.local_rate(product);
         self.reply_along(
             ctx,
             from,
             incoming,
             grant_span,
-            Msg::AvGrant { txn, product, amount: grant, grantor_av },
+            Msg::AvGrant { txn, product, amount: grant, grantor_av, grantor_rate },
         );
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the AvGrant wire fields
     fn on_av_grant(
         &mut self,
         ctx: &mut ACtx<'_>,
@@ -1227,30 +1501,45 @@ impl Accelerator {
         product: ProductId,
         amount: Volume,
         grantor_av: Volume,
+        grantor_rate: i64,
     ) {
         self.knowledge.update(from, product, grantor_av, ctx.now());
+        self.knowledge.update_rate(from, product, grantor_rate, ctx.now());
         self.stats.av_volume_received += amount.get();
         // Deposit first so the volume is never lost, even if the requesting
-        // transaction is gone (aborted by recovery): the AV simply stays at
-        // this site.
+        // transaction is gone (aborted by recovery, or already committed
+        // by a concurrent fan-out grant): the AV simply stays at this
+        // site. This is what keeps over-grants conservation-safe.
         if amount.is_positive() && self.av.is_defined(product) {
             self.av.deposit(product, amount).expect("defined row");
         }
         let Some(pending) = self.pending_delay.get_mut(&txn) else { return };
-        let item = pending.current_item();
-        debug_assert_eq!(item.product, product);
-        if pending.outstanding != Some(from) {
+        let Some(pos) =
+            pending.outstanding.iter().position(|&(p, pr)| p == from && pr == product)
+        else {
             // A grant we already gave up on (timeout fired first): the
             // volume stays deposited here, but the negotiation has moved
             // on — do not double-drive it.
             return;
-        }
-        pending.outstanding = None;
-        if let Some((span, opened)) = pending.transfer_span.take() {
+        };
+        pending.outstanding.swap_remove(pos);
+        if let Some(sp) = pending
+            .transfer_spans
+            .iter()
+            .position(|&(p, pr, _, _)| p == from && pr == product)
+        {
+            let (_, _, span, opened) = pending.transfer_spans.swap_remove(sp);
             let waited = ctx.now().since(opened);
             self.spans.note(span, &format!("granted {}", amount.get()));
             self.spans.end(span, ctx.now());
             self.registry.observe("phase.transfer.ticks", waited);
+        }
+        let item = pending.current_item();
+        if item.product != product {
+            // Straggler for an item an earlier grant already satisfied:
+            // the deposit above banked the volume (over-grant return);
+            // the current item drives its own requests.
+            return;
         }
         if amount.is_positive() {
             let held = self.av.held_by(txn, product);
@@ -1260,11 +1549,18 @@ impl Accelerator {
                 let got = self.av.hold_up_to(txn, product, take).expect("just deposited");
                 debug_assert_eq!(got, take);
             }
+            let over = amount - take.max(Volume::ZERO);
+            if over.is_positive() {
+                // Fan-out over-shoot: granted volume beyond the need stays
+                // in this site's AV table.
+                self.registry.add("delay.overgrant.volume", over.get() as u64);
+            }
         }
         let held = self.av.held_by(txn, product);
         if held >= item.need {
             // Current item satisfied; move to the next short item (its
-            // own fresh round of peer selection) or commit everything.
+            // own fresh round of peer selection) or commit everything —
+            // without waiting for outstanding burst stragglers.
             let pending = self.pending_delay.get_mut(&txn).expect("present");
             let items = std::mem::take(&mut pending.items);
             let next = Self::first_unsatisfied(&self.av, txn, &items, pending.current + 1);
@@ -1282,7 +1578,17 @@ impl Accelerator {
                 }
             }
         } else {
-            self.request_more_av(ctx, txn);
+            // Still short: re-ask only once the whole burst has resolved,
+            // so one stingy early grant does not double-ask while better
+            // grants are still in flight.
+            let burst_open = self
+                .pending_delay
+                .get(&txn)
+                .map(|p| p.outstanding.iter().any(|&(_, pr)| pr == product))
+                .unwrap_or(false);
+            if !burst_open {
+                self.request_more_av(ctx, txn);
+            }
         }
     }
 
@@ -1704,27 +2010,47 @@ impl Accelerator {
     }
 
     /// The asked peer never answered: presume it dead, remember it as
-    /// holding nothing, and continue with the next candidate.
+    /// holding nothing, and continue with the next candidate once the
+    /// rest of its burst (if any) has also resolved.
     fn on_av_grant_timeout(
         &mut self,
         ctx: &mut ACtx<'_>,
         txn: TxnId,
         peer: SiteId,
+        product: ProductId,
     ) {
         let Some(pending) = self.pending_delay.get_mut(&txn) else { return };
-        if pending.outstanding != Some(peer) {
+        let Some(pos) =
+            pending.outstanding.iter().position(|&(p, pr)| p == peer && pr == product)
+        else {
             return; // the grant arrived before the timeout
-        }
-        pending.outstanding = None;
-        if let Some((span, opened)) = pending.transfer_span.take() {
+        };
+        pending.outstanding.swap_remove(pos);
+        if let Some(sp) = pending
+            .transfer_spans
+            .iter()
+            .position(|&(p, pr, _, _)| p == peer && pr == product)
+        {
+            let (_, _, span, opened) = pending.transfer_spans.swap_remove(sp);
             let waited = ctx.now().since(opened);
             self.spans.note(span, &format!("timeout: s{} presumed dead", peer.0));
             self.spans.end(span, ctx.now());
             self.registry.observe("phase.transfer.ticks", waited);
             self.registry.inc("delay.grant-timeouts");
         }
-        let product = pending.current_item().product;
         self.knowledge.update(peer, product, Volume::ZERO, ctx.now());
+        let pending = self.pending_delay.get(&txn).expect("present");
+        let item = pending.current_item();
+        if item.product != product {
+            return; // straggler timeout for an already-satisfied item
+        }
+        let burst_open = pending.outstanding.iter().any(|&(_, pr)| pr == product);
+        if burst_open {
+            return; // other burst members may still cover the shortage
+        }
+        if self.av.held_by(txn, product) >= item.need {
+            return; // a concurrent grant already satisfied the item
+        }
         self.request_more_av(ctx, txn);
     }
 
@@ -1785,6 +2111,7 @@ impl Actor for Accelerator {
 
     fn on_start(&mut self, ctx: &mut ACtx<'_>) {
         self.arm_anti_entropy(ctx);
+        self.arm_rebalance(ctx);
     }
 
     fn on_input(&mut self, ctx: &mut ACtx<'_>, input: Input) {
@@ -1890,14 +2217,23 @@ impl Actor for Accelerator {
         self.clock += 1;
         self.registry.inc(msg.recv_counter_key());
         match msg {
-            Msg::AvRequest { txn, product, amount, requester_av } => {
-                self.on_av_request(ctx, from, incoming, txn, product, amount, requester_av)
+            Msg::AvRequest { txn, product, amount, requester_av, requester_rate } => self
+                .on_av_request(
+                    ctx,
+                    from,
+                    incoming,
+                    txn,
+                    product,
+                    amount,
+                    requester_av,
+                    requester_rate,
+                ),
+            Msg::AvGrant { txn, product, amount, grantor_av, grantor_rate } => {
+                self.on_av_grant(ctx, from, txn, product, amount, grantor_av, grantor_rate)
             }
-            Msg::AvGrant { txn, product, amount, grantor_av } => {
-                self.on_av_grant(ctx, from, txn, product, amount, grantor_av)
-            }
-            Msg::AvPush { product, amount, pusher_av } => {
+            Msg::AvPush { product, amount, pusher_av, pusher_rate } => {
                 self.knowledge.update(from, product, pusher_av, ctx.now());
+                self.knowledge.update_rate(from, product, pusher_rate, ctx.now());
                 if self.av.is_defined(product) {
                     self.av.deposit(product, amount).expect("defined row");
                 }
@@ -1908,6 +2244,7 @@ impl Actor for Accelerator {
                 // row is undefined everywhere, i.e. the product left the
                 // Delay regime entirely.
                 let receiver_av = self.av.available(product);
+                let receiver_rate = self.local_rate(product);
                 let span = incoming
                     .map(|c| {
                         let clock = self.tick();
@@ -1921,13 +2258,20 @@ impl Actor for Accelerator {
                         )
                     })
                     .unwrap_or(0);
-                self.reply_along(ctx, from, incoming, span, Msg::AvPushAck { product, receiver_av });
+                self.reply_along(
+                    ctx,
+                    from,
+                    incoming,
+                    span,
+                    Msg::AvPushAck { product, receiver_av, receiver_rate },
+                );
             }
-            Msg::AvPushAck { product, receiver_av } => {
+            Msg::AvPushAck { product, receiver_av, receiver_rate } => {
                 self.knowledge.update(from, product, receiver_av, ctx.now());
+                self.knowledge.update_rate(from, product, receiver_rate, ctx.now());
             }
-            Msg::Propagate { offset, deltas } => {
-                let (upto, fresh) = self.repl.fresh_deltas(from, offset, deltas);
+            Msg::Propagate { offset, covers, coalesced, deltas } => {
+                let (upto, fresh) = self.repl.apply_frame(from, offset, covers, coalesced, deltas);
                 let batch_span = incoming
                     .map(|c| {
                         let clock = self.tick();
@@ -1999,7 +2343,10 @@ impl Actor for Accelerator {
         match self.timers.remove(&token) {
             Some(TimerKind::ImmVotes(txn)) => self.on_imm_votes_timeout(ctx, txn),
             Some(TimerKind::ImmDecision(txn)) => self.on_participant_timeout(txn),
-            Some(TimerKind::AvGrant(txn, peer)) => self.on_av_grant_timeout(ctx, txn, peer),
+            Some(TimerKind::AvGrant(txn, peer, product)) => {
+                self.on_av_grant_timeout(ctx, txn, peer, product)
+            }
+            Some(TimerKind::Rebalance) => self.on_rebalance(ctx),
             Some(TimerKind::AntiEntropy) => {
                 self.anti_entropy_armed = false;
                 self.flush_propagation(ctx);
@@ -2053,6 +2400,7 @@ impl Actor for Accelerator {
         self.retransmit_imm.clear();
         self.timers.clear();
         self.anti_entropy_armed = false;
+        self.rebalance_armed = false;
         // Holds belonged to the in-flight transactions that just died.
         self.av.release_all_holds();
     }
@@ -2067,8 +2415,10 @@ impl Actor for Accelerator {
         );
         // A WAL recovery is a flight-recorder trigger.
         self.write_flight_dump(ctx.now(), "wal-recovery");
-        // Timers are volatile; restart the anti-entropy heartbeat.
+        // Timers are volatile; restart the anti-entropy heartbeat and the
+        // rebalancer tick.
         self.arm_anti_entropy(ctx);
+        self.arm_rebalance(ctx);
     }
 }
 
@@ -2123,5 +2473,39 @@ mod tests {
         assert_eq!(ac.propagation_batch, 1);
         assert!(ac.imm_vote_timeout > 0);
         assert!(ac.participant_timeout > ac.imm_vote_timeout);
+        // Fast-lane knobs default to the paper's serial behaviour.
+        assert_eq!(ac.shortage_fanout, 0);
+        assert_eq!(ac.rebalance_horizon_ticks, 0);
+        assert!(!ac.coalesce_propagation);
+    }
+
+    #[test]
+    fn fast_lane_knobs_thread_through() {
+        let cfg = SystemConfig::builder()
+            .sites(3)
+            .regular_products(2, Volume(90))
+            .shortage_fanout(4)
+            .rebalance_horizon_ticks(512)
+            .coalesce_propagation(true)
+            .build()
+            .unwrap();
+        let ac = AcceleratorConfig::from_system(&cfg);
+        assert_eq!(ac.shortage_fanout, 4);
+        assert_eq!(ac.rebalance_horizon_ticks, 512);
+        assert!(ac.coalesce_propagation);
+    }
+
+    #[test]
+    fn consumption_rate_ewma_rises_with_use_and_is_piggybacked() {
+        let cfg = config();
+        let mut acc = Accelerator::new(SiteId(0), &cfg);
+        assert_eq!(acc.local_rate(ProductId(0)), 0);
+        acc.note_consumption(ProductId(0), Volume(10), VirtualTime(5));
+        let first = acc.local_rate(ProductId(0));
+        assert!(first > 0, "one decrement moves the EWMA off zero");
+        acc.note_consumption(ProductId(0), Volume(10), VirtualTime(10));
+        assert!(acc.local_rate(ProductId(0)) > first, "sustained use keeps raising it");
+        // Untouched products stay at zero (infinite horizon).
+        assert_eq!(acc.local_rate(ProductId(1)), 0);
     }
 }

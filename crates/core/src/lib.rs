@@ -42,5 +42,5 @@ pub use accelerator::{
 };
 pub use persist::AcceleratorSnapshot;
 pub use protocol::{Input, Msg, PropagateDelta, TracedMsg};
-pub use replication::ReplicationState;
+pub use replication::{coalesce_deltas, Frame, ReplicationState};
 pub use system::{export_from_accelerators, outcome_line, DistributedSystem};

@@ -54,6 +54,11 @@ pub enum Msg {
         /// Requester's available AV after holding everything it has —
         /// piggybacked knowledge for the grantor's future selections.
         requester_av: Volume,
+        /// Requester's per-product consumption-rate EWMA (volume per
+        /// kilotick) — piggybacked for the grantor's proactive
+        /// rebalancer, at zero wire cost beyond the field itself.
+        #[serde(default)]
+        requester_rate: i64,
     },
     /// Delay path: grant (possibly zero) AV back to a requester.
     AvGrant {
@@ -65,6 +70,9 @@ pub enum Msg {
         amount: Volume,
         /// Grantor's remaining available AV — piggybacked knowledge.
         grantor_av: Volume,
+        /// Grantor's consumption-rate EWMA — piggybacked knowledge.
+        #[serde(default)]
+        grantor_rate: i64,
     },
     /// Lazy replication of committed Delay deltas. `offset` is the
     /// absolute index of `deltas[0]` in the origin's replication log;
@@ -73,7 +81,21 @@ pub enum Msg {
     Propagate {
         /// Absolute log offset of the first delta.
         offset: u64,
-        /// Deltas in origin commit order.
+        /// Log entries this frame covers, starting at `offset`. Equals
+        /// `deltas.len()` for plain frames; a coalesced frame folds
+        /// `covers` log entries into fewer net deltas and is acked by the
+        /// `offset + covers` watermark.
+        #[serde(default)]
+        covers: u64,
+        /// `true` when `deltas` are net-per-product folds of the covered
+        /// log range rather than the raw entries. Coalesced frames apply
+        /// all-or-nothing: a receiver whose cursor is inside the covered
+        /// range rejects the frame (it cannot split a fold) and re-acks
+        /// its cursor so the origin realigns.
+        #[serde(default)]
+        coalesced: bool,
+        /// Deltas in origin commit order (for coalesced frames: one net
+        /// delta per product, in first-commit order).
         deltas: Vec<PropagateDelta>,
     },
     /// Cumulative acknowledgement of propagation (keeps pairing exact and
@@ -91,6 +113,9 @@ pub enum Msg {
         amount: Volume,
         /// Pusher's remaining available AV — piggybacked knowledge.
         pusher_av: Volume,
+        /// Pusher's consumption-rate EWMA — piggybacked knowledge.
+        #[serde(default)]
+        pusher_rate: i64,
     },
     /// Acknowledges a push (keeps pairing exact) and reports the
     /// receiver's new AV level back.
@@ -99,6 +124,9 @@ pub enum Msg {
         product: ProductId,
         /// Receiver's available AV after the deposit.
         receiver_av: Volume,
+        /// Receiver's consumption-rate EWMA — piggybacked knowledge.
+        #[serde(default)]
+        receiver_rate: i64,
     },
     /// Immediate path: coordinator asks a participant to lock and apply.
     ImmPrepare {
@@ -272,11 +300,11 @@ mod tests {
     #[test]
     fn every_message_kind_is_distinct() {
         let msgs = vec![
-            Msg::AvRequest { txn: txn(), product: ProductId(0), amount: Volume(1), requester_av: Volume(0) },
-            Msg::AvGrant { txn: txn(), product: ProductId(0), amount: Volume(1), grantor_av: Volume(0) },
-            Msg::AvPush { product: ProductId(0), amount: Volume(1), pusher_av: Volume(0) },
-            Msg::AvPushAck { product: ProductId(0), receiver_av: Volume(1) },
-            Msg::Propagate { offset: 0, deltas: vec![] },
+            Msg::AvRequest { txn: txn(), product: ProductId(0), amount: Volume(1), requester_av: Volume(0), requester_rate: 0 },
+            Msg::AvGrant { txn: txn(), product: ProductId(0), amount: Volume(1), grantor_av: Volume(0), grantor_rate: 0 },
+            Msg::AvPush { product: ProductId(0), amount: Volume(1), pusher_av: Volume(0), pusher_rate: 0 },
+            Msg::AvPushAck { product: ProductId(0), receiver_av: Volume(1), receiver_rate: 0 },
+            Msg::Propagate { offset: 0, covers: 0, coalesced: false, deltas: vec![] },
             Msg::PropagateAck { upto: 0 },
             Msg::ImmPrepare { txn: txn(), product: ProductId(0), delta: Volume(1) },
             Msg::ImmVote { txn: txn(), ready: true },
@@ -294,14 +322,17 @@ mod tests {
         // The accounting relies on one reply per request; the names encode
         // the pairing for humans reading traces.
         assert_eq!(
-            Msg::AvRequest { txn: txn(), product: ProductId(0), amount: Volume(1), requester_av: Volume(0) }.kind(),
+            Msg::AvRequest { txn: txn(), product: ProductId(0), amount: Volume(1), requester_av: Volume(0), requester_rate: 0 }.kind(),
             "av-request"
         );
         assert_eq!(
-            Msg::AvGrant { txn: txn(), product: ProductId(0), amount: Volume(0), grantor_av: Volume(0) }.kind(),
+            Msg::AvGrant { txn: txn(), product: ProductId(0), amount: Volume(0), grantor_av: Volume(0), grantor_rate: 0 }.kind(),
             "av-grant"
         );
-        assert_eq!(Msg::Propagate { offset: 1, deltas: vec![] }.kind(), "propagate");
+        assert_eq!(
+            Msg::Propagate { offset: 1, covers: 0, coalesced: false, deltas: vec![] }.kind(),
+            "propagate"
+        );
         assert_eq!(Msg::PropagateAck { upto: 1 }.kind(), "propagate-ack");
     }
 
@@ -309,6 +340,8 @@ mod tests {
     fn serde_round_trip() {
         let m = Msg::Propagate {
             offset: 3,
+            covers: 2,
+            coalesced: true,
             deltas: vec![PropagateDelta {
                 txn: txn(),
                 product: ProductId(2),
@@ -319,6 +352,18 @@ mod tests {
         };
         let json = serde_json::to_string(&m).unwrap();
         assert_eq!(m, serde_json::from_str::<Msg>(&json).unwrap());
+    }
+
+    #[test]
+    fn pre_fanout_wire_messages_still_parse() {
+        // Frames and AV messages serialized before the fast-lane fields
+        // existed must deserialize with the new fields defaulted.
+        let old = r#"{"Propagate":{"offset":4,"deltas":[]}}"#;
+        let m: Msg = serde_json::from_str(old).unwrap();
+        assert_eq!(m, Msg::Propagate { offset: 4, covers: 0, coalesced: false, deltas: vec![] });
+        let old = r#"{"AvPushAck":{"product":1,"receiver_av":9}}"#;
+        let m: Msg = serde_json::from_str(old).unwrap();
+        assert!(matches!(m, Msg::AvPushAck { receiver_rate: 0, .. }));
     }
 
     #[test]

@@ -13,6 +13,56 @@ use avdb_types::SiteId;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
+/// One outgoing replication frame: a contiguous log range
+/// `offset..offset + covers`, carried either as the raw per-commit
+/// deltas (`coalesced == false`, `covers == deltas.len()`) or folded
+/// into one net delta per product (`coalesced == true`,
+/// `deltas.len() <= covers`). Acked by the `offset + covers` watermark
+/// either way.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Absolute log offset of the first covered entry.
+    pub offset: u64,
+    /// Number of log entries the frame covers.
+    pub covers: u64,
+    /// Whether `deltas` are net-per-product folds.
+    pub coalesced: bool,
+    /// Payload deltas.
+    pub deltas: Vec<PropagateDelta>,
+}
+
+impl Frame {
+    fn build(offset: u64, deltas: Vec<PropagateDelta>, coalesce: bool) -> Frame {
+        let covers = deltas.len() as u64;
+        if coalesce && deltas.len() >= 2 {
+            let mut folded = Vec::with_capacity(deltas.len().min(8));
+            coalesce_deltas(&deltas, &mut folded);
+            Frame { offset, covers, coalesced: true, deltas: folded }
+        } else {
+            Frame { offset, covers, coalesced: false, deltas }
+        }
+    }
+}
+
+/// Folds a run of committed deltas into one net delta per product,
+/// first-commit order (deterministic), dropping products whose increments
+/// and decrements cancel exactly. Each fold keeps the *first* covered
+/// entry's transaction, commit span and commit time, so telemetry
+/// attributes the net apply to the oldest covered commit (the honest
+/// worst case for convergence-lag observation).
+pub fn coalesce_deltas(deltas: &[PropagateDelta], out: &mut Vec<PropagateDelta>) {
+    out.clear();
+    for d in deltas {
+        // Linear scan: a frame folds to at most one entry per product and
+        // catalogs are small, so this beats hashing on the hot path.
+        match out.iter_mut().find(|f| f.product == d.product) {
+            Some(f) => f.delta = f.delta.saturating_add(d.delta),
+            None => out.push(*d),
+        }
+    }
+    out.retain(|f| !f.delta.is_zero());
+}
+
 /// Sender + receiver replication bookkeeping for one site.
 #[derive(Debug)]
 pub struct ReplicationState {
@@ -108,6 +158,21 @@ impl ReplicationState {
         Some((from, deltas))
     }
 
+    /// [`Self::take_batch`] as a wire-ready [`Frame`], optionally
+    /// coalesced to net-per-product deltas.
+    pub fn take_batch_frame(&mut self, peer: SiteId, batch: usize, coalesce: bool) -> Option<Frame> {
+        let (offset, deltas) = self.take_batch(peer, batch)?;
+        Some(Frame::build(offset, deltas, coalesce))
+    }
+
+    /// [`Self::take_all_unacked`] as a wire-ready [`Frame`], optionally
+    /// coalesced. Retransmission flushes cover the widest ranges, so this
+    /// is where coalescing saves the most bytes.
+    pub fn take_unacked_frame(&mut self, peer: SiteId, coalesce: bool) -> Option<Frame> {
+        let (offset, deltas) = self.take_all_unacked(peer)?;
+        Some(Frame::build(offset, deltas, coalesce))
+    }
+
     fn slice(&self, from: u64, to: u64) -> Vec<PropagateDelta> {
         let lo = (from - self.base) as usize;
         let hi = (to - self.base) as usize;
@@ -153,7 +218,35 @@ impl ReplicationState {
         offset: u64,
         deltas: Vec<PropagateDelta>,
     ) -> (u64, Vec<PropagateDelta>) {
+        let covers = deltas.len() as u64;
+        self.apply_frame(origin, offset, covers, false, deltas)
+    }
+
+    /// Receiver side for a full [`Frame`], coalesced or plain.
+    ///
+    /// Plain frames behave exactly like [`Self::fresh_deltas`] (`covers`
+    /// is recomputed from the payload, which also tolerates pre-coalescing
+    /// senders whose frames carry a defaulted `covers: 0`). A coalesced
+    /// frame is all-or-nothing: it applies only when it starts exactly at
+    /// the dedup cursor — a fold cannot be split, so both gapped *and*
+    /// partially-duplicate coalesced frames are rejected wholesale, with
+    /// the ack restating the cursor so the origin realigns its next flush.
+    pub fn apply_frame(
+        &mut self,
+        origin: SiteId,
+        offset: u64,
+        covers: u64,
+        coalesced: bool,
+        deltas: Vec<PropagateDelta>,
+    ) -> (u64, Vec<PropagateDelta>) {
         let cursor = self.applied_from.entry(origin).or_insert(0);
+        if coalesced {
+            if offset != *cursor {
+                return (*cursor, Vec::new());
+            }
+            *cursor = offset + covers;
+            return (*cursor, deltas);
+        }
         if offset > *cursor {
             return (*cursor, Vec::new());
         }
@@ -315,6 +408,90 @@ mod proptests {
             prop_assert!(sender.fully_acked());
         }
     }
+
+    fn dnet(seq: u64, product: u32, delta: i64) -> PropagateDelta {
+        PropagateDelta {
+            txn: TxnId::new(SiteId(0), seq),
+            product: ProductId(product),
+            delta: Volume(delta),
+            commit_span: 0,
+            committed_at: avdb_types::VirtualTime::ZERO,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// Same lossy send/flush interleavings, but the sender coalesces
+        /// every frame. The receiver must never double-apply or skip
+        /// volume: its applied net sum per product always equals the
+        /// sender-side log prefix below its watermark, and a final
+        /// reliable flush converges it to the full recorded net.
+        #[test]
+        fn prop_coalesced_frames_preserve_net_volume(
+            seq in prop::collection::vec(steps(), 1..60),
+            payload in prop::collection::vec((0u32..3, -9i64..10), 60),
+        ) {
+            let mut sender = ReplicationState::new(SiteId(0), 2);
+            let mut receiver = ReplicationState::new(SiteId(1), 2);
+            let mut recorded: Vec<(u32, i64)> = Vec::new();
+            // applied net per product, receiver side
+            let mut applied = [0i64; 3];
+            let mut watermark = 0u64;
+            let deliver = |sender: &mut ReplicationState,
+                               receiver: &mut ReplicationState,
+                               applied: &mut [i64; 3],
+                               watermark: &mut u64,
+                               frame: Option<Frame>,
+                               ok: bool| {
+                if let Some(f) = frame {
+                    if ok {
+                        let (upto, fresh) =
+                            receiver.apply_frame(SiteId(0), f.offset, f.covers, f.coalesced, f.deltas);
+                        for d in fresh {
+                            applied[d.product.index()] += d.delta.get();
+                        }
+                        *watermark = upto;
+                        sender.on_ack(SiteId(1), upto);
+                    }
+                }
+            };
+            for (i, step) in seq.into_iter().enumerate() {
+                match step {
+                    Step::Record => {
+                        let (p, v) = payload[i % payload.len()];
+                        sender.record(dnet(recorded.len() as u64, p, v));
+                        recorded.push((p, v));
+                    }
+                    Step::Batch(b, ok) => {
+                        let frame = sender.take_batch_frame(SiteId(1), b, true);
+                        deliver(&mut sender, &mut receiver, &mut applied, &mut watermark, frame, ok);
+                    }
+                    Step::Flush(ok) => {
+                        let frame = sender.take_unacked_frame(SiteId(1), true);
+                        deliver(&mut sender, &mut receiver, &mut applied, &mut watermark, frame, ok);
+                    }
+                }
+                // The applied net always equals the recorded prefix below
+                // the watermark — coalescing moves volume in bigger
+                // steps, never creates or destroys it.
+                let mut expect = [0i64; 3];
+                for (p, v) in recorded.iter().take(watermark as usize) {
+                    expect[*p as usize] += v;
+                }
+                prop_assert_eq!(applied, expect, "coalesced apply diverged from log prefix");
+            }
+            // A final reliable flush converges to the full recorded net.
+            let frame = sender.take_unacked_frame(SiteId(1), true);
+            deliver(&mut sender, &mut receiver, &mut applied, &mut watermark, frame, true);
+            prop_assert_eq!(watermark, recorded.len() as u64);
+            prop_assert!(sender.fully_acked());
+            let mut expect = [0i64; 3];
+            for (p, v) in &recorded {
+                expect[*p as usize] += v;
+            }
+            prop_assert_eq!(applied, expect);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -453,5 +630,116 @@ mod tests {
         let mut r = ReplicationState::new(SiteId(0), 1);
         r.record(d(0));
         assert!(r.fully_acked());
+    }
+
+    fn dp(seq: u64, product: u32, delta: i64) -> PropagateDelta {
+        PropagateDelta {
+            txn: TxnId::new(SiteId(0), seq),
+            product: ProductId(product),
+            delta: Volume(delta),
+            commit_span: seq,
+            committed_at: avdb_types::VirtualTime(seq),
+        }
+    }
+
+    #[test]
+    fn coalesce_folds_to_net_per_product_in_first_commit_order() {
+        let mut out = Vec::new();
+        coalesce_deltas(
+            &[dp(0, 1, -3), dp(1, 0, 5), dp(2, 1, -2), dp(3, 0, -5), dp(4, 2, 4)],
+            &mut out,
+        );
+        // Product 1 first (first appearance), folded to -5 keeping the
+        // oldest entry's txn/span/time; product 0 nets to zero and drops.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].product, ProductId(1));
+        assert_eq!(out[0].delta, Volume(-5));
+        assert_eq!(out[0].txn.seq(), 0);
+        assert_eq!(out[0].committed_at, avdb_types::VirtualTime(0));
+        assert_eq!(out[1].product, ProductId(2));
+        assert_eq!(out[1].delta, Volume(4));
+    }
+
+    #[test]
+    fn coalesce_handles_i64_extremes_without_panicking() {
+        let mut out = Vec::new();
+        coalesce_deltas(&[dp(0, 0, i64::MAX), dp(1, 0, i64::MAX)], &mut out);
+        assert_eq!(out[0].delta, Volume(i64::MAX), "saturates instead of wrapping");
+        coalesce_deltas(&[dp(0, 0, i64::MAX), dp(1, 0, -i64::MAX)], &mut out);
+        assert!(out.is_empty(), "exact cancellation drops the product");
+    }
+
+    #[test]
+    fn coalesced_frame_covers_full_range_with_fewer_deltas() {
+        let mut r = state();
+        for (i, delta) in [-2, -3, 4, -1].iter().enumerate() {
+            r.record(dp(i as u64, 0, *delta));
+        }
+        let f = r.take_batch_frame(SiteId(1), 2, true).unwrap();
+        assert!(f.coalesced);
+        assert_eq!((f.offset, f.covers), (0, 4));
+        assert_eq!(f.deltas.len(), 1, "four same-product deltas fold to one net entry");
+        assert_eq!(f.deltas[0].delta, Volume(-2 - 3 + 4 - 1));
+        // Below-threshold batches still wait.
+        assert!(r.take_batch_frame(SiteId(2), 5, true).is_none());
+    }
+
+    #[test]
+    fn single_delta_frames_stay_plain_even_when_coalescing() {
+        let mut r = state();
+        r.record(dp(0, 0, -2));
+        let f = r.take_batch_frame(SiteId(1), 1, true).unwrap();
+        assert!(!f.coalesced, "nothing to fold");
+        assert_eq!(f.covers, 1);
+    }
+
+    #[test]
+    fn coalesced_apply_is_all_or_nothing() {
+        let mut r = state();
+        // Aligned frame applies and advances by `covers`, not payload len.
+        let (upto, fresh) = r.apply_frame(SiteId(1), 0, 3, true, vec![dp(0, 0, -4)]);
+        assert_eq!(upto, 3);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(r.applied_from(SiteId(1)), 3);
+        // Exact duplicate: rejected, ack restates the cursor.
+        let (upto, fresh) = r.apply_frame(SiteId(1), 0, 3, true, vec![dp(0, 0, -4)]);
+        assert_eq!(upto, 3);
+        assert!(fresh.is_empty());
+        // Partial overlap ([2..6) against cursor 3): a fold cannot be
+        // split, so nothing applies and the cursor holds.
+        let (upto, fresh) = r.apply_frame(SiteId(1), 2, 4, true, vec![dp(2, 0, 9)]);
+        assert_eq!(upto, 3);
+        assert!(fresh.is_empty());
+        assert_eq!(r.applied_from(SiteId(1)), 3);
+        // Gap ([5..7) against cursor 3): rejected like plain frames.
+        let (upto, fresh) = r.apply_frame(SiteId(1), 5, 2, true, vec![dp(5, 0, 1)]);
+        assert_eq!(upto, 3);
+        assert!(fresh.is_empty());
+        // The realigned retransmission then lands.
+        let (upto, fresh) = r.apply_frame(SiteId(1), 3, 4, true, vec![dp(3, 0, 2)]);
+        assert_eq!(upto, 7);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn empty_coalesced_frame_still_advances_watermark() {
+        // Increments and decrements that cancel exactly fold to an empty
+        // payload; the frame must still move the cursor or the range
+        // would retransmit forever.
+        let mut r = state();
+        let (upto, fresh) = r.apply_frame(SiteId(1), 0, 2, true, Vec::new());
+        assert_eq!(upto, 2);
+        assert!(fresh.is_empty());
+        assert_eq!(r.applied_from(SiteId(1)), 2);
+    }
+
+    #[test]
+    fn plain_frame_with_defaulted_covers_applies_like_fresh_deltas() {
+        // Pre-coalescing senders serialize no `covers` field; serde
+        // defaults it to 0 and the receiver must fall back to payload len.
+        let mut r = state();
+        let (upto, fresh) = r.apply_frame(SiteId(1), 0, 0, false, vec![d(0), d(1)]);
+        assert_eq!(upto, 2);
+        assert_eq!(fresh.len(), 2);
     }
 }

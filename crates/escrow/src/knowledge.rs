@@ -20,6 +20,11 @@ use avdb_types::{ProductId, SiteId, VirtualTime, Volume};
 pub struct PeerKnowledge {
     /// `rows[peer][product] → (last reported available AV, when)`.
     rows: Vec<Vec<Option<(Volume, VirtualTime)>>>,
+    /// `rates[peer][product] → (last reported consumption EWMA in
+    /// volume-per-kilotick, when)`. Piggybacked on the same AV traffic as
+    /// the AV cells; read by the proactive rebalancer to project a peer's
+    /// depletion horizon.
+    rates: Vec<Vec<Option<(i64, VirtualTime)>>>,
 }
 
 impl PeerKnowledge {
@@ -96,6 +101,37 @@ impl PeerKnowledge {
             .max()
     }
 
+    /// Records a fresher observation of `peer`'s consumption-rate EWMA
+    /// for `product` (volume per kilotick). Same freshness rule as
+    /// [`PeerKnowledge::update`].
+    pub fn update_rate(&mut self, peer: SiteId, product: ProductId, rate: i64, at: VirtualTime) {
+        if self.rates.len() <= peer.index() {
+            self.rates.resize(peer.index() + 1, Vec::new());
+        }
+        let row = &mut self.rates[peer.index()];
+        if row.len() <= product.index() {
+            row.resize(product.index() + 1, None);
+        }
+        let cell = &mut row[product.index()];
+        match *cell {
+            Some((_, prev_at)) if prev_at > at => {}
+            _ => *cell = Some((rate, at)),
+        }
+    }
+
+    /// Last known consumption rate of `peer` for `product` in volume per
+    /// kilotick (zero if never observed — an unknown peer projects an
+    /// infinite depletion horizon and is never rebalanced toward).
+    pub fn known_rate(&self, peer: SiteId, product: ProductId) -> i64 {
+        self.rates
+            .get(peer.index())
+            .and_then(|row| row.get(product.index()))
+            .copied()
+            .flatten()
+            .map(|(r, _)| r)
+            .unwrap_or(0)
+    }
+
     /// Peers ranked by descending believed AV for `product`, excluding
     /// `me` and anything in `exclude`. Ties break by ascending site id so
     /// ranking is deterministic.
@@ -106,15 +142,30 @@ impl PeerKnowledge {
         product: ProductId,
         exclude: &[SiteId],
     ) -> Vec<SiteId> {
-        let mut peers: Vec<SiteId> = SiteId::all(n_sites)
-            .filter(|s| *s != me && !exclude.contains(s))
-            .collect();
-        peers.sort_by(|a, b| {
+        let mut peers = Vec::new();
+        self.ranked_peers_into(me, n_sites, product, exclude, &mut peers);
+        peers
+    }
+
+    /// Allocation-free form of [`PeerKnowledge::ranked_peers`]: clears and
+    /// fills a caller-owned scratch buffer. The shortage path ranks peers
+    /// on every AV round, so the accelerator reuses one buffer per site
+    /// instead of allocating a fresh `Vec` per call.
+    pub fn ranked_peers_into(
+        &self,
+        me: SiteId,
+        n_sites: usize,
+        product: ProductId,
+        exclude: &[SiteId],
+        out: &mut Vec<SiteId>,
+    ) {
+        out.clear();
+        out.extend(SiteId::all(n_sites).filter(|s| *s != me && !exclude.contains(s)));
+        out.sort_by(|a, b| {
             self.known(*b, product)
                 .cmp(&self.known(*a, product))
                 .then(a.cmp(b))
         });
-        peers
     }
 }
 
@@ -345,5 +396,32 @@ mod tests {
         let ranked = k.ranked_peers(SiteId(2), 4, P, &[]);
         assert!(!ranked.contains(&SiteId(2)));
         assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn ranked_peers_into_reuses_scratch() {
+        let mut k = PeerKnowledge::new();
+        k.seed(P, &[Volume(40), Volume(20), Volume(40)]);
+        let mut scratch = vec![SiteId(9); 7];
+        k.ranked_peers_into(SiteId(1), 3, P, &[], &mut scratch);
+        assert_eq!(scratch, k.ranked_peers(SiteId(1), 3, P, &[]));
+        // Same buffer, different query: stale contents must not leak.
+        k.ranked_peers_into(SiteId(1), 3, P, &[SiteId(0)], &mut scratch);
+        assert_eq!(scratch, vec![SiteId(2)]);
+    }
+
+    #[test]
+    fn rate_knowledge_keeps_freshest() {
+        let mut k = PeerKnowledge::new();
+        assert_eq!(k.known_rate(SiteId(1), P), 0);
+        k.update_rate(SiteId(1), P, 250, VirtualTime(5));
+        assert_eq!(k.known_rate(SiteId(1), P), 250);
+        // Stale report ignored, like the AV cells.
+        k.update_rate(SiteId(1), P, 900, VirtualTime(2));
+        assert_eq!(k.known_rate(SiteId(1), P), 250);
+        k.update_rate(SiteId(1), P, 100, VirtualTime(9));
+        assert_eq!(k.known_rate(SiteId(1), P), 100);
+        // Rate cells are independent of AV cells.
+        assert_eq!(k.known(SiteId(1), P), Volume::ZERO);
     }
 }

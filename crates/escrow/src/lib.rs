@@ -34,7 +34,9 @@ pub mod table;
 pub use knowledge::PeerKnowledge;
 pub use ledger::{TransferLedger, TransferRecord};
 pub use strategy::{
-    make_decide, make_select, DecideStrategy, GrantAll, GrantDoubleShortage, GrantHalf,
-    GrantShortage, LeastRecentlyAsked, MostKnownAv, RandomSelect, RoundRobin, SelectStrategy,
+    make_decide, make_select, partition_shortage, partition_shortage_expected, DecideStrategy,
+    GrantAll, GrantDoubleShortage,
+    GrantHalf, GrantShortage, LeastRecentlyAsked, MostKnownAv, RandomSelect, RoundRobin,
+    SelectStrategy,
 };
 pub use table::{AvEntry, AvSnapshot, AvTable};

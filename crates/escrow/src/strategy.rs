@@ -36,6 +36,97 @@ pub trait SelectStrategy: Send + std::fmt::Debug {
         now: VirtualTime,
         rng: &mut DetRng,
     ) -> Option<SiteId>;
+
+    /// Picks up to `k` distinct peers for a parallel shortage fan-out,
+    /// appending each pick to `already_asked` (the caller's per-update
+    /// attempt history — exactly what the serial loop would have done one
+    /// round trip at a time) and collecting them into `out`.
+    ///
+    /// The default implementation iterates [`SelectStrategy::select`], so
+    /// every strategy fans out in its own order (MostKnownAv yields the
+    /// top-k believed holders, RoundRobin the next k in rotation, …).
+    /// Returns fewer than `k` peers when the eligible set runs dry.
+    #[allow(clippy::too_many_arguments)]
+    fn select_many(
+        &mut self,
+        me: SiteId,
+        n_sites: usize,
+        product: ProductId,
+        knowledge: &PeerKnowledge,
+        already_asked: &mut Vec<SiteId>,
+        now: VirtualTime,
+        rng: &mut DetRng,
+        k: usize,
+        out: &mut Vec<SiteId>,
+    ) {
+        out.clear();
+        for _ in 0..k {
+            match self.select(me, n_sites, product, knowledge, already_asked, now, rng) {
+                Some(peer) => {
+                    already_asked.push(peer);
+                    out.push(peer);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Splits `shortage` into `k` per-peer request shares that sum exactly to
+/// the shortage: an even split with the remainder spread one unit at a
+/// time over the first peers. Written against `i64` directly so
+/// `Volume::MAX`-scale shortages cannot overflow (`k` is a small fan-out
+/// width).
+pub fn partition_shortage(shortage: Volume, k: usize, out: &mut Vec<Volume>) {
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    let total = shortage.get().max(0);
+    let k_i = k as i64;
+    let each = total / k_i;
+    let rem = total - each * k_i;
+    for i in 0..k_i {
+        out.push(Volume(each + i64::from(i < rem)));
+    }
+}
+
+/// Splits a shortage across fan-out peers in proportion to what each is
+/// *expected to yield* (`expected[i]`, typically half the believed AV
+/// under a GrantHalf grantor): greedy in order, so a peer believed able
+/// to cover the whole shortage is asked for all of it instead of an
+/// even k-th. Any residue beliefs cannot cover is spread evenly (the
+/// beliefs may be stale-low), and every share is floored at 1 so no
+/// peer is asked for nothing.
+pub fn partition_shortage_expected(
+    shortage: Volume,
+    expected: &[Volume],
+    out: &mut Vec<Volume>,
+) {
+    out.clear();
+    if expected.is_empty() {
+        return;
+    }
+    let mut remaining = shortage.get().max(0);
+    for e in expected {
+        let take = remaining.min(e.get().max(0));
+        out.push(Volume(take));
+        remaining -= take;
+    }
+    if remaining > 0 {
+        let k_i = out.len() as i64;
+        let each = remaining / k_i;
+        let mut extra = remaining - each * k_i;
+        for s in out.iter_mut() {
+            *s += Volume(each + i64::from(extra > 0));
+            extra -= i64::from(extra > 0);
+        }
+    }
+    for s in out.iter_mut() {
+        if !s.is_positive() {
+            *s = Volume(1);
+        }
+    }
 }
 
 /// How much AV to request and to grant.
@@ -68,10 +159,22 @@ impl SelectStrategy for MostKnownAv {
         _now: VirtualTime,
         _rng: &mut DetRng,
     ) -> Option<SiteId> {
-        knowledge
-            .ranked_peers(me, n_sites, product, already_asked)
-            .first()
-            .copied()
+        // Direct max scan instead of ranking every peer: the shortage path
+        // calls this once per AV round, and only the top candidate is
+        // needed. Ascending-id iteration with a strict `>` keeps the
+        // ranked_peers tie-break (lowest id wins) without allocating.
+        let mut best: Option<(SiteId, Volume)> = None;
+        for s in SiteId::all(n_sites) {
+            if s == me || already_asked.contains(&s) {
+                continue;
+            }
+            let av = knowledge.known(s, product);
+            match best {
+                Some((_, best_av)) if best_av >= av => {}
+                _ => best = Some((s, av)),
+            }
+        }
+        best.map(|(s, _)| s)
     }
 }
 
@@ -365,6 +468,102 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn select_many_yields_topk_in_rank_order() {
+        let mut s = MostKnownAv;
+        let k = knowledge();
+        let mut r = rng();
+        let mut asked = Vec::new();
+        let mut out = Vec::new();
+        s.select_many(SiteId(1), 3, P, &k, &mut asked, VirtualTime::ZERO, &mut r, 5, &mut out);
+        assert_eq!(out, vec![SiteId(0), SiteId(2)], "runs dry below k");
+        assert_eq!(asked, out, "fan-out charges the attempt history");
+        // A second burst with the same history finds nobody left.
+        s.select_many(SiteId(1), 3, P, &k, &mut asked, VirtualTime::ZERO, &mut r, 2, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn select_many_respects_prior_asks() {
+        let mut s = MostKnownAv;
+        let k = knowledge();
+        let mut r = rng();
+        let mut asked = vec![SiteId(0)];
+        let mut out = Vec::new();
+        s.select_many(SiteId(1), 3, P, &k, &mut asked, VirtualTime::ZERO, &mut r, 2, &mut out);
+        assert_eq!(out, vec![SiteId(2)]);
+        assert_eq!(asked, vec![SiteId(0), SiteId(2)]);
+    }
+
+    #[test]
+    fn most_known_av_matches_ranked_peers_head() {
+        // The allocation-free scan must agree with the ranking it replaced.
+        let mut k = PeerKnowledge::new();
+        k.seed(P, &[Volume(40), Volume(20), Volume(40), Volume(7)]);
+        k.update(SiteId(3), P, Volume(40), VirtualTime(2));
+        let mut s = MostKnownAv;
+        let mut r = rng();
+        let mut asked: Vec<SiteId> = Vec::new();
+        for _ in 0..4 {
+            let ranked = k.ranked_peers(SiteId(1), 4, P, &asked);
+            let got = s.select(SiteId(1), 4, P, &k, &asked, VirtualTime::ZERO, &mut r);
+            assert_eq!(got, ranked.first().copied());
+            match got {
+                Some(p) => asked.push(p),
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn partition_shortage_sums_exactly() {
+        let mut out = Vec::new();
+        partition_shortage(Volume(10), 3, &mut out);
+        assert_eq!(out, vec![Volume(4), Volume(3), Volume(3)]);
+        partition_shortage(Volume(2), 4, &mut out);
+        assert_eq!(out, vec![Volume(1), Volume(1), Volume(0), Volume(0)]);
+        partition_shortage(Volume(9), 1, &mut out);
+        assert_eq!(out, vec![Volume(9)]);
+        partition_shortage(Volume(5), 0, &mut out);
+        assert!(out.is_empty());
+        // i64 edge: MAX splits without overflow and still sums exactly.
+        partition_shortage(Volume::MAX, 3, &mut out);
+        assert_eq!(out.iter().map(|v| v.get()).sum::<i64>(), i64::MAX);
+        assert!(out.iter().all(|v| !v.is_negative()));
+        // Negative shortages never produce negative requests.
+        partition_shortage(Volume(-5), 2, &mut out);
+        assert_eq!(out, vec![Volume::ZERO, Volume::ZERO]);
+    }
+
+    #[test]
+    fn partition_shortage_expected_is_greedy_with_even_residue() {
+        let mut out = Vec::new();
+        // First peer is believed able to cover everything: asked for all.
+        partition_shortage_expected(Volume(10), &[Volume(20), Volume(5)], &mut out);
+        assert_eq!(out, vec![Volume(10), Volume(1)]);
+        // Beliefs cover exactly: greedy prefix shares.
+        partition_shortage_expected(Volume(10), &[Volume(6), Volume(4)], &mut out);
+        assert_eq!(out, vec![Volume(6), Volume(4)]);
+        // Beliefs fall short by 4: residue spread evenly on top.
+        partition_shortage_expected(Volume(10), &[Volume(3), Volume(3)], &mut out);
+        assert_eq!(out, vec![Volume(5), Volume(5)]);
+        // No beliefs at all: pure even split, floored at 1.
+        partition_shortage_expected(Volume(3), &[Volume(0), Volume(0)], &mut out);
+        assert_eq!(out, vec![Volume(2), Volume(1)]);
+        partition_shortage_expected(Volume(5), &[], &mut out);
+        assert!(out.is_empty());
+        // i64 edges: MAX shortage against MAX beliefs never overflows and
+        // every share stays positive.
+        partition_shortage_expected(Volume::MAX, &[Volume::MAX, Volume::MAX], &mut out);
+        assert_eq!(out, vec![Volume::MAX, Volume(1)]);
+        partition_shortage_expected(Volume::MAX, &[Volume(0), Volume(0)], &mut out);
+        assert_eq!(out.iter().map(|v| v.get()).sum::<i64>(), i64::MAX);
+        assert!(out.iter().all(|v| v.is_positive()));
+        // Negative beliefs are clamped, negative shortages yield floors.
+        partition_shortage_expected(Volume(-5), &[Volume(-3), Volume(9)], &mut out);
+        assert_eq!(out, vec![Volume(1), Volume(1)]);
     }
 
     #[test]

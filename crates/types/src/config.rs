@@ -155,6 +155,28 @@ pub struct SystemConfig {
     /// believed-poorest peer. Costs push/ack pairs up front to save
     /// request/grant pairs (and retailer-visible latency) later.
     pub proactive_push: bool,
+    /// Parallel shortage fan-out width: on an AV shortage, partition the
+    /// missing volume across up to this many top-known-AV peers and issue
+    /// the requests concurrently instead of one serial round trip per
+    /// peer. `0` or `1` keeps the paper's serial selecting/deciding loop.
+    /// The per-update peer budget (`max_av_rounds`) still applies across
+    /// all bursts.
+    #[serde(default)]
+    pub shortage_fanout: usize,
+    /// Proactive AV rebalancing: when a peer's projected depletion horizon
+    /// (its believed AV divided by its piggybacked consumption-rate EWMA)
+    /// falls below this many ticks, a surplus site pushes AV toward it in
+    /// the background instead of waiting for the shortage round trip. The
+    /// value doubles as the rebalancer tick period. `0` disables (default).
+    #[serde(default)]
+    pub rebalance_horizon_ticks: u64,
+    /// Coalesced replication frames: fold a multi-delta propagation batch
+    /// into one net-delta-per-product frame, acked by log watermark. Cuts
+    /// message bytes (and receiver work) for `propagation_batch > 1` and
+    /// for anti-entropy retransmissions; disabled by default to keep the
+    /// per-update delta stream byte-compatible.
+    #[serde(default)]
+    pub coalesce_propagation: bool,
     /// Probability that the network silently drops any given message
     /// (fault-injection knob; 0.0 = reliable links). Replication repairs
     /// itself through retransmission; in-flight AV grants are destroyed
@@ -320,6 +342,9 @@ pub struct SystemConfigBuilder {
     propagation_batch: usize,
     anti_entropy_interval: u64,
     proactive_push: bool,
+    shortage_fanout: usize,
+    rebalance_horizon_ticks: u64,
+    coalesce_propagation: bool,
     drop_probability: f64,
     seed: u64,
 }
@@ -339,6 +364,9 @@ impl Default for SystemConfigBuilder {
             propagation_batch: 1,
             anti_entropy_interval: 0,
             proactive_push: false,
+            shortage_fanout: 0,
+            rebalance_horizon_ticks: 0,
+            coalesce_propagation: false,
             drop_probability: 0.0,
             seed: 0,
         }
@@ -446,6 +474,26 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the parallel shortage fan-out width (default 0 = serial).
+    pub fn shortage_fanout(mut self, k: usize) -> Self {
+        self.shortage_fanout = k;
+        self
+    }
+
+    /// Enables proactive AV rebalancing with the given depletion-horizon
+    /// threshold in ticks (0 disables; default).
+    pub fn rebalance_horizon_ticks(mut self, ticks: u64) -> Self {
+        self.rebalance_horizon_ticks = ticks;
+        self
+    }
+
+    /// Enables coalesced (net-delta-per-product) replication frames
+    /// (default off).
+    pub fn coalesce_propagation(mut self, on: bool) -> Self {
+        self.coalesce_propagation = on;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -479,6 +527,9 @@ impl SystemConfigBuilder {
             propagation_batch: self.propagation_batch,
             anti_entropy_interval: self.anti_entropy_interval,
             proactive_push: self.proactive_push,
+            shortage_fanout: self.shortage_fanout,
+            rebalance_horizon_ticks: self.rebalance_horizon_ticks,
+            coalesce_propagation: self.coalesce_propagation,
             drop_probability: self.drop_probability,
             seed: self.seed,
             catalog: self.catalog,
@@ -592,5 +643,37 @@ mod tests {
         let cfg = base().seed(42).build().unwrap();
         let json = serde_json::to_string(&cfg).unwrap();
         assert_eq!(cfg, serde_json::from_str::<SystemConfig>(&json).unwrap());
+    }
+
+    #[test]
+    fn fast_lane_knobs_default_off_and_round_trip() {
+        let cfg = base().build().unwrap();
+        assert_eq!(cfg.shortage_fanout, 0);
+        assert_eq!(cfg.rebalance_horizon_ticks, 0);
+        assert!(!cfg.coalesce_propagation);
+
+        let cfg = base()
+            .shortage_fanout(3)
+            .rebalance_horizon_ticks(512)
+            .coalesce_propagation(true)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.shortage_fanout, 3);
+        assert_eq!(cfg.rebalance_horizon_ticks, 512);
+        assert!(cfg.coalesce_propagation);
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(cfg, serde_json::from_str::<SystemConfig>(&json).unwrap());
+
+        // Configs serialized before the knobs existed still deserialize:
+        // strip the new keys from the JSON text and reparse.
+        let stripped = json
+            .replace("\"shortage_fanout\":3,", "")
+            .replace("\"rebalance_horizon_ticks\":512,", "")
+            .replace("\"coalesce_propagation\":true,", "");
+        assert_ne!(stripped, json, "the knobs serialize under their field names");
+        let old: SystemConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.shortage_fanout, 0);
+        assert_eq!(old.rebalance_horizon_ticks, 0);
+        assert!(!old.coalesce_propagation);
     }
 }

@@ -23,7 +23,8 @@ fn usage() -> ! {
         "usage:\n  \
          avdb-bench run [--transports sim,threads,tcp] [--sites 3,7] [--updates N]\n    \
          [--faults clean,loss,crash,partition] [--alloc uniform,all-at-base,...]\n    \
-         [--zipf 0,900] [--batch 1,4] [--imm-products N] [--regular-products N]\n    \
+         [--zipf 0,900] [--batch 1,4] [--fanout 0,4] [--rebalance 0,512]\n    \
+         [--coalesce 0,1] [--imm-products N] [--regular-products N]\n    \
          [--stock N] [--spacing N] [--seed N] [--open-loop] [--label L] [--out DIR]\n  \
          avdb-bench compare <baseline.json> <current.json> [--max-regress-pct N]"
     );
@@ -51,6 +52,24 @@ fn main() -> ExitCode {
     }
 }
 
+/// Expands the fast-lane flag lists into the cross product of
+/// (fanout, rebalance horizon, coalesce) cells, in flag order.
+fn fast_lane_cells(
+    fanouts: &[usize],
+    rebalances: &[u64],
+    coalesces: &[bool],
+) -> Vec<(usize, u64, bool)> {
+    let mut cells = Vec::new();
+    for &fanout in fanouts {
+        for &rebalance in rebalances {
+            for &coalesce in coalesces {
+                cells.push((fanout, rebalance, coalesce));
+            }
+        }
+    }
+    cells
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut transports = vec![TransportKind::Sim];
     let mut sites = vec![3usize, 7];
@@ -58,6 +77,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut allocs = vec![avdb::types::AvAllocation::Uniform];
     let mut zipfs = vec![0u64];
     let mut batches = vec![1usize];
+    let mut fanouts = vec![0usize];
+    let mut rebalances = vec![0u64];
+    let mut coalesces = vec![false];
     let mut base = ScenarioSpec::base();
     let mut label = String::from("local");
     let mut out_dir = String::from("results");
@@ -81,6 +103,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
             "--zipf" => zipfs = parse_list(arg, &value(arg), |s| s.parse().ok()),
             "--batch" => batches = parse_list(arg, &value(arg), |s| s.parse().ok()),
+            "--fanout" => fanouts = parse_list(arg, &value(arg), |s| s.parse().ok()),
+            "--rebalance" => rebalances = parse_list(arg, &value(arg), |s| s.parse().ok()),
+            "--coalesce" => {
+                coalesces = parse_list(arg, &value(arg), |s| match s {
+                    "0" | "false" => Some(false),
+                    "1" | "true" => Some(true),
+                    _ => None,
+                });
+            }
             "--updates" => base.updates = value(arg).parse().unwrap_or_else(|_| usage()),
             "--imm-products" => {
                 base.non_regular_products = value(arg).parse().unwrap_or_else(|_| usage());
@@ -106,33 +137,46 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 for &allocation in &allocs {
                     for &zipf_milli in &zipfs {
                         for &batch in &batches {
-                            let mut spec = base.clone();
-                            spec.transport = transport;
-                            spec.sites = n;
-                            spec.fault = fault;
-                            spec.allocation = allocation;
-                            spec.zipf_milli = zipf_milli;
-                            spec.propagation_batch = batch;
-                            if transport != TransportKind::Sim && fault != FaultProfile::Clean {
-                                eprintln!(
-                                    "skip {}: faults need the deterministic scheduler",
-                                    spec.label()
-                                );
-                                continue;
-                            }
-                            eprint!("running {} ... ", spec.label());
-                            match run_scenario(&spec) {
-                                Ok(arts) => {
+                            for &(fanout, rebalance, coalesce) in fast_lane_cells(
+                                &fanouts,
+                                &rebalances,
+                                &coalesces,
+                            )
+                            .iter()
+                            {
+                                let mut spec = base.clone();
+                                spec.transport = transport;
+                                spec.sites = n;
+                                spec.fault = fault;
+                                spec.allocation = allocation;
+                                spec.zipf_milli = zipf_milli;
+                                spec.propagation_batch = batch;
+                                spec.shortage_fanout = fanout;
+                                spec.rebalance_horizon_ticks = rebalance;
+                                spec.coalesce_propagation = coalesce;
+                                if transport != TransportKind::Sim
+                                    && fault != FaultProfile::Clean
+                                {
                                     eprintln!(
-                                        "ok ({}/{} committed)",
-                                        arts.result.stats.committed,
-                                        arts.result.stats.submitted
+                                        "skip {}: faults need the deterministic scheduler",
+                                        spec.label()
                                     );
-                                    report.scenarios.push(arts.result);
+                                    continue;
                                 }
-                                Err(e) => {
-                                    eprintln!("FAILED: {e}");
-                                    failures += 1;
+                                eprint!("running {} ... ", spec.label());
+                                match run_scenario(&spec) {
+                                    Ok(arts) => {
+                                        eprintln!(
+                                            "ok ({}/{} committed)",
+                                            arts.result.stats.committed,
+                                            arts.result.stats.submitted
+                                        );
+                                        report.scenarios.push(arts.result);
+                                    }
+                                    Err(e) => {
+                                        eprintln!("FAILED: {e}");
+                                        failures += 1;
+                                    }
                                 }
                             }
                         }
@@ -206,14 +250,17 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             for line in lines {
                 println!("{line}");
             }
-            println!("throughput within {max_regress_pct}% of baseline");
+            println!(
+                "throughput, shortage rate, and amplification p95 within \
+                 {max_regress_pct}% of baseline"
+            );
             ExitCode::SUCCESS
         }
         Err(violations) => {
             for v in violations {
                 eprintln!("{v}");
             }
-            eprintln!("avdb-bench: throughput regression gate failed");
+            eprintln!("avdb-bench: regression gate failed");
             ExitCode::FAILURE
         }
     }

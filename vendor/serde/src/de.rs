@@ -73,3 +73,19 @@ pub fn field<T: Deserialize>(
             .map_err(|_| DeError::msg(format!("missing field `{name}` of {ty}"))),
     }
 }
+
+/// Looks up a struct field annotated `#[serde(default)]`: a missing (or
+/// `Null`) field falls back to `T::default()` instead of erroring, which
+/// is what keeps old serialized payloads parseable after a type grows a
+/// field.
+pub fn field_or_default<T: Deserialize + Default>(
+    fields: &[(String, Value)],
+    name: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, Value::Null)) | None => Ok(T::default()),
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::msg(format!("field `{name}` of {ty}: {e}"))),
+    }
+}

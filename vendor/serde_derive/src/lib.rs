@@ -4,10 +4,12 @@
 //! builds. Supports the subset this workspace uses: non-generic named
 //! structs, tuple structs (single-field = transparent newtype, matching
 //! real serde's JSON behaviour), unit structs, and enums with unit,
-//! tuple, and struct variants (externally tagged). All field/variant
-//! attributes are ignored — the only `#[serde(...)]` attribute present
-//! in this workspace is `transparent` on newtypes, which is already the
-//! default shape here.
+//! tuple, and struct variants (externally tagged). Two field/variant
+//! attributes are honoured: `#[serde(transparent)]` on newtypes (already
+//! the default shape here) and `#[serde(default)]` on named fields,
+//! which makes a missing field deserialize to `Default::default()` so
+//! payloads written before the field existed still parse. All other
+//! attributes are ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -50,10 +52,17 @@ impl Item {
 }
 
 enum ItemKind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// One named field: its identifier plus whether `#[serde(default)]` was
+/// present (missing values then deserialize to `Default::default()`).
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -64,7 +73,7 @@ struct Variant {
 enum VariantData {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 fn parse_item(ts: TokenStream) -> Item {
@@ -109,7 +118,7 @@ fn parse_item(ts: TokenStream) -> Item {
         "struct" => match toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 ItemKind::NamedStruct(
-                    split_top_level(g.stream()).iter().map(|c| leading_ident(c)).collect(),
+                    split_top_level(g.stream()).iter().map(|c| parse_field(c)).collect(),
                 )
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
@@ -190,6 +199,66 @@ fn leading_ident(chunk: &[TokenTree]) -> String {
     }
 }
 
+/// Parses one named field: its identifier plus whether any leading
+/// `#[serde(...)]` attribute lists `default`.
+fn parse_field(chunk: &[TokenTree]) -> Field {
+    Field { name: leading_ident(chunk), default: has_serde_default(chunk) }
+}
+
+/// `true` when the field's attributes include `#[serde(default)]` (alone
+/// or among other comma-separated serde attributes). The `default =
+/// "path"` form is not supported — only the bare flag.
+fn has_serde_default(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(attr)) = chunk.get(i + 1) {
+            if attr.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+                let is_serde = matches!(
+                    inner.first(),
+                    Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                );
+                if is_serde {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        if args.delimiter() == Delimiter::Parenthesis {
+                            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                            for (j, tt) in args.iter().enumerate() {
+                                let named = matches!(
+                                    tt,
+                                    TokenTree::Ident(id) if id.to_string() == "default"
+                                );
+                                // Reject `default = ...`: silently reading
+                                // it as the bare flag would diverge from
+                                // real serde's semantics.
+                                let assigned = matches!(
+                                    args.get(j + 1),
+                                    Some(TokenTree::Punct(p)) if p.as_char() == '='
+                                );
+                                if named && assigned {
+                                    panic!(
+                                        "serde_derive (vendored): `default = ...` is not \
+                                         supported, use the bare `default` flag"
+                                    );
+                                }
+                                if named {
+                                    return true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
 fn parse_variant(chunk: &[TokenTree]) -> Variant {
     let i = skip_attrs_and_vis(chunk, 0);
     let name = match chunk.get(i) {
@@ -203,7 +272,7 @@ fn parse_variant(chunk: &[TokenTree]) -> Variant {
             VariantData::Tuple(split_top_level(g.stream()).len())
         }
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantData::Named(
-            split_top_level(g.stream()).iter().map(|c| leading_ident(c)).collect(),
+            split_top_level(g.stream()).iter().map(|c| parse_field(c)).collect(),
         ),
         other => panic!("serde_derive: unexpected variant body: {other:?}"),
     };
@@ -227,6 +296,7 @@ fn gen_serialize(item: &Item) -> String {
             let items: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -262,14 +332,17 @@ fn gen_serialize(item: &Item) -> String {
                             let items: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
                                     )
                                 })
                                 .collect();
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
                             format!(
                                 "{name}::{vn} {{ {} }} => ::serde::ser::variant(\"{vn}\", ::serde::Value::Object(vec![{}])),",
-                                fields.join(", "),
+                                binds.join(", "),
                                 items.join(", ")
                             )
                         }
@@ -307,7 +380,11 @@ fn gen_deserialize(item: &Item) -> String {
         ItemKind::NamedStruct(fields) => {
             let items: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de::field(fields, \"{f}\", \"{name}\")?,"))
+                .map(|f| {
+                    let helper = if f.default { "field_or_default" } else { "field" };
+                    let f = &f.name;
+                    format!("{f}: ::serde::de::{helper}(fields, \"{f}\", \"{name}\")?,")
+                })
                 .collect();
             format!(
                 "let fields = ::serde::de::as_object(v, \"{name}\")?;\n\
@@ -343,8 +420,11 @@ fn gen_deserialize(item: &Item) -> String {
                             let items: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let helper =
+                                        if f.default { "field_or_default" } else { "field" };
+                                    let f = &f.name;
                                     format!(
-                                        "{f}: ::serde::de::field(fields, \"{f}\", \"{name}::{vn}\")?,"
+                                        "{f}: ::serde::de::{helper}(fields, \"{f}\", \"{name}::{vn}\")?,"
                                     )
                                 })
                                 .collect();
