@@ -5,8 +5,9 @@
 //! profile, and seed — and knows how to expand itself into a validated
 //! [`SystemConfig`] plus a timed update schedule.
 
+use avdb_chaos::Scenario;
 use avdb_types::{AvAllocation, SystemConfig, UpdateRequest, VirtualTime, Volume};
-use avdb_workload::{scm_catalog, Popularity, UpdateStream, WorkloadSpec};
+use avdb_workload::{scm_catalog, ArrivalPattern, Popularity, UpdateStream, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which substrate carries the protocol messages.
@@ -133,6 +134,12 @@ pub struct ScenarioSpec {
     /// Fold propagation batches into net-per-product frames.
     #[serde(default)]
     pub coalesce_propagation: bool,
+    /// Named chaos scenario layered over the cell: traffic reshaping
+    /// (flash-sale, diurnal-wave) and/or faults and nemeses
+    /// (multi-region, rolling-restart, kill-the-*). `None` = plain cell.
+    /// Defaults keep pre-chaos BENCH files parseable.
+    #[serde(default)]
+    pub scenario: Option<String>,
 }
 
 impl ScenarioSpec {
@@ -158,6 +165,22 @@ impl ScenarioSpec {
             shortage_fanout: 0,
             rebalance_horizon_ticks: 0,
             coalesce_propagation: false,
+            scenario: None,
+        }
+    }
+
+    /// The parsed chaos scenario, if the cell names one. An unknown name
+    /// is an error (a silently ignored scenario would report misleading
+    /// numbers under the right label).
+    pub fn chaos_scenario(&self) -> Result<Option<Scenario>, String> {
+        match self.scenario.as_deref() {
+            None => Ok(None),
+            Some(name) => Scenario::parse(name).map(Some).ok_or_else(|| {
+                format!(
+                    "unknown scenario '{name}' (known: {})",
+                    Scenario::ALL.map(|s| s.name()).join(", ")
+                )
+            }),
         }
     }
 
@@ -194,6 +217,9 @@ impl ScenarioSpec {
         if self.coalesce_propagation {
             label.push_str("-coal");
         }
+        if let Some(scenario) = &self.scenario {
+            label.push_str(&format!("-sc{scenario}"));
+        }
         label
     }
 
@@ -222,7 +248,7 @@ impl ScenarioSpec {
             self.non_regular_products,
             Volume(self.initial_stock),
         );
-        let spec = WorkloadSpec {
+        let mut spec = WorkloadSpec {
             n_sites: self.sites,
             n_updates: self.updates,
             maker_increase_pct: self.maker_pct,
@@ -233,8 +259,12 @@ impl ScenarioSpec {
                 Popularity::Zipf(self.zipf_milli as f64 / 1000.0)
             },
             spacing: self.spacing,
+            arrival: ArrivalPattern::Even,
             seed: self.seed,
         };
+        if let Ok(Some(scenario)) = self.chaos_scenario() {
+            scenario.adapt_workload(&mut spec);
+        }
         UpdateStream::new(spec, &catalog).collect_all()
     }
 

@@ -48,18 +48,20 @@ fn finish(
 
 fn run_sim(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
     let cfg = spec.config()?;
+    let chaos = spec.chaos_scenario().map_err(|e| format!("{}: {e}", spec.label()))?;
     let schedule = spec.schedule();
     let started = Instant::now();
 
     let mut sys = DistributedSystem::new(cfg);
     sys.enable_trace();
+    let span = spec.schedule_span().max(1);
+    let nemesis = chaos.map(|sc| sc.install(&mut sys, span));
     let mut submitted = Vec::with_capacity(schedule.len());
     for (at, req) in &schedule {
         submitted.push(SubmittedRequest::single(*at, req));
         sys.submit_at(*at, *req);
     }
 
-    let span = spec.schedule_span().max(1);
     match spec.fault {
         FaultProfile::Clean | FaultProfile::Loss => sys.run_until_quiescent(),
         FaultProfile::Crash => {
@@ -100,7 +102,21 @@ fn run_sim(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
         return Err(format!("{}: oracle violations: {report}", spec.label()));
     }
 
-    finish(spec, sys.export_telemetry(&outcomes), elapsed_ms)
+    // A targeted scenario whose nemesis never struck proves nothing —
+    // fail the cell rather than report adversary-free numbers under an
+    // adversarial label.
+    let mut export = sys.export_telemetry(&outcomes);
+    if let (Some(sc), Some(handle)) = (chaos, &nemesis) {
+        if sc.is_targeted() && handle.fired() == 0 {
+            return Err(format!(
+                "{}: nemesis '{sc}' never fired — vacuous adversarial run",
+                spec.label()
+            ));
+        }
+        export.add_registry("chaos", handle.snapshot());
+    }
+
+    finish(spec, export, elapsed_ms)
 }
 
 // ---- live transports ---------------------------------------------------
@@ -146,6 +162,12 @@ fn run_live(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
             "{}: fault '{}' needs the deterministic scheduler; run it on sim",
             spec.label(),
             spec.fault.name()
+        ));
+    }
+    if let Some(name) = &spec.scenario {
+        return Err(format!(
+            "{}: scenario '{name}' needs the deterministic scheduler; run it on sim",
+            spec.label()
         ));
     }
     let cfg = spec.config()?;

@@ -1,0 +1,277 @@
+//! The nemesis engine: state-triggered fault injection.
+//!
+//! A [`Nemesis`] watches the substrate's event stream and strikes when a
+//! protocol-defined moment arrives — an AV grant in flight, a 2PC vote
+//! about to land. The [`NemesisEngine`] multiplexes several nemeses onto
+//! the simulator's single [`NetHook`] slot and counts every strike in a
+//! shared registry (`chaos.nemesis.fired`, `chaos.nemesis.fired.<name>`),
+//! which the [`NemesisHandle`] exposes to the harness after the run.
+
+use avdb_simnet::{FaultCtl, NetEvent, NetHook, Registry, RegistrySnapshot};
+use avdb_types::SiteId;
+use std::sync::{Arc, Mutex};
+
+/// One adversarial strategy. Returns `true` from [`Nemesis::on_event`]
+/// when it actually fired (took an action), which the engine counts.
+pub trait Nemesis: Send {
+    /// Stable name, used as the counter suffix and in scenario docs.
+    fn name(&self) -> &'static str;
+    /// Reacts to one substrate event; `true` = the nemesis fired.
+    fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) -> bool;
+}
+
+/// Multiplexes nemeses onto the runner's hook slot and counts strikes.
+pub struct NemesisEngine {
+    nemeses: Vec<Box<dyn Nemesis>>,
+    registry: Arc<Mutex<Registry>>,
+}
+
+impl Default for NemesisEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NemesisEngine {
+    /// An engine with no nemeses (installed for every scenario so the
+    /// `chaos.*` counters exist uniformly in exports).
+    pub fn new() -> Self {
+        NemesisEngine { nemeses: Vec::new(), registry: Arc::new(Mutex::new(Registry::new())) }
+    }
+
+    /// Adds a nemesis.
+    pub fn with(mut self, nemesis: Box<dyn Nemesis>) -> Self {
+        self.nemeses.push(nemesis);
+        self
+    }
+
+    /// A handle for reading the strike counters after the run (the engine
+    /// itself disappears into the simulator).
+    pub fn handle(&self) -> NemesisHandle {
+        NemesisHandle { registry: Arc::clone(&self.registry) }
+    }
+}
+
+impl NetHook for NemesisEngine {
+    fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) {
+        for nemesis in &mut self.nemeses {
+            if nemesis.on_event(ev, ctl) {
+                let mut reg = self.registry.lock().expect("nemesis registry poisoned");
+                reg.inc("chaos.nemesis.fired");
+                reg.inc(&format!("chaos.nemesis.fired.{}", nemesis.name()));
+            }
+        }
+    }
+}
+
+/// Read side of the engine's strike counters.
+#[derive(Clone)]
+pub struct NemesisHandle {
+    registry: Arc<Mutex<Registry>>,
+}
+
+impl NemesisHandle {
+    /// Total nemesis strikes across the run.
+    pub fn fired(&self) -> u64 {
+        self.registry.lock().expect("nemesis registry poisoned").counter("chaos.nemesis.fired")
+    }
+
+    /// Strikes by one named nemesis.
+    pub fn fired_by(&self, name: &str) -> u64 {
+        self.registry
+            .lock()
+            .expect("nemesis registry poisoned")
+            .counter(&format!("chaos.nemesis.fired.{name}"))
+    }
+
+    /// Snapshot of the whole chaos registry (for telemetry export merge).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.lock().expect("nemesis registry poisoned").snapshot()
+    }
+}
+
+/// Crashes the peer that just put an AV grant on the wire, at the exact
+/// instant of the send. The grant itself stays in flight (a fail-stop
+/// site loses state, not mail already handed to the transport), so AV
+/// conservation must hold *strictly*: the granted volume lands at the
+/// requester while the granter recovers its debit from the WAL. The
+/// crash is scheduled at `now` rather than applied synchronously so
+/// sibling messages emitted by the same handler are not retroactively
+/// destroyed — the schedule stays physical.
+pub struct KillTheGranter {
+    remaining: u32,
+    downtime: u64,
+}
+
+impl KillTheGranter {
+    /// Kills the granter up to `kills` times, each outage `downtime` ticks.
+    pub fn new(kills: u32, downtime: u64) -> Self {
+        KillTheGranter { remaining: kills, downtime }
+    }
+}
+
+impl Nemesis for KillTheGranter {
+    fn name(&self) -> &'static str {
+        "kill-the-granter"
+    }
+
+    fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) -> bool {
+        if let NetEvent::Send { from, kind: "av-grant", .. } = *ev {
+            if self.remaining > 0 && !ctl.is_crashed(from) {
+                self.remaining -= 1;
+                ctl.crash_after(0, from);
+                ctl.recover_after(self.downtime.max(1), from);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Crashes the 2PC coordinator at the instant a participant's vote
+/// arrives — after the participant has prepared (locks held, vote on the
+/// wire) but before the coordinator can record it or decide. The vote
+/// parks in the durable queue and is redelivered at recovery; the
+/// participants must resolve the in-doubt transaction (presumed abort)
+/// without the decision round.
+pub struct KillTheCoordinator {
+    remaining: u32,
+    downtime: u64,
+}
+
+impl KillTheCoordinator {
+    /// Kills the coordinator up to `kills` times, each outage `downtime`
+    /// ticks.
+    pub fn new(kills: u32, downtime: u64) -> Self {
+        KillTheCoordinator { remaining: kills, downtime }
+    }
+}
+
+impl Nemesis for KillTheCoordinator {
+    fn name(&self) -> &'static str {
+        "kill-the-coordinator"
+    }
+
+    fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) -> bool {
+        if let NetEvent::Deliver { to, kind: "imm-vote", .. } = *ev {
+            if self.remaining > 0 && !ctl.is_crashed(to) {
+                self.remaining -= 1;
+                ctl.crash_now(to);
+                ctl.recover_after(self.downtime.max(1), to);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Installs a slow, flapping WAN between two site tiers the moment the
+/// first cross-tier message is sent (used by the multi-region scenario's
+/// fault half; the latency tiers themselves are static inflation).
+pub struct FlakyWan {
+    /// First site of the far region; sites `>= boundary` are remote.
+    boundary: SiteId,
+    installed: bool,
+    extra_delay: u64,
+}
+
+impl FlakyWan {
+    /// Inflates every cross-boundary link by `extra_delay` ticks on first
+    /// cross-boundary traffic.
+    pub fn new(boundary: SiteId, extra_delay: u64) -> Self {
+        FlakyWan { boundary, installed: false, extra_delay }
+    }
+}
+
+impl Nemesis for FlakyWan {
+    fn name(&self) -> &'static str {
+        "flaky-wan"
+    }
+
+    fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) -> bool {
+        if self.installed {
+            return false;
+        }
+        if let NetEvent::Send { from, to, .. } = *ev {
+            let crosses = (from < self.boundary) != (to < self.boundary);
+            if crosses {
+                self.installed = true;
+                let n = ctl.n_sites();
+                for a in 0..self.boundary.index() {
+                    for b in self.boundary.index()..n {
+                        ctl.inflate_link(SiteId(a as u32), SiteId(b as u32), self.extra_delay);
+                        ctl.inflate_link(SiteId(b as u32), SiteId(a as u32), self.extra_delay);
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avdb_simnet::FaultPlan;
+    use avdb_types::VirtualTime;
+
+    struct AlwaysFires;
+    impl Nemesis for AlwaysFires {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn on_event(&mut self, _ev: &NetEvent, _ctl: &mut FaultCtl<'_>) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn engine_counts_strikes_per_nemesis_and_total() {
+        let mut engine = NemesisEngine::new()
+            .with(Box::new(AlwaysFires))
+            .with(Box::new(KillTheGranter::new(1, 10)));
+        let handle = engine.handle();
+        let mut faults = FaultPlan::none();
+        let mut ctl = FaultCtl::new(VirtualTime(0), 3, &mut faults);
+        let ev = NetEvent::Send { from: SiteId(0), to: SiteId(1), kind: "propagate" };
+        engine.on_event(&ev, &mut ctl);
+        assert_eq!(handle.fired(), 1, "only the unconditional nemesis fired");
+        assert_eq!(handle.fired_by("always"), 1);
+        assert_eq!(handle.fired_by("kill-the-granter"), 0);
+        let grant = NetEvent::Send { from: SiteId(2), to: SiteId(1), kind: "av-grant" };
+        engine.on_event(&grant, &mut ctl);
+        engine.on_event(&grant, &mut ctl);
+        assert_eq!(handle.fired_by("kill-the-granter"), 1, "kill budget is exhausted");
+        assert_eq!(handle.fired(), 4);
+    }
+
+    #[test]
+    fn kill_the_granter_schedules_crash_and_recovery() {
+        let mut nemesis = KillTheGranter::new(1, 50);
+        let mut faults = FaultPlan::none();
+        let mut ctl = FaultCtl::new(VirtualTime(7), 3, &mut faults);
+        let ev = NetEvent::Send { from: SiteId(2), to: SiteId(0), kind: "av-grant" };
+        assert!(nemesis.on_event(&ev, &mut ctl));
+        assert_eq!(ctl.pending_scheduled_ops(), 2, "crash now + recovery later");
+        assert!(
+            ctl.pending_immediate_crashes().is_empty(),
+            "granter crash must not eat sibling sends"
+        );
+    }
+
+    #[test]
+    fn kill_the_coordinator_crashes_synchronously() {
+        let mut nemesis = KillTheCoordinator::new(1, 50);
+        let mut faults = FaultPlan::none();
+        let mut ctl = FaultCtl::new(VirtualTime(7), 3, &mut faults);
+        let ev = NetEvent::Deliver { from: SiteId(1), to: SiteId(0), kind: "imm-vote" };
+        assert!(nemesis.on_event(&ev, &mut ctl));
+        assert_eq!(
+            ctl.pending_immediate_crashes(),
+            &[SiteId(0)],
+            "the vote must park, not deliver"
+        );
+        assert_eq!(ctl.pending_scheduled_ops(), 1, "recovery scheduled");
+    }
+}

@@ -1,0 +1,168 @@
+//! Self-contained oracle-checked scenario runs, used by the
+//! `avdb-check --scenario` sweep mode and the chaos integration tests.
+//!
+//! Mirrors the `avdb-check` case runner: fixed config shape, seeded
+//! workload, settle loop, oracle verdict — plus the scenario's workload
+//! adaptation and nemesis installation. Minimization replays a prefix of
+//! the same full schedule, so a case's stream never depends on how many
+//! requests are actually submitted.
+
+use crate::scenario::Scenario;
+use avdb_core::DistributedSystem;
+use avdb_oracle::{check, Observation, Report, SubmittedRequest};
+use avdb_simnet::RegistrySnapshot;
+use avdb_types::{AvAllocation, SystemConfig, UpdateRequest, VirtualTime, Volume};
+use avdb_workload::{scm_catalog, UpdateStream, WorkloadSpec};
+
+/// One chaos sweep cell: a scenario at a seed and scale.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosCase {
+    /// The scenario under test.
+    pub scenario: Scenario,
+    /// Number of sites.
+    pub n_sites: usize,
+    /// Full update count (minimization replays a prefix of this).
+    pub updates: usize,
+    /// Workload + system seed.
+    pub seed: u64,
+}
+
+/// The outcome of one chaos run.
+pub struct ChaosVerdict {
+    /// The conformance oracle's report.
+    pub report: Report,
+    /// Total nemesis strikes (`chaos.nemesis.fired`).
+    pub fired: u64,
+    /// The chaos registry snapshot (per-nemesis strike counters).
+    pub chaos_registry: RegistrySnapshot,
+    /// The captured observation (flight recorder source on violation).
+    pub observation: Observation,
+    /// Committed outcome count.
+    pub committed: usize,
+}
+
+/// System shape for a chaos case. Kill-the-granter starts all AV at the
+/// base so the very first retailer decrement forces a request/grant
+/// round — the nemesis is guaranteed its trigger.
+fn config(case: &ChaosCase) -> SystemConfig {
+    let mut builder = SystemConfig::builder()
+        .sites(case.n_sites)
+        .regular_products(2, Volume(40 * case.n_sites as i64))
+        .non_regular_products(1, Volume(50))
+        .seed(case.seed);
+    if case.scenario == Scenario::KillTheGranter {
+        builder = builder.av_allocation(AvAllocation::AllAtBase);
+    }
+    builder.build().expect("chaos case config is valid")
+}
+
+/// The case's full timed schedule (deterministic in scenario + seed).
+fn schedule(case: &ChaosCase) -> Vec<(VirtualTime, UpdateRequest)> {
+    let catalog = scm_catalog(2, 1, Volume(40 * case.n_sites as i64));
+    let mut spec = WorkloadSpec::paper(case.updates, case.seed);
+    spec.n_sites = case.n_sites;
+    case.scenario.adapt_workload(&mut spec);
+    UpdateStream::new(spec, &catalog).collect_all()
+}
+
+/// Runs the first `prefix` requests of a case's schedule under its
+/// scenario, settles, and returns the oracle verdict plus nemesis
+/// counters. `prefix >= case.updates` runs the whole schedule.
+pub fn run_case(case: &ChaosCase, prefix: usize) -> ChaosVerdict {
+    let full = schedule(case);
+    let span = full.last().map(|(t, _)| t.ticks()).unwrap_or(0);
+    let taken: Vec<_> = full.into_iter().take(prefix).collect();
+
+    let mut sys = DistributedSystem::new(config(case));
+    let handle = case.scenario.install(&mut sys, span);
+    let mut submitted = Vec::with_capacity(taken.len());
+    for (at, req) in &taken {
+        submitted.push(SubmittedRequest::single(*at, req));
+        sys.submit_at(*at, *req);
+    }
+    sys.run_until_quiescent();
+
+    // Settle: anti-entropy rounds until replicas agree (nemesis outages
+    // can park flush traffic too, so one round is not always enough).
+    for _ in 0..50 {
+        sys.flush_all();
+        sys.run_until_quiescent();
+        if sys.check_convergence().is_ok() {
+            break;
+        }
+    }
+
+    let outcomes = sys.drain_outcomes();
+    let committed = outcomes.iter().filter(|(_, _, o)| o.is_committed()).count();
+    let observation = Observation::from_system(&sys, submitted, outcomes);
+    let report = check(&observation);
+    ChaosVerdict {
+        report,
+        fired: handle.fired(),
+        chaos_registry: handle.snapshot(),
+        observation,
+        committed,
+    }
+}
+
+/// Binary-searches the shortest failing request prefix of a known-bad
+/// case (assumes failures are prefix-monotone, the usual fuzzing bet).
+/// Returns `(prefix, verdict_at_prefix)`.
+pub fn minimize(case: &ChaosCase) -> (usize, ChaosVerdict) {
+    let empty = run_case(case, 0);
+    if !empty.report.is_ok() {
+        return (0, empty);
+    }
+    let (mut lo, mut hi) = (0, case.updates);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if run_case(case, mid).report.is_ok() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (hi, run_case(case, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_scenarios_run_green_at_small_scale() {
+        for scenario in [Scenario::FlashSale, Scenario::MultiRegion] {
+            let case = ChaosCase { scenario, n_sites: 3, updates: 30, seed: 5 };
+            let verdict = run_case(&case, case.updates);
+            assert!(
+                verdict.report.is_ok(),
+                "{scenario} violated the oracle:\n{}",
+                verdict.report
+            );
+            assert!(verdict.committed > 0, "{scenario} committed nothing");
+        }
+    }
+
+    #[test]
+    fn targeted_nemeses_fire_and_stay_green() {
+        for scenario in [Scenario::KillTheGranter, Scenario::KillTheCoordinator] {
+            let case = ChaosCase { scenario, n_sites: 3, updates: 40, seed: 3 };
+            let verdict = run_case(&case, case.updates);
+            assert!(verdict.fired > 0, "{scenario} never fired — vacuous run");
+            assert!(
+                verdict.report.is_ok(),
+                "{scenario} violated the oracle:\n{}",
+                verdict.report
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_zero_runs_empty_schedule() {
+        let case =
+            ChaosCase { scenario: Scenario::RollingRestart, n_sites: 3, updates: 20, seed: 1 };
+        let verdict = run_case(&case, 0);
+        assert!(verdict.report.is_ok());
+        assert_eq!(verdict.committed, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! The named production-scenario library.
+//!
+//! Each [`Scenario`] is a value that shapes a run twice: it adapts the
+//! workload (popularity skew, arrival wave) and installs faults or
+//! nemeses on the built system. `avdb-bench` consumes scenarios as a
+//! matrix axis (`-sc<name>` label suffix); `avdb-check --scenario`
+//! sweeps them seed-by-seed with minimal-repro search.
+
+use crate::nemesis::{KillTheCoordinator, KillTheGranter, NemesisEngine, NemesisHandle};
+use avdb_core::DistributedSystem;
+use avdb_types::{SiteId, VirtualTime};
+use avdb_workload::{ArrivalPattern, Popularity, WorkloadSpec};
+
+/// Extra one-way latency on the slow WAN link tier (multi-region).
+const WAN_EXTRA_TICKS: u64 = 12;
+/// How many times each targeted nemesis may strike per run.
+const NEMESIS_KILL_BUDGET: u32 = 2;
+/// Outage length after a targeted kill, in ticks.
+const NEMESIS_DOWNTIME_TICKS: u64 = 120;
+/// Diurnal wave period in ticks.
+const DIURNAL_PERIOD_TICKS: u64 = 240;
+/// Trough slowdown factor of the diurnal wave.
+const DIURNAL_QUIET_FACTOR: u32 = 4;
+/// Flash-sale hot-product traffic share, in permille.
+const FLASH_SALE_HOT_PERMILLE: u32 = 950;
+
+/// A named production shape: traffic skew, arrival wave, latency tiers,
+/// or a targeted nemesis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// One product absorbs 95 % of all updates (a launch-day stampede).
+    FlashSale,
+    /// Sinusoidal per-site arrival rates, sites phase-shifted like time
+    /// zones.
+    DiurnalWave,
+    /// Two latency tiers with a slow WAN link between the site halves.
+    MultiRegion,
+    /// Sites crash and recover one after another across the run (a
+    /// rolling deploy).
+    RollingRestart,
+    /// Crash the granting peer the instant its AV grant hits the wire.
+    KillTheGranter,
+    /// Crash the 2PC coordinator the instant a participant's vote
+    /// arrives.
+    KillTheCoordinator,
+}
+
+impl Scenario {
+    /// Every scenario in the library, in catalog order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::FlashSale,
+        Scenario::DiurnalWave,
+        Scenario::MultiRegion,
+        Scenario::RollingRestart,
+        Scenario::KillTheGranter,
+        Scenario::KillTheCoordinator,
+    ];
+
+    /// Stable name (CLI flag value, bench label suffix, counter suffix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::FlashSale => "flash-sale",
+            Scenario::DiurnalWave => "diurnal-wave",
+            Scenario::MultiRegion => "multi-region",
+            Scenario::RollingRestart => "rolling-restart",
+            Scenario::KillTheGranter => "kill-the-granter",
+            Scenario::KillTheCoordinator => "kill-the-coordinator",
+        }
+    }
+
+    /// Parses a scenario name (exact match against [`Scenario::name`]).
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.name() == s)
+    }
+
+    /// One-line description for `--help` text and docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Scenario::FlashSale => "one product absorbs 95% of traffic",
+            Scenario::DiurnalWave => "sinusoidal per-site arrival rates",
+            Scenario::MultiRegion => "two latency tiers, slow WAN link",
+            Scenario::RollingRestart => "sites crash/recover in sequence",
+            Scenario::KillTheGranter => "crash the granter mid-AV-transfer",
+            Scenario::KillTheCoordinator => "crash the 2PC coordinator on a vote",
+        }
+    }
+
+    /// `true` for scenarios whose nemesis is expected to fire in any run
+    /// that generates the triggering traffic (CI asserts the counter).
+    pub fn is_targeted(self) -> bool {
+        matches!(self, Scenario::KillTheGranter | Scenario::KillTheCoordinator)
+    }
+
+    /// Reshapes the workload for traffic-shape scenarios (popularity
+    /// skew, arrival wave); fault-shape scenarios leave it untouched.
+    pub fn adapt_workload(self, spec: &mut WorkloadSpec) {
+        match self {
+            Scenario::FlashSale => {
+                spec.popularity = Popularity::Hotspot { hot_permille: FLASH_SALE_HOT_PERMILLE };
+            }
+            Scenario::DiurnalWave => {
+                spec.arrival = ArrivalPattern::Diurnal {
+                    period_ticks: DIURNAL_PERIOD_TICKS,
+                    quiet_factor: DIURNAL_QUIET_FACTOR,
+                };
+            }
+            Scenario::MultiRegion
+            | Scenario::RollingRestart
+            | Scenario::KillTheGranter
+            | Scenario::KillTheCoordinator => {}
+        }
+    }
+
+    /// Installs the scenario's faults and nemeses on a built system.
+    /// `span` is the last scheduled arrival tick (paces the time-based
+    /// schedules). Always installs an engine — even an empty one — so
+    /// the `chaos.*` counters exist uniformly; the returned handle reads
+    /// them after the run.
+    pub fn install(self, sys: &mut DistributedSystem, span: u64) -> NemesisHandle {
+        let n_sites = sys.config().n_sites;
+        let mut engine = NemesisEngine::new();
+        match self {
+            Scenario::FlashSale | Scenario::DiurnalWave => {}
+            Scenario::MultiRegion => {
+                // Region A = first half of the sites, region B = the rest;
+                // every cross-region link pays the WAN tax both ways.
+                let boundary = (n_sites / 2).max(1);
+                for a in 0..boundary {
+                    for b in boundary..n_sites {
+                        sys.inflate_link(SiteId(a as u32), SiteId(b as u32), WAN_EXTRA_TICKS);
+                        sys.inflate_link(SiteId(b as u32), SiteId(a as u32), WAN_EXTRA_TICKS);
+                    }
+                }
+            }
+            Scenario::RollingRestart => {
+                // One site down at a time, marching through the mesh: site
+                // i is out for the middle half of its stagger slot.
+                let span = span.max(n_sites as u64 * 40);
+                let stagger = span / n_sites as u64;
+                let downtime = (stagger / 2).max(10);
+                for i in 0..n_sites {
+                    let down = stagger * i as u64 + stagger / 4;
+                    sys.crash_at(VirtualTime(down), SiteId(i as u32));
+                    sys.recover_at(VirtualTime(down + downtime), SiteId(i as u32));
+                }
+            }
+            Scenario::KillTheGranter => {
+                engine = engine.with(Box::new(KillTheGranter::new(
+                    NEMESIS_KILL_BUDGET,
+                    NEMESIS_DOWNTIME_TICKS,
+                )));
+            }
+            Scenario::KillTheCoordinator => {
+                engine = engine.with(Box::new(KillTheCoordinator::new(
+                    NEMESIS_KILL_BUDGET,
+                    NEMESIS_DOWNTIME_TICKS,
+                )));
+            }
+        }
+        let handle = engine.handle();
+        sys.set_net_hook(Box::new(engine));
+        handle
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for sc in Scenario::ALL {
+            assert_eq!(Scenario::parse(sc.name()), Some(sc));
+        }
+        assert_eq!(Scenario::parse("no-such-scenario"), None);
+    }
+
+    #[test]
+    fn traffic_scenarios_reshape_the_workload() {
+        let mut spec = WorkloadSpec::paper(100, 1);
+        Scenario::FlashSale.adapt_workload(&mut spec);
+        assert_eq!(spec.popularity, Popularity::Hotspot { hot_permille: 950 });
+        let mut spec = WorkloadSpec::paper(100, 1);
+        Scenario::DiurnalWave.adapt_workload(&mut spec);
+        assert!(matches!(spec.arrival, ArrivalPattern::Diurnal { .. }));
+        let mut spec = WorkloadSpec::paper(100, 1);
+        Scenario::KillTheGranter.adapt_workload(&mut spec);
+        assert_eq!(spec.popularity, Popularity::Uniform, "fault scenarios keep the paper load");
+    }
+
+    #[test]
+    fn only_kill_scenarios_are_targeted() {
+        let targeted: Vec<_> =
+            Scenario::ALL.into_iter().filter(|s| s.is_targeted()).collect();
+        assert_eq!(targeted, vec![Scenario::KillTheGranter, Scenario::KillTheCoordinator]);
+    }
+}

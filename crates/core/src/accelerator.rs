@@ -308,6 +308,13 @@ pub struct Accelerator {
     /// Coordinator role: commit decisions not yet acknowledged by every
     /// participant, retransmitted on a timer (see [`RetransmitImm`]).
     retransmit_imm: HashMap<TxnId, RetransmitImm>,
+    /// Coordinator role: Immediate txns durably decided commit (the WAL
+    /// holds their commit record) whose outcome had not been reported
+    /// when this site crashed. Survives the crash — the decision is
+    /// derivable from the durable WAL, and the span/correspondence
+    /// bookkeeping is the observer's record — and is reported to the
+    /// client at recovery.
+    unreported_imm: Vec<(TxnId, PendingImm)>,
     /// Participant role: Immediate txns whose decision this site already
     /// executed, so duplicate retransmissions are acknowledged without
     /// re-applying. Durable in this model — it is derivable from the
@@ -407,6 +414,7 @@ impl Accelerator {
             pending_imm: HashMap::new(),
             prepared_remote: BTreeSet::new(),
             retransmit_imm: HashMap::new(),
+            unreported_imm: Vec::new(),
             imm_finished: BTreeSet::new(),
             timers: HashMap::new(),
             next_timer: 0,
@@ -602,6 +610,7 @@ impl Accelerator {
             pending_imm: HashMap::new(),
             prepared_remote: BTreeSet::new(),
             retransmit_imm: HashMap::new(),
+            unreported_imm: Vec::new(),
             imm_finished: BTreeSet::new(),
             timers: HashMap::new(),
             next_timer: 0,
@@ -2391,6 +2400,23 @@ impl Actor for Accelerator {
         self.db.crash();
         self.stats.wiped_in_flight +=
             (self.pending_delay.len() + self.pending_imm.len()) as u64;
+        // A commit decision already taken is durable (decide_immediate
+        // wrote the WAL commit record before this crash), so the update
+        // committed cluster-wide no matter what this site does next —
+        // only its outcome report is outstanding. Park those entries for
+        // re-report at recovery; everything else is genuinely wiped. The
+        // wiped counter above still includes them so a never-recovered
+        // site keeps the old accounting; re-reporting decrements it.
+        let decided: Vec<TxnId> = self
+            .pending_imm
+            .iter()
+            .filter(|(_, p)| p.decided == Some(true))
+            .map(|(txn, _)| *txn)
+            .collect();
+        for txn in decided {
+            let pending = self.pending_imm.remove(&txn).expect("just listed");
+            self.unreported_imm.push((txn, pending));
+        }
         self.pending_delay.clear();
         self.pending_imm.clear();
         self.prepared_remote.clear();
@@ -2419,6 +2445,26 @@ impl Actor for Accelerator {
         // rebalancer tick.
         self.arm_anti_entropy(ctx);
         self.arm_rebalance(ctx);
+        // Commits decided before the crash are in the replayed WAL and
+        // already executed across the cluster; the client just never
+        // heard. Report them now — late, but truthful — and give back
+        // their wiped-in-flight slots.
+        for (txn, pending) in std::mem::take(&mut self.unreported_imm) {
+            self.stats.wiped_in_flight = self.stats.wiped_in_flight.saturating_sub(1);
+            self.registry.inc("imm.rereported");
+            self.flight_note(
+                ctx.now(),
+                "imm.rereport",
+                format!("txn {} decided before crash", txn.0),
+            );
+            self.finish_immediate(
+                ctx,
+                txn,
+                pending.root_span,
+                pending.decide_span.unwrap_or(pending.prepare_span),
+                pending.correspondences,
+            );
+        }
     }
 }
 

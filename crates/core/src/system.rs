@@ -228,6 +228,32 @@ impl DistributedSystem {
         self.sim.heal_partition();
     }
 
+    /// Severs only the `from → to` direction (asymmetric link failure).
+    pub fn sever_link(&mut self, from: SiteId, to: SiteId) {
+        self.sim.sever_link(from, to);
+    }
+
+    /// Restores a directed cut.
+    pub fn heal_link(&mut self, from: SiteId, to: SiteId) {
+        self.sim.heal_link(from, to);
+    }
+
+    /// Installs a flap schedule on the `from → to` link.
+    pub fn flap_link(&mut self, from: SiteId, to: SiteId, schedule: avdb_simnet::FlapSchedule) {
+        self.sim.flap_link(from, to, schedule);
+    }
+
+    /// Adds `extra` ticks of latency to the `from → to` link (0 clears).
+    pub fn inflate_link(&mut self, from: SiteId, to: SiteId, extra: u64) {
+        self.sim.inflate_link(from, to, extra);
+    }
+
+    /// Installs a state-triggered fault hook (nemesis engine) on the
+    /// underlying simulator.
+    pub fn set_net_hook(&mut self, hook: Box<dyn avdb_simnet::NetHook>) {
+        self.sim.set_net_hook(hook);
+    }
+
     // ---- inspection / invariants ---------------------------------------------
 
     /// Stock of `product` at `site`.

@@ -5,42 +5,117 @@
 //! probabilistic message loss. All decisions are driven by the simulator's
 //! seeded RNG, so faulty runs are exactly as reproducible as clean ones.
 
-use avdb_types::SiteId;
-use std::collections::BTreeSet;
+use avdb_types::{SiteId, VirtualTime};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Which links are severed by a partition.
+/// A seeded on/off schedule for one directed link (the "flapping switch
+/// port" failure mode): before `start` the link is untouched; from `start`
+/// on it repeats `up_ticks` of connectivity followed by `down_ticks` of
+/// silence.
+///
+/// Degenerate periods are defined, not rejected: `up + down == 0` leaves
+/// the link permanently up (the schedule is inert), `up == 0` leaves it
+/// permanently down once flapping starts, `down == 0` permanently up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlapSchedule {
+    /// First tick the schedule takes effect.
+    pub start: VirtualTime,
+    /// Length of each connected phase, in ticks.
+    pub up_ticks: u64,
+    /// Length of each severed phase, in ticks.
+    pub down_ticks: u64,
+}
+
+impl FlapSchedule {
+    /// `true` while the flapping link passes traffic at `now`.
+    pub fn is_up(&self, now: VirtualTime) -> bool {
+        if now < self.start {
+            return true;
+        }
+        let period = self.up_ticks + self.down_ticks;
+        if period == 0 {
+            return true;
+        }
+        (now.ticks() - self.start.ticks()) % period < self.up_ticks
+    }
+}
+
+/// Which links are severed by a partition, a directed cut, or a flap
+/// schedule.
 ///
 /// Sites within the same group communicate; across groups nothing is
 /// delivered. A site missing from every group communicates with nobody.
+/// On top of the (symmetric) groups, individual *directed* links can be
+/// severed — `A→B` dead while `B→A` delivers — and given flap schedules
+/// that open and close them on a fixed period.
 #[derive(Clone, Debug, Default)]
 pub struct LinkFilter {
     groups: Vec<BTreeSet<SiteId>>,
+    /// Directed cuts: `(from, to)` present ⇒ that direction is dead.
+    severed: BTreeSet<(SiteId, SiteId)>,
+    /// Directed flap schedules, consulted by [`Self::allows_at`].
+    flaps: BTreeMap<(SiteId, SiteId), FlapSchedule>,
 }
 
 impl LinkFilter {
     /// No partition: everything connected.
     pub fn connected() -> Self {
-        LinkFilter { groups: Vec::new() }
+        LinkFilter::default()
     }
 
     /// Partition into the given groups.
     pub fn partition(groups: Vec<Vec<SiteId>>) -> Self {
         LinkFilter {
             groups: groups.into_iter().map(|g| g.into_iter().collect()).collect(),
+            ..LinkFilter::default()
         }
     }
 
-    /// `true` if a message from `a` to `b` may pass.
+    /// Severs only the `from → to` direction (asymmetric link failure).
+    pub fn sever_directed(&mut self, from: SiteId, to: SiteId) {
+        self.severed.insert((from, to));
+    }
+
+    /// Restores a directed cut.
+    pub fn heal_directed(&mut self, from: SiteId, to: SiteId) {
+        self.severed.remove(&(from, to));
+    }
+
+    /// Installs (or replaces) a flap schedule on the `from → to` link.
+    pub fn flap(&mut self, from: SiteId, to: SiteId, schedule: FlapSchedule) {
+        self.flaps.insert((from, to), schedule);
+    }
+
+    /// Removes a flap schedule; healing before the first down phase means
+    /// the link was never interrupted at all.
+    pub fn unflap(&mut self, from: SiteId, to: SiteId) {
+        self.flaps.remove(&(from, to));
+    }
+
+    /// `true` if a message from `a` to `b` may pass, ignoring flap
+    /// schedules (which need the current time — see [`Self::allows_at`]).
     pub fn allows(&self, a: SiteId, b: SiteId) -> bool {
+        if self.severed.contains(&(a, b)) {
+            return false;
+        }
         if self.groups.is_empty() {
             return true;
         }
         self.groups.iter().any(|g| g.contains(&a) && g.contains(&b))
     }
 
-    /// `true` when no partition is active.
+    /// `true` if a message from `a` to `b` may pass at `now`, counting
+    /// flap schedules.
+    pub fn allows_at(&self, now: VirtualTime, a: SiteId, b: SiteId) -> bool {
+        if !self.allows(a, b) {
+            return false;
+        }
+        self.flaps.get(&(a, b)).is_none_or(|f| f.is_up(now))
+    }
+
+    /// `true` when no partition, directed cut, or flap is active.
     pub fn is_fully_connected(&self) -> bool {
-        self.groups.is_empty()
+        self.groups.is_empty() && self.severed.is_empty() && self.flaps.is_empty()
     }
 }
 
@@ -49,6 +124,9 @@ impl LinkFilter {
 pub struct FaultPlan {
     crashed: BTreeSet<SiteId>,
     filter: LinkFilter,
+    /// Extra delivery latency per directed link, in ticks (congested or
+    /// long-haul links; a nemesis can inflate a link mid-transfer).
+    extra_delay: BTreeMap<(SiteId, SiteId), u64>,
     /// Probability in `[0,1]` that any given message is silently lost.
     pub drop_probability: f64,
 }
@@ -58,6 +136,7 @@ impl Default for FaultPlan {
         FaultPlan {
             crashed: BTreeSet::new(),
             filter: LinkFilter::connected(),
+            extra_delay: BTreeMap::new(),
             drop_probability: 0.0,
         }
     }
@@ -84,21 +163,74 @@ impl FaultPlan {
         self.crashed.contains(&site)
     }
 
-    /// Installs a partition (replacing any previous one).
+    /// Installs a partition (replacing any previous group split, merging
+    /// any directed cuts and flap schedules the given filter carries —
+    /// cuts and flaps installed earlier survive).
     pub fn set_partition(&mut self, filter: LinkFilter) {
-        self.filter = filter;
+        self.filter.groups = filter.groups;
+        self.filter.severed.extend(filter.severed);
+        self.filter.flaps.extend(filter.flaps);
     }
 
-    /// Removes any partition.
+    /// Removes any partition. Directed cuts and flap schedules are
+    /// independent faults and stay in force.
     pub fn heal_partition(&mut self) {
-        self.filter = LinkFilter::connected();
+        self.filter.groups.clear();
+    }
+
+    /// Severs only the `from → to` direction (asymmetric link failure).
+    pub fn sever_link(&mut self, from: SiteId, to: SiteId) {
+        self.filter.sever_directed(from, to);
+    }
+
+    /// Restores a directed cut.
+    pub fn heal_link(&mut self, from: SiteId, to: SiteId) {
+        self.filter.heal_directed(from, to);
+    }
+
+    /// Installs a flap schedule on the `from → to` link.
+    pub fn flap_link(&mut self, from: SiteId, to: SiteId, schedule: FlapSchedule) {
+        self.filter.flap(from, to, schedule);
+    }
+
+    /// Removes a flap schedule from the `from → to` link.
+    pub fn unflap_link(&mut self, from: SiteId, to: SiteId) {
+        self.filter.unflap(from, to);
+    }
+
+    /// Adds `extra` ticks of delivery latency to every message sent over
+    /// the `from → to` link (0 clears the inflation).
+    pub fn inflate_link(&mut self, from: SiteId, to: SiteId, extra: u64) {
+        if extra == 0 {
+            self.extra_delay.remove(&(from, to));
+        } else {
+            self.extra_delay.insert((from, to), extra);
+        }
+    }
+
+    /// Extra delivery latency currently inflating the `from → to` link.
+    pub fn link_extra_delay(&self, from: SiteId, to: SiteId) -> u64 {
+        self.extra_delay.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// The link filter currently in force (tests, inspection).
+    pub fn filter(&self) -> &LinkFilter {
+        &self.filter
     }
 
     /// Whether a message from `from` to `to` can currently be delivered,
     /// ignoring probabilistic loss (which the runtime rolls separately,
-    /// because it needs the RNG).
+    /// because it needs the RNG) and flap schedules (which need the
+    /// clock — see [`Self::link_up_at`]).
     pub fn link_up(&self, from: SiteId, to: SiteId) -> bool {
         !self.is_crashed(from) && !self.is_crashed(to) && self.filter.allows(from, to)
+    }
+
+    /// Time-aware [`Self::link_up`], counting flap schedules.
+    pub fn link_up_at(&self, now: VirtualTime, from: SiteId, to: SiteId) -> bool {
+        !self.is_crashed(from)
+            && !self.is_crashed(to)
+            && self.filter.allows_at(now, from, to)
     }
 
     /// Whether the *path* itself is severed at send time (sender dead or
@@ -106,6 +238,12 @@ impl FaultPlan {
     /// the store-and-forward transport parks the message until recovery.
     pub fn path_severed(&self, from: SiteId, to: SiteId) -> bool {
         self.is_crashed(from) || !self.filter.allows(from, to)
+    }
+
+    /// Time-aware [`Self::path_severed`]: a link in a flap schedule's down
+    /// phase severs the path exactly like a partition would.
+    pub fn path_severed_at(&self, now: VirtualTime, from: SiteId, to: SiteId) -> bool {
+        self.is_crashed(from) || !self.filter.allows_at(now, from, to)
     }
 
     /// Set of currently crashed sites (test/report hook).
@@ -167,5 +305,170 @@ mod tests {
         assert!(!plan.link_up(SiteId(0), SiteId(1)));
         plan.heal_partition();
         assert!(plan.link_up(SiteId(0), SiteId(1)));
+    }
+
+    #[test]
+    fn asymmetric_cut_severs_exactly_one_direction() {
+        let mut plan = FaultPlan::none();
+        plan.sever_link(SiteId(0), SiteId(1));
+        assert!(!plan.link_up(SiteId(0), SiteId(1)));
+        assert!(plan.link_up(SiteId(1), SiteId(0)), "reverse direction stays alive");
+        assert!(plan.path_severed(SiteId(0), SiteId(1)));
+        assert!(!plan.path_severed(SiteId(1), SiteId(0)));
+        assert!(!plan.filter().is_fully_connected());
+        plan.heal_link(SiteId(0), SiteId(1));
+        assert!(plan.link_up(SiteId(0), SiteId(1)));
+        assert!(plan.filter().is_fully_connected());
+    }
+
+    #[test]
+    fn directed_cuts_survive_partition_install_and_heal() {
+        let mut plan = FaultPlan::none();
+        plan.sever_link(SiteId(2), SiteId(0));
+        plan.set_partition(LinkFilter::partition(vec![vec![SiteId(0)], vec![SiteId(1), SiteId(2)]]));
+        plan.heal_partition();
+        assert!(!plan.link_up(SiteId(2), SiteId(0)), "cut outlives the partition");
+        assert!(plan.link_up(SiteId(0), SiteId(2)));
+    }
+
+    #[test]
+    fn flap_schedule_alternates_up_and_down() {
+        let f = FlapSchedule { start: VirtualTime(10), up_ticks: 3, down_ticks: 2 };
+        // Before start: always up (heal-before-first-flap leaves no trace).
+        assert!(f.is_up(VirtualTime(0)));
+        assert!(f.is_up(VirtualTime(9)));
+        // Period 5: up at offsets 0..3, down at 3..5.
+        for (t, up) in [(10, true), (12, true), (13, false), (14, false), (15, true)] {
+            assert_eq!(f.is_up(VirtualTime(t)), up, "t={t}");
+        }
+    }
+
+    #[test]
+    fn degenerate_flap_periods_are_sane() {
+        let inert = FlapSchedule { start: VirtualTime(0), up_ticks: 0, down_ticks: 0 };
+        assert!(inert.is_up(VirtualTime(0)));
+        assert!(inert.is_up(VirtualTime(1_000_000)));
+        let dead = FlapSchedule { start: VirtualTime(5), up_ticks: 0, down_ticks: 7 };
+        assert!(dead.is_up(VirtualTime(4)));
+        assert!(!dead.is_up(VirtualTime(5)));
+        assert!(!dead.is_up(VirtualTime(500)));
+        let solid = FlapSchedule { start: VirtualTime(5), up_ticks: 4, down_ticks: 0 };
+        assert!(solid.is_up(VirtualTime(5)));
+        assert!(solid.is_up(VirtualTime(9_999)));
+    }
+
+    #[test]
+    fn flapping_link_gates_allows_at_only() {
+        let mut plan = FaultPlan::none();
+        plan.flap_link(
+            SiteId(0),
+            SiteId(1),
+            FlapSchedule { start: VirtualTime(0), up_ticks: 1, down_ticks: 1 },
+        );
+        // Time-blind view ignores flaps...
+        assert!(plan.link_up(SiteId(0), SiteId(1)));
+        // ...the time-aware view alternates, and only on that direction.
+        assert!(plan.link_up_at(VirtualTime(0), SiteId(0), SiteId(1)));
+        assert!(!plan.link_up_at(VirtualTime(1), SiteId(0), SiteId(1)));
+        assert!(plan.link_up_at(VirtualTime(1), SiteId(1), SiteId(0)));
+        assert!(plan.path_severed_at(VirtualTime(1), SiteId(0), SiteId(1)));
+        plan.unflap_link(SiteId(0), SiteId(1));
+        assert!(plan.link_up_at(VirtualTime(1), SiteId(0), SiteId(1)));
+    }
+
+    #[test]
+    fn link_inflation_sets_and_clears() {
+        let mut plan = FaultPlan::none();
+        assert_eq!(plan.link_extra_delay(SiteId(0), SiteId(1)), 0);
+        plan.inflate_link(SiteId(0), SiteId(1), 12);
+        assert_eq!(plan.link_extra_delay(SiteId(0), SiteId(1)), 12);
+        assert_eq!(plan.link_extra_delay(SiteId(1), SiteId(0)), 0, "inflation is directed");
+        plan.inflate_link(SiteId(0), SiteId(1), 0);
+        assert_eq!(plan.link_extra_delay(SiteId(0), SiteId(1)), 0);
+    }
+}
+
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn site() -> impl Strategy<Value = SiteId> {
+        (0u32..6).prop_map(SiteId)
+    }
+
+    /// Random group partitions over sites 0..6.
+    fn groups() -> impl Strategy<Value = Vec<Vec<SiteId>>> {
+        proptest::collection::vec(
+            proptest::collection::vec(site(), 0..4),
+            0..3,
+        )
+    }
+
+    proptest! {
+        /// Group-based (symmetric) filters never distinguish direction.
+        #[test]
+        fn symmetric_filters_stay_symmetric(gs in groups(), a in site(), b in site()) {
+            let f = LinkFilter::partition(gs);
+            prop_assert_eq!(f.allows(a, b), f.allows(b, a));
+            prop_assert_eq!(
+                f.allows_at(VirtualTime(17), a, b),
+                f.allows_at(VirtualTime(17), b, a)
+            );
+        }
+
+        /// A directed cut severs exactly the cut direction and nothing else.
+        #[test]
+        fn asymmetric_cut_is_exactly_one_direction(
+            gs in groups(), from in site(), to in site(), x in site(), y in site()
+        ) {
+            let mut cut = LinkFilter::partition(gs.clone());
+            let base = LinkFilter::partition(gs);
+            cut.sever_directed(from, to);
+            prop_assert!(!cut.allows(from, to));
+            for (a, b) in [(x, y), (to, from)] {
+                if (a, b) != (from, to) {
+                    prop_assert_eq!(cut.allows(a, b), base.allows(a, b));
+                }
+            }
+        }
+
+        /// Flap phases partition time: at every instant the link is either
+        /// up or down, the schedule is periodic, and before `start` (or
+        /// after `unflap`) the filter matches its flap-free twin.
+        #[test]
+        fn flap_schedules_behave_sanely(
+            start in 0u64..50,
+            up in 0u64..5,
+            down in 0u64..5,
+            t in 0u64..200,
+            a in site(),
+            b in site(),
+        ) {
+            let sched = FlapSchedule { start: VirtualTime(start), up_ticks: up, down_ticks: down };
+            let period = up + down;
+            // Periodicity past the start point.
+            if period > 0 {
+                prop_assert_eq!(
+                    sched.is_up(VirtualTime(start + t)),
+                    sched.is_up(VirtualTime(start + t + period))
+                );
+            } else {
+                prop_assert!(sched.is_up(VirtualTime(t)), "zero-length period is inert");
+            }
+            // Heal-before-first-flap: earlier than start the link is up.
+            prop_assert!(sched.is_up(VirtualTime(start.saturating_sub(1))));
+
+            let mut f = LinkFilter::connected();
+            f.flap(a, b, sched);
+            if a != b {
+                // Flaps only ever gate their own direction.
+                prop_assert!(f.allows_at(VirtualTime(t), b, a));
+            }
+            prop_assert_eq!(f.allows_at(VirtualTime(t), a, b), sched.is_up(VirtualTime(t)));
+            f.unflap(a, b);
+            prop_assert!(f.allows_at(VirtualTime(t), a, b), "unflap restores the link");
+            prop_assert!(f.is_fully_connected());
+        }
     }
 }

@@ -1,0 +1,172 @@
+//! State-triggered fault hooks on the deterministic runner.
+//!
+//! A [`NetHook`] subscribes to the substrate's observable protocol events
+//! — a message handed to the network, a delivery about to happen, a crash
+//! or recovery taking effect — and reacts through a [`FaultCtl`], which
+//! can mutate the fault plan *at exactly that moment*: sever or flap a
+//! directed link, inflate its latency, install a partition, or schedule
+//! crashes and recoveries. This is the mechanism the chaos crate's
+//! nemesis engine builds on: a nemesis that wants to partition the
+//! granting peer mid-AV-transfer simply waits for the `av-grant` send
+//! event instead of guessing a wall-clock time.
+//!
+//! Determinism is preserved: hooks run synchronously inside the event
+//! loop, see events in the exact processed order, and have no clock or
+//! RNG of their own.
+
+use crate::faults::{FaultPlan, FlapSchedule, LinkFilter};
+use avdb_types::{SiteId, VirtualTime};
+
+/// One observable substrate event, in event-loop order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A message was handed to the network (before fault filtering: the
+    /// hook's reaction can affect this very message's fate).
+    Send {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// Message kind (see `MsgInfo::kind`).
+        kind: &'static str,
+    },
+    /// A message is about to be delivered to a live site. Crashing the
+    /// receiver from the hook (via [`FaultCtl::crash_now`]) parks the
+    /// message in the durable queue instead — the adversarial "crash at
+    /// the instant the vote arrives" schedule.
+    Deliver {
+        /// Sending site.
+        from: SiteId,
+        /// Receiving site.
+        to: SiteId,
+        /// Message kind.
+        kind: &'static str,
+    },
+    /// A fail-stop crash just took effect.
+    Crash {
+        /// The crashed site.
+        site: SiteId,
+    },
+    /// A recovery just started (WAL replay about to run).
+    Recover {
+        /// The recovering site.
+        site: SiteId,
+    },
+}
+
+/// A crash or recovery a hook wants the runner to schedule.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SchedOp {
+    Crash(SiteId),
+    Recover(SiteId),
+}
+
+/// The lever a [`NetHook`] pulls: immediate link-level faults plus
+/// scheduled crashes/recoveries, applied by the runner the moment the
+/// hook returns.
+pub struct FaultCtl<'a> {
+    now: VirtualTime,
+    n_sites: usize,
+    faults: &'a mut FaultPlan,
+    pub(crate) scheduled: Vec<(VirtualTime, SchedOp)>,
+    pub(crate) crash_now: Vec<SiteId>,
+}
+
+impl<'a> FaultCtl<'a> {
+    /// A controller over `faults` at virtual time `now`. The runner builds
+    /// one per hook firing; public so nemeses can be unit-tested without a
+    /// full simulator.
+    pub fn new(now: VirtualTime, n_sites: usize, faults: &'a mut FaultPlan) -> Self {
+        FaultCtl { now, n_sites, faults, scheduled: Vec::new(), crash_now: Vec::new() }
+    }
+
+    /// Sites queued for synchronous crash by this invocation (testing).
+    pub fn pending_immediate_crashes(&self) -> &[SiteId] {
+        &self.crash_now
+    }
+
+    /// Crash/recovery ops scheduled by this invocation (testing).
+    pub fn pending_scheduled_ops(&self) -> usize {
+        self.scheduled.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of sites in the mesh.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// `true` while `site` is crashed.
+    pub fn is_crashed(&self, site: SiteId) -> bool {
+        self.faults.is_crashed(site)
+    }
+
+    /// Severs only the `from → to` direction, effective immediately —
+    /// including for the message whose send triggered this hook.
+    pub fn sever_link(&mut self, from: SiteId, to: SiteId) {
+        self.faults.sever_link(from, to);
+    }
+
+    /// Restores a directed cut.
+    pub fn heal_link(&mut self, from: SiteId, to: SiteId) {
+        self.faults.heal_link(from, to);
+    }
+
+    /// Installs a flap schedule on the `from → to` link.
+    pub fn flap_link(&mut self, from: SiteId, to: SiteId, schedule: FlapSchedule) {
+        self.faults.flap_link(from, to, schedule);
+    }
+
+    /// Removes a flap schedule.
+    pub fn unflap_link(&mut self, from: SiteId, to: SiteId) {
+        self.faults.unflap_link(from, to);
+    }
+
+    /// Adds `extra` ticks of latency to the `from → to` link (0 clears),
+    /// effective immediately — including for the triggering message.
+    pub fn inflate_link(&mut self, from: SiteId, to: SiteId, extra: u64) {
+        self.faults.inflate_link(from, to, extra);
+    }
+
+    /// Installs a partition immediately.
+    pub fn set_partition(&mut self, filter: LinkFilter) {
+        self.faults.set_partition(filter);
+    }
+
+    /// Heals any partition immediately (directed cuts and flaps persist).
+    pub fn heal_partition(&mut self) {
+        self.faults.heal_partition();
+    }
+
+    /// Crashes `site` synchronously, before the triggering event is
+    /// processed: on a [`NetEvent::Deliver`] the message parks instead of
+    /// being handled. Volatile state is wiped exactly as for a scheduled
+    /// crash.
+    pub fn crash_now(&mut self, site: SiteId) {
+        self.crash_now.push(site);
+    }
+
+    /// Schedules a fail-stop crash through the event queue (`dt` ticks
+    /// from now; 0 = after the current event finishes). In-flight
+    /// messages are unaffected — use this when the nemesis must not
+    /// destroy the triggering message.
+    pub fn crash_after(&mut self, dt: u64, site: SiteId) {
+        self.scheduled.push((self.now.after(dt), SchedOp::Crash(site)));
+    }
+
+    /// Schedules a recovery `dt` ticks from now.
+    pub fn recover_after(&mut self, dt: u64, site: SiteId) {
+        self.scheduled.push((self.now.after(dt), SchedOp::Recover(site)));
+    }
+}
+
+/// A subscriber to substrate events, driving faults at protocol-defined
+/// moments. Implemented by the chaos crate's nemesis engine.
+pub trait NetHook {
+    /// Reacts to one event. Runs synchronously inside the event loop.
+    fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>);
+}

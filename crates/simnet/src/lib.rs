@@ -27,6 +27,7 @@ pub mod actor;
 pub mod counters;
 pub mod event;
 pub mod faults;
+pub mod hook;
 pub mod inspect;
 pub mod rng;
 pub mod runner;
@@ -39,7 +40,8 @@ pub use inspect::Introspect;
 pub use avdb_telemetry::{MessageEvent, MessageLog, Registry, RegistrySnapshot, TraceContext};
 pub use counters::{Counters, CountersSnapshot};
 pub use event::{Event, EventQueue};
-pub use faults::{FaultPlan, LinkFilter};
+pub use faults::{FaultPlan, FlapSchedule, LinkFilter};
+pub use hook::{FaultCtl, NetEvent, NetHook};
 pub use rng::DetRng;
 pub use runner::{Simulator, SimulatorBuilder};
 pub use tcp::TcpMesh;

@@ -3,7 +3,8 @@
 use crate::actor::{Actor, Ctx, MsgInfo};
 use crate::counters::Counters;
 use crate::event::{Event, EventQueue};
-use crate::faults::{FaultPlan, LinkFilter};
+use crate::faults::{FaultPlan, FlapSchedule, LinkFilter};
+use crate::hook::{FaultCtl, NetEvent, NetHook, SchedOp};
 use crate::rng::DetRng;
 use crate::trace::Trace;
 use avdb_types::{LatencyModel, SiteId, VirtualTime};
@@ -47,8 +48,14 @@ impl SimulatorBuilder {
         self
     }
 
-    /// Sets the probabilistic message-loss rate.
+    /// Sets the probabilistic message-loss rate. Panics unless `p` is a
+    /// probability in `[0, 1]` — a rate of `1.5` or `NaN` would silently
+    /// skew every run built from the config.
     pub fn drop_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop_probability must be a probability in [0, 1], got {p}"
+        );
         self.drop_probability = p;
         self
     }
@@ -86,6 +93,7 @@ impl SimulatorBuilder {
             lost_inputs: 0,
             lost_input_log: Vec::new(),
             trace: Trace::new(),
+            hook: None,
         }
     }
 }
@@ -119,6 +127,9 @@ pub struct Simulator<A: Actor> {
     /// exactly which injected requests never reached their actor.
     lost_input_log: Vec<(VirtualTime, SiteId)>,
     trace: Trace,
+    /// State-triggered fault hook (nemesis engine), fired on sends,
+    /// deliveries, crashes, and recoveries.
+    hook: Option<Box<dyn NetHook>>,
 }
 
 impl<A: Actor> Simulator<A> {
@@ -200,6 +211,55 @@ impl<A: Actor> Simulator<A> {
         self.faults.heal_partition();
     }
 
+    /// Severs only the `from → to` direction (asymmetric link failure).
+    pub fn sever_link(&mut self, from: SiteId, to: SiteId) {
+        self.faults.sever_link(from, to);
+    }
+
+    /// Restores a directed cut.
+    pub fn heal_link(&mut self, from: SiteId, to: SiteId) {
+        self.faults.heal_link(from, to);
+    }
+
+    /// Installs a flap schedule on the `from → to` link.
+    pub fn flap_link(&mut self, from: SiteId, to: SiteId, schedule: FlapSchedule) {
+        self.faults.flap_link(from, to, schedule);
+    }
+
+    /// Adds `extra` ticks of latency to the `from → to` link (0 clears).
+    pub fn inflate_link(&mut self, from: SiteId, to: SiteId, extra: u64) {
+        self.faults.inflate_link(from, to, extra);
+    }
+
+    /// Installs a state-triggered fault hook (replacing any previous
+    /// one). The hook sees every send, delivery, crash, and recovery in
+    /// event-loop order and may mutate the fault plan at that instant.
+    pub fn set_net_hook(&mut self, hook: Box<dyn NetHook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Fires the hook (if any) and applies its requested fault actions.
+    /// Immediate crashes wipe volatile state exactly like scheduled ones.
+    fn fire_hook(&mut self, ev: NetEvent) {
+        let Some(mut hook) = self.hook.take() else { return };
+        let mut ctl = FaultCtl::new(self.now, self.actors.len(), &mut self.faults);
+        hook.on_event(&ev, &mut ctl);
+        let FaultCtl { scheduled, crash_now, .. } = ctl;
+        for site in crash_now {
+            if !self.faults.is_crashed(site) {
+                self.faults.crash(site);
+                self.actors[site.index()].on_crash();
+            }
+        }
+        for (at, op) in scheduled {
+            match op {
+                SchedOp::Crash(site) => self.queue.push(at, Event::Crash { site }),
+                SchedOp::Recover(site) => self.queue.push(at, Event::Recover { site }),
+            }
+        }
+        self.hook = hook.into();
+    }
+
     /// `true` while `site` is crashed.
     pub fn is_crashed(&self, site: SiteId) -> bool {
         self.faults.is_crashed(site)
@@ -249,10 +309,14 @@ impl<A: Actor> Simulator<A> {
 
     /// Sends `msg` through the (possibly faulty) network.
     fn route(&mut self, from: SiteId, to: SiteId, msg: A::Msg) {
-        self.counters.record_send(from, to, msg.kind());
+        let kind = msg.kind();
+        self.counters.record_send(from, to, kind);
+        // The hook fires before fault filtering: a nemesis severing the
+        // link here kills this very message, and inflation applies to it.
+        self.fire_hook(NetEvent::Send { from, to, kind });
         // A partition drops; a crashed *receiver* does not — the message
         // travels and parks at the receiver's durable queue on arrival.
-        if self.faults.path_severed(from, to) {
+        if self.faults.path_severed_at(self.now, from, to) {
             self.counters.record_drop();
             return;
         }
@@ -262,7 +326,9 @@ impl<A: Actor> Simulator<A> {
             self.counters.record_drop();
             return;
         }
-        let mut deliver_at = self.now.after(self.sample_latency());
+        let mut deliver_at = self
+            .now
+            .after(self.sample_latency() + self.faults.link_extra_delay(from, to));
         // Per-link FIFO: never schedule a delivery before one already
         // scheduled on the same directed link.
         if let Some(&last) = self.link_fifo.get(&(from, to)) {
@@ -300,6 +366,9 @@ impl<A: Actor> Simulator<A> {
         self.now = at;
         match event {
             Event::Deliver { from, to, msg } => {
+                // The hook fires before the crash check: a nemesis calling
+                // `crash_now(to)` here makes this very message park.
+                self.fire_hook(NetEvent::Deliver { from, to, kind: msg.kind() });
                 // A crash between send and delivery parks the message in
                 // the transport's durable queue until recovery.
                 if self.faults.is_crashed(to) {
@@ -326,10 +395,18 @@ impl<A: Actor> Simulator<A> {
                 }
             }
             Event::Crash { site } => {
-                self.faults.crash(site);
-                self.actors[site.index()].on_crash();
+                // A repeated crash of an already-crashed site is a no-op
+                // (and must not wipe state twice or re-fire the hook).
+                if !self.faults.is_crashed(site) {
+                    self.faults.crash(site);
+                    self.actors[site.index()].on_crash();
+                    self.fire_hook(NetEvent::Crash { site });
+                }
             }
             Event::Recover { site } => {
+                if self.faults.is_crashed(site) {
+                    self.fire_hook(NetEvent::Recover { site });
+                }
                 self.faults.recover(site);
                 self.with_ctx(site, |a, ctx| a.on_recover(ctx));
                 // Deliver parked mail in arrival order, after the recovery
@@ -597,6 +674,105 @@ mod tests {
         let seen = &sim.actor(SiteId(1)).seen;
         assert_eq!(seen.len(), 50);
         assert!(seen.windows(2).all(|w| w[0] < w[1]), "link must be FIFO: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_probability must be a probability in [0, 1]")]
+    fn drop_probability_rejects_out_of_range() {
+        let _ = SimulatorBuilder::new().drop_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_probability must be a probability in [0, 1]")]
+    fn drop_probability_rejects_nan() {
+        let _ = SimulatorBuilder::new().drop_probability(f64::NAN);
+    }
+
+    /// Hook that severs `0 → 1` the moment it sees the first ping leave
+    /// site 0. The severing must kill that very message.
+    struct SeverOnFirstPing {
+        fired: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+    impl NetHook for SeverOnFirstPing {
+        fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) {
+            if let NetEvent::Send { from, to, kind: "ping" } = *ev {
+                if from == SiteId(0) && self.fired.get() == 0 {
+                    self.fired.set(1);
+                    ctl.sever_link(from, to);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn send_hook_can_kill_the_triggering_message() {
+        let fired = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let mut sim = sim(2);
+        sim.set_net_hook(Box::new(SeverOnFirstPing { fired: fired.clone() }));
+        sim.inject_at(VirtualTime(0), SiteId(0), 1);
+        sim.run_until_quiescent();
+        assert_eq!(fired.get(), 1, "hook saw the send");
+        assert_eq!(sim.counters().dropped_messages(), 1, "triggering ping severed");
+        assert!(sim.drain_outputs().is_empty());
+    }
+
+    /// Hook that crashes the receiver at the instant the first ping
+    /// arrives: the triggering message must park, not deliver.
+    struct CrashOnPingDeliver {
+        done: bool,
+    }
+    impl NetHook for CrashOnPingDeliver {
+        fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) {
+            if let NetEvent::Deliver { to, kind: "ping", .. } = *ev {
+                if !self.done {
+                    self.done = true;
+                    ctl.crash_now(to);
+                    ctl.recover_after(10, to);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deliver_hook_crash_now_parks_the_triggering_message() {
+        let mut sim = sim(2);
+        sim.set_net_hook(Box::new(CrashOnPingDeliver { done: false }));
+        sim.inject_at(VirtualTime(0), SiteId(0), 1);
+        sim.run_until_quiescent();
+        // The ping parked at the crash, redelivered after recovery, then
+        // ponged — the round still completes, with zero drops.
+        assert_eq!(sim.counters().parked_messages(), 1);
+        assert_eq!(sim.counters().dropped_messages(), 0);
+        let out = sim.drain_outputs();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].0 >= VirtualTime(11), "completed only after recovery");
+    }
+
+    #[test]
+    fn flapping_link_drops_only_in_down_windows() {
+        let mut sim = sim(2);
+        // Up 5 ticks, down 5 ticks, starting at t=0.
+        sim.flap_link(
+            SiteId(0),
+            SiteId(1),
+            FlapSchedule { start: VirtualTime(0), up_ticks: 5, down_ticks: 5 },
+        );
+        sim.inject_at(VirtualTime(2), SiteId(0), 1); // up window → delivers
+        sim.inject_at(VirtualTime(7), SiteId(0), 2); // down window → dropped
+        sim.run_until_quiescent();
+        assert_eq!(sim.counters().dropped_messages(), 1);
+        assert_eq!(sim.drain_outputs().len(), 1);
+    }
+
+    #[test]
+    fn link_inflation_delays_one_direction_only() {
+        let mut sim = sim(2);
+        sim.inflate_link(SiteId(0), SiteId(1), 40);
+        sim.inject_at(VirtualTime(0), SiteId(0), 1);
+        sim.run_until_quiescent();
+        // Ping takes 1 + 40 ticks out, pong 1 tick back.
+        assert_eq!(sim.drain_outputs().len(), 1);
+        assert_eq!(sim.now(), VirtualTime(42));
     }
 
     #[test]

@@ -23,5 +23,5 @@ pub mod zipf;
 pub use catalog::scm_catalog;
 pub use schedule::Schedule;
 pub use orders::{Order, OrderGenerator};
-pub use stream::{Popularity, UpdateStream, WorkloadSpec};
+pub use stream::{ArrivalPattern, Popularity, UpdateStream, WorkloadSpec};
 pub use zipf::Zipf;

@@ -15,6 +15,59 @@ pub enum Popularity {
     Uniform,
     /// Zipf with exponent `s` (ablation A7).
     Zipf(f64),
+    /// Flash-sale shape: the first product absorbs `hot_permille`‰ of all
+    /// updates; the rest of the traffic spreads uniformly over the other
+    /// products (or also hits product 0 when the catalog has one entry).
+    Hotspot {
+        /// Share of updates, in permille, aimed at product 0.
+        hot_permille: u32,
+    },
+}
+
+/// Arrival-time shape of the update stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalPattern {
+    /// Fixed inter-arrival spacing, one global clock (paper default).
+    Even,
+    /// Diurnal wave: each site's inter-arrival spacing swings between the
+    /// base `spacing` (peak traffic) and `spacing × quiet_factor`
+    /// (trough), following a triangle wave of `period_ticks` with the
+    /// sites phase-shifted evenly around the cycle — site 1 peaks when
+    /// site 0 is already past its peak, like stores in different time
+    /// zones. Integer arithmetic throughout, so runs stay bit-identical.
+    Diurnal {
+        /// Full wave period in virtual ticks.
+        period_ticks: u64,
+        /// Trough slowdown: spacing multiplier at the quietest moment
+        /// (≥ 1; 1 degenerates to `Even` per site).
+        quiet_factor: u32,
+    },
+}
+
+impl ArrivalPattern {
+    /// Effective inter-arrival spacing for `site` at local clock `now`.
+    fn spacing_at(&self, base: u64, n_sites: usize, site: usize, now: u64) -> u64 {
+        match *self {
+            ArrivalPattern::Even => base,
+            ArrivalPattern::Diurnal { period_ticks, quiet_factor } => {
+                if period_ticks == 0 || quiet_factor <= 1 {
+                    return base;
+                }
+                let offset = period_ticks * site as u64 / n_sites.max(1) as u64;
+                let phase = (now + offset) % period_ticks;
+                let half = (period_ticks / 2).max(1);
+                // Triangle wave: 1000 at the peak, 0 at the trough.
+                let busy_permille = if phase < half {
+                    phase * 1000 / half
+                } else {
+                    (period_ticks - phase) * 1000 / half
+                }
+                .min(1000);
+                let slowdown = u64::from(quiet_factor - 1);
+                base + base * slowdown * (1000 - busy_permille) / 1000
+            }
+        }
+    }
 }
 
 /// Parameters of one workload.
@@ -33,6 +86,8 @@ pub struct WorkloadSpec {
     /// Virtual ticks between consecutive updates (0 = all at once; the
     /// paper's metric is latency-independent but the DES needs arrivals).
     pub spacing: u64,
+    /// Arrival-time shape (even spacing or a diurnal wave).
+    pub arrival: ArrivalPattern,
     /// RNG seed.
     pub seed: u64,
 }
@@ -47,6 +102,7 @@ impl WorkloadSpec {
             retailer_decrease_pct: 10,
             popularity: Popularity::Uniform,
             spacing: 8,
+            arrival: ArrivalPattern::Even,
             seed,
         }
     }
@@ -78,6 +134,9 @@ pub struct UpdateStream {
     zipf: Option<Zipf>,
     rng: DetRng,
     issued: usize,
+    /// Per-site local arrival clocks (used by [`ArrivalPattern::Diurnal`];
+    /// [`ArrivalPattern::Even`] keeps the original single global clock).
+    clocks: Vec<u64>,
 }
 
 impl UpdateStream {
@@ -86,11 +145,12 @@ impl UpdateStream {
         assert!(spec.n_sites >= 1, "need at least one site");
         assert!(!catalog.is_empty(), "empty catalog");
         let zipf = match spec.popularity {
-            Popularity::Uniform => None,
+            Popularity::Uniform | Popularity::Hotspot { .. } => None,
             Popularity::Zipf(s) => Some(Zipf::new(catalog.len(), s)),
         };
         let rng = DetRng::new(spec.seed).derive(0x3017);
-        UpdateStream { spec, catalog: catalog.to_vec(), zipf, rng, issued: 0 }
+        let clocks = vec![0; spec.n_sites];
+        UpdateStream { spec, catalog: catalog.to_vec(), zipf, rng, issued: 0, clocks }
     }
 
     /// The spec this stream was built from.
@@ -99,6 +159,15 @@ impl UpdateStream {
     }
 
     fn pick_product(&mut self) -> usize {
+        if let Popularity::Hotspot { hot_permille } = self.spec.popularity {
+            if self.rng.gen_range(1000) < u64::from(hot_permille.min(1000)) {
+                return 0;
+            }
+            if self.catalog.len() > 1 {
+                return 1 + self.rng.gen_range(self.catalog.len() as u64 - 1) as usize;
+            }
+            return 0;
+        }
         match &self.zipf {
             Some(z) => z.sample(&mut self.rng),
             None => self.rng.gen_range(self.catalog.len() as u64) as usize,
@@ -111,7 +180,21 @@ impl UpdateStream {
             return None;
         }
         let site = SiteId((self.issued % self.spec.n_sites) as u32);
-        let at = VirtualTime((self.issued as u64) * self.spec.spacing);
+        let at = match self.spec.arrival {
+            // The original single global clock: update i arrives at i × spacing.
+            ArrivalPattern::Even => VirtualTime((self.issued as u64) * self.spec.spacing),
+            ArrivalPattern::Diurnal { .. } => {
+                let clock = self.clocks[site.index()];
+                let step = self.spec.arrival.spacing_at(
+                    self.spec.spacing,
+                    self.spec.n_sites,
+                    site.index(),
+                    clock,
+                );
+                self.clocks[site.index()] = clock + step;
+                VirtualTime(clock)
+            }
+        };
         let product_idx = self.pick_product();
         let entry = &self.catalog[product_idx];
         let initial = entry.initial_stock;
@@ -226,6 +309,88 @@ mod tests {
         let updates = UpdateStream::new(spec, &scm_catalog(2, 0, Volume(3))).collect_all();
         // 10% of 3 truncates to 0; the generator clamps to ≥ 1 unit.
         assert!(updates.iter().all(|(_, u)| !u.delta.is_zero()));
+    }
+
+    #[test]
+    fn hotspot_popularity_concentrates_on_product_zero() {
+        let spec = WorkloadSpec {
+            popularity: Popularity::Hotspot { hot_permille: 950 },
+            ..WorkloadSpec::paper(2000, 13)
+        };
+        let updates = UpdateStream::new(spec, &scm_catalog(10, 0, Volume(100))).collect_all();
+        let hot = updates.iter().filter(|(_, u)| u.product.index() == 0).count();
+        // 95% ± sampling noise.
+        assert!(hot > 1800, "flash-sale product must dominate: {hot}/2000");
+        let cold = updates.iter().filter(|(_, u)| u.product.index() == 9).count();
+        assert!(cold > 0, "long tail still sees traffic");
+    }
+
+    #[test]
+    fn hotspot_with_single_product_catalog_is_total() {
+        let spec = WorkloadSpec {
+            popularity: Popularity::Hotspot { hot_permille: 500 },
+            ..WorkloadSpec::paper(50, 4)
+        };
+        let updates = UpdateStream::new(spec, &scm_catalog(1, 0, Volume(100))).collect_all();
+        assert!(updates.iter().all(|(_, u)| u.product.index() == 0));
+    }
+
+    #[test]
+    fn diurnal_wave_phase_shifts_sites() {
+        let spec = WorkloadSpec {
+            arrival: ArrivalPattern::Diurnal { period_ticks: 240, quiet_factor: 4 },
+            ..WorkloadSpec::paper(300, 21)
+        };
+        let updates = UpdateStream::new(spec, &scm_catalog(10, 0, Volume(100))).collect_all();
+        // Per-site arrivals are strictly increasing (base spacing 8 > 0).
+        for s in 0..3u32 {
+            let times: Vec<u64> = updates
+                .iter()
+                .filter(|(_, u)| u.site.0 == s)
+                .map(|(t, _)| t.ticks())
+                .collect();
+            assert_eq!(times.len(), 100);
+            assert!(times.windows(2).all(|w| w[0] < w[1]), "site {s} clock must advance");
+        }
+        // The wave actually modulates: inter-arrival gaps are not constant.
+        let site0: Vec<u64> = updates
+            .iter()
+            .filter(|(_, u)| u.site.0 == 0)
+            .map(|(t, _)| t.ticks())
+            .collect();
+        let gaps: std::collections::BTreeSet<u64> =
+            site0.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.len() > 1, "diurnal spacing must vary: {gaps:?}");
+        assert!(gaps.contains(&8), "peak traffic runs at base spacing");
+        assert!(*gaps.iter().max().unwrap() >= 24, "trough slows down: {gaps:?}");
+        // Phase shift: sites do not share the same first-gap profile.
+        let gap_at = |s: u32| {
+            let t: Vec<u64> = updates
+                .iter()
+                .filter(|(_, u)| u.site.0 == s)
+                .map(|(t, _)| t.ticks())
+                .take(2)
+                .collect();
+            t[1] - t[0]
+        };
+        assert_ne!(gap_at(0), gap_at(1), "sites are phase-shifted around the cycle");
+    }
+
+    #[test]
+    fn diurnal_degenerate_params_match_even_spacing() {
+        let base = WorkloadSpec::paper(60, 5);
+        for arrival in [
+            ArrivalPattern::Diurnal { period_ticks: 0, quiet_factor: 4 },
+            ArrivalPattern::Diurnal { period_ticks: 100, quiet_factor: 1 },
+        ] {
+            let spec = WorkloadSpec { arrival, ..base.clone() };
+            let updates = UpdateStream::new(spec, &scm_catalog(10, 0, Volume(100)));
+            for (t, u) in updates {
+                // Per-site clock advances by exactly the base spacing; with
+                // round-robin issue order that reproduces i × spacing / n per site.
+                assert_eq!(t.ticks() % 8, 0, "degenerate wave keeps base spacing: {u}");
+            }
+        }
     }
 
     #[test]

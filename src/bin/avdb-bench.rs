@@ -24,7 +24,8 @@ fn usage() -> ! {
          avdb-bench run [--transports sim,threads,tcp] [--sites 3,7] [--updates N]\n    \
          [--faults clean,loss,crash,partition] [--alloc uniform,all-at-base,...]\n    \
          [--zipf 0,900] [--batch 1,4] [--fanout 0,4] [--rebalance 0,512]\n    \
-         [--coalesce 0,1] [--imm-products N] [--regular-products N]\n    \
+         [--coalesce 0,1] [--scenarios none|all|flash-sale,kill-the-granter,...]\n    \
+         [--imm-products N] [--regular-products N]\n    \
          [--stock N] [--spacing N] [--seed N] [--open-loop] [--label L] [--out DIR]\n  \
          avdb-bench compare <baseline.json> <current.json> [--max-regress-pct N]"
     );
@@ -80,6 +81,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut fanouts = vec![0usize];
     let mut rebalances = vec![0u64];
     let mut coalesces = vec![false];
+    let mut scenarios: Vec<Option<String>> = vec![None];
     let mut base = ScenarioSpec::base();
     let mut label = String::from("local");
     let mut out_dir = String::from("results");
@@ -111,6 +113,23 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     "1" | "true" => Some(true),
                     _ => None,
                 });
+            }
+            "--scenarios" => {
+                let raw = value(arg);
+                scenarios = if raw == "all" {
+                    avdb::chaos::Scenario::ALL
+                        .iter()
+                        .map(|sc| Some(sc.name().to_string()))
+                        .collect()
+                } else {
+                    parse_list(arg, &raw, |s| {
+                        if s == "none" {
+                            Some(None)
+                        } else {
+                            avdb::chaos::Scenario::parse(s).map(|sc| Some(sc.name().to_string()))
+                        }
+                    })
+                };
             }
             "--updates" => base.updates = value(arg).parse().unwrap_or_else(|_| usage()),
             "--imm-products" => {
@@ -144,38 +163,43 @@ fn cmd_run(args: &[String]) -> ExitCode {
                             )
                             .iter()
                             {
-                                let mut spec = base.clone();
-                                spec.transport = transport;
-                                spec.sites = n;
-                                spec.fault = fault;
-                                spec.allocation = allocation;
-                                spec.zipf_milli = zipf_milli;
-                                spec.propagation_batch = batch;
-                                spec.shortage_fanout = fanout;
-                                spec.rebalance_horizon_ticks = rebalance;
-                                spec.coalesce_propagation = coalesce;
-                                if transport != TransportKind::Sim
-                                    && fault != FaultProfile::Clean
-                                {
-                                    eprintln!(
-                                        "skip {}: faults need the deterministic scheduler",
-                                        spec.label()
-                                    );
-                                    continue;
-                                }
-                                eprint!("running {} ... ", spec.label());
-                                match run_scenario(&spec) {
-                                    Ok(arts) => {
+                                for scenario in &scenarios {
+                                    let mut spec = base.clone();
+                                    spec.transport = transport;
+                                    spec.sites = n;
+                                    spec.fault = fault;
+                                    spec.allocation = allocation;
+                                    spec.zipf_milli = zipf_milli;
+                                    spec.propagation_batch = batch;
+                                    spec.shortage_fanout = fanout;
+                                    spec.rebalance_horizon_ticks = rebalance;
+                                    spec.coalesce_propagation = coalesce;
+                                    spec.scenario = scenario.clone();
+                                    if transport != TransportKind::Sim
+                                        && (fault != FaultProfile::Clean
+                                            || spec.scenario.is_some())
+                                    {
                                         eprintln!(
-                                            "ok ({}/{} committed)",
-                                            arts.result.stats.committed,
-                                            arts.result.stats.submitted
+                                            "skip {}: faults and scenarios need the \
+                                             deterministic scheduler",
+                                            spec.label()
                                         );
-                                        report.scenarios.push(arts.result);
+                                        continue;
                                     }
-                                    Err(e) => {
-                                        eprintln!("FAILED: {e}");
-                                        failures += 1;
+                                    eprint!("running {} ... ", spec.label());
+                                    match run_scenario(&spec) {
+                                        Ok(arts) => {
+                                            eprintln!(
+                                                "ok ({}/{} committed)",
+                                                arts.result.stats.committed,
+                                                arts.result.stats.submitted
+                                            );
+                                            report.scenarios.push(arts.result);
+                                        }
+                                        Err(e) => {
+                                            eprintln!("FAILED: {e}");
+                                            failures += 1;
+                                        }
                                     }
                                 }
                             }

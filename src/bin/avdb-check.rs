@@ -23,6 +23,7 @@
 //! Immediate path is classic presumed-abort 2PC, which assumes reliable
 //! delivery of the decision round (see DESIGN.md, "Oracle & invariants").
 
+use avdb::chaos::{self, ChaosCase, Scenario};
 use avdb::core::DistributedSystem;
 use avdb::oracle::{self, Observation, Report, SubmittedRequest};
 use avdb::simnet::{DetRng, LinkFilter, RegistrySnapshot};
@@ -61,7 +62,13 @@ struct Sweep {
     sites: Vec<usize>,
     fanouts: Vec<usize>,
     coalesces: Vec<bool>,
+    /// Non-empty switches the run to the chaos-scenario sweep mode.
+    scenarios: Vec<Scenario>,
     requests: usize,
+    /// Scenario mode only: submit just the first N requests of the full
+    /// schedule (fault timing stays keyed to the full span, so a printed
+    /// minimal repro replays bit-identically).
+    prefix: Option<usize>,
     verbose: bool,
     stats: bool,
 }
@@ -82,7 +89,9 @@ const TICKS_PER_REQUEST: u64 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage: avdb-check [--seeds A..B] [--faults all|clean,crash,partition,loss] \
-         [--sites N,M] [--fanout 0,2] [--coalesce 0,1] [--requests N] [--verbose] [--stats]"
+         [--sites N,M] [--fanout 0,2] [--coalesce 0,1] \
+         [--scenario all|flash-sale,kill-the-granter,...] [--requests N] \
+         [--prefix N] [--verbose] [--stats]"
     );
     std::process::exit(2);
 }
@@ -94,7 +103,9 @@ fn parse_args() -> Sweep {
         sites: vec![3, 5],
         fanouts: vec![0],
         coalesces: vec![false],
+        scenarios: Vec::new(),
         requests: 40,
+        prefix: None,
         verbose: false,
         stats: false,
     };
@@ -137,8 +148,21 @@ fn parse_args() -> Sweep {
                     })
                     .collect();
             }
+            "--scenario" | "--scenarios" => {
+                let v = value("--scenario");
+                sweep.scenarios = if v == "all" {
+                    Scenario::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|s| Scenario::parse(s).unwrap_or_else(|| usage()))
+                        .collect()
+                };
+            }
             "--requests" => {
                 sweep.requests = value("--requests").parse().unwrap_or_else(|_| usage());
+            }
+            "--prefix" => {
+                sweep.prefix = Some(value("--prefix").parse().unwrap_or_else(|_| usage()));
             }
             "--verbose" => sweep.verbose = true,
             "--stats" => sweep.stats = true,
@@ -345,8 +369,128 @@ fn write_flight_dump(case: Case, min_requests: usize, obs: &Observation) -> Opti
     Some(path.display().to_string())
 }
 
+/// Writes a chaos run's cluster-wide flight dump under `results/flight/`.
+fn write_chaos_flight_dump(
+    case: &ChaosCase,
+    min_requests: usize,
+    obs: &Observation,
+) -> Option<String> {
+    let reason = format!(
+        "oracle-violation: scenario={} seed={} sites={} requests={min_requests}",
+        case.scenario, case.seed, case.n_sites
+    );
+    let dump = obs.flight_dump(&reason);
+    let dir = std::path::Path::new("results/flight");
+    let path = dir.join(format!(
+        "chaos-{}-seed{}-sites{}.json",
+        case.scenario, case.seed, case.n_sites
+    ));
+    if std::fs::create_dir_all(dir).is_err() || std::fs::write(&path, dump.to_json()).is_err() {
+        eprintln!("avdb-check: could not write flight dump to {}", path.display());
+        return None;
+    }
+    Some(path.display().to_string())
+}
+
+/// The chaos-scenario sweep: every requested scenario × site count × seed
+/// runs oracle-checked through the chaos runner; a violation is
+/// binary-search minimized and its flight recorder dumped, exactly like
+/// the fault sweep. Targeted scenarios must additionally fire their
+/// nemesis at least once per (scenario, sites) group — a sweep where
+/// kill-the-granter never kills anything proves nothing.
+fn run_scenario_sweep(sweep: &Sweep) -> ExitCode {
+    let started = std::time::Instant::now();
+    println!(
+        "avdb-check: scenarios [{}], seeds {}..{}, sites {:?}, {} requests/run",
+        sweep.scenarios.iter().map(|s| s.name()).collect::<Vec<_>>().join(", "),
+        sweep.seeds.start,
+        sweep.seeds.end,
+        sweep.sites,
+        sweep.requests,
+    );
+    let mut runs = 0u64;
+    let mut failures = 0u64;
+    for &scenario in &sweep.scenarios {
+        let mut scenario_runs = 0u64;
+        let mut scenario_failures = 0u64;
+        for &n_sites in &sweep.sites {
+            let mut fired_total = 0u64;
+            for seed in sweep.seeds.clone() {
+                let case = ChaosCase { scenario, n_sites, updates: sweep.requests, seed };
+                let verdict =
+                    chaos::run_case(&case, sweep.prefix.unwrap_or(sweep.requests));
+                scenario_runs += 1;
+                fired_total += verdict.fired;
+                if sweep.verbose {
+                    println!(
+                        "  {scenario} seed={seed} sites={n_sites}: {} (nemesis fired {}×)",
+                        if verdict.report.is_ok() { "ok" } else { "VIOLATION" },
+                        verdict.fired
+                    );
+                }
+                if !verdict.report.is_ok() {
+                    scenario_failures += 1;
+                    println!(
+                        "VIOLATION scenario={scenario} seed={seed} sites={n_sites} \
+                         requests={}",
+                        sweep.requests
+                    );
+                    print!("{}", verdict.report);
+                    let (min_requests, min_verdict) = chaos::minimize(&case);
+                    // `--requests` stays at the full count: minimization
+                    // replays a prefix of the full schedule (fault timing
+                    // is keyed to the full span), so only `--prefix`
+                    // shrinks.
+                    println!(
+                        "  minimal repro: --scenario {scenario} --seeds {seed}..{} \
+                         --sites {n_sites} --requests {} --prefix {min_requests}",
+                        seed + 1,
+                        sweep.requests
+                    );
+                    if let Some(path) =
+                        write_chaos_flight_dump(&case, min_requests, &min_verdict.observation)
+                    {
+                        println!(
+                            "  flight recorder dump: {path} (render with `avdb-trace flight`)"
+                        );
+                    }
+                    print!("{}", min_verdict.report);
+                }
+            }
+            if scenario.is_targeted() && fired_total == 0 {
+                scenario_failures += 1;
+                println!(
+                    "VACUOUS scenario={scenario} sites={n_sites}: nemesis never fired \
+                     across {} seed(s)",
+                    sweep.seeds.end.saturating_sub(sweep.seeds.start)
+                );
+            }
+        }
+        runs += scenario_runs;
+        failures += scenario_failures;
+        println!(
+            "  {:<22} {} runs, {} violation{}",
+            scenario.name(),
+            scenario_runs,
+            scenario_failures,
+            if scenario_failures == 1 { "" } else { "s" }
+        );
+    }
+    let elapsed = started.elapsed();
+    if failures == 0 {
+        println!("all {runs} scenario runs conform ({elapsed:.1?})");
+        ExitCode::SUCCESS
+    } else {
+        println!("{failures} of {runs} scenario runs violated invariants ({elapsed:.1?})");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let sweep = parse_args();
+    if !sweep.scenarios.is_empty() {
+        return run_scenario_sweep(&sweep);
+    }
     let started = std::time::Instant::now();
     println!(
         "avdb-check: seeds {}..{}, faults [{}], sites {:?}, fanout {:?}, coalesce {:?}, \

@@ -58,6 +58,8 @@ pub use avdb_oracle as oracle;
 pub use avdb_sim as sim;
 /// Workload-matrix benchmark harness behind `avdb-bench`.
 pub use avdb_bench as bench;
+/// Adversarial nemesis engine and named scenario library.
+pub use avdb_chaos as chaos;
 
 /// Commonly used items, for `use avdb::prelude::*`.
 pub mod prelude {
