@@ -57,6 +57,7 @@ fn delta_log(n: usize, products: u32) -> Vec<PropagateDelta> {
             product: ProductId(i as u32 % products),
             delta: Volume(if i % 3 == 0 { -4 } else { 3 }),
             commit_span: i as u64,
+            retained: true,
             committed_at: VirtualTime(i as u64 * 5),
         })
         .collect()

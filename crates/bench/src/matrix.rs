@@ -140,6 +140,11 @@ pub struct ScenarioSpec {
     /// Defaults keep pre-chaos BENCH files parseable.
     #[serde(default)]
     pub scenario: Option<String>,
+    /// Head-based trace sample rate in per-mille. Both `0` (the serde
+    /// default, keeping pre-profiler BENCH files parseable) and `1000`
+    /// mean "trace everything".
+    #[serde(default)]
+    pub trace_sample_milli: u32,
 }
 
 impl ScenarioSpec {
@@ -166,7 +171,13 @@ impl ScenarioSpec {
             rebalance_horizon_ticks: 0,
             coalesce_propagation: false,
             scenario: None,
+            trace_sample_milli: 0,
         }
+    }
+
+    /// Whether the cell samples traces (a rate below full was set).
+    pub fn samples_traces(&self) -> bool {
+        self.trace_sample_milli > 0 && self.trace_sample_milli < 1000
     }
 
     /// The parsed chaos scenario, if the cell names one. An unknown name
@@ -220,6 +231,9 @@ impl ScenarioSpec {
         if let Some(scenario) = &self.scenario {
             label.push_str(&format!("-sc{scenario}"));
         }
+        if self.samples_traces() {
+            label.push_str(&format!("-ts{}", self.trace_sample_milli));
+        }
         label
     }
 
@@ -237,6 +251,9 @@ impl ScenarioSpec {
             .seed(self.seed);
         if self.fault == FaultProfile::Loss {
             b = b.drop_probability(LOSS_DROP_PROBABILITY);
+        }
+        if self.samples_traces() {
+            b = b.trace_sample_rate(f64::from(self.trace_sample_milli) / 1000.0);
         }
         b.build().map_err(|e| format!("scenario {}: {e}", self.label()))
     }

@@ -102,6 +102,12 @@ pub struct ScenarioStats {
     /// Synchronous correspondences charged per committed update (the
     /// paper's message-cost metric; propagation traffic excluded).
     pub amplification: Percentiles,
+    /// Mean critical-path self time per phase × 1000 (ticks), from the
+    /// run's [`avdb_telemetry::PhaseProfile`]. The regression gate uses
+    /// the deltas to name the phase a gated slowdown came from. Defaults
+    /// keep pre-profiler BENCH files parseable.
+    #[serde(default)]
+    pub phase_self_milli: BTreeMap<String, u64>,
     /// Virtual-clock metrics (simulator runs only).
     pub sim: Option<SimStats>,
 }
@@ -264,6 +270,18 @@ pub fn compute_stats(
         imm_commit: sites.counter("imm.commit"),
         imm_abort: sites.counter("imm.abort"),
         amplification: Percentiles::from_sorted(&amp),
+        // Span times under the live transports are wall-derived, so the
+        // phase breakdown is only byte-identical (and only meaningful as a
+        // pinned stat) for the sim transport.
+        phase_self_milli: if is_sim {
+            export
+                .profile
+                .as_ref()
+                .map(|p| p.phase_self_milli())
+                .unwrap_or_default()
+        } else {
+            Default::default()
+        },
         sim,
     };
 
@@ -298,6 +316,25 @@ const SHORTAGE_SLACK_PERMILLE: u64 = 25;
 /// Minimum absolute headroom the amplification gate always allows.
 const AMPLIFICATION_SLACK: u64 = 1;
 
+/// Names the phase whose mean critical-path self time grew the most
+/// between two profiles (`phase_self_milli` maps). Returns
+/// `(phase, baseline_milli, current_milli)`; `None` when nothing grew
+/// (or either run carried no profile). Ties break on the
+/// lexicographically smallest phase name, keeping the attribution
+/// deterministic.
+pub fn dominant_regressed_phase(
+    base: &BTreeMap<String, u64>,
+    cur: &BTreeMap<String, u64>,
+) -> Option<(String, u64, u64)> {
+    cur.iter()
+        .map(|(name, &c)| (name, base.get(name).copied().unwrap_or(0), c))
+        .filter(|(_, b, c)| c > b)
+        .max_by(|(an, ab, ac), (bn, bb, bc)| {
+            (ac - ab).cmp(&(bc - bb)).then(bn.cmp(an))
+        })
+        .map(|(name, b, c)| (name.clone(), b, c))
+}
+
 /// Compares a fresh report against a committed baseline. Every sim
 /// scenario present in both must:
 ///
@@ -307,6 +344,10 @@ const AMPLIFICATION_SLACK: u64 = 1;
 ///   than [`SHORTAGE_SLACK_PERMILLE`] absolute) of the baseline, and
 /// - keep amplification p95 within `max_regress_pct`% (never less than
 ///   [`AMPLIFICATION_SLACK`] absolute) of the baseline.
+///
+/// A scenario that trips any gate also gets a critical-path attribution
+/// line naming the phase whose mean self time grew the most between the
+/// two runs' profiles (see [`dominant_regressed_phase`]).
 ///
 /// Returns human-readable comparison lines, or the list of violations.
 pub fn compare(
@@ -367,6 +408,27 @@ pub fn compare(
             if amp_ok { "ok" } else { "REGRESSED" },
         );
         if amp_ok { lines.push(line) } else { violations.push(line) };
+
+        // When a gate trips, name the phase whose critical-path self
+        // time moved most — the place to start looking.
+        if !(thr_ok && short_ok && amp_ok) {
+            match dominant_regressed_phase(
+                &base.stats.phase_self_milli,
+                &cur.stats.phase_self_milli,
+            ) {
+                Some((phase, from, to)) => violations.push(format!(
+                    "{}: critical-path attribution: phase '{phase}' mean self time \
+                     {from} -> {to} milli-ticks/commit (+{})",
+                    base.label,
+                    to - from,
+                )),
+                None => violations.push(format!(
+                    "{}: critical-path attribution: no phase self-time grew \
+                     (profile missing, or the regression is outside commit paths)",
+                    base.label,
+                )),
+            }
+        }
     }
     if matched == 0 {
         violations.push("no sim scenarios matched between baseline and current".to_string());
@@ -447,6 +509,42 @@ mod tests {
         let zero = report_full("cell", 1000, 0, 0);
         assert!(compare(&zero, &report_full("cell", 1000, 0, 1), 25).is_ok());
         assert!(compare(&zero, &report_full("cell", 1000, 0, 2), 25).is_err());
+    }
+
+    #[test]
+    fn dominant_regressed_phase_picks_largest_growth() {
+        let base: BTreeMap<String, u64> =
+            [("update".to_string(), 500), ("transfer".to_string(), 2000)].into();
+        let mut cur = base.clone();
+        cur.insert("transfer".to_string(), 9000);
+        cur.insert("update".to_string(), 600);
+        let (phase, from, to) = dominant_regressed_phase(&base, &cur).unwrap();
+        assert_eq!((phase.as_str(), from, to), ("transfer", 2000, 9000));
+        // A phase new in the current run counts from zero.
+        let (phase, ..) =
+            dominant_regressed_phase(&BTreeMap::new(), &cur).unwrap();
+        assert_eq!(phase, "transfer");
+        // Nothing grew → no attribution.
+        assert!(dominant_regressed_phase(&cur, &base).is_none());
+        assert!(dominant_regressed_phase(&base, &base).is_none());
+    }
+
+    #[test]
+    fn compare_attributes_gated_regressions_to_a_phase() {
+        let mut base = report_with("cell", 1000);
+        base.scenarios[0].stats.phase_self_milli =
+            [("update".to_string(), 500), ("transfer".to_string(), 2000)].into();
+        let mut cur = report_with("cell", 600); // trips the throughput gate
+        cur.scenarios[0].stats.phase_self_milli =
+            [("update".to_string(), 500), ("transfer".to_string(), 9000)].into();
+        let err = compare(&base, &cur, 25).unwrap_err();
+        assert!(
+            err.iter().any(|l| l.contains("phase 'transfer'") && l.contains("+7000")),
+            "{err:?}"
+        );
+        // Healthy comparisons carry no attribution line.
+        let ok = compare(&base, &base, 25).unwrap();
+        assert!(ok.iter().all(|l| !l.contains("attribution")), "{ok:?}");
     }
 
     #[test]

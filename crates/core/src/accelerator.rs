@@ -11,7 +11,9 @@ use avdb_escrow::{
 use avdb_simnet::{Actor, Ctx};
 use avdb_storage::{LocalDb, LockMode};
 use avdb_telemetry::{
-    aux_trace_id, FlightDump, FlightRecorder, Registry, SpanCollector, TraceContext,
+    aux_trace_id, build_profile, evaluate_slo, FlightDump, FlightRecorder, PhaseProfile,
+    Registry, SloReport, SloSpec, SpanCollector, SpanView, TraceContext, TraceSampler,
+    LANE_DELAY, LANE_IMM,
 };
 use avdb_types::{
     request::AbortReason, AvdbError, ProductId, SiteId, SystemConfig, TxnId, UpdateKind,
@@ -175,6 +177,11 @@ pub struct StatusSnapshot {
     pub av: Vec<StatusAvRow>,
     /// Per-peer AV-knowledge freshness.
     pub knowledge: Vec<StatusPeerRow>,
+    /// Per-lane SLO evaluation of this site's registry.
+    pub slo: SloReport,
+    /// Critical-path phase profile over this site's retained committed
+    /// traces (sampled plus promoted).
+    pub profile: PhaseProfile,
 }
 
 /// One product's share of a (possibly multi-item) Delay transaction.
@@ -212,6 +219,10 @@ struct PendingDelay {
     transfer_spans: Vec<(SiteId, ProductId, u64, VirtualTime)>,
     /// When the update was submitted (latency accounting).
     started_at: VirtualTime,
+    /// Whether the update ever entered the shortage path (asked a peer
+    /// for AV). Feeds the Delay lane's SLO shortage rate and retroactive
+    /// trace promotion.
+    had_shortage: bool,
 }
 
 impl PendingDelay {
@@ -287,6 +298,11 @@ struct RetransmitImm {
 /// silent participant permanently dead.
 const IMM_RETRANSMIT_ATTEMPTS: u32 = 8;
 
+/// Outcomes the latency histogram must hold before an unsampled update
+/// can be promoted as a p99 outlier (a cold histogram makes everything
+/// look like an outlier).
+const LATENCY_OUTLIER_MIN_COUNT: u64 = 100;
+
 /// One site's accelerator (see crate docs for the protocol overview).
 pub struct Accelerator {
     me: SiteId,
@@ -345,6 +361,13 @@ pub struct Accelerator {
     spans: SpanCollector,
     /// Telemetry: per-site counters / gauges / histograms.
     registry: Registry,
+    /// Per-lane SLO targets evaluated by [`Accelerator::status`] and fed
+    /// (as counters) at every outcome.
+    slo: SloSpec,
+    /// Committed trace ids whose full span tree was retained (sampled or
+    /// retroactively promoted) — the deterministic input set for this
+    /// site's critical-path profile.
+    committed_traces: Vec<u64>,
     /// Lamport clock, merged from every incoming traced message.
     clock: u64,
     /// Sequence for auxiliary (non-update) trace ids: replication batches
@@ -399,6 +422,8 @@ impl Accelerator {
             }
         }
         let (divergence_keys, staleness_keys) = gauge_keys(cfg.n_products(), cfg.n_sites);
+        let mut spans = SpanCollector::new(me);
+        spans.set_sampler(TraceSampler::new(cfg.seed, cfg.trace_sampling()));
         Accelerator {
             me,
             cfg: AcceleratorConfig::from_system(cfg),
@@ -422,8 +447,10 @@ impl Accelerator {
             anti_entropy_armed: false,
             consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
             rebalance_armed: false,
-            spans: SpanCollector::new(me),
+            spans,
             registry: Registry::new(),
+            slo: SloSpec::default(),
+            committed_traces: Vec::new(),
             clock: 0,
             aux_seq: 0,
             peer_scratch: Vec::new(),
@@ -538,7 +565,31 @@ impl Accelerator {
             flight_recorded: self.flight.recorded(),
             av,
             knowledge,
+            slo: self.slo_report(),
+            profile: self.local_profile(),
         }
+    }
+
+    /// Per-lane SLO targets in force here.
+    pub fn slo_spec(&self) -> &SloSpec {
+        &self.slo
+    }
+
+    /// Replaces the per-lane SLO targets.
+    pub fn set_slo(&mut self, spec: SloSpec) {
+        self.slo = spec;
+    }
+
+    /// Evaluates the SLO targets against this site's registry.
+    pub fn slo_report(&self) -> SloReport {
+        evaluate_slo(&self.slo, &self.registry.snapshot())
+    }
+
+    /// Critical-path phase profile over the committed traces whose full
+    /// span tree this site retained (head-sampled plus promoted).
+    pub fn local_profile(&self) -> PhaseProfile {
+        let committed: BTreeSet<u64> = self.committed_traces.iter().copied().collect();
+        build_profile(self.spans.records().iter().map(SpanView::from), &committed)
     }
 
     /// Current Lamport clock (merged from all traffic seen here).
@@ -595,6 +646,8 @@ impl Accelerator {
             }
         }
         let (divergence_keys, staleness_keys) = gauge_keys(cfg.n_products(), cfg.n_sites);
+        let mut spans = SpanCollector::new(me);
+        spans.set_sampler(TraceSampler::new(cfg.seed, cfg.trace_sampling()));
         let mut acc = Accelerator {
             me,
             cfg: AcceleratorConfig::from_system(cfg),
@@ -618,8 +671,10 @@ impl Accelerator {
             anti_entropy_armed: false,
             consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
             rebalance_armed: false,
-            spans: SpanCollector::new(me),
+            spans,
             registry: Registry::new(),
+            slo: SloSpec::default(),
+            committed_traces: Vec::new(),
             clock: 0,
             aux_seq: 0,
             peer_scratch: Vec::new(),
@@ -889,23 +944,79 @@ impl Accelerator {
         }
     }
 
-    /// Finishes an update: closes the root span, records outcome metrics
-    /// and emits to the harness.
+    /// Finishes an update: closes the root span, records outcome and
+    /// per-lane SLO metrics, retroactively promotes interesting traces
+    /// out of the sampling ring, and emits to the harness.
     fn emit_outcome(
         &mut self,
         ctx: &mut ACtx<'_>,
         root_span: u64,
         started_at: VirtualTime,
+        lane: &'static str,
+        had_shortage: bool,
         outcome: UpdateOutcome,
     ) {
-        let (committed, correspondences) = match &outcome {
-            UpdateOutcome::Committed { correspondences, .. } => (true, *correspondences),
-            UpdateOutcome::Aborted { correspondences, .. } => (false, *correspondences),
+        let (txn, committed, correspondences) = match &outcome {
+            UpdateOutcome::Committed { txn, correspondences, .. } => {
+                (*txn, true, *correspondences)
+            }
+            UpdateOutcome::Aborted { txn, correspondences, .. } => {
+                (*txn, false, *correspondences)
+            }
         };
+        let latency = ctx.now().since(started_at);
+
+        // Retroactive promotion: even when head-based sampling dropped
+        // this trace, an aborted, shortage-path or p99-outlier update is
+        // exactly the one a post-mortem wants — pull its parked spans
+        // back before the ring evicts them. The outlier test reads the
+        // latency histogram *before* this update is folded in.
+        let mut retained = self.spans.trace_sampled(txn.0);
+        if !retained {
+            let outlier = self
+                .registry
+                .histogram("update.latency.ticks")
+                .map(|h| h.count() >= LATENCY_OUTLIER_MIN_COUNT && latency > h.percentile(0.99))
+                .unwrap_or(false);
+            if !committed || had_shortage || outlier {
+                self.spans.promote(txn.0);
+                retained = true;
+            }
+        }
+
         self.registry.inc(if committed { "update.committed" } else { "update.aborted" });
-        self.registry.observe("update.latency.ticks", ctx.now().since(started_at));
+        self.registry.observe("update.latency.ticks", latency);
         self.registry.observe("update.correspondences", correspondences);
+
+        // Per-lane SLO accounting (static keys — this is the hot path).
+        let (total_key, lat_key, breach_key, target) = if lane == LANE_IMM {
+            (
+                "slo.imm.total",
+                "slo.imm.latency.ticks",
+                "slo.imm.breach.latency",
+                self.slo.immediate.commit_p99_ticks,
+            )
+        } else {
+            (
+                "slo.delay.total",
+                "slo.delay.latency.ticks",
+                "slo.delay.breach.latency",
+                self.slo.delay.commit_p99_ticks,
+            )
+        };
+        self.registry.inc(total_key);
+        self.registry.observe(lat_key, latency);
+        if target > 0 && latency > target {
+            self.registry.inc(breach_key);
+        }
+        if had_shortage {
+            self.registry.inc("slo.delay.shortage");
+        }
+
         self.spans.end(root_span, ctx.now());
+        if committed && retained {
+            self.committed_traces.push(txn.0);
+        }
         ctx.emit(outcome);
     }
 
@@ -924,6 +1035,9 @@ impl Accelerator {
             product,
             delta,
             commit_span,
+            // The origin's retain decision rides the delta so replicas
+            // keep their apply spans for sampled/promoted traces.
+            retained: self.spans.trace_sampled(txn.0),
             committed_at: ctx.now(),
         });
         self.refresh_repl_gauges();
@@ -1067,6 +1181,7 @@ impl Accelerator {
                 root_span,
                 transfer_spans: Vec::new(),
                 started_at: ctx.now(),
+                had_shortage: false,
             };
             self.commit_delay(ctx, txn, pending);
             return;
@@ -1082,6 +1197,7 @@ impl Accelerator {
             root_span,
             transfer_spans: Vec::new(),
             started_at: ctx.now(),
+            had_shortage: false,
         };
         self.pending_delay.insert(txn, pending);
         self.request_more_av(ctx, txn);
@@ -1127,6 +1243,7 @@ impl Accelerator {
             .min(usize::try_from(shortage.get().max(1)).unwrap_or(usize::MAX));
         let mut asked = {
             let pending = self.pending_delay.get_mut(&txn).expect("checked above");
+            pending.had_shortage = true;
             std::mem::take(&mut pending.asked)
         };
         let mut picks: Vec<SiteId> = Vec::new();
@@ -1213,6 +1330,8 @@ impl Accelerator {
                 ctx,
                 root_span,
                 pending.started_at,
+                LANE_DELAY,
+                pending.had_shortage,
                 UpdateOutcome::Aborted {
                     txn,
                     reason: AbortReason::InsufficientAv { shortfall: shortage },
@@ -1342,6 +1461,13 @@ impl Accelerator {
             self.stats.delay_remote_commits += 1;
             self.registry.inc("delay.commit.remote");
         }
+        // Promote shortage-path traces *now*, before the commit span and
+        // the propagation deltas are recorded: the sticky promotion keeps
+        // both, and the retain bit on the deltas tells replicas to keep
+        // their apply spans too.
+        if pending.had_shortage {
+            self.spans.promote(txn.0);
+        }
         let clock = self.tick();
         let commit_span = self.spans.instant_with(
             txn.0,
@@ -1368,6 +1494,8 @@ impl Accelerator {
             ctx,
             pending.root_span,
             pending.started_at,
+            LANE_DELAY,
+            pending.had_shortage,
             UpdateOutcome::Committed {
                 txn,
                 kind: UpdateKind::Delay,
@@ -1478,6 +1606,10 @@ impl Accelerator {
             self.stats.av_volume_granted += grant.get();
         }
         self.stats.av_grants_answered += 1;
+        // Being asked to grant marks the trace shortage-path; the
+        // requester promotes it too at outcome time, so promoting here
+        // keeps the grant chain sampling-complete without coordination.
+        self.spans.promote(incoming.map(|c| c.trace_id).unwrap_or(txn.0));
         // The grant decision attaches under the requester's transfer span
         // (piggybacked as the incoming parent), so the causal tree crosses
         // sites.
@@ -1641,6 +1773,8 @@ impl Accelerator {
                 ctx,
                 root_span,
                 ctx.now(),
+                LANE_IMM,
+                false,
                 UpdateOutcome::Aborted { txn, reason, correspondences: 0 },
             );
             return;
@@ -1655,6 +1789,8 @@ impl Accelerator {
                 ctx,
                 root_span,
                 ctx.now(),
+                LANE_IMM,
+                false,
                 UpdateOutcome::Committed {
                     txn,
                     kind: UpdateKind::Immediate,
@@ -1859,6 +1995,8 @@ impl Accelerator {
                 ctx,
                 root_span,
                 pending.started_at,
+                LANE_IMM,
+                false,
                 UpdateOutcome::Aborted { txn, reason: abort_reason, correspondences },
             );
         }
@@ -1891,6 +2029,8 @@ impl Accelerator {
             ctx,
             root_span,
             started_at,
+            LANE_IMM,
+            false,
             UpdateOutcome::Committed {
                 txn,
                 kind: UpdateKind::Immediate,
@@ -1911,6 +2051,12 @@ impl Accelerator {
         product: ProductId,
         delta: Volume,
     ) {
+        if !commit {
+            // Aborts are always promotion-worthy; the coordinator promotes
+            // at outcome time, so resurrecting this site's parked spans
+            // (prepare, imm-apply) keeps the aborted tree whole.
+            self.spans.promote(incoming.map(|c| c.trace_id).unwrap_or(txn.0));
+        }
         let known = self.prepared_remote.remove(&txn);
         let mut detail = if known {
             format!("commit={commit}")
@@ -2152,6 +2298,10 @@ impl Actor for Accelerator {
                         ctx,
                         root,
                         ctx.now(),
+                        // Checking rejected the update before a lane was
+                        // assigned; account it to the strict lane.
+                        LANE_IMM,
+                        false,
                         UpdateOutcome::Aborted {
                             txn,
                             reason: AbortReason::UnknownProduct,
@@ -2196,6 +2346,10 @@ impl Actor for Accelerator {
                         ctx,
                         root,
                         ctx.now(),
+                        // A multi-update is a Delay-lane request even
+                        // when checking rejects it.
+                        LANE_DELAY,
+                        false,
                         UpdateOutcome::Aborted {
                             txn,
                             reason: AbortReason::NotDelayEligible,
@@ -2309,7 +2463,12 @@ impl Actor for Accelerator {
                     self.registry
                         .observe("repl.convergence.ticks", ctx.now().since(d.committed_at));
                     // The remote apply joins the *update's* tree, under the
-                    // origin's commit span carried by the delta.
+                    // origin's commit span carried by the delta. Honor the
+                    // origin's retain decision first so a promoted
+                    // (shortage/abort-adjacent) trace keeps this span.
+                    if d.retained {
+                        self.spans.promote(d.txn.0);
+                    }
                     let clock = self.tick();
                     self.spans.instant_with(
                         d.txn.0,

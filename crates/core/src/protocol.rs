@@ -33,6 +33,14 @@ pub struct PropagateDelta {
     /// unknown (e.g. state rebuilt outside a traced run); plain data, so
     /// it rides the replication snapshot through crash recovery.
     pub commit_span: u64,
+    /// Telemetry: whether the origin retained this trace's spans (head
+    /// sampled or promoted by commit time). Receivers promote the trace
+    /// locally before recording their apply span, so a shortage-path
+    /// update's tree stays complete across every replica even at low
+    /// sample rates. Defaults to `false` for deltas persisted before the
+    /// field existed.
+    #[serde(default)]
+    pub retained: bool,
     /// Virtual time at which the origin committed the delta. Receivers
     /// subtract it from their arrival time to observe the lazy-propagation
     /// convergence lag (`repl.convergence.ticks`); under the sim clock the
@@ -347,6 +355,7 @@ mod tests {
                 product: ProductId(2),
                 delta: Volume(-4),
                 commit_span: 7,
+                retained: true,
                 committed_at: VirtualTime(11),
             }],
         };

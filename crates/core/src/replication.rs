@@ -334,6 +334,7 @@ mod proptests {
             product: ProductId(0),
             delta: Volume(1),
             commit_span: 0,
+            retained: true,
             committed_at: avdb_types::VirtualTime::ZERO,
         }
     }
@@ -415,6 +416,7 @@ mod proptests {
             product: ProductId(product),
             delta: Volume(delta),
             commit_span: 0,
+            retained: true,
             committed_at: avdb_types::VirtualTime::ZERO,
         }
     }
@@ -505,6 +507,7 @@ mod tests {
             product: ProductId(0),
             delta: Volume(-1),
             commit_span: 0,
+            retained: true,
             committed_at: avdb_types::VirtualTime::ZERO,
         }
     }
@@ -638,6 +641,7 @@ mod tests {
             product: ProductId(product),
             delta: Volume(delta),
             commit_span: seq,
+            retained: true,
             committed_at: avdb_types::VirtualTime(seq),
         }
     }

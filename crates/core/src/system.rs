@@ -66,7 +66,20 @@ pub fn export_from_accelerators(
     for (at, site, outcome) in outcomes {
         export.outcomes.push(outcome_line(*at, *site, outcome));
     }
+    attach_profile(&mut export);
     export
+}
+
+/// Computes the run's critical-path phase profile over the merged spans
+/// and publishes it twice: as the export's `profile` line and as a
+/// `"profile"`-scoped registry snapshot (so `/metrics`-style consumers
+/// see the same histograms).
+fn attach_profile(export: &mut RunExport) {
+    let profile = avdb_telemetry::profile_export(export);
+    if !profile.is_empty() {
+        export.add_registry("profile", profile.to_registry_snapshot());
+    }
+    export.profile = Some(profile);
 }
 
 /// The proposed system: all sites, the network, and the virtual clock.
@@ -380,6 +393,7 @@ impl DistributedSystem {
         for (at, site, outcome) in outcomes {
             export.outcomes.push(outcome_line(*at, *site, outcome));
         }
+        attach_profile(&mut export);
         export
     }
 }

@@ -1,0 +1,599 @@
+//! Causal critical-path extraction and the deterministic [`PhaseProfile`].
+//!
+//! For each committed update, the span tree (one trace) contains every
+//! phase the update touched — checking, AV negotiation, 2PC rounds,
+//! commit/replication — across all sites. The **critical path** is the
+//! chain from the root span to the leaf that determined the commit time:
+//! at every node we descend into the child whose `end` is latest (ties:
+//! larger `start`, then smaller span id), because that child is what the
+//! parent was still waiting on when it closed.
+//!
+//! Each path node is charged its **self time**: its own duration minus
+//! the chosen child's (clamped into `[0, duration]`). The charges
+//! telescope — summed along the path they equal the root span's duration
+//! exactly, i.e. the update's measured commit latency. That additivity is
+//! what makes the profile trustworthy for attribution: a phase's
+//! self-time is the latency the commit would have saved had the phase
+//! been instantaneous.
+//!
+//! [`PhaseProfile`] folds the paths of every committed update into
+//! per-phase / per-site / per-link self-time histograms plus top-k
+//! exemplar traces per phase. Everything is integer arithmetic over
+//! deterministic span data, so a seeded run's profile is byte-identical
+//! across machines.
+
+use crate::context::is_aux_trace;
+use crate::export::{RunExport, SpanLine};
+use crate::registry::{Histogram, HistogramSnapshot, RegistrySnapshot};
+use crate::span::SpanRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Exemplar traces retained per phase.
+pub const PROFILE_EXEMPLARS: usize = 3;
+
+/// Borrowed, transport-agnostic view of one span (adapts both the
+/// in-memory [`SpanRecord`] and the exported [`SpanLine`]).
+#[derive(Clone, Copy, Debug)]
+pub struct SpanView<'a> {
+    /// Trace id.
+    pub trace: u64,
+    /// Span id.
+    pub span: u64,
+    /// Parent span id (`0` = root).
+    pub parent: u64,
+    /// Recording site (raw id).
+    pub site: u32,
+    /// Phase name.
+    pub name: &'a str,
+    /// Start tick.
+    pub start: u64,
+    /// End tick (`None` = never closed).
+    pub end: Option<u64>,
+}
+
+impl<'a> From<&'a SpanRecord> for SpanView<'a> {
+    fn from(r: &'a SpanRecord) -> Self {
+        SpanView {
+            trace: r.trace,
+            span: r.span,
+            parent: r.parent,
+            site: r.site.0,
+            name: r.name,
+            start: r.start.ticks(),
+            end: r.end.map(|e| e.ticks()),
+        }
+    }
+}
+
+impl<'a> From<&'a SpanLine> for SpanView<'a> {
+    fn from(s: &'a SpanLine) -> Self {
+        SpanView {
+            trace: s.trace,
+            span: s.span,
+            parent: s.parent,
+            site: s.site,
+            name: &s.name,
+            start: s.start,
+            end: s.end,
+        }
+    }
+}
+
+/// One hop on a critical path.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathNode {
+    /// Span id.
+    pub span: u64,
+    /// Recording site (raw id).
+    pub site: u32,
+    /// Phase name.
+    pub name: String,
+    /// Start tick.
+    pub start: u64,
+    /// End tick.
+    pub end: u64,
+    /// Latency charged to this node (duration − descendant duration).
+    pub self_ticks: u64,
+    /// Wait from the previous (parent) node's start to this node's start
+    /// when the hop crossed sites; 0 for same-site hops and the root.
+    pub link_wait_ticks: u64,
+}
+
+/// The critical path of one committed update.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    /// Trace id (== the update's raw `TxnId`).
+    pub trace: u64,
+    /// Root span duration == commit latency in ticks.
+    pub total_ticks: u64,
+    /// Root-to-leaf chain.
+    pub nodes: Vec<PathNode>,
+}
+
+impl CriticalPath {
+    /// Sum of self times along the path (equal to `total_ticks` by
+    /// construction — asserted in tests, relied on by the profile).
+    pub fn self_sum(&self) -> u64 {
+        self.nodes.iter().map(|n| n.self_ticks).sum()
+    }
+}
+
+/// Extracts the critical path from one trace's spans. Returns `None`
+/// when the trace has no closed root span. Open children (cut short by a
+/// fault) never extend the path — their latency stays charged to the
+/// parent that was waiting on them.
+pub fn critical_path<'a, I>(spans: I) -> Option<CriticalPath>
+where
+    I: IntoIterator<Item = SpanView<'a>>,
+{
+    let spans: Vec<SpanView<'a>> = spans.into_iter().collect();
+    let root = spans
+        .iter()
+        .filter(|s| s.parent == 0 && s.end.is_some())
+        .min_by_key(|s| s.span)?;
+    let mut children: BTreeMap<u64, Vec<&SpanView<'a>>> = BTreeMap::new();
+    for s in &spans {
+        if s.parent != 0 && s.end.is_some() {
+            children.entry(s.parent).or_default().push(s);
+        }
+    }
+
+    let mut nodes = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut cur = root;
+    loop {
+        if !seen.insert(cur.span) {
+            break; // defensive: a malformed cycle must not hang the walk
+        }
+        let end = cur.end.expect("path nodes are closed");
+        let dur = end.saturating_sub(cur.start);
+        let next = children.get(&cur.span).and_then(|kids| {
+            kids.iter()
+                .copied()
+                .max_by(|a, b| {
+                    (a.end, a.start, std::cmp::Reverse(a.span))
+                        .cmp(&(b.end, b.start, std::cmp::Reverse(b.span)))
+                })
+        });
+        let child_dur = next
+            .map(|c| c.end.expect("closed").saturating_sub(c.start).min(dur))
+            .unwrap_or(0);
+        let prev_site = nodes.last().map(|n: &PathNode| n.site);
+        let prev_start = nodes.last().map(|n: &PathNode| n.start).unwrap_or(cur.start);
+        nodes.push(PathNode {
+            span: cur.span,
+            site: cur.site,
+            name: cur.name.to_string(),
+            start: cur.start,
+            end,
+            self_ticks: dur - child_dur,
+            link_wait_ticks: match prev_site {
+                Some(p) if p != cur.site => cur.start.saturating_sub(prev_start),
+                _ => 0,
+            },
+        });
+        match next {
+            Some(c) => cur = c,
+            None => break,
+        }
+    }
+    Some(CriticalPath {
+        trace: root.trace,
+        total_ticks: root.end.unwrap().saturating_sub(root.start),
+        nodes,
+    })
+}
+
+/// One exemplar trace for a phase: the self time it spent there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Trace id.
+    pub trace: u64,
+    /// Self ticks the trace's path charged to the phase.
+    pub self_ticks: u64,
+}
+
+/// Deterministic fold of every committed update's critical path.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Committed traces folded in.
+    pub traces: u64,
+    /// Σ root-span durations (total commit latency).
+    pub total_commit_ticks: u64,
+    /// Σ path self times — equals `total_commit_ticks` by construction.
+    pub total_self_ticks: u64,
+    /// Self-time histogram per phase name.
+    pub phase_self: BTreeMap<String, HistogramSnapshot>,
+    /// Self-time histogram per site (`"s<N>"`).
+    pub site_self: BTreeMap<String, HistogramSnapshot>,
+    /// Cross-site hop wait histogram per link (`"s<from>-s<to>"`).
+    pub link_wait: BTreeMap<String, HistogramSnapshot>,
+    /// Top-[`PROFILE_EXEMPLARS`] traces per phase by self time
+    /// (descending, trace id ascending on ties).
+    pub exemplars: BTreeMap<String, Vec<Exemplar>>,
+}
+
+impl PhaseProfile {
+    /// `true` when no path was folded in.
+    pub fn is_empty(&self) -> bool {
+        self.traces == 0
+    }
+
+    /// Mean self ticks a committed update spent in `phase`.
+    pub fn phase_mean(&self, phase: &str) -> f64 {
+        self.phase_self.get(phase).map(|h| h.mean()).unwrap_or(0.0)
+    }
+
+    /// Per-phase mean self-time, scaled by 1000 (integer-deterministic),
+    /// keyed by phase — the shape `avdb-bench compare` attributes with.
+    pub fn phase_self_milli(&self) -> BTreeMap<String, u64> {
+        self.phase_self
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(k, h)| (k.clone(), h.sum.saturating_mul(1000) / h.count))
+            .collect()
+    }
+
+    /// Flattens the profile into a registry snapshot (scope `"profile"`
+    /// in exports, merged into `/metrics`). Exemplar trace ids surface as
+    /// `profile.exemplar.<phase>.<rank>` counters.
+    pub fn to_registry_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        snap.counters.insert("profile.traces".into(), self.traces);
+        snap.counters.insert("profile.commit.ticks".into(), self.total_commit_ticks);
+        snap.counters.insert("profile.self.ticks".into(), self.total_self_ticks);
+        for (name, h) in &self.phase_self {
+            snap.histograms.insert(format!("profile.phase.{name}.self"), h.clone());
+        }
+        for (site, h) in &self.site_self {
+            snap.histograms.insert(format!("profile.site.{site}.self"), h.clone());
+        }
+        for (link, h) in &self.link_wait {
+            snap.histograms.insert(format!("profile.link.{link}.wait"), h.clone());
+        }
+        for (phase, exs) in &self.exemplars {
+            for (rank, ex) in exs.iter().enumerate() {
+                snap.counters.insert(
+                    format!("profile.exemplar.{phase}.{rank}"),
+                    ex.trace,
+                );
+            }
+        }
+        snap
+    }
+
+    /// Plain-text summary, phases in canonical order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "phase profile: {} committed paths, {} self ticks / {} commit ticks",
+            self.traces, self.total_self_ticks, self.total_commit_ticks
+        );
+        let mut names: Vec<&String> = self.phase_self.keys().collect();
+        names.sort_by_key(|n| crate::analyze::phase_sort_key(n));
+        for name in names {
+            let h = &self.phase_self[name];
+            let exs = self
+                .exemplars
+                .get(name)
+                .map(|v| {
+                    v.iter()
+                        .map(|e| format!("{:#x}", e.trace))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  {name:<12} n={:<6} self Σ={:<8} mean={:<8.1} p99={:<6} max={:<6} exemplars=[{exs}]",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.percentile(0.99),
+                h.max,
+            );
+        }
+        for (link, h) in &self.link_wait {
+            let _ = writeln!(
+                out,
+                "  link {link:<8} n={:<6} wait mean={:<8.1} p99={}",
+                h.count,
+                h.mean(),
+                h.percentile(0.99)
+            );
+        }
+        out
+    }
+}
+
+/// Incremental [`PhaseProfile`] builder.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileBuilder {
+    traces: u64,
+    total_commit: u64,
+    total_self: u64,
+    phase: BTreeMap<String, Histogram>,
+    site: BTreeMap<String, Histogram>,
+    link: BTreeMap<String, Histogram>,
+    exemplars: BTreeMap<String, Vec<Exemplar>>,
+}
+
+impl ProfileBuilder {
+    /// Folds one committed update's path into the profile.
+    pub fn add_path(&mut self, path: &CriticalPath) {
+        self.traces += 1;
+        self.total_commit += path.total_ticks;
+        let mut per_phase: BTreeMap<&str, u64> = BTreeMap::new();
+        for (i, node) in path.nodes.iter().enumerate() {
+            self.total_self += node.self_ticks;
+            *per_phase.entry(node.name.as_str()).or_default() += node.self_ticks;
+            self.phase.entry(node.name.clone()).or_default().observe(node.self_ticks);
+            self.site.entry(format!("s{}", node.site)).or_default().observe(node.self_ticks);
+            if node.link_wait_ticks > 0 && i > 0 {
+                let key = format!("s{}-s{}", path.nodes[i - 1].site, node.site);
+                self.link.entry(key).or_default().observe(node.link_wait_ticks);
+            }
+        }
+        for (name, self_ticks) in per_phase {
+            let exs = self.exemplars.entry(name.to_string()).or_default();
+            exs.push(Exemplar { trace: path.trace, self_ticks });
+            exs.sort_by(|a, b| {
+                b.self_ticks.cmp(&a.self_ticks).then(a.trace.cmp(&b.trace))
+            });
+            exs.truncate(PROFILE_EXEMPLARS);
+        }
+    }
+
+    /// Finalizes into a serializable profile.
+    pub fn finish(self) -> PhaseProfile {
+        PhaseProfile {
+            traces: self.traces,
+            total_commit_ticks: self.total_commit,
+            total_self_ticks: self.total_self,
+            phase_self: self.phase.into_iter().map(|(k, h)| (k, h.snapshot())).collect(),
+            site_self: self.site.into_iter().map(|(k, h)| (k, h.snapshot())).collect(),
+            link_wait: self.link.into_iter().map(|(k, h)| (k, h.snapshot())).collect(),
+            exemplars: self.exemplars,
+        }
+    }
+}
+
+/// Builds the profile over an arbitrary span set: committed, non-aux
+/// traces only, folded in ascending trace-id order (deterministic).
+pub fn build_profile<'a, I>(spans: I, committed: &BTreeSet<u64>) -> PhaseProfile
+where
+    I: IntoIterator<Item = SpanView<'a>>,
+{
+    let mut by_trace: BTreeMap<u64, Vec<SpanView<'a>>> = BTreeMap::new();
+    for s in spans {
+        if !is_aux_trace(s.trace) && committed.contains(&s.trace) {
+            by_trace.entry(s.trace).or_default().push(s);
+        }
+    }
+    let mut builder = ProfileBuilder::default();
+    for (_, spans) in by_trace {
+        // A bare root with no other retained span is a head-sampling
+        // drop, not a measured path: its whole latency would land on the
+        // root phase and swamp the profile at low sample rates. Every
+        // fully-traced committed update records at least one child
+        // (checking/commit instants), so this skips nothing at rate 1.0.
+        if spans.len() < 2 {
+            continue;
+        }
+        if let Some(path) = critical_path(spans) {
+            builder.add_path(&path);
+        }
+    }
+    builder.finish()
+}
+
+/// Builds the profile for a whole run export.
+pub fn profile_export(export: &RunExport) -> PhaseProfile {
+    let committed: BTreeSet<u64> =
+        export.outcomes.iter().filter(|o| o.committed).map(|o| o.txn).collect();
+    build_profile(export.spans.iter().map(SpanView::from), &committed)
+}
+
+/// The critical path of one trace in an export, when it committed a
+/// closed root.
+pub fn path_for_trace(export: &RunExport, trace: u64) -> Option<CriticalPath> {
+    critical_path(
+        export.spans.iter().filter(|s| s.trace == trace).map(SpanView::from),
+    )
+}
+
+/// Renders one update's annotated critical path (for
+/// `avdb-trace critical-path`).
+pub fn render_path(path: &CriticalPath) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path of trace {:#x}: {} ticks over {} hops",
+        path.trace,
+        path.total_ticks,
+        path.nodes.len()
+    );
+    for (i, n) in path.nodes.iter().enumerate() {
+        let pct = (n.self_ticks * 100)
+            .checked_div(path.total_ticks)
+            .unwrap_or(0);
+        let hop = if n.link_wait_ticks > 0 {
+            format!("  (hop wait {})", n.link_wait_ticks)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:indent$}[t={}..{}] site{} {:<12} self={} ({pct}%){hop}",
+            "",
+            n.start,
+            n.end,
+            n.site,
+            n.name,
+            n.self_ticks,
+            indent = i * 2
+        );
+    }
+    let _ = writeln!(out, "self-time sum: {} / {} ticks", path.self_sum(), path.total_ticks);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::OutcomeLine;
+
+    fn view(
+        trace: u64,
+        span: u64,
+        parent: u64,
+        site: u32,
+        name: &'static str,
+        start: u64,
+        end: Option<u64>,
+    ) -> SpanView<'static> {
+        SpanView { trace, span, parent, site, name, start, end }
+    }
+
+    #[test]
+    fn path_follows_latest_ending_child_and_telescopes() {
+        // root 0..10; fast child 1..3; slow child 2..9 with grandchild 4..8.
+        let spans = vec![
+            view(7, 1, 0, 0, "update", 0, Some(10)),
+            view(7, 2, 1, 0, "checking", 1, Some(3)),
+            view(7, 3, 1, 0, "transfer", 2, Some(9)),
+            view(7, 4, 3, 1, "grant", 4, Some(8)),
+        ];
+        let path = critical_path(spans).unwrap();
+        let names: Vec<&str> = path.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["update", "transfer", "grant"]);
+        assert_eq!(path.total_ticks, 10);
+        assert_eq!(path.self_sum(), 10);
+        // update: 10−7=3, transfer: 7−4=3, grant: 4.
+        let selfs: Vec<u64> = path.nodes.iter().map(|n| n.self_ticks).collect();
+        assert_eq!(selfs, vec![3, 3, 4]);
+        // The grant hop crossed s0 → s1, wait = 4 − 2.
+        assert_eq!(path.nodes[2].link_wait_ticks, 2);
+        assert_eq!(path.nodes[1].link_wait_ticks, 0);
+    }
+
+    #[test]
+    fn open_children_never_extend_the_path() {
+        let spans = vec![
+            view(7, 1, 0, 0, "update", 0, Some(10)),
+            view(7, 2, 1, 0, "transfer", 1, None), // cut short by a fault
+        ];
+        let path = critical_path(spans).unwrap();
+        assert_eq!(path.nodes.len(), 1);
+        assert_eq!(path.nodes[0].self_ticks, 10);
+    }
+
+    #[test]
+    fn no_closed_root_means_no_path() {
+        assert!(critical_path(vec![view(7, 1, 0, 0, "update", 0, None)]).is_none());
+        assert!(critical_path(Vec::new()).is_none());
+    }
+
+    #[test]
+    fn tie_break_prefers_later_start_then_smaller_id() {
+        let spans = vec![
+            view(7, 1, 0, 0, "update", 0, Some(10)),
+            view(7, 2, 1, 0, "a", 1, Some(9)),
+            view(7, 3, 1, 0, "b", 4, Some(9)),
+            view(7, 4, 1, 0, "c", 4, Some(9)),
+        ];
+        let path = critical_path(spans).unwrap();
+        // Same end: b/c start later than a; b has the smaller id.
+        assert_eq!(path.nodes[1].name, "b");
+    }
+
+    #[test]
+    fn profile_is_deterministic_and_additive() {
+        let spans = [
+            view(7, 1, 0, 0, "update", 0, Some(10)),
+            view(7, 3, 1, 0, "transfer", 2, Some(9)),
+            view(8, 5, 0, 1, "update", 1, Some(5)),
+            view(8, 6, 5, 1, "commit", 3, Some(5)),
+            // aborted trace 9 and aux spans are excluded
+            view(9, 7, 0, 0, "update", 0, Some(2)),
+            view(crate::AUX_TRACE_FLAG | 1, 8, 0, 0, "replicate", 0, Some(4)),
+        ];
+        let committed: BTreeSet<u64> = [7, 8].into_iter().collect();
+        let p1 = build_profile(spans.iter().copied(), &committed);
+        let p2 = build_profile(spans.iter().copied(), &committed);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.traces, 2);
+        assert_eq!(p1.total_commit_ticks, 14);
+        assert_eq!(p1.total_self_ticks, p1.total_commit_ticks);
+        assert_eq!(p1.phase_self["update"].count, 2);
+        assert_eq!(p1.phase_self["transfer"].sum, 7);
+        // Phase self-times: trace 7 spends 3 ticks in "update", trace 8
+        // spends 2 — so 7 leads the exemplar list.
+        assert_eq!(p1.exemplars["update"][0].trace, 7);
+    }
+
+    #[test]
+    fn exemplars_keep_top_k_by_self_time() {
+        let mut b = ProfileBuilder::default();
+        for (trace, dur) in [(1u64, 5u64), (2, 9), (3, 7), (4, 9)] {
+            b.add_path(&CriticalPath {
+                trace,
+                total_ticks: dur,
+                nodes: vec![PathNode {
+                    span: trace,
+                    site: 0,
+                    name: "update".into(),
+                    start: 0,
+                    end: dur,
+                    self_ticks: dur,
+                    link_wait_ticks: 0,
+                }],
+            });
+        }
+        let p = b.finish();
+        let traces: Vec<u64> = p.exemplars["update"].iter().map(|e| e.trace).collect();
+        // 9-tick ties break on ascending trace id; 5 is pushed out.
+        assert_eq!(traces, vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn profile_export_uses_committed_outcomes() {
+        let mut export = RunExport::default();
+        for v in [
+            view(7, 1, 0, 0, "update", 0, Some(10)),
+            view(7, 2, 1, 1, "commit", 4, Some(10)),
+        ] {
+            export.spans.push(SpanLine {
+                trace: v.trace,
+                span: v.span,
+                parent: v.parent,
+                site: v.site,
+                name: v.name.to_string(),
+                detail: String::new(),
+                start: v.start,
+                end: v.end,
+                clock: 0,
+            });
+        }
+        export.outcomes.push(OutcomeLine {
+            txn: 7,
+            site: 0,
+            committed: true,
+            detail: String::new(),
+            at: 10,
+            correspondences: 0,
+        });
+        let p = profile_export(&export);
+        assert_eq!(p.traces, 1);
+        assert_eq!(p.site_self["s1"].sum, 6);
+        assert_eq!(p.link_wait["s0-s1"].count, 1);
+        let snap = p.to_registry_snapshot();
+        assert_eq!(snap.counter("profile.traces"), 1);
+        assert!(snap.histograms.contains_key("profile.phase.update.self"));
+        let path = path_for_trace(&export, 7).unwrap();
+        assert!(render_path(&path).contains("critical path"));
+    }
+}

@@ -5,6 +5,7 @@
 //! [`crate::MessageEvent`]) so an export file round-trips through the
 //! vendored serde without borrowing `&'static str` labels.
 
+use crate::critical_path::PhaseProfile;
 use crate::message_log::MessageEvent;
 use crate::registry::RegistrySnapshot;
 use crate::span::SpanRecord;
@@ -133,6 +134,8 @@ pub enum ExportLine {
     Outcome(OutcomeLine),
     /// One registry snapshot.
     Registry(RegistryLine),
+    /// The run's critical-path phase profile.
+    Profile(PhaseProfile),
 }
 
 /// A parsed (or assembled) run export.
@@ -148,6 +151,8 @@ pub struct RunExport {
     pub outcomes: Vec<OutcomeLine>,
     /// All registry snapshots.
     pub registries: Vec<RegistryLine>,
+    /// The run's critical-path phase profile, when one was computed.
+    pub profile: Option<PhaseProfile>,
 }
 
 impl RunExport {
@@ -194,6 +199,9 @@ impl RunExport {
         for r in &self.registries {
             push(&ExportLine::Registry(r.clone()));
         }
+        if let Some(p) = &self.profile {
+            push(&ExportLine::Profile(p.clone()));
+        }
         out
     }
 
@@ -213,6 +221,7 @@ impl RunExport {
                 ExportLine::Message(m) => export.messages.push(m),
                 ExportLine::Outcome(o) => export.outcomes.push(o),
                 ExportLine::Registry(r) => export.registries.push(r),
+                ExportLine::Profile(p) => export.profile = Some(p),
             }
         }
         Ok(export)
@@ -254,6 +263,7 @@ mod tests {
         let mut reg = crate::Registry::new();
         reg.inc("msg.sent.av-request");
         export.add_registry("site1", reg.snapshot());
+        export.profile = Some(crate::critical_path::profile_export(&export));
         export
     }
 
@@ -261,7 +271,7 @@ mod tests {
     fn jsonl_roundtrips() {
         let export = sample();
         let text = export.to_jsonl();
-        assert_eq!(text.lines().count(), 6);
+        assert_eq!(text.lines().count(), 7);
         let back = RunExport::parse(&text).unwrap();
         assert_eq!(back.meta, export.meta);
         assert_eq!(back.spans, export.spans);
@@ -269,6 +279,8 @@ mod tests {
         assert_eq!(back.outcomes, export.outcomes);
         assert_eq!(back.registries, export.registries);
         assert_eq!(back.registry("site1").unwrap().counter("msg.sent.av-request"), 1);
+        assert_eq!(back.profile, export.profile);
+        assert_eq!(back.profile.as_ref().unwrap().traces, 1);
     }
 
     #[test]

@@ -200,6 +200,64 @@ mod tests {
     }
 
     #[test]
+    fn multiple_wraps_retain_only_the_newest_window() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..10u64 {
+            r.record(i, i, "tick", format!("event {i}"));
+        }
+        // Three full wraps: only the newest `cap` events survive, oldest
+        // first, with their original (never-renumbered) sequence numbers.
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 10);
+        let seqs: Vec<u64> = r.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        let details: Vec<&str> = r.events().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["event 7", "event 8", "event 9"]);
+    }
+
+    #[test]
+    fn mid_wrap_dump_is_byte_identical_across_identical_runs() {
+        let run = || {
+            let mut r = FlightRecorder::new(4);
+            // 7 records into a 4-slot ring: the ring is mid-wrap (3 events
+            // evicted, eviction pointer not at slot 0).
+            for i in 0..7u64 {
+                r.record(i * 3, i, "proto.step", format!("n{i}"));
+            }
+            let mut dump = FlightDump::new("mid-wrap", 21);
+            dump.push_site(0, &r);
+            dump
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_json(), b.to_json(), "mid-wrap dumps diverge between identical runs");
+        // The dump sees through the wrap: events come out oldest-first
+        // with contiguous seqs, and the first seq tells how many were lost.
+        let seqs: Vec<u64> = a.sites[0].events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5, 6]);
+        assert!(a.render().contains("3 evicted"));
+    }
+
+    #[test]
+    fn dump_ordering_is_stable_under_wrap() {
+        // Two sites wrap different amounts; the merged timeline must stay
+        // sorted by (time, site, seq) regardless of ring state.
+        let mut a = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            a.record(10 + i, i, "a.step", format!("a{i}"));
+        }
+        let mut b = FlightRecorder::new(8);
+        b.record(11, 0, "b.step", "b0".into());
+        let mut dump = FlightDump::new("wrap order", 99);
+        dump.push_site(0, &a);
+        dump.push_site(1, &b);
+        let text = dump.render();
+        let pos = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("{needle} missing"));
+        assert!(pos("b0") < pos("a3"), "t=11 event must precede t=13:\n{text}");
+        assert!(pos("a3") < pos("a4"), "same-site events must stay seq-ordered:\n{text}");
+    }
+
+    #[test]
     fn dump_round_trips_and_renders() {
         let mut r = FlightRecorder::new(8);
         r.record(10, 1, "delay.commit", "txn 3 product 0 delta -2".into());

@@ -25,15 +25,24 @@
 //! produces bit-identical telemetry.
 
 pub mod analyze;
+pub mod chrome;
 pub mod context;
+pub mod critical_path;
 pub mod export;
 pub mod flight;
 pub mod message_log;
 pub mod prometheus;
 pub mod registry;
+pub mod sampling;
+pub mod slo;
 pub mod span;
 
+pub use chrome::chrome_trace;
 pub use context::{aux_trace_id, is_aux_trace, TraceContext, AUX_TRACE_FLAG};
+pub use critical_path::{
+    build_profile, critical_path, path_for_trace, profile_export, render_path, CriticalPath,
+    Exemplar, PathNode, PhaseProfile, ProfileBuilder, SpanView, PROFILE_EXEMPLARS,
+};
 pub use export::{
     ExportLine, MessageLine, MetaLine, OutcomeLine, RegistryLine, RunExport, SpanLine,
 };
@@ -41,4 +50,9 @@ pub use flight::{FlightDump, FlightEvent, FlightRecorder, SiteFlight, DEFAULT_FL
 pub use message_log::{render_sequence, MessageEvent, MessageLog};
 pub use prometheus::{metric_families, metric_name, render_prometheus, validate_exposition};
 pub use registry::{Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
-pub use span::{SpanCollector, SpanRecord};
+pub use sampling::TraceSampler;
+pub use slo::{
+    evaluate as evaluate_slo, LaneReport, LaneSlo, SloHealth, SloReport, SloSpec, LANE_DELAY,
+    LANE_IMM,
+};
+pub use span::{SpanCollector, SpanRecord, DEFAULT_SPAN_RING_CAPACITY};

@@ -113,33 +113,85 @@ fn valid_name(s: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
+/// One sample line: `name[{labels}] value [timestamp]`. The label block
+/// is scanned honouring quoted values and backslash escapes — splitting
+/// on the last space (the old implementation) mis-parses any label value
+/// that legally contains a space.
+fn parse_sample_line(line: &str) -> Result<(), String> {
+    let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+    let name = &line[..name_end];
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?} in line {line:?}"));
+    }
+    let mut rest = &line[name_end..];
+    if let Some(stripped) = rest.strip_prefix('{') {
+        let bytes = stripped.as_bytes();
+        let mut in_quotes = false;
+        let mut escaped = false;
+        let mut closed = None;
+        for (i, &b) in bytes.iter().enumerate() {
+            if in_quotes {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_quotes = false;
+                }
+            } else if b == b'"' {
+                in_quotes = true;
+            } else if b == b'}' {
+                closed = Some(i);
+                break;
+            }
+        }
+        let Some(end) = closed else {
+            return Err(format!("unterminated label block: {line:?}"));
+        };
+        rest = &stripped[end + 1..];
+    }
+    let mut tokens = rest.split_whitespace();
+    let Some(value) = tokens.next() else {
+        return Err(format!("no value separator: {line:?}"));
+    };
+    if value.parse::<f64>().is_err() {
+        return Err(format!("non-numeric value {value:?} in line {line:?}"));
+    }
+    if let Some(ts) = tokens.next() {
+        if ts.parse::<i64>().is_err() {
+            return Err(format!("non-integer timestamp {ts:?} in line {line:?}"));
+        }
+    }
+    if tokens.next().is_some() {
+        return Err(format!("trailing tokens in line {line:?}"));
+    }
+    Ok(())
+}
+
 /// Validates that `text` parses as Prometheus text exposition: every
-/// non-comment line is `name[{labels}] value` with a well-formed metric
-/// name and a numeric value. Returns the first offending line on failure.
+/// non-comment line is `name[{labels}] value [timestamp]` with a
+/// well-formed metric name, quoted-and-escaped label values, and a
+/// numeric value — and no metric family is declared twice (a duplicate
+/// `# TYPE` makes real scrapers reject the whole page). Returns the
+/// first offending line on failure.
 pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut families = BTreeSet::new();
     for line in text.lines() {
         let line = line.trim_end();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
             continue;
         }
-        let (series, value) = line
-            .rsplit_once(' ')
-            .ok_or_else(|| format!("no value separator: {line:?}"))?;
-        if value.parse::<f64>().is_err() {
-            return Err(format!("non-numeric value {value:?} in line {line:?}"));
-        }
-        let name = match series.split_once('{') {
-            Some((n, rest)) => {
-                if !rest.ends_with('}') {
-                    return Err(format!("unterminated label block: {line:?}"));
-                }
-                n
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split_whitespace().next().unwrap_or("");
+            if !families.insert(family.to_string()) {
+                return Err(format!("duplicate metric family {family:?}"));
             }
-            None => series,
-        };
-        if !valid_name(name) {
-            return Err(format!("invalid metric name {name:?} in line {line:?}"));
+            continue;
         }
+        if line.starts_with('#') {
+            continue;
+        }
+        parse_sample_line(line)?;
     }
     Ok(())
 }
@@ -204,6 +256,42 @@ mod tests {
         assert!(validate_exposition("9bad_name 1").is_err());
         assert!(validate_exposition("name{unclosed 1").is_err());
         assert!(validate_exposition("ok_name 1\n").is_ok());
+        assert!(validate_exposition("ok_name 1 notatimestamp").is_err());
+        assert!(validate_exposition("ok_name 1 123").is_ok());
+    }
+
+    #[test]
+    fn validator_accepts_label_values_with_spaces_and_escapes() {
+        // A space inside a quoted label value is legal exposition; the
+        // old rsplit-on-space parser split inside the quotes.
+        validate_exposition("m{site=\"a b\"} 1").unwrap();
+        validate_exposition("m{k=\"say \\\"hi\\\" now\"} 2").unwrap();
+        validate_exposition("m{k=\"back\\\\slash\",l=\"x\"} 3").unwrap();
+        // A quoted `}` must not terminate the block early.
+        validate_exposition("m{k=\"a}b\"} 4").unwrap();
+        assert!(validate_exposition("m{k=\"unterminated} 1").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_families() {
+        let dup = "# TYPE avdb_x counter\navdb_x 1\n# TYPE avdb_x counter\navdb_x 2\n";
+        let err = validate_exposition(dup).unwrap_err();
+        assert!(err.contains("duplicate metric family"), "{err}");
+        let ok = "# TYPE avdb_x counter\navdb_x 1\n# TYPE avdb_y counter\navdb_y 2\n";
+        validate_exposition(ok).unwrap();
+    }
+
+    #[test]
+    fn escaped_label_values_render_and_validate() {
+        let snap = sample();
+        let text = render_prometheus(
+            &snap,
+            &[("host", "rack \"a\" \\ b\nline2".to_string()), ("site", "0".to_string())],
+        );
+        // Escaping per the exposition spec: \\ for backslash, \" for
+        // quote, \n for newline — and the result must still validate.
+        assert!(text.contains(r#"host="rack \"a\" \\ b\nline2""#), "{text}");
+        validate_exposition(&text).unwrap();
     }
 
     #[test]

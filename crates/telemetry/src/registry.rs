@@ -71,9 +71,9 @@ impl Histogram {
         }
     }
 
-    /// Upper bound of the bucket containing the `p`-quantile (`0 < p ≤ 1`).
-    /// An estimate by construction: log-scale buckets trade precision for
-    /// constant space.
+    /// The `p`-quantile (`0 < p ≤ 1`), linearly interpolated within the
+    /// containing log₂ bucket. An estimate by construction: log-scale
+    /// buckets trade precision for constant space.
     pub fn percentile(&self, p: f64) -> u64 {
         self.snapshot().percentile(p)
     }
@@ -127,7 +127,11 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound of the bucket containing the `p`-quantile.
+    /// The `p`-quantile, linearly interpolated within the containing
+    /// bucket by rank position. Returning the raw bucket upper bound
+    /// would quantize every readout to `2^i − 1`; interpolation keeps the
+    /// estimate monotone in `p` without extra space. Pure integer
+    /// arithmetic (deterministic), clamped to the observed max.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -135,10 +139,14 @@ impl HistogramSnapshot {
         let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0;
         for (i, n) in &self.buckets {
-            seen += n;
-            if seen >= target {
-                return Self::bucket_upper(*i).min(self.max);
+            if seen + n >= target {
+                let pos = target - seen; // 1..=n, rank within the bucket
+                let lower = Self::bucket_lower(*i);
+                let width = Self::bucket_upper(*i) - lower;
+                let v = lower + ((width as u128 * pos as u128) / *n as u128) as u64;
+                return v.min(self.max);
             }
+            seen += n;
         }
         self.max
     }
@@ -362,7 +370,7 @@ mod tests {
     }
 
     #[test]
-    fn percentile_is_a_bucket_upper_bound() {
+    fn percentile_interpolates_within_the_bucket() {
         let mut h = Histogram::new();
         for _ in 0..99 {
             h.observe(1);
@@ -373,6 +381,21 @@ mod tests {
         // The tail observation lands in [512, 1023]; capped at max.
         assert_eq!(h.percentile(1.0), 1000);
         assert_eq!(Histogram::new().percentile(0.5), 0);
+
+        // 50 fast + 50 slow: p75 is rank 25 of 50 inside [512, 1023] —
+        // interpolated to 512 + 511·25/50 = 767, not snapped to 1023.
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.observe(1);
+        }
+        for _ in 0..50 {
+            h.observe(1000);
+        }
+        assert_eq!(h.percentile(0.75), 767);
+        assert_eq!(h.percentile(0.50), 1);
+        // Monotone in p, never above the observed max.
+        assert!(h.percentile(0.9) >= h.percentile(0.75));
+        assert_eq!(h.percentile(1.0), 1000);
     }
 
     #[test]

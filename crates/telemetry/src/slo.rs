@@ -1,0 +1,351 @@
+//! Per-lane SLO engine: declarative targets, error-budget accounting,
+//! and a red/amber/green evaluation over a registry snapshot.
+//!
+//! The paper's two consistency lanes — **Immediate** updates (2PC,
+//! strongly consistent) and **Delay** updates (escrow AV negotiation,
+//! autonomous) — have different latency and freshness contracts, so each
+//! lane carries its own [`LaneSlo`]: a commit-latency target in virtual
+//! ticks, a replication-staleness ceiling (fed by the PR 4 staleness
+//! gauges), a shortage-rate ceiling in per-mille, and an error budget.
+//!
+//! The accelerator feeds `slo.<lane>.total` / `slo.<lane>.breach.latency`
+//! counters and a `slo.<lane>.latency.ticks` histogram at outcome time;
+//! [`evaluate`] turns a (possibly cluster-merged) snapshot into a
+//! [`SloReport`]: per-lane health plus the numbers behind it. Health is
+//! the worst of the lane's gates — RED once the burn rate exceeds the
+//! budget (or a ceiling is pierced), AMBER from 75% of budget, GREEN
+//! otherwise. All arithmetic is integer per-mille, so a seeded run's
+//! report is deterministic.
+
+use crate::registry::RegistrySnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Immediate-lane name used in registry keys (`slo.imm.*`).
+pub const LANE_IMM: &str = "imm";
+/// Delay-lane name used in registry keys (`slo.delay.*`).
+pub const LANE_DELAY: &str = "delay";
+
+/// Declarative targets for one lane. A zero target disables that gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneSlo {
+    /// Commit-latency target in ticks: a committed update slower than
+    /// this burns error budget.
+    pub commit_p99_ticks: u64,
+    /// Ceiling on the lane's replication staleness gauge (ticks).
+    pub staleness_ceiling_ticks: u64,
+    /// Ceiling on the shortage rate (shortage-path updates ‰ of lane
+    /// outcomes). Only meaningful for the Delay lane.
+    pub shortage_rate_permille: u64,
+    /// Error budget: the fraction of outcomes (‰) allowed to breach the
+    /// latency target before the lane goes RED.
+    pub error_budget_permille: u64,
+}
+
+/// Per-lane targets for the whole system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Targets for Immediate (2PC) updates.
+    pub immediate: LaneSlo,
+    /// Targets for Delay (escrow) updates.
+    pub delay: LaneSlo,
+}
+
+impl Default for SloSpec {
+    /// Generous defaults calibrated to the seeded sim workloads: healthy
+    /// runs are GREEN, deliberately slowed ones trip AMBER/RED.
+    fn default() -> Self {
+        SloSpec {
+            immediate: LaneSlo {
+                commit_p99_ticks: 128,
+                staleness_ceiling_ticks: 0,
+                shortage_rate_permille: 0,
+                error_budget_permille: 50,
+            },
+            delay: LaneSlo {
+                commit_p99_ticks: 128,
+                staleness_ceiling_ticks: 50_000,
+                shortage_rate_permille: 600,
+                error_budget_permille: 50,
+            },
+        }
+    }
+}
+
+impl SloSpec {
+    /// The lane's targets by registry lane name.
+    pub fn lane(&self, name: &str) -> &LaneSlo {
+        if name == LANE_IMM {
+            &self.immediate
+        } else {
+            &self.delay
+        }
+    }
+}
+
+/// Traffic-light health of a lane (or the whole system).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SloHealth {
+    /// Inside budget.
+    Green,
+    /// ≥ 75% of the error budget burned, or within 75% of a ceiling.
+    Amber,
+    /// Budget exhausted or a ceiling pierced.
+    Red,
+}
+
+impl SloHealth {
+    /// Uppercase label for panels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloHealth::Green => "GREEN",
+            SloHealth::Amber => "AMBER",
+            SloHealth::Red => "RED",
+        }
+    }
+}
+
+/// One lane's evaluated state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneReport {
+    /// Lane name (`"imm"` / `"delay"`).
+    pub lane: String,
+    /// Worst gate verdict.
+    pub health: SloHealth,
+    /// Outcomes seen on the lane.
+    pub total: u64,
+    /// Outcomes that breached the latency target.
+    pub breaches: u64,
+    /// Breach rate in ‰ of outcomes.
+    pub burn_permille: u64,
+    /// The lane's error budget in ‰.
+    pub budget_permille: u64,
+    /// Measured commit-latency p99 (ticks).
+    pub latency_p99_ticks: u64,
+    /// The latency target (ticks, 0 = disabled).
+    pub latency_target_ticks: u64,
+    /// Current worst staleness gauge (ticks).
+    pub staleness_ticks: u64,
+    /// The staleness ceiling (ticks, 0 = disabled).
+    pub staleness_ceiling_ticks: u64,
+    /// Shortage-path updates ‰ of lane outcomes.
+    pub shortage_permille: u64,
+    /// The shortage ceiling (‰, 0 = disabled).
+    pub shortage_target_permille: u64,
+    /// One human-readable line per tripped gate.
+    pub details: Vec<String>,
+}
+
+/// The full SLO evaluation of one snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Per-lane verdicts, Immediate first.
+    pub lanes: Vec<LaneReport>,
+    /// Worst lane health.
+    pub overall: SloHealth,
+}
+
+/// Health of one `measured / ceiling` gate (0 ceiling = disabled).
+fn gate(measured: u64, ceiling: u64) -> SloHealth {
+    if ceiling == 0 {
+        SloHealth::Green
+    } else if measured > ceiling {
+        SloHealth::Red
+    } else if measured.saturating_mul(4) >= ceiling.saturating_mul(3) {
+        SloHealth::Amber
+    } else {
+        SloHealth::Green
+    }
+}
+
+fn evaluate_lane(lane: &str, slo: &LaneSlo, snap: &RegistrySnapshot) -> LaneReport {
+    let total = snap.counter(&format!("slo.{lane}.total"));
+    let breaches = snap.counter(&format!("slo.{lane}.breach.latency"));
+    let burn_permille = breaches.saturating_mul(1000).checked_div(total).unwrap_or(0);
+    let latency_p99_ticks = snap
+        .histograms
+        .get(&format!("slo.{lane}.latency.ticks"))
+        .map(|h| h.percentile(0.99))
+        .unwrap_or(0);
+    // Staleness gauges are per-peer (`knowledge.staleness.s<N>`); the
+    // lane answers for the worst one.
+    let staleness_ticks = snap
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("knowledge.staleness."))
+        .map(|(_, v)| (*v).max(0) as u64)
+        .max()
+        .unwrap_or(0);
+    let shortage = snap.counter(&format!("slo.{lane}.shortage"));
+    let shortage_permille = shortage.saturating_mul(1000).checked_div(total).unwrap_or(0);
+
+    let mut details = Vec::new();
+    let budget = gate(burn_permille, slo.error_budget_permille);
+    if budget != SloHealth::Green {
+        details.push(format!(
+            "latency budget: {breaches}/{total} outcomes over {} ticks \
+             ({burn_permille}‰ of {}‰ budget)",
+            slo.commit_p99_ticks, slo.error_budget_permille
+        ));
+    }
+    let staleness = if lane == LANE_DELAY {
+        let g = gate(staleness_ticks, slo.staleness_ceiling_ticks);
+        if g != SloHealth::Green {
+            details.push(format!(
+                "staleness {staleness_ticks} ticks vs ceiling {}",
+                slo.staleness_ceiling_ticks
+            ));
+        }
+        g
+    } else {
+        SloHealth::Green
+    };
+    let shortage_gate = gate(shortage_permille, slo.shortage_rate_permille);
+    if shortage_gate != SloHealth::Green {
+        details.push(format!(
+            "shortage rate {shortage_permille}‰ vs ceiling {}‰",
+            slo.shortage_rate_permille
+        ));
+    }
+
+    LaneReport {
+        lane: lane.to_string(),
+        health: budget.max(staleness).max(shortage_gate),
+        total,
+        breaches,
+        burn_permille,
+        budget_permille: slo.error_budget_permille,
+        latency_p99_ticks,
+        latency_target_ticks: slo.commit_p99_ticks,
+        staleness_ticks,
+        staleness_ceiling_ticks: slo.staleness_ceiling_ticks,
+        shortage_permille,
+        shortage_target_permille: slo.shortage_rate_permille,
+        details,
+    }
+}
+
+/// Evaluates `spec` against a registry snapshot (one site's, or a
+/// cluster-wide merge).
+pub fn evaluate(spec: &SloSpec, snap: &RegistrySnapshot) -> SloReport {
+    let lanes = vec![
+        evaluate_lane(LANE_IMM, &spec.immediate, snap),
+        evaluate_lane(LANE_DELAY, &spec.delay, snap),
+    ];
+    let overall = lanes.iter().map(|l| l.health).max().unwrap_or(SloHealth::Green);
+    SloReport { lanes, overall }
+}
+
+impl SloReport {
+    /// Plain-text panel, one line per lane.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for lane in &self.lanes {
+            let _ = writeln!(
+                out,
+                "  [{:<5}] {:<5} n={:<6} p99={}t (target {}t)  burn={}‰/{}‰  \
+                 shortage={}‰  staleness={}t",
+                lane.health.label(),
+                lane.lane,
+                lane.total,
+                lane.latency_p99_ticks,
+                lane.latency_target_ticks,
+                lane.burn_permille,
+                lane.budget_permille,
+                lane.shortage_permille,
+                lane.staleness_ticks,
+            );
+            for d in &lane.details {
+                let _ = writeln!(out, "          {d}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn feed(reg: &mut Registry, lane: &str, latencies: &[u64], target: u64) {
+        for &l in latencies {
+            reg.inc(&format!("slo.{lane}.total"));
+            reg.observe(&format!("slo.{lane}.latency.ticks"), l);
+            if l > target {
+                reg.inc(&format!("slo.{lane}.breach.latency"));
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_lanes_are_green() {
+        let mut reg = Registry::new();
+        feed(&mut reg, "imm", &[3, 4, 5, 6], 128);
+        feed(&mut reg, "delay", &[8, 9], 128);
+        let report = evaluate(&SloSpec::default(), &reg.snapshot());
+        assert_eq!(report.overall, SloHealth::Green);
+        assert_eq!(report.lanes[0].lane, "imm");
+        assert_eq!(report.lanes[0].total, 4);
+        assert!(report.lanes.iter().all(|l| l.details.is_empty()));
+    }
+
+    #[test]
+    fn burned_budget_goes_red() {
+        let mut reg = Registry::new();
+        // 2 of 10 outcomes breach: 200‰ burn against a 50‰ budget.
+        feed(&mut reg, "imm", &[3, 3, 3, 3, 3, 3, 3, 3, 200, 300], 128);
+        let report = evaluate(&SloSpec::default(), &reg.snapshot());
+        assert_eq!(report.lanes[0].health, SloHealth::Red);
+        assert_eq!(report.lanes[0].breaches, 2);
+        assert_eq!(report.lanes[0].burn_permille, 200);
+        assert!(!report.lanes[0].details.is_empty());
+        assert_eq!(report.overall, SloHealth::Red);
+    }
+
+    #[test]
+    fn amber_at_three_quarters_of_budget() {
+        let spec = SloSpec::default(); // 50‰ budget
+        let mut reg = Registry::new();
+        // 1 breach in 25 = 40‰: ≥ 75% of 50‰ ⇒ amber, not red.
+        let mut lat = vec![3u64; 24];
+        lat.push(200);
+        feed(&mut reg, "delay", &lat, 128);
+        let report = evaluate(&spec, &reg.snapshot());
+        assert_eq!(report.lanes[1].health, SloHealth::Amber);
+    }
+
+    #[test]
+    fn staleness_ceiling_is_delay_only() {
+        let mut reg = Registry::new();
+        feed(&mut reg, "imm", &[3], 128);
+        feed(&mut reg, "delay", &[3], 128);
+        reg.set_gauge("knowledge.staleness.s1", 80_000);
+        let report = evaluate(&SloSpec::default(), &reg.snapshot());
+        assert_eq!(report.lanes[0].health, SloHealth::Green);
+        assert_eq!(report.lanes[1].health, SloHealth::Red);
+        assert_eq!(report.lanes[1].staleness_ticks, 80_000);
+    }
+
+    #[test]
+    fn shortage_rate_gate() {
+        let mut spec = SloSpec::default();
+        spec.delay.shortage_rate_permille = 100;
+        let mut reg = Registry::new();
+        feed(&mut reg, "delay", &[3; 10], 128);
+        reg.add("slo.delay.shortage", 2); // 200‰
+        let report = evaluate(&spec, &reg.snapshot());
+        assert_eq!(report.lanes[1].health, SloHealth::Red);
+        assert_eq!(report.lanes[1].shortage_permille, 200);
+    }
+
+    #[test]
+    fn empty_snapshot_is_green_and_report_roundtrips() {
+        let report = evaluate(&SloSpec::default(), &RegistrySnapshot::default());
+        assert_eq!(report.overall, SloHealth::Green);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SloReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(report.render().contains("GREEN"));
+    }
+}

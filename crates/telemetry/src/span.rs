@@ -6,10 +6,43 @@
 //! *protocol's* volatile state, but the telemetry of what happened before
 //! the crash is exactly what a post-mortem needs, and remote children of
 //! pre-crash spans must not become orphans.
+//!
+//! ## Sampling
+//!
+//! With a [`TraceSampler`] installed, only sampled traces retain their
+//! full span trees. Unsampled traces keep their **root** span (so commit
+//! latency and the oracle's root-per-committed-txn invariant survive at
+//! any rate) while interior spans are parked in a bounded ring. The ring
+//! is the retroactive-promotion buffer: when the protocol decides after
+//! the fact that a trace is interesting (abort, shortage path, latency
+//! outlier), [`SpanCollector::promote`] pulls its parked spans back into
+//! the retained set — and is *sticky*: the trace's later spans are
+//! retained eagerly too, so a handler may promote at entry and every
+//! span it records afterwards survives. Evicted ring records recycle
+//! their detail `String`s through a small pool, so steady-state tracing
+//! at low rates allocates almost nothing per update.
+//!
+//! Because every site derives the same sampler from the shared config,
+//! the keep/drop decision for a trace is cluster-wide. Promotion is
+//! origin-local, so each site promotes when *it* can recognize the
+//! interesting event: the update's home site at outcome time (abort,
+//! shortage, outlier), an AV granter when asked to grant (shortage
+//! path), a 2PC participant when an abort decision arrives. Every such
+//! event implies the home site promotes as well, so a promoted span's
+//! cross-site parent is retained too and sampling can never manufacture
+//! orphan spans.
 
 use crate::context::SEQ_BITS;
+use crate::sampling::TraceSampler;
 use avdb_types::{SiteId, VirtualTime};
 use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Default capacity of the unsampled-span promotion ring.
+pub const DEFAULT_SPAN_RING_CAPACITY: usize = 8192;
+
+/// Upper bound on pooled detail buffers kept for reuse.
+const DETAIL_POOL_CAP: usize = 256;
 
 /// One operation in a causal tree.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -47,19 +80,90 @@ pub struct SpanCollector {
     site: SiteId,
     next_seq: u64,
     spans: Vec<SpanRecord>,
+    /// `None` = retain everything (pre-sampling behaviour).
+    sampler: Option<TraceSampler>,
+    /// Parked interior spans of unsampled traces, oldest first.
+    ring: VecDeque<SpanRecord>,
+    ring_cap: usize,
+    /// Traces promoted on this site: retained eagerly from then on.
+    promoted: std::collections::BTreeSet<u64>,
+    /// Recycled detail buffers from evicted ring records.
+    pool: Vec<String>,
+    /// Interior spans evicted from the ring before any promotion.
+    evicted: u64,
 }
 
 impl SpanCollector {
     /// An empty collector for one site. Sequence numbers start at 1 so a
     /// minted span id can never be `0`, the reserved "no parent" marker.
     pub fn new(site: SiteId) -> Self {
-        SpanCollector { site, next_seq: 1, spans: Vec::new() }
+        SpanCollector {
+            site,
+            next_seq: 1,
+            spans: Vec::new(),
+            sampler: None,
+            ring: VecDeque::new(),
+            ring_cap: DEFAULT_SPAN_RING_CAPACITY,
+            promoted: std::collections::BTreeSet::new(),
+            pool: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Installs a head-based sampler. A sampler at rate ≥ 1.0 is dropped
+    /// so the fully-traced path stays byte-identical to a collector that
+    /// never had one.
+    pub fn set_sampler(&mut self, sampler: TraceSampler) {
+        self.sampler = if sampler.is_always() { None } else { Some(sampler) };
+    }
+
+    /// Overrides the promotion-ring capacity (0 disables parking —
+    /// unsampled interior spans are dropped immediately).
+    pub fn set_ring_capacity(&mut self, cap: usize) {
+        self.ring_cap = cap;
+    }
+
+    /// Whether `trace`'s interior spans are retained eagerly (head-sampled
+    /// or already promoted on this site).
+    pub fn trace_sampled(&self, trace: u64) -> bool {
+        match self.sampler {
+            Some(s) => s.sampled(trace) || self.promoted.contains(&trace),
+            None => true,
+        }
     }
 
     fn next_id(&mut self) -> u64 {
         let id = ((self.site.0 as u64) << SEQ_BITS) | self.next_seq;
         self.next_seq += 1;
         id
+    }
+
+    /// A cleared, capacity-retaining detail buffer from the pool.
+    pub fn pooled_detail(&mut self) -> String {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    fn park(&mut self, rec: SpanRecord) {
+        if self.ring_cap == 0 {
+            self.recycle(rec);
+            self.evicted += 1;
+            return;
+        }
+        if self.ring.len() >= self.ring_cap {
+            if let Some(old) = self.ring.pop_front() {
+                self.recycle(old);
+                self.evicted += 1;
+            }
+        }
+        self.ring.push_back(rec);
+    }
+
+    fn recycle(&mut self, rec: SpanRecord) {
+        if self.pool.len() < DETAIL_POOL_CAP {
+            let mut s = rec.detail;
+            s.clear();
+            self.pool.push(s);
+        }
     }
 
     /// Opens a span (no end time yet) and returns its id.
@@ -85,7 +189,7 @@ impl SpanCollector {
         detail: String,
     ) -> u64 {
         let span = self.next_id();
-        self.spans.push(SpanRecord {
+        let rec = SpanRecord {
             trace,
             span,
             parent,
@@ -95,8 +199,32 @@ impl SpanCollector {
             start: at,
             end: None,
             clock,
-        });
+        };
+        // Roots are always retained: they carry commit latency and anchor
+        // the oracle's root-per-committed-txn invariant at any rate.
+        if parent == 0 || self.trace_sampled(trace) {
+            self.spans.push(rec);
+        } else {
+            self.park(rec);
+        }
         span
+    }
+
+    /// [`SpanCollector::start_with`] writing `args` into a pooled buffer,
+    /// so hot paths can format details without a fresh allocation.
+    pub fn start_args(
+        &mut self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        at: VirtualTime,
+        clock: u64,
+        args: std::fmt::Arguments<'_>,
+    ) -> u64 {
+        use std::fmt::Write as _;
+        let mut detail = self.pooled_detail();
+        let _ = detail.write_fmt(args);
+        self.start_with(trace, parent, name, at, clock, detail)
     }
 
     /// Records an instantaneous span (start == end) and returns its id.
@@ -126,6 +254,22 @@ impl SpanCollector {
         span
     }
 
+    /// [`SpanCollector::instant_with`] writing `args` into a pooled buffer.
+    pub fn instant_args(
+        &mut self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        at: VirtualTime,
+        clock: u64,
+        args: std::fmt::Arguments<'_>,
+    ) -> u64 {
+        use std::fmt::Write as _;
+        let mut detail = self.pooled_detail();
+        let _ = detail.write_fmt(args);
+        self.instant_with(trace, parent, name, at, clock, detail)
+    }
+
     /// Closes an open span. Closing an unknown or already-closed span is
     /// a no-op: fault paths may race a timeout against the reply it was
     /// guarding, and telemetry must never panic the protocol.
@@ -134,12 +278,24 @@ impl SpanCollector {
             self.spans.iter_mut().rev().find(|r| r.span == span && r.end.is_none())
         {
             rec.end = Some(at);
+            return;
+        }
+        if let Some(rec) =
+            self.ring.iter_mut().rev().find(|r| r.span == span && r.end.is_none())
+        {
+            rec.end = Some(at);
         }
     }
 
     /// Appends to a span's detail string.
     pub fn note(&mut self, span: u64, detail: &str) {
-        if let Some(rec) = self.spans.iter_mut().rev().find(|r| r.span == span) {
+        let rec = self
+            .spans
+            .iter_mut()
+            .rev()
+            .find(|r| r.span == span)
+            .or_else(|| self.ring.iter_mut().rev().find(|r| r.span == span));
+        if let Some(rec) = rec {
             if !rec.detail.is_empty() {
                 rec.detail.push_str("; ");
             }
@@ -147,19 +303,53 @@ impl SpanCollector {
         }
     }
 
-    /// All records so far, in open order.
+    /// Retroactively promotes a trace: every parked span of `trace` still
+    /// in the ring moves (in recording order) into the retained set, and
+    /// the trace's future spans are retained eagerly (sticky), so a
+    /// handler can promote at entry and keep everything it records after.
+    /// Returns how many parked spans were moved. Idempotent — a second
+    /// call finds nothing left to move.
+    pub fn promote(&mut self, trace: u64) -> usize {
+        if self.sampler.is_none() {
+            return 0;
+        }
+        self.promoted.insert(trace);
+        if !self.ring.iter().any(|r| r.trace == trace) {
+            return 0;
+        }
+        let mut promoted = 0;
+        let mut kept = VecDeque::with_capacity(self.ring.len());
+        for rec in self.ring.drain(..) {
+            if rec.trace == trace {
+                self.spans.push(rec);
+                promoted += 1;
+            } else {
+                kept.push_back(rec);
+            }
+        }
+        self.ring = kept;
+        promoted
+    }
+
+    /// All retained records so far, in open order (promoted spans append
+    /// at promotion time, which is itself deterministic).
     pub fn records(&self) -> &[SpanRecord] {
         &self.spans
     }
 
-    /// Number of records.
+    /// Number of retained records.
     pub fn len(&self) -> usize {
         self.spans.len()
     }
 
-    /// `true` when nothing was recorded.
+    /// `true` when nothing was retained.
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
+    }
+
+    /// `(retained, parked, evicted)` span counts for observability.
+    pub fn sampling_stats(&self) -> (usize, usize, u64) {
+        (self.spans.len(), self.ring.len(), self.evicted)
     }
 }
 
@@ -205,5 +395,89 @@ mod tests {
         c.note(s, "asked site2");
         c.note(s, "granted 5");
         assert_eq!(c.records()[0].detail, "asked site2; granted 5");
+    }
+
+    fn never() -> TraceSampler {
+        TraceSampler::new(0, 0.0)
+    }
+
+    #[test]
+    fn unsampled_interior_spans_park_but_roots_stay() {
+        let mut c = SpanCollector::new(SiteId(1));
+        c.set_sampler(never());
+        let root = c.start(9, 0, "update", VirtualTime(0), 1);
+        let child = c.start(9, root, "transfer", VirtualTime(1), 2);
+        c.end(child, VirtualTime(3));
+        c.end(root, VirtualTime(4));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.records()[0].name, "update");
+        assert_eq!(c.records()[0].end, Some(VirtualTime(4)));
+        let (retained, parked, evicted) = c.sampling_stats();
+        assert_eq!((retained, parked, evicted), (1, 1, 0));
+    }
+
+    #[test]
+    fn promote_restores_parked_spans_in_order() {
+        let mut c = SpanCollector::new(SiteId(1));
+        c.set_sampler(never());
+        let root = c.start(9, 0, "update", VirtualTime(0), 1);
+        let t1 = c.start(9, root, "transfer", VirtualTime(1), 2);
+        let other_root = c.start(8, 0, "update", VirtualTime(1), 3);
+        let t2 = c.start(8, other_root, "transfer", VirtualTime(2), 4);
+        let t3 = c.start(9, root, "commit", VirtualTime(3), 5);
+        c.end(t1, VirtualTime(2));
+        c.end(t3, VirtualTime(4));
+        assert_eq!(c.promote(9), 2);
+        assert_eq!(c.promote(9), 0); // idempotent
+        let names: Vec<_> =
+            c.records().iter().filter(|r| r.trace == 9).map(|r| r.name).collect();
+        assert_eq!(names, vec!["update", "transfer", "commit"]);
+        assert!(c.records().iter().any(|r| r.span == t1 && r.end == Some(VirtualTime(2))));
+        // Trace 8's interior span is still parked, untouched.
+        assert!(c.records().iter().all(|r| r.span != t2));
+        assert_eq!(c.sampling_stats().1, 1);
+    }
+
+    #[test]
+    fn promotion_is_sticky_for_later_spans() {
+        let mut c = SpanCollector::new(SiteId(1));
+        c.set_sampler(never());
+        let root = c.start(9, 0, "update", VirtualTime(0), 1);
+        c.promote(9);
+        // Spans recorded after the promotion are retained eagerly, so a
+        // handler can promote at entry before recording its work.
+        let child = c.start(9, root, "grant", VirtualTime(1), 2);
+        c.end(child, VirtualTime(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.trace_sampled(9));
+        assert!(!c.trace_sampled(8), "stickiness must be per-trace");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_recycles_details() {
+        let mut c = SpanCollector::new(SiteId(0));
+        c.set_sampler(never());
+        c.set_ring_capacity(2);
+        let root = c.start(5, 0, "update", VirtualTime(0), 1);
+        for i in 0..4u64 {
+            c.start_args(5, root, "transfer", VirtualTime(i), i, format_args!("hop {i}"));
+        }
+        let (_, parked, evicted) = c.sampling_stats();
+        assert_eq!((parked, evicted), (2, 2));
+        // Only the two newest interior spans survive for promotion.
+        assert_eq!(c.promote(5), 2);
+        let details: Vec<_> =
+            c.records().iter().filter(|r| r.name == "transfer").map(|r| &r.detail).collect();
+        assert_eq!(details, vec!["hop 2", "hop 3"]);
+    }
+
+    #[test]
+    fn rate_one_sampler_is_a_noop() {
+        let mut c = SpanCollector::new(SiteId(0));
+        c.set_sampler(TraceSampler::new(3, 1.0));
+        let root = c.start(5, 0, "update", VirtualTime(0), 1);
+        c.start(5, root, "transfer", VirtualTime(1), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.sampling_stats().1, 0);
     }
 }

@@ -182,6 +182,14 @@ pub struct SystemConfig {
     /// itself through retransmission; in-flight AV grants are destroyed
     /// by a drop, so conservation weakens to an inequality under loss.
     pub drop_probability: f64,
+    /// Head-based trace sampling rate in `[0, 1]`: the fraction of traces
+    /// whose full span trees are retained. Unsampled traces keep only
+    /// their root span (commit latency survives at any rate) plus
+    /// whatever retroactive promotion rescues (aborts, shortage paths,
+    /// latency outliers). `None` (the wire default, for back-compat with
+    /// pre-sampling configs) means 1.0 — retain everything.
+    #[serde(default)]
+    pub trace_sample_rate: Option<f64>,
     /// RNG seed for all stochastic pieces (workload, jitter, random
     /// strategies). Same seed + same config ⇒ identical run.
     pub seed: u64,
@@ -323,7 +331,19 @@ impl SystemConfig {
                 self.drop_probability
             )));
         }
+        if let Some(rate) = self.trace_sample_rate {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(AvdbError::InvalidConfig(format!(
+                    "trace_sample_rate must be in [0, 1], got {rate}"
+                )));
+            }
+        }
         Ok(())
+    }
+
+    /// Effective trace sampling rate (`None` ⇒ 1.0, retain everything).
+    pub fn trace_sampling(&self) -> f64 {
+        self.trace_sample_rate.unwrap_or(1.0)
     }
 }
 
@@ -346,6 +366,7 @@ pub struct SystemConfigBuilder {
     rebalance_horizon_ticks: u64,
     coalesce_propagation: bool,
     drop_probability: f64,
+    trace_sample_rate: Option<f64>,
     seed: u64,
 }
 
@@ -368,6 +389,7 @@ impl Default for SystemConfigBuilder {
             rebalance_horizon_ticks: 0,
             coalesce_propagation: false,
             drop_probability: 0.0,
+            trace_sample_rate: None,
             seed: 0,
         }
     }
@@ -507,6 +529,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the head-based trace sampling rate in `[0, 1]` (default: 1.0,
+    /// retain every span).
+    pub fn trace_sample_rate(mut self, rate: f64) -> Self {
+        self.trace_sample_rate = Some(rate);
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SystemConfig> {
         let initial_av = self.initial_av.unwrap_or_else(|| {
@@ -531,6 +560,7 @@ impl SystemConfigBuilder {
             rebalance_horizon_ticks: self.rebalance_horizon_ticks,
             coalesce_propagation: self.coalesce_propagation,
             drop_probability: self.drop_probability,
+            trace_sample_rate: self.trace_sample_rate,
             seed: self.seed,
             catalog: self.catalog,
         };
@@ -545,6 +575,17 @@ mod tests {
 
     fn base() -> SystemConfigBuilder {
         SystemConfig::builder().sites(3).regular_products(2, Volume(100))
+    }
+
+    #[test]
+    fn trace_sample_rate_validates_and_defaults_to_full() {
+        let cfg = base().build().unwrap();
+        assert_eq!(cfg.trace_sample_rate, None);
+        assert_eq!(cfg.trace_sampling(), 1.0);
+        let cfg = base().trace_sample_rate(0.01).build().unwrap();
+        assert_eq!(cfg.trace_sampling(), 0.01);
+        assert!(base().trace_sample_rate(1.5).build().is_err());
+        assert!(base().trace_sample_rate(-0.1).build().is_err());
     }
 
     #[test]

@@ -24,7 +24,8 @@ fn usage() -> ! {
          avdb-bench run [--transports sim,threads,tcp] [--sites 3,7] [--updates N]\n    \
          [--faults clean,loss,crash,partition] [--alloc uniform,all-at-base,...]\n    \
          [--zipf 0,900] [--batch 1,4] [--fanout 0,4] [--rebalance 0,512]\n    \
-         [--coalesce 0,1] [--scenarios none|all|flash-sale,kill-the-granter,...]\n    \
+         [--coalesce 0,1] [--sample-milli 0,10,1000]\n    \
+         [--scenarios none|all|flash-sale,kill-the-granter,...]\n    \
          [--imm-products N] [--regular-products N]\n    \
          [--stock N] [--spacing N] [--seed N] [--open-loop] [--label L] [--out DIR]\n  \
          avdb-bench compare <baseline.json> <current.json> [--max-regress-pct N]"
@@ -81,6 +82,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut fanouts = vec![0usize];
     let mut rebalances = vec![0u64];
     let mut coalesces = vec![false];
+    let mut sample_millis = vec![0u32];
     let mut scenarios: Vec<Option<String>> = vec![None];
     let mut base = ScenarioSpec::base();
     let mut label = String::from("local");
@@ -112,6 +114,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     "0" | "false" => Some(false),
                     "1" | "true" => Some(true),
                     _ => None,
+                });
+            }
+            "--sample-milli" => {
+                sample_millis = parse_list(arg, &value(arg), |s| {
+                    s.parse().ok().filter(|&m| m <= 1000)
                 });
             }
             "--scenarios" => {
@@ -163,7 +170,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
                             )
                             .iter()
                             {
-                                for scenario in &scenarios {
+                                for (scenario, &sample_milli) in scenarios
+                                    .iter()
+                                    .flat_map(|sc| {
+                                        sample_millis.iter().map(move |m| (sc, m))
+                                    })
+                                {
                                     let mut spec = base.clone();
                                     spec.transport = transport;
                                     spec.sites = n;
@@ -174,6 +186,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                                     spec.shortage_fanout = fanout;
                                     spec.rebalance_horizon_ticks = rebalance;
                                     spec.coalesce_propagation = coalesce;
+                                    spec.trace_sample_milli = sample_milli;
                                     spec.scenario = scenario.clone();
                                     if transport != TransportKind::Sim
                                         && (fault != FaultProfile::Clean

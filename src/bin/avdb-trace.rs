@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! avdb-trace record [--transport sim|threads|tcp] [--sites N] [--seed N]
-//!                   [--requests N] [--out FILE]
+//!                   [--requests N] [--sample-milli N] [--out FILE]
 //! avdb-trace report FILE [--limit N]
 //! avdb-trace verify FILE
 //! avdb-trace flight FILE
+//! avdb-trace profile FILE
+//! avdb-trace critical-path FILE TRACE
+//! avdb-trace export-chrome FILE [--out FILE]
 //! ```
 //!
 //! * `record` drives one seeded workload through the chosen transport with
-//!   telemetry export enabled and writes the run as JSONL.
+//!   telemetry export enabled and writes the run as JSONL
+//!   (`--sample-milli` sets the head-based trace sample rate in ‰;
+//!   default 1000 = trace everything).
 //! * `report` renders per-update causal timelines, the latency breakdown
 //!   by protocol phase (checking → selecting → deciding → transfer →
 //!   commit), and message-amplification percentiles.
@@ -18,6 +23,12 @@
 //! * `flight` pretty-prints a flight-recorder dump (written by a site on a
 //!   2PC abort / WAL recovery, or by a harness on an oracle violation) as
 //!   one merged, time-ordered timeline across all sites.
+//! * `profile` renders the run's critical-path phase profile (per-phase /
+//!   per-site self-time histograms, cross-site link waits, exemplars).
+//! * `critical-path` renders one update's annotated critical path (trace
+//!   id decimal or `0x…` hex — take one from the profile's exemplars).
+//! * `export-chrome` converts the run to Chrome `trace_event` JSON
+//!   loadable in Perfetto / `chrome://tracing` (pid = site, tid = trace).
 //!
 //! The same trace ids flow through all three transports, so a sim
 //! recording and a TCP recording of the same seed produce the same causal
@@ -41,8 +52,9 @@ const TICKS_PER_REQUEST: u64 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  avdb-trace record [--transport sim|threads|tcp] [--sites N] [--seed N] \
-         [--requests N] [--out FILE]\n  avdb-trace report FILE [--limit N]\n  \
-         avdb-trace verify FILE\n  avdb-trace flight FILE"
+         [--requests N] [--sample-milli N] [--out FILE]\n  avdb-trace report FILE [--limit N]\n  \
+         avdb-trace verify FILE\n  avdb-trace flight FILE\n  avdb-trace profile FILE\n  \
+         avdb-trace critical-path FILE TRACE\n  avdb-trace export-chrome FILE [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -52,6 +64,7 @@ struct RecordArgs {
     sites: usize,
     seed: u64,
     requests: usize,
+    sample_milli: u32,
     out: Option<String>,
 }
 
@@ -61,6 +74,7 @@ fn parse_record(mut args: std::env::Args) -> RecordArgs {
         sites: 4,
         seed: 1,
         requests: 40,
+        sample_milli: 1000,
         out: None,
     };
     while let Some(flag) = args.next() {
@@ -72,11 +86,18 @@ fn parse_record(mut args: std::env::Args) -> RecordArgs {
             "--requests" => {
                 rec.requests = value("--requests").parse().unwrap_or_else(|_| usage())
             }
+            "--sample-milli" => {
+                rec.sample_milli =
+                    value("--sample-milli").parse().unwrap_or_else(|_| usage())
+            }
             "--out" => rec.out = Some(value("--out")),
             _ => usage(),
         }
     }
-    if rec.sites == 0 || !["sim", "threads", "tcp"].contains(&rec.transport.as_str()) {
+    if rec.sites == 0
+        || rec.sample_milli > 1000
+        || !["sim", "threads", "tcp"].contains(&rec.transport.as_str())
+    {
         usage();
     }
     rec
@@ -84,14 +105,16 @@ fn parse_record(mut args: std::env::Args) -> RecordArgs {
 
 /// The recording scenario: two AV-managed products plus one non-regular,
 /// so both the Delay and the Immediate path appear in the trace.
-fn config(sites: usize, seed: u64) -> SystemConfig {
-    SystemConfig::builder()
+fn config(sites: usize, seed: u64, sample_milli: u32) -> SystemConfig {
+    let mut builder = SystemConfig::builder()
         .sites(sites)
         .regular_products(2, Volume(40 * sites as i64))
         .non_regular_products(1, Volume(50))
-        .seed(seed)
-        .build()
-        .expect("trace config is valid")
+        .seed(seed);
+    if sample_milli != 1000 {
+        builder = builder.trace_sample_rate(f64::from(sample_milli) / 1000.0);
+    }
+    builder.build().expect("trace config is valid")
 }
 
 /// Deterministic mixed workload over all products (same seed → same
@@ -199,7 +222,7 @@ fn record_live(transport: &str, cfg: &SystemConfig, requests: usize, mesh: impl 
 }
 
 fn record(rec: RecordArgs) -> ExitCode {
-    let cfg = config(rec.sites, rec.seed);
+    let cfg = config(rec.sites, rec.seed, rec.sample_milli);
     let export = match rec.transport.as_str() {
         "sim" => record_sim(&cfg, rec.requests),
         "threads" => {
@@ -327,6 +350,83 @@ fn verify_file(path: &str) -> ExitCode {
     }
 }
 
+fn profile_file(path: &str) -> ExitCode {
+    let export = match load(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("avdb-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Prefer the profile the run itself exported (it reflects the run's
+    // sampling decisions); recompute only for exports that predate it.
+    let profile = export
+        .profile
+        .clone()
+        .unwrap_or_else(|| avdb::telemetry::profile_export(&export));
+    print!("{}", profile.render());
+    ExitCode::SUCCESS
+}
+
+fn parse_trace_id(raw: &str) -> Option<u64> {
+    match raw.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+}
+
+fn critical_path_file(path: &str, trace_raw: &str) -> ExitCode {
+    let Some(trace) = parse_trace_id(trace_raw) else {
+        eprintln!("avdb-trace: bad trace id {trace_raw:?} (decimal or 0x-hex)");
+        return ExitCode::FAILURE;
+    };
+    let export = match load(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("avdb-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match avdb::telemetry::path_for_trace(&export, trace) {
+        Some(p) => {
+            print!("{}", avdb::telemetry::render_path(&p));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "avdb-trace: trace {trace:#x} has no closed root span in {path} \
+                 (not recorded, sampled away, or never finished)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn export_chrome_file(path: &str, out: Option<&str>) -> ExitCode {
+    let export = match load(path) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("avdb-trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = avdb::telemetry::chrome_trace(&export);
+    match out {
+        Some(dest) => {
+            if let Err(e) = std::fs::write(dest, &json) {
+                eprintln!("avdb-trace: write {dest}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "avdb-trace: wrote {} events to {dest} (open in Perfetto or chrome://tracing)",
+                export.spans.len()
+            );
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn flight_file(path: &str) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -375,6 +475,26 @@ fn main() -> ExitCode {
         Some("verify") => {
             let Some(path) = args.next() else { usage() };
             verify_file(&path)
+        }
+        Some("profile") => {
+            let Some(path) = args.next() else { usage() };
+            profile_file(&path)
+        }
+        Some("critical-path") => {
+            let Some(path) = args.next() else { usage() };
+            let Some(trace) = args.next() else { usage() };
+            critical_path_file(&path, &trace)
+        }
+        Some("export-chrome") => {
+            let Some(path) = args.next() else { usage() };
+            let mut out = None;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--out" => out = args.next(),
+                    _ => usage(),
+                }
+            }
+            export_chrome_file(&path, out.as_deref())
         }
         _ => usage(),
     }

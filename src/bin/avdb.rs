@@ -380,15 +380,16 @@ fn render_cluster_table(rows: &[(String, Option<avdb::core::StatusSnapshot>)]) -
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<22} {:>4} {:<8} {:>8} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7}",
-        "target", "site", "role", "clock", "commit", "abort", "delay", "imm", "queue", "flight"
+        "{:<22} {:>4} {:<8} {:>8} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:<5}",
+        "target", "site", "role", "clock", "commit", "abort", "delay", "imm", "queue", "flight",
+        "slo"
     );
     for (target, status) in rows {
         match status {
             Some(s) => {
                 let _ = writeln!(
                     out,
-                    "{:<22} {:>4} {:<8} {:>8} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7}",
+                    "{:<22} {:>4} {:<8} {:>8} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:<5}",
                     target,
                     s.site,
                     s.role,
@@ -398,7 +399,8 @@ fn render_cluster_table(rows: &[(String, Option<avdb::core::StatusSnapshot>)]) -
                     s.in_flight_delay,
                     s.in_flight_imm,
                     s.repl_queue_depth,
-                    s.flight_recorded
+                    s.flight_recorded,
+                    s.slo.overall.label()
                 );
             }
             None => {
@@ -415,6 +417,23 @@ fn render_cluster_table(rows: &[(String, Option<avdb::core::StatusSnapshot>)]) -
         .collect();
     if !diverged.is_empty() {
         let _ = writeln!(out, "unreplicated divergence: {}", diverged.join(", "));
+    }
+    // SLO panel: lane detail for every degraded site; all-green collapses
+    // to a single line so the healthy steady state stays quiet.
+    let degraded: Vec<&avdb::core::StatusSnapshot> = rows
+        .iter()
+        .filter_map(|(_, s)| s.as_ref())
+        .filter(|s| s.slo.overall != avdb::telemetry::SloHealth::Green)
+        .collect();
+    if degraded.is_empty() {
+        if rows.iter().any(|(_, s)| s.is_some()) {
+            let _ = writeln!(out, "slo: GREEN (all lanes within budget)");
+        }
+    } else {
+        for s in degraded {
+            let _ = writeln!(out, "slo site {} [{}]:", s.site, s.slo.overall.label());
+            let _ = write!(out, "{}", s.slo.render());
+        }
     }
     out
 }
