@@ -126,8 +126,11 @@ impl Actor for CentralActor {
                     kind: UpdateKind::Immediate,
                     completed_at: ctx.now(),
                     correspondences: 0,
+                    client: None,
                 },
-                Some(reason) => UpdateOutcome::Aborted { txn, reason, correspondences: 0 },
+                Some(reason) => {
+                    UpdateOutcome::Aborted { txn, reason, correspondences: 0, client: None }
+                }
             });
         } else {
             self.pending.insert(txn, (request, ctx.now()));
@@ -161,9 +164,10 @@ impl Actor for CentralActor {
                         kind: UpdateKind::Immediate,
                         completed_at: ctx.now(),
                         correspondences: 1,
+                        client: None,
                     },
                     Some(reason) => {
-                        UpdateOutcome::Aborted { txn, reason, correspondences: 1 }
+                        UpdateOutcome::Aborted { txn, reason, correspondences: 1, client: None }
                     }
                 });
             }

@@ -1,0 +1,254 @@
+#![warn(missing_docs)]
+
+//! Wire-protocol client: pipelined connections and a round-robin pool.
+//!
+//! A [`Connection`] owns one TCP socket to a gateway site listener and
+//! may have many requests in flight: [`Connection::submit`] assigns a
+//! fresh request id, writes the frame, and hands back a [`PendingReply`]
+//! that resolves when the background reader matches a response frame by
+//! id — regardless of the order the gateway completes them in. This is
+//! the client half of the pipelining contract; the gateway's in-flight
+//! window (`max_in_flight`) bounds how deep the pipeline may run.
+//!
+//! Responses that match no outstanding request (the gateway's
+//! `req_id = 0` connection-level errors, or a `Shed` notice racing a
+//! reply) are retained and can be collected with
+//! [`Connection::take_orphans`].
+
+use avdb_wire::{encode_request, Decoder, ErrorCode, Request, Response};
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SyncSender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, write, or the reader died mid-wait).
+    Io(std::io::Error),
+    /// The connection closed before the reply arrived (EOF, shed, or
+    /// decode failure on the response stream).
+    Closed,
+    /// No reply within the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Closed => write!(f, "connection closed"),
+            ClientError::Timeout => write!(f, "timed out waiting for reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+struct ConnShared {
+    pending: Mutex<HashMap<u64, SyncSender<Response>>>,
+    orphans: Mutex<Vec<(u64, Response)>>,
+    dead: AtomicBool,
+}
+
+impl ConnShared {
+    /// Fails every waiter and refuses new ones.
+    fn poison(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        // Dropping the senders disconnects every `PendingReply`.
+        self.pending.lock().clear();
+    }
+}
+
+/// One pipelined wire-protocol connection to a gateway site.
+pub struct Connection {
+    writer: Mutex<TcpStream>,
+    stream: TcpStream,
+    next_req: AtomicU64,
+    shared: Arc<ConnShared>,
+}
+
+/// An in-flight request; resolves when the matching response frame lands.
+pub struct PendingReply {
+    /// The request id this reply is keyed on.
+    pub req_id: u64,
+    rx: Receiver<Response>,
+}
+
+impl PendingReply {
+    /// Blocks until the response arrives, the connection dies, or the
+    /// deadline passes.
+    pub fn wait(&self, timeout: Duration) -> Result<Response, ClientError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => Ok(resp),
+            Err(RecvTimeoutError::Disconnected) => Err(ClientError::Closed),
+            Err(RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
+        }
+    }
+}
+
+impl Connection {
+    /// Connects to one gateway site listener and starts the reader.
+    pub fn connect(addr: SocketAddr) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        let shared = Arc::new(ConnShared {
+            pending: Mutex::new(HashMap::new()),
+            orphans: Mutex::new(Vec::new()),
+            dead: AtomicBool::new(false),
+        });
+        let reader_stream = stream.try_clone()?;
+        let reader_shared = Arc::clone(&shared);
+        std::thread::spawn(move || reader_loop(reader_stream, reader_shared));
+        Ok(Connection {
+            writer: Mutex::new(stream.try_clone()?),
+            stream,
+            next_req: AtomicU64::new(1),
+            shared,
+        })
+    }
+
+    /// `true` once the gateway closed or shed this connection.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::SeqCst)
+    }
+
+    /// Sends one request and returns a handle for its reply. Many
+    /// submits may be outstanding at once (pipelining).
+    pub fn submit(&self, req: &Request) -> Result<PendingReply, ClientError> {
+        if self.is_dead() {
+            return Err(ClientError::Closed);
+        }
+        let req_id = self.next_req.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = bounded(1);
+        self.shared.pending.lock().insert(req_id, tx);
+        let mut buf = BytesMut::new();
+        encode_request(req_id, req, &mut buf);
+        let write = {
+            let mut w = self.writer.lock();
+            w.write_all(&buf)
+        };
+        if let Err(e) = write {
+            self.shared.pending.lock().remove(&req_id);
+            return Err(ClientError::Io(e));
+        }
+        Ok(PendingReply { req_id, rx })
+    }
+
+    /// Sends one request and waits for its reply.
+    pub fn call(&self, req: &Request, timeout: Duration) -> Result<Response, ClientError> {
+        self.submit(req)?.wait(timeout)
+    }
+
+    /// Responses that matched no outstanding request — connection-level
+    /// errors (`req_id = 0`) and replies that raced a timeout.
+    pub fn take_orphans(&self) -> Vec<(u64, Response)> {
+        std::mem::take(&mut *self.shared.orphans.lock())
+    }
+
+    /// Closes the socket; outstanding waiters fail with `Closed`.
+    pub fn close(&self) {
+        self.shared.poison();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Decodes response frames and routes them to waiters by request id.
+fn reader_loop(mut stream: TcpStream, shared: Arc<ConnShared>) {
+    let mut dec = Decoder::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        dec.extend(&chunk[..n]);
+        loop {
+            match dec.next_response() {
+                Ok(None) => break,
+                Ok(Some((req_id, resp))) => {
+                    let fatal = matches!(
+                        resp,
+                        Response::Error { code: ErrorCode::Shed, .. }
+                            | Response::Error { code: ErrorCode::AdmissionRefused, .. }
+                    );
+                    let waiter = shared.pending.lock().remove(&req_id);
+                    match waiter {
+                        Some(tx) => {
+                            let _ = tx.try_send(resp);
+                        }
+                        None => shared.orphans.lock().push((req_id, resp)),
+                    }
+                    if fatal {
+                        // The gateway is about to close the socket; fail
+                        // the rest of the pipeline now.
+                        shared.poison();
+                        return;
+                    }
+                }
+                Err(_) => {
+                    // A response stream we cannot parse is unrecoverable.
+                    shared.poison();
+                    return;
+                }
+            }
+        }
+    }
+    shared.poison();
+}
+
+/// A fixed set of connections used round-robin — one easy handle for a
+/// many-site gateway deployment.
+pub struct Pool {
+    conns: Vec<Connection>,
+    next: AtomicUsize,
+}
+
+impl Pool {
+    /// Opens one connection per address.
+    pub fn connect(addrs: &[SocketAddr]) -> Result<Pool, ClientError> {
+        let conns = addrs
+            .iter()
+            .map(|a| Connection::connect(*a))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Pool { conns, next: AtomicUsize::new(0) })
+    }
+
+    /// Number of pooled connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// `true` when the pool holds no connections.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// The `i`-th connection (for site-targeted requests).
+    pub fn get(&self, i: usize) -> &Connection {
+        &self.conns[i]
+    }
+
+    /// The next connection in round-robin order.
+    pub fn any(&self) -> &Connection {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.conns.len();
+        &self.conns[i]
+    }
+}

@@ -317,6 +317,13 @@ pub struct Accelerator {
 
     /// Monotone local sequence for txn ids (durable — ids never reuse).
     next_seq: u64,
+    /// Gateway correlation tag of the client update currently entering
+    /// `on_input`, consumed by the next `fresh_txn`.
+    pending_client_tag: Option<u64>,
+    /// Gateway correlation tags by transaction, stamped into the outcome
+    /// at emit time. Volatile: a crash drops the tags, and the re-reported
+    /// outcomes surface untagged (the gateway treats that as a timeout).
+    client_tags: HashMap<TxnId, u64>,
     pending_delay: HashMap<TxnId, PendingDelay>,
     pending_imm: HashMap<TxnId, PendingImm>,
     /// Remote Immediate txns this site has prepared (participant role).
@@ -435,6 +442,8 @@ impl Accelerator {
             ledger: TransferLedger::new(),
             stats: AcceleratorStats::default(),
             next_seq: 0,
+            pending_client_tag: None,
+            client_tags: HashMap::new(),
             pending_delay: HashMap::new(),
             pending_imm: HashMap::new(),
             prepared_remote: BTreeSet::new(),
@@ -659,6 +668,8 @@ impl Accelerator {
             ledger: TransferLedger::new(),
             stats: AcceleratorStats::default(),
             next_seq: snap.next_seq,
+            pending_client_tag: None,
+            client_tags: HashMap::new(),
             pending_delay: HashMap::new(),
             pending_imm: HashMap::new(),
             prepared_remote: BTreeSet::new(),
@@ -696,6 +707,9 @@ impl Accelerator {
     fn fresh_txn(&mut self) -> TxnId {
         let txn = TxnId::new(self.me, self.next_seq);
         self.next_seq += 1;
+        if let Some(tag) = self.pending_client_tag.take() {
+            self.client_tags.insert(txn, tag);
+        }
         txn
     }
 
@@ -1017,7 +1031,10 @@ impl Accelerator {
         if committed && retained {
             self.committed_traces.push(txn.0);
         }
-        ctx.emit(outcome);
+        // Stamp the gateway correlation tag (if any) so the outcome can
+        // be routed back to the submitting connection.
+        let client = self.client_tags.remove(&txn);
+        ctx.emit(outcome.with_client(client));
     }
 
     // ---- replication -------------------------------------------------------
@@ -1336,6 +1353,7 @@ impl Accelerator {
                     txn,
                     reason: AbortReason::InsufficientAv { shortfall: shortage },
                     correspondences: pending.correspondences,
+                    client: None,
                 },
             );
             return;
@@ -1501,6 +1519,7 @@ impl Accelerator {
                 kind: UpdateKind::Delay,
                 completed_at: ctx.now(),
                 correspondences: pending.correspondences,
+                client: None,
             },
         );
         if self.cfg.proactive_push {
@@ -1775,7 +1794,7 @@ impl Accelerator {
                 ctx.now(),
                 LANE_IMM,
                 false,
-                UpdateOutcome::Aborted { txn, reason, correspondences: 0 },
+                UpdateOutcome::Aborted { txn, reason, correspondences: 0, client: None },
             );
             return;
         }
@@ -1796,6 +1815,7 @@ impl Accelerator {
                     kind: UpdateKind::Immediate,
                     completed_at: ctx.now(),
                     correspondences: 0,
+                    client: None,
                 },
             );
             return;
@@ -1997,7 +2017,7 @@ impl Accelerator {
                 pending.started_at,
                 LANE_IMM,
                 false,
-                UpdateOutcome::Aborted { txn, reason: abort_reason, correspondences },
+                UpdateOutcome::Aborted { txn, reason: abort_reason, correspondences, client: None },
             );
         }
     }
@@ -2036,6 +2056,7 @@ impl Accelerator {
                 kind: UpdateKind::Immediate,
                 completed_at: ctx.now(),
                 correspondences,
+                client: None,
             },
         );
     }
@@ -2271,6 +2292,14 @@ impl Actor for Accelerator {
 
     fn on_input(&mut self, ctx: &mut ACtx<'_>, input: Input) {
         match input {
+            Input::ClientUpdate { client, req } => {
+                // Same path as a plain update; the pending tag is picked
+                // up by `fresh_txn` and stamped into the outcome by
+                // `emit_outcome`, whenever that happens.
+                self.pending_client_tag = Some(client);
+                self.on_input(ctx, Input::Update(req));
+                self.pending_client_tag = None;
+            }
             Input::Update(req) => {
                 debug_assert_eq!(req.site, self.me, "update injected at wrong site");
                 // The checking function: AV row defined → Delay, else
@@ -2306,6 +2335,7 @@ impl Actor for Accelerator {
                             txn,
                             reason: AbortReason::UnknownProduct,
                             correspondences: 0,
+                            client: None,
                         },
                     );
                 } else if self.av.is_defined(req.product) {
@@ -2354,6 +2384,7 @@ impl Actor for Accelerator {
                             txn,
                             reason: AbortReason::NotDelayEligible,
                             correspondences: 0,
+                            client: None,
                         },
                     );
                 }
@@ -2633,6 +2664,23 @@ impl avdb_simnet::Introspect for Accelerator {
     }
     fn status_json(&self) -> String {
         serde_json::to_string_pretty(&self.status()).expect("status serializes")
+    }
+    fn answer_path(&self, path: &str) -> Option<String> {
+        // `/read/<product>`: one product's local stock + AV availability,
+        // the gateway's Read request. Answered from the same event-loop
+        // snapshot discipline as `/status`, so reads are consistent with
+        // the site's own commit order.
+        let product = path.strip_prefix("/read/")?.parse::<u32>().ok()?;
+        let p = ProductId(product);
+        let stock = self.db.stock(p).ok()?;
+        let defined = self.av.is_defined(p);
+        Some(format!(
+            "{{\"product\":{},\"stock\":{},\"av_defined\":{},\"av_available\":{}}}",
+            product,
+            stock.get(),
+            defined,
+            if defined { self.av.available(p).get() } else { 0 },
+        ))
     }
 }
 

@@ -269,6 +269,17 @@ impl MsgInfo for TracedMsg {
 pub enum Input {
     /// A user update request (the normal case).
     Update(UpdateRequest),
+    /// An update submitted through a client gateway. Identical to
+    /// [`Input::Update`] except that the accelerator stamps `client`
+    /// into the resulting [`avdb_types::UpdateOutcome`], letting the
+    /// gateway route the outcome back to the submitting connection by
+    /// tag rather than by guessing transaction ids.
+    ClientUpdate {
+        /// Gateway-chosen correlation tag (opaque to the accelerator).
+        client: u64,
+        /// The update itself.
+        req: UpdateRequest,
+    },
     /// A multi-item update: all `(product, delta)` pairs commit atomically
     /// through the Delay path. Every product must be regular (AV-managed);
     /// mixing in a non-regular product aborts the whole transaction — the

@@ -26,7 +26,7 @@ pub fn outcome_line(at: VirtualTime, site: SiteId, outcome: &UpdateOutcome) -> O
             at: at.ticks(),
             correspondences: *correspondences,
         },
-        UpdateOutcome::Aborted { txn, reason, correspondences } => OutcomeLine {
+        UpdateOutcome::Aborted { txn, reason, correspondences, .. } => OutcomeLine {
             txn: txn.0,
             site: site.0,
             committed: false,

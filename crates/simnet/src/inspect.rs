@@ -15,6 +15,11 @@ pub trait Introspect {
     fn metrics_text(&self) -> String;
     /// JSON status snapshot (role, tables, in-flight work).
     fn status_json(&self) -> String;
+    /// Actor-specific paths beyond `/metrics` and `/status` (e.g. the
+    /// accelerator's `/read/<product>`). `None` means "not found".
+    fn answer_path(&self, _path: &str) -> Option<String> {
+        None
+    }
 }
 
 /// Routes an introspection path to the matching [`Introspect`] method.
@@ -23,7 +28,7 @@ pub fn answer<A: Introspect>(actor: &A, path: &str) -> Option<String> {
     match path {
         "/metrics" => Some(actor.metrics_text()),
         "/status" => Some(actor.status_json()),
-        _ => None,
+        other => actor.answer_path(other),
     }
 }
 

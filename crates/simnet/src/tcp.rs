@@ -327,6 +327,19 @@ where
         let _ = self.inputs[site.index()].send(SiteEvent::Input(input));
     }
 
+    /// Answers an introspection query against `site`'s live actor, routed
+    /// through its event loop exactly like the HTTP front-end — the
+    /// reply is a consistent snapshot taken between protocol events.
+    /// `None` for unknown paths, meshes spawned without an inspect
+    /// handler ([`TcpMesh::spawn`]), or an unresponsive site.
+    pub fn inspect(&self, site: SiteId, path: &str) -> Option<String> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.inputs[site.index()]
+            .send(SiteEvent::Inspect { path: path.to_string(), reply: reply_tx })
+            .ok()?;
+        reply_rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
+    }
+
     /// Snapshot of the traffic counters while running.
     pub fn counters_snapshot(&self) -> crate::counters::CountersSnapshot {
         self.counters.lock().snapshot()

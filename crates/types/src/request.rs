@@ -121,6 +121,12 @@ pub enum UpdateOutcome {
         /// Number of correspondences this update cost at the origin
         /// (0 for a purely local Delay commit).
         correspondences: u64,
+        /// Correlation tag of the client request that triggered the
+        /// update (`None` for harness-injected updates). Stamped by the
+        /// accelerator so a gateway can route the outcome back to the
+        /// submitting connection regardless of completion order.
+        #[serde(default)]
+        client: Option<u64>,
     },
     /// The update aborted.
     Aborted {
@@ -130,6 +136,9 @@ pub enum UpdateOutcome {
         reason: AbortReason,
         /// Correspondences spent before giving up.
         correspondences: u64,
+        /// Correlation tag of the client request (see `Committed::client`).
+        #[serde(default)]
+        client: Option<u64>,
     },
 }
 
@@ -153,6 +162,24 @@ impl UpdateOutcome {
             | UpdateOutcome::Aborted { correspondences, .. } => *correspondences,
         }
     }
+
+    /// The client correlation tag, if the update entered through a
+    /// gateway (`Input::ClientUpdate`).
+    pub fn client(&self) -> Option<u64> {
+        match self {
+            UpdateOutcome::Committed { client, .. }
+            | UpdateOutcome::Aborted { client, .. } => *client,
+        }
+    }
+
+    /// Returns the outcome with its client correlation tag replaced.
+    pub fn with_client(mut self, tag: Option<u64>) -> Self {
+        match &mut self {
+            UpdateOutcome::Committed { client, .. }
+            | UpdateOutcome::Aborted { client, .. } => *client = tag,
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +197,7 @@ mod tests {
             kind: UpdateKind::Delay,
             completed_at: VirtualTime::ZERO,
             correspondences: 0,
+            client: None,
         };
         assert!(ok.is_committed());
         assert_eq!(ok.txn(), txn());
@@ -179,9 +207,13 @@ mod tests {
             txn: txn(),
             reason: AbortReason::NegativeStock,
             correspondences: 2,
+            client: Some(7),
         };
         assert!(!bad.is_committed());
         assert_eq!(bad.correspondences(), 2);
+        assert_eq!(ok.client(), None);
+        assert_eq!(bad.client(), Some(7));
+        assert_eq!(ok.clone().with_client(Some(9)).client(), Some(9));
     }
 
     #[test]
@@ -210,6 +242,7 @@ mod tests {
             txn: txn(),
             reason: AbortReason::PrepareFailed { site: SiteId(0) },
             correspondences: 5,
+            client: Some(42),
         };
         let json = serde_json::to_string(&o).unwrap();
         assert_eq!(o, serde_json::from_str(&json).unwrap());

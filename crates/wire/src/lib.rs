@@ -1,0 +1,393 @@
+#![warn(missing_docs)]
+
+//! The avdb client wire protocol: length-prefixed binary frames.
+//!
+//! Every frame — request or response — carries the same 16-byte header:
+//!
+//! ```text
+//! offset  size  field     notes
+//! ------  ----  --------  ------------------------------------------
+//!      0     2  magic     0xAD B1, big-endian
+//!      2     1  version   protocol revision (currently 1)
+//!      3     1  kind      request 0x01..=0x04, response 0x81..=0x86
+//!      4     8  req_id    client-chosen correlation id, big-endian
+//!     12     4  len       payload byte count, big-endian, ≤ 1 MiB
+//!     16   len  payload   kind-specific binary encoding
+//! ```
+//!
+//! Request ids exist for pipelining: a client may have many requests in
+//! flight on one connection, and the gateway answers in *completion*
+//! order, echoing each request's id, so responses are matched by id —
+//! never by position.
+//!
+//! The decoder ([`Decoder`]) is incremental and hostile-input safe: a
+//! partial frame yields `Ok(None)` (feed more bytes), and every malformed
+//! input class — bad magic, unknown version, oversized length, short or
+//! trailing payload bytes, unknown kind — yields a typed [`WireError`]
+//! without panicking and without waiting for bytes that will never come
+//! (an oversized length is rejected from the header alone). A stream that
+//! ends mid-frame is distinguished from a clean end by [`Decoder::finish`].
+//!
+//! The payload encodings are fixed-layout big-endian integers (variable
+//! tails only for strings), deliberately not serde JSON: the point of the
+//! wire crate is an explicit, versioned, fuzz-testable exterior surface,
+//! while the intra-cluster mesh keeps its JSON frames.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+mod message;
+
+pub use message::{AbortCode, CommitKind, ErrorCode, Request, Response};
+
+/// Frame magic, big-endian on the wire.
+pub const MAGIC: u16 = 0xADB1;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Hard payload cap: anything larger is rejected from the header alone.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Typed decode failure. Every malformed-input class maps to exactly one
+/// variant; the codec never panics on wire bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes were not [`MAGIC`] — not an avdb stream, or a
+    /// desynchronized one.
+    BadMagic {
+        /// The bytes actually seen.
+        got: u16,
+    },
+    /// Version byte this implementation does not speak.
+    UnsupportedVersion {
+        /// The version actually seen.
+        got: u8,
+    },
+    /// Header announced a payload larger than [`MAX_PAYLOAD`].
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u32,
+    },
+    /// Kind byte outside the request/response range expected by the
+    /// caller. Carries the request id so the peer can still be answered.
+    UnknownKind {
+        /// The kind byte actually seen.
+        kind: u8,
+        /// The frame's correlation id.
+        req_id: u64,
+    },
+    /// Payload bytes did not match the kind's layout (short, trailing
+    /// garbage, or invalid field values).
+    BadPayload {
+        /// The frame kind whose payload failed to decode.
+        kind: u8,
+        /// What was wrong.
+        detail: &'static str,
+    },
+    /// The stream ended in the middle of a frame (mid-frame disconnect).
+    Truncated {
+        /// Bytes left dangling past the last complete frame.
+        dangling: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { got } => write!(f, "bad frame magic 0x{got:04X}"),
+            WireError::UnsupportedVersion { got } => {
+                write!(f, "unsupported protocol version {got}")
+            }
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame payload {len} exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::UnknownKind { kind, req_id } => {
+                write!(f, "unknown frame kind 0x{kind:02X} (req {req_id})")
+            }
+            WireError::BadPayload { kind, detail } => {
+                write!(f, "bad payload for kind 0x{kind:02X}: {detail}")
+            }
+            WireError::Truncated { dangling } => {
+                write!(f, "stream ended mid-frame ({dangling} dangling bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded frame before kind-specific payload interpretation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RawFrame {
+    kind: u8,
+    req_id: u64,
+    payload: BytesMut,
+}
+
+fn put_header(out: &mut BytesMut, kind: u8, req_id: u64, payload_len: usize) {
+    debug_assert!(payload_len as u32 <= MAX_PAYLOAD);
+    out.reserve(HEADER_LEN + payload_len);
+    out.put_slice(&MAGIC.to_be_bytes());
+    out.put_u8(VERSION);
+    out.put_u8(kind);
+    out.put_u64(req_id);
+    out.put_u32(payload_len as u32);
+}
+
+/// Encodes one request frame onto `out`.
+pub fn encode_request(req_id: u64, req: &Request, out: &mut BytesMut) {
+    let mut payload = BytesMut::new();
+    let kind = message::encode_request_payload(req, &mut payload);
+    put_header(out, kind, req_id, payload.len());
+    out.put_slice(&payload);
+}
+
+/// Encodes one response frame onto `out`.
+pub fn encode_response(req_id: u64, resp: &Response, out: &mut BytesMut) {
+    let mut payload = BytesMut::new();
+    let kind = message::encode_response_payload(resp, &mut payload);
+    put_header(out, kind, req_id, payload.len());
+    out.put_slice(&payload);
+}
+
+/// Incremental frame decoder: feed bytes as they arrive, pull complete
+/// frames out. One decoder per connection per direction.
+#[derive(Default, Debug)]
+pub struct Decoder {
+    buf: BytesMut,
+}
+
+impl Decoder {
+    /// Empty decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a complete frame.
+    pub fn pending(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Call at EOF: a clean stream ends exactly on a frame boundary;
+    /// anything else is a mid-frame disconnect.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.buf.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::Truncated { dangling: n }),
+        }
+    }
+
+    /// Pulls the next complete raw frame, validating the header. The
+    /// header is validated as soon as its 16 bytes are present — an
+    /// oversized or alien frame fails here without waiting for (or
+    /// buffering) its payload.
+    fn next_frame(&mut self) -> Result<Option<RawFrame>, WireError> {
+        if self.buf.remaining() < HEADER_LEN {
+            return Ok(None);
+        }
+        let h = &self.buf[..HEADER_LEN];
+        let magic = u16::from_be_bytes([h[0], h[1]]);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { got: magic });
+        }
+        let version = h[2];
+        if version != VERSION {
+            return Err(WireError::UnsupportedVersion { got: version });
+        }
+        let kind = h[3];
+        let req_id = u64::from_be_bytes([h[4], h[5], h[6], h[7], h[8], h[9], h[10], h[11]]);
+        let len = u32::from_be_bytes([h[12], h[13], h[14], h[15]]);
+        if len > MAX_PAYLOAD {
+            return Err(WireError::FrameTooLarge { len });
+        }
+        if self.buf.remaining() < HEADER_LEN + len as usize {
+            return Ok(None);
+        }
+        self.buf.advance(HEADER_LEN);
+        let payload = self.buf.split_to(len as usize);
+        Ok(Some(RawFrame { kind, req_id, payload }))
+    }
+
+    /// Pulls the next complete request frame (gateway side).
+    pub fn next_request(&mut self) -> Result<Option<(u64, Request)>, WireError> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(f) => {
+                let req = message::decode_request_payload(f.kind, f.req_id, &f.payload)?;
+                Ok(Some((f.req_id, req)))
+            }
+        }
+    }
+
+    /// Pulls the next complete response frame (client side).
+    pub fn next_response(&mut self) -> Result<Option<(u64, Response)>, WireError> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(f) => {
+                let resp = message::decode_response_payload(f.kind, f.req_id, &f.payload)?;
+                Ok(Some((f.req_id, resp)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut buf = BytesMut::new();
+        encode_request(7, &req, &mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        let (id, got) = dec.next_request().unwrap().unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(got, req);
+        assert!(dec.next_request().unwrap().is_none());
+        dec.finish().unwrap();
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut buf = BytesMut::new();
+        encode_response(99, &resp, &mut buf);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        let (id, got) = dec.next_response().unwrap().unwrap();
+        assert_eq!(id, 99);
+        assert_eq!(got, resp);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Update { product: 3, delta: -40 });
+        roundtrip_request(Request::Update { product: u32::MAX, delta: i64::MIN });
+        roundtrip_request(Request::Read { product: 0 });
+        roundtrip_request(Request::Status);
+        roundtrip_request(Request::Ping);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Committed {
+            txn: u64::MAX,
+            kind: CommitKind::Delay,
+            completed_at: 12,
+            correspondences: 3,
+        });
+        roundtrip_response(Response::Aborted {
+            txn: 5,
+            code: AbortCode::InsufficientAv,
+            correspondences: 9,
+            detail: "short 12".into(),
+        });
+        roundtrip_response(Response::ReadOk {
+            product: 17,
+            stock: -1,
+            av_defined: true,
+            av_available: i64::MAX,
+        });
+        roundtrip_response(Response::StatusOk { json: "{\"site\":0}".into() });
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Error {
+            code: ErrorCode::AdmissionRefused,
+            detail: "site full".into(),
+        });
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut buf = BytesMut::new();
+        for id in 0..10u64 {
+            encode_request(id, &Request::Update { product: id as u32, delta: 1 }, &mut buf);
+        }
+        let mut dec = Decoder::new();
+        // Drip-feed one byte at a time: incremental decode must survive
+        // arbitrary chunking.
+        let mut got = Vec::new();
+        for b in buf.iter() {
+            dec.extend(&[*b]);
+            while let Some((id, req)) = dec.next_request().unwrap() {
+                got.push((id, req));
+            }
+        }
+        assert_eq!(got.len(), 10);
+        for (i, (id, req)) in got.iter().enumerate() {
+            assert_eq!(*id, i as u64);
+            assert_eq!(*req, Request::Update { product: i as u32, delta: 1 });
+        }
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut dec = Decoder::new();
+        dec.extend(&[0u8; HEADER_LEN]);
+        assert_eq!(dec.next_request(), Err(WireError::BadMagic { got: 0 }));
+    }
+
+    #[test]
+    fn unsupported_version_is_typed() {
+        let mut buf = BytesMut::new();
+        encode_request(1, &Request::Ping, &mut buf);
+        buf[2] = 9;
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(dec.next_request(), Err(WireError::UnsupportedVersion { got: 9 }));
+    }
+
+    #[test]
+    fn oversized_length_rejected_from_header_alone() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, 0x01, 1, 0);
+        // Rewrite the length field to an absurd value with no payload
+        // following: the decoder must fail now, not wait for 4 GiB.
+        let huge = (MAX_PAYLOAD + 1).to_be_bytes();
+        buf[12..16].copy_from_slice(&huge);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(
+            dec.next_request(),
+            Err(WireError::FrameTooLarge { len: MAX_PAYLOAD + 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_kind_carries_req_id() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, 0x6F, 42, 0);
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert_eq!(
+            dec.next_request(),
+            Err(WireError::UnknownKind { kind: 0x6F, req_id: 42 })
+        );
+    }
+
+    #[test]
+    fn short_payload_is_bad_payload() {
+        let mut buf = BytesMut::new();
+        put_header(&mut buf, 0x01, 3, 4);
+        buf.put_u32(9); // Update needs 12 bytes; only 4 arrive.
+        let mut dec = Decoder::new();
+        dec.extend(&buf);
+        assert!(matches!(dec.next_request(), Err(WireError::BadPayload { kind: 0x01, .. })));
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_truncated() {
+        let mut buf = BytesMut::new();
+        encode_request(1, &Request::Update { product: 1, delta: 2 }, &mut buf);
+        let cut = buf.len() - 3;
+        let mut dec = Decoder::new();
+        dec.extend(&buf[..cut]);
+        assert_eq!(dec.next_request(), Ok(None));
+        assert_eq!(dec.finish(), Err(WireError::Truncated { dangling: cut }));
+    }
+}

@@ -1,0 +1,91 @@
+//! `avdb-loadgen` — drive a live TCP cluster through the wire-protocol
+//! gateway with many concurrent pipelined client connections, then
+//! oracle-check the run and write `results/BENCH_<label>.json` / `.txt`.
+//!
+//! ```text
+//! avdb-loadgen [--sites 7] [--updates 100000] [--connections 256]
+//!              [--window 32] [--seed 1] [--label loadgen]
+//!              [--out-dir results] [--flight-dir DIR] [--read-permille 10]
+//! ```
+//!
+//! Exit status is non-zero if the conformance oracle finds a violation
+//! (the BENCH files are still written, for post-mortem upload).
+
+use avdb::loadgen::{run, LoadgenSpec};
+use std::path::PathBuf;
+
+fn main() {
+    let mut spec = LoadgenSpec::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| die(&format!("{name} requires a value"))).clone()
+        };
+        match flag.as_str() {
+            "--sites" => spec.sites = parse(&value("--sites"), "--sites"),
+            "--updates" => spec.updates = parse(&value("--updates"), "--updates"),
+            "--connections" => {
+                spec.connections = parse(&value("--connections"), "--connections");
+            }
+            "--window" => spec.window = parse(&value("--window"), "--window"),
+            "--seed" => spec.seed = parse(&value("--seed"), "--seed"),
+            "--read-permille" => {
+                spec.read_permille = parse(&value("--read-permille"), "--read-permille");
+            }
+            "--label" => spec.label = value("--label"),
+            "--out-dir" => spec.out_dir = PathBuf::from(value("--out-dir")),
+            "--flight-dir" => spec.flight_dir = Some(PathBuf::from(value("--flight-dir"))),
+            "--help" | "-h" => {
+                println!(
+                    "avdb-loadgen: gateway load generator\n\
+                     --sites N          cluster size (default 7)\n\
+                     --updates N        total updates (default 100000)\n\
+                     --connections N    concurrent connections (default 256)\n\
+                     --window N         per-connection pipeline depth (default 32)\n\
+                     --seed N           workload seed (default 1)\n\
+                     --read-permille N  reads mixed in per mille (default 10)\n\
+                     --label S          BENCH label (default loadgen)\n\
+                     --out-dir DIR      report directory (default results)\n\
+                     --flight-dir DIR   write flight-recorder dump here"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+
+    match run(&spec) {
+        Ok(report) => {
+            println!(
+                "loadgen ok: {}/{} committed, {} aborted, {} failed; \
+                 p50 {}us p95 {}us p99 {}us; {} upd/s; oracle clean",
+                report.committed,
+                report.updates,
+                report.aborted,
+                report.failures,
+                report.latency_us.p50,
+                report.latency_us.p95,
+                report.latency_us.p99,
+                report.updates_per_sec,
+            );
+            println!(
+                "report: {}",
+                spec.out_dir.join(format!("BENCH_{}.json", spec.label)).display()
+            );
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().unwrap_or_else(|e| die(&format!("{name}: {e}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("avdb-loadgen: {msg}");
+    std::process::exit(1);
+}

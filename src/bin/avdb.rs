@@ -9,6 +9,7 @@
 //! avdb demo                                    # 3-site walkthrough
 //! avdb serve [--sites N] [--seed S] [--updates N] [--hold-ms MS]
 //!            [--addr-file PATH] [--flight-dir DIR]   # TCP cluster + /metrics
+//!                                  # + wire-protocol gateway (PATH.wire)
 //! avdb top --targets HOST:PORT,... [--interval-ms N] [--once] [--check]
 //! ```
 
@@ -227,12 +228,15 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts> {
     Ok(opts)
 }
 
-/// Boots a TCP cluster with per-site HTTP introspection, pumps a small
-/// deterministic workload through it, then holds the endpoints open for
-/// `--hold-ms` so `avdb top` / `curl` / CI can scrape them.
+/// Boots a TCP cluster with per-site HTTP introspection and a
+/// wire-protocol gateway, pumps a small deterministic workload through
+/// it, then holds the endpoints open for `--hold-ms` so `avdb top` /
+/// `curl` / wire clients / CI can scrape and drive them.
 fn cmd_serve(opts: &ServeOpts) -> Result<()> {
     use avdb::core::Input;
+    use avdb::gateway::{Gateway, GatewayConfig};
     use avdb::simnet::TcpMesh;
+    use std::sync::Arc;
 
     let cfg = SystemConfig::builder()
         .sites(opts.sites)
@@ -251,10 +255,13 @@ fn cmd_serve(opts: &ServeOpts) -> Result<()> {
         })
         .collect();
     let (mesh, addrs): (TcpMesh<Accelerator>, _) = TcpMesh::spawn_with_http(actors, opts.seed);
+    let mesh = Arc::new(mesh);
+    let gateway = Gateway::spawn(Arc::clone(&mesh), opts.sites, GatewayConfig::default());
 
     let lines: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+    let wire_lines: Vec<String> = gateway.addrs().iter().map(|a| a.to_string()).collect();
     for (i, line) in lines.iter().enumerate() {
-        println!("site {i}: http://{line}  (/metrics, /status)");
+        println!("site {i}: http://{line}  (/metrics, /status)  wire://{}", wire_lines[i]);
     }
     // A deterministic mixed workload: the base mints, retailers sell, and
     // one product runs the Immediate (2PC) path.
@@ -269,12 +276,15 @@ fn cmd_serve(opts: &ServeOpts) -> Result<()> {
         };
         mesh.inject(site, Input::Update(UpdateRequest::new(site, product, delta)));
     }
+    // The gateway's pump owns `drain_outputs`; counting through its
+    // outcome log avoids two drains racing for the same outcomes.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
-    let mut seen = 0usize;
-    while seen < opts.updates && std::time::Instant::now() < deadline {
-        seen += mesh.drain_outputs().len();
+    while (gateway.outcome_count() as usize) < opts.updates
+        && std::time::Instant::now() < deadline
+    {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
+    let seen = gateway.outcome_count();
     // Anti-entropy so the replication queues drain before scraping.
     for _ in 0..3 {
         for site in SiteId::all(opts.sites) {
@@ -290,10 +300,29 @@ fn cmd_serve(opts: &ServeOpts) -> Result<()> {
         }
         std::fs::write(path, lines.join("\n") + "\n")
             .map_err(|e| AvdbError::InvalidConfig(format!("--addr-file: {e}")))?;
+        // Wire-protocol addresses go in a sibling file: the main addr
+        // file stays HTTP-only so `avdb top` can consume it verbatim.
+        std::fs::write(path.with_extension("wire"), wire_lines.join("\n") + "\n")
+            .map_err(|e| AvdbError::InvalidConfig(format!("--addr-file: {e}")))?;
     }
     println!("workload done: {seen}/{} outcomes; holding {} ms", opts.updates, opts.hold_ms);
     std::thread::sleep(std::time::Duration::from_millis(opts.hold_ms));
 
+    let (_, _, gw_stats) = gateway.finish();
+    println!(
+        "gateway: {} accepted, {} refused, {} shed, {} wire updates",
+        gw_stats.accepted, gw_stats.refused, gw_stats.shed, gw_stats.updates
+    );
+    let mut arc = mesh;
+    let mesh = loop {
+        match Arc::try_unwrap(arc) {
+            Ok(mesh) => break mesh,
+            Err(still_shared) => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                arc = still_shared;
+            }
+        }
+    };
     let (actors, counters, _) = mesh.shutdown();
     if let Some(dir) = &opts.flight_dir {
         let mut dump = avdb::telemetry::FlightDump::new("serve-shutdown", 0);

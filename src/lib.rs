@@ -60,6 +60,15 @@ pub use avdb_sim as sim;
 pub use avdb_bench as bench;
 /// Adversarial nemesis engine and named scenario library.
 pub use avdb_chaos as chaos;
+/// Binary wire protocol: framing, request/response codec, typed errors.
+pub use avdb_wire as wire;
+/// Client-facing gateway: per-site wire listeners over a live TCP mesh.
+pub use avdb_gateway as gateway;
+/// Pipelined wire-protocol client and connection pool.
+pub use avdb_client as client;
+
+/// Client-side load generator behind `avdb-loadgen`.
+pub mod loadgen;
 
 /// Commonly used items, for `use avdb::prelude::*`.
 pub mod prelude {

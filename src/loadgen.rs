@@ -1,0 +1,407 @@
+//! Client-side load generator: drives a live TCP cluster through the
+//! wire-protocol gateway and verifies the run with the conformance
+//! oracle.
+//!
+//! Unlike the harness tests (which inject inputs straight into site
+//! mailboxes), the load generator exercises the full client path:
+//! `avdb-client` connections speak the binary wire protocol to the
+//! gateway listeners, pipeline updates up to a per-connection window,
+//! and measure the latency each *client* observes — connect, frame
+//! encode, gateway dispatch, accelerator commit, outcome routing, frame
+//! decode. Results land in `BENCH_<label>.json` / `.txt` next to the
+//! `avdb-bench` reports, and the whole run must pass the oracle before
+//! the report is considered valid.
+
+use crate::bench::Percentiles;
+use crate::core::{Accelerator, Input};
+use crate::oracle::Observation;
+use crate::prelude::*;
+use crate::simnet::TcpMesh;
+use crate::telemetry::Registry;
+use crate::workload::{scm_catalog, ArrivalPattern, Popularity, UpdateStream, WorkloadSpec};
+use avdb_client::{ClientError, Connection};
+use avdb_gateway::{Gateway, GatewayConfig, GatewayStats};
+use avdb_wire::{Request, Response};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parameters of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadgenSpec {
+    /// Cluster size (site 0 = maker).
+    pub sites: usize,
+    /// Total updates pushed through the gateway.
+    pub updates: usize,
+    /// Concurrent client connections, spread round-robin across sites.
+    pub connections: usize,
+    /// Per-connection pipeline depth (kept at the gateway's window, so a
+    /// well-behaved run never draws `OverWindow` errors).
+    pub window: usize,
+    /// Workload + cluster RNG seed.
+    pub seed: u64,
+    /// Regular (AV-managed, Delay-path) products.
+    pub regular_products: usize,
+    /// Non-regular (Immediate/2PC-path) products.
+    pub non_regular_products: usize,
+    /// Initial per-product stock.
+    pub initial_stock: i64,
+    /// Reads interleaved per mille of updates (served via introspection).
+    pub read_permille: u32,
+    /// Report label: results land in `BENCH_<label>.json` / `.txt`.
+    pub label: String,
+    /// Output directory for the BENCH files.
+    pub out_dir: PathBuf,
+    /// When set, accelerators keep flight recorders and a dump is
+    /// written here at shutdown (CI uploads it on failure).
+    pub flight_dir: Option<PathBuf>,
+}
+
+impl Default for LoadgenSpec {
+    fn default() -> Self {
+        LoadgenSpec {
+            sites: 7,
+            updates: 100_000,
+            connections: 256,
+            window: 32,
+            seed: 1,
+            regular_products: 15,
+            non_regular_products: 1,
+            initial_stock: 1_200_000,
+            read_permille: 10,
+            label: "loadgen".into(),
+            out_dir: PathBuf::from("results"),
+            flight_dir: None,
+        }
+    }
+}
+
+/// What one run produced; serialized as `BENCH_<label>.json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoadgenReport {
+    /// Report label.
+    pub label: String,
+    /// Cluster size.
+    pub sites: usize,
+    /// Updates requested.
+    pub updates: usize,
+    /// Client connections.
+    pub connections: usize,
+    /// Per-connection pipeline window.
+    pub window: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Client-observed committed updates.
+    pub committed: u64,
+    /// Client-observed aborted updates (typed abort responses).
+    pub aborted: u64,
+    /// Read responses received.
+    pub reads: u64,
+    /// Typed wire-level error responses (over-window, shed, …).
+    pub wire_errors: u64,
+    /// Requests that got no usable reply (timeout / connection died).
+    pub failures: u64,
+    /// Client-observed request latency in microseconds.
+    pub latency_us: Percentiles,
+    /// Wall-clock time of the drive phase in milliseconds.
+    pub wall_ms: u64,
+    /// Updates resolved per second of drive time.
+    pub updates_per_sec: u64,
+    /// Gateway-side counters.
+    pub gateway: GatewayStats,
+    /// Whether the conformance oracle passed.
+    pub oracle_ok: bool,
+}
+
+/// Per-worker tally, merged after the drive phase.
+#[derive(Default)]
+struct WorkerTally {
+    committed: u64,
+    aborted: u64,
+    reads: u64,
+    wire_errors: u64,
+    failures: u64,
+    latency_us: Vec<u64>,
+}
+
+/// Runs one load-generation session end to end: boots the cluster and
+/// gateway, drives the workload, settles, shuts down, oracle-checks, and
+/// writes the BENCH report. Returns the report, or the oracle's
+/// violation list (the report files are written either way).
+pub fn run(spec: &LoadgenSpec) -> std::result::Result<LoadgenReport, String> {
+    assert!(spec.sites >= 1 && spec.window >= 1);
+    assert!(
+        spec.connections >= spec.sites,
+        "need at least one connection per site ({} < {})",
+        spec.connections,
+        spec.sites
+    );
+    let cfg = SystemConfig::builder()
+        .sites(spec.sites)
+        .regular_products(spec.regular_products, Volume(spec.initial_stock))
+        .non_regular_products(spec.non_regular_products, Volume(spec.initial_stock))
+        .propagation_batch(5)
+        .seed(spec.seed)
+        .build()
+        .map_err(|e| format!("config: {e}"))?;
+    let actors: Vec<Accelerator> = SiteId::all(spec.sites)
+        .map(|s| {
+            let mut acc = Accelerator::new(s, &cfg);
+            if let Some(dir) = &spec.flight_dir {
+                acc.enable_flight_dump(dir.clone());
+            }
+            acc
+        })
+        .collect();
+    let (mesh, _http) = TcpMesh::spawn_with_http(actors, spec.seed);
+    let mesh = Arc::new(mesh);
+    let gateway = Gateway::spawn(
+        Arc::clone(&mesh),
+        spec.sites,
+        GatewayConfig {
+            max_connections: spec.connections,
+            max_in_flight: spec.window,
+            shed_after: spec.window,
+            queue_slack: spec.window,
+        },
+    );
+
+    // The workload's deterministic request stream, grouped by site; each
+    // connection serves one site and drains its slice of that site's
+    // requests. (The gateway stamps the connection's site into every
+    // update, so site affinity is part of the protocol.)
+    let catalog =
+        scm_catalog(spec.regular_products, spec.non_regular_products, Volume(spec.initial_stock));
+    let stream = UpdateStream::new(
+        WorkloadSpec {
+            n_sites: spec.sites,
+            n_updates: spec.updates,
+            maker_increase_pct: 20,
+            retailer_decrease_pct: 10,
+            popularity: Popularity::Uniform,
+            spacing: 0,
+            arrival: ArrivalPattern::Even,
+            seed: spec.seed,
+        },
+        &catalog,
+    )
+    .collect_all();
+    let mut per_conn: Vec<Vec<(u32, i64)>> = vec![Vec::new(); spec.connections];
+    // Connection `i` serves site `i % sites`; round-robin each site's
+    // requests over exactly the connections bound to that site.
+    let lanes_by_site: Vec<Vec<usize>> = (0..spec.sites)
+        .map(|s| (0..spec.connections).filter(|i| i % spec.sites == s).collect())
+        .collect();
+    let mut site_rr = vec![0usize; spec.sites];
+    for (_, req) in &stream {
+        let site = req.site.index();
+        let lanes = &lanes_by_site[site];
+        let lane = lanes[site_rr[site]];
+        site_rr[site] = (site_rr[site] + 1) % lanes.len();
+        per_conn[lane].push((req.product.0, req.delta.get()));
+    }
+
+    let addrs: Vec<std::net::SocketAddr> = gateway.addrs().to_vec();
+    let drive_start = Instant::now();
+    let workers: Vec<std::thread::JoinHandle<WorkerTally>> = per_conn
+        .into_iter()
+        .enumerate()
+        .map(|(i, reqs)| {
+            let addr = addrs[i % spec.sites];
+            let window = spec.window;
+            let read_permille = spec.read_permille;
+            std::thread::spawn(move || drive_connection(addr, &reqs, window, read_permille))
+        })
+        .collect();
+    let mut tally = WorkerTally::default();
+    for w in workers {
+        let t = w.join().expect("loadgen worker");
+        tally.committed += t.committed;
+        tally.aborted += t.aborted;
+        tally.reads += t.reads;
+        tally.wire_errors += t.wire_errors;
+        tally.failures += t.failures;
+        tally.latency_us.extend(t.latency_us);
+    }
+    let wall_ms = drive_start.elapsed().as_millis() as u64;
+
+    // Every accepted update's outcome must drain before settling.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while gateway.outcome_count() < gateway.stats().updates && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for _ in 0..3 {
+        for site in SiteId::all(spec.sites) {
+            mesh.inject(site, Input::FlushPropagation);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (submissions, mut outcomes, gw_stats) = gateway.finish();
+    let mesh = Arc::try_unwrap(mesh).map_err(|_| "mesh still referenced at shutdown")?;
+    let (actors, counters, leftovers) = mesh.shutdown();
+    outcomes.extend(leftovers);
+
+    // Client-observed latency lands in the telemetry registry alongside
+    // the protocol counters, like every other instrumented subsystem.
+    let mut registry = Registry::new();
+    for us in &tally.latency_us {
+        registry.observe("loadgen_client_latency_us", *us);
+    }
+    tally.latency_us.sort_unstable();
+    let latency = Percentiles::from_sorted(&tally.latency_us);
+
+    let report_ora = crate::oracle::check(&Observation::from_accelerators(
+        cfg,
+        &actors,
+        submissions,
+        outcomes,
+        counters.snapshot(),
+    ));
+
+    let resolved = tally.committed + tally.aborted;
+    let report = LoadgenReport {
+        label: spec.label.clone(),
+        sites: spec.sites,
+        updates: spec.updates,
+        connections: spec.connections,
+        window: spec.window,
+        seed: spec.seed,
+        committed: tally.committed,
+        aborted: tally.aborted,
+        reads: tally.reads,
+        wire_errors: tally.wire_errors,
+        failures: tally.failures,
+        latency_us: latency,
+        wall_ms,
+        updates_per_sec: (resolved * 1000).checked_div(wall_ms).unwrap_or(0),
+        gateway: gw_stats,
+        oracle_ok: report_ora.is_ok(),
+    };
+    write_report(spec, &report)?;
+    if let Some(dir) = &spec.flight_dir {
+        let mut dump = crate::telemetry::FlightDump::new("loadgen-shutdown", spec.seed);
+        for acc in &actors {
+            dump.push_site(acc.site().0, acc.flight());
+        }
+        std::fs::create_dir_all(dir).map_err(|e| format!("flight dir: {e}"))?;
+        std::fs::write(dir.join("loadgen-shutdown.json"), dump.to_json())
+            .map_err(|e| format!("flight dump: {e}"))?;
+    }
+    if !report_ora.is_ok() {
+        return Err(format!("oracle violations in loadgen run:\n{report_ora}"));
+    }
+    Ok(report)
+}
+
+/// One closed-loop worker: pipelines updates up to `window` deep on a
+/// single connection and waits for replies FIFO, timing each request
+/// from submit to reply.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    reqs: &[(u32, i64)],
+    window: usize,
+    read_permille: u32,
+) -> WorkerTally {
+    let mut tally = WorkerTally::default();
+    let conn = match Connection::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.failures += reqs.len() as u64;
+            return tally;
+        }
+    };
+    let timeout = Duration::from_secs(30);
+    let mut pending: VecDeque<(avdb_client::PendingReply, Instant)> = VecDeque::new();
+    for (i, (product, delta)) in reqs.iter().enumerate() {
+        // A sprinkle of reads exercises the introspection path under
+        // update load without counting toward the oracle's ledger.
+        if read_permille > 0 && (i as u64 * read_permille as u64) % 1000 < read_permille as u64 {
+            match conn.call(&Request::Read { product: *product }, timeout) {
+                Ok(Response::ReadOk { .. }) => tally.reads += 1,
+                Ok(_) => tally.wire_errors += 1,
+                Err(_) => tally.failures += 1,
+            }
+        }
+        match conn.submit(&Request::Update { product: *product, delta: *delta }) {
+            Ok(reply) => pending.push_back((reply, Instant::now())),
+            Err(_) => {
+                tally.failures += 1;
+                continue;
+            }
+        }
+        if pending.len() >= window {
+            let (reply, started) = pending.pop_front().expect("non-empty pipeline");
+            settle_reply(&mut tally, reply.wait(timeout), started);
+        }
+    }
+    while let Some((reply, started)) = pending.pop_front() {
+        settle_reply(&mut tally, reply.wait(timeout), started);
+    }
+    tally
+}
+
+/// Folds one reply into the tally.
+fn settle_reply(
+    tally: &mut WorkerTally,
+    result: std::result::Result<Response, ClientError>,
+    started: Instant,
+) {
+    match result {
+        Ok(Response::Committed { .. }) => {
+            tally.committed += 1;
+            tally.latency_us.push(started.elapsed().as_micros() as u64);
+        }
+        Ok(Response::Aborted { .. }) => {
+            tally.aborted += 1;
+            tally.latency_us.push(started.elapsed().as_micros() as u64);
+        }
+        Ok(_) => tally.wire_errors += 1,
+        Err(_) => tally.failures += 1,
+    }
+}
+
+/// Writes `BENCH_<label>.json` (machine-readable) and `.txt` (human).
+fn write_report(spec: &LoadgenSpec, report: &LoadgenReport) -> std::result::Result<(), String> {
+    std::fs::create_dir_all(&spec.out_dir).map_err(|e| format!("out dir: {e}"))?;
+    let json = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(spec.out_dir.join(format!("BENCH_{}.json", spec.label)), json)
+        .map_err(|e| format!("BENCH json: {e}"))?;
+    let txt = format!(
+        "loadgen {label}: {sites} sites, {connections} conns (window {window}), seed {seed}\n\
+         updates     : {updates} requested, {committed} committed, {aborted} aborted\n\
+         reads       : {reads}\n\
+         errors      : {wire_errors} wire, {failures} failed\n\
+         latency  us : p50 {p50}  p95 {p95}  p99 {p99}  max {max}\n\
+         drive       : {wall_ms} ms  ({ups}/s)\n\
+         gateway     : {acc} accepted, {refused} refused, {shed} shed, {ow} over-window\n\
+         oracle      : {oracle}\n",
+        label = report.label,
+        sites = report.sites,
+        connections = report.connections,
+        window = report.window,
+        seed = report.seed,
+        updates = report.updates,
+        committed = report.committed,
+        aborted = report.aborted,
+        reads = report.reads,
+        wire_errors = report.wire_errors,
+        failures = report.failures,
+        p50 = report.latency_us.p50,
+        p95 = report.latency_us.p95,
+        p99 = report.latency_us.p99,
+        max = report.latency_us.max,
+        wall_ms = report.wall_ms,
+        ups = report.updates_per_sec,
+        acc = report.gateway.accepted,
+        refused = report.gateway.refused,
+        shed = report.gateway.shed,
+        ow = report.gateway.over_window,
+        oracle = if report.oracle_ok { "ok" } else { "VIOLATIONS" },
+    );
+    std::fs::write(spec.out_dir.join(format!("BENCH_{}.txt", spec.label)), txt)
+        .map_err(|e| format!("BENCH txt: {e}"))?;
+    Ok(())
+}

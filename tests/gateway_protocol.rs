@@ -1,0 +1,453 @@
+//! Gateway torture suite: pipelining correctness and seed-stable
+//! determinism, admission control, in-flight-window backpressure,
+//! slow-client shedding, and wire-level abuse (garbage headers, unknown
+//! kinds, mid-frame disconnects) — all against a live TCP cluster, with
+//! the conformance oracle auditing every update that made it in.
+
+use avdb::client::Connection;
+use avdb::core::{Accelerator, Input};
+use avdb::gateway::{Gateway, GatewayConfig};
+use avdb::oracle::Observation;
+use avdb::prelude::*;
+use avdb::simnet::TcpMesh;
+use avdb::wire::{
+    encode_request, Decoder, ErrorCode, Request, Response, MAGIC, VERSION,
+};
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---- harness --------------------------------------------------------------
+
+/// A live 3-site cluster with a gateway in front of it.
+struct Cluster {
+    cfg: SystemConfig,
+    mesh: Arc<TcpMesh<Accelerator>>,
+    gateway: Gateway,
+}
+
+/// Boots `sites` accelerators (4 Delay products, 1 Immediate product)
+/// behind a gateway with the given knobs.
+fn boot(sites: usize, seed: u64, gw: GatewayConfig) -> Cluster {
+    let cfg = SystemConfig::builder()
+        .sites(sites)
+        .regular_products(4, Volume(9_000))
+        .non_regular_products(1, Volume(9_000))
+        .seed(seed)
+        .build()
+        .expect("config");
+    let actors: Vec<Accelerator> =
+        SiteId::all(sites).map(|s| Accelerator::new(s, &cfg)).collect();
+    let (mesh, _http) = TcpMesh::spawn_with_http(actors, seed);
+    let mesh = Arc::new(mesh);
+    let gateway = Gateway::spawn(Arc::clone(&mesh), sites, gw);
+    Cluster { cfg, mesh, gateway }
+}
+
+impl Cluster {
+    fn addr(&self, site: usize) -> SocketAddr {
+        self.gateway.addrs()[site]
+    }
+
+    /// Waits for every accepted update's outcome, settles replication,
+    /// shuts everything down, and runs the conformance oracle.
+    fn finish_checked(self, context: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while self.gateway.outcome_count() < self.gateway.stats().updates {
+            assert!(Instant::now() < deadline, "{context}: outcomes never drained");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let n_sites = self.cfg.n_sites;
+        for _ in 0..3 {
+            for site in SiteId::all(n_sites) {
+                self.mesh.inject(site, Input::FlushPropagation);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let (submissions, mut outcomes, _stats) = self.gateway.finish();
+        // Retired connection threads release their mesh handle
+        // asynchronously; wait for the last clone to drop.
+        let mut arc = self.mesh;
+        let mesh = loop {
+            match Arc::try_unwrap(arc) {
+                Ok(mesh) => break mesh,
+                Err(still_shared) => {
+                    assert!(Instant::now() < deadline, "{context}: mesh never released");
+                    std::thread::sleep(Duration::from_millis(2));
+                    arc = still_shared;
+                }
+            }
+        };
+        let (actors, counters, leftovers) = mesh.shutdown();
+        outcomes.extend(leftovers);
+        avdb::oracle::check(&Observation::from_accelerators(
+            self.cfg,
+            &actors,
+            submissions,
+            outcomes,
+            counters.snapshot(),
+        ))
+        .assert_ok(context);
+    }
+}
+
+/// Writes one update frame to a raw socket.
+fn raw_update(stream: &mut TcpStream, req_id: u64, product: u32, delta: i64) {
+    let mut buf = BytesMut::new();
+    encode_request(req_id, &Request::Update { product, delta }, &mut buf);
+    stream.write_all(&buf).expect("write update frame");
+}
+
+/// Reads response frames from a raw socket until `n` arrived, EOF, or
+/// the deadline — whichever first. Returns them in arrival order.
+fn raw_responses(stream: &mut TcpStream, n: usize, deadline: Duration) -> Vec<(u64, Response)> {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("read timeout");
+    let end = Instant::now() + deadline;
+    let mut dec = Decoder::new();
+    let mut got = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while got.len() < n && Instant::now() < end {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(read) => {
+                dec.extend(&chunk[..read]);
+                while let Ok(Some(frame)) = dec.next_response() {
+                    got.push(frame);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    got
+}
+
+// ---- pipelining -----------------------------------------------------------
+
+/// Drives one pipelined connection and returns (arrival order of request
+/// ids, canonical transcript keyed by request id).
+fn pipelined_run(seed: u64) -> (Vec<u64>, String) {
+    let cluster = boot(3, seed, GatewayConfig::default());
+    let mut stream = TcpStream::connect(cluster.addr(1)).expect("connect site 1");
+    stream.set_nodelay(true).expect("nodelay");
+
+    // Request 100: a shortage-path Delay update — site 1's local AV
+    // share (9000/3 = 3000) cannot cover -4000, so the accelerator must
+    // gather AV from its peers over several round trips. Requests
+    // 101..=147: small local Delay commits that complete instantly.
+    // Pipelining means the small ones overtake the shortage update.
+    raw_update(&mut stream, 100, 0, -4_000);
+    for i in 0..47u64 {
+        raw_update(&mut stream, 101 + i, 1 + (i % 3) as u32, -(1 + (i % 3) as i64));
+    }
+    let got = raw_responses(&mut stream, 48, Duration::from_secs(20));
+    assert_eq!(got.len(), 48, "every pipelined request must be answered");
+
+    let arrival: Vec<u64> = got.iter().map(|(id, _)| *id).collect();
+    let mut ids: Vec<u64> = arrival.clone();
+    ids.sort_unstable();
+    assert_eq!(ids, (100..148).collect::<Vec<u64>>(), "ids match exactly once");
+
+    let mut sorted = got;
+    sorted.sort_by_key(|(id, _)| *id);
+    let transcript = sorted
+        .iter()
+        .map(|(id, resp)| match resp {
+            // `completed_at` is wall-derived on the live transport, so the
+            // canonical transcript excludes it.
+            Response::Committed { txn, kind, correspondences, .. } => {
+                format!("{id} committed txn={txn} kind={kind:?} corr={correspondences}")
+            }
+            Response::Aborted { txn, code, correspondences, .. } => {
+                format!("{id} aborted txn={txn} code={code:?} corr={correspondences}")
+            }
+            other => format!("{id} {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    drop(stream);
+    cluster.finish_checked("pipelining");
+    (arrival, transcript)
+}
+
+/// N interleaved requests on one connection are matched by request id
+/// regardless of completion order, and the transcript is byte-identical
+/// across two runs of the same seed.
+#[test]
+fn pipelining_matches_by_id_and_is_seed_stable() {
+    let (arrival, transcript_a) = pipelined_run(11);
+    // The shortage update (id 100) was submitted first but needs peer
+    // round trips; at least one later local commit must overtake it.
+    let pos_shortage = arrival.iter().position(|&id| id == 100).expect("id 100 answered");
+    assert!(
+        pos_shortage > 0,
+        "expected out-of-order completion; shortage update finished first"
+    );
+    // All 48 committed: the shortage was satisfiable from peer AV.
+    assert!(transcript_a.lines().all(|l| l.contains("committed")), "{transcript_a}");
+
+    let (_, transcript_b) = pipelined_run(11);
+    assert_eq!(transcript_a, transcript_b, "same seed must give identical transcripts");
+}
+
+// ---- admission ------------------------------------------------------------
+
+/// Connections beyond the per-site cap are refused with a typed error,
+/// and the slot frees up when an admitted connection leaves.
+#[test]
+fn admission_cap_refuses_with_typed_error() {
+    let cluster = boot(3, 21, GatewayConfig { max_connections: 1, ..GatewayConfig::default() });
+
+    let admitted = Connection::connect(cluster.addr(0)).expect("first connection");
+    let resp = admitted.call(&Request::Ping, Duration::from_secs(5)).expect("ping");
+    assert_eq!(format!("{resp:?}"), format!("{:?}", Response::Pong));
+
+    // Over the cap: the refusal is a typed wire error, then close.
+    let mut refused = TcpStream::connect(cluster.addr(0)).expect("tcp connect");
+    let frames = raw_responses(&mut refused, 1, Duration::from_secs(5));
+    match frames.as_slice() {
+        [(0, Response::Error { code: ErrorCode::AdmissionRefused, .. })] => {}
+        other => panic!("want AdmissionRefused, got {other:?}"),
+    }
+    assert_eq!(cluster.gateway.stats().refused, 1);
+
+    // A different site's listener has its own cap.
+    let other_site = Connection::connect(cluster.addr(1)).expect("site 1 connection");
+    other_site.call(&Request::Ping, Duration::from_secs(5)).expect("site 1 ping");
+
+    // Dropping the admitted connection frees the slot.
+    drop(admitted);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while cluster.gateway.connections(0) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let readmitted = Connection::connect(cluster.addr(0)).expect("slot freed");
+    readmitted.call(&Request::Ping, Duration::from_secs(5)).expect("ping after readmit");
+
+    cluster.finish_checked("admission");
+}
+
+// ---- backpressure ---------------------------------------------------------
+
+/// Pipelining past the in-flight window draws typed `OverWindow` errors
+/// while the blocking update is still in flight.
+#[test]
+fn over_window_requests_get_typed_errors() {
+    let cluster = boot(
+        3,
+        31,
+        GatewayConfig { max_in_flight: 1, shed_after: 100, ..GatewayConfig::default() },
+    );
+    let mut stream = TcpStream::connect(cluster.addr(0)).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+
+    // Product 4 is Immediate (2PC across all sites): the commit takes
+    // several network round trips, holding the window open while the
+    // two follow-ups arrive.
+    raw_update(&mut stream, 1, 4, -10);
+    raw_update(&mut stream, 2, 1, -1);
+    raw_update(&mut stream, 3, 2, -1);
+
+    let got = raw_responses(&mut stream, 3, Duration::from_secs(20));
+    assert_eq!(got.len(), 3, "all three answered");
+    let over: Vec<u64> = got
+        .iter()
+        .filter_map(|(id, r)| {
+            matches!(r, Response::Error { code: ErrorCode::OverWindow, .. }).then_some(*id)
+        })
+        .collect();
+    assert_eq!(over, vec![2, 3], "both over-window requests refused, in order");
+    // The blocking update itself must resolve normally (id 1).
+    let resolved: Vec<&(u64, Response)> = got
+        .iter()
+        .filter(|(_, r)| matches!(r, Response::Committed { .. } | Response::Aborted { .. }))
+        .collect();
+    assert_eq!(resolved.len(), 1);
+    assert_eq!(resolved[0].0, 1, "blocking update answered by id");
+    assert_eq!(cluster.gateway.stats().over_window, 2);
+
+    drop(stream);
+    cluster.finish_checked("over-window");
+}
+
+/// A reader that stops draining and keeps pipelining is shed after its
+/// strike budget — without delaying a concurrent well-behaved client.
+#[test]
+fn slow_client_is_shed_without_stalling_fast_client() {
+    let cluster = boot(
+        3,
+        41,
+        GatewayConfig {
+            max_in_flight: 1,
+            shed_after: 3,
+            queue_slack: 8,
+            ..GatewayConfig::default()
+        },
+    );
+
+    // The abuser: one Immediate update to hold the window, then a burst
+    // far past the strike budget, never reading a single response.
+    let mut abuser = TcpStream::connect(cluster.addr(0)).expect("connect abuser");
+    abuser.set_nodelay(true).expect("nodelay");
+    let mut burst = BytesMut::new();
+    encode_request(1, &Request::Update { product: 4, delta: -10 }, &mut burst);
+    for i in 0..16u64 {
+        encode_request(2 + i, &Request::Update { product: 1, delta: -1 }, &mut burst);
+    }
+    abuser.write_all(&burst).expect("write burst");
+
+    // Meanwhile a fast client on its own connection (same site) gets
+    // every update through promptly.
+    let fast = Connection::connect(cluster.addr(0)).expect("connect fast client");
+    for i in 0..20 {
+        let resp = fast
+            .call(
+                &Request::Update { product: 1 + (i % 3), delta: -1 },
+                Duration::from_secs(5),
+            )
+            .expect("fast client never stalls");
+        assert!(
+            matches!(resp, Response::Committed { .. }),
+            "fast client update {i}: {resp:?}"
+        );
+    }
+
+    // The abuser must be shed (strike budget exhausted).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.gateway.stats().shed == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = cluster.gateway.stats();
+    assert_eq!(stats.shed, 1, "abuser shed exactly once");
+    assert!(stats.over_window >= 3, "strikes were recorded: {stats:?}");
+
+    drop(abuser);
+    drop(fast);
+    // The abuser's *accepted* updates still went through the protocol;
+    // the oracle accounts for every one of them.
+    cluster.finish_checked("slow-client-shed");
+}
+
+// ---- wire-level torture ---------------------------------------------------
+
+/// Garbage where a header should be: typed `Malformed` error, then the
+/// gateway closes the connection — and keeps serving everyone else.
+#[test]
+fn garbage_header_gets_typed_error_then_close() {
+    let cluster = boot(3, 51, GatewayConfig::default());
+    let mut vandal = TcpStream::connect(cluster.addr(2)).expect("connect");
+    vandal.write_all(b"GET / HTTP/1.1\r\nHost: not-a-wire-client\r\n\r\n").expect("write");
+    let frames = raw_responses(&mut vandal, 1, Duration::from_secs(5));
+    match frames.as_slice() {
+        [(0, Response::Error { code: ErrorCode::Malformed, .. })] => {}
+        other => panic!("want Malformed error, got {other:?}"),
+    }
+    // Connection is closed after the error frame.
+    vandal.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let mut rest = Vec::new();
+    let _ = vandal.read_to_end(&mut rest);
+    assert!(rest.is_empty(), "nothing after the typed error");
+
+    // The cluster is unbothered.
+    let healthy = Connection::connect(cluster.addr(2)).expect("connect after vandal");
+    healthy.call(&Request::Ping, Duration::from_secs(5)).expect("ping");
+    cluster.finish_checked("garbage-header");
+}
+
+/// A well-framed request of unknown kind is answered with a typed error
+/// carrying its request id, and the connection survives.
+#[test]
+fn unknown_kind_is_answered_and_connection_survives() {
+    let cluster = boot(3, 61, GatewayConfig::default());
+    let mut stream = TcpStream::connect(cluster.addr(0)).expect("connect");
+
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC.to_be_bytes());
+    frame.push(VERSION);
+    frame.push(0x7F); // no such kind
+    frame.extend_from_slice(&777u64.to_be_bytes());
+    frame.extend_from_slice(&0u32.to_be_bytes());
+    stream.write_all(&frame).expect("write unknown-kind frame");
+
+    let frames = raw_responses(&mut stream, 1, Duration::from_secs(5));
+    match frames.as_slice() {
+        [(777, Response::Error { code: ErrorCode::UnsupportedKind, .. })] => {}
+        other => panic!("want UnsupportedKind for id 777, got {other:?}"),
+    }
+
+    // Framing stayed intact: a valid request on the same connection works.
+    raw_update(&mut stream, 778, 1, -1);
+    let frames = raw_responses(&mut stream, 1, Duration::from_secs(10));
+    match frames.as_slice() {
+        [(778, Response::Committed { .. })] => {}
+        other => panic!("want commit for id 778, got {other:?}"),
+    }
+    drop(stream);
+    cluster.finish_checked("unknown-kind");
+}
+
+/// A client that dies mid-frame neither crashes nor wedges the gateway;
+/// the requests completed before the cut are fully accounted for.
+#[test]
+fn mid_frame_disconnect_is_contained() {
+    let cluster = boot(3, 71, GatewayConfig::default());
+    let mut stream = TcpStream::connect(cluster.addr(1)).expect("connect");
+
+    // One whole update, then half a frame, then vanish.
+    let mut buf = BytesMut::new();
+    encode_request(5, &Request::Update { product: 1, delta: -2 }, &mut buf);
+    let mut half = BytesMut::new();
+    encode_request(6, &Request::Update { product: 2, delta: -3 }, &mut half);
+    stream.write_all(&buf).expect("whole frame");
+    stream.write_all(&half[..half.len() / 2]).expect("half frame");
+    drop(stream);
+
+    // The gateway retires the connection and stays healthy.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.gateway.stats().closed == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(cluster.gateway.stats().closed, 1, "mid-frame EOF is a clean close");
+    assert_eq!(cluster.gateway.stats().updates, 1, "only the whole frame was accepted");
+
+    let healthy = Connection::connect(cluster.addr(1)).expect("connect after disconnect");
+    healthy.call(&Request::Ping, Duration::from_secs(5)).expect("ping");
+    drop(healthy);
+    // The accepted update is in the submission log; the oracle checks it.
+    cluster.finish_checked("mid-frame-disconnect");
+}
+
+// ---- loadgen smoke --------------------------------------------------------
+
+/// The whole client path at small scale: loadgen drives a 3-site
+/// cluster through the gateway, oracle-checks, and writes BENCH files.
+#[test]
+fn loadgen_smoke_is_oracle_clean() {
+    let dir = std::env::temp_dir().join(format!("avdb-loadgen-smoke-{}", std::process::id()));
+    let spec = avdb::loadgen::LoadgenSpec {
+        sites: 3,
+        updates: 300,
+        connections: 9,
+        window: 8,
+        seed: 5,
+        label: "smoke-test".into(),
+        out_dir: dir.clone(),
+        ..avdb::loadgen::LoadgenSpec::default()
+    };
+    let report = avdb::loadgen::run(&spec).expect("loadgen run is oracle-clean");
+    assert!(report.oracle_ok);
+    assert_eq!(report.failures, 0, "no lost replies on a clean run");
+    assert_eq!(report.committed + report.aborted, 300, "every update resolved");
+    assert!(dir.join("BENCH_smoke-test.json").is_file());
+    assert!(dir.join("BENCH_smoke-test.txt").is_file());
+    let _ = std::fs::remove_dir_all(&dir);
+}

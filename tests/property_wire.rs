@@ -1,0 +1,255 @@
+//! Property torture for the wire-protocol frame codec: arbitrary
+//! requests and responses survive a roundtrip through arbitrary
+//! chunkings, and no input — truncated, oversized, bit-flipped, or pure
+//! garbage — may ever panic, hang, or yield anything but a typed error.
+
+use avdb::wire::{
+    encode_request, encode_response, AbortCode, CommitKind, Decoder, ErrorCode, Request, Response,
+    WireError, HEADER_LEN, MAX_PAYLOAD,
+};
+use bytes::BytesMut;
+use proptest::prelude::*;
+
+// ---- strategies -----------------------------------------------------------
+
+fn requests() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (0u32..=u32::MAX, i64::MIN..=i64::MAX)
+            .prop_map(|(product, delta)| Request::Update { product, delta }),
+        (0u32..=u32::MAX).prop_map(|product| Request::Read { product }),
+        Just(Request::Status),
+        Just(Request::Ping),
+    ]
+}
+
+/// Arbitrary UTF-8 payload strings, including empty and non-ASCII.
+fn details() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("ünïcodé 火入れ ✓".to_string()),
+        prop::collection::vec(32u8..127, 0..48)
+            .prop_map(|v| String::from_utf8_lossy(&v).into_owned()),
+    ]
+}
+
+fn abort_codes() -> impl Strategy<Value = AbortCode> {
+    prop_oneof![
+        Just(AbortCode::Other),
+        Just(AbortCode::InsufficientAv),
+        Just(AbortCode::PrepareFailed),
+        Just(AbortCode::SiteUnavailable),
+        Just(AbortCode::NegativeStock),
+        Just(AbortCode::UnknownProduct),
+        Just(AbortCode::NotDelayEligible),
+        Just(AbortCode::RolledBack),
+    ]
+}
+
+fn error_codes() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Malformed),
+        Just(ErrorCode::UnsupportedVersion),
+        Just(ErrorCode::UnsupportedKind),
+        Just(ErrorCode::AdmissionRefused),
+        Just(ErrorCode::OverWindow),
+        Just(ErrorCode::Shed),
+        Just(ErrorCode::Unavailable),
+    ]
+}
+
+fn responses() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX).prop_map(
+            |(txn, completed_at, correspondences)| Response::Committed {
+                txn,
+                kind: if txn % 2 == 0 { CommitKind::Delay } else { CommitKind::Immediate },
+                completed_at,
+                correspondences,
+            }
+        ),
+        ((0u64..=u64::MAX, 0u64..=u64::MAX), abort_codes(), details()).prop_map(
+            |((txn, correspondences), code, detail)| Response::Aborted {
+                txn,
+                code,
+                correspondences,
+                detail,
+            }
+        ),
+        ((0u32..=u32::MAX, i64::MIN..=i64::MAX), any::<bool>(), i64::MIN..=i64::MAX).prop_map(
+            |((product, stock), av_defined, av_available)| Response::ReadOk {
+                product,
+                stock,
+                av_defined,
+                av_available,
+            }
+        ),
+        details().prop_map(|json| Response::StatusOk { json }),
+        Just(Response::Pong),
+        (error_codes(), details())
+            .prop_map(|(code, detail)| Response::Error { code, detail }),
+    ]
+}
+
+/// Feeds `bytes` to a decoder in the chunk sizes dictated by `cuts`.
+fn chunked(dec: &mut Decoder, bytes: &[u8], cuts: &[usize]) {
+    let mut offset = 0;
+    let mut cut_iter = cuts.iter().cycle();
+    while offset < bytes.len() {
+        let step = (*cut_iter.next().unwrap() % 37 + 1).min(bytes.len() - offset);
+        dec.extend(&bytes[offset..offset + step]);
+        offset += step;
+    }
+}
+
+// ---- roundtrip ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any pipelined sequence of requests, cut into arbitrary chunks,
+    /// decodes back byte-exact — ids, order, and payloads all intact.
+    #[test]
+    fn request_roundtrip_survives_any_chunking(
+        reqs in prop::collection::vec((0u64..=u64::MAX, requests()), 1..24),
+        cuts in prop::collection::vec(0usize..1_000, 1..12),
+    ) {
+        let mut buf = BytesMut::new();
+        for (id, req) in &reqs {
+            encode_request(*id, req, &mut buf);
+        }
+        let mut dec = Decoder::new();
+        chunked(&mut dec, &buf, &cuts);
+        let mut got = Vec::new();
+        while let Some(frame) = dec.next_request().expect("valid stream") {
+            got.push(frame);
+        }
+        prop_assert_eq!(&got, &reqs);
+        prop_assert!(dec.finish().is_ok(), "clean stream must end clean");
+    }
+
+    /// Same for responses, including ones carrying arbitrary UTF-8.
+    #[test]
+    fn response_roundtrip_survives_any_chunking(
+        resps in prop::collection::vec((0u64..=u64::MAX, responses()), 1..24),
+        cuts in prop::collection::vec(0usize..1_000, 1..12),
+    ) {
+        let mut buf = BytesMut::new();
+        for (id, resp) in &resps {
+            encode_response(*id, resp, &mut buf);
+        }
+        let mut dec = Decoder::new();
+        chunked(&mut dec, &buf, &cuts);
+        let mut got = Vec::new();
+        while let Some(frame) = dec.next_response().expect("valid stream") {
+            got.push(frame);
+        }
+        prop_assert_eq!(&got, &resps);
+        prop_assert!(dec.finish().is_ok(), "clean stream must end clean");
+    }
+
+    // ---- adversarial inputs ----------------------------------------------
+
+    /// Pure garbage never panics or hangs: the decoder either consumes it
+    /// as (unlikely) valid frames or returns a typed error, in bounded
+    /// steps.
+    #[test]
+    fn garbage_never_panics(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        // Each iteration either consumes a frame, errors, or needs more
+        // input: all three terminate the loop in bounded time.
+        for _ in 0..bytes.len() + 1 {
+            match dec.next_request() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(_) => break, // typed error, never a panic
+            }
+        }
+        let _ = dec.finish();
+    }
+
+    /// A truncated valid frame is reported as `Truncated` at EOF with
+    /// the exact number of dangling bytes — never a hang, never a panic.
+    #[test]
+    fn truncation_is_typed(
+        req in requests(),
+        id in 0u64..=u64::MAX,
+        keep_permille in 0u32..1000,
+    ) {
+        let mut buf = BytesMut::new();
+        encode_request(id, &req, &mut buf);
+        let keep = (buf.len() as u64 * keep_permille as u64 / 1000) as usize;
+        if keep == buf.len() {
+            return Ok(());
+        }
+        let mut dec = Decoder::new();
+        dec.extend(&buf[..keep]);
+        prop_assert!(dec.next_request().expect("prefix is incomplete, not invalid").is_none());
+        if keep == 0 {
+            prop_assert!(dec.finish().is_ok(), "empty stream ends clean");
+        } else {
+            match dec.finish() {
+                Err(WireError::Truncated { dangling }) => {
+                    prop_assert_eq!(dangling, keep);
+                }
+                other => return Err(TestCaseError::fail(format!(
+                    "want Truncated, got {other:?}"
+                ))),
+            }
+        }
+    }
+
+    /// A header advertising a payload beyond the cap is rejected from
+    /// the header alone — the decoder must not wait for the payload.
+    #[test]
+    fn oversized_length_rejected_from_header(
+        req_id in 0u64..=u64::MAX,
+        over in 1u32..=u32::MAX - MAX_PAYLOAD,
+    ) {
+        let len = MAX_PAYLOAD + over;
+        let mut header = Vec::new();
+        header.extend_from_slice(&avdb::wire::MAGIC.to_be_bytes());
+        header.push(avdb::wire::VERSION);
+        header.push(0x01); // Update
+        header.extend_from_slice(&req_id.to_be_bytes());
+        header.extend_from_slice(&len.to_be_bytes());
+        assert_eq!(header.len(), HEADER_LEN);
+        let mut dec = Decoder::new();
+        dec.extend(&header);
+        match dec.next_request() {
+            Err(WireError::FrameTooLarge { len: got }) => prop_assert_eq!(got, len),
+            other => return Err(TestCaseError::fail(format!(
+                "want FrameTooLarge, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame yields either a typed
+    /// error or a decoded frame (the flip may land in a don't-care spot)
+    /// — never a panic.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        req in requests(),
+        id in 0u64..=u64::MAX,
+        pos_seed in 0usize..1_000,
+        flip in 1u8..=255,
+    ) {
+        let mut buf = BytesMut::new();
+        encode_request(id, &req, &mut buf);
+        let mut bytes = buf.to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        // Either outcome is legal; panicking or looping is not.
+        for _ in 0..4 {
+            match dec.next_request() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+        let _ = dec.finish();
+    }
+}

@@ -4,11 +4,19 @@
 
 pub mod channel {
     pub use std::sync::mpsc::{
-        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, SyncSender, TryRecvError,
+        TrySendError,
     };
 
     /// Unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// Bounded MPSC channel. Unlike real crossbeam, the sending half is
+    /// the distinct `SyncSender` type (std's split API); `try_send` and
+    /// `TrySendError` behave identically.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
