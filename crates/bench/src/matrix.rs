@@ -145,6 +145,11 @@ pub struct ScenarioSpec {
     /// mean "trace everything".
     #[serde(default)]
     pub trace_sample_milli: u32,
+    /// Time-series window width in sim ticks; `0` (the serde default,
+    /// keeping pre-series BENCH files parseable) leaves the series plane
+    /// off.
+    #[serde(default)]
+    pub series_window_ticks: u64,
 }
 
 impl ScenarioSpec {
@@ -172,6 +177,7 @@ impl ScenarioSpec {
             coalesce_propagation: false,
             scenario: None,
             trace_sample_milli: 0,
+            series_window_ticks: 0,
         }
     }
 
@@ -234,6 +240,9 @@ impl ScenarioSpec {
         if self.samples_traces() {
             label.push_str(&format!("-ts{}", self.trace_sample_milli));
         }
+        if self.series_window_ticks > 0 {
+            label.push_str(&format!("-sw{}", self.series_window_ticks));
+        }
         label
     }
 
@@ -248,6 +257,7 @@ impl ScenarioSpec {
             .shortage_fanout(self.shortage_fanout)
             .rebalance_horizon_ticks(self.rebalance_horizon_ticks)
             .coalesce_propagation(self.coalesce_propagation)
+            .series_window_ticks(self.series_window_ticks)
             .seed(self.seed);
         if self.fault == FaultProfile::Loss {
             b = b.drop_probability(LOSS_DROP_PROBABILITY);
@@ -366,6 +376,18 @@ mod tests {
         let label = spec.label();
         assert!(label.ends_with("-fk4-rb512-coal"), "unexpected label {label}");
         spec.config().expect("knobs thread into a valid config");
+    }
+
+    #[test]
+    fn series_window_extends_the_label_only_when_set() {
+        let base = ScenarioSpec::base();
+        let mut spec = ScenarioSpec::base();
+        spec.series_window_ticks = 64;
+        assert_eq!(base.label(), ScenarioSpec::base().label());
+        let label = spec.label();
+        assert!(label.ends_with("-sw64"), "unexpected label {label}");
+        let cfg = spec.config().expect("series window threads into a valid config");
+        assert_eq!(cfg.series_window_ticks, 64);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! implementing the checking / selecting / deciding functions plus the
 //! Delay and Immediate Update protocols (paper §3.3–3.4).
 
-use crate::protocol::{Input, Msg, PropagateDelta, TracedMsg};
+use crate::protocol::{
+    Input, Msg, PropagateDelta, TracedMsg, MSG_KIND_COUNT, RECV_COUNTER_KEYS, SENT_COUNTER_KEYS,
+};
 use crate::replication::{Frame, ReplicationState};
 use avdb_escrow::{
     make_decide, make_select, partition_shortage_expected, AvTable, DecideStrategy, PeerKnowledge,
@@ -11,9 +13,9 @@ use avdb_escrow::{
 use avdb_simnet::{Actor, Ctx};
 use avdb_storage::{LocalDb, LockMode};
 use avdb_telemetry::{
-    aux_trace_id, build_profile, evaluate_slo, FlightDump, FlightRecorder, PhaseProfile,
-    Registry, SloReport, SloSpec, SpanCollector, SpanView, TraceContext, TraceSampler,
-    LANE_DELAY, LANE_IMM,
+    aux_trace_id, build_profile, evaluate_slo, FlightDump, FlightRecorder, MetricId, PhaseProfile,
+    Registry, SeriesRecorder, SeriesSnapshot, SloReport, SloSpec, SpanCollector, SpanView,
+    TraceContext, TraceSampler, LANE_DELAY, LANE_IMM,
 };
 use avdb_types::{
     request::AbortReason, AvdbError, ProductId, SiteId, SystemConfig, TxnId, UpdateKind,
@@ -59,6 +61,9 @@ pub struct AcceleratorConfig {
     pub rebalance_horizon_ticks: u64,
     /// Fold retained propagation deltas into net-per-product frames.
     pub coalesce_propagation: bool,
+    /// Width of the windowed time-series plane's windows in sim ticks
+    /// (0 disables the series recorder and its watchdog).
+    pub series_window_ticks: u64,
 }
 
 impl AcceleratorConfig {
@@ -77,6 +82,7 @@ impl AcceleratorConfig {
             shortage_fanout: cfg.shortage_fanout,
             rebalance_horizon_ticks: cfg.rebalance_horizon_ticks,
             coalesce_propagation: cfg.coalesce_propagation,
+            series_window_ticks: cfg.series_window_ticks,
         }
     }
 }
@@ -182,6 +188,10 @@ pub struct StatusSnapshot {
     /// Critical-path phase profile over this site's retained committed
     /// traces (sampled plus promoted).
     pub profile: PhaseProfile,
+    /// Windowed time-series ring (`None` when the series plane is off).
+    /// Defaulted on deserialize so pre-series status payloads still parse.
+    #[serde(default)]
+    pub series: Option<SeriesSnapshot>,
 }
 
 /// One product's share of a (possibly multi-item) Delay transaction.
@@ -273,6 +283,10 @@ enum TimerKind {
     /// Coordinator: resend a commit decision to participants whose Done
     /// has not arrived yet.
     ImmRetransmit(TxnId),
+    /// Window boundary of the time-series plane: roll the registry into
+    /// the ring. Re-arms only when the window recorded something, mirroring
+    /// the anti-entropy quiescence discipline.
+    SeriesWindow,
 }
 
 /// A commit decision the coordinator keeps retransmitting until every
@@ -394,24 +408,126 @@ pub struct Accelerator {
     /// 2PC abort). `None` — the default — records in memory but never
     /// touches disk, keeping sim runs hermetic.
     flight_dir: Option<PathBuf>,
-    /// Cached gauge keys `repl.divergence.p<N>`, densely per product.
-    divergence_keys: Vec<String>,
-    /// Cached gauge keys `knowledge.staleness.s<N>`, densely per site.
-    staleness_keys: Vec<String>,
+    /// Interned ids for every hot-path instrument, resolved once at
+    /// construction so per-event updates index dense registry arrays and
+    /// never hash or format a key.
+    ids: MetricIds,
     /// Last published divergence per product, so a gauge that returns to
     /// zero is re-published as zero rather than left stale.
     divergence_prev: Vec<i64>,
     /// Scratch for recomputing divergences without allocating.
     divergence_now: Vec<i64>,
+    /// Windowed time-series recorder (`None` when `series_window_ticks`
+    /// is zero).
+    series: Option<SeriesRecorder>,
+    /// Whether the series window timer is armed. Mirrors the anti-entropy
+    /// quiescence discipline: an idle window lets the timer lapse, the
+    /// next activity re-arms it at the following boundary.
+    series_armed: bool,
 }
 
-/// Formatted gauge keys for the per-product divergence and per-peer
-/// staleness instruments (built once per accelerator; the hot paths only
-/// index them).
-fn gauge_keys(n_products: usize, n_sites: usize) -> (Vec<String>, Vec<String>) {
-    let divergence = (0..n_products).map(|p| format!("repl.divergence.p{p}")).collect();
-    let staleness = (0..n_sites).map(|s| format!("knowledge.staleness.s{s}")).collect();
-    (divergence, staleness)
+/// Interned [`MetricId`]s for every instrument the protocol hot paths
+/// touch. Registered once per accelerator; registration alone is
+/// invisible in snapshots (touched flags), so pre-registering the full
+/// set changes no exported bytes.
+struct MetricIds {
+    /// Send counters by [`Msg::kind_index`].
+    msg_sent: [MetricId; MSG_KIND_COUNT],
+    /// Receive counters by [`Msg::kind_index`].
+    msg_recv: [MetricId; MSG_KIND_COUNT],
+    /// `repl.divergence.p<N>` gauges, densely per product.
+    divergence: Vec<MetricId>,
+    /// `knowledge.staleness.s<N>` gauges, densely per site.
+    staleness: Vec<MetricId>,
+    update_committed: MetricId,
+    update_aborted: MetricId,
+    update_latency: MetricId,
+    update_correspondences: MetricId,
+    slo_imm_total: MetricId,
+    slo_imm_latency: MetricId,
+    slo_imm_breach: MetricId,
+    slo_delay_total: MetricId,
+    slo_delay_latency: MetricId,
+    slo_delay_breach: MetricId,
+    slo_delay_shortage: MetricId,
+    delay_shortage: MetricId,
+    delay_commit_local: MetricId,
+    delay_commit_remote: MetricId,
+    delay_abort_insufficient: MetricId,
+    delay_grant_timeouts: MetricId,
+    delay_fanout_bursts: MetricId,
+    delay_fanout_requests: MetricId,
+    delay_overgrant_volume: MetricId,
+    select_staleness: MetricId,
+    phase_transfer: MetricId,
+    imm_commit: MetricId,
+    imm_abort: MetricId,
+    imm_abort_local: MetricId,
+    imm_reapplied: MetricId,
+    imm_rereported: MetricId,
+    imm_decision_retransmits: MetricId,
+    repl_queue_depth: MetricId,
+    repl_convergence: MetricId,
+    repl_coalesce_frames: MetricId,
+    repl_coalesce_folded: MetricId,
+    rebalance_transfers: MetricId,
+    rebalance_volume: MetricId,
+    flight_dumps: MetricId,
+    flight_dump_errors: MetricId,
+    site_crashes: MetricId,
+    watchdog_fired: MetricId,
+}
+
+impl MetricIds {
+    fn register(reg: &mut Registry, n_products: usize, n_sites: usize) -> Self {
+        MetricIds {
+            msg_sent: std::array::from_fn(|i| reg.counter_id(SENT_COUNTER_KEYS[i])),
+            msg_recv: std::array::from_fn(|i| reg.counter_id(RECV_COUNTER_KEYS[i])),
+            divergence: (0..n_products)
+                .map(|p| reg.gauge_id(&format!("repl.divergence.p{p}")))
+                .collect(),
+            staleness: (0..n_sites)
+                .map(|s| reg.gauge_id(&format!("knowledge.staleness.s{s}")))
+                .collect(),
+            update_committed: reg.counter_id("update.committed"),
+            update_aborted: reg.counter_id("update.aborted"),
+            update_latency: reg.histogram_id("update.latency.ticks"),
+            update_correspondences: reg.histogram_id("update.correspondences"),
+            slo_imm_total: reg.counter_id("slo.imm.total"),
+            slo_imm_latency: reg.histogram_id("slo.imm.latency.ticks"),
+            slo_imm_breach: reg.counter_id("slo.imm.breach.latency"),
+            slo_delay_total: reg.counter_id("slo.delay.total"),
+            slo_delay_latency: reg.histogram_id("slo.delay.latency.ticks"),
+            slo_delay_breach: reg.counter_id("slo.delay.breach.latency"),
+            slo_delay_shortage: reg.counter_id("slo.delay.shortage"),
+            delay_shortage: reg.histogram_id("delay.shortage"),
+            delay_commit_local: reg.counter_id("delay.commit.local"),
+            delay_commit_remote: reg.counter_id("delay.commit.remote"),
+            delay_abort_insufficient: reg.counter_id("delay.abort.insufficient-av"),
+            delay_grant_timeouts: reg.counter_id("delay.grant-timeouts"),
+            delay_fanout_bursts: reg.counter_id("delay.fanout.bursts"),
+            delay_fanout_requests: reg.counter_id("delay.fanout.requests"),
+            delay_overgrant_volume: reg.counter_id("delay.overgrant.volume"),
+            select_staleness: reg.histogram_id("select.staleness.ticks"),
+            phase_transfer: reg.histogram_id("phase.transfer.ticks"),
+            imm_commit: reg.counter_id("imm.commit"),
+            imm_abort: reg.counter_id("imm.abort"),
+            imm_abort_local: reg.counter_id("imm.abort.local"),
+            imm_reapplied: reg.counter_id("imm.reapplied"),
+            imm_rereported: reg.counter_id("imm.rereported"),
+            imm_decision_retransmits: reg.counter_id("imm.decision-retransmits"),
+            repl_queue_depth: reg.gauge_id("repl.queue.depth"),
+            repl_convergence: reg.histogram_id("repl.convergence.ticks"),
+            repl_coalesce_frames: reg.counter_id("repl.coalesce.frames"),
+            repl_coalesce_folded: reg.counter_id("repl.coalesce.folded"),
+            rebalance_transfers: reg.counter_id("rebalance.transfers"),
+            rebalance_volume: reg.counter_id("rebalance.volume"),
+            flight_dumps: reg.counter_id("flight.dumps"),
+            flight_dump_errors: reg.counter_id("flight.dump.errors"),
+            site_crashes: reg.counter_id("site.crashes"),
+            watchdog_fired: reg.counter_id("series.watchdog.fired"),
+        }
+    }
 }
 
 impl Accelerator {
@@ -428,7 +544,10 @@ impl Accelerator {
                 knowledge.seed(entry.id, &split);
             }
         }
-        let (divergence_keys, staleness_keys) = gauge_keys(cfg.n_products(), cfg.n_sites);
+        let mut registry = Registry::new();
+        let ids = MetricIds::register(&mut registry, cfg.n_products(), cfg.n_sites);
+        let series =
+            (cfg.series_window_ticks > 0).then(|| SeriesRecorder::new(cfg.series_window_ticks));
         let mut spans = SpanCollector::new(me);
         spans.set_sampler(TraceSampler::new(cfg.seed, cfg.trace_sampling()));
         Accelerator {
@@ -457,7 +576,7 @@ impl Accelerator {
             consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
             rebalance_armed: false,
             spans,
-            registry: Registry::new(),
+            registry,
             slo: SloSpec::default(),
             committed_traces: Vec::new(),
             clock: 0,
@@ -465,10 +584,11 @@ impl Accelerator {
             peer_scratch: Vec::new(),
             flight: FlightRecorder::default(),
             flight_dir: None,
-            divergence_prev: vec![0; divergence_keys.len()],
-            divergence_now: vec![0; divergence_keys.len()],
-            divergence_keys,
-            staleness_keys,
+            divergence_prev: vec![0; cfg.n_products()],
+            divergence_now: vec![0; cfg.n_products()],
+            ids,
+            series,
+            series_armed: false,
         }
     }
 
@@ -527,19 +647,32 @@ impl Accelerator {
     }
 
     /// This site's `/metrics` payload: the registry rendered in the
-    /// Prometheus text exposition format, labelled with the site id.
+    /// Prometheus text exposition format, labelled with the site id, with
+    /// the latest series window appended as `avdb_series_*` families when
+    /// the time-series plane is on.
     pub fn metrics_text(&self) -> String {
-        avdb_telemetry::render_prometheus(
-            &self.registry.snapshot(),
-            &[("site", self.me.0.to_string())],
-        )
+        let labels = [("site", self.me.0.to_string())];
+        let mut out = avdb_telemetry::render_prometheus(&self.registry.snapshot(), &labels);
+        if let Some(rec) = &self.series {
+            out.push_str(&avdb_telemetry::render_series_prometheus(
+                &rec.snapshot(&self.registry),
+                &labels,
+            ));
+        }
+        out
+    }
+
+    /// The windowed time-series ring resolved to metric names, or `None`
+    /// when the series plane is off.
+    pub fn series_snapshot(&self) -> Option<SeriesSnapshot> {
+        self.series.as_ref().map(|rec| rec.snapshot(&self.registry))
     }
 
     /// This site's `/status` payload: a point-in-time JSON snapshot of
     /// role, AV table, in-flight escrow negotiations and replication
     /// queue depth.
     pub fn status(&self) -> StatusSnapshot {
-        let n_products = self.divergence_keys.len();
+        let n_products = self.ids.divergence.len();
         let av = ProductId::all(n_products)
             .map(|p| StatusAvRow {
                 product: p.0,
@@ -565,8 +698,8 @@ impl Accelerator {
             site: self.me.0,
             role: if self.me == SiteId::BASE { "base".into() } else { "retailer".into() },
             clock: self.clock,
-            committed: self.registry.counter("update.committed"),
-            aborted: self.registry.counter("update.aborted"),
+            committed: self.registry.counter_value(self.ids.update_committed),
+            aborted: self.registry.counter_value(self.ids.update_aborted),
             in_flight_delay: self.pending_delay.len(),
             in_flight_imm: self.pending_imm.len(),
             prepared_remote: self.prepared_remote.len(),
@@ -576,6 +709,7 @@ impl Accelerator {
             knowledge,
             slo: self.slo_report(),
             profile: self.local_profile(),
+            series: self.series_snapshot(),
         }
     }
 
@@ -654,7 +788,10 @@ impl Accelerator {
                 knowledge.seed(entry.id, &split);
             }
         }
-        let (divergence_keys, staleness_keys) = gauge_keys(cfg.n_products(), cfg.n_sites);
+        let mut registry = Registry::new();
+        let ids = MetricIds::register(&mut registry, cfg.n_products(), cfg.n_sites);
+        let series =
+            (cfg.series_window_ticks > 0).then(|| SeriesRecorder::new(cfg.series_window_ticks));
         let mut spans = SpanCollector::new(me);
         spans.set_sampler(TraceSampler::new(cfg.seed, cfg.trace_sampling()));
         let mut acc = Accelerator {
@@ -683,7 +820,7 @@ impl Accelerator {
             consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
             rebalance_armed: false,
             spans,
-            registry: Registry::new(),
+            registry,
             slo: SloSpec::default(),
             committed_traces: Vec::new(),
             clock: 0,
@@ -691,10 +828,11 @@ impl Accelerator {
             peer_scratch: Vec::new(),
             flight: FlightRecorder::default(),
             flight_dir: None,
-            divergence_prev: vec![0; divergence_keys.len()],
-            divergence_now: vec![0; divergence_keys.len()],
-            divergence_keys,
-            staleness_keys,
+            divergence_prev: vec![0; cfg.n_products()],
+            divergence_now: vec![0; cfg.n_products()],
+            ids,
+            series,
+            series_armed: false,
         };
         // The recovered replication snapshot may retain unacknowledged
         // deltas; publish their divergence right away.
@@ -751,7 +889,7 @@ impl Accelerator {
     /// even on lossy runs.
     fn send_traced(&mut self, ctx: &mut ACtx<'_>, to: SiteId, trace: u64, parent: u64, msg: Msg) {
         let clock = self.tick();
-        self.registry.inc(msg.sent_counter_key());
+        self.registry.inc_id(self.ids.msg_sent[msg.kind_index()]);
         ctx.send(to, TracedMsg { ctx: Some(TraceContext::child(trace, parent, clock)), msg });
     }
 
@@ -759,7 +897,7 @@ impl Accelerator {
     /// still counting it in the registry.
     fn send_plain(&mut self, ctx: &mut ACtx<'_>, to: SiteId, msg: Msg) {
         self.tick();
-        self.registry.inc(msg.sent_counter_key());
+        self.registry.inc_id(self.ids.msg_sent[msg.kind_index()]);
         ctx.send(to, TracedMsg::plain(msg));
     }
 
@@ -795,15 +933,15 @@ impl Accelerator {
     /// (no-op when none is configured). Returns the path written.
     fn write_flight_dump(&mut self, at: VirtualTime, reason: &str) -> Option<PathBuf> {
         let dir = self.flight_dir.clone()?;
-        self.registry.inc("flight.dumps");
-        let n = self.registry.counter("flight.dumps");
+        self.registry.inc_id(self.ids.flight_dumps);
+        let n = self.registry.counter_value(self.ids.flight_dumps);
         let mut dump = FlightDump::new(reason, at.0);
         dump.push_site(self.me.0, &self.flight);
         let path = dir.join(format!("flight-s{}-{n}.json", self.me.0));
         if std::fs::create_dir_all(&dir).is_err()
             || std::fs::write(&path, dump.to_json()).is_err()
         {
-            self.registry.inc("flight.dump.errors");
+            self.registry.inc_id(self.ids.flight_dump_errors);
             return None;
         }
         Some(path)
@@ -813,7 +951,7 @@ impl Accelerator {
     /// `repl.queue.depth` plus one `repl.divergence.p<N>` per product
     /// whose divergence moved (including moves back to zero).
     fn refresh_repl_gauges(&mut self) {
-        self.registry.set_gauge("repl.queue.depth", self.repl.retained() as i64);
+        self.registry.set_gauge_id(self.ids.repl_queue_depth, self.repl.retained() as i64);
         let mut now = std::mem::take(&mut self.divergence_now);
         now.iter_mut().for_each(|v| *v = 0);
         for d in self.repl.retained_deltas() {
@@ -823,7 +961,7 @@ impl Accelerator {
         }
         for (p, &value) in now.iter().enumerate() {
             if value != self.divergence_prev[p] {
-                self.registry.set_gauge(&self.divergence_keys[p], value);
+                self.registry.set_gauge_id(self.ids.divergence[p], value);
             }
         }
         std::mem::swap(&mut self.divergence_prev, &mut now);
@@ -871,7 +1009,7 @@ impl Accelerator {
         if h <= 0 {
             return;
         }
-        let n_products = self.divergence_keys.len();
+        let n_products = self.ids.divergence.len();
         let mut sent_any = false;
         for product in ProductId::all(n_products) {
             if !self.av.is_defined(product) {
@@ -924,8 +1062,8 @@ impl Accelerator {
             });
             self.stats.av_pushes_sent += 1;
             self.stats.av_volume_pushed += sent.get();
-            self.registry.inc("rebalance.transfers");
-            self.registry.add("rebalance.volume", sent.get().max(0) as u64);
+            self.registry.inc_id(self.ids.rebalance_transfers);
+            self.registry.add_id(self.ids.rebalance_volume, sent.get().max(0) as u64);
             self.knowledge.update(peer, product, Volume(known) + sent, ctx.now());
             let pusher_av = self.av.available(product);
             let pusher_rate = self.local_rate(product);
@@ -987,44 +1125,46 @@ impl Accelerator {
         // latency histogram *before* this update is folded in.
         let mut retained = self.spans.trace_sampled(txn.0);
         if !retained {
-            let outlier = self
-                .registry
-                .histogram("update.latency.ticks")
-                .map(|h| h.count() >= LATENCY_OUTLIER_MIN_COUNT && latency > h.percentile(0.99))
-                .unwrap_or(false);
+            let h = self.registry.histogram_value(self.ids.update_latency);
+            let outlier =
+                h.count() >= LATENCY_OUTLIER_MIN_COUNT && latency > h.percentile(0.99);
             if !committed || had_shortage || outlier {
                 self.spans.promote(txn.0);
                 retained = true;
             }
         }
 
-        self.registry.inc(if committed { "update.committed" } else { "update.aborted" });
-        self.registry.observe("update.latency.ticks", latency);
-        self.registry.observe("update.correspondences", correspondences);
+        self.registry.inc_id(if committed {
+            self.ids.update_committed
+        } else {
+            self.ids.update_aborted
+        });
+        self.registry.observe_id(self.ids.update_latency, latency);
+        self.registry.observe_id(self.ids.update_correspondences, correspondences);
 
-        // Per-lane SLO accounting (static keys — this is the hot path).
-        let (total_key, lat_key, breach_key, target) = if lane == LANE_IMM {
+        // Per-lane SLO accounting (interned ids — this is the hot path).
+        let (total_id, lat_id, breach_id, target) = if lane == LANE_IMM {
             (
-                "slo.imm.total",
-                "slo.imm.latency.ticks",
-                "slo.imm.breach.latency",
+                self.ids.slo_imm_total,
+                self.ids.slo_imm_latency,
+                self.ids.slo_imm_breach,
                 self.slo.immediate.commit_p99_ticks,
             )
         } else {
             (
-                "slo.delay.total",
-                "slo.delay.latency.ticks",
-                "slo.delay.breach.latency",
+                self.ids.slo_delay_total,
+                self.ids.slo_delay_latency,
+                self.ids.slo_delay_breach,
                 self.slo.delay.commit_p99_ticks,
             )
         };
-        self.registry.inc(total_key);
-        self.registry.observe(lat_key, latency);
+        self.registry.inc_id(total_id);
+        self.registry.observe_id(lat_id, latency);
         if target > 0 && latency > target {
-            self.registry.inc(breach_key);
+            self.registry.inc_id(breach_id);
         }
         if had_shortage {
-            self.registry.inc("slo.delay.shortage");
+            self.registry.inc_id(self.ids.slo_delay_shortage);
         }
 
         self.spans.end(root_span, ctx.now());
@@ -1103,9 +1243,9 @@ impl Accelerator {
             self.spans.instant_with(trace, 0, "replicate", ctx.now(), clock, detail.clone());
         self.stats.propagation_batches_sent += 1;
         if coalesced {
-            self.registry.inc("repl.coalesce.frames");
-            self.registry.add(
-                "repl.coalesce.folded",
+            self.registry.inc_id(self.ids.repl_coalesce_frames);
+            self.registry.add_id(
+                self.ids.repl_coalesce_folded,
                 covers.saturating_sub(deltas.len() as u64),
             );
         }
@@ -1248,7 +1388,7 @@ impl Accelerator {
         let shortage = item.need - held;
         debug_assert!(shortage.is_positive());
         let product = item.product;
-        self.registry.observe("delay.shortage", shortage.get().max(0) as u64);
+        self.registry.observe_id(self.ids.delay_shortage, shortage.get().max(0) as u64);
         let budget = self.cfg.max_av_rounds.saturating_sub(pending.asked.len());
         // Fan-out width: the configured k, capped by the remaining peer
         // budget and by the shortage itself (never ask a peer for zero).
@@ -1336,7 +1476,7 @@ impl Accelerator {
             self.av.release_all(txn);
             self.db.rollback(txn).expect("txn active");
             self.stats.delay_aborts += 1;
-            self.registry.inc("delay.abort.insufficient-av");
+            self.registry.inc_id(self.ids.delay_abort_insufficient);
             self.spans.note(root_span, "aborted: insufficient AV");
             self.flight_note(
                 ctx.now(),
@@ -1359,8 +1499,8 @@ impl Accelerator {
             return;
         }
         if picks.len() >= 2 {
-            self.registry.inc("delay.fanout.bursts");
-            self.registry.add("delay.fanout.requests", picks.len() as u64);
+            self.registry.inc_id(self.ids.delay_fanout_bursts);
+            self.registry.add_id(self.ids.delay_fanout_requests, picks.len() as u64);
         }
         // Shares follow the expected GrantHalf yield per pick: a peer
         // believed able to cover the whole shortage is asked for all of
@@ -1379,10 +1519,10 @@ impl Accelerator {
             // Selecting: how stale was the knowledge the candidate was
             // picked on?
             let staleness = self.knowledge.staleness(peer, product, ctx.now()).unwrap_or(0);
-            self.registry.observe("select.staleness.ticks", staleness);
+            self.registry.observe_id(self.ids.select_staleness, staleness);
             // Live gauge: how stale the knowledge *selecting* just
             // consumed for this peer was, in ticks.
-            self.registry.set_gauge(&self.staleness_keys[peer.index()], staleness as i64);
+            self.registry.set_gauge_id(self.ids.staleness[peer.index()], staleness as i64);
             self.flight_note(
                 ctx.now(),
                 "delay.select",
@@ -1444,7 +1584,7 @@ impl Accelerator {
         for (_, _, span, opened) in pending.transfer_spans.drain(..) {
             self.spans.note(span, note);
             self.spans.end(span, now);
-            self.registry.observe("phase.transfer.ticks", now.since(opened));
+            self.registry.observe_id(self.ids.phase_transfer, now.since(opened));
         }
         pending.outstanding.clear();
     }
@@ -1474,10 +1614,10 @@ impl Accelerator {
         self.db.commit(txn).expect("txn active");
         if pending.correspondences == 0 {
             self.stats.delay_local_commits += 1;
-            self.registry.inc("delay.commit.local");
+            self.registry.inc_id(self.ids.delay_commit_local);
         } else {
             self.stats.delay_remote_commits += 1;
-            self.registry.inc("delay.commit.remote");
+            self.registry.inc_id(self.ids.delay_commit_remote);
         }
         // Promote shortage-path traces *now*, before the commit span and
         // the propagation deltas are recorded: the sticky promotion keeps
@@ -1692,7 +1832,7 @@ impl Accelerator {
             let waited = ctx.now().since(opened);
             self.spans.note(span, &format!("granted {}", amount.get()));
             self.spans.end(span, ctx.now());
-            self.registry.observe("phase.transfer.ticks", waited);
+            self.registry.observe_id(self.ids.phase_transfer, waited);
         }
         let item = pending.current_item();
         if item.product != product {
@@ -1713,7 +1853,7 @@ impl Accelerator {
             if over.is_positive() {
                 // Fan-out over-shoot: granted volume beyond the need stays
                 // in this site's AV table.
-                self.registry.add("delay.overgrant.volume", over.get() as u64);
+                self.registry.add_id(self.ids.delay_overgrant_volume, over.get() as u64);
             }
         }
         let held = self.av.held_by(txn, product);
@@ -1782,7 +1922,7 @@ impl Accelerator {
         if let Err(e) = local_ok {
             self.db.rollback(txn).expect("txn active");
             self.stats.imm_aborts += 1;
-            self.registry.inc("imm.abort.local");
+            self.registry.inc_id(self.ids.imm_abort_local);
             let reason = match e {
                 AvdbError::NegativeStock { .. } => AbortReason::NegativeStock,
                 _ => AbortReason::PrepareFailed { site: self.me },
@@ -1801,7 +1941,7 @@ impl Accelerator {
         if self.cfg.n_sites == 1 {
             self.db.commit(txn).expect("txn active");
             self.stats.imm_commits += 1;
-            self.registry.inc("imm.commit");
+            self.registry.inc_id(self.ids.imm_commit);
             let clock = self.tick();
             self.spans.instant(txn.0, root_span, "commit", ctx.now(), clock);
             self.emit_outcome(
@@ -1984,7 +2124,7 @@ impl Accelerator {
         if commit {
             self.db.commit(txn).expect("txn active");
             self.stats.imm_commits += 1;
-            self.registry.inc("imm.commit");
+            self.registry.inc_id(self.ids.imm_commit);
             // Completion is judged by the base site's Done message; when
             // the coordinator *is* the base, completion is immediate.
             if self.me == SiteId::BASE {
@@ -2000,7 +2140,7 @@ impl Accelerator {
         } else {
             self.db.rollback(txn).expect("txn active");
             self.stats.imm_aborts += 1;
-            self.registry.inc("imm.abort");
+            self.registry.inc_id(self.ids.imm_abort);
             self.flight_note(
                 ctx.now(),
                 "imm.abort",
@@ -2110,7 +2250,7 @@ impl Accelerator {
             match applied {
                 Ok(()) => {
                     self.imm_finished.insert(txn);
-                    self.registry.inc("imm.reapplied");
+                    self.registry.inc_id(self.ids.imm_reapplied);
                     detail = "re-applied after unilateral abort".to_string();
                 }
                 Err(_) => {
@@ -2211,8 +2351,8 @@ impl Accelerator {
             let waited = ctx.now().since(opened);
             self.spans.note(span, &format!("timeout: s{} presumed dead", peer.0));
             self.spans.end(span, ctx.now());
-            self.registry.observe("phase.transfer.ticks", waited);
-            self.registry.inc("delay.grant-timeouts");
+            self.registry.observe_id(self.ids.phase_transfer, waited);
+            self.registry.inc_id(self.ids.delay_grant_timeouts);
         }
         self.knowledge.update(peer, product, Volume::ZERO, ctx.now());
         let pending = self.pending_delay.get(&txn).expect("present");
@@ -2254,7 +2394,7 @@ impl Accelerator {
         entry.attempts_left -= 1;
         let (product, delta, decide_span) = (entry.product, entry.delta, entry.decide_span);
         let missing: Vec<SiteId> = entry.missing.iter().copied().collect();
-        self.registry.add("imm.decision-retransmits", missing.len() as u64);
+        self.registry.add_id(self.ids.imm_decision_retransmits, missing.len() as u64);
         for peer in missing {
             self.send_traced(
                 ctx,
@@ -2278,6 +2418,48 @@ impl Accelerator {
             }
         }
     }
+
+    /// Arms the series window timer at the next absolute boundary. Called
+    /// on every input and message, so the first activity after an idle
+    /// (disarmed) stretch re-arms the very next boundary — which is what
+    /// guarantees every recorded window's deltas occurred inside it.
+    fn arm_series(&mut self, ctx: &mut ACtx<'_>) {
+        if self.series_armed {
+            return;
+        }
+        let Some(rec) = &self.series else { return };
+        self.series_armed = true;
+        let delay = rec.next_boundary(ctx.now().0) - ctx.now().0;
+        self.arm_timer(ctx, delay, TimerKind::SeriesWindow);
+    }
+
+    /// One window boundary: roll the registry into the ring, dump the
+    /// flight recorder for every watchdog rule that transitioned to
+    /// firing, and re-arm only if the window recorded anything (an idle
+    /// system lets the timer lapse, so quiescent runs still drain).
+    fn on_series_window(&mut self, ctx: &mut ACtx<'_>) {
+        self.series_armed = false;
+        let now = ctx.now();
+        let outcome = match self.series.as_mut() {
+            Some(rec) => rec.roll(now.0, &mut self.registry),
+            None => return,
+        };
+        for firing in &outcome.firings {
+            self.registry.inc_id(self.ids.watchdog_fired);
+            self.flight.record(
+                now.0,
+                self.clock,
+                "series.watchdog",
+                format!("{} at window {}: {}", firing.rule, firing.window, firing.detail),
+            );
+        }
+        for firing in &outcome.firings {
+            self.write_flight_dump(now, &format!("watchdog-{}", firing.rule));
+        }
+        if outcome.recorded {
+            self.arm_series(ctx);
+        }
+    }
 }
 
 impl Actor for Accelerator {
@@ -2288,9 +2470,11 @@ impl Actor for Accelerator {
     fn on_start(&mut self, ctx: &mut ACtx<'_>) {
         self.arm_anti_entropy(ctx);
         self.arm_rebalance(ctx);
+        self.arm_series(ctx);
     }
 
     fn on_input(&mut self, ctx: &mut ACtx<'_>, input: Input) {
+        self.arm_series(ctx);
         match input {
             Input::ClientUpdate { client, req } => {
                 // Same path as a plain update; the pending tag is picked
@@ -2409,7 +2593,8 @@ impl Actor for Accelerator {
             self.clock = self.clock.max(c.clock);
         }
         self.clock += 1;
-        self.registry.inc(msg.recv_counter_key());
+        self.registry.inc_id(self.ids.msg_recv[msg.kind_index()]);
+        self.arm_series(ctx);
         match msg {
             Msg::AvRequest { txn, product, amount, requester_av, requester_rate } => self
                 .on_av_request(
@@ -2492,7 +2677,7 @@ impl Actor for Accelerator {
                     // Time-to-convergence: how long this lazily propagated
                     // delta took from origin commit to landing here.
                     self.registry
-                        .observe("repl.convergence.ticks", ctx.now().since(d.committed_at));
+                        .observe_id(self.ids.repl_convergence, ctx.now().since(d.committed_at));
                     // The remote apply joins the *update's* tree, under the
                     // origin's commit span carried by the delta. Honor the
                     // origin's retain decision first so a promoted
@@ -2556,6 +2741,7 @@ impl Actor for Accelerator {
                 }
             }
             Some(TimerKind::ImmRetransmit(txn)) => self.on_imm_retransmit(ctx, txn),
+            Some(TimerKind::SeriesWindow) => self.on_series_window(ctx),
             Some(TimerKind::ImmCompletion(txn)) => {
                 if let Some(pending) = self.pending_imm.remove(&txn) {
                     debug_assert_eq!(pending.decided, Some(true));
@@ -2579,7 +2765,7 @@ impl Actor for Accelerator {
         // span collector and registry survive deliberately: telemetry is
         // the observer's record, not the site's state, and spans of wiped
         // updates simply stay open (end = None marks the fault).
-        self.registry.inc("site.crashes");
+        self.registry.inc_id(self.ids.site_crashes);
         // No handler context here (the fault injector stops the site from
         // outside), so the crash event reuses the last recorded tick —
         // the crash happened at-or-after the last thing the ring saw.
@@ -2617,6 +2803,7 @@ impl Actor for Accelerator {
         self.timers.clear();
         self.anti_entropy_armed = false;
         self.rebalance_armed = false;
+        self.series_armed = false;
         // Holds belonged to the in-flight transactions that just died.
         self.av.release_all_holds();
     }
@@ -2631,17 +2818,18 @@ impl Actor for Accelerator {
         );
         // A WAL recovery is a flight-recorder trigger.
         self.write_flight_dump(ctx.now(), "wal-recovery");
-        // Timers are volatile; restart the anti-entropy heartbeat and the
-        // rebalancer tick.
+        // Timers are volatile; restart the anti-entropy heartbeat, the
+        // rebalancer tick and the series window timer.
         self.arm_anti_entropy(ctx);
         self.arm_rebalance(ctx);
+        self.arm_series(ctx);
         // Commits decided before the crash are in the replayed WAL and
         // already executed across the cluster; the client just never
         // heard. Report them now — late, but truthful — and give back
         // their wiped-in-flight slots.
         for (txn, pending) in std::mem::take(&mut self.unreported_imm) {
             self.stats.wiped_in_flight = self.stats.wiped_in_flight.saturating_sub(1);
-            self.registry.inc("imm.rereported");
+            self.registry.inc_id(self.ids.imm_rereported);
             self.flight_note(
                 ctx.now(),
                 "imm.rereport",

@@ -193,38 +193,65 @@ impl MsgInfo for Msg {
     }
 }
 
+/// Number of wire message kinds; [`Msg::kind_index`] is always below it.
+pub const MSG_KIND_COUNT: usize = 10;
+
+/// Send-counter names, indexed by [`Msg::kind_index`]. Kept as a table so
+/// callers can intern every kind's counter id once at registration and
+/// index it per message instead of hashing the name.
+pub const SENT_COUNTER_KEYS: [&str; MSG_KIND_COUNT] = [
+    "msg.sent.av-request",
+    "msg.sent.av-grant",
+    "msg.sent.av-push",
+    "msg.sent.av-push-ack",
+    "msg.sent.propagate",
+    "msg.sent.propagate-ack",
+    "msg.sent.imm-prepare",
+    "msg.sent.imm-vote",
+    "msg.sent.imm-decision",
+    "msg.sent.imm-done",
+];
+
+/// Receive-counter names, indexed by [`Msg::kind_index`].
+pub const RECV_COUNTER_KEYS: [&str; MSG_KIND_COUNT] = [
+    "msg.recv.av-request",
+    "msg.recv.av-grant",
+    "msg.recv.av-push",
+    "msg.recv.av-push-ack",
+    "msg.recv.propagate",
+    "msg.recv.propagate-ack",
+    "msg.recv.imm-prepare",
+    "msg.recv.imm-vote",
+    "msg.recv.imm-decision",
+    "msg.recv.imm-done",
+];
+
 impl Msg {
+    /// Dense kind index into [`SENT_COUNTER_KEYS`] / [`RECV_COUNTER_KEYS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Msg::AvRequest { .. } => 0,
+            Msg::AvGrant { .. } => 1,
+            Msg::AvPush { .. } => 2,
+            Msg::AvPushAck { .. } => 3,
+            Msg::Propagate { .. } => 4,
+            Msg::PropagateAck { .. } => 5,
+            Msg::ImmPrepare { .. } => 6,
+            Msg::ImmVote { .. } => 7,
+            Msg::ImmDecision { .. } => 8,
+            Msg::ImmDone { .. } => 9,
+        }
+    }
+
     /// The registry counter bumped when this message is sent. Pre-baked
     /// so the per-message hot path never formats a key.
     pub fn sent_counter_key(&self) -> &'static str {
-        match self {
-            Msg::AvRequest { .. } => "msg.sent.av-request",
-            Msg::AvGrant { .. } => "msg.sent.av-grant",
-            Msg::AvPush { .. } => "msg.sent.av-push",
-            Msg::AvPushAck { .. } => "msg.sent.av-push-ack",
-            Msg::Propagate { .. } => "msg.sent.propagate",
-            Msg::PropagateAck { .. } => "msg.sent.propagate-ack",
-            Msg::ImmPrepare { .. } => "msg.sent.imm-prepare",
-            Msg::ImmVote { .. } => "msg.sent.imm-vote",
-            Msg::ImmDecision { .. } => "msg.sent.imm-decision",
-            Msg::ImmDone { .. } => "msg.sent.imm-done",
-        }
+        SENT_COUNTER_KEYS[self.kind_index()]
     }
 
     /// The registry counter bumped when this message is received.
     pub fn recv_counter_key(&self) -> &'static str {
-        match self {
-            Msg::AvRequest { .. } => "msg.recv.av-request",
-            Msg::AvGrant { .. } => "msg.recv.av-grant",
-            Msg::AvPush { .. } => "msg.recv.av-push",
-            Msg::AvPushAck { .. } => "msg.recv.av-push-ack",
-            Msg::Propagate { .. } => "msg.recv.propagate",
-            Msg::PropagateAck { .. } => "msg.recv.propagate-ack",
-            Msg::ImmPrepare { .. } => "msg.recv.imm-prepare",
-            Msg::ImmVote { .. } => "msg.recv.imm-vote",
-            Msg::ImmDecision { .. } => "msg.recv.imm-decision",
-            Msg::ImmDone { .. } => "msg.recv.imm-done",
-        }
+        RECV_COUNTER_KEYS[self.kind_index()]
     }
 }
 

@@ -60,6 +60,9 @@ pub fn export_from_accelerators(
     for acc in actors {
         export.add_spans(acc.spans().records());
         export.add_registry(&format!("site{}", acc.site().0), acc.registry().snapshot());
+        if let Some(series) = acc.series_snapshot() {
+            export.add_series(&format!("site{}", acc.site().0), &series);
+        }
     }
     export.add_messages(messages);
     export.add_registry("network", network);
@@ -387,6 +390,9 @@ impl DistributedSystem {
             let acc = self.accelerator(site);
             export.add_spans(acc.spans().records());
             export.add_registry(&format!("site{}", site.0), acc.registry().snapshot());
+            if let Some(series) = acc.series_snapshot() {
+                export.add_series(&format!("site{}", site.0), &series);
+            }
         }
         export.add_messages(self.trace().events());
         export.add_registry("network", self.counters().registry().snapshot());

@@ -32,6 +32,10 @@
 //! the site's own event loop, so a read is consistent with the site's
 //! commit order at that instant.
 
+mod metrics;
+
+pub use metrics::{GatewayMetrics, GATEWAY_METRIC_KEYS};
+
 use avdb_core::{Accelerator, Input};
 use avdb_oracle::SubmittedRequest;
 use avdb_simnet::TcpMesh;

@@ -1,0 +1,141 @@
+//! Interned telemetry bridge for the gateway counters.
+//!
+//! The hot path keeps its lock-free atomics ([`GatewayStats`] is a relaxed
+//! snapshot of them); this module is the one place those counters get
+//! names. Every key is registered once, at [`GatewayMetrics::new`], into
+//! dense [`MetricId`]s — syncing a snapshot into the registry is pure
+//! integer work, with no per-sync key formatting or hashing, matching the
+//! interned-id discipline of the accelerator and simnet registries.
+
+use crate::GatewayStats;
+use avdb_telemetry::{MetricId, Registry};
+
+/// Dotted registry keys, index-aligned with [`GatewayStats::values`].
+pub const GATEWAY_METRIC_KEYS: [&str; 11] = [
+    "gateway.conn.accepted",
+    "gateway.conn.refused",
+    "gateway.conn.shed",
+    "gateway.conn.closed",
+    "gateway.req.update",
+    "gateway.req.read",
+    "gateway.req.status",
+    "gateway.req.ping",
+    "gateway.err.over-window",
+    "gateway.err.malformed",
+    "gateway.resp.written",
+];
+
+impl GatewayStats {
+    /// Counter values index-aligned with [`GATEWAY_METRIC_KEYS`].
+    pub fn values(&self) -> [u64; GATEWAY_METRIC_KEYS.len()] {
+        [
+            self.accepted,
+            self.refused,
+            self.shed,
+            self.closed,
+            self.updates,
+            self.reads,
+            self.statuses,
+            self.pings,
+            self.over_window,
+            self.malformed,
+            self.responses,
+        ]
+    }
+}
+
+/// A telemetry [`Registry`] view of the gateway's lifetime counters.
+///
+/// Feed it successive [`GatewayStats`] snapshots with
+/// [`GatewayMetrics::sync`]; it applies monotone deltas, so the registry
+/// tracks the atomics without double counting and composes with the rest
+/// of the telemetry plane (Prometheus exposition, run exports, series).
+pub struct GatewayMetrics {
+    registry: Registry,
+    ids: [MetricId; GATEWAY_METRIC_KEYS.len()],
+    prev: [u64; GATEWAY_METRIC_KEYS.len()],
+}
+
+impl Default for GatewayMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GatewayMetrics {
+    /// Registers every gateway key (the module's single registration
+    /// site). Until the first sync the registry exports nothing.
+    pub fn new() -> Self {
+        let mut registry = Registry::new();
+        let ids = std::array::from_fn(|i| registry.counter_id(GATEWAY_METRIC_KEYS[i]));
+        GatewayMetrics { registry, ids, prev: [0; GATEWAY_METRIC_KEYS.len()] }
+    }
+
+    /// Folds a stats snapshot into the registry. Counters are monotone;
+    /// a stale (out-of-order) snapshot contributes nothing.
+    pub fn sync(&mut self, stats: &GatewayStats) {
+        let now = stats.values();
+        for (i, &v) in now.iter().enumerate() {
+            let delta = v.saturating_sub(self.prev[i]);
+            if delta > 0 {
+                self.registry.add_id(self.ids[i], delta);
+                self.prev[i] = v;
+            }
+        }
+    }
+
+    /// The registry view (read-only).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Prometheus text exposition of the gateway counters.
+    pub fn metrics_text(&self) -> String {
+        avdb_telemetry::render_prometheus(&self.registry.snapshot(), &[("plane", "gateway".to_string())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(updates: u64, shed: u64) -> GatewayStats {
+        GatewayStats { updates, shed, ..GatewayStats::default() }
+    }
+
+    #[test]
+    fn fresh_metrics_export_nothing() {
+        let m = GatewayMetrics::new();
+        assert!(m.registry().snapshot().counters.is_empty());
+        assert!(m.metrics_text().is_empty() || !m.metrics_text().contains("gateway_"));
+    }
+
+    #[test]
+    fn sync_applies_monotone_deltas_without_double_counting() {
+        let mut m = GatewayMetrics::new();
+        m.sync(&stats(3, 1));
+        m.sync(&stats(3, 1));
+        m.sync(&stats(5, 1));
+        let reg = m.registry();
+        assert_eq!(reg.counter("gateway.req.update"), 5);
+        assert_eq!(reg.counter("gateway.conn.shed"), 1);
+        assert_eq!(reg.counter("gateway.conn.accepted"), 0);
+    }
+
+    #[test]
+    fn stale_snapshot_is_ignored() {
+        let mut m = GatewayMetrics::new();
+        m.sync(&stats(10, 0));
+        m.sync(&stats(4, 0));
+        assert_eq!(m.registry().counter("gateway.req.update"), 10);
+    }
+
+    #[test]
+    fn exposition_names_the_synced_counters() {
+        let mut m = GatewayMetrics::new();
+        m.sync(&stats(2, 0));
+        let text = m.metrics_text();
+        assert!(text.contains("gateway_req_update"), "got: {text}");
+        assert!(text.contains("plane=\"gateway\""), "got: {text}");
+    }
+}

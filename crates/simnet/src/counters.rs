@@ -9,93 +9,125 @@
 //! Since the telemetry refactor the storage behind [`Counters`] is a
 //! telemetry [`Registry`] under dotted keys (`msg.total`,
 //! `msg.sent.<site>`, `msg.recv.<site>`, `msg.kind.<kind>`,
-//! `msg.link.<from>><to>`), so the network's numbers and every other
-//! registry consumer read the same cells by construction. The public API
-//! and [`CountersSnapshot`] shape are unchanged.
+//! `msg.link.<from>><to>`). Every key is interned to a dense [`MetricId`]
+//! on its first appearance — one registration (and one `format!`) per
+//! site / kind / link for the life of the counters — so the per-message
+//! hot path only indexes arrays. The public API and [`CountersSnapshot`]
+//! shape are unchanged.
 
-use avdb_telemetry::Registry;
+use avdb_telemetry::{MetricId, Registry};
 use avdb_types::SiteId;
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
 
 /// Running totals of network traffic. Owned by the runtime; protocol code
 /// never touches it.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Counters {
     registry: Registry,
-    /// Lazily-grown caches of formatted registry keys: the per-message
-    /// path would otherwise build 3–4 fresh `String`s per send, which is
-    /// the simulator's hottest allocation site.
-    sent_keys: Vec<String>,
-    recv_keys: Vec<String>,
-    kind_keys: HashMap<&'static str, String>,
-    link_keys: HashMap<(u32, u32), String>,
+    total_id: MetricId,
+    dropped_id: MetricId,
+    parked_id: MetricId,
+    /// Lazily-grown interned ids, dense by site id: the per-message path
+    /// formats each `msg.sent.<site>` / `msg.recv.<site>` key exactly
+    /// once, at the site's first appearance.
+    sent_ids: Vec<MetricId>,
+    recv_ids: Vec<MetricId>,
+    kind_ids: HashMap<&'static str, MetricId>,
+    link_ids: HashMap<(u32, u32), MetricId>,
 }
 
-/// Returns `"{prefix}{site}"` from `cache`, formatting it only on the
-/// first use of that site id.
-fn site_key<'a>(cache: &'a mut Vec<String>, prefix: &str, site: u32) -> &'a str {
+impl Default for Counters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Returns the interned id for `"{prefix}{site}"` from `cache`,
+/// registering it only on the first use of that site id.
+fn site_id(cache: &mut Vec<MetricId>, reg: &mut Registry, prefix: &str, site: u32) -> MetricId {
     let i = site as usize;
     for n in cache.len()..=i {
-        cache.push(format!("{prefix}{n}"));
+        cache.push(reg.counter_id(&format!("{prefix}{n}")));
     }
-    &cache[i]
+    cache[i]
 }
 
 impl Counters {
     /// Fresh, all-zero counters.
     pub fn new() -> Self {
-        Self::default()
+        let mut registry = Registry::new();
+        let total_id = registry.counter_id("msg.total");
+        let dropped_id = registry.counter_id("msg.dropped");
+        let parked_id = registry.counter_id("msg.parked");
+        Counters {
+            registry,
+            total_id,
+            dropped_id,
+            parked_id,
+            sent_ids: Vec::new(),
+            recv_ids: Vec::new(),
+            kind_ids: HashMap::new(),
+            link_ids: HashMap::new(),
+        }
     }
 
     /// Records one message handed to the network.
     pub fn record_send(&mut self, from: SiteId, to: SiteId, kind: &'static str) {
-        self.registry.inc("msg.total");
-        let sent = site_key(&mut self.sent_keys, "msg.sent.", from.0);
-        self.registry.inc(sent);
-        let kind_key = self
-            .kind_keys
-            .entry(kind)
-            .or_insert_with(|| format!("msg.kind.{kind}"));
-        self.registry.inc(kind_key);
-        let link_key = self
-            .link_keys
-            .entry((from.0, to.0))
-            .or_insert_with(|| format!("msg.link.{}>{}", from.0, to.0));
-        self.registry.inc(link_key);
+        self.registry.inc_id(self.total_id);
+        let sent = site_id(&mut self.sent_ids, &mut self.registry, "msg.sent.", from.0);
+        self.registry.inc_id(sent);
+        let kind_id = match self.kind_ids.get(kind) {
+            Some(&id) => id,
+            None => {
+                let id = self.registry.counter_id(&format!("msg.kind.{kind}"));
+                self.kind_ids.insert(kind, id);
+                id
+            }
+        };
+        self.registry.inc_id(kind_id);
+        let link_id = match self.link_ids.get(&(from.0, to.0)) {
+            Some(&id) => id,
+            None => {
+                let id = self.registry.counter_id(&format!("msg.link.{}>{}", from.0, to.0));
+                self.link_ids.insert((from.0, to.0), id);
+                id
+            }
+        };
+        self.registry.inc_id(link_id);
     }
 
     /// Records a successful delivery.
     pub fn record_delivery(&mut self, to: SiteId) {
-        let recv = site_key(&mut self.recv_keys, "msg.recv.", to.0);
-        self.registry.inc(recv);
+        let recv = site_id(&mut self.recv_ids, &mut self.registry, "msg.recv.", to.0);
+        self.registry.inc_id(recv);
     }
 
     /// Records a message lost to a fault (partition, probabilistic drop).
     pub fn record_drop(&mut self) {
-        self.registry.inc("msg.dropped");
+        self.registry.inc_id(self.dropped_id);
     }
 
     /// Records a message parked for a crashed site (store-and-forward:
     /// the transport holds it and delivers after recovery).
     pub fn record_parked(&mut self) {
-        self.registry.inc("msg.parked");
+        self.registry.inc_id(self.parked_id);
     }
 
     /// Total messages sent so far.
     pub fn total_messages(&self) -> u64 {
-        self.registry.counter("msg.total")
+        self.registry.counter_value(self.total_id)
     }
 
     /// Total messages lost to faults.
     pub fn dropped_messages(&self) -> u64 {
-        self.registry.counter("msg.dropped")
+        self.registry.counter_value(self.dropped_id)
     }
 
     /// Total messages parked for crashed sites (cumulative; parking is
     /// not loss — parked messages deliver at recovery).
     pub fn parked_messages(&self) -> u64 {
-        self.registry.counter("msg.parked")
+        self.registry.counter_value(self.parked_id)
     }
 
     /// Paper accounting: total correspondences = messages / 2. The
@@ -107,22 +139,34 @@ impl Counters {
 
     /// Messages sent by one site.
     pub fn sent_by(&self, site: SiteId) -> u64 {
-        self.registry.counter(&format!("msg.sent.{}", site.0))
+        self.sent_ids
+            .get(site.index())
+            .map(|&id| self.registry.counter_value(id))
+            .unwrap_or(0)
     }
 
     /// Messages received by one site.
     pub fn received_by(&self, site: SiteId) -> u64 {
-        self.registry.counter(&format!("msg.recv.{}", site.0))
+        self.recv_ids
+            .get(site.index())
+            .map(|&id| self.registry.counter_value(id))
+            .unwrap_or(0)
     }
 
     /// Messages of one kind.
     pub fn by_kind(&self, kind: &str) -> u64 {
-        self.registry.counter(&format!("msg.kind.{kind}"))
+        self.kind_ids
+            .get(kind)
+            .map(|&id| self.registry.counter_value(id))
+            .unwrap_or(0)
     }
 
     /// Messages on one directed link.
     pub fn on_link(&self, from: SiteId, to: SiteId) -> u64 {
-        self.registry.counter(&format!("msg.link.{}>{}", from.0, to.0))
+        self.link_ids
+            .get(&(from.0, to.0))
+            .map(|&id| self.registry.counter_value(id))
+            .unwrap_or(0)
     }
 
     /// The registry backing these counters (read-only).
@@ -241,5 +285,16 @@ mod tests {
         assert_eq!(reg.counter("msg.kind.propagate"), 2);
         assert_eq!(reg.counter("msg.link.2>1"), 1);
         assert_eq!(reg.counter_sum("msg.sent."), c.total_messages());
+    }
+
+    #[test]
+    fn fresh_counters_export_no_phantom_zero_cells() {
+        let c = Counters::new();
+        let snap = c.registry().snapshot();
+        assert!(
+            snap.counters.is_empty(),
+            "pre-registered but never-bumped keys must stay invisible: {:?}",
+            snap.counters.keys().collect::<Vec<_>>()
+        );
     }
 }

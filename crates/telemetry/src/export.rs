@@ -9,7 +9,9 @@ use crate::critical_path::PhaseProfile;
 use crate::message_log::MessageEvent;
 use crate::registry::RegistrySnapshot;
 use crate::span::SpanRecord;
+use crate::timeseries::{SeriesSnapshot, SeriesWindowSnapshot};
 use serde::{Deserialize, Serialize};
+use std::io::BufRead;
 
 /// Run-level metadata (first line of an export).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -121,6 +123,20 @@ pub struct RegistryLine {
     pub snapshot: RegistrySnapshot,
 }
 
+/// One time-series window, tagged with its scope. Emitted one line per
+/// window so the `series` scope streams: a consumer can fold windows as
+/// they arrive without materializing the whole export.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesLine {
+    /// `"site<N>"` for a per-site accelerator series.
+    pub scope: String,
+    /// Window width in sim ticks (repeated per line so each line is
+    /// self-contained).
+    pub window_ticks: u64,
+    /// The window.
+    pub window: SeriesWindowSnapshot,
+}
+
 /// One line of a JSONL export.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ExportLine {
@@ -134,6 +150,8 @@ pub enum ExportLine {
     Outcome(OutcomeLine),
     /// One registry snapshot.
     Registry(RegistryLine),
+    /// One time-series window.
+    Series(SeriesLine),
     /// The run's critical-path phase profile.
     Profile(PhaseProfile),
 }
@@ -151,6 +169,8 @@ pub struct RunExport {
     pub outcomes: Vec<OutcomeLine>,
     /// All registry snapshots.
     pub registries: Vec<RegistryLine>,
+    /// All time-series windows, one line per window.
+    pub series: Vec<SeriesLine>,
     /// The run's critical-path phase profile, when one was computed.
     pub profile: Option<PhaseProfile>,
 }
@@ -176,6 +196,39 @@ impl RunExport {
         self.registries.iter().find(|r| r.scope == scope).map(|r| &r.snapshot)
     }
 
+    /// Adds one site's series snapshot, flattened to one line per window.
+    pub fn add_series(&mut self, scope: &str, snapshot: &SeriesSnapshot) {
+        for window in &snapshot.windows {
+            self.series.push(SeriesLine {
+                scope: scope.to_string(),
+                window_ticks: snapshot.window_ticks,
+                window: window.clone(),
+            });
+        }
+    }
+
+    /// Reassembles one scope's windows into a series snapshot (empty when
+    /// the scope has no windows).
+    pub fn series_for(&self, scope: &str) -> SeriesSnapshot {
+        let mut snap = SeriesSnapshot::default();
+        for line in self.series.iter().filter(|l| l.scope == scope) {
+            snap.window_ticks = line.window_ticks;
+            snap.windows.push(line.window.clone());
+        }
+        snap
+    }
+
+    /// All scopes that emitted series windows, first-seen order, deduped.
+    pub fn series_scopes(&self) -> Vec<&str> {
+        let mut scopes: Vec<&str> = Vec::new();
+        for line in &self.series {
+            if !scopes.contains(&line.scope.as_str()) {
+                scopes.push(&line.scope);
+            }
+        }
+        scopes
+    }
+
     /// Serializes to JSONL: meta first, then spans, messages, outcomes,
     /// registries.
     pub fn to_jsonl(&self) -> String {
@@ -199,32 +252,74 @@ impl RunExport {
         for r in &self.registries {
             push(&ExportLine::Registry(r.clone()));
         }
+        for s in &self.series {
+            push(&ExportLine::Series(s.clone()));
+        }
         if let Some(p) = &self.profile {
             push(&ExportLine::Profile(p.clone()));
         }
         out
     }
 
-    /// Parses a JSONL export. Returns the first malformed line as an
-    /// error (`"line <n>: <parse error>"`).
-    pub fn parse(text: &str) -> Result<RunExport, String> {
-        let mut export = RunExport::default();
-        for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let parsed: ExportLine = serde_json::from_str(line)
-                .map_err(|e| format!("line {}: {e:?}", i + 1))?;
-            match parsed {
-                ExportLine::Meta(m) => export.meta = Some(m),
-                ExportLine::Span(s) => export.spans.push(s),
-                ExportLine::Message(m) => export.messages.push(m),
-                ExportLine::Outcome(o) => export.outcomes.push(o),
-                ExportLine::Registry(r) => export.registries.push(r),
-                ExportLine::Profile(p) => export.profile = Some(p),
-            }
+    /// Folds one parsed line into the export.
+    pub fn absorb(&mut self, line: ExportLine) {
+        match line {
+            ExportLine::Meta(m) => self.meta = Some(m),
+            ExportLine::Span(s) => self.spans.push(s),
+            ExportLine::Message(m) => self.messages.push(m),
+            ExportLine::Outcome(o) => self.outcomes.push(o),
+            ExportLine::Registry(r) => self.registries.push(r),
+            ExportLine::Series(s) => self.series.push(s),
+            ExportLine::Profile(p) => self.profile = Some(p),
         }
+    }
+
+    /// Parses a JSONL export held in memory. Returns the first malformed
+    /// line as an error (`"line <n>: <parse error>"`).
+    pub fn parse(text: &str) -> Result<RunExport, String> {
+        Self::from_reader(text.as_bytes())
+    }
+
+    /// Parses a JSONL export incrementally from a buffered reader, one
+    /// line at a time through a reused buffer — the analyzer's path for
+    /// 10⁵-update exports, where slurping the file into a `String` first
+    /// would double peak memory.
+    pub fn from_reader<R: BufRead>(reader: R) -> Result<RunExport, String> {
+        let mut export = RunExport::default();
+        for_each_line(reader, |line| {
+            export.absorb(line);
+            Ok(())
+        })?;
         Ok(export)
+    }
+}
+
+/// Streams a JSONL export through `visit` without materializing it: each
+/// parsed line is handed over and dropped. Consumers that only fold
+/// (rate panels, series renderers, summaries) stay O(1) in the export
+/// size. Stops at the first malformed line or visitor error.
+pub fn for_each_line<R: BufRead>(
+    mut reader: R,
+    mut visit: impl FnMut(ExportLine) -> Result<(), String>,
+) -> Result<(), String> {
+    let mut buf = String::new();
+    let mut n = 0usize;
+    loop {
+        buf.clear();
+        let read = reader
+            .read_line(&mut buf)
+            .map_err(|e| format!("line {}: read error: {e}", n + 1))?;
+        if read == 0 {
+            return Ok(());
+        }
+        n += 1;
+        let line = buf.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed: ExportLine =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: {e:?}"))?;
+        visit(parsed)?;
     }
 }
 
@@ -293,5 +388,51 @@ mod tests {
     fn parse_skips_blank_lines() {
         let export = RunExport::parse("\n\n").unwrap();
         assert!(export.spans.is_empty());
+    }
+
+    #[test]
+    fn series_lines_roundtrip_one_window_per_line() {
+        let mut reg = crate::Registry::new();
+        let mut rec = crate::SeriesRecorder::new(10);
+        reg.inc("update.committed");
+        rec.roll(10, &mut reg);
+        reg.add("update.committed", 2);
+        rec.roll(20, &mut reg);
+        let mut export = sample();
+        export.add_series("site1", &rec.snapshot(&reg));
+        let text = export.to_jsonl();
+        assert_eq!(text.lines().count(), 9, "7 sample lines + 2 windows");
+        let back = RunExport::parse(&text).unwrap();
+        assert_eq!(back.series, export.series);
+        let series = back.series_for("site1");
+        assert_eq!(series.window_ticks, 10);
+        assert_eq!(series.windows.len(), 2);
+        assert_eq!(series.windows[1].counters["update.committed"], 2);
+        assert_eq!(back.series_scopes(), vec!["site1"]);
+        assert!(back.series_for("site9").windows.is_empty());
+    }
+
+    #[test]
+    fn from_reader_matches_parse() {
+        let text = sample().to_jsonl();
+        let streamed = RunExport::from_reader(text.as_bytes()).unwrap();
+        let parsed = RunExport::parse(&text).unwrap();
+        assert_eq!(streamed.spans, parsed.spans);
+        assert_eq!(streamed.registries, parsed.registries);
+        assert_eq!(streamed.meta, parsed.meta);
+    }
+
+    #[test]
+    fn for_each_line_streams_and_stops_on_visitor_error() {
+        let text = sample().to_jsonl();
+        let mut seen = 0;
+        super::for_each_line(text.as_bytes(), |_| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, 7);
+        let err = super::for_each_line(text.as_bytes(), |_| Err("stop".to_string()));
+        assert_eq!(err.unwrap_err(), "stop");
     }
 }

@@ -36,6 +36,7 @@ pub mod registry;
 pub mod sampling;
 pub mod slo;
 pub mod span;
+pub mod timeseries;
 
 pub use chrome::chrome_trace;
 pub use context::{aux_trace_id, is_aux_trace, TraceContext, AUX_TRACE_FLAG};
@@ -44,15 +45,23 @@ pub use critical_path::{
     Exemplar, PathNode, PhaseProfile, ProfileBuilder, SpanView, PROFILE_EXEMPLARS,
 };
 pub use export::{
-    ExportLine, MessageLine, MetaLine, OutcomeLine, RegistryLine, RunExport, SpanLine,
+    for_each_line, ExportLine, MessageLine, MetaLine, OutcomeLine, RegistryLine, RunExport,
+    SeriesLine, SpanLine,
 };
 pub use flight::{FlightDump, FlightEvent, FlightRecorder, SiteFlight, DEFAULT_FLIGHT_CAPACITY};
 pub use message_log::{render_sequence, MessageEvent, MessageLog};
-pub use prometheus::{metric_families, metric_name, render_prometheus, validate_exposition};
-pub use registry::{Histogram, HistogramSnapshot, Registry, RegistrySnapshot};
+pub use prometheus::{
+    metric_families, metric_name, render_prometheus, render_series_prometheus,
+    validate_exposition,
+};
+pub use registry::{Histogram, HistogramSnapshot, MetricId, Registry, RegistrySnapshot};
 pub use sampling::TraceSampler;
 pub use slo::{
     evaluate as evaluate_slo, LaneReport, LaneSlo, SloHealth, SloReport, SloSpec, LANE_DELAY,
     LANE_IMM,
 };
 pub use span::{SpanCollector, SpanRecord, DEFAULT_SPAN_RING_CAPACITY};
+pub use timeseries::{
+    sparkline, RollOutcome, SeriesRecorder, SeriesSnapshot, SeriesWindowSnapshot, WatchdogConfig,
+    WatchdogFiring, DEFAULT_SERIES_RING_CAPACITY,
+};

@@ -14,6 +14,7 @@
 //! output without a real Prometheus server.
 
 use crate::registry::RegistrySnapshot;
+use crate::timeseries::SeriesSnapshot;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -100,6 +101,56 @@ pub fn render_prometheus(snap: &RegistrySnapshot, labels: &[(&str, String)]) -> 
         let _ = writeln!(out, "{pname}_bucket{inf} {}", hist.count);
         let _ = writeln!(out, "{pname}_sum{lbl} {}", hist.sum);
         let _ = writeln!(out, "{pname}_count{lbl} {}", hist.count);
+    }
+    out
+}
+
+/// Renders the most recent time-series window as a handful of
+/// window-aggregated families, meant to be appended to the output of
+/// [`render_prometheus`]. The per-metric dimension is folded into a
+/// `metric` label instead of minting one family per registry key, so the
+/// family count stays fixed no matter how many metrics exist and the
+/// combined exposition keeps every `# TYPE` unique (the
+/// [`validate_exposition`] duplicate-family rule). Ordering is stable:
+/// window metadata first, then counter deltas, gauge values, and
+/// histogram deltas, each in `BTreeMap` name order.
+pub fn render_series_prometheus(series: &SeriesSnapshot, labels: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    let Some(window) = series.latest() else {
+        return out;
+    };
+    let lbl = label_block(labels);
+    let _ = writeln!(out, "# TYPE avdb_series_window gauge");
+    let _ = writeln!(out, "avdb_series_window{lbl} {}", window.index);
+    let _ = writeln!(out, "# TYPE avdb_series_window_start gauge");
+    let _ = writeln!(out, "avdb_series_window_start{lbl} {}", window.start);
+    let _ = writeln!(out, "# TYPE avdb_series_window_width_ticks gauge");
+    let _ = writeln!(out, "avdb_series_window_width_ticks{lbl} {}", series.window_ticks);
+    if !window.counters.is_empty() {
+        let _ = writeln!(out, "# TYPE avdb_series_counter_delta gauge");
+        for (name, delta) in &window.counters {
+            let l = label_block_with(labels, "metric", name);
+            let _ = writeln!(out, "avdb_series_counter_delta{l} {delta}");
+        }
+    }
+    if !window.gauges.is_empty() {
+        let _ = writeln!(out, "# TYPE avdb_series_gauge_value gauge");
+        for (name, value) in &window.gauges {
+            let l = label_block_with(labels, "metric", name);
+            let _ = writeln!(out, "avdb_series_gauge_value{l} {value}");
+        }
+    }
+    if !window.histograms.is_empty() {
+        let _ = writeln!(out, "# TYPE avdb_series_histogram_delta_count gauge");
+        for (name, hist) in &window.histograms {
+            let l = label_block_with(labels, "metric", name);
+            let _ = writeln!(out, "avdb_series_histogram_delta_count{l} {}", hist.count);
+        }
+        let _ = writeln!(out, "# TYPE avdb_series_histogram_delta_sum gauge");
+        for (name, hist) in &window.histograms {
+            let l = label_block_with(labels, "metric", name);
+            let _ = writeln!(out, "avdb_series_histogram_delta_sum{l} {}", hist.sum);
+        }
     }
     out
 }
@@ -292,6 +343,52 @@ mod tests {
         // quote, \n for newline — and the result must still validate.
         assert!(text.contains(r#"host="rack \"a\" \\ b\nline2""#), "{text}");
         validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn series_families_render_append_and_validate() {
+        // A registry that includes a `series.*`-named counter must not
+        // collide with the window-aggregated families.
+        let mut r = Registry::new();
+        r.inc("update.committed");
+        r.inc("series.watchdog.fired");
+        r.set_gauge("repl.queue.depth", 3);
+        r.observe("update.latency.ticks", 5);
+        let mut rec = crate::SeriesRecorder::new(10);
+        rec.roll(10, &mut r);
+        r.add("update.committed", 4);
+        r.set_gauge("repl.queue.depth", 7);
+        rec.roll(20, &mut r);
+
+        let labels = [("site", "2".to_string())];
+        let mut text = render_prometheus(&r.snapshot(), &labels);
+        let series = rec.snapshot(&r);
+        text.push_str(&render_series_prometheus(&series, &labels));
+
+        validate_exposition(&text).unwrap();
+        let fams = metric_families(&text);
+        assert!(fams.contains("avdb_series_window"));
+        assert!(fams.contains("avdb_series_counter_delta"));
+        assert!(fams.contains("avdb_series_gauge_value"));
+        assert!(fams.contains("avdb_series_watchdog_fired_total"));
+        // Latest-window values, not totals.
+        assert!(
+            text.contains(
+                "avdb_series_counter_delta{site=\"2\",metric=\"update.committed\"} 4"
+            ),
+            "{text}"
+        );
+        assert!(text
+            .contains("avdb_series_gauge_value{site=\"2\",metric=\"repl.queue.depth\"} 7"));
+        assert!(text.contains("avdb_series_window{site=\"2\"} 1"));
+
+        // Stable ordering: byte-identical on re-render.
+        let again = render_series_prometheus(&series, &labels);
+        assert_eq!(again, render_series_prometheus(&rec.snapshot(&r), &labels));
+
+        // An empty series renders nothing (and so stays valid appended).
+        let empty = crate::SeriesRecorder::new(10);
+        assert!(render_series_prometheus(&empty.snapshot(&r), &labels).is_empty());
     }
 
     #[test]

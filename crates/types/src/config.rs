@@ -190,6 +190,14 @@ pub struct SystemConfig {
     /// pre-sampling configs) means 1.0 — retain everything.
     #[serde(default)]
     pub trace_sample_rate: Option<f64>,
+    /// Width (in sim ticks) of the telemetry time-series windows: every
+    /// `series_window_ticks` the accelerator rolls its registry into one
+    /// window of counter deltas / gauge last-values / histogram deltas,
+    /// held in a bounded per-site ring and watched by the anomaly
+    /// watchdog. `0` (the default, and the wire default for configs
+    /// serialized before the knob existed) disables the series plane.
+    #[serde(default)]
+    pub series_window_ticks: u64,
     /// RNG seed for all stochastic pieces (workload, jitter, random
     /// strategies). Same seed + same config ⇒ identical run.
     pub seed: u64,
@@ -367,6 +375,7 @@ pub struct SystemConfigBuilder {
     coalesce_propagation: bool,
     drop_probability: f64,
     trace_sample_rate: Option<f64>,
+    series_window_ticks: u64,
     seed: u64,
 }
 
@@ -390,6 +399,7 @@ impl Default for SystemConfigBuilder {
             coalesce_propagation: false,
             drop_probability: 0.0,
             trace_sample_rate: None,
+            series_window_ticks: 0,
             seed: 0,
         }
     }
@@ -536,6 +546,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the telemetry time-series window width in sim ticks
+    /// (default 0 — series plane off).
+    pub fn series_window_ticks(mut self, ticks: u64) -> Self {
+        self.series_window_ticks = ticks;
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SystemConfig> {
         let initial_av = self.initial_av.unwrap_or_else(|| {
@@ -561,6 +578,7 @@ impl SystemConfigBuilder {
             coalesce_propagation: self.coalesce_propagation,
             drop_probability: self.drop_probability,
             trace_sample_rate: self.trace_sample_rate,
+            series_window_ticks: self.series_window_ticks,
             seed: self.seed,
             catalog: self.catalog,
         };
@@ -716,5 +734,22 @@ mod tests {
         assert_eq!(old.shortage_fanout, 0);
         assert_eq!(old.rebalance_horizon_ticks, 0);
         assert!(!old.coalesce_propagation);
+    }
+
+    #[test]
+    fn series_window_defaults_off_and_round_trips() {
+        let cfg = base().build().unwrap();
+        assert_eq!(cfg.series_window_ticks, 0, "series plane is opt-in");
+
+        let cfg = base().series_window_ticks(250).build().unwrap();
+        assert_eq!(cfg.series_window_ticks, 250);
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(cfg, serde_json::from_str::<SystemConfig>(&json).unwrap());
+
+        // Configs serialized before the knob existed still deserialize.
+        let stripped = json.replace("\"series_window_ticks\":250,", "");
+        assert_ne!(stripped, json);
+        let old: SystemConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.series_window_ticks, 0);
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! avdb-trace record [--transport sim|threads|tcp] [--sites N] [--seed N]
-//!                   [--requests N] [--sample-milli N] [--out FILE]
+//!                   [--requests N] [--sample-milli N] [--series-window N]
+//!                   [--out FILE]
 //! avdb-trace report FILE [--limit N]
+//! avdb-trace series FILE [--scope NAME] [--last N]
 //! avdb-trace verify FILE
 //! avdb-trace flight FILE
 //! avdb-trace profile FILE
@@ -13,11 +15,16 @@
 //!
 //! * `record` drives one seeded workload through the chosen transport with
 //!   telemetry export enabled and writes the run as JSONL
-//!   (`--sample-milli` sets the head-based trace sample rate in ‰;
-//!   default 1000 = trace everything).
+//!   (`--sample-milli` sets the head-based trace sample rate in ‰,
+//!   default 1000 = trace everything; `--series-window` sets the
+//!   time-series window width in sim ticks, default 16, 0 = off).
 //! * `report` renders per-update causal timelines, the latency breakdown
 //!   by protocol phase (checking → selecting → deciding → transfer →
 //!   commit), and message-amplification percentiles.
+//! * `series` renders the run's windowed time-series scope: per site, a
+//!   sparkline and totals for every counter, gauge trends, and the latest
+//!   window's histogram deltas. Folds the JSONL incrementally — memory
+//!   stays bounded by `--last`, not by the export size.
 //! * `verify` checks span-tree completeness: every committed update must
 //!   have a rooted tree with no orphan spans. Non-zero exit on failure.
 //! * `flight` pretty-prints a flight-recorder dump (written by a site on a
@@ -52,7 +59,9 @@ const TICKS_PER_REQUEST: u64 = 4;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  avdb-trace record [--transport sim|threads|tcp] [--sites N] [--seed N] \
-         [--requests N] [--sample-milli N] [--out FILE]\n  avdb-trace report FILE [--limit N]\n  \
+         [--requests N] [--sample-milli N] [--series-window N] [--out FILE]\n  \
+         avdb-trace report FILE [--limit N]\n  \
+         avdb-trace series FILE [--scope NAME] [--last N]\n  \
          avdb-trace verify FILE\n  avdb-trace flight FILE\n  avdb-trace profile FILE\n  \
          avdb-trace critical-path FILE TRACE\n  avdb-trace export-chrome FILE [--out FILE]"
     );
@@ -65,6 +74,7 @@ struct RecordArgs {
     seed: u64,
     requests: usize,
     sample_milli: u32,
+    series_window: u64,
     out: Option<String>,
 }
 
@@ -75,6 +85,7 @@ fn parse_record(mut args: std::env::Args) -> RecordArgs {
         seed: 1,
         requests: 40,
         sample_milli: 1000,
+        series_window: 16,
         out: None,
     };
     while let Some(flag) = args.next() {
@@ -89,6 +100,10 @@ fn parse_record(mut args: std::env::Args) -> RecordArgs {
             "--sample-milli" => {
                 rec.sample_milli =
                     value("--sample-milli").parse().unwrap_or_else(|_| usage())
+            }
+            "--series-window" => {
+                rec.series_window =
+                    value("--series-window").parse().unwrap_or_else(|_| usage())
             }
             "--out" => rec.out = Some(value("--out")),
             _ => usage(),
@@ -105,11 +120,12 @@ fn parse_record(mut args: std::env::Args) -> RecordArgs {
 
 /// The recording scenario: two AV-managed products plus one non-regular,
 /// so both the Delay and the Immediate path appear in the trace.
-fn config(sites: usize, seed: u64, sample_milli: u32) -> SystemConfig {
+fn config(sites: usize, seed: u64, sample_milli: u32, series_window: u64) -> SystemConfig {
     let mut builder = SystemConfig::builder()
         .sites(sites)
         .regular_products(2, Volume(40 * sites as i64))
         .non_regular_products(1, Volume(50))
+        .series_window_ticks(series_window)
         .seed(seed);
     if sample_milli != 1000 {
         builder = builder.trace_sample_rate(f64::from(sample_milli) / 1000.0);
@@ -222,7 +238,7 @@ fn record_live(transport: &str, cfg: &SystemConfig, requests: usize, mesh: impl 
 }
 
 fn record(rec: RecordArgs) -> ExitCode {
-    let cfg = config(rec.sites, rec.seed, rec.sample_milli);
+    let cfg = config(rec.sites, rec.seed, rec.sample_milli, rec.series_window);
     let export = match rec.transport.as_str() {
         "sim" => record_sim(&cfg, rec.requests),
         "threads" => {
@@ -256,10 +272,13 @@ fn record(rec: RecordArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Streams the export off disk line by line ([`RunExport::from_reader`])
+/// instead of slurping the file into one `String` first — a 10⁵-update
+/// recording parses without ever holding both the text and the parsed
+/// structure in memory.
 fn load(path: &str) -> Result<RunExport, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    RunExport::parse(&text).map_err(|e| format!("{path}: {e}"))
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    RunExport::from_reader(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn report(path: &str, limit: usize) -> ExitCode {
@@ -328,8 +347,126 @@ fn report(path: &str, limit: usize) -> ExitCode {
             println!("  {kind:<16} {n}");
         }
     }
+    // Series plane: point at the dedicated renderer rather than inlining.
+    let scopes = export.series_scopes();
+    if !scopes.is_empty() {
+        println!(
+            "\nseries: {} windows across {} scopes (render with `avdb-trace series`)",
+            export.series.len(),
+            scopes.len()
+        );
+    }
     let aux = export.spans.iter().filter(|s| is_aux_trace(s.trace)).count();
     println!("\n{} auxiliary (replication/push) spans", aux);
+    ExitCode::SUCCESS
+}
+
+/// One scope's rolling tail of series windows, folded incrementally.
+#[derive(Default)]
+struct ScopeTail {
+    window_ticks: u64,
+    total_windows: u64,
+    tail: std::collections::VecDeque<avdb::telemetry::SeriesWindowSnapshot>,
+}
+
+/// Renders the export's `series` scope as per-site sparkline panels.
+/// Streams the JSONL with [`for_each_line`], keeping only the last
+/// `last` windows per scope, so memory is O(scopes × last) regardless of
+/// export size.
+fn series_file(path: &str, scope_filter: Option<&str>, last: usize) -> ExitCode {
+    use avdb::telemetry::{for_each_line, sparkline, ExportLine};
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("avdb-trace: open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut scopes: std::collections::BTreeMap<String, ScopeTail> = std::collections::BTreeMap::new();
+    let folded = for_each_line(std::io::BufReader::new(file), |line| {
+        if let ExportLine::Series(l) = line {
+            if scope_filter.map_or(true, |s| s == l.scope) {
+                let entry = scopes.entry(l.scope).or_default();
+                entry.window_ticks = l.window_ticks;
+                entry.total_windows += 1;
+                entry.tail.push_back(l.window);
+                if entry.tail.len() > last {
+                    entry.tail.pop_front();
+                }
+            }
+        }
+        Ok(())
+    });
+    if let Err(e) = folded {
+        eprintln!("avdb-trace: {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if scopes.is_empty() {
+        match scope_filter {
+            Some(s) => eprintln!(
+                "avdb-trace: no series windows for scope {s:?} in {path} \
+                 (recorded without --series-window?)"
+            ),
+            None => eprintln!(
+                "avdb-trace: no series windows in {path} (recorded without --series-window?)"
+            ),
+        }
+        return ExitCode::FAILURE;
+    }
+    for (scope, tail) in &scopes {
+        println!(
+            "{scope}: {} windows of {} ticks (showing last {})",
+            tail.total_windows,
+            tail.window_ticks,
+            tail.tail.len()
+        );
+        let shown: Vec<_> = tail.tail.iter().collect();
+        let counter_names: BTreeSet<&str> =
+            shown.iter().flat_map(|w| w.counters.keys().map(String::as_str)).collect();
+        if !counter_names.is_empty() {
+            println!("  counters (delta per window):");
+            for name in counter_names {
+                let vals: Vec<u64> =
+                    shown.iter().map(|w| w.counters.get(name).copied().unwrap_or(0)).collect();
+                let total: u64 = vals.iter().sum();
+                println!(
+                    "    {name:<28} {}  last {:>6}  Σ {total}",
+                    sparkline(&vals),
+                    vals.last().copied().unwrap_or(0)
+                );
+            }
+        }
+        let gauge_names: BTreeSet<&str> =
+            shown.iter().flat_map(|w| w.gauges.keys().map(String::as_str)).collect();
+        if !gauge_names.is_empty() {
+            println!("  gauges (value at window end):");
+            for name in gauge_names {
+                let vals: Vec<i64> =
+                    shown.iter().map(|w| w.gauges.get(name).copied().unwrap_or(0)).collect();
+                let bars: Vec<u64> = vals.iter().map(|&v| v.max(0) as u64).collect();
+                println!(
+                    "    {name:<28} {}  last {:>6}",
+                    sparkline(&bars),
+                    vals.last().copied().unwrap_or(0)
+                );
+            }
+        }
+        if let Some(latest) = shown.last() {
+            if !latest.histograms.is_empty() {
+                println!("  histograms (latest window, ticks {}..{}):", latest.start, latest.end);
+                for (name, h) in &latest.histograms {
+                    println!(
+                        "    {name:<28} n {:>6}  p50 {:>6}  p99 {:>6}  max {:>6}",
+                        h.count,
+                        h.percentile(0.5),
+                        h.percentile(0.99),
+                        h.max
+                    );
+                }
+            }
+        }
+        println!();
+    }
     ExitCode::SUCCESS
 }
 
@@ -471,6 +608,25 @@ fn main() -> ExitCode {
                 }
             }
             report(&path, limit)
+        }
+        Some("series") => {
+            let Some(path) = args.next() else { usage() };
+            let mut scope = None;
+            let mut last = 32usize;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--scope" => scope = args.next(),
+                    "--last" => {
+                        last = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| usage())
+                    }
+                    _ => usage(),
+                }
+            }
+            series_file(&path, scope.as_deref(), last)
         }
         Some("verify") => {
             let Some(path) = args.next() else { usage() };

@@ -8,7 +8,8 @@
 //! avdb report    [--dir D] [--updates N] [--ablation N] [--seed S]
 //! avdb demo                                    # 3-site walkthrough
 //! avdb serve [--sites N] [--seed S] [--updates N] [--hold-ms MS]
-//!            [--addr-file PATH] [--flight-dir DIR]   # TCP cluster + /metrics
+//!            [--series-window N] [--addr-file PATH]
+//!            [--flight-dir DIR]                      # TCP cluster + /metrics
 //!                                  # + wire-protocol gateway (PATH.wire)
 //! avdb top --targets HOST:PORT,... [--interval-ms N] [--once] [--check]
 //! ```
@@ -177,6 +178,7 @@ struct ServeOpts {
     seed: u64,
     updates: usize,
     hold_ms: u64,
+    series_window: u64,
     addr_file: Option<PathBuf>,
     flight_dir: Option<PathBuf>,
 }
@@ -188,6 +190,7 @@ impl Default for ServeOpts {
             seed: 1,
             updates: 150,
             hold_ms: 10_000,
+            series_window: 16,
             addr_file: None,
             flight_dir: None,
         }
@@ -220,6 +223,11 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts> {
                 opts.hold_ms =
                     value("--hold-ms")?.parse().map_err(|e| parse_err("--hold-ms", &e))?;
             }
+            "--series-window" => {
+                opts.series_window = value("--series-window")?
+                    .parse()
+                    .map_err(|e| parse_err("--series-window", &e))?;
+            }
             "--addr-file" => opts.addr_file = Some(PathBuf::from(value("--addr-file")?)),
             "--flight-dir" => opts.flight_dir = Some(PathBuf::from(value("--flight-dir")?)),
             other => return Err(AvdbError::InvalidConfig(format!("unknown flag {other}"))),
@@ -243,6 +251,7 @@ fn cmd_serve(opts: &ServeOpts) -> Result<()> {
         .regular_products(3, Volume(6_000))
         .non_regular_products(1, Volume(600))
         .propagation_batch(5)
+        .series_window_ticks(opts.series_window)
         .seed(opts.seed)
         .build()?;
     let actors: Vec<Accelerator> = SiteId::all(opts.sites)
@@ -447,6 +456,61 @@ fn render_cluster_table(rows: &[(String, Option<avdb::core::StatusSnapshot>)]) -
     if !diverged.is_empty() {
         let _ = writeln!(out, "unreplicated divergence: {}", diverged.join(", "));
     }
+    // Trend panel: windowed rates from the series plane, when the cluster
+    // was booted with `series_window_ticks > 0`. One row per site:
+    // sparklines over the last windows plus the latest window's rates.
+    const TREND_WINDOWS: usize = 12;
+    let with_series: Vec<(&avdb::core::StatusSnapshot, &avdb::telemetry::SeriesSnapshot)> = rows
+        .iter()
+        .filter_map(|(_, s)| s.as_ref())
+        .filter_map(|s| {
+            s.series.as_ref().filter(|sn| !sn.windows.is_empty()).map(|sn| (s, sn))
+        })
+        .collect();
+    if let Some((_, first)) = with_series.first() {
+        let _ = writeln!(
+            out,
+            "trends (per {}-tick window, last {TREND_WINDOWS}):",
+            first.window_ticks
+        );
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<14} {:<14} {:<14} {:>8} {:>7}",
+            "site", "commits", "aborts", "queue", "commit/w", "sent/w"
+        );
+        for (s, sn) in with_series {
+            let commits = sn.counter_tail("update.committed", TREND_WINDOWS);
+            let aborts = sn.counter_tail("update.aborted", TREND_WINDOWS);
+            let queue: Vec<u64> = sn
+                .gauge_tail("repl.queue.depth", TREND_WINDOWS)
+                .iter()
+                .map(|&v| v.max(0) as u64)
+                .collect();
+            let skip = sn.windows.len().saturating_sub(TREND_WINDOWS);
+            let sent: Vec<u64> = sn
+                .windows
+                .iter()
+                .skip(skip)
+                .map(|w| {
+                    w.counters
+                        .iter()
+                        .filter(|(k, _)| k.starts_with("msg.sent."))
+                        .map(|(_, v)| v)
+                        .sum()
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {:<4} {:<14} {:<14} {:<14} {:>8} {:>7}",
+                s.site,
+                avdb::telemetry::sparkline(&commits),
+                avdb::telemetry::sparkline(&aborts),
+                avdb::telemetry::sparkline(&queue),
+                commits.last().copied().unwrap_or(0),
+                sent.last().copied().unwrap_or(0)
+            );
+        }
+    }
     // SLO panel: lane detail for every degraded site; all-green collapses
     // to a single line so the healthy steady state stays quiet.
     let degraded: Vec<&avdb::core::StatusSnapshot> = rows
@@ -532,7 +596,7 @@ fn cmd_top(opts: &TopOpts) -> Result<()> {
 const USAGE: &str = "usage: avdb <fig6|table1|ablations|faults|report|demo> \
 [--updates N] [--ablation N] [--seed S] [--dir D]
        avdb serve [--sites N] [--seed S] [--updates N] [--hold-ms MS] \
-[--addr-file PATH] [--flight-dir DIR]
+[--series-window N] [--addr-file PATH] [--flight-dir DIR]
        avdb top --targets HOST:PORT,... [--interval-ms N] [--once] [--check]";
 
 fn main() -> ExitCode {

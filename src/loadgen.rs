@@ -20,7 +20,7 @@ use crate::simnet::TcpMesh;
 use crate::telemetry::Registry;
 use crate::workload::{scm_catalog, ArrivalPattern, Popularity, UpdateStream, WorkloadSpec};
 use avdb_client::{ClientError, Connection};
-use avdb_gateway::{Gateway, GatewayConfig, GatewayStats};
+use avdb_gateway::{Gateway, GatewayConfig, GatewayMetrics, GatewayStats};
 use avdb_wire::{Request, Response};
 use serde::Serialize;
 use std::collections::VecDeque;
@@ -247,9 +247,12 @@ pub fn run(spec: &LoadgenSpec) -> std::result::Result<LoadgenReport, String> {
     // Client-observed latency lands in the telemetry registry alongside
     // the protocol counters, like every other instrumented subsystem.
     let mut registry = Registry::new();
+    let lat_id = registry.histogram_id("loadgen.client.latency.us");
     for us in &tally.latency_us {
-        registry.observe("loadgen_client_latency_us", *us);
+        registry.observe_id(lat_id, *us);
     }
+    let mut gw_metrics = GatewayMetrics::new();
+    gw_metrics.sync(&gw_stats);
     tally.latency_us.sort_unstable();
     let latency = Percentiles::from_sorted(&tally.latency_us);
 
@@ -289,6 +292,8 @@ pub fn run(spec: &LoadgenSpec) -> std::result::Result<LoadgenReport, String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("flight dir: {e}"))?;
         std::fs::write(dir.join("loadgen-shutdown.json"), dump.to_json())
             .map_err(|e| format!("flight dump: {e}"))?;
+        std::fs::write(dir.join("loadgen-gateway.prom"), gw_metrics.metrics_text())
+            .map_err(|e| format!("gateway metrics: {e}"))?;
     }
     if !report_ora.is_ok() {
         return Err(format!("oracle violations in loadgen run:\n{report_ora}"));
