@@ -3,8 +3,9 @@
 //! coalescing. Both sit inside per-message handlers, so their constant
 //! factors show up directly in simulated-run wall time.
 
-use avdb_core::{coalesce_deltas, PropagateDelta};
+use avdb_core::{coalesce_deltas, KnowledgeExchange, PropagateDelta};
 use avdb_escrow::PeerKnowledge;
+use avdb_simnet::{Event, EventQueue};
 use avdb_types::{ProductId, SiteId, TxnId, VirtualTime, Volume};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -79,5 +80,95 @@ fn bench_coalesce(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ranked_peers, bench_coalesce);
+/// A knowledge-exchange pair mid-run: the sender has observed one AV
+/// per (peer, product) and already shipped a first digest, so encode is
+/// measuring the watermarked steady state, not the boot backlog.
+fn exchange_pair(sites: usize, products: u32) -> (KnowledgeExchange, KnowledgeExchange) {
+    let mut tx = KnowledgeExchange::new(sites);
+    let rx = KnowledgeExchange::new(sites);
+    for s in 0..sites as u32 {
+        for p in 0..products {
+            tx.update(
+                SiteId(s),
+                ProductId(p),
+                Volume(((s as i64 * 31 + p as i64 * 7) % 97) * 10),
+                VirtualTime(u64::from(s + p) + 1),
+            );
+        }
+    }
+    (tx, rx)
+}
+
+fn bench_knowledge_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_exchange");
+    group.throughput(Throughput::Elements(1));
+    for &sites in &[8usize, 32, 64] {
+        let products = 4u32;
+        // Cold encode: everything since the boot watermark ships (the
+        // dense worst case the delta digest replaced).
+        group.bench_function(format!("encode_full/{sites}_sites"), |b| {
+            let (mut tx, _) = exchange_pair(sites, products);
+            b.iter(|| {
+                // Fresh peer slot each round so the watermark never advances.
+                let rows = tx.encode_digest_for(SiteId(0), SiteId(1));
+                tx.rewind_digest_for(SiteId(1));
+                black_box(rows);
+            })
+        });
+        // Steady state: one observation lands, one single-row digest
+        // rides the next frame, the receiver merges it.
+        group.bench_function(format!("roundtrip_delta/{sites}_sites"), |b| {
+            let (mut tx, mut rx) = exchange_pair(sites, products);
+            let _ = tx.encode_digest_for(SiteId(0), SiteId(1));
+            let mut now = 1_000u64;
+            b.iter(|| {
+                now += 1;
+                tx.update(SiteId(2), ProductId(now as u32 % products), Volume(now as i64 % 97), VirtualTime(now));
+                let rows = tx.encode_digest_for(SiteId(0), SiteId(1));
+                rx.apply_digest(SiteId(1), &rows);
+                black_box(&rx);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &sites in &[8usize, 32, 64] {
+        // One all-to-all message wave: every site sends to every other
+        // site with small staggered latencies — the calendar ring's
+        // steady-state shape — then the wave drains in time order.
+        let n = sites * (sites - 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("push_pop_wave/{sites}_sites"), |b| {
+            let mut q: EventQueue<u64, u64> = EventQueue::new();
+            let mut tick = 0u64;
+            b.iter(|| {
+                for from in 0..sites as u32 {
+                    for to in 0..sites as u32 {
+                        if from == to {
+                            continue;
+                        }
+                        let at = VirtualTime(tick + 1 + u64::from(from + to) % 7);
+                        q.push(at, Event::Deliver { from: SiteId(from), to: SiteId(to), msg: tick });
+                    }
+                }
+                while let Some((at, ev)) = q.pop() {
+                    tick = tick.max(at.0);
+                    black_box(ev);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ranked_peers,
+    bench_coalesce,
+    bench_knowledge_exchange,
+    bench_event_queue
+);
 criterion_main!(benches);

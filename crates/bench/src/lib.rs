@@ -30,7 +30,7 @@ pub mod run;
 
 pub use matrix::{FaultProfile, ScenarioSpec, TransportKind};
 pub use report::{BenchReport, Percentiles, ScenarioResult, ScenarioStats, WallStats};
-pub use run::{run_scenario, RunArtifacts};
+pub use run::{run_scenario, run_scenario_with_flight_dir, RunArtifacts};
 
 /// Updates used when a bench regenerates the printed artifact.
 pub const PRINT_UPDATES: usize = 2_000;

@@ -87,6 +87,26 @@ impl FaultProfile {
 /// Message-drop probability used by [`FaultProfile::Loss`].
 pub const LOSS_DROP_PROBABILITY: f64 = 0.05;
 
+/// Cells whose `updates × sites` product stays at or below this run with
+/// full telemetry: every interior span retained and every delivery in the
+/// message log. Larger (scale-up) cells auto-sample traces at
+/// [`AUTO_SCALE_SAMPLE_RATE`] and skip the message log; the deterministic
+/// BENCH statistics are identical either way.
+pub const FULL_TELEMETRY_CEILING: usize = 100_000;
+
+/// Head-sampling rate auto-applied past [`FULL_TELEMETRY_CEILING`]:
+/// roughly 1% of traces keep their full span trees (plus rescued anomaly
+/// promotions), which bounds telemetry memory at any cell size.
+pub const AUTO_SCALE_SAMPLE_RATE: f64 = 0.01;
+
+/// Anomaly rescue rate auto-applied past [`FULL_TELEMETRY_CEILING`].
+/// Requested `-ts` cells keep the default full rescue (every abort /
+/// shortage / outlier trace survives), but a saturated scale-up cell
+/// where nearly every update shorts would rescue nearly every trace —
+/// this caps that at ~5%, deterministically and identically on every
+/// site.
+pub const AUTO_SCALE_ANOMALY_KEEP: f64 = 0.05;
+
 /// One cell of the benchmark matrix.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -186,6 +206,14 @@ impl ScenarioSpec {
         self.trace_sample_milli > 0 && self.trace_sample_milli < 1000
     }
 
+    /// Whether this cell exceeds the full-telemetry budget
+    /// ([`FULL_TELEMETRY_CEILING`]) and therefore runs with auto-sampled
+    /// traces and no per-delivery message log. Explicit `-ts` cells keep
+    /// their requested rate instead.
+    pub fn scaled_telemetry(&self) -> bool {
+        self.updates.saturating_mul(self.sites) > FULL_TELEMETRY_CEILING
+    }
+
     /// The parsed chaos scenario, if the cell names one. An unknown name
     /// is an error (a silently ignored scenario would report misleading
     /// numbers under the right label).
@@ -264,6 +292,15 @@ impl ScenarioSpec {
         }
         if self.samples_traces() {
             b = b.trace_sample_rate(f64::from(self.trace_sample_milli) / 1000.0);
+        } else if self.scaled_telemetry() {
+            // Scale-up cells auto-sample: every BENCH statistic is
+            // sampling-independent (outcomes, counters, and always-retained
+            // root spans), but retaining every interior span at
+            // updates × sites in the millions costs gigabytes and dominates
+            // wall time. The label deliberately does not change — `-ts`
+            // marks a *requested* rate, and the statistics are identical.
+            b = b.trace_sample_rate(AUTO_SCALE_SAMPLE_RATE);
+            b = b.anomaly_keep_rate(AUTO_SCALE_ANOMALY_KEEP);
         }
         b.build().map_err(|e| format!("scenario {}: {e}", self.label()))
     }

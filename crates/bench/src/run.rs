@@ -28,8 +28,19 @@ pub struct RunArtifacts {
 /// run (bad config, unsupported transport/fault combination, timeout) or
 /// failed the conformance oracle.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
+    run_scenario_with_flight_dir(spec, None)
+}
+
+/// [`run_scenario`] with a post-mortem hook: when a sim scenario fails
+/// (no convergence, oracle violation), the cluster's flight-recorder
+/// dump is written as JSON into `flight_dir` before the error returns —
+/// CI jobs upload the directory as a failure artifact.
+pub fn run_scenario_with_flight_dir(
+    spec: &ScenarioSpec,
+    flight_dir: Option<&std::path::Path>,
+) -> Result<RunArtifacts, String> {
     match spec.transport {
-        TransportKind::Sim => run_sim(spec),
+        TransportKind::Sim => run_sim(spec, flight_dir),
         TransportKind::Threads | TransportKind::Tcp => run_live(spec),
     }
 }
@@ -46,14 +57,38 @@ fn finish(
 
 // ---- simulator ---------------------------------------------------------
 
-fn run_sim(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
+/// Writes the cluster flight dump for a failed scenario, best effort.
+fn dump_flight(
+    sys: &DistributedSystem,
+    dir: Option<&std::path::Path>,
+    label: &str,
+    reason: &str,
+) {
+    let Some(dir) = dir else { return };
+    let _ = std::fs::create_dir_all(dir);
+    let dump = sys.flight_dump(reason);
+    if let Ok(text) = serde_json::to_string_pretty(&dump) {
+        let _ = std::fs::write(dir.join(format!("{label}-{reason}.json")), text);
+    }
+}
+
+fn run_sim(spec: &ScenarioSpec, flight_dir: Option<&std::path::Path>) -> Result<RunArtifacts, String> {
     let cfg = spec.config()?;
     let chaos = spec.chaos_scenario().map_err(|e| format!("{}: {e}", spec.label()))?;
     let schedule = spec.schedule();
     let started = Instant::now();
 
     let mut sys = DistributedSystem::new(cfg);
-    sys.enable_trace();
+    // The message log is for post-hoc analysis (sequence charts,
+    // avdb-trace drilling); none of the BENCH statistics read it — they
+    // come from outcomes, spans, and the registries. At scale-up cell
+    // sizes ([`FULL_TELEMETRY_CEILING`] exceeded) recording every
+    // delivery would dominate memory and wall time, so large cells run
+    // with the log off (and auto-sampled traces, see
+    // [`ScenarioSpec::config`]).
+    if !spec.scaled_telemetry() {
+        sys.enable_trace();
+    }
     let span = spec.schedule_span().max(1);
     let nemesis = chaos.map(|sc| sc.install(&mut sys, span));
     let mut submitted = Vec::with_capacity(schedule.len());
@@ -92,13 +127,17 @@ fn run_sim(spec: &ScenarioSpec) -> Result<RunArtifacts, String> {
             break;
         }
     }
-    sys.check_convergence().map_err(|e| format!("{}: no convergence: {e}", spec.label()))?;
+    if let Err(e) = sys.check_convergence() {
+        dump_flight(&sys, flight_dir, &spec.label(), "no-convergence");
+        return Err(format!("{}: no convergence: {e}", spec.label()));
+    }
 
     let outcomes = sys.drain_outcomes();
     let elapsed_ms = started.elapsed().as_millis() as u64;
 
     let report = check(&Observation::from_system(&sys, submitted, outcomes.clone()));
     if !report.is_ok() {
+        dump_flight(&sys, flight_dir, &spec.label(), "oracle-violation");
         return Err(format!("{}: oracle violations: {report}", spec.label()));
     }
 

@@ -8,6 +8,7 @@
 //! which the [`NemesisHandle`] exposes to the harness after the run.
 
 use avdb_simnet::{FaultCtl, NetEvent, NetHook, Registry, RegistrySnapshot};
+use avdb_telemetry::MetricId;
 use avdb_types::SiteId;
 use std::sync::{Arc, Mutex};
 
@@ -21,8 +22,11 @@ pub trait Nemesis: Send {
 }
 
 /// Multiplexes nemeses onto the runner's hook slot and counts strikes.
+/// Counter names are interned to [`MetricId`]s when a nemesis is added,
+/// so a strike increments two ids without touching the string table.
 pub struct NemesisEngine {
-    nemeses: Vec<Box<dyn Nemesis>>,
+    nemeses: Vec<(Box<dyn Nemesis>, MetricId)>,
+    total_id: MetricId,
     registry: Arc<Mutex<Registry>>,
 }
 
@@ -36,12 +40,23 @@ impl NemesisEngine {
     /// An engine with no nemeses (installed for every scenario so the
     /// `chaos.*` counters exist uniformly in exports).
     pub fn new() -> Self {
-        NemesisEngine { nemeses: Vec::new(), registry: Arc::new(Mutex::new(Registry::new())) }
+        let mut registry = Registry::new();
+        let total_id = registry.counter_id("chaos.nemesis.fired");
+        NemesisEngine {
+            nemeses: Vec::new(),
+            total_id,
+            registry: Arc::new(Mutex::new(registry)),
+        }
     }
 
-    /// Adds a nemesis.
+    /// Adds a nemesis, interning its per-name strike counter.
     pub fn with(mut self, nemesis: Box<dyn Nemesis>) -> Self {
-        self.nemeses.push(nemesis);
+        let id = self
+            .registry
+            .lock()
+            .expect("nemesis registry poisoned")
+            .counter_id(&format!("chaos.nemesis.fired.{}", nemesis.name()));
+        self.nemeses.push((nemesis, id));
         self
     }
 
@@ -54,11 +69,11 @@ impl NemesisEngine {
 
 impl NetHook for NemesisEngine {
     fn on_event(&mut self, ev: &NetEvent, ctl: &mut FaultCtl<'_>) {
-        for nemesis in &mut self.nemeses {
+        for (nemesis, fired_id) in &mut self.nemeses {
             if nemesis.on_event(ev, ctl) {
                 let mut reg = self.registry.lock().expect("nemesis registry poisoned");
-                reg.inc("chaos.nemesis.fired");
-                reg.inc(&format!("chaos.nemesis.fired.{}", nemesis.name()));
+                reg.inc_id(self.total_id);
+                reg.inc_id(*fired_id);
             }
         }
     }

@@ -5,7 +5,9 @@
 use crate::protocol::{
     Input, Msg, PropagateDelta, TracedMsg, MSG_KIND_COUNT, RECV_COUNTER_KEYS, SENT_COUNTER_KEYS,
 };
-use crate::replication::{Frame, ReplicationState};
+use crate::knowledge::KnowledgeExchange;
+use crate::replication::Frame;
+use crate::replication_drive::ReplicationDrive;
 use avdb_escrow::{
     make_decide, make_select, partition_shortage_expected, AvTable, DecideStrategy, PeerKnowledge,
     SelectStrategy, TransferLedger, TransferRecord,
@@ -317,13 +319,24 @@ const IMM_RETRANSMIT_ATTEMPTS: u32 = 8;
 /// look like an outlier).
 const LATENCY_OUTLIER_MIN_COUNT: u64 = 100;
 
+/// Salt xor'd into the seed of the anomaly-rescue sampler (rate
+/// [`avdb_types::SystemConfig::anomaly_keep_rate`]) so its keep/drop
+/// stream is independent of the head sampler's. The rescue decision is
+/// a pure function of the trace id shared by every site: the 2PC
+/// coordinator, its participants, and AV granters all keep or all drop
+/// the same anomalous tree, so promotion can never manufacture a
+/// retained child whose cross-site parent was dropped. (A per-site
+/// promotion *budget* cannot give that guarantee — budget exhaustion
+/// depends on local arrival order, and sites disagree.)
+const ANOMALY_SEED_SALT: u64 = 0xA40_3A11E5;
+
 /// One site's accelerator (see crate docs for the protocol overview).
 pub struct Accelerator {
     me: SiteId,
     cfg: AcceleratorConfig,
     db: LocalDb,
     av: AvTable,
-    knowledge: PeerKnowledge,
+    knowledge: KnowledgeExchange,
     select: Box<dyn SelectStrategy>,
     decide: Box<dyn DecideStrategy>,
     ledger: TransferLedger,
@@ -360,9 +373,10 @@ pub struct Accelerator {
     /// Armed timers by token.
     timers: HashMap<u64, TimerKind>,
     next_timer: u64,
-    /// Replication log + per-peer cursors. Durable: recomputable from the
-    /// WAL suffix, so it survives crashes in this model.
-    repl: ReplicationState,
+    /// Replication drive: log + per-peer cursors + checkpoint prefix plus
+    /// the gauges derived from them. The log is durable — recomputable
+    /// from the WAL suffix, so it survives crashes in this model.
+    repl: ReplicationDrive,
     /// Whether the anti-entropy heartbeat is currently armed. The timer
     /// stops re-arming once every peer has acknowledged the whole log and
     /// restarts on the next local commit — so a finished system still
@@ -389,6 +403,10 @@ pub struct Accelerator {
     /// retroactively promoted) — the deterministic input set for this
     /// site's critical-path profile.
     committed_traces: Vec<u64>,
+    /// Cluster-agreed keep/drop decision for anomalous traces while
+    /// sampling is active (rate `SystemConfig::anomaly_keep_rate`);
+    /// every site derives the same sampler from the shared seed.
+    anomaly_sampler: TraceSampler,
     /// Lamport clock, merged from every incoming traced message.
     clock: u64,
     /// Sequence for auxiliary (non-update) trace ids: replication batches
@@ -412,11 +430,6 @@ pub struct Accelerator {
     /// construction so per-event updates index dense registry arrays and
     /// never hash or format a key.
     ids: MetricIds,
-    /// Last published divergence per product, so a gauge that returns to
-    /// zero is re-published as zero rather than left stale.
-    divergence_prev: Vec<i64>,
-    /// Scratch for recomputing divergences without allocating.
-    divergence_now: Vec<i64>,
     /// Windowed time-series recorder (`None` when `series_window_ticks`
     /// is zero).
     series: Option<SeriesRecorder>,
@@ -435,8 +448,6 @@ struct MetricIds {
     msg_sent: [MetricId; MSG_KIND_COUNT],
     /// Receive counters by [`Msg::kind_index`].
     msg_recv: [MetricId; MSG_KIND_COUNT],
-    /// `repl.divergence.p<N>` gauges, densely per product.
-    divergence: Vec<MetricId>,
     /// `knowledge.staleness.s<N>` gauges, densely per site.
     staleness: Vec<MetricId>,
     update_committed: MetricId,
@@ -466,7 +477,6 @@ struct MetricIds {
     imm_reapplied: MetricId,
     imm_rereported: MetricId,
     imm_decision_retransmits: MetricId,
-    repl_queue_depth: MetricId,
     repl_convergence: MetricId,
     repl_coalesce_frames: MetricId,
     repl_coalesce_folded: MetricId,
@@ -479,13 +489,10 @@ struct MetricIds {
 }
 
 impl MetricIds {
-    fn register(reg: &mut Registry, n_products: usize, n_sites: usize) -> Self {
+    fn register(reg: &mut Registry, n_sites: usize) -> Self {
         MetricIds {
             msg_sent: std::array::from_fn(|i| reg.counter_id(SENT_COUNTER_KEYS[i])),
             msg_recv: std::array::from_fn(|i| reg.counter_id(RECV_COUNTER_KEYS[i])),
-            divergence: (0..n_products)
-                .map(|p| reg.gauge_id(&format!("repl.divergence.p{p}")))
-                .collect(),
             staleness: (0..n_sites)
                 .map(|s| reg.gauge_id(&format!("knowledge.staleness.s{s}")))
                 .collect(),
@@ -516,7 +523,6 @@ impl MetricIds {
             imm_reapplied: reg.counter_id("imm.reapplied"),
             imm_rereported: reg.counter_id("imm.rereported"),
             imm_decision_retransmits: reg.counter_id("imm.decision-retransmits"),
-            repl_queue_depth: reg.gauge_id("repl.queue.depth"),
             repl_convergence: reg.histogram_id("repl.convergence.ticks"),
             repl_coalesce_frames: reg.counter_id("repl.coalesce.frames"),
             repl_coalesce_folded: reg.counter_id("repl.coalesce.folded"),
@@ -536,7 +542,7 @@ impl Accelerator {
     /// configured split.
     pub fn new(me: SiteId, cfg: &SystemConfig) -> Self {
         let mut av = AvTable::new(cfg.n_products());
-        let mut knowledge = PeerKnowledge::new();
+        let mut knowledge = KnowledgeExchange::new(cfg.n_sites);
         for entry in &cfg.catalog {
             if entry.class.uses_av() {
                 let split = cfg.split_av(cfg.initial_av_of(entry.id));
@@ -545,11 +551,15 @@ impl Accelerator {
             }
         }
         let mut registry = Registry::new();
-        let ids = MetricIds::register(&mut registry, cfg.n_products(), cfg.n_sites);
+        let ids = MetricIds::register(&mut registry, cfg.n_sites);
+        let repl = ReplicationDrive::new(me, cfg.n_sites, cfg.n_products(), &mut registry);
         let series =
             (cfg.series_window_ticks > 0).then(|| SeriesRecorder::new(cfg.series_window_ticks));
         let mut spans = SpanCollector::new(me);
         spans.set_sampler(TraceSampler::new(cfg.seed, cfg.trace_sampling()));
+        // The collector drops unsampled spans that fail this same rescue
+        // decision at mint, so the two samplers must stay in lockstep.
+        spans.set_rescue(TraceSampler::new(cfg.seed ^ ANOMALY_SEED_SALT, cfg.anomaly_keep()));
         Accelerator {
             me,
             cfg: AcceleratorConfig::from_system(cfg),
@@ -571,7 +581,7 @@ impl Accelerator {
             imm_finished: BTreeSet::new(),
             timers: HashMap::new(),
             next_timer: 0,
-            repl: ReplicationState::new(me, cfg.n_sites),
+            repl,
             anti_entropy_armed: false,
             consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
             rebalance_armed: false,
@@ -579,13 +589,12 @@ impl Accelerator {
             registry,
             slo: SloSpec::default(),
             committed_traces: Vec::new(),
+            anomaly_sampler: TraceSampler::new(cfg.seed ^ ANOMALY_SEED_SALT, cfg.anomaly_keep()),
             clock: 0,
             aux_seq: 0,
             peer_scratch: Vec::new(),
             flight: FlightRecorder::default(),
             flight_dir: None,
-            divergence_prev: vec![0; cfg.n_products()],
-            divergence_now: vec![0; cfg.n_products()],
             ids,
             series,
             series_armed: false,
@@ -616,7 +625,7 @@ impl Accelerator {
 
     /// Peer-AV knowledge (tests).
     pub fn knowledge(&self) -> &PeerKnowledge {
-        &self.knowledge
+        self.knowledge.table()
     }
 
     /// AV transfers this site granted.
@@ -672,7 +681,7 @@ impl Accelerator {
     /// role, AV table, in-flight escrow negotiations and replication
     /// queue depth.
     pub fn status(&self) -> StatusSnapshot {
-        let n_products = self.ids.divergence.len();
+        let n_products = self.repl.n_products();
         let av = ProductId::all(n_products)
             .map(|p| StatusAvRow {
                 product: p.0,
@@ -680,11 +689,7 @@ impl Accelerator {
                 av_defined: self.av.is_defined(p),
                 av_total: self.av.total(p).get(),
                 av_available: self.av.available(p).get(),
-                divergence: self
-                    .divergence_prev
-                    .get(p.index())
-                    .copied()
-                    .unwrap_or(0),
+                divergence: self.repl.divergence(p.index()),
             })
             .collect();
         let knowledge = self
@@ -764,6 +769,11 @@ impl Accelerator {
         self.repl.snapshot()
     }
 
+    /// Overrides the replication log's retained-entry cap (tests, tuning).
+    pub fn set_checkpoint_threshold(&mut self, n: usize) {
+        self.repl.set_checkpoint_threshold(n);
+    }
+
     /// Next transaction sequence number (persistence; monotone forever).
     pub fn next_seq(&self) -> u64 {
         self.next_seq
@@ -781,7 +791,7 @@ impl Accelerator {
         db: LocalDb,
         snap: &crate::persist::AcceleratorSnapshot,
     ) -> Self {
-        let mut knowledge = PeerKnowledge::new();
+        let mut knowledge = KnowledgeExchange::new(cfg.n_sites);
         for entry in &cfg.catalog {
             if entry.class.uses_av() {
                 let split = cfg.split_av(cfg.initial_av_of(entry.id));
@@ -789,11 +799,15 @@ impl Accelerator {
             }
         }
         let mut registry = Registry::new();
-        let ids = MetricIds::register(&mut registry, cfg.n_products(), cfg.n_sites);
+        let ids = MetricIds::register(&mut registry, cfg.n_sites);
+        let repl = ReplicationDrive::from_snapshot(&snap.replication, cfg.n_products(), &mut registry);
         let series =
             (cfg.series_window_ticks > 0).then(|| SeriesRecorder::new(cfg.series_window_ticks));
         let mut spans = SpanCollector::new(me);
         spans.set_sampler(TraceSampler::new(cfg.seed, cfg.trace_sampling()));
+        // The collector drops unsampled spans that fail this same rescue
+        // decision at mint, so the two samplers must stay in lockstep.
+        spans.set_rescue(TraceSampler::new(cfg.seed ^ ANOMALY_SEED_SALT, cfg.anomaly_keep()));
         let mut acc = Accelerator {
             me,
             cfg: AcceleratorConfig::from_system(cfg),
@@ -815,7 +829,7 @@ impl Accelerator {
             imm_finished: BTreeSet::new(),
             timers: HashMap::new(),
             next_timer: 0,
-            repl: ReplicationState::from_snapshot(&snap.replication),
+            repl,
             anti_entropy_armed: false,
             consume_rate: vec![(0, VirtualTime::ZERO); cfg.n_products()],
             rebalance_armed: false,
@@ -823,13 +837,12 @@ impl Accelerator {
             registry,
             slo: SloSpec::default(),
             committed_traces: Vec::new(),
+            anomaly_sampler: TraceSampler::new(cfg.seed ^ ANOMALY_SEED_SALT, cfg.anomaly_keep()),
             clock: 0,
             aux_seq: 0,
             peer_scratch: Vec::new(),
             flight: FlightRecorder::default(),
             flight_dir: None,
-            divergence_prev: vec![0; cfg.n_products()],
-            divergence_now: vec![0; cfg.n_products()],
             ids,
             series,
             series_armed: false,
@@ -929,6 +942,34 @@ impl Accelerator {
         self.flight.record(at.0, self.clock, kind, detail);
     }
 
+    /// [`Accelerator::flight_note`] formatting into the ring's recycled
+    /// buffers — for per-frame / per-delta call sites where a fresh
+    /// `String` per event would dominate the allocator at scale.
+    fn flight_args(&mut self, at: VirtualTime, kind: &'static str, args: std::fmt::Arguments<'_>) {
+        self.flight.record_args(at.0, self.clock, kind, args);
+    }
+
+    /// Promotes an anomalous trace (abort, shortage, latency outlier) out
+    /// of the sampler's discard set, subject to the cluster-agreed
+    /// anomaly-keep decision. Returns whether the trace is
+    /// retained after the call. Without a sampler every trace is already
+    /// retained. The keep/drop answer is a pure function of the trace id,
+    /// so every site that observes the anomaly (coordinator, participant,
+    /// granter) reaches the same verdict independently.
+    fn promote_anomaly(&mut self, trace: u64) -> bool {
+        if !self.spans.is_sampling() {
+            return true;
+        }
+        if self.spans.trace_sampled(trace) {
+            return true;
+        }
+        if !self.anomaly_sampler.sampled(trace) {
+            return false;
+        }
+        self.spans.promote(trace);
+        true
+    }
+
     /// Writes this site's flight ring to the configured dump directory
     /// (no-op when none is configured). Returns the path written.
     fn write_flight_dump(&mut self, at: VirtualTime, reason: &str) -> Option<PathBuf> {
@@ -947,25 +988,10 @@ impl Accelerator {
         Some(path)
     }
 
-    /// Republishes the replication gauges after the retained log changed:
-    /// `repl.queue.depth` plus one `repl.divergence.p<N>` per product
-    /// whose divergence moved (including moves back to zero).
+    /// Republishes the replication gauges after the retained log changed
+    /// (see [`ReplicationDrive::refresh_gauges`]).
     fn refresh_repl_gauges(&mut self) {
-        self.registry.set_gauge_id(self.ids.repl_queue_depth, self.repl.retained() as i64);
-        let mut now = std::mem::take(&mut self.divergence_now);
-        now.iter_mut().for_each(|v| *v = 0);
-        for d in self.repl.retained_deltas() {
-            if let Some(slot) = now.get_mut(d.product.index()) {
-                *slot += d.delta.get();
-            }
-        }
-        for (p, &value) in now.iter().enumerate() {
-            if value != self.divergence_prev[p] {
-                self.registry.set_gauge_id(self.ids.divergence[p], value);
-            }
-        }
-        std::mem::swap(&mut self.divergence_prev, &mut now);
-        self.divergence_now = now;
+        self.repl.refresh_gauges(&mut self.registry);
     }
 
     // ---- consumption rate & rebalancing ------------------------------------
@@ -1009,7 +1035,7 @@ impl Accelerator {
         if h <= 0 {
             return;
         }
-        let n_products = self.ids.divergence.len();
+        let n_products = self.repl.n_products();
         let mut sent_any = false;
         for product in ProductId::all(n_products) {
             if !self.av.is_defined(product) {
@@ -1069,18 +1095,23 @@ impl Accelerator {
             let pusher_rate = self.local_rate(product);
             let trace = self.fresh_aux_trace();
             let clock = self.tick();
-            let root = self.spans.instant_with(
-                trace,
-                0,
-                "push",
-                ctx.now(),
-                clock,
-                format!("rebalance {} of P{} to s{}", sent.get(), product.0, peer.0),
-            );
-            self.flight_note(
+            // Aux root — same retain-or-skip rule as replication frames.
+            let root = if self.spans.trace_sampled(trace) {
+                self.spans.instant_args(
+                    trace,
+                    0,
+                    "push",
+                    ctx.now(),
+                    clock,
+                    format_args!("rebalance {} of P{} to s{}", sent.get(), product.0, peer.0),
+                )
+            } else {
+                0
+            };
+            self.flight_args(
                 ctx.now(),
                 "rebalance.push",
-                format!("{} of P{} to s{}", sent.get(), product.0, peer.0),
+                format_args!("{} of P{} to s{}", sent.get(), product.0, peer.0),
             );
             self.send_traced(
                 ctx,
@@ -1125,12 +1156,15 @@ impl Accelerator {
         // latency histogram *before* this update is folded in.
         let mut retained = self.spans.trace_sampled(txn.0);
         if !retained {
-            let h = self.registry.histogram_value(self.ids.update_latency);
-            let outlier =
-                h.count() >= LATENCY_OUTLIER_MIN_COUNT && latency > h.percentile(0.99);
-            if !committed || had_shortage || outlier {
-                self.spans.promote(txn.0);
-                retained = true;
+            // Short-circuit: the percentile walk only runs for clean
+            // commits, so a saturated cell (every update shorting) never
+            // pays it per outcome.
+            let anomalous = !committed || had_shortage || {
+                let h = self.registry.histogram_value(self.ids.update_latency);
+                h.count() >= LATENCY_OUTLIER_MIN_COUNT && latency > h.percentile(0.99)
+            };
+            if anomalous {
+                retained = self.promote_anomaly(txn.0);
             }
         }
 
@@ -1229,18 +1263,31 @@ impl Accelerator {
     /// Sends one propagation frame under a fresh auxiliary trace whose
     /// root records the frame shape.
     fn send_propagate(&mut self, ctx: &mut ACtx<'_>, peer: SiteId, frame: Frame) {
-        let Frame { offset, covers, coalesced, deltas } = frame;
+        let Frame { offset, covers, coalesced, deltas, checkpoint } = frame;
         let trace = self.fresh_aux_trace();
         let clock = self.tick();
-        let detail = format!(
-            "to s{} offset {} ({} deltas covering {})",
-            peer.0,
-            offset,
-            deltas.len(),
-            covers,
-        );
-        let root =
-            self.spans.instant_with(trace, 0, "replicate", ctx.now(), clock, detail.clone());
+        // Replication roots are auxiliary traces with no outcome hanging
+        // off them — nothing downstream (stats, oracle) reads an unsampled
+        // one, so at scale the per-frame span and its detail are skipped
+        // outright instead of retained-because-root.
+        let root = if self.spans.trace_sampled(trace) {
+            self.spans.instant_args(
+                trace,
+                0,
+                "replicate",
+                ctx.now(),
+                clock,
+                format_args!(
+                    "to s{} offset {} ({} deltas covering {})",
+                    peer.0,
+                    offset,
+                    deltas.len(),
+                    covers,
+                ),
+            )
+        } else {
+            0
+        };
         self.stats.propagation_batches_sent += 1;
         if coalesced {
             self.registry.inc_id(self.ids.repl_coalesce_frames);
@@ -1249,8 +1296,25 @@ impl Accelerator {
                 covers.saturating_sub(deltas.len() as u64),
             );
         }
-        self.flight_note(ctx.now(), "repl.send", detail);
-        self.send_traced(ctx, peer, trace, root, Msg::Propagate { offset, covers, coalesced, deltas });
+        self.flight_args(
+            ctx.now(),
+            "repl.send",
+            format_args!(
+                "to s{} offset {} ({} deltas covering {})",
+                peer.0,
+                offset,
+                deltas.len(),
+                covers,
+            ),
+        );
+        let knowledge = self.knowledge.encode_digest_for(self.me, peer);
+        self.send_traced(
+            ctx,
+            peer,
+            trace,
+            root,
+            Msg::Propagate { offset, covers, coalesced, deltas, checkpoint, knowledge },
+        );
     }
 
     // ---- Delay Update (Figs. 3–4) -------------------------------------------
@@ -1271,26 +1335,26 @@ impl Accelerator {
     ) {
         let txn = self.fresh_txn();
         let clock = self.tick();
-        let root_span = self.spans.start_with(
+        let root_span = self.spans.start_args(
             txn.0,
             0,
             "update",
             ctx.now(),
             clock,
-            format!("delay at s{}", self.me.0),
+            format_args!("delay at s{}", self.me.0),
         );
-        self.spans.instant_with(
+        self.spans.instant_args(
             txn.0,
             root_span,
             "checking",
             ctx.now(),
             self.clock,
-            format!("{} item(s) → Delay", raw_items.len()),
+            format_args!("{} item(s) → Delay", raw_items.len()),
         );
-        self.flight_note(
+        self.flight_args(
             ctx.now(),
             "delay.begin",
-            format!("txn {} ({} item(s))", txn.0, raw_items.len()),
+            format_args!("txn {} ({} item(s))", txn.0, raw_items.len()),
         );
         self.db.begin(txn).expect("fresh txn id");
         // Merge repeated products to their net delta (first-appearance
@@ -1410,7 +1474,7 @@ impl Accelerator {
                     self.me,
                     self.cfg.n_sites,
                     product,
-                    &self.knowledge,
+                    self.knowledge.table(),
                     &asked,
                     ctx.now(),
                     ctx.rng(),
@@ -1424,7 +1488,7 @@ impl Accelerator {
                 self.me,
                 self.cfg.n_sites,
                 product,
-                &self.knowledge,
+                self.knowledge.table(),
                 &mut asked,
                 ctx.now(),
                 ctx.rng(),
@@ -1478,10 +1542,10 @@ impl Accelerator {
             self.stats.delay_aborts += 1;
             self.registry.inc_id(self.ids.delay_abort_insufficient);
             self.spans.note(root_span, "aborted: insufficient AV");
-            self.flight_note(
+            self.flight_args(
                 ctx.now(),
                 "delay.abort",
-                format!("txn {} insufficient AV (short {})", txn.0, shortage.get()),
+                format_args!("txn {} insufficient AV (short {})", txn.0, shortage.get()),
             );
             self.emit_outcome(
                 ctx,
@@ -1523,36 +1587,36 @@ impl Accelerator {
             // Live gauge: how stale the knowledge *selecting* just
             // consumed for this peer was, in ticks.
             self.registry.set_gauge_id(self.ids.staleness[peer.index()], staleness as i64);
-            self.flight_note(
+            self.flight_args(
                 ctx.now(),
                 "delay.select",
-                format!("txn {} asks s{} (knowledge {staleness} ticks old)", txn.0, peer.0),
+                format_args!("txn {} asks s{} (knowledge {staleness} ticks old)", txn.0, peer.0),
             );
             let clock = self.tick();
-            self.spans.instant_with(
+            self.spans.instant_args(
                 txn.0,
                 root_span,
                 "selecting",
                 ctx.now(),
                 clock,
-                format!("s{} (knowledge {} ticks old)", peer.0, staleness),
+                format_args!("s{} (knowledge {} ticks old)", peer.0, staleness),
             );
             let amount = self.decide.request_amount(share);
-            self.spans.instant_with(
+            self.spans.instant_args(
                 txn.0,
                 root_span,
                 "deciding",
                 ctx.now(),
                 self.clock,
-                format!("request {} for shortage {}", amount.get(), shortage.get()),
+                format_args!("request {} for shortage {}", amount.get(), shortage.get()),
             );
-            let transfer = self.spans.start_with(
+            let transfer = self.spans.start_args(
                 txn.0,
                 root_span,
                 "transfer",
                 ctx.now(),
                 self.clock,
-                format!("ask s{} for {}", peer.0, amount.get()),
+                format_args!("ask s{} for {}", peer.0, amount.get()),
             );
             let requester_av = self.av.available(product);
             let pending = self.pending_delay.get_mut(&txn).expect("checked above");
@@ -1622,23 +1686,24 @@ impl Accelerator {
         // Promote shortage-path traces *now*, before the commit span and
         // the propagation deltas are recorded: the sticky promotion keeps
         // both, and the retain bit on the deltas tells replicas to keep
-        // their apply spans too.
+        // their apply spans too. Budgeted — a cell where every update
+        // shorts must not retain every trace.
         if pending.had_shortage {
-            self.spans.promote(txn.0);
+            self.promote_anomaly(txn.0);
         }
         let clock = self.tick();
-        let commit_span = self.spans.instant_with(
+        let commit_span = self.spans.instant_args(
             txn.0,
             pending.root_span,
             "commit",
             ctx.now(),
             clock,
-            format!("{} item(s)", pending.items.len()),
+            format_args!("{} item(s)", pending.items.len()),
         );
-        self.flight_note(
+        self.flight_args(
             ctx.now(),
             "delay.commit",
-            format!(
+            format_args!(
                 "txn {} ({} item(s), {} correspondence(s))",
                 txn.0,
                 pending.items.len(),
@@ -1715,14 +1780,19 @@ impl Accelerator {
         self.knowledge.update(poorest, product, self.knowledge.known(poorest, product) + pushed, ctx.now());
         let trace = self.fresh_aux_trace();
         let clock = self.tick();
-        let root = self.spans.instant_with(
-            trace,
-            0,
-            "push",
-            ctx.now(),
-            clock,
-            format!("{} of P{} to s{}", pushed.get(), product.0, poorest.0),
-        );
+        // Aux root — same retain-or-skip rule as replication frames.
+        let root = if self.spans.trace_sampled(trace) {
+            self.spans.instant_args(
+                trace,
+                0,
+                "push",
+                ctx.now(),
+                clock,
+                format_args!("{} of P{} to s{}", pushed.get(), product.0, poorest.0),
+            )
+        } else {
+            0
+        };
         let pusher_rate = self.local_rate(product);
         self.send_traced(
             ctx,
@@ -1766,20 +1836,21 @@ impl Accelerator {
         }
         self.stats.av_grants_answered += 1;
         // Being asked to grant marks the trace shortage-path; the
-        // requester promotes it too at outcome time, so promoting here
-        // keeps the grant chain sampling-complete without coordination.
-        self.spans.promote(incoming.map(|c| c.trace_id).unwrap_or(txn.0));
+        // requester reaches the same anomaly-keep verdict at outcome
+        // time, so promoting here keeps the grant chain
+        // sampling-complete without coordination.
+        self.promote_anomaly(incoming.map(|c| c.trace_id).unwrap_or(txn.0));
         // The grant decision attaches under the requester's transfer span
         // (piggybacked as the incoming parent), so the causal tree crosses
         // sites.
         let clock = self.tick();
-        let grant_span = self.spans.instant_with(
+        let grant_span = self.spans.instant_args(
             incoming.map(|c| c.trace_id).unwrap_or(txn.0),
             incoming.map(|c| c.parent_span).unwrap_or(0),
             "grant",
             ctx.now(),
             clock,
-            format!("{} of {} asked", grant.get(), amount.get()),
+            format_args!("{} of {} asked", grant.get(), amount.get()),
         );
         let grantor_av = self.av.available(product);
         let grantor_rate = self.local_rate(product);
@@ -1830,7 +1901,7 @@ impl Accelerator {
         {
             let (_, _, span, opened) = pending.transfer_spans.swap_remove(sp);
             let waited = ctx.now().since(opened);
-            self.spans.note(span, &format!("granted {}", amount.get()));
+            self.spans.note_args(span, format_args!("granted {}", amount.get()));
             self.spans.end(span, ctx.now());
             self.registry.observe_id(self.ids.phase_transfer, waited);
         }
@@ -1897,21 +1968,21 @@ impl Accelerator {
     fn start_immediate(&mut self, ctx: &mut ACtx<'_>, req: UpdateRequest) {
         let txn = self.fresh_txn();
         let clock = self.tick();
-        let root_span = self.spans.start_with(
+        let root_span = self.spans.start_args(
             txn.0,
             0,
             "update",
             ctx.now(),
             clock,
-            format!("immediate at s{}", self.me.0),
+            format_args!("immediate at s{}", self.me.0),
         );
-        self.spans.instant_with(
+        self.spans.instant_args(
             txn.0,
             root_span,
             "checking",
             ctx.now(),
             self.clock,
-            format!("P{} non-regular → Immediate", req.product.0),
+            format_args!("P{} non-regular → Immediate", req.product.0),
         );
         self.db.begin(txn).expect("fresh txn id");
         // Local lock + apply first (the coordinator is also a participant).
@@ -2019,18 +2090,18 @@ impl Accelerator {
             self.db.rollback(txn).expect("txn active");
         }
         let clock = self.tick();
-        let span = self.spans.instant_with(
+        let span = self.spans.instant_args(
             incoming.map(|c| c.trace_id).unwrap_or(txn.0),
             incoming.map(|c| c.parent_span).unwrap_or(0),
             "imm-prepare",
             ctx.now(),
             clock,
-            format!("ready={ready}"),
+            format_args!("ready={ready}"),
         );
-        self.flight_note(
+        self.flight_args(
             ctx.now(),
             "imm.prepare",
-            format!("txn {} from s{} ready={ready}", txn.0, from.0),
+            format_args!("txn {} from s{} ready={ready}", txn.0, from.0),
         );
         self.reply_along(ctx, from, incoming, span, Msg::ImmVote { txn, ready });
     }
@@ -2079,13 +2150,13 @@ impl Accelerator {
         let (product, delta) = (pending.product, pending.delta);
         self.spans.end(prepare_span, ctx.now());
         let clock = self.tick();
-        let decide_span = self.spans.start_with(
+        let decide_span = self.spans.start_args(
             txn.0,
             root_span,
             "decide",
             ctx.now(),
             clock,
-            format!("commit={commit}"),
+            format_args!("commit={commit}"),
         );
         if let Some(pending) = self.pending_imm.get_mut(&txn) {
             pending.decide_span = Some(decide_span);
@@ -2120,7 +2191,7 @@ impl Accelerator {
             self.arm_timer(ctx, timeout, TimerKind::ImmRetransmit(txn));
         }
         self.put_peers(peers);
-        self.flight_note(ctx.now(), "imm.decide", format!("txn {} commit={commit}", txn.0));
+        self.flight_args(ctx.now(), "imm.decide", format_args!("txn {} commit={commit}", txn.0));
         if commit {
             self.db.commit(txn).expect("txn active");
             self.stats.imm_commits += 1;
@@ -2141,10 +2212,10 @@ impl Accelerator {
             self.db.rollback(txn).expect("txn active");
             self.stats.imm_aborts += 1;
             self.registry.inc_id(self.ids.imm_abort);
-            self.flight_note(
+            self.flight_args(
                 ctx.now(),
                 "imm.abort",
-                format!("txn {} reason {abort_reason:?}", txn.0),
+                format_args!("txn {} reason {abort_reason:?}", txn.0),
             );
             // A 2PC round aborting is a flight-recorder trigger.
             self.write_flight_dump(ctx.now(), "2pc-abort");
@@ -2213,16 +2284,21 @@ impl Accelerator {
         delta: Volume,
     ) {
         if !commit {
-            // Aborts are always promotion-worthy; the coordinator promotes
-            // at outcome time, so resurrecting this site's parked spans
-            // (prepare, imm-apply) keeps the aborted tree whole.
-            self.spans.promote(incoming.map(|c| c.trace_id).unwrap_or(txn.0));
+            // Aborts are promotion-worthy; the coordinator promotes at
+            // outcome time, so resurrecting this site's parked spans
+            // (prepare, imm-apply) keeps the aborted tree whole. Budgeted
+            // like every anomaly promotion.
+            self.promote_anomaly(incoming.map(|c| c.trace_id).unwrap_or(txn.0));
         }
         let known = self.prepared_remote.remove(&txn);
         let mut detail = if known {
-            format!("commit={commit}")
+            if commit {
+                "commit=true"
+            } else {
+                "commit=false"
+            }
         } else {
-            "unknown txn".to_string()
+            "unknown txn"
         };
         if known {
             if commit {
@@ -2234,7 +2310,7 @@ impl Accelerator {
         } else if self.imm_finished.contains(&txn) {
             // Duplicate retransmission of a decision this site already
             // executed: just re-acknowledge.
-            detail = "duplicate decision".to_string();
+            detail = "duplicate decision";
         } else if commit {
             // A commit decision for a txn this site no longer holds
             // prepared: the participant timed out and unilaterally
@@ -2251,7 +2327,7 @@ impl Accelerator {
                 Ok(()) => {
                     self.imm_finished.insert(txn);
                     self.registry.inc_id(self.ids.imm_reapplied);
-                    detail = "re-applied after unilateral abort".to_string();
+                    detail = "re-applied after unilateral abort";
                 }
                 Err(_) => {
                     // Likely a lock conflict with another prepared txn.
@@ -2261,26 +2337,26 @@ impl Accelerator {
                         let _ = self.db.rollback(txn);
                     }
                     let clock = self.tick();
-                    self.spans.instant_with(
+                    self.spans.instant_args(
                         incoming.map(|c| c.trace_id).unwrap_or(txn.0),
                         incoming.map(|c| c.parent_span).unwrap_or(0),
                         "imm-apply",
                         ctx.now(),
                         clock,
-                        "re-apply deferred".to_string(),
+                        format_args!("re-apply deferred"),
                     );
                     return;
                 }
             }
         }
         let clock = self.tick();
-        let span = self.spans.instant_with(
+        let span = self.spans.instant_args(
             incoming.map(|c| c.trace_id).unwrap_or(txn.0),
             incoming.map(|c| c.parent_span).unwrap_or(0),
             "imm-apply",
             ctx.now(),
             clock,
-            detail,
+            format_args!("{detail}"),
         );
         // Even an unknown abort decision is acknowledged so the
         // coordinator can finish.
@@ -2349,7 +2425,7 @@ impl Accelerator {
         {
             let (_, _, span, opened) = pending.transfer_spans.swap_remove(sp);
             let waited = ctx.now().since(opened);
-            self.spans.note(span, &format!("timeout: s{} presumed dead", peer.0));
+            self.spans.note_args(span, format_args!("timeout: s{} presumed dead", peer.0));
             self.spans.end(span, ctx.now());
             self.registry.observe_id(self.ids.phase_transfer, waited);
             self.registry.inc_id(self.ids.delay_grant_timeouts);
@@ -2627,13 +2703,13 @@ impl Actor for Accelerator {
                 let span = incoming
                     .map(|c| {
                         let clock = self.tick();
-                        self.spans.instant_with(
+                        self.spans.instant_args(
                             c.trace_id,
                             c.parent_span,
                             "push-recv",
                             ctx.now(),
                             clock,
-                            format!("{} of P{}", amount.get(), product.0),
+                            format_args!("{} of P{}", amount.get(), product.0),
                         )
                     })
                     .unwrap_or(0);
@@ -2649,25 +2725,51 @@ impl Actor for Accelerator {
                 self.knowledge.update(from, product, receiver_av, ctx.now());
                 self.knowledge.update_rate(from, product, receiver_rate, ctx.now());
             }
-            Msg::Propagate { offset, covers, coalesced, deltas } => {
+            Msg::Propagate { offset, covers, coalesced, deltas, checkpoint, knowledge } => {
+                self.knowledge.apply_digest(self.me, &knowledge);
+                let mut ck_upto = 0;
+                if let Some(ck) = &checkpoint {
+                    let (upto, synth) = self.repl.apply_checkpoint(from, ck);
+                    ck_upto = upto;
+                    if !synth.is_empty() {
+                        self.flight_args(
+                            ctx.now(),
+                            "repl.checkpoint",
+                            format_args!(
+                                "from s{}: folded prefix upto {upto}, {} products moved",
+                                from.0,
+                                synth.len()
+                            ),
+                        );
+                    }
+                    for d in synth {
+                        self.db
+                            .apply_committed(d.txn, d.product, d.delta)
+                            .expect("catalog is identical at all sites");
+                        self.stats.propagation_deltas_applied += 1;
+                        self.registry
+                            .observe_id(self.ids.repl_convergence, ctx.now().since(d.committed_at));
+                    }
+                }
                 let (upto, fresh) = self.repl.apply_frame(from, offset, covers, coalesced, deltas);
+                let upto = upto.max(ck_upto);
                 let batch_span = incoming
                     .map(|c| {
                         let clock = self.tick();
-                        self.spans.instant_with(
+                        self.spans.instant_args(
                             c.trace_id,
                             c.parent_span,
                             "apply-batch",
                             ctx.now(),
                             clock,
-                            format!("from s{}: {} fresh", from.0, fresh.len()),
+                            format_args!("from s{}: {} fresh", from.0, fresh.len()),
                         )
                     })
                     .unwrap_or(0);
-                self.flight_note(
+                self.flight_args(
                     ctx.now(),
                     "repl.apply",
-                    format!("from s{}: {} fresh, ack upto {upto}", from.0, fresh.len()),
+                    format_args!("from s{}: {} fresh, ack upto {upto}", from.0, fresh.len()),
                 );
                 for d in &fresh {
                     self.db
@@ -2686,13 +2788,13 @@ impl Actor for Accelerator {
                         self.spans.promote(d.txn.0);
                     }
                     let clock = self.tick();
-                    self.spans.instant_with(
+                    self.spans.instant_args(
                         d.txn.0,
                         d.commit_span,
                         "apply",
                         ctx.now(),
                         clock,
-                        format!("P{} {:+} at s{}", d.product.0, d.delta.get(), self.me.0),
+                        format_args!("P{} {:+} at s{}", d.product.0, d.delta.get(), self.me.0),
                     );
                 }
                 self.reply_along(ctx, from, incoming, batch_span, Msg::PropagateAck { upto });
@@ -2702,13 +2804,13 @@ impl Actor for Accelerator {
                 self.refresh_repl_gauges();
                 if let Some(c) = incoming {
                     let clock = self.tick();
-                    self.spans.instant_with(
+                    self.spans.instant_args(
                         c.trace_id,
                         c.parent_span,
                         "replicate-ack",
                         ctx.now(),
                         clock,
-                        format!("s{} applied below {}", from.0, upto),
+                        format_args!("s{} applied below {}", from.0, upto),
                     );
                 }
             }

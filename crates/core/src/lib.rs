@@ -32,15 +32,19 @@
 //! threaded live transport.
 
 pub mod accelerator;
+pub mod knowledge;
 pub mod persist;
 pub mod protocol;
 pub mod replication;
+pub mod replication_drive;
 pub mod system;
 
 pub use accelerator::{
     Accelerator, AcceleratorConfig, AcceleratorStats, StatusAvRow, StatusPeerRow, StatusSnapshot,
 };
+pub use knowledge::KnowledgeExchange;
 pub use persist::AcceleratorSnapshot;
-pub use protocol::{Input, Msg, PropagateDelta, TracedMsg};
+pub use protocol::{Input, KnowledgeRow, Msg, PropagateDelta, ReplCheckpoint, TracedMsg};
 pub use replication::{coalesce_deltas, Frame, ReplicationState};
+pub use replication_drive::ReplicationDrive;
 pub use system::{export_from_accelerators, outcome_line, DistributedSystem};

@@ -48,6 +48,47 @@ pub struct PropagateDelta {
     pub committed_at: VirtualTime,
 }
 
+/// Checkpoint prefix of a propagation frame: the cumulative per-product
+/// net volume of the origin's replication log below `upto`, carried when
+/// the receiver's acknowledgement fell behind the origin's truncation
+/// base (the raw entries were folded away). Application is idempotent:
+/// the receiver subtracts its own per-origin applied nets, so any cursor
+/// position — including mid-range after a crash — lands on the same
+/// state, and duplicates apply as zero.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplCheckpoint {
+    /// Absolute log offset the checkpoint covers up to (exclusive).
+    pub upto: u64,
+    /// Cumulative net volume per product over `[0..upto)`, indexed by
+    /// product id (trailing zeros trimmed by construction is fine — the
+    /// receiver treats a missing index as zero).
+    pub nets: Vec<i64>,
+    /// Commit time of the newest folded entry, so receivers can observe
+    /// convergence lag for checkpoint applies without per-entry stamps.
+    pub as_of: VirtualTime,
+}
+
+/// One row of a piggybacked peer-knowledge digest: what the sender
+/// believes `site` holds for `product`, stamped with the observation
+/// times. Receivers merge rows under the same freshness rule as direct
+/// piggybacks, so relayed (third-party) knowledge can never regress a
+/// fresher local view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnowledgeRow {
+    /// Site the belief is about.
+    pub site: avdb_types::SiteId,
+    /// Product the belief is about.
+    pub product: ProductId,
+    /// Believed available AV.
+    pub av: Volume,
+    /// When the AV belief was observed.
+    pub at: VirtualTime,
+    /// Believed consumption-rate EWMA (volume per kilotick).
+    pub rate: i64,
+    /// When the rate belief was observed.
+    pub rate_at: VirtualTime,
+}
+
 /// Protocol messages exchanged between accelerators.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
@@ -105,6 +146,20 @@ pub enum Msg {
         /// Deltas in origin commit order (for coalesced frames: one net
         /// delta per product, in first-commit order).
         deltas: Vec<PropagateDelta>,
+        /// Checkpoint prefix, present when the receiver's ack fell below
+        /// the origin's truncation base: cumulative per-product nets of
+        /// the folded range `[0..checkpoint.upto)`, applied idempotently
+        /// before `deltas`. Absent on frames from origins that still hold
+        /// the raw entries (and on all pre-checkpoint wire traffic).
+        #[serde(default)]
+        checkpoint: Option<ReplCheckpoint>,
+        /// Delta-compressed peer-knowledge digest: only the cells that
+        /// advanced since the last frame this origin sent to this
+        /// receiver. Empty (and absent on old wire traffic) when nothing
+        /// changed — the digest rides for free on replication traffic,
+        /// honoring §4's rule that knowledge spreads only on AV traffic.
+        #[serde(default)]
+        knowledge: Vec<KnowledgeRow>,
     },
     /// Cumulative acknowledgement of propagation (keeps pairing exact and
     /// lets the origin truncate its replication log).
@@ -350,7 +405,7 @@ mod tests {
             Msg::AvGrant { txn: txn(), product: ProductId(0), amount: Volume(1), grantor_av: Volume(0), grantor_rate: 0 },
             Msg::AvPush { product: ProductId(0), amount: Volume(1), pusher_av: Volume(0), pusher_rate: 0 },
             Msg::AvPushAck { product: ProductId(0), receiver_av: Volume(1), receiver_rate: 0 },
-            Msg::Propagate { offset: 0, covers: 0, coalesced: false, deltas: vec![] },
+            Msg::Propagate { offset: 0, covers: 0, coalesced: false, deltas: vec![], checkpoint: None, knowledge: vec![] },
             Msg::PropagateAck { upto: 0 },
             Msg::ImmPrepare { txn: txn(), product: ProductId(0), delta: Volume(1) },
             Msg::ImmVote { txn: txn(), ready: true },
@@ -376,7 +431,7 @@ mod tests {
             "av-grant"
         );
         assert_eq!(
-            Msg::Propagate { offset: 1, covers: 0, coalesced: false, deltas: vec![] }.kind(),
+            Msg::Propagate { offset: 1, covers: 0, coalesced: false, deltas: vec![], checkpoint: None, knowledge: vec![] }.kind(),
             "propagate"
         );
         assert_eq!(Msg::PropagateAck { upto: 1 }.kind(), "propagate-ack");
@@ -396,6 +451,19 @@ mod tests {
                 retained: true,
                 committed_at: VirtualTime(11),
             }],
+            checkpoint: Some(ReplCheckpoint {
+                upto: 1,
+                nets: vec![5, -2],
+                as_of: VirtualTime(9),
+            }),
+            knowledge: vec![KnowledgeRow {
+                site: SiteId(2),
+                product: ProductId(0),
+                av: Volume(12),
+                at: VirtualTime(8),
+                rate: 3,
+                rate_at: VirtualTime(8),
+            }],
         };
         let json = serde_json::to_string(&m).unwrap();
         assert_eq!(m, serde_json::from_str::<Msg>(&json).unwrap());
@@ -407,7 +475,7 @@ mod tests {
         // existed must deserialize with the new fields defaulted.
         let old = r#"{"Propagate":{"offset":4,"deltas":[]}}"#;
         let m: Msg = serde_json::from_str(old).unwrap();
-        assert_eq!(m, Msg::Propagate { offset: 4, covers: 0, coalesced: false, deltas: vec![] });
+        assert_eq!(m, Msg::Propagate { offset: 4, covers: 0, coalesced: false, deltas: vec![], checkpoint: None, knowledge: vec![] });
         let old = r#"{"AvPushAck":{"product":1,"receiver_av":9}}"#;
         let m: Msg = serde_json::from_str(old).unwrap();
         assert!(matches!(m, Msg::AvPushAck { receiver_rate: 0, .. }));

@@ -8,17 +8,28 @@
 //! "send everything above the peer's ack again", and receivers deduplicate
 //! by per-origin applied offsets, so delivery is idempotent.
 
-use crate::protocol::PropagateDelta;
-use avdb_types::SiteId;
+use crate::protocol::{PropagateDelta, ReplCheckpoint};
+use avdb_types::{ProductId, SiteId, TxnId, VirtualTime, Volume};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+
+/// Default retained-entry cap: once the log holds more than this many
+/// unacknowledged deltas, the oldest entries are folded into the
+/// per-product checkpoint even though some peer has not acknowledged
+/// them. A lagging (or crashed) peer no longer pins the log — it is
+/// caught up later by a checkpoint frame on its next flush. The cap
+/// bounds sender memory at `O(threshold + products)` per site
+/// regardless of run length.
+pub const DEFAULT_CHECKPOINT_THRESHOLD: usize = 256;
 
 /// One outgoing replication frame: a contiguous log range
 /// `offset..offset + covers`, carried either as the raw per-commit
 /// deltas (`coalesced == false`, `covers == deltas.len()`) or folded
 /// into one net delta per product (`coalesced == true`,
 /// `deltas.len() <= covers`). Acked by the `offset + covers` watermark
-/// either way.
+/// either way. When the receiver's ack fell below the origin's
+/// truncation base, the frame additionally leads with a [`ReplCheckpoint`]
+/// summarizing the folded-away prefix `[0..offset)`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
     /// Absolute log offset of the first covered entry.
@@ -29,6 +40,8 @@ pub struct Frame {
     pub coalesced: bool,
     /// Payload deltas.
     pub deltas: Vec<PropagateDelta>,
+    /// Checkpoint prefix for receivers acked below the truncation base.
+    pub checkpoint: Option<ReplCheckpoint>,
 }
 
 impl Frame {
@@ -37,11 +50,21 @@ impl Frame {
         if coalesce && deltas.len() >= 2 {
             let mut folded = Vec::with_capacity(deltas.len().min(8));
             coalesce_deltas(&deltas, &mut folded);
-            Frame { offset, covers, coalesced: true, deltas: folded }
+            Frame { offset, covers, coalesced: true, deltas: folded, checkpoint: None }
         } else {
-            Frame { offset, covers, coalesced: false, deltas }
+            Frame { offset, covers, coalesced: false, deltas, checkpoint: None }
         }
     }
+}
+
+/// Adds `d` at `idx`, growing the vec with zeros as needed. Product
+/// catalogs are dense and small, so a flat vec indexed by product id
+/// beats a map on every path that touches it.
+fn bump(v: &mut Vec<i64>, idx: usize, d: i64) {
+    if v.len() <= idx {
+        v.resize(idx + 1, 0);
+    }
+    v[idx] += d;
 }
 
 /// Folds a run of committed deltas into one net delta per product,
@@ -77,6 +100,30 @@ pub struct ReplicationState {
     sent: Vec<u64>,
     /// Receiver side: per-origin applied-up-to offset (dedup cursor).
     applied_from: HashMap<SiteId, u64>,
+    /// Per-product net volume of the retained log — a running total
+    /// updated on append and truncation, so divergence gauges read it in
+    /// O(products) instead of re-summing the log on every stamp.
+    retained_nets: Vec<i64>,
+    /// Cumulative per-product net volume of the truncated prefix
+    /// `[0..base)`. `None` when the prefix's composition is unknown (a
+    /// state restored from a pre-checkpoint snapshot with a non-zero
+    /// base); such a state never folds past the minimum ack, so it never
+    /// needs to emit a checkpoint frame either.
+    ckpt_nets: Option<Vec<i64>>,
+    /// Commit time of the newest truncated entry — rides checkpoint
+    /// frames so receivers can still observe convergence lag for folded
+    /// applies.
+    ckpt_as_of: VirtualTime,
+    /// Retained-entry cap (see [`DEFAULT_CHECKPOINT_THRESHOLD`]).
+    ckpt_threshold: usize,
+    /// Receiver side: per-origin cumulative applied net volume per
+    /// product — what `[0..cursor)` of that origin's log summed to.
+    /// Checkpoint frames apply as `origin_nets - applied_nets`, which is
+    /// idempotent at any cursor position. `None` marks an origin whose
+    /// cursor advanced before net tracking existed (pre-checkpoint
+    /// snapshot); checkpoint frames from it are rejected with a cursor
+    /// restatement.
+    applied_nets: HashMap<SiteId, Option<Vec<i64>>>,
     me: SiteId,
 }
 
@@ -89,8 +136,18 @@ impl ReplicationState {
             acked: vec![0; n_sites],
             sent: vec![0; n_sites],
             applied_from: HashMap::new(),
+            retained_nets: Vec::new(),
+            ckpt_nets: Some(Vec::new()),
+            ckpt_as_of: VirtualTime::ZERO,
+            ckpt_threshold: DEFAULT_CHECKPOINT_THRESHOLD,
+            applied_nets: HashMap::new(),
             me,
         }
+    }
+
+    /// Overrides the retained-entry cap (tests and tuning).
+    pub fn set_checkpoint_threshold(&mut self, n: usize) {
+        self.ckpt_threshold = n.max(1);
     }
 
     /// Absolute end offset of the log.
@@ -110,9 +167,37 @@ impl ReplicationState {
         self.log.iter()
     }
 
-    /// Appends a committed delta.
+    /// Per-product net volume of the retained log, indexed by product id
+    /// (products beyond the slice are zero). A running total — reading it
+    /// is O(products) regardless of log length.
+    pub fn retained_nets(&self) -> &[i64] {
+        &self.retained_nets
+    }
+
+    /// Appends a committed delta. If the log has outgrown the checkpoint
+    /// threshold, the oldest entries fold into the checkpoint prefix so
+    /// retained memory stays bounded even while a peer lags.
     pub fn record(&mut self, delta: PropagateDelta) {
+        bump(&mut self.retained_nets, delta.product.index(), delta.delta.get());
         self.log.push_back(delta);
+        if self.ckpt_nets.is_some() {
+            while self.log.len() > self.ckpt_threshold {
+                self.truncate_front();
+            }
+        }
+    }
+
+    /// Pops the oldest retained entry into the checkpoint prefix.
+    fn truncate_front(&mut self) {
+        if let Some(d) = self.log.pop_front() {
+            self.base += 1;
+            bump(&mut self.retained_nets, d.product.index(), -d.delta.get());
+            if let Some(nets) = self.ckpt_nets.as_mut() {
+                bump(nets, d.product.index(), d.delta.get());
+            }
+            // Commit order is time order, so a plain store suffices.
+            self.ckpt_as_of = d.committed_at;
+        }
     }
 
     /// `true` when at least one peer's pending range has reached `batch`
@@ -167,10 +252,32 @@ impl ReplicationState {
 
     /// [`Self::take_all_unacked`] as a wire-ready [`Frame`], optionally
     /// coalesced. Retransmission flushes cover the widest ranges, so this
-    /// is where coalescing saves the most bytes.
+    /// is where coalescing saves the most bytes. When the peer's ack fell
+    /// below the truncation base (its raw entries were folded away), the
+    /// frame leads with the checkpoint prefix that replaces them.
     pub fn take_unacked_frame(&mut self, peer: SiteId, coalesce: bool) -> Option<Frame> {
-        let (offset, deltas) = self.take_all_unacked(peer)?;
-        Some(Frame::build(offset, deltas, coalesce))
+        debug_assert_ne!(peer, self.me);
+        let ack = self.acked[peer.index()];
+        let needs_ckpt = ack < self.base;
+        let from = ack.max(self.base);
+        let end = self.end();
+        if from >= end && !needs_ckpt {
+            return None;
+        }
+        let deltas = self.slice(from, end);
+        self.sent[peer.index()] = end;
+        let mut frame = Frame::build(from, deltas, coalesce);
+        if needs_ckpt {
+            // A peer can only be acked below `base` after a cap fold, and
+            // cap folds require a known prefix.
+            let nets = self.ckpt_nets.as_ref().expect("folded past an unknown prefix");
+            frame.checkpoint = Some(ReplCheckpoint {
+                upto: self.base,
+                nets: nets.clone(),
+                as_of: self.ckpt_as_of,
+            });
+        }
+        Some(frame)
     }
 
     fn slice(&self, from: u64, to: u64) -> Vec<PropagateDelta> {
@@ -195,8 +302,7 @@ impl ReplicationState {
             .min()
             .unwrap_or(self.end());
         while self.base < min_acked && !self.log.is_empty() {
-            self.log.pop_front();
-            self.base += 1;
+            self.truncate_front();
         }
     }
 
@@ -245,7 +351,9 @@ impl ReplicationState {
                 return (*cursor, Vec::new());
             }
             *cursor = offset + covers;
-            return (*cursor, deltas);
+            let upto = *cursor;
+            self.track_applied(origin, &deltas);
+            return (upto, deltas);
         }
         if offset > *cursor {
             return (*cursor, Vec::new());
@@ -258,7 +366,77 @@ impl ReplicationState {
             deltas[skip..].to_vec()
         };
         *cursor = new_upto;
+        self.track_applied(origin, &fresh);
         (new_upto, fresh)
+    }
+
+    /// Folds freshly-applied deltas into the per-origin applied-net
+    /// totals (receiver side of the checkpoint bookkeeping).
+    fn track_applied(&mut self, origin: SiteId, fresh: &[PropagateDelta]) {
+        if fresh.is_empty() {
+            return;
+        }
+        if let Some(nets) = self
+            .applied_nets
+            .entry(origin)
+            .or_insert_with(|| Some(Vec::new()))
+            .as_mut()
+        {
+            for d in fresh {
+                bump(nets, d.product.index(), d.delta.get());
+            }
+        }
+    }
+
+    /// Receiver side of a checkpoint prefix: catches the cursor up to
+    /// `ckpt.upto` by applying the *difference* between the origin's
+    /// cumulative nets and what this receiver already applied from that
+    /// origin. Returns `(ack_upto, synthesized_deltas)`.
+    ///
+    /// The subtraction makes application idempotent at any cursor
+    /// position: a duplicate checkpoint (or one racing an in-flight plain
+    /// frame whose ack the origin had not seen) diffs to zero for the
+    /// already-covered products. A stale checkpoint (`upto <= cursor`) is
+    /// skipped outright, and an origin whose applied history predates net
+    /// tracking rejects the fold with a cursor restatement rather than
+    /// guessing.
+    pub fn apply_checkpoint(
+        &mut self,
+        origin: SiteId,
+        ckpt: &ReplCheckpoint,
+    ) -> (u64, Vec<PropagateDelta>) {
+        let cursor = *self.applied_from.get(&origin).unwrap_or(&0);
+        if ckpt.upto <= cursor {
+            return (cursor, Vec::new());
+        }
+        let slot = self
+            .applied_nets
+            .entry(origin)
+            .or_insert_with(|| Some(Vec::new()));
+        let Some(applied) = slot.as_mut() else {
+            return (cursor, Vec::new());
+        };
+        let mut fresh = Vec::new();
+        for p in 0..ckpt.nets.len().max(applied.len()) {
+            let want = ckpt.nets.get(p).copied().unwrap_or(0);
+            let have = applied.get(p).copied().unwrap_or(0);
+            if want != have {
+                fresh.push(PropagateDelta {
+                    txn: TxnId::new(origin, 0),
+                    product: ProductId(p as u32),
+                    delta: Volume(want - have),
+                    commit_span: 0,
+                    retained: false,
+                    committed_at: ckpt.as_of,
+                });
+            }
+        }
+        // After the diff applies, this receiver's nets equal the origin's
+        // cumulative prefix exactly.
+        applied.clear();
+        applied.extend_from_slice(&ckpt.nets);
+        self.applied_from.insert(origin, ckpt.upto);
+        (ckpt.upto, fresh)
     }
 
     /// Highest applied offset from `origin` (test hook).
@@ -287,11 +465,41 @@ impl ReplicationState {
             acked: self.acked.clone(),
             applied_from: self.applied_from.iter().map(|(s, v)| (s.0, *v)).collect(),
             me: self.me.0,
+            ckpt_nets: self.ckpt_nets.clone(),
+            ckpt_as_of: self.ckpt_as_of,
+            applied_nets: self
+                .applied_nets
+                .iter()
+                .filter_map(|(s, v)| v.as_ref().map(|n| (s.0, n.clone())))
+                .collect(),
         }
     }
 
-    /// Rebuilds from a snapshot.
+    /// Rebuilds from a snapshot. Running totals (`retained_nets`) are
+    /// recomputed from the log; checkpoint prefixes restore as recorded,
+    /// with pre-checkpoint snapshots degrading gracefully — a non-zero
+    /// base with no recorded prefix disables cap folding (min-ack
+    /// truncation never needs checkpoint frames), and origins whose
+    /// cursors predate net tracking are marked unknown so incoming folds
+    /// are rejected instead of guessed at.
     pub fn from_snapshot(snap: &ReplicationSnapshot) -> Self {
+        let mut retained_nets = Vec::new();
+        for d in &snap.log {
+            bump(&mut retained_nets, d.product.index(), d.delta.get());
+        }
+        let ckpt_nets = match (&snap.ckpt_nets, snap.base) {
+            (Some(nets), _) => Some(nets.clone()),
+            (None, 0) => Some(Vec::new()),
+            (None, _) => None,
+        };
+        let applied_nets = snap
+            .applied_from
+            .iter()
+            .map(|(s, cursor)| {
+                let nets = snap.applied_nets.get(s).cloned();
+                (SiteId(*s), if nets.is_none() && *cursor > 0 { None } else { Some(nets.unwrap_or_default()) })
+            })
+            .collect();
         ReplicationState {
             log: snap.log.iter().copied().collect(),
             base: snap.base,
@@ -302,6 +510,11 @@ impl ReplicationState {
                 .iter()
                 .map(|(s, v)| (SiteId(*s), *v))
                 .collect(),
+            retained_nets,
+            ckpt_nets,
+            ckpt_as_of: snap.ckpt_as_of,
+            ckpt_threshold: DEFAULT_CHECKPOINT_THRESHOLD,
+            applied_nets,
             me: SiteId(snap.me),
         }
     }
@@ -320,6 +533,20 @@ pub struct ReplicationSnapshot {
     pub applied_from: std::collections::BTreeMap<u32, u64>,
     /// This site's raw id.
     pub me: u32,
+    /// Cumulative per-product nets of the truncated prefix `[0..base)`.
+    /// Defaults to `None` for snapshots written before checkpoints
+    /// existed; restoring such a snapshot with a non-zero base disables
+    /// cap folding (see [`ReplicationState::from_snapshot`]).
+    #[serde(default)]
+    pub ckpt_nets: Option<Vec<i64>>,
+    /// Commit time of the newest truncated entry.
+    #[serde(default)]
+    pub ckpt_as_of: VirtualTime,
+    /// Receiver-side per-origin cumulative applied nets, keyed by raw
+    /// site id. Origins absent here but present in `applied_from` with a
+    /// non-zero cursor restore as unknown-history.
+    #[serde(default)]
+    pub applied_nets: std::collections::BTreeMap<u32, Vec<i64>>,
 }
 
 #[cfg(test)]
@@ -483,6 +710,88 @@ mod proptests {
                 prop_assert_eq!(applied, expect, "coalesced apply diverged from log prefix");
             }
             // A final reliable flush converges to the full recorded net.
+            let frame = sender.take_unacked_frame(SiteId(1), true);
+            deliver(&mut sender, &mut receiver, &mut applied, &mut watermark, frame, true);
+            prop_assert_eq!(watermark, recorded.len() as u64);
+            prop_assert!(sender.fully_acked());
+            let mut expect = [0i64; 3];
+            for (p, v) in &recorded {
+                expect[*p as usize] += v;
+            }
+            prop_assert_eq!(applied, expect);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// Lossy interleavings with an aggressively small checkpoint
+        /// threshold: cap folds constantly replace raw entries with the
+        /// checkpoint prefix, yet the receiver's applied net always
+        /// equals the recorded prefix below its watermark, sender memory
+        /// stays bounded by the threshold, and a final reliable flush
+        /// (checkpoint + suffix) converges everything.
+        #[test]
+        fn prop_checkpoint_folds_preserve_net_volume(
+            seq in prop::collection::vec(steps(), 1..60),
+            payload in prop::collection::vec((0u32..3, -9i64..10), 60),
+            threshold in 1usize..6,
+        ) {
+            let mut sender = ReplicationState::new(SiteId(0), 2);
+            sender.set_checkpoint_threshold(threshold);
+            let mut receiver = ReplicationState::new(SiteId(1), 2);
+            let mut recorded: Vec<(u32, i64)> = Vec::new();
+            let mut applied = [0i64; 3];
+            let mut watermark = 0u64;
+            let deliver = |sender: &mut ReplicationState,
+                               receiver: &mut ReplicationState,
+                               applied: &mut [i64; 3],
+                               watermark: &mut u64,
+                               frame: Option<Frame>,
+                               ok: bool| {
+                if let Some(f) = frame {
+                    if ok {
+                        let mut upto = 0u64;
+                        if let Some(ck) = &f.checkpoint {
+                            let (u, fresh) = receiver.apply_checkpoint(SiteId(0), ck);
+                            upto = u;
+                            for d in fresh {
+                                applied[d.product.index()] += d.delta.get();
+                            }
+                        }
+                        let (u, fresh) =
+                            receiver.apply_frame(SiteId(0), f.offset, f.covers, f.coalesced, f.deltas);
+                        upto = upto.max(u);
+                        for d in fresh {
+                            applied[d.product.index()] += d.delta.get();
+                        }
+                        *watermark = upto;
+                        sender.on_ack(SiteId(1), upto);
+                    }
+                }
+            };
+            for (i, step) in seq.into_iter().enumerate() {
+                match step {
+                    Step::Record => {
+                        let (p, v) = payload[i % payload.len()];
+                        sender.record(dnet(recorded.len() as u64, p, v));
+                        recorded.push((p, v));
+                        prop_assert!(sender.retained() <= threshold, "cap violated");
+                    }
+                    Step::Batch(b, ok) => {
+                        let frame = sender.take_batch_frame(SiteId(1), b, true);
+                        deliver(&mut sender, &mut receiver, &mut applied, &mut watermark, frame, ok);
+                    }
+                    Step::Flush(ok) => {
+                        let frame = sender.take_unacked_frame(SiteId(1), true);
+                        deliver(&mut sender, &mut receiver, &mut applied, &mut watermark, frame, ok);
+                    }
+                }
+                let mut expect = [0i64; 3];
+                for (p, v) in recorded.iter().take(watermark as usize) {
+                    expect[*p as usize] += v;
+                }
+                prop_assert_eq!(applied, expect, "fold apply diverged from log prefix");
+            }
             let frame = sender.take_unacked_frame(SiteId(1), true);
             deliver(&mut sender, &mut receiver, &mut applied, &mut watermark, frame, true);
             prop_assert_eq!(watermark, recorded.len() as u64);
@@ -745,5 +1054,120 @@ mod tests {
         let (upto, fresh) = r.apply_frame(SiteId(1), 0, 0, false, vec![d(0), d(1)]);
         assert_eq!(upto, 2);
         assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn retained_nets_track_append_and_truncate() {
+        let mut r = state();
+        r.record(dp(0, 0, -3));
+        r.record(dp(1, 2, 5));
+        r.record(dp(2, 0, -1));
+        assert_eq!(r.retained_nets(), &[-4, 0, 5]);
+        r.on_ack(SiteId(1), 2);
+        r.on_ack(SiteId(2), 2);
+        assert_eq!(r.retained(), 1, "prefix truncated at min ack");
+        assert_eq!(r.retained_nets(), &[-1, 0, 0]);
+    }
+
+    #[test]
+    fn cap_fold_bounds_log_and_checkpoint_frame_catches_peer_up() {
+        let mut r = state();
+        r.set_checkpoint_threshold(2);
+        for i in 0..6 {
+            r.record(dp(i, (i % 2) as u32, -1));
+        }
+        assert_eq!(r.retained(), 2, "cap folded the oldest entries");
+        assert_eq!(r.end(), 6);
+        assert_eq!(r.retained_nets(), &[-1, -1]);
+        // No peer acked anything, yet memory stayed bounded; the flush to
+        // peer 1 leads with the checkpoint covering the folded [0..4).
+        let f = r.take_unacked_frame(SiteId(1), false).unwrap();
+        let ck = f.checkpoint.clone().expect("peer acked below base");
+        assert_eq!(ck.upto, 4);
+        assert_eq!(ck.nets, vec![-2, -2]);
+        assert_eq!(ck.as_of, avdb_types::VirtualTime(3), "newest folded commit time");
+        assert_eq!(f.offset, 4);
+        // A fresh receiver applies the fold then the raw suffix and lands
+        // on the full recorded net.
+        let mut rx = ReplicationState::new(SiteId(1), 3);
+        let (upto, fresh) = rx.apply_checkpoint(SiteId(0), &ck);
+        assert_eq!(upto, 4);
+        let net: i64 = fresh.iter().map(|d| d.delta.get()).sum();
+        assert_eq!(net, -4);
+        let (upto, fresh) = rx.apply_frame(SiteId(0), f.offset, f.covers, f.coalesced, f.deltas);
+        assert_eq!(upto, 6);
+        assert_eq!(fresh.len(), 2);
+        r.on_ack(SiteId(1), upto);
+        assert_eq!(r.acked[1], 6);
+    }
+
+    #[test]
+    fn checkpoint_apply_is_idempotent_at_any_cursor() {
+        let mut rx = state();
+        // Receiver already applied [0..3) as plain frames.
+        let (_, fresh) = rx.fresh_deltas(SiteId(1), 0, vec![dp(0, 0, -2), dp(1, 1, 4), dp(2, 0, -1)]);
+        assert_eq!(fresh.len(), 3);
+        // A checkpoint covering [0..5) arrives (origin folded while this
+        // receiver's ack was in flight): only the unseen tail applies.
+        let ck = ReplCheckpoint { upto: 5, nets: vec![-3, 9], as_of: avdb_types::VirtualTime(40) };
+        let (upto, fresh) = rx.apply_checkpoint(SiteId(1), &ck);
+        assert_eq!(upto, 5);
+        let mut nets = [0i64; 2];
+        for d in &fresh {
+            nets[d.product.index()] += d.delta.get();
+        }
+        assert_eq!(nets, [0, 5], "diff against already-applied nets");
+        // Exact duplicate: stale upto, nothing applies.
+        let (upto, fresh) = rx.apply_checkpoint(SiteId(1), &ck);
+        assert_eq!(upto, 5);
+        assert!(fresh.is_empty());
+        // Re-delivered older checkpoint: also stale, also a no-op.
+        let old = ReplCheckpoint { upto: 3, nets: vec![-3, 4], as_of: avdb_types::VirtualTime(2) };
+        let (upto, fresh) = rx.apply_checkpoint(SiteId(1), &old);
+        assert_eq!(upto, 5);
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_checkpoint_state() {
+        let mut r = state();
+        r.set_checkpoint_threshold(1);
+        for i in 0..4 {
+            r.record(dp(i, 0, -2));
+        }
+        assert_eq!(r.retained(), 1);
+        // Receiver side state too.
+        let (_, _) = r.fresh_deltas(SiteId(2), 0, vec![dp(0, 1, 7)]);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ReplicationSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = ReplicationState::from_snapshot(&back);
+        assert_eq!(restored.retained_nets(), r.retained_nets());
+        assert_eq!(restored.end(), r.end());
+        // The restored sender can still emit a valid checkpoint frame.
+        let f = restored.snapshot();
+        assert_eq!(f.ckpt_nets, Some(vec![-6]));
+        assert_eq!(f.applied_nets.get(&2), Some(&vec![0, 7]));
+    }
+
+    #[test]
+    fn pre_checkpoint_snapshot_degrades_to_min_ack_truncation() {
+        // A snapshot written before the checkpoint fields existed: serde
+        // defaults them, and a non-zero base means the prefix composition
+        // is unknown — the restored state must not cap-fold (it could
+        // never describe the folded range) and must reject incoming folds
+        // for origins whose history predates net tracking.
+        let json = r#"{"log":[],"base":3,"acked":[0,3,3],"applied_from":{"1":5},"me":0}"#;
+        let snap: ReplicationSnapshot = serde_json::from_str(json).unwrap();
+        let mut r = ReplicationState::from_snapshot(&snap);
+        r.set_checkpoint_threshold(1);
+        for i in 0..5 {
+            r.record(dp(i, 0, -1));
+        }
+        assert_eq!(r.retained(), 5, "unknown prefix disables cap folding");
+        let ck = ReplCheckpoint { upto: 9, nets: vec![-9], as_of: avdb_types::VirtualTime(1) };
+        let (upto, fresh) = r.apply_checkpoint(SiteId(1), &ck);
+        assert_eq!(upto, 5, "cursor restated");
+        assert!(fresh.is_empty(), "unknown history rejects the fold");
     }
 }

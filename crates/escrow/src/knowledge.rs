@@ -25,6 +25,42 @@ pub struct PeerKnowledge {
     /// the AV cells; read by the proactive rebalancer to project a peer's
     /// depletion horizon.
     rates: Vec<Vec<Option<(i64, VirtualTime)>>>,
+    /// Monotone edit version: bumps on every accepted write that changes
+    /// a cell's contents. No-op writes (same value, same stamp) do not
+    /// bump, so relaying a digest back to its sender converges instead of
+    /// ping-ponging identical rows forever.
+    version: u64,
+    /// `modified[peer][product]` → the version at which the cell (AV or
+    /// rate) last changed. Zero means seeded-or-never: seeds are shared
+    /// boot knowledge every site already holds, so digests skip them.
+    modified: Vec<Vec<u64>>,
+    /// Transposed mirror of the AV cells for the *selecting* function:
+    /// `av_by_product[product][peer]` → believed AV (zero = never
+    /// observed). The peer-major rows answer "what do I know about peer
+    /// X", but the shortage scan asks "who holds the most of product P"
+    /// across every peer — product-major keeps that scan on one
+    /// contiguous cache line instead of a pointer chase per peer.
+    av_by_product: Vec<Vec<Volume>>,
+}
+
+/// One changed cell surfaced by [`PeerKnowledge::changed_since`]: the
+/// sender's current belief about `site`'s holdings of `product`, with the
+/// observation stamps the receiver needs to merge it under the standard
+/// freshness rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnowledgeDelta {
+    /// Site the belief is about.
+    pub site: SiteId,
+    /// Product the belief is about.
+    pub product: ProductId,
+    /// Believed available AV.
+    pub av: Volume,
+    /// When the AV belief was observed.
+    pub at: VirtualTime,
+    /// Believed consumption-rate EWMA (zero if never observed).
+    pub rate: i64,
+    /// When the rate belief was observed (`ZERO` if never).
+    pub rate_at: VirtualTime,
 }
 
 impl PeerKnowledge {
@@ -52,29 +88,112 @@ impl PeerKnowledge {
         &mut row[product.index()]
     }
 
+    /// Keeps the product-major AV mirror in lockstep with an accepted
+    /// write to `rows[peer][product]`.
+    fn mirror(&mut self, peer: SiteId, product: ProductId, av: Volume) {
+        if self.av_by_product.len() <= product.index() {
+            self.av_by_product.resize(product.index() + 1, Vec::new());
+        }
+        let row = &mut self.av_by_product[product.index()];
+        if row.len() <= peer.index() {
+            row.resize(peer.index() + 1, Volume::ZERO);
+        }
+        row[peer.index()] = av;
+    }
+
     /// Seeds knowledge from the initial AV allocation, which every site
     /// learns when the base DB distributes the catalog (§3.2).
     pub fn seed(&mut self, product: ProductId, split: &[Volume]) {
         for (i, &av) in split.iter().enumerate() {
             *self.cell_mut(SiteId(i as u32), product) = Some((av, VirtualTime::ZERO));
+            self.mirror(SiteId(i as u32), product, av);
         }
     }
 
     /// Records a fresher observation of `peer`'s AV for `product`.
     /// Observations older than what we already know are ignored; equal
-    /// timestamps take the newer report (last writer wins).
+    /// timestamps take the newer report (last writer wins). A report
+    /// identical to the current cell is a no-op (it carries no new
+    /// information, so it must not mark the cell as changed).
     pub fn update(&mut self, peer: SiteId, product: ProductId, av: Volume, at: VirtualTime) {
         let cell = self.cell_mut(peer, product);
         match *cell {
-            Some((_, prev_at)) if prev_at > at => {}
+            Some((_, prev_at)) if prev_at > at => return,
+            Some((prev_av, prev_at)) if prev_av == av && prev_at == at => return,
             _ => *cell = Some((av, at)),
         }
+        self.mirror(peer, product, av);
+        self.touch(peer, product);
+    }
+
+    /// Marks a cell as changed at a fresh version.
+    fn touch(&mut self, peer: SiteId, product: ProductId) {
+        self.version += 1;
+        if self.modified.len() <= peer.index() {
+            self.modified.resize(peer.index() + 1, Vec::new());
+        }
+        let row = &mut self.modified[peer.index()];
+        if row.len() <= product.index() {
+            row.resize(product.index() + 1, 0);
+        }
+        row[product.index()] = self.version;
+    }
+
+    /// Current edit version — the watermark to pass back to
+    /// [`PeerKnowledge::changed_since`] later for "everything that
+    /// changed since now".
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Appends every cell whose contents changed after `since` to `out`
+    /// (in ascending site, product order — deterministic) and returns the
+    /// current version. `since == 0` yields the full modified table — the
+    /// dense exchange a delta digest must stay equivalent to. Cells that
+    /// were only ever seeded never appear: seeding is symmetric boot
+    /// knowledge, and shipping it would make the first digest O(sites ×
+    /// products) for no information gain.
+    pub fn changed_since(&self, since: u64, out: &mut Vec<KnowledgeDelta>) -> u64 {
+        for (s, row) in self.modified.iter().enumerate() {
+            for (p, &ver) in row.iter().enumerate() {
+                if ver <= since {
+                    continue;
+                }
+                let site = SiteId(s as u32);
+                let product = ProductId(p as u32);
+                // A cell can be marked by a rate-only write while the AV
+                // side was never observed; emitting a fabricated AV would
+                // corrupt the receiver's `known_at`, so such cells wait
+                // for their first real AV observation.
+                let Some((av, at)) = self.cell(site, product) else {
+                    continue;
+                };
+                let (rate, rate_at) = self
+                    .rates
+                    .get(s)
+                    .and_then(|row| row.get(p))
+                    .copied()
+                    .flatten()
+                    .unwrap_or((0, VirtualTime::ZERO));
+                out.push(KnowledgeDelta { site, product, av, at, rate, rate_at });
+            }
+        }
+        self.version
     }
 
     /// Last known AV of `peer` for `product` (zero if never observed —
     /// a pessimistic default that deprioritizes unknown peers).
     pub fn known(&self, peer: SiteId, product: ProductId) -> Volume {
         self.cell(peer, product).map(|(v, _)| v).unwrap_or(Volume::ZERO)
+    }
+
+    /// Believed AV of every peer for `product`, indexed by site id (may
+    /// be shorter than the site count; missing entries mean "never
+    /// observed"). This is [`PeerKnowledge::known`] transposed for the
+    /// selecting function, whose per-shortage scan over all peers is the
+    /// hottest read in the system.
+    pub fn known_row(&self, product: ProductId) -> &[Volume] {
+        self.av_by_product.get(product.index()).map_or(&[], Vec::as_slice)
     }
 
     /// When `peer`'s AV for `product` was last observed.
@@ -114,9 +233,11 @@ impl PeerKnowledge {
         }
         let cell = &mut row[product.index()];
         match *cell {
-            Some((_, prev_at)) if prev_at > at => {}
+            Some((_, prev_at)) if prev_at > at => return,
+            Some((prev_rate, prev_at)) if prev_rate == rate && prev_at == at => return,
             _ => *cell = Some((rate, at)),
         }
+        self.touch(peer, product);
     }
 
     /// Last known consumption rate of `peer` for `product` in volume per
@@ -408,6 +529,98 @@ mod tests {
         // Same buffer, different query: stale contents must not leak.
         k.ranked_peers_into(SiteId(1), 3, P, &[SiteId(0)], &mut scratch);
         assert_eq!(scratch, vec![SiteId(2)]);
+    }
+
+    #[test]
+    fn version_bumps_only_on_real_changes() {
+        let mut k = PeerKnowledge::new();
+        assert_eq!(k.version(), 0);
+        k.seed(P, &[Volume(40), Volume(20)]);
+        assert_eq!(k.version(), 0, "seeds are shared boot knowledge");
+        k.update(SiteId(1), P, Volume(7), VirtualTime(5));
+        assert_eq!(k.version(), 1);
+        // Stale and identical reports carry no new information.
+        k.update(SiteId(1), P, Volume(9), VirtualTime(2));
+        k.update(SiteId(1), P, Volume(7), VirtualTime(5));
+        assert_eq!(k.version(), 1);
+        k.update_rate(SiteId(1), P, 30, VirtualTime(6));
+        assert_eq!(k.version(), 2);
+        k.update_rate(SiteId(1), P, 30, VirtualTime(6));
+        assert_eq!(k.version(), 2);
+    }
+
+    #[test]
+    fn changed_since_is_a_delta_over_the_watermark() {
+        let mut k = PeerKnowledge::new();
+        k.seed(P, &[Volume(40), Volume(20), Volume(10)]);
+        k.update(SiteId(1), P, Volume(7), VirtualTime(5));
+        let mut out = Vec::new();
+        let v1 = k.changed_since(0, &mut out);
+        assert_eq!(out.len(), 1, "seeded-only cells never ship");
+        assert_eq!(out[0].site, SiteId(1));
+        assert_eq!((out[0].av, out[0].at), (Volume(7), VirtualTime(5)));
+        // Nothing changed since the watermark: empty digest.
+        out.clear();
+        assert_eq!(k.changed_since(v1, &mut out), v1);
+        assert!(out.is_empty());
+        // Rate-only change re-surfaces the cell with both beliefs.
+        k.update_rate(SiteId(1), P, 250, VirtualTime(8));
+        out.clear();
+        let v2 = k.changed_since(v1, &mut out);
+        assert!(v2 > v1);
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].rate, out[0].rate_at), (250, VirtualTime(8)));
+        assert_eq!(out[0].av, Volume(7), "carries the AV belief too");
+    }
+
+    #[test]
+    fn applying_deltas_incrementally_equals_dense_exchange() {
+        // A seeded source mutates over time; one receiver merges the
+        // incremental digests (each cut at the previous watermark), the
+        // other merges a full dense digest every round. Every observable
+        // — known, known_at, known_rate — must agree at every round.
+        let mut src = PeerKnowledge::new();
+        for p in 0..3u32 {
+            src.seed(ProductId(p), &[Volume(50), Volume(30), Volume(20), Volume(10)]);
+        }
+        let mut incremental = PeerKnowledge::new();
+        let mut dense = PeerKnowledge::new();
+        let mut watermark = 0u64;
+        let updates: &[(u32, u32, i64, u64)] = &[
+            (0, 0, 44, 3),
+            (1, 2, 9, 4),
+            (0, 0, 41, 7),
+            (3, 1, 88, 7),
+            (2, 2, 5, 9),
+            (0, 0, 41, 7), // identical: must not reappear in any digest
+        ];
+        let mut out = Vec::new();
+        for chunk in updates.chunks(2) {
+            for &(s, p, v, t) in chunk {
+                src.update(SiteId(s), ProductId(p), Volume(v), VirtualTime(t));
+                src.update_rate(SiteId(s), ProductId(p), v / 2, VirtualTime(t));
+            }
+            out.clear();
+            watermark = src.changed_since(watermark, &mut out);
+            for d in &out {
+                incremental.update(d.site, d.product, d.av, d.at);
+                incremental.update_rate(d.site, d.product, d.rate, d.rate_at);
+            }
+            out.clear();
+            src.changed_since(0, &mut out);
+            for d in &out {
+                dense.update(d.site, d.product, d.av, d.at);
+                dense.update_rate(d.site, d.product, d.rate, d.rate_at);
+            }
+            for s in 0..4u32 {
+                for p in 0..3u32 {
+                    let (s, p) = (SiteId(s), ProductId(p));
+                    assert_eq!(incremental.known(s, p), dense.known(s, p));
+                    assert_eq!(incremental.known_at(s, p), dense.known_at(s, p));
+                    assert_eq!(incremental.known_rate(s, p), dense.known_rate(s, p));
+                }
+            }
+        }
     }
 
     #[test]

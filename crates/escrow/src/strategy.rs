@@ -162,13 +162,15 @@ impl SelectStrategy for MostKnownAv {
         // Direct max scan instead of ranking every peer: the shortage path
         // calls this once per AV round, and only the top candidate is
         // needed. Ascending-id iteration with a strict `>` keeps the
-        // ranked_peers tie-break (lowest id wins) without allocating.
+        // ranked_peers tie-break (lowest id wins) without allocating, and
+        // the product-major mirror keeps the scan on contiguous memory.
+        let row = knowledge.known_row(product);
         let mut best: Option<(SiteId, Volume)> = None;
         for s in SiteId::all(n_sites) {
             if s == me || already_asked.contains(&s) {
                 continue;
             }
-            let av = knowledge.known(s, product);
+            let av = row.get(s.index()).copied().unwrap_or(Volume::ZERO);
             match best {
                 Some((_, best_av)) if best_av >= av => {}
                 _ => best = Some((s, av)),

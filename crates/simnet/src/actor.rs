@@ -51,7 +51,23 @@ impl<'a, M, O> Ctx<'a, M, O> {
     /// Creates a context for one handler invocation. Used by runtimes; not
     /// by actor code.
     pub fn new(me: SiteId, now: VirtualTime, rng: &'a mut DetRng) -> Self {
-        Ctx { me, now, rng, sends: Vec::new(), timers: Vec::new(), outputs: Vec::new() }
+        Self::with_buffers(me, now, rng, Vec::new(), Vec::new(), Vec::new())
+    }
+
+    /// Like [`Ctx::new`] but reusing caller-pooled effect buffers, so a
+    /// runtime draining millions of events doesn't allocate three fresh
+    /// vectors per handler call. The runtime takes the (cleared) buffers
+    /// back by destructuring the context after the handler returns.
+    pub fn with_buffers(
+        me: SiteId,
+        now: VirtualTime,
+        rng: &'a mut DetRng,
+        sends: Vec<(SiteId, M)>,
+        timers: Vec<(u64, u64)>,
+        outputs: Vec<O>,
+    ) -> Self {
+        debug_assert!(sends.is_empty() && timers.is_empty() && outputs.is_empty());
+        Ctx { me, now, rng, sends, timers, outputs }
     }
 
     /// The site this actor runs at.

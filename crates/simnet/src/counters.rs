@@ -18,7 +18,7 @@
 use avdb_telemetry::{MetricId, Registry};
 use avdb_types::SiteId;
 use serde::Serialize;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Running totals of network traffic. Owned by the runtime; protocol code
 /// never touches it.
@@ -33,8 +33,17 @@ pub struct Counters {
     /// once, at the site's first appearance.
     sent_ids: Vec<MetricId>,
     recv_ids: Vec<MetricId>,
-    kind_ids: HashMap<&'static str, MetricId>,
-    link_ids: HashMap<(u32, u32), MetricId>,
+    /// Kind ids in first-appearance order. The per-message lookup is a
+    /// linear probe comparing the `&'static str` *pointer* first: kinds
+    /// are a handful of literals, so the probe is a few word compares —
+    /// cheaper than hashing the string bytes every send. Content equality
+    /// backs the pointer check up, so two identical literals from
+    /// different crates still intern to one id.
+    kind_ids: Vec<(&'static str, MetricId)>,
+    /// Link ids as a dense `from * stride + to` table (lazily regrown
+    /// when a larger site id appears), replacing a per-send tuple hash.
+    link_ids: Vec<Option<MetricId>>,
+    link_stride: usize,
 }
 
 impl Default for Counters {
@@ -67,8 +76,9 @@ impl Counters {
             parked_id,
             sent_ids: Vec::new(),
             recv_ids: Vec::new(),
-            kind_ids: HashMap::new(),
-            link_ids: HashMap::new(),
+            kind_ids: Vec::new(),
+            link_ids: Vec::new(),
+            link_stride: 0,
         }
     }
 
@@ -77,24 +87,47 @@ impl Counters {
         self.registry.inc_id(self.total_id);
         let sent = site_id(&mut self.sent_ids, &mut self.registry, "msg.sent.", from.0);
         self.registry.inc_id(sent);
-        let kind_id = match self.kind_ids.get(kind) {
-            Some(&id) => id,
+        let kind_id = match self
+            .kind_ids
+            .iter()
+            .find(|(k, _)| std::ptr::eq(*k, kind) || *k == kind)
+        {
+            Some(&(_, id)) => id,
             None => {
                 let id = self.registry.counter_id(&format!("msg.kind.{kind}"));
-                self.kind_ids.insert(kind, id);
+                self.kind_ids.push((kind, id));
                 id
             }
         };
         self.registry.inc_id(kind_id);
-        let link_id = match self.link_ids.get(&(from.0, to.0)) {
-            Some(&id) => id,
+        let hi = from.0.max(to.0) as usize;
+        if hi >= self.link_stride {
+            self.regrow_links(hi + 1);
+        }
+        let slot = from.0 as usize * self.link_stride + to.0 as usize;
+        let link_id = match self.link_ids[slot] {
+            Some(id) => id,
             None => {
                 let id = self.registry.counter_id(&format!("msg.link.{}>{}", from.0, to.0));
-                self.link_ids.insert((from.0, to.0), id);
+                self.link_ids[slot] = Some(id);
                 id
             }
         };
         self.registry.inc_id(link_id);
+    }
+
+    /// Regrows the dense link table to `stride × stride`, re-homing the
+    /// already-interned ids under the new stride.
+    fn regrow_links(&mut self, stride: usize) {
+        let stride = stride.max(self.link_stride * 2).max(8);
+        let mut next = vec![None; stride * stride];
+        for f in 0..self.link_stride {
+            for t in 0..self.link_stride {
+                next[f * stride + t] = self.link_ids[f * self.link_stride + t];
+            }
+        }
+        self.link_ids = next;
+        self.link_stride = stride;
     }
 
     /// Records a successful delivery.
@@ -156,16 +189,20 @@ impl Counters {
     /// Messages of one kind.
     pub fn by_kind(&self, kind: &str) -> u64 {
         self.kind_ids
-            .get(kind)
-            .map(|&id| self.registry.counter_value(id))
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, id)| self.registry.counter_value(id))
             .unwrap_or(0)
     }
 
     /// Messages on one directed link.
     pub fn on_link(&self, from: SiteId, to: SiteId) -> u64 {
-        self.link_ids
-            .get(&(from.0, to.0))
-            .map(|&id| self.registry.counter_value(id))
+        let (f, t) = (from.0 as usize, to.0 as usize);
+        if f >= self.link_stride || t >= self.link_stride {
+            return 0;
+        }
+        self.link_ids[f * self.link_stride + t]
+            .map(|id| self.registry.counter_value(id))
             .unwrap_or(0)
     }
 

@@ -8,7 +8,6 @@ use crate::hook::{FaultCtl, NetEvent, NetHook, SchedOp};
 use crate::rng::DetRng;
 use crate::trace::Trace;
 use avdb_types::{LatencyModel, SiteId, VirtualTime};
-use std::collections::BTreeMap;
 
 /// Configures and constructs a [`Simulator`].
 #[derive(Clone, Debug)]
@@ -70,9 +69,8 @@ impl SimulatorBuilder {
     /// Builds a simulator hosting `actors` (one per site, index = site id).
     pub fn build<A: Actor>(self, actors: Vec<A>) -> Simulator<A> {
         let root = DetRng::new(self.seed);
-        let rngs = (0..actors.len())
-            .map(|i| root.derive(0x5174_0000 + i as u64))
-            .collect();
+        let n = actors.len();
+        let rngs = (0..n).map(|i| root.derive(0x5174_0000 + i as u64)).collect();
         let mut faults = FaultPlan::none();
         faults.drop_probability = self.drop_probability;
         Simulator {
@@ -85,8 +83,11 @@ impl SimulatorBuilder {
             faults,
             counters: Counters::new(),
             outputs: Vec::new(),
-            link_fifo: BTreeMap::new(),
-            parked: BTreeMap::new(),
+            link_fifo: vec![VirtualTime::ZERO; n * n],
+            parked: (0..n).map(|_| Vec::new()).collect(),
+            sends_buf: Vec::new(),
+            timers_buf: Vec::new(),
+            outputs_buf: Vec::new(),
             started: false,
             processed: 0,
             max_events: self.max_events,
@@ -112,13 +113,20 @@ pub struct Simulator<A: Actor> {
     faults: FaultPlan,
     counters: Counters,
     outputs: Vec<(VirtualTime, SiteId, A::Output)>,
-    /// Last scheduled delivery time per directed link, to keep links FIFO
-    /// even under latency jitter.
-    link_fifo: BTreeMap<(SiteId, SiteId), VirtualTime>,
-    /// Store-and-forward queue: messages addressed to a crashed site are
-    /// held here and re-scheduled at its recovery (the transport is a
-    /// durable message queue; a fail-stop site loses state, not mail).
-    parked: BTreeMap<SiteId, Vec<(SiteId, A::Msg)>>,
+    /// Last scheduled delivery time per directed link (flat, indexed by
+    /// `from * n_sites + to`), to keep links FIFO even under latency
+    /// jitter.
+    link_fifo: Vec<VirtualTime>,
+    /// Store-and-forward queue, indexed by site: messages addressed to a
+    /// crashed site are held here and re-scheduled at its recovery (the
+    /// transport is a durable message queue; a fail-stop site loses
+    /// state, not mail).
+    parked: Vec<Vec<(SiteId, A::Msg)>>,
+    /// Pooled effect buffers threaded through [`Ctx`] so the steady-state
+    /// event loop reuses the same three vectors for every handler call.
+    sends_buf: Vec<(SiteId, A::Msg)>,
+    timers_buf: Vec<(u64, u64)>,
+    outputs_buf: Vec<A::Output>,
     started: bool,
     processed: u64,
     max_events: u64,
@@ -286,25 +294,37 @@ impl<A: Actor> Simulator<A> {
     }
 
     /// Runs a handler and applies its queued effects to the event queue.
+    /// The effect vectors are pooled: taken from the simulator before the
+    /// call, drained, and put back cleared — zero allocations once warm.
     fn with_ctx<F>(&mut self, site: SiteId, f: F)
     where
         F: FnOnce(&mut A, &mut Ctx<'_, A::Msg, A::Output>),
     {
         let idx = site.index();
         let mut rng = self.rngs[idx].clone();
-        let mut ctx = Ctx::new(site, self.now, &mut rng);
+        let mut ctx = Ctx::with_buffers(
+            site,
+            self.now,
+            &mut rng,
+            std::mem::take(&mut self.sends_buf),
+            std::mem::take(&mut self.timers_buf),
+            std::mem::take(&mut self.outputs_buf),
+        );
         f(&mut self.actors[idx], &mut ctx);
-        let Ctx { sends, timers, outputs, .. } = ctx;
+        let Ctx { mut sends, mut timers, mut outputs, .. } = ctx;
         self.rngs[idx] = rng;
-        for (to, msg) in sends {
+        for (to, msg) in sends.drain(..) {
             self.route(site, to, msg);
         }
-        for (delay, token) in timers {
+        for (delay, token) in timers.drain(..) {
             self.queue.push(self.now.after(delay), Event::Timer { site, token });
         }
-        for out in outputs {
+        for out in outputs.drain(..) {
             self.outputs.push((self.now, site, out));
         }
+        self.sends_buf = sends;
+        self.timers_buf = timers;
+        self.outputs_buf = outputs;
     }
 
     /// Sends `msg` through the (possibly faulty) network.
@@ -331,10 +351,9 @@ impl<A: Actor> Simulator<A> {
             .after(self.sample_latency() + self.faults.link_extra_delay(from, to));
         // Per-link FIFO: never schedule a delivery before one already
         // scheduled on the same directed link.
-        if let Some(&last) = self.link_fifo.get(&(from, to)) {
-            deliver_at = deliver_at.max(last);
-        }
-        self.link_fifo.insert((from, to), deliver_at);
+        let link = from.index() * self.actors.len() + to.index();
+        deliver_at = deliver_at.max(self.link_fifo[link]);
+        self.link_fifo[link] = deliver_at;
         self.queue.push(deliver_at, Event::Deliver { from, to, msg });
     }
 
@@ -373,7 +392,7 @@ impl<A: Actor> Simulator<A> {
                 // the transport's durable queue until recovery.
                 if self.faults.is_crashed(to) {
                     self.counters.record_parked();
-                    self.parked.entry(to).or_default().push((from, msg));
+                    self.parked[to.index()].push((from, msg));
                 } else {
                     self.counters.record_delivery(to);
                     self.trace.record(self.now, from, to, msg.kind(), msg.trace_context());
@@ -411,7 +430,7 @@ impl<A: Actor> Simulator<A> {
                 self.with_ctx(site, |a, ctx| a.on_recover(ctx));
                 // Deliver parked mail in arrival order, after the recovery
                 // handler's own effects.
-                for (from, msg) in self.parked.remove(&site).unwrap_or_default() {
+                for (from, msg) in std::mem::take(&mut self.parked[site.index()]) {
                     self.queue.push(self.now, Event::Deliver { from, to: site, msg });
                 }
             }

@@ -65,6 +65,25 @@ impl FlightRecorder {
         self.next_seq += 1;
     }
 
+    /// [`FlightRecorder::record`] formatting `args` into the evicted
+    /// event's buffers, so a saturated ring records with zero fresh
+    /// allocations — for call sites that fire per frame or per delta.
+    pub fn record_args(&mut self, at: u64, clock: u64, kind: &str, args: std::fmt::Arguments<'_>) {
+        use std::fmt::Write as _;
+        let (mut kind_buf, mut detail) = if self.events.len() == self.cap {
+            let old = self.events.pop_front().expect("cap >= 1");
+            (old.kind, old.detail)
+        } else {
+            (String::new(), String::new())
+        };
+        kind_buf.clear();
+        kind_buf.push_str(kind);
+        detail.clear();
+        let _ = detail.write_fmt(args);
+        self.events.push_back(FlightEvent { seq: self.next_seq, at, clock, kind: kind_buf, detail });
+        self.next_seq += 1;
+    }
+
     /// Number of events currently retained.
     pub fn len(&self) -> usize {
         self.events.len()

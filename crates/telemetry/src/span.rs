@@ -82,13 +82,35 @@ pub struct SpanCollector {
     spans: Vec<SpanRecord>,
     /// `None` = retain everything (pre-sampling behaviour).
     sampler: Option<TraceSampler>,
+    /// Promotion-candidate filter: with a rescue sampler installed, only
+    /// traces it samples park in the ring at all — every other unsampled
+    /// interior span is dropped at mint, because nothing will ever
+    /// promote it. `None` = every unsampled trace is a candidate.
+    rescue: Option<TraceSampler>,
     /// Parked interior spans of unsampled traces, oldest first.
     ring: VecDeque<SpanRecord>,
     ring_cap: usize,
     /// Traces promoted on this site: retained eagerly from then on.
-    promoted: std::collections::BTreeSet<u64>,
+    /// Probed on every record of an unsampled trace (via
+    /// [`SpanCollector::trace_sampled`]), so membership must be O(1).
+    promoted: std::collections::HashSet<u64>,
     /// Recycled detail buffers from evicted ring records.
     pool: Vec<String>,
+    /// Index of *open* retained spans (`span id → index in `spans``), so
+    /// the per-event `end`/`note` calls on the hot path are O(1) instead
+    /// of a reverse scan over every retained record. Entries are removed
+    /// at close; records never move (the retained vec only grows).
+    open_retained: std::collections::HashMap<u64, usize>,
+    /// How many ring records each unsampled trace currently has parked,
+    /// so [`SpanCollector::promote`] knows without scanning whether (and
+    /// how far) to dig. Entries leave on eviction and on promotion.
+    parked_per_trace: std::collections::HashMap<u64, u32>,
+    /// Span ids currently in the ring, so `end`/`note` misses (spans
+    /// dropped at mint) cost a hash probe instead of a ring scan.
+    parked_ids: std::collections::HashSet<u64>,
+    /// Reused scratch for promotion's ring surgery, so a shortage-heavy
+    /// sampled run does not allocate a ring-sized buffer per promotion.
+    promote_scratch: VecDeque<SpanRecord>,
     /// Interior spans evicted from the ring before any promotion.
     evicted: u64,
 }
@@ -102,10 +124,15 @@ impl SpanCollector {
             next_seq: 1,
             spans: Vec::new(),
             sampler: None,
+            rescue: None,
             ring: VecDeque::new(),
             ring_cap: DEFAULT_SPAN_RING_CAPACITY,
-            promoted: std::collections::BTreeSet::new(),
+            promoted: std::collections::HashSet::new(),
             pool: Vec::new(),
+            open_retained: std::collections::HashMap::new(),
+            parked_per_trace: std::collections::HashMap::new(),
+            parked_ids: std::collections::HashSet::new(),
+            promote_scratch: VecDeque::new(),
             evicted: 0,
         }
     }
@@ -121,6 +148,37 @@ impl SpanCollector {
     /// unsampled interior spans are dropped immediately).
     pub fn set_ring_capacity(&mut self, cap: usize) {
         self.ring_cap = cap;
+    }
+
+    /// Installs the promotion-candidate (rescue) sampler. The caller must
+    /// gate its `promote` calls on the *same* deterministic decision:
+    /// spans of unsampled traces the rescue sampler rejects are dropped
+    /// at mint and can never be promoted afterwards.
+    pub fn set_rescue(&mut self, sampler: TraceSampler) {
+        self.rescue = Some(sampler);
+    }
+
+    /// Whether an unsampled `trace` may later be promoted (and therefore
+    /// must park its interior spans rather than drop them).
+    fn rescued(&self, trace: u64) -> bool {
+        match self.rescue {
+            Some(r) => r.sampled(trace),
+            None => true,
+        }
+    }
+
+    /// Whether a span of `trace` under `parent` would be dropped at mint:
+    /// an interior span of a trace that is neither head-sampled, already
+    /// promoted, nor a rescue candidate. Callers use this to skip detail
+    /// formatting for records that will not survive the call.
+    fn discards(&self, trace: u64, parent: u64) -> bool {
+        parent != 0 && !self.trace_sampled(trace) && !self.rescued(trace)
+    }
+
+    /// Whether a (sub-unity) sampler is installed — i.e. unsampled traces
+    /// exist and promotion decisions actually matter.
+    pub fn is_sampling(&self) -> bool {
+        self.sampler.is_some()
     }
 
     /// Whether `trace`'s interior spans are retained eagerly (head-sampled
@@ -151,11 +209,26 @@ impl SpanCollector {
         }
         if self.ring.len() >= self.ring_cap {
             if let Some(old) = self.ring.pop_front() {
+                self.unpark_count(old.trace);
+                self.parked_ids.remove(&old.span);
                 self.recycle(old);
                 self.evicted += 1;
             }
         }
+        *self.parked_per_trace.entry(rec.trace).or_insert(0) += 1;
+        self.parked_ids.insert(rec.span);
         self.ring.push_back(rec);
+    }
+
+    /// One fewer record of `trace` parked; drops the entry at zero so the
+    /// map stays bounded by the ring's distinct-trace count.
+    fn unpark_count(&mut self, trace: u64) {
+        if let Some(n) = self.parked_per_trace.get_mut(&trace) {
+            *n -= 1;
+            if *n == 0 {
+                self.parked_per_trace.remove(&trace);
+            }
+        }
     }
 
     fn recycle(&mut self, rec: SpanRecord) {
@@ -188,6 +261,23 @@ impl SpanCollector {
         clock: u64,
         detail: String,
     ) -> u64 {
+        self.push_record(trace, parent, name, at, None, clock, detail)
+    }
+
+    /// Records a span with its end already decided. Instant spans go
+    /// through here so a parked (unsampled) instant never needs a
+    /// retained-set lookup via [`SpanCollector::end`] — at scale that
+    /// lookup is a per-event linear scan.
+    fn push_record(
+        &mut self,
+        trace: u64,
+        parent: u64,
+        name: &'static str,
+        at: VirtualTime,
+        end: Option<VirtualTime>,
+        clock: u64,
+        detail: String,
+    ) -> u64 {
         let span = self.next_id();
         let rec = SpanRecord {
             trace,
@@ -197,15 +287,23 @@ impl SpanCollector {
             name,
             detail,
             start: at,
-            end: None,
+            end,
             clock,
         };
         // Roots are always retained: they carry commit latency and anchor
         // the oracle's root-per-committed-txn invariant at any rate.
         if parent == 0 || self.trace_sampled(trace) {
+            if end.is_none() {
+                self.open_retained.insert(span, self.spans.len());
+            }
             self.spans.push(rec);
-        } else {
+        } else if self.rescued(trace) {
             self.park(rec);
+        } else {
+            // Not a promotion candidate: parking would only displace
+            // spans that still have a chance of rescue.
+            self.recycle(rec);
+            self.evicted += 1;
         }
         span
     }
@@ -222,6 +320,9 @@ impl SpanCollector {
         args: std::fmt::Arguments<'_>,
     ) -> u64 {
         use std::fmt::Write as _;
+        if self.discards(trace, parent) {
+            return self.push_record(trace, parent, name, at, None, clock, String::new());
+        }
         let mut detail = self.pooled_detail();
         let _ = detail.write_fmt(args);
         self.start_with(trace, parent, name, at, clock, detail)
@@ -249,9 +350,7 @@ impl SpanCollector {
         clock: u64,
         detail: String,
     ) -> u64 {
-        let span = self.start_with(trace, parent, name, at, clock, detail);
-        self.end(span, at);
-        span
+        self.push_record(trace, parent, name, at, Some(at), clock, detail)
     }
 
     /// [`SpanCollector::instant_with`] writing `args` into a pooled buffer.
@@ -265,6 +364,9 @@ impl SpanCollector {
         args: std::fmt::Arguments<'_>,
     ) -> u64 {
         use std::fmt::Write as _;
+        if self.discards(trace, parent) {
+            return self.push_record(trace, parent, name, at, Some(at), clock, String::new());
+        }
         let mut detail = self.pooled_detail();
         let _ = detail.write_fmt(args);
         self.instant_with(trace, parent, name, at, clock, detail)
@@ -274,11 +376,12 @@ impl SpanCollector {
     /// a no-op: fault paths may race a timeout against the reply it was
     /// guarding, and telemetry must never panic the protocol.
     pub fn end(&mut self, span: u64, at: VirtualTime) {
-        if let Some(rec) =
-            self.spans.iter_mut().rev().find(|r| r.span == span && r.end.is_none())
-        {
-            rec.end = Some(at);
+        if let Some(i) = self.open_retained.remove(&span) {
+            self.spans[i].end = Some(at);
             return;
+        }
+        if !self.parked_ids.contains(&span) {
+            return; // dropped at mint (or already evicted): O(1) miss.
         }
         if let Some(rec) =
             self.ring.iter_mut().rev().find(|r| r.span == span && r.end.is_none())
@@ -289,17 +392,43 @@ impl SpanCollector {
 
     /// Appends to a span's detail string.
     pub fn note(&mut self, span: u64, detail: &str) {
-        let rec = self
-            .spans
-            .iter_mut()
-            .rev()
-            .find(|r| r.span == span)
-            .or_else(|| self.ring.iter_mut().rev().find(|r| r.span == span));
-        if let Some(rec) = rec {
+        if let Some(rec) = self.find_for_note(span) {
             if !rec.detail.is_empty() {
                 rec.detail.push_str("; ");
             }
             rec.detail.push_str(detail);
+        }
+    }
+
+    /// Locates a span for annotation: open retained spans through the
+    /// index, parked ones by reverse scan of the (bounded) ring guarded
+    /// by an O(1) membership probe, closed retained ones by cold-path
+    /// reverse scan. Under sampling the cold scan is skipped entirely —
+    /// protocol code only annotates open spans, and letting every note
+    /// to a mint-dropped span walk the whole retained vec would be
+    /// quadratic in updates.
+    fn find_for_note(&mut self, span: u64) -> Option<&mut SpanRecord> {
+        if let Some(&i) = self.open_retained.get(&span) {
+            return Some(&mut self.spans[i]);
+        }
+        if self.parked_ids.contains(&span) {
+            return self.ring.iter_mut().rev().find(|r| r.span == span);
+        }
+        if self.sampler.is_none() {
+            return self.spans.iter_mut().rev().find(|r| r.span == span);
+        }
+        None
+    }
+
+    /// [`SpanCollector::note`] writing `args` straight into the span's
+    /// detail buffer, so hot paths annotate without a temporary `String`.
+    pub fn note_args(&mut self, span: u64, args: std::fmt::Arguments<'_>) {
+        use std::fmt::Write as _;
+        if let Some(rec) = self.find_for_note(span) {
+            if !rec.detail.is_empty() {
+                rec.detail.push_str("; ");
+            }
+            let _ = rec.detail.write_fmt(args);
         }
     }
 
@@ -310,24 +439,49 @@ impl SpanCollector {
     /// Returns how many parked spans were moved. Idempotent — a second
     /// call finds nothing left to move.
     pub fn promote(&mut self, trace: u64) -> usize {
-        if self.sampler.is_none() {
+        let Some(sampler) = self.sampler else {
+            return 0;
+        };
+        if sampler.sampled(trace) {
+            return 0; // head-sampled: nothing of this trace ever parks.
+        }
+        if !self.promoted.insert(trace) {
+            // Sticky promotion retains the trace's later spans eagerly,
+            // so nothing new can have parked since the first call — skip
+            // the ring surgery that repeat promotions (one per replicated
+            // delta) would otherwise pay.
             return 0;
         }
-        self.promoted.insert(trace);
-        if !self.ring.iter().any(|r| r.trace == trace) {
+        let Some(want) = self.parked_per_trace.remove(&trace) else {
             return 0;
-        }
-        let mut promoted = 0;
-        let mut kept = VecDeque::with_capacity(self.ring.len());
-        for rec in self.ring.drain(..) {
+        };
+        // Dig from the *back*: a trace promoted while its protocol round
+        // is still in flight parked its spans recently, so the scan
+        // usually touches a handful of records instead of the whole ring.
+        // Popped bystanders go to the reused scratch and are restored
+        // afterwards; relative order (and thus eviction order) is kept.
+        let mut kept = std::mem::take(&mut self.promote_scratch);
+        let mut matches: Vec<SpanRecord> = Vec::with_capacity(want as usize);
+        while (matches.len() as u32) < want {
+            let Some(rec) = self.ring.pop_back() else { break };
             if rec.trace == trace {
-                self.spans.push(rec);
-                promoted += 1;
+                self.parked_ids.remove(&rec.span);
+                matches.push(rec);
             } else {
                 kept.push_back(rec);
             }
         }
-        self.ring = kept;
+        while let Some(rec) = kept.pop_back() {
+            self.ring.push_back(rec);
+        }
+        self.promote_scratch = kept;
+        let promoted = matches.len();
+        while let Some(rec) = matches.pop() {
+            if rec.end.is_none() {
+                self.open_retained.insert(rec.span, self.spans.len());
+            }
+            self.spans.push(rec);
+        }
         promoted
     }
 

@@ -190,6 +190,17 @@ pub struct SystemConfig {
     /// pre-sampling configs) means 1.0 — retain everything.
     #[serde(default)]
     pub trace_sample_rate: Option<f64>,
+    /// Fraction of *anomalous* traces (aborts, shortage paths, latency
+    /// outliers) rescued from the head sampler's discard set, in `[0, 1]`.
+    /// The decision is a deterministic pure function of the trace id
+    /// shared by every site, so a rescued span's cross-site parent is
+    /// always rescued too. `None` (the wire default) means 1.0 — every
+    /// anomaly keeps its full tree, the historical behaviour. Scale-up
+    /// benchmark cells dial this down: on a saturated cell where nearly
+    /// every update shorts, full rescue would quietly retain every trace
+    /// and defeat the sampler entirely.
+    #[serde(default)]
+    pub anomaly_keep_rate: Option<f64>,
     /// Width (in sim ticks) of the telemetry time-series windows: every
     /// `series_window_ticks` the accelerator rolls its registry into one
     /// window of counter deltas / gauge last-values / histogram deltas,
@@ -346,12 +357,25 @@ impl SystemConfig {
                 )));
             }
         }
+        if let Some(rate) = self.anomaly_keep_rate {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(AvdbError::InvalidConfig(format!(
+                    "anomaly_keep_rate must be in [0, 1], got {rate}"
+                )));
+            }
+        }
         Ok(())
     }
 
     /// Effective trace sampling rate (`None` ⇒ 1.0, retain everything).
     pub fn trace_sampling(&self) -> f64 {
         self.trace_sample_rate.unwrap_or(1.0)
+    }
+
+    /// Effective anomaly rescue rate (`None` ⇒ 1.0, rescue every
+    /// anomalous trace from the head sampler).
+    pub fn anomaly_keep(&self) -> f64 {
+        self.anomaly_keep_rate.unwrap_or(1.0)
     }
 }
 
@@ -375,6 +399,7 @@ pub struct SystemConfigBuilder {
     coalesce_propagation: bool,
     drop_probability: f64,
     trace_sample_rate: Option<f64>,
+    anomaly_keep_rate: Option<f64>,
     series_window_ticks: u64,
     seed: u64,
 }
@@ -399,6 +424,7 @@ impl Default for SystemConfigBuilder {
             coalesce_propagation: false,
             drop_probability: 0.0,
             trace_sample_rate: None,
+            anomaly_keep_rate: None,
             series_window_ticks: 0,
             seed: 0,
         }
@@ -546,6 +572,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Sets the anomaly rescue rate (default `None` ⇒ 1.0, rescue every
+    /// aborted / shortage-path / outlier trace from the head sampler).
+    pub fn anomaly_keep_rate(mut self, rate: f64) -> Self {
+        self.anomaly_keep_rate = Some(rate);
+        self
+    }
+
     /// Sets the telemetry time-series window width in sim ticks
     /// (default 0 — series plane off).
     pub fn series_window_ticks(mut self, ticks: u64) -> Self {
@@ -578,6 +611,7 @@ impl SystemConfigBuilder {
             coalesce_propagation: self.coalesce_propagation,
             drop_probability: self.drop_probability,
             trace_sample_rate: self.trace_sample_rate,
+            anomaly_keep_rate: self.anomaly_keep_rate,
             series_window_ticks: self.series_window_ticks,
             seed: self.seed,
             catalog: self.catalog,

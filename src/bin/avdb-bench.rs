@@ -13,7 +13,8 @@
 
 use avdb::bench::report::compare;
 use avdb::bench::{
-    run_scenario, BenchReport, FaultProfile, ScenarioSpec, TransportKind,
+    run_scenario, run_scenario_with_flight_dir, BenchReport, FaultProfile, ScenarioSpec,
+    TransportKind,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -27,7 +28,8 @@ fn usage() -> ! {
          [--coalesce 0,1] [--sample-milli 0,10,1000] [--series-window 0,64]\n    \
          [--scenarios none|all|flash-sale,kill-the-granter,...]\n    \
          [--imm-products N] [--regular-products N]\n    \
-         [--stock N] [--spacing N] [--seed N] [--open-loop] [--label L] [--out DIR]\n  \
+         [--stock N] [--spacing N] [--seed N] [--open-loop] [--label L] [--out DIR]\n    \
+         [--flight-dir DIR]\n  \
          avdb-bench overhead [--updates N] [--sites N] [--seed N] [--window N]\n    \
          [--rounds N] [--max-overhead-pct N] [--series-out FILE]\n  \
          avdb-bench compare <baseline.json> <current.json> [--max-regress-pct N]"
@@ -78,6 +80,7 @@ fn fast_lane_cells(
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut transports = vec![TransportKind::Sim];
     let mut sites = vec![3usize, 7];
+    let mut updates_list: Vec<usize> = Vec::new();
     let mut faults = vec![FaultProfile::Clean];
     let mut allocs = vec![avdb::types::AvAllocation::Uniform];
     let mut zipfs = vec![0u64];
@@ -91,6 +94,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut base = ScenarioSpec::base();
     let mut label = String::from("local");
     let mut out_dir = String::from("results");
+    let mut flight_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -121,9 +125,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 });
             }
             "--sample-milli" => {
-                sample_millis = parse_list(arg, &value(arg), |s| {
-                    s.parse().ok().filter(|&m| m <= 1000)
-                });
+                sample_millis =
+                    parse_list(arg, &value(arg), |s| s.parse().ok().filter(|&m| m <= 1000));
             }
             "--series-window" => {
                 series_windows = parse_list(arg, &value(arg), |s| s.parse().ok());
@@ -145,7 +148,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                     })
                 };
             }
-            "--updates" => base.updates = value(arg).parse().unwrap_or_else(|_| usage()),
+            "--updates" => updates_list = parse_list(arg, &value(arg), |s| s.parse().ok()),
             "--imm-products" => {
                 base.non_regular_products = value(arg).parse().unwrap_or_else(|_| usage());
             }
@@ -158,71 +161,80 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--open-loop" => base.closed_loop = false,
             "--label" => label = value(arg),
             "--out" => out_dir = value(arg),
+            "--flight-dir" => flight_dir = Some(value(arg)),
             _ => usage(),
         }
     }
 
-    let mut report = BenchReport { label: label.clone(), scenarios: Vec::new() };
+    // `--updates` is a scale axis like `--sites`: each listed count is a
+    // separate matrix cell, distinguished by the label's `-uN` segment.
+    if updates_list.is_empty() {
+        updates_list.push(base.updates);
+    }
+    let mut report = BenchReport {
+        label: label.clone(),
+        scenarios: Vec::new(),
+    };
     let mut failures = 0usize;
     for &transport in &transports {
         for &n in &sites {
-            for &fault in &faults {
-                for &allocation in &allocs {
-                    for &zipf_milli in &zipfs {
-                        for &batch in &batches {
-                            for &(fanout, rebalance, coalesce) in fast_lane_cells(
-                                &fanouts,
-                                &rebalances,
-                                &coalesces,
-                            )
-                            .iter()
-                            {
-                                for ((scenario, &sample_milli), &series_window) in scenarios
-                                    .iter()
-                                    .flat_map(|sc| {
-                                        sample_millis.iter().map(move |m| (sc, m))
-                                    })
-                                    .flat_map(|pair| {
-                                        series_windows.iter().map(move |w| (pair, w))
-                                    })
+            for &updates in &updates_list {
+                for &fault in &faults {
+                    for &allocation in &allocs {
+                        for &zipf_milli in &zipfs {
+                            for &batch in &batches {
+                                for &(fanout, rebalance, coalesce) in
+                                    fast_lane_cells(&fanouts, &rebalances, &coalesces).iter()
                                 {
-                                    let mut spec = base.clone();
-                                    spec.transport = transport;
-                                    spec.sites = n;
-                                    spec.fault = fault;
-                                    spec.allocation = allocation;
-                                    spec.zipf_milli = zipf_milli;
-                                    spec.propagation_batch = batch;
-                                    spec.shortage_fanout = fanout;
-                                    spec.rebalance_horizon_ticks = rebalance;
-                                    spec.coalesce_propagation = coalesce;
-                                    spec.trace_sample_milli = sample_milli;
-                                    spec.series_window_ticks = series_window;
-                                    spec.scenario = scenario.clone();
-                                    if transport != TransportKind::Sim
-                                        && (fault != FaultProfile::Clean
-                                            || spec.scenario.is_some())
+                                    for ((scenario, &sample_milli), &series_window) in scenarios
+                                        .iter()
+                                        .flat_map(|sc| sample_millis.iter().map(move |m| (sc, m)))
+                                        .flat_map(|pair| {
+                                            series_windows.iter().map(move |w| (pair, w))
+                                        })
                                     {
-                                        eprintln!(
-                                            "skip {}: faults and scenarios need the \
-                                             deterministic scheduler",
-                                            spec.label()
-                                        );
-                                        continue;
-                                    }
-                                    eprint!("running {} ... ", spec.label());
-                                    match run_scenario(&spec) {
-                                        Ok(arts) => {
+                                        let mut spec = base.clone();
+                                        spec.transport = transport;
+                                        spec.sites = n;
+                                        spec.updates = updates;
+                                        spec.fault = fault;
+                                        spec.allocation = allocation;
+                                        spec.zipf_milli = zipf_milli;
+                                        spec.propagation_batch = batch;
+                                        spec.shortage_fanout = fanout;
+                                        spec.rebalance_horizon_ticks = rebalance;
+                                        spec.coalesce_propagation = coalesce;
+                                        spec.trace_sample_milli = sample_milli;
+                                        spec.series_window_ticks = series_window;
+                                        spec.scenario = scenario.clone();
+                                        if transport != TransportKind::Sim
+                                            && (fault != FaultProfile::Clean
+                                                || spec.scenario.is_some())
+                                        {
                                             eprintln!(
-                                                "ok ({}/{} committed)",
-                                                arts.result.stats.committed,
-                                                arts.result.stats.submitted
+                                                "skip {}: faults and scenarios need the \
+                                             deterministic scheduler",
+                                                spec.label()
                                             );
-                                            report.scenarios.push(arts.result);
+                                            continue;
                                         }
-                                        Err(e) => {
-                                            eprintln!("FAILED: {e}");
-                                            failures += 1;
+                                        eprint!("running {} ... ", spec.label());
+                                        match run_scenario_with_flight_dir(
+                                            &spec,
+                                            flight_dir.as_ref().map(std::path::Path::new),
+                                        ) {
+                                            Ok(arts) => {
+                                                eprintln!(
+                                                    "ok ({}/{} committed)",
+                                                    arts.result.stats.committed,
+                                                    arts.result.stats.submitted
+                                                );
+                                                report.scenarios.push(arts.result);
+                                            }
+                                            Err(e) => {
+                                                eprintln!("FAILED: {e}");
+                                                failures += 1;
+                                            }
                                         }
                                     }
                                 }
@@ -312,10 +324,14 @@ fn cmd_overhead(args: &[String]) -> ExitCode {
     let mut on_spec = spec.clone();
     on_spec.series_window_ticks = window;
     let run_round = |spec: &ScenarioSpec,
-                         round: usize,
-                         champion: &mut Option<(u64, avdb::bench::RunArtifacts)>|
+                     round: usize,
+                     champion: &mut Option<(u64, avdb::bench::RunArtifacts)>|
      -> Result<(), String> {
-        eprint!("running {} (round {}/{rounds}) ... ", spec.label(), round + 1);
+        eprint!(
+            "running {} (round {}/{rounds}) ... ",
+            spec.label(),
+            round + 1
+        );
         let arts = run_scenario(spec)?;
         let ms = arts.result.wall.elapsed_ms.max(1);
         eprintln!("{ms} ms");

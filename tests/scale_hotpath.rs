@@ -1,0 +1,184 @@
+//! Scale-up hot-path coverage: checkpointed replication survives a
+//! fail-stop mid-truncation, the incremental knowledge digest is
+//! observably identical to the dense exchange it replaced, and the
+//! calendar-queue event loop stays deterministic at 32 sites.
+
+use avdb::bench::{run_scenario, BenchReport, ScenarioSpec};
+use avdb::core::{KnowledgeExchange, KnowledgeRow};
+use avdb::escrow::knowledge::KnowledgeDelta;
+use avdb::prelude::*;
+use avdb::telemetry::Registry;
+
+#[test]
+fn crash_mid_truncation_recovers_from_checkpoint_with_av_conservation() {
+    // Site 1 commits Delay updates while its outbound links are severed:
+    // nothing propagates, no acks arrive, and an aggressively small
+    // checkpoint threshold folds the oldest log entries into the
+    // checkpoint prefix long before any peer has seen them. A fail-stop
+    // in that state is the worst case for truncation — the folded
+    // volume exists only as the checkpoint. Recovery plus one explicit
+    // flush must still conserve AV and converge every replica.
+    let cfg = SystemConfig::builder()
+        .sites(3)
+        .regular_products(3, Volume(600))
+        .seed(23)
+        .build()
+        .unwrap();
+    let mut actors: Vec<Accelerator> =
+        SiteId::all(3).map(|s| Accelerator::new(s, &cfg)).collect();
+    actors[1].set_checkpoint_threshold(4);
+    let mut sys = DistributedSystem::from_actors(cfg, actors);
+    sys.sever_link(SiteId(1), SiteId(0));
+    sys.sever_link(SiteId(1), SiteId(2));
+    for i in 0..40u64 {
+        let product = ProductId((i % 3) as u32);
+        sys.submit_at(VirtualTime(5 + i * 3), UpdateRequest::new(SiteId(1), product, Volume(-2)));
+    }
+    sys.run_until(VirtualTime(200));
+
+    let snap = sys.accelerator(SiteId(1)).replication_snapshot();
+    assert!(snap.base > 0, "cap folds should have truncated the log (base={})", snap.base);
+    assert!(snap.log.len() <= 4, "retained log bounded by the threshold");
+    assert!(
+        snap.ckpt_nets.as_ref().is_some_and(|n| n.iter().any(|v| *v != 0)),
+        "checkpoint prefix carries the folded net volume"
+    );
+
+    sys.crash_at(VirtualTime(210), SiteId(1));
+    sys.recover_at(VirtualTime(260), SiteId(1));
+    sys.heal_link(SiteId(1), SiteId(0));
+    sys.heal_link(SiteId(1), SiteId(2));
+    sys.run_until_quiescent();
+    sys.flush_all();
+    sys.run_until_quiescent();
+
+    assert!(sys.accelerator(SiteId(1)).stats().recoveries > 0, "the crash actually happened");
+    for p in 0..3u32 {
+        sys.check_av_conservation(ProductId(p))
+            .unwrap_or_else(|(want, got)| panic!("p{p}: AV {got:?} != configured {want:?}"));
+    }
+    sys.check_convergence().unwrap();
+    for site in SiteId::all(3) {
+        assert!(
+            sys.accelerator(site).fully_propagated(),
+            "{site}: retained deltas drain to zero post-run"
+        );
+    }
+}
+
+#[test]
+fn delta_digest_exchange_matches_dense_exchange_byte_for_byte() {
+    // A seeded matrix of observations and piggyback frames, driven twice:
+    // once through the incremental digest (watermarked deltas) and once
+    // through the dense pre-digest wire format (the full belief table on
+    // every frame, same receiver/sender row filter). The staleness
+    // gauges each site would export — and the belief tables underneath
+    // them — must be byte-identical.
+    const SITES: usize = 6;
+    const PRODUCTS: u32 = 4;
+
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 11
+    };
+
+    let mut delta: Vec<KnowledgeExchange> =
+        (0..SITES).map(|_| KnowledgeExchange::new(SITES)).collect();
+    let mut dense: Vec<KnowledgeExchange> =
+        (0..SITES).map(|_| KnowledgeExchange::new(SITES)).collect();
+
+    let mut scratch: Vec<KnowledgeDelta> = Vec::new();
+    let mut now = VirtualTime::ZERO;
+    for _ in 0..400 {
+        now = VirtualTime(now.0 + 1 + next() % 5);
+        let obs = (next() as usize) % SITES;
+        let peer = SiteId((next() % SITES as u64) as u32);
+        let product = ProductId((next() % PRODUCTS as u64) as u32);
+        let av = Volume((next() % 500) as i64);
+        delta[obs].update(peer, product, av, now);
+        dense[obs].update(peer, product, av, now);
+        if next() % 4 == 0 {
+            let rate = (next() % 20) as i64;
+            delta[obs].update_rate(peer, product, rate, now);
+            dense[obs].update_rate(peer, product, rate, now);
+        }
+
+        let from = (next() as usize) % SITES;
+        let to = (next() as usize) % SITES;
+        if from == to {
+            continue;
+        }
+        let (me, rx) = (SiteId(from as u32), SiteId(to as u32));
+        let rows = delta[from].encode_digest_for(me, rx);
+        delta[to].apply_digest(rx, &rows);
+
+        scratch.clear();
+        dense[from].table().changed_since(0, &mut scratch);
+        let all: Vec<KnowledgeRow> = scratch
+            .iter()
+            .filter(|d| d.site != rx && d.site != me)
+            .map(|d| KnowledgeRow {
+                site: d.site,
+                product: d.product,
+                av: d.av,
+                at: d.at,
+                rate: d.rate,
+                rate_at: d.rate_at,
+            })
+            .collect();
+        dense[to].apply_digest(rx, &all);
+    }
+
+    // Render the per-site staleness gauges exactly as an export would.
+    let render = |sites: &[KnowledgeExchange]| -> String {
+        let mut out = String::new();
+        for (i, x) in sites.iter().enumerate() {
+            let mut reg = Registry::new();
+            for p in 0..SITES {
+                let id = reg.gauge_id(&format!("knowledge.staleness.s{p}"));
+                let stale = x.freshest(SiteId(p as u32)).map_or(-1, |t| (now.0 - t.0) as i64);
+                reg.set_gauge_id(id, stale);
+            }
+            out.push_str(&format!("site{i} {}\n", serde_json::to_string(&reg.snapshot()).unwrap()));
+        }
+        out
+    };
+    assert_eq!(render(&delta), render(&dense), "digest exchange diverged from dense");
+
+    // Stronger than the gauges: every belief cell agrees.
+    for s in 0..SITES {
+        for q in 0..SITES {
+            for p in 0..PRODUCTS {
+                let (peer, product) = (SiteId(q as u32), ProductId(p));
+                assert_eq!(delta[s].known(peer, product), dense[s].known(peer, product));
+                assert_eq!(delta[s].known_rate(peer, product), dense[s].known_rate(peer, product));
+                assert_eq!(
+                    delta[s].staleness(peer, product, now),
+                    dense[s].staleness(peer, product, now)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn calendar_queue_is_deterministic_at_s32() {
+    // 32 sites puts thousands of timers and ready-list entries through
+    // the tick-bucketed calendar queue every virtual tick; the report
+    // with wall-clock fields zeroed must still come out byte-identical
+    // on a rerun of the same seed.
+    let mut spec = ScenarioSpec::base();
+    spec.sites = 32;
+    spec.updates = 800;
+    spec.zipf_milli = 900;
+    spec.seed = 29;
+    let det = |spec: &ScenarioSpec| {
+        let art = run_scenario(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        BenchReport { label: "determinism-s32".to_string(), scenarios: vec![art.result] }
+            .deterministic_json()
+    };
+    let first = det(&spec);
+    assert!(first.contains("commits_per_mtick"), "sim stats present");
+    assert_eq!(first, det(&spec), "same seed, same spec, same bytes at 32 sites");
+}
